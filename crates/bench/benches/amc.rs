@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the AMC explorer itself: how fast the model
+//! checker verifies the paper's lock catalog (the cost that bounds the
+//! optimizer's push-button loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsync_core::{explore, AmcConfig};
+use vsync_locks::model::{
+    dpdk_scenario, huawei_scenario, mutex_client, CasLock, McsLock, Qspinlock, TicketLock,
+    TtasLock,
+};
+use vsync_model::ModelKind;
+
+fn bench_verification(c: &mut Criterion) {
+    let cfg = AmcConfig::with_model(ModelKind::Vmm);
+    let mut g = c.benchmark_group("amc-verify");
+    g.sample_size(10);
+    g.bench_function("caslock-2t", |b| {
+        let p = mutex_client(&CasLock::default(), 2, 1);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.bench_function("ttas-2t", |b| {
+        let p = mutex_client(&TtasLock::default(), 2, 1);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.bench_function("ticket-3t", |b| {
+        let p = mutex_client(&TicketLock::default(), 3, 1);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.bench_function("mcs-2t", |b| {
+        let p = mutex_client(&McsLock::default(), 2, 1);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.bench_function("qspinlock-2t", |b| {
+        let p = mutex_client(&Qspinlock, 2, 1);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_bug_finding(c: &mut Criterion) {
+    let cfg = AmcConfig::with_model(ModelKind::Vmm);
+    let mut g = c.benchmark_group("amc-find-bug");
+    g.sample_size(10);
+    g.bench_function("dpdk-hang", |b| {
+        let p = dpdk_scenario(false);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.bench_function("huawei-lost-update", |b| {
+        let p = huawei_scenario(false);
+        b.iter(|| black_box(explore(&p, &cfg)))
+    });
+    g.finish();
+}
+
+fn bench_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("amc-by-model");
+    g.sample_size(10);
+    for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::Vmm] {
+        let cfg = AmcConfig::with_model(model);
+        g.bench_function(format!("mcs-2t-{model}"), |b| {
+            let p = mutex_client(&McsLock::default(), 2, 1);
+            b.iter(|| black_box(explore(&p, &cfg)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_verification, bench_bug_finding, bench_models);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the barrier optimizer (the paper's 11-minute
+//! qspinlock optimization, scaled to our substrate).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vsync_core::{optimize, AmcConfig, OptimizerConfig};
+use vsync_locks::model::{mutex_client, CasLock, TicketLock, TtasLock};
+use vsync_model::ModelKind;
+
+fn cfg() -> OptimizerConfig {
+    OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 }
+}
+
+fn bench_optimize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("optimize");
+    g.sample_size(10);
+    g.bench_function("caslock-2t", |b| {
+        let p = mutex_client(&CasLock::default(), 2, 1).with_all_sc();
+        b.iter(|| black_box(optimize(&p, &cfg())))
+    });
+    g.bench_function("ttas-2t", |b| {
+        let p = mutex_client(&TtasLock::default(), 2, 1).with_all_sc();
+        b.iter(|| black_box(optimize(&p, &cfg())))
+    });
+    g.bench_function("ticket-2t", |b| {
+        let p = mutex_client(&TicketLock::default(), 2, 1).with_all_sc();
+        b.iter(|| black_box(optimize(&p, &cfg())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimize);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Ablation study of the workload knobs (paper §4.2.2, "Critical and
+//! non-critical section sizes"):
+//!
+//! 1. `es_size` (work outside the critical section) does **not** change
+//!    the seq-vs-opt speedup;
+//! 2. `cs_size` (cache lines touched inside the critical section) shrinks
+//!    it — all locks converge as the critical section grows, which is why
+//!    the paper fixes `cs_size = 1`, `es_size = 0` for the final results.
+
+use vsync_locks::runtime::{McsProfile, McsSim, TicketSim};
+use vsync_sim::{run_microbench, Arch, SimConfig, SimLock, Workload};
+
+fn speedup(seq: &dyn SimLock, opt: &dyn SimLock, threads: usize, wl: &Workload) -> f64 {
+    let run = |lock: &dyn SimLock, seed: u64| {
+        let cfg = SimConfig {
+            arch: Arch::X86_64,
+            threads,
+            duration: vsync_bench::env_duration(),
+            seed,
+            jitter_percent: 5,
+        };
+        run_microbench(lock, &cfg, wl).0 as f64
+    };
+    run(opt, 11) / run(seq, 11) - 1.0
+}
+
+fn main() {
+    let mcs_seq = McsSim::new(McsProfile::own().all_sc("mcs"));
+    let mcs_opt = McsSim::new(McsProfile::own());
+    let tkt_seq = TicketSim { sc: true };
+    let tkt_opt = TicketSim { sc: false };
+
+    println!("Ablation: speedup (x86_64, 2 threads) vs critical-section size");
+    println!("{:<10} {:>12} {:>12}", "cs_size", "mcs", "ticket");
+    for cs_size in [1usize, 2, 4, 8, 16] {
+        let wl = Workload { cs_size, es_size: 0 };
+        println!(
+            "{:<10} {:>+12.3} {:>+12.3}",
+            cs_size,
+            speedup(&mcs_seq, &mcs_opt, 2, &wl),
+            speedup(&tkt_seq, &tkt_opt, 2, &wl)
+        );
+    }
+
+    println!("\nAblation: speedup (x86_64, 2 threads) vs non-critical work");
+    println!("{:<10} {:>12} {:>12}", "es_size", "mcs", "ticket");
+    for es_size in [0usize, 2, 4, 8, 16] {
+        let wl = Workload { cs_size: 1, es_size };
+        println!(
+            "{:<10} {:>+12.3} {:>+12.3}",
+            es_size,
+            speedup(&mcs_seq, &mcs_opt, 2, &wl),
+            speedup(&tkt_seq, &tkt_opt, 2, &wl)
+        );
+    }
+    println!(
+        "\nExpected shape (paper §4.2.2): the cs_size column decays toward 0;\n\
+         the es_size column stays roughly flat."
+    );
+}

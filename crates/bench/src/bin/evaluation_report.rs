@@ -1,0 +1,111 @@
+//! Run the complete §4 evaluation once and print every artifact — Tables
+//! 2–5 and Figures 23–26 from a single sweep, then Fig. 27 — so a full
+//! reproduction needs only one command:
+//!
+//! ```sh
+//! VSYNC_DURATION=40000 VSYNC_REPS=2 \
+//!   cargo run --release -p vsync-bench --bin evaluation_report
+//! ```
+
+use vsync_locks::runtime::fig27_impls;
+use vsync_sim::{run_repetitions, Arch, Variant, Workload};
+
+fn main() {
+    let (duration, reps) = (vsync_bench::env_duration(), vsync_bench::env_reps());
+    eprintln!("sweep: 18 locks x 2 variants x thread counts x {reps} runs x 2 archs...");
+    let records = vsync_bench::full_sweep(duration, reps);
+
+    println!("== Table 2: raw records (first and last 8 of {}) ==", records.len());
+    let head: Vec<_> = records.iter().take(8).cloned().collect();
+    let tail: Vec<_> = records.iter().rev().take(8).rev().cloned().collect();
+    println!("{}...", vsync_sim::render_records(&head));
+    println!("{}", vsync_sim::render_records(&tail));
+
+    let groups = vsync_sim::group_records(&records);
+    println!("== Table 3: grouped records ({} groups; aarch64 mcs/qspin excerpt) ==", groups.len());
+    let excerpt: std::collections::BTreeMap<_, _> = groups
+        .iter()
+        .filter(|(k, _)| k.arch == "aarch64" && (k.algorithm == "mcs" || k.algorithm == "qspin"))
+        .map(|(k, v)| (k.clone(), *v))
+        .collect();
+    println!("{}", vsync_sim::render_groups(&excerpt));
+
+    println!("== Table 4: stability bands ==");
+    let bands = vsync_sim::stability_bands(&groups);
+    println!("{}", vsync_sim::render_stability_bands(&bands));
+
+    println!("== Table 5: speedup summaries ==");
+    let samples = vsync_sim::speedups(&groups);
+    let rows = vsync_sim::summarize_speedups(&samples);
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        println!("{}", vsync_sim::render_speedup_summaries(&rows, arch));
+    }
+
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let stab: Vec<f64> = groups
+            .iter()
+            .filter(|(k, _)| k.arch == arch.label())
+            .map(|(_, s)| s.stability)
+            .collect();
+        println!(
+            "{}",
+            vsync_sim::histogram(
+                &format!("== Fig. 23: stability density, {} ==", arch.label()),
+                &stab,
+                10,
+                40
+            )
+        );
+    }
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let sp: Vec<f64> =
+            samples.iter().filter(|s| s.arch == arch.label()).map(|s| s.speedup).collect();
+        println!(
+            "{}",
+            vsync_sim::histogram(
+                &format!("== Fig. 24: speedup density, {} ==", arch.label()),
+                &sp,
+                12,
+                40
+            )
+        );
+    }
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let here: Vec<_> =
+            samples.iter().filter(|s| s.arch == arch.label()).cloned().collect();
+        println!(
+            "{}",
+            vsync_sim::heat_map(
+                &format!("== Fig. 25/26: speedup heat map, {} ==", arch.label()),
+                &here,
+                &arch.thread_counts()
+            )
+        );
+    }
+
+    eprintln!("fig 27: MCS implementation comparison...");
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let impls = fig27_impls();
+        let names: Vec<&str> = impls.iter().map(|l| l.name()).collect();
+        let mut rows = Vec::new();
+        for &threads in &arch.thread_counts() {
+            let mut vals = Vec::new();
+            for lock in &impls {
+                let recs =
+                    run_repetitions(lock.as_ref(), Variant::Opt, arch, threads, duration, &Workload::default(), reps);
+                let mut tps: Vec<f64> = recs.iter().map(|r| r.throughput).collect();
+                tps.sort_by(f64::total_cmp);
+                vals.push(tps[tps.len() / 2]);
+            }
+            rows.push((threads, vals));
+        }
+        println!(
+            "{}",
+            vsync_sim::comparison_table(
+                &format!("== Fig. 27: MCS lock implementations on {} ==", arch.label()),
+                &names,
+                &rows
+            )
+        );
+    }
+}

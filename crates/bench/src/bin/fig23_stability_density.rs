@@ -1,0 +1,26 @@
+//! Regenerate the paper's **Figure 23**: density of record stability per
+//! architecture (most results are very stable, < 1.16).
+
+use vsync_sim::{Arch, Variant};
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let values: Vec<f64> = groups
+            .iter()
+            .filter(|(k, _)| k.arch == arch.label())
+            .map(|(_, s)| s.stability)
+            .collect();
+        let _ = Variant::Seq; // variant-agnostic density, as in the paper
+        println!(
+            "{}",
+            vsync_sim::histogram(
+                &format!("Fig. 23: stability density on {}", arch.label()),
+                &values,
+                10,
+                50
+            )
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerate the paper's **Figure 24**: density of speedups per
+//! architecture (mass near zero from contended cases; a long positive tail
+//! on x86 from the low-contention sc-store savings).
+
+use vsync_sim::Arch;
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    let samples = vsync_sim::speedups(&groups);
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let values: Vec<f64> =
+            samples.iter().filter(|s| s.arch == arch.label()).map(|s| s.speedup).collect();
+        println!(
+            "{}",
+            vsync_sim::histogram(
+                &format!("Fig. 24: speedup density on {}", arch.label()),
+                &values,
+                12,
+                50
+            )
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerate the paper's **Figure 25**: ARM speedup heat map
+//! (locks x thread counts; '.' marks cells filtered for instability).
+
+use vsync_sim::Arch;
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    let samples: Vec<_> = vsync_sim::speedups(&groups)
+        .into_iter()
+        .filter(|s| s.arch == Arch::ArmV8.label())
+        .collect();
+    println!(
+        "{}",
+        vsync_sim::heat_map(
+            "Fig. 25: speedups observed on ARMv8 (taishan200-128c)",
+            &samples,
+            &Arch::ArmV8.thread_counts()
+        )
+    );
+}

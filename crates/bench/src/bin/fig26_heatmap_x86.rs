@@ -1,0 +1,21 @@
+//! Regenerate the paper's **Figure 26**: x86 speedup heat map — the
+//! one-thread column dominates (up to several-fold speedups).
+
+use vsync_sim::Arch;
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    let samples: Vec<_> = vsync_sim::speedups(&groups)
+        .into_iter()
+        .filter(|s| s.arch == Arch::X86_64.label())
+        .collect();
+    println!(
+        "{}",
+        vsync_sim::heat_map(
+            "Fig. 26: speedups observed on x86_64 (gigabyte-96c)",
+            &samples,
+            &Arch::X86_64.thread_counts()
+        )
+    );
+}

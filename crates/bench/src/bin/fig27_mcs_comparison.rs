@@ -1,0 +1,42 @@
+//! Regenerate the paper's **Figure 27**: throughput comparison of MCS lock
+//! implementations (CertiKOS, Concurrency Kit, DPDK, our VSYNC-optimized)
+//! across thread counts on both platforms.
+
+use vsync_locks::runtime::fig27_impls;
+use vsync_sim::{run_repetitions, Arch, Variant, Workload};
+
+fn main() {
+    let (duration, reps) = (vsync_bench::env_duration(), vsync_bench::env_reps());
+    let wl = Workload::default();
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        let impls = fig27_impls();
+        let names: Vec<&str> = impls.iter().map(|l| l.name()).collect();
+        let mut rows = Vec::new();
+        for &threads in &arch.thread_counts() {
+            let mut vals = Vec::new();
+            for lock in &impls {
+                let recs = run_repetitions(
+                    lock.as_ref(),
+                    Variant::Opt,
+                    arch,
+                    threads,
+                    duration,
+                    &wl,
+                    reps,
+                );
+                let mut tps: Vec<f64> = recs.iter().map(|r| r.throughput).collect();
+                tps.sort_by(f64::total_cmp);
+                vals.push(tps[tps.len() / 2]);
+            }
+            rows.push((threads, vals));
+        }
+        println!(
+            "{}",
+            vsync_sim::comparison_table(
+                &format!("Fig. 27: MCS lock implementations on {}", arch.label()),
+                &names,
+                &rows
+            )
+        );
+    }
+}

@@ -1,0 +1,11 @@
+//! Regenerate the paper's **Table 2**: the raw microbenchmark records
+//! (arch, algorithm, seq/opt, threads, run, count, duration, throughput)
+//! for all 18 locks on both simulated platforms.
+
+fn main() {
+    let (duration, reps) = (vsync_bench::env_duration(), vsync_bench::env_reps());
+    eprintln!("sweeping 18 locks x 2 variants x thread counts x {reps} runs...");
+    let records = vsync_bench::full_sweep(duration, reps);
+    println!("Table 2: Raw captured records ({} rows)", records.len());
+    println!("{}", vsync_sim::render_records(&records));
+}

@@ -1,0 +1,9 @@
+//! Regenerate the paper's **Table 3**: records grouped by (platform, lock,
+//! variant, thread count) with mean, median, std and stability.
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    println!("Table 3: Grouped records ({} groups)", groups.len());
+    println!("{}", vsync_sim::render_groups(&groups));
+}

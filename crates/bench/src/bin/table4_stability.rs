@@ -1,0 +1,11 @@
+//! Regenerate the paper's **Table 4**: experiments categorized by
+//! stability (max/min throughput ratio). The paper reports ~85 % of groups
+//! below 1.1 and filters >1.2 before computing speedups.
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    let bands = vsync_sim::stability_bands(&groups);
+    println!("Table 4: Number of experiments categorized by stability");
+    println!("{}", vsync_sim::render_stability_bands(&bands));
+}

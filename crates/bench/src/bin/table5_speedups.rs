@@ -1,0 +1,16 @@
+//! Regenerate the paper's **Table 5**: speedups of the VSYNC-optimized
+//! variants over the sc-only variants, per lock and platform
+//! (max/mean/min/std over contention levels, unstable groups filtered).
+
+use vsync_sim::Arch;
+
+fn main() {
+    let records = vsync_bench::full_sweep(vsync_bench::env_duration(), vsync_bench::env_reps());
+    let groups = vsync_sim::group_records(&records);
+    let samples = vsync_sim::speedups(&groups);
+    let rows = vsync_sim::summarize_speedups(&samples);
+    println!("Table 5: Speedups of VSYNC-optimized over sc-only variants\n");
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        println!("{}", vsync_sim::render_speedup_summaries(&rows, arch));
+    }
+}

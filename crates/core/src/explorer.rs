@@ -1,0 +1,694 @@
+//! The AMC exploration algorithm (paper Fig. 6).
+//!
+//! A work stack holds partial execution graphs. Each iteration pops a
+//! graph, replays the program against it to reconstruct thread states,
+//! discards it if it is wasteful (`W(G)`) or inconsistent with the memory
+//! model, and otherwise extends it by one event of the first runnable
+//! thread:
+//!
+//! * **reads** branch over every same-location write already in the graph
+//!   (plus the missing-edge `⊥` option for await reads);
+//! * **writes** branch over their modification-order placement and
+//!   *revisit* existing reads of the same location (restricting the graph
+//!   to the `porf`-prefixes of the write and the revisited read);
+//! * when no thread is runnable, the graph is either a complete execution
+//!   (check assertions and final-state predicates) or blocked; blocked
+//!   graphs are passed to the stagnancy analysis, which decides whether
+//!   they witness an await-termination violation.
+//!
+//! Work items are deduplicated by canonical content hash: the scheduler is
+//! deterministic and revisit restrictions are content-determined, so two
+//! items with equal content have identical futures.
+
+use std::collections::HashSet;
+
+use vsync_graph::{content_hash, EventId, EventKind, ExecutionGraph, Loc, RfSource, ThreadId};
+use vsync_lang::{Operand, PendingOp, Program, ReadDesc, ThreadStatus};
+
+use crate::stagnancy::is_stagnant;
+use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict};
+
+/// Run AMC on a program.
+///
+/// Returns [`Verdict::Verified`] iff every consistent execution passes all
+/// assertions and final-state checks *and* every await terminates
+/// (Theorem 1 of the paper: for programs obeying the Bounded-Length and
+/// Bounded-Effect principles, the search is exhaustive and terminates).
+pub fn explore(prog: &Program, config: &AmcConfig) -> AmcResult {
+    Explorer::new(prog, config).run()
+}
+
+/// Convenience wrapper returning only the verdict.
+pub fn verify(prog: &Program, config: &AmcConfig) -> Verdict {
+    explore(prog, config).verdict
+}
+
+/// Count the complete consistent executions of a program — the size of the
+/// paper's `G^F_*` set (used by the Fig. 1/Fig. 5 experiments).
+pub fn count_executions(prog: &Program, config: &AmcConfig) -> u64 {
+    explore(prog, config).stats.complete_executions
+}
+
+struct Explorer<'p> {
+    prog: &'p Program,
+    config: &'p AmcConfig,
+    stack: Vec<ExecutionGraph>,
+    seen: HashSet<u128>,
+    stats: ExploreStats,
+    executions: Vec<ExecutionGraph>,
+}
+
+impl<'p> Explorer<'p> {
+    fn new(prog: &'p Program, config: &'p AmcConfig) -> Self {
+        Explorer {
+            prog,
+            config,
+            stack: Vec::new(),
+            seen: HashSet::new(),
+            stats: ExploreStats::default(),
+            executions: Vec::new(),
+        }
+    }
+
+    fn result(self, verdict: Verdict) -> AmcResult {
+        AmcResult { verdict, stats: self.stats, executions: self.executions }
+    }
+
+    fn run(mut self) -> AmcResult {
+        if let Err(e) = self.prog.validate() {
+            return self.result(Verdict::Fault(format!("malformed program: {e}")));
+        }
+        let model = self.config.model.model();
+        self.stack.push(ExecutionGraph::new(self.prog.num_threads(), self.prog.init().clone()));
+        while let Some(mut g) = self.stack.pop() {
+            self.stats.popped += 1;
+            if self.config.max_graphs != 0 && self.stats.popped > self.config.max_graphs {
+                let msg = format!("exploration exceeded {} work items", self.config.max_graphs);
+                return self.result(Verdict::Fault(msg));
+            }
+            // Replay first: it repairs derived read flags, which both the
+            // content hash and the consistency check depend on.
+            let out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
+            if let Some(f) = out.fault() {
+                return self.result(Verdict::Fault(f.to_owned()));
+            }
+            if self.config.dedup && !self.seen.insert(content_hash(&g)) {
+                self.stats.duplicates += 1;
+                continue;
+            }
+            if out.wasteful {
+                self.stats.wasteful += 1;
+                continue;
+            }
+            if !model.is_consistent(&g) {
+                self.stats.inconsistent += 1;
+                continue;
+            }
+            if out.errored() {
+                let (_, msg) = g.error().expect("errored replay has an error event");
+                let message = format!("assertion failed: {msg}");
+                return self.result(Verdict::Safety(Counterexample { graph: g, message }));
+            }
+            let next_ready = out.ready_threads().next();
+            match next_ready {
+                Some(t) => {
+                    let ThreadStatus::Ready(op) = &out.threads[t as usize] else {
+                        unreachable!()
+                    };
+                    if let Err(v) = self.extend(&g, t, op) {
+                        return self.result(v);
+                    }
+                }
+                None => {
+                    let blocked: Vec<_> = out.blocked().collect();
+                    if blocked.is_empty() {
+                        self.stats.complete_executions += 1;
+                        if let Some(msg) = self.failed_final_check(&g) {
+                            return self
+                                .result(Verdict::Safety(Counterexample { graph: g, message: msg }));
+                        }
+                        if self.config.collect_executions {
+                            self.executions.push(g);
+                        }
+                    } else {
+                        self.stats.blocked_graphs += 1;
+                        if is_stagnant(&g, &blocked, model) {
+                            let polls: Vec<String> =
+                                blocked.iter().map(|b| format!("{}@{:#x}", b.read, b.loc)).collect();
+                            let message = format!(
+                                "await never terminates: blocked read(s) {} cannot \
+                                 observe any new write",
+                                polls.join(", ")
+                            );
+                            return self.result(Verdict::AwaitTermination(Counterexample {
+                                graph: g,
+                                message,
+                            }));
+                        }
+                        // Non-stagnant blocked graphs are exploration
+                        // artifacts; their real continuations are siblings.
+                    }
+                }
+            }
+        }
+        let verdict = Verdict::Verified;
+        self.result(verdict)
+    }
+
+    /// Evaluate the program's final-state checks on a complete execution.
+    fn failed_final_check(&self, g: &ExecutionGraph) -> Option<String> {
+        let state = g.final_state();
+        for c in self.prog.final_checks() {
+            let v = state.get(&c.loc).copied().unwrap_or(g.init_value(c.loc));
+            let resolved = vsync_lang::ResolvedTest {
+                mask: c.test.mask.map(const_operand).unwrap_or(u64::MAX),
+                cmp: c.test.cmp,
+                rhs: const_operand(c.test.rhs),
+            };
+            if !resolved.eval(v) {
+                return Some(format!(
+                    "final-state check failed: {} (final value of {:#x} is {v})",
+                    c.msg, c.loc
+                ));
+            }
+        }
+        None
+    }
+
+    /// Generate and push all successor graphs for thread `t`'s pending op.
+    fn extend(&mut self, g: &ExecutionGraph, t: ThreadId, op: &PendingOp) -> Result<(), Verdict> {
+        if g.thread_len(t) >= self.config.max_events_per_thread {
+            return Err(Verdict::Fault(format!(
+                "thread {t} exceeded {} events — unbounded non-await loop? \
+                 (Bounded-Length principle)",
+                self.config.max_events_per_thread
+            )));
+        }
+        match op {
+            PendingOp::Fence { mode } => {
+                let mut g2 = g.clone();
+                g2.push_event(t, EventKind::Fence { mode: *mode });
+                self.push(g2);
+            }
+            PendingOp::Error { msg } => {
+                let mut g2 = g.clone();
+                g2.push_event(t, EventKind::Error { msg: msg.clone() });
+                self.push(g2);
+            }
+            PendingOp::Read { loc, mode, desc, prev_rf } => {
+                self.extend_read(g, t, *loc, *mode, *desc, *prev_rf);
+            }
+            PendingOp::Write { loc, val, mode, rmw } => {
+                self.extend_write(g, t, *loc, *val, *mode, *rmw);
+            }
+        }
+        Ok(())
+    }
+
+    /// R-step of Fig. 6: branch over every rf candidate, plus `⊥` for
+    /// await reads.
+    fn extend_read(
+        &mut self,
+        g: &ExecutionGraph,
+        t: ThreadId,
+        loc: Loc,
+        mode: vsync_graph::Mode,
+        desc: ReadDesc,
+        prev_rf: Option<RfSource>,
+    ) {
+        let min_pos = min_source_pos(g, t, loc);
+        let mut candidates: Vec<EventId> = vec![EventId::Init(loc)];
+        candidates.extend(g.mo(loc).iter().copied());
+        for (pos, w) in candidates.into_iter().enumerate() {
+            if pos < min_pos {
+                continue; // per-location coherence rules this source out
+            }
+            if desc.is_await() && prev_rf == Some(RfSource::Write(w)) {
+                continue; // wasteful repeat (Def. 2) — never generated
+            }
+            let v = g.write_value(w);
+            let writes = desc.write_on(v).is_some();
+            // NOTE: two RMW reads may transiently share a source; the
+            // conflict is resolved when one commits its write part and
+            // revisits the other (or the graph dies at the atomicity
+            // check). Pruning shared sources here would lose executions.
+            let mut g2 = g.clone();
+            g2.push_event(
+                t,
+                EventKind::Read {
+                    loc,
+                    mode,
+                    rf: RfSource::Write(w),
+                    rmw: writes,
+                    awaiting: desc.is_await(),
+                },
+            );
+            self.push(g2);
+        }
+        if desc.is_await() {
+            // The potential AT violation: no incoming rf-edge (yet).
+            let mut g2 = g.clone();
+            g2.push_event(
+                t,
+                EventKind::Read { loc, mode, rf: RfSource::Bottom, rmw: false, awaiting: true },
+            );
+            self.push(g2);
+        }
+    }
+
+    /// W-step of Fig. 6: place the write in mo (all positions for plain
+    /// writes; the atomicity-forced slot for RMW write parts), then compute
+    /// revisits.
+    fn extend_write(
+        &mut self,
+        g: &ExecutionGraph,
+        t: ThreadId,
+        loc: Loc,
+        val: u64,
+        mode: vsync_graph::Mode,
+        rmw: bool,
+    ) {
+        let positions: Vec<usize> = if rmw {
+            // The write part must land immediately after its read's source.
+            let read_id = EventId::new(t, g.thread_len(t) as u32 - 1);
+            let src = match g.rf(read_id) {
+                RfSource::Write(w) => w,
+                RfSource::Bottom => unreachable!("rmw write part with unresolved read"),
+            };
+            let pos = match src {
+                EventId::Init(_) => 0,
+                _ => g.mo(loc).iter().position(|x| *x == src).expect("source in mo") + 1,
+            };
+            vec![pos]
+        } else {
+            (0..=g.mo(loc).len()).collect()
+        };
+        for pos in positions {
+            let mut g2 = g.clone();
+            let wid = g2.push_event(t, EventKind::Write { loc, val, mode, rmw });
+            g2.insert_mo(loc, wid, pos);
+            // Revisits from this placed variant.
+            let prefix_w = g2.porf_prefix([wid]);
+            for (r, rloc, rf) in g2.reads().collect::<Vec<_>>() {
+                if rloc != loc || r == wid || prefix_w.contains(&r) {
+                    continue;
+                }
+                match rf {
+                    RfSource::Bottom => {
+                        // Resolution of a pending await read: no deletion
+                        // needed, the blocked thread has no successors.
+                        let mut g3 = g2.clone();
+                        g3.set_rf(r, RfSource::Write(wid));
+                        self.stats.revisits += 1;
+                        self.push(g3);
+                    }
+                    RfSource::Write(old) if old != wid => {
+                        // Standard revisit: keep only the porf-prefixes of
+                        // the new write and of the read, re-point the read.
+                        let mut keep = prefix_w.clone();
+                        keep.extend(g2.porf_prefix([r]));
+                        let mut g3 = g2.restrict(&keep);
+                        g3.set_rf(r, RfSource::Write(wid));
+                        self.stats.revisits += 1;
+                        self.push(g3);
+                    }
+                    RfSource::Write(_) => {}
+                }
+            }
+            self.push(g2);
+        }
+    }
+
+    fn push(&mut self, g: ExecutionGraph) {
+        self.stats.pushed += 1;
+        self.stack.push(g);
+    }
+}
+
+/// The smallest extended-mo position this thread's next read of `loc` may
+/// observe, from per-location coherence with the thread's own earlier
+/// accesses (CoRR/CoWR). Purely an optimization: the model check would
+/// reject anything below this anyway.
+fn min_source_pos(g: &ExecutionGraph, t: ThreadId, loc: Loc) -> usize {
+    let evs = g.thread_events(t);
+    for (i, ev) in evs.iter().enumerate().rev() {
+        match &ev.kind {
+            EventKind::Write { loc: l, .. } if *l == loc => {
+                let id = EventId::new(t, i as u32);
+                return g.mo_position(id).unwrap_or(0);
+            }
+            EventKind::Read { loc: l, rf: RfSource::Write(w), .. } if *l == loc => {
+                return g.mo_position(*w).unwrap_or(0);
+            }
+            _ => {}
+        }
+    }
+    0
+}
+
+fn const_operand(o: Operand) -> u64 {
+    match o {
+        Operand::Imm(v) => v,
+        Operand::Reg(r) => panic!("final-state checks must use immediate operands, found {r}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_graph::Mode;
+    use vsync_lang::{ProgramBuilder, Reg, Test};
+    use vsync_model::ModelKind;
+
+    fn cfg(model: ModelKind) -> AmcConfig {
+        AmcConfig::with_model(model)
+    }
+
+    const X: Loc = 0x10;
+    const Y: Loc = 0x20;
+
+    /// Store buffering with relaxed accesses: 4 final states under VMM/TSO,
+    /// 3 under SC (r0 = r1 = 0 excluded).
+    fn sb_program() -> Program {
+        let mut pb = ProgramBuilder::new("sb");
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rlx);
+            t.load(Reg(0), Y, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            t.store(Y, 1u64, Mode::Rlx);
+            t.load(Reg(0), X, Mode::Rlx);
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn sb_execution_counts_differ_by_model() {
+        let vmm = count_executions(&sb_program(), &cfg(ModelKind::Vmm));
+        let sc = count_executions(&sb_program(), &cfg(ModelKind::Sc));
+        let tso = count_executions(&sb_program(), &cfg(ModelKind::Tso));
+        assert_eq!(vmm, 4, "rf combinations: (0,0) (0,1) (1,0) (1,1)");
+        assert_eq!(tso, 4);
+        assert_eq!(sc, 3, "SC forbids both-read-zero");
+    }
+
+    #[test]
+    fn sb_with_sc_fences_is_sequentially_consistent() {
+        let mut pb = ProgramBuilder::new("sb+fences");
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rlx);
+            t.fence(Mode::Sc);
+            t.load(Reg(0), Y, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            t.store(Y, 1u64, Mode::Rlx);
+            t.fence(Mode::Sc);
+            t.load(Reg(0), X, Mode::Rlx);
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(count_executions(&p, &cfg(ModelKind::Vmm)), 3);
+    }
+
+    /// Message passing: relaxed flag allows the stale read; rel/acq forbids.
+    #[test]
+    fn mp_assertion_depends_on_barriers() {
+        let mp = |wm: Mode, rm: Mode| {
+            let mut pb = ProgramBuilder::new("mp");
+            pb.thread(move |t| {
+                t.store(X, 1u64, Mode::Rlx);
+                t.store(Y, 1u64, wm);
+            });
+            pb.thread(move |t| {
+                t.await_eq(Reg(0), Y, 1u64, rm);
+                t.load(Reg(1), X, Mode::Rlx);
+                t.assert_eq(Reg(1), 1u64, "data visible after flag");
+            });
+            pb.build().unwrap()
+        };
+        assert!(verify(&mp(Mode::Rel, Mode::Acq), &cfg(ModelKind::Vmm)).is_verified());
+        let v = verify(&mp(Mode::Rlx, Mode::Rlx), &cfg(ModelKind::Vmm));
+        assert!(matches!(v, Verdict::Safety(_)), "got: {v}");
+        // Under SC even relaxed MP is safe.
+        assert!(verify(&mp(Mode::Rlx, Mode::Rlx), &cfg(ModelKind::Sc)).is_verified());
+    }
+
+    #[test]
+    fn coherence_test_corr() {
+        // One writer, one reader reading twice: never observe 1 then 0.
+        let mut pb = ProgramBuilder::new("corr");
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            let done = t.label();
+            t.load(Reg(0), X, Mode::Rlx);
+            t.jmp_if(Reg(0), Test::eq(0u64), done);
+            t.load(Reg(1), X, Mode::Rlx);
+            t.assert_eq(Reg(1), 1u64, "no backwards read");
+            t.bind(done);
+        });
+        let p = pb.build().unwrap();
+        assert!(verify(&p, &cfg(ModelKind::Vmm)).is_verified());
+    }
+
+    #[test]
+    fn atomicity_two_rmws_never_read_same_write() {
+        // Two fetch_adds must not both read 0: final value is 2.
+        let mut pb = ProgramBuilder::new("fai");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                t.fetch_add(Reg(0), X, 1u64, Mode::Rlx);
+            });
+        }
+        pb.final_check(X, Test::eq(2u64), "no lost increment");
+        let p = pb.build().unwrap();
+        assert!(verify(&p, &cfg(ModelKind::Vmm)).is_verified());
+        assert_eq!(count_executions(&p, &cfg(ModelKind::Vmm)), 2, "two interleavings");
+    }
+
+    #[test]
+    fn plain_writes_do_lose_updates() {
+        // The same counter with plain load/store increments loses updates.
+        let mut pb = ProgramBuilder::new("lost-update");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                t.load(Reg(0), X, Mode::Rlx);
+                t.add(Reg(1), Reg(0), 1u64);
+                t.store(X, Reg(1), Mode::Rlx);
+            });
+        }
+        pb.final_check(X, Test::eq(2u64), "no lost increment");
+        let p = pb.build().unwrap();
+        let v = verify(&p, &cfg(ModelKind::Vmm));
+        assert!(matches!(v, Verdict::Safety(_)), "got {v}");
+        // Even SC interleavings lose updates here.
+        let v = verify(&p, &cfg(ModelKind::Sc));
+        assert!(matches!(v, Verdict::Safety(_)), "got {v}");
+    }
+
+    /// Paper Fig. 1 with the q handshake removed (Fig. 5): graph β — where
+    /// T2's unlock write is mo-before T1's lock write — leaves T1's await
+    /// with no write to observe. AMC reports the AT violation with the
+    /// finite graph β as evidence (paper §1.2, "Consider execution graph β").
+    #[test]
+    fn fig5_detects_graph_beta_at_violation() {
+        let locked = X;
+        let mut pb = ProgramBuilder::new("fig5");
+        pb.thread(|t| {
+            t.store(locked, 1u64, Mode::Rlx); // lock
+            t.await_eq(Reg(0), locked, 0u64, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            t.store(locked, 0u64, Mode::Rlx); // unlock
+        });
+        let p = pb.build().unwrap();
+        let r = explore(&p, &cfg(ModelKind::Vmm));
+        let Verdict::AwaitTermination(ce) = &r.verdict else {
+            panic!("expected AT violation (graph β), got {}", r.verdict);
+        };
+        // β's witness: a ⊥ read, and the unlock write mo-before the lock
+        // write so no newer 0 can ever be observed.
+        assert_eq!(ce.graph.pending_reads().count(), 1);
+        let mo = ce.graph.mo(locked);
+        assert_eq!(mo.len(), 2);
+        assert_eq!(ce.graph.write_value(mo[0]), 0, "unlock first in mo");
+        assert_eq!(ce.graph.write_value(mo[1]), 1, "lock write is mo-maximal");
+    }
+
+    /// The same two threads with the mo-order pinned by a handshake: T2
+    /// unlocks only after observing T1's lock write, so the await always
+    /// terminates and the two graphs ①/② of Fig. 5 remain.
+    #[test]
+    fn fig5_with_ordered_unlock_verifies() {
+        let locked = X;
+        let mut pb = ProgramBuilder::new("fig5-ordered");
+        pb.thread(|t| {
+            t.store(locked, 1u64, ("lock.store", Mode::Rel));
+            t.await_eq(Reg(0), locked, 0u64, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), locked, 1u64, ("see.lock", Mode::Acq));
+            t.store(locked, 0u64, Mode::Rlx);
+        });
+        let p = pb.build().unwrap();
+        let r = explore(&p, &cfg(ModelKind::Vmm));
+        assert!(r.is_verified(), "verdict: {}", r.verdict);
+    }
+
+    /// Paper Fig. 1 exactly: with the rel/acq handshake on q, awaiting
+    /// terminates; dropping the handshake keeps it terminating too (the
+    /// await just spins on locked) — AT holds in both.
+    #[test]
+    fn fig1_awaits_terminate() {
+        let (locked, q) = (X, Y);
+        let mut pb = ProgramBuilder::new("fig1");
+        pb.thread(|t| {
+            t.store(locked, 1u64, Mode::Rlx);
+            t.store(q, 1u64, ("q.sig", Mode::Rel));
+            t.await_eq(Reg(0), locked, 0u64, Mode::Rlx);
+            t.assert_eq(Reg(0), 0u64, "lock handed over");
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), q, 1u64, ("q.poll", Mode::Acq));
+            t.store(locked, 0u64, Mode::Rlx);
+        });
+        let p = pb.build().unwrap();
+        let r = explore(&p, &cfg(ModelKind::Vmm));
+        assert!(r.is_verified(), "verdict: {}", r.verdict);
+    }
+
+    /// A single thread awaiting a value nobody writes: the minimal AT
+    /// violation (paper Fig. 7 territory).
+    #[test]
+    fn lonely_await_is_at_violation() {
+        let mut pb = ProgramBuilder::new("lonely");
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 1u64, Mode::Rlx);
+        });
+        let p = pb.build().unwrap();
+        let v = verify(&p, &cfg(ModelKind::Vmm));
+        assert!(matches!(v, Verdict::AwaitTermination(_)), "got {v}");
+    }
+
+    /// Await on a value that IS written: terminates.
+    #[test]
+    fn signalled_await_verifies() {
+        let mut pb = ProgramBuilder::new("signalled");
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 1u64, Mode::Acq);
+        });
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rel);
+        });
+        let p = pb.build().unwrap();
+        assert!(verify(&p, &cfg(ModelKind::Vmm)).is_verified());
+    }
+
+    /// Await whose condition can only be satisfied transiently: the writer
+    /// sets x=1 then x=2; a waiter for x==1 may miss it under coherence?
+    /// No: it may always read the mo-intermediate write — but if the waiter
+    /// first reads 2, coherence traps it: AT violation.
+    #[test]
+    fn transient_signal_hangs() {
+        let mut pb = ProgramBuilder::new("transient");
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rlx);
+            t.store(X, 2u64, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 1u64, Mode::Rlx);
+        });
+        let p = pb.build().unwrap();
+        let v = verify(&p, &cfg(ModelKind::Vmm));
+        assert!(matches!(v, Verdict::AwaitTermination(_)), "got {v}");
+    }
+
+    #[test]
+    fn dedup_off_gives_same_verdicts() {
+        let p = sb_program();
+        let mut c = cfg(ModelKind::Vmm);
+        c.dedup = false;
+        // Without dedup the explorer visits duplicates but verdicts agree.
+        assert!(verify(&p, &c).is_verified());
+        let mp_bug = {
+            let mut pb = ProgramBuilder::new("mp-bug");
+            pb.thread(|t| {
+                t.store(X, 1u64, Mode::Rlx);
+                t.store(Y, 1u64, Mode::Rlx);
+            });
+            pb.thread(|t| {
+                t.await_eq(Reg(0), Y, 1u64, Mode::Rlx);
+                t.load(Reg(1), X, Mode::Rlx);
+                t.assert_eq(Reg(1), 1u64, "visible");
+            });
+            pb.build().unwrap()
+        };
+        assert!(matches!(verify(&mp_bug, &c), Verdict::Safety(_)));
+    }
+
+    #[test]
+    fn graph_budget_reports_fault() {
+        let mut c = cfg(ModelKind::Vmm);
+        c.max_graphs = 2;
+        let v = verify(&sb_program(), &c);
+        assert!(matches!(v, Verdict::Fault(_)));
+    }
+
+    #[test]
+    fn ttas_lock_mutual_exclusion() {
+        // The paper's Fig. 3 TTAS lock with 2 threads, one acquisition each.
+        let lock = X;
+        let counter = Y;
+        let mut pb = ProgramBuilder::new("ttas");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                let retry = t.here_label();
+                let acquired = t.label();
+                // do { await lock != 1 } while (xchg(lock,1) != 0)
+                t.await_neq(Reg(0), lock, 1u64, ("acquire.await", Mode::Rlx));
+                t.xchg(Reg(1), lock, 1u64, ("acquire.xchg", Mode::AcqRel));
+                t.jmp_if(Reg(1), Test::eq(0u64), acquired);
+                t.jmp(retry);
+                t.bind(acquired);
+                // critical section: counter++
+                t.load(Reg(2), counter, vsync_lang::Fixed(Mode::Rlx));
+                t.add(Reg(3), Reg(2), 1u64);
+                t.store(counter, Reg(3), vsync_lang::Fixed(Mode::Rlx));
+                // release
+                t.store(lock, 0u64, ("release.store", Mode::Rel));
+            });
+        }
+        pb.final_check(counter, Test::eq(2u64), "both increments applied");
+        let p = pb.build().unwrap();
+        let r = explore(&p, &cfg(ModelKind::Vmm));
+        assert!(r.is_verified(), "verdict: {} ({})", r.verdict, r.stats);
+    }
+
+    #[test]
+    fn ttas_lock_with_relaxed_release_breaks() {
+        // Relaxing the release store lets the CS writes escape: the second
+        // thread can read a stale counter.
+        let lock = X;
+        let counter = Y;
+        let mut pb = ProgramBuilder::new("ttas-broken");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                let retry = t.here_label();
+                let acquired = t.label();
+                t.await_neq(Reg(0), lock, 1u64, ("acquire.await", Mode::Rlx));
+                t.xchg(Reg(1), lock, 1u64, ("acquire.xchg", Mode::Rlx));
+                t.jmp_if(Reg(1), Test::eq(0u64), acquired);
+                t.jmp(retry);
+                t.bind(acquired);
+                t.load(Reg(2), counter, vsync_lang::Fixed(Mode::Rlx));
+                t.add(Reg(3), Reg(2), 1u64);
+                t.store(counter, Reg(3), vsync_lang::Fixed(Mode::Rlx));
+                t.store(lock, 0u64, ("release.store", Mode::Rlx));
+            });
+        }
+        pb.final_check(counter, Test::eq(2u64), "both increments applied");
+        let p = pb.build().unwrap();
+        let v = verify(&p, &cfg(ModelKind::Vmm));
+        assert!(matches!(v, Verdict::Safety(_)), "got {v}");
+    }
+}

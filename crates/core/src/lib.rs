@@ -1,0 +1,39 @@
+//! # vsync-core
+//!
+//! The paper's primary contribution, reproduced in Rust:
+//!
+//! * **AMC — Await Model Checking** ([`explore`], [`verify`]): a stateless
+//!   model checker over execution graphs that terminates for programs with
+//!   await loops, detects all safety violations, and decides await
+//!   termination (paper §1, Theorem 1);
+//! * **push-button barrier optimization** ([`optimize`]): maximally relax
+//!   the barrier modes of a synchronization primitive while it still
+//!   verifies (paper §3.3, Table 1).
+//!
+//! ```
+//! use vsync_core::{verify, AmcConfig};
+//! use vsync_lang::{ProgramBuilder, Reg};
+//! use vsync_graph::Mode;
+//!
+//! // A thread awaiting a signal that another thread sends: AT holds.
+//! let mut pb = ProgramBuilder::new("handshake");
+//! pb.thread(|t| { t.store(0x10, 1u64, Mode::Rel); });
+//! pb.thread(|t| { t.await_eq(Reg(0), 0x10, 1u64, Mode::Acq); });
+//! let program = pb.build().unwrap();
+//! assert!(verify(&program, &AmcConfig::default()).is_verified());
+//! ```
+
+#![warn(missing_docs)]
+
+mod explorer;
+mod optimizer;
+mod stagnancy;
+mod verdict;
+
+pub use explorer::{count_executions, explore, verify};
+pub use optimizer::{
+    enumerate_maximal, is_locally_maximal, optimize, optimize_multi, optimize_with,
+    OptimizationReport, OptimizationStep, OptimizerConfig,
+};
+pub use stagnancy::{is_stagnant, is_stuck};
+pub use verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict};

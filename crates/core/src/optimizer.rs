@@ -1,0 +1,443 @@
+//! Push-button barrier optimization (the "VSYNC-optimized" column of the
+//! paper's Table 1).
+//!
+//! Starting from a verified barrier assignment, the optimizer repeatedly
+//! tries to *relax* each barrier site to a weaker mode (weakest first) and
+//! keeps the relaxation iff the program still verifies — safety *and*
+//! await termination — under the memory model. Passes repeat until a
+//! fixpoint: the result is a locally maximally-relaxed assignment, the
+//! notion of optimality the paper targets ("there exist multiple
+//! maximally-relaxed combinations that are correct", §3.3).
+
+use std::time::{Duration, Instant};
+
+use vsync_graph::Mode;
+use vsync_lang::{BarrierSummary, ModeRef, Program};
+
+use crate::explorer::explore;
+use crate::verdict::{AmcConfig, Verdict};
+
+/// Configuration of an optimization run.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizerConfig {
+    /// AMC configuration used for each verification call.
+    pub amc: AmcConfig,
+    /// Maximum number of full passes over the site table (0 = until
+    /// fixpoint).
+    pub max_passes: usize,
+}
+
+/// One attempted relaxation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizationStep {
+    /// Site name.
+    pub site: String,
+    /// Mode before.
+    pub from: Mode,
+    /// Mode tried.
+    pub to: Mode,
+    /// Whether the program still verified and the change was kept.
+    pub accepted: bool,
+}
+
+/// Result of [`optimize`].
+#[derive(Debug, Clone)]
+pub struct OptimizationReport {
+    /// The optimized program (unchanged if the input did not verify).
+    pub program: Program,
+    /// Whether the final program verifies.
+    pub verified: bool,
+    /// Every relaxation attempt, in order.
+    pub steps: Vec<OptimizationStep>,
+    /// Number of AMC verification runs performed.
+    pub verifications: u64,
+    /// Barrier counts before optimization.
+    pub before: BarrierSummary,
+    /// Barrier counts after optimization.
+    pub after: BarrierSummary,
+    /// Wall-clock time spent.
+    pub elapsed: Duration,
+}
+
+impl OptimizationReport {
+    /// Render a Fig. 20-style per-site report: `site: from -> to`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{}: {} -> {} ({} verifications, {:.1?})",
+            self.program.name(),
+            self.before,
+            self.after,
+            self.verifications,
+            self.elapsed
+        );
+        let mut relaxed: Vec<&OptimizationStep> =
+            self.steps.iter().filter(|s| s.accepted).collect();
+        relaxed.dedup_by(|a, b| a.site == b.site);
+        for s in &self.steps {
+            if s.accepted {
+                let _ = writeln!(out, "  {:<44} {} -> {}", s.site, s.from, s.to);
+            }
+        }
+        out
+    }
+}
+
+/// Verify, then relax barrier sites to a locally maximal relaxation.
+///
+/// If the input program does not verify, the report carries
+/// `verified = false` and the unchanged program — optimization only ever
+/// starts from a correct baseline, exactly like VSync.
+pub fn optimize(prog: &Program, config: &OptimizerConfig) -> OptimizationReport {
+    let amc = config.amc.clone();
+    optimize_with(prog, config, move |p| {
+        matches!(explore(p, &amc).verdict, Verdict::Verified)
+    })
+}
+
+/// [`optimize`] with additional verification scenarios: a candidate
+/// assignment is accepted only if the primary program *and* every extra
+/// scenario (with the assignment transferred by site name) verify.
+///
+/// This is how the qspinlock experiment (Table 1) verifies both the
+/// 2-thread client and the 3-thread queue-path scenario for every step.
+pub fn optimize_multi(
+    prog: &Program,
+    extra_scenarios: &[Program],
+    config: &OptimizerConfig,
+) -> OptimizationReport {
+    let amc = config.amc.clone();
+    let scenarios = extra_scenarios.to_vec();
+    optimize_with(prog, config, move |p| {
+        if !matches!(explore(p, &amc).verdict, Verdict::Verified) {
+            return false;
+        }
+        scenarios.iter().all(|s| {
+            let mut s = s.clone();
+            s.copy_modes_by_name(p);
+            matches!(explore(&s, &amc).verdict, Verdict::Verified)
+        })
+    })
+}
+
+/// Core optimization loop with a caller-provided verification oracle.
+pub fn optimize_with(
+    prog: &Program,
+    config: &OptimizerConfig,
+    mut oracle: impl FnMut(&Program) -> bool,
+) -> OptimizationReport {
+    let start = Instant::now();
+    let mut program = prog.clone();
+    let before = program.barrier_summary();
+    let mut verifications = 0u64;
+    let mut steps = Vec::new();
+
+    let mut check = |p: &Program, n: &mut u64| -> bool {
+        *n += 1;
+        oracle(p)
+    };
+
+    if !check(&program, &mut verifications) {
+        return OptimizationReport {
+            after: before,
+            program,
+            verified: false,
+            steps,
+            verifications,
+            before,
+            elapsed: start.elapsed(),
+        };
+    }
+
+    let mut pass = 0;
+    loop {
+        pass += 1;
+        let mut changed = false;
+        for i in 0..program.sites().len() {
+            let site = &program.sites()[i];
+            if !site.relaxable {
+                continue;
+            }
+            let (name, kind, current) = (site.name.clone(), site.kind, site.mode);
+            for cand in kind.weaker_modes(current) {
+                program.set_mode(ModeRef(i as u32), cand);
+                let ok = check(&program, &mut verifications);
+                steps.push(OptimizationStep {
+                    site: name.clone(),
+                    from: current,
+                    to: cand,
+                    accepted: ok,
+                });
+                if ok {
+                    changed = true;
+                    break;
+                }
+                program.set_mode(ModeRef(i as u32), current);
+            }
+        }
+        if !changed || (config.max_passes != 0 && pass >= config.max_passes) {
+            break;
+        }
+    }
+
+    let after = program.barrier_summary();
+    OptimizationReport {
+        program,
+        verified: true,
+        steps,
+        verifications,
+        before,
+        after,
+        elapsed: start.elapsed(),
+    }
+}
+
+/// Enumerate *all* maximally-relaxed barrier assignments of a program
+/// (paper §3.3: "there exists multiple maximally-relaxed combinations
+/// that are correct" — e.g. ours vs. the Linux 5.6 experts' qspinlock).
+///
+/// Exhaustively searches the product of per-site mode lattices, pruned by
+/// monotonicity (any strengthening of a verified assignment verifies, so
+/// only lattice-minimal verified points are reported). Exponential in the
+/// number of relaxable sites — intended for small primitives (≤ ~8 sites).
+///
+/// Returns the distinct maximal assignments as mode vectors over the
+/// relaxable sites (in site-table order), together with the site names.
+pub fn enumerate_maximal(
+    prog: &Program,
+    config: &OptimizerConfig,
+) -> (Vec<String>, Vec<Vec<Mode>>) {
+    let relaxable: Vec<usize> = (0..prog.sites().len())
+        .filter(|&i| prog.sites()[i].relaxable)
+        .collect();
+    let names: Vec<String> =
+        relaxable.iter().map(|&i| prog.sites()[i].name.clone()).collect();
+    // Candidate modes per site, weakest first.
+    let candidates: Vec<Vec<Mode>> = relaxable
+        .iter()
+        .map(|&i| {
+            let site = &prog.sites()[i];
+            let mut mods = site.kind.weaker_modes(site.mode);
+            mods.push(site.mode);
+            mods
+        })
+        .collect();
+    let mut verified: Vec<Vec<Mode>> = Vec::new();
+    let mut assignment = vec![0usize; relaxable.len()];
+    let mut program = prog.clone();
+    loop {
+        let modes: Vec<Mode> =
+            assignment.iter().zip(&candidates).map(|(&c, cs)| cs[c]).collect();
+        for ((&site, &mode), _) in relaxable.iter().zip(&modes).zip(prog.sites()) {
+            program.set_mode(ModeRef(site as u32), mode);
+        }
+        if matches!(explore(&program, &config.amc).verdict, Verdict::Verified) {
+            verified.push(modes);
+        }
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == assignment.len() {
+                // Filter to lattice-minimal verified assignments.
+                let minimal: Vec<Vec<Mode>> = verified
+                    .iter()
+                    .filter(|a| {
+                        !verified.iter().any(|b| *b != **a && pointwise_leq(b, a))
+                    })
+                    .cloned()
+                    .collect();
+                return (names, minimal);
+            }
+            assignment[i] += 1;
+            if assignment[i] < candidates[i].len() {
+                break;
+            }
+            assignment[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+/// Is assignment `a` pointwise weaker-or-equal than `b` on the mode
+/// lattice (`rlx < acq, rel < acq_rel < sc`)?
+fn pointwise_leq(a: &[Mode], b: &[Mode]) -> bool {
+    fn leq(x: Mode, y: Mode) -> bool {
+        x == y
+            || matches!(
+                (x, y),
+                (Mode::Rlx, _)
+                    | (_, Mode::Sc)
+                    | (Mode::Acq, Mode::AcqRel)
+                    | (Mode::Rel, Mode::AcqRel)
+            )
+    }
+    a.iter().zip(b).all(|(&x, &y)| leq(x, y))
+}
+
+/// Check that an assignment is locally maximal: relaxing any single
+/// relaxable site to any weaker mode breaks verification. Used by tests.
+pub fn is_locally_maximal(prog: &Program, config: &OptimizerConfig) -> bool {
+    let mut program = prog.clone();
+    for i in 0..program.sites().len() {
+        let site = &program.sites()[i];
+        if !site.relaxable {
+            continue;
+        }
+        let (kind, current) = (site.kind, site.mode);
+        for cand in kind.weaker_modes(current) {
+            program.set_mode(ModeRef(i as u32), cand);
+            let ok = matches!(explore(&program, &config.amc).verdict, Verdict::Verified);
+            program.set_mode(ModeRef(i as u32), current);
+            if ok {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_graph::Mode;
+    use vsync_lang::{ProgramBuilder, Reg};
+    use vsync_model::ModelKind;
+
+    const X: u64 = 0x10;
+    const Y: u64 = 0x20;
+
+    fn cfg() -> OptimizerConfig {
+        OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 }
+    }
+
+    /// Message passing, all-SC: the optimizer must keep exactly a
+    /// release write and an acquire poll.
+    fn mp_all_sc() -> Program {
+        let mut pb = ProgramBuilder::new("mp");
+        pb.thread(|t| {
+            t.store(X, 1u64, ("data.store", Mode::Sc));
+            t.store(Y, 1u64, ("flag.store", Mode::Sc));
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), Y, 1u64, ("flag.poll", Mode::Sc));
+            t.load(Reg(1), X, ("data.load", Mode::Sc));
+            t.assert_eq(Reg(1), 1u64, "data visible");
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn optimizes_mp_to_release_acquire() {
+        let report = optimize(&mp_all_sc(), &cfg());
+        assert!(report.verified);
+        let p = &report.program;
+        let mode_of = |n: &str| p.sites().iter().find(|s| s.name == n).unwrap().mode;
+        assert_eq!(mode_of("data.store"), Mode::Rlx);
+        assert_eq!(mode_of("data.load"), Mode::Rlx);
+        assert_eq!(mode_of("flag.store"), Mode::Rel);
+        assert_eq!(mode_of("flag.poll"), Mode::Acq);
+        assert!(is_locally_maximal(p, &cfg()));
+        // Summary shape: 1 acq, 1 rel, 0 sc.
+        let s = report.after;
+        assert_eq!((s.acq, s.rel, s.sc, s.rlx), (1, 1, 0, 2));
+        // Still verifies, and the report says so.
+        assert!(report.render().contains("flag.store"));
+    }
+
+    #[test]
+    fn unverified_input_is_returned_untouched() {
+        // MP with an assert that is simply wrong.
+        let mut pb = ProgramBuilder::new("broken");
+        pb.thread(|t| {
+            t.store(X, 1u64, ("s", Mode::Sc));
+        });
+        pb.final_check(X, vsync_lang::Test::eq(2u64), "impossible");
+        let p = pb.build().unwrap();
+        let report = optimize(&p, &cfg());
+        assert!(!report.verified);
+        assert_eq!(report.program.sites()[0].mode, Mode::Sc);
+        assert!(report.steps.is_empty());
+    }
+
+    #[test]
+    fn fence_gets_removed_when_useless() {
+        // A fence between two writes to the same location is useless.
+        let mut pb = ProgramBuilder::new("useless-fence");
+        pb.thread(|t| {
+            t.store(X, 1u64, ("w1", Mode::Rlx));
+            t.fence(("f", Mode::Sc));
+            t.store(X, 2u64, ("w2", Mode::Rlx));
+        });
+        pb.final_check(X, vsync_lang::Test::eq(2u64), "last write wins");
+        let p = pb.build().unwrap();
+        let report = optimize(&p, &cfg());
+        assert!(report.verified);
+        let f = report.program.sites().iter().find(|s| s.name == "f").unwrap();
+        assert_eq!(f.mode, Mode::Rlx, "sc fence relaxed away");
+    }
+
+    #[test]
+    fn enumerate_maximal_finds_the_ra_point() {
+        let (names, maximal) = enumerate_maximal(&mp_all_sc(), &cfg());
+        assert_eq!(names.len(), 4);
+        // The unique maximal relaxation of message passing is
+        // rel-store/acq-poll with relaxed data accesses.
+        assert_eq!(maximal.len(), 1, "{maximal:?}");
+        let expected: Vec<Mode> = names
+            .iter()
+            .map(|n| match n.as_str() {
+                "flag.store" => Mode::Rel,
+                "flag.poll" => Mode::Acq,
+                _ => Mode::Rlx,
+            })
+            .collect();
+        assert_eq!(maximal[0], expected);
+    }
+
+    #[test]
+    fn enumerate_maximal_reports_multiple_optima_when_they_exist() {
+        // x is published by BOTH an sc-fence pair and the flag; either the
+        // fences or the rel/acq pair suffices: two incomparable optima.
+        let mut pb = ProgramBuilder::new("two-optima");
+        pb.thread(|t| {
+            t.store(X, 1u64, ("data", Mode::Rlx));
+            t.fence(("fence.w", Mode::Sc));
+            t.store(Y, 1u64, ("flag.store", Mode::Rel));
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), Y, 1u64, ("flag.poll", Mode::Acq));
+            t.fence(("fence.r", Mode::Sc));
+            t.load(Reg(1), X, ("data.load", Mode::Rlx));
+            t.assert_eq(Reg(1), 1u64, "data visible");
+        });
+        let p = pb.build().unwrap();
+        let (_, maximal) = enumerate_maximal(&p, &cfg());
+        assert!(
+            maximal.len() >= 2,
+            "fence-based and mode-based synchronization are incomparable optima: {maximal:?}"
+        );
+    }
+
+    #[test]
+    fn greedy_result_is_among_the_maximal_points() {
+        let p = mp_all_sc();
+        let report = optimize(&p, &cfg());
+        let (names, maximal) = enumerate_maximal(&p, &cfg());
+        let greedy: Vec<Mode> = names
+            .iter()
+            .map(|n| report.program.sites().iter().find(|s| &s.name == n).unwrap().mode)
+            .collect();
+        assert!(maximal.contains(&greedy), "greedy {greedy:?} not in {maximal:?}");
+    }
+
+    #[test]
+    fn verification_count_is_reported() {
+        let report = optimize(&mp_all_sc(), &cfg());
+        // At least one verification per accepted/rejected step + initial.
+        assert!(report.verifications as usize > report.steps.len() / 2);
+        assert!(report.steps.iter().any(|s| s.accepted));
+        assert!(report.elapsed > Duration::ZERO);
+    }
+}

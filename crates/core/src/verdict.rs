@@ -1,0 +1,204 @@
+//! Verification verdicts, counterexamples and exploration statistics.
+
+use std::fmt;
+
+use vsync_graph::ExecutionGraph;
+use vsync_model::ModelKind;
+
+/// Configuration of an AMC run.
+#[derive(Debug, Clone)]
+pub struct AmcConfig {
+    /// Memory model to verify against.
+    pub model: ModelKind,
+    /// Hard cap on events per thread (Bounded-Length safety net).
+    pub max_events_per_thread: usize,
+    /// Hard cap on popped work items (0 = unlimited).
+    pub max_graphs: u64,
+    /// Per-thread replay step budget.
+    pub step_budget: usize,
+    /// Deduplicate work items by content hash (keep on; exposed for the
+    /// cross-checking property tests).
+    pub dedup: bool,
+    /// Keep all complete executions in the result (for tests and graph
+    /// counting; off by default to save memory).
+    pub collect_executions: bool,
+}
+
+impl Default for AmcConfig {
+    fn default() -> Self {
+        AmcConfig {
+            model: ModelKind::Vmm,
+            max_events_per_thread: 4_096,
+            max_graphs: 20_000_000,
+            step_budget: vsync_lang::DEFAULT_STEP_BUDGET,
+            dedup: true,
+            collect_executions: false,
+        }
+    }
+}
+
+impl AmcConfig {
+    /// Config with a specific memory model.
+    pub fn with_model(model: ModelKind) -> Self {
+        AmcConfig { model, ..AmcConfig::default() }
+    }
+
+    /// Builder-style: collect complete executions.
+    pub fn collecting(mut self) -> Self {
+        self.collect_executions = true;
+        self
+    }
+}
+
+/// Counters describing an exploration (paper Fig. 6's search).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Work items popped from the stack.
+    pub popped: u64,
+    /// Work items pushed.
+    pub pushed: u64,
+    /// Items skipped as duplicates (content hash already seen).
+    pub duplicates: u64,
+    /// Items discarded as inconsistent with the memory model.
+    pub inconsistent: u64,
+    /// Items discarded by the wasteful filter `W(G)`.
+    pub wasteful: u64,
+    /// Revisit branches generated.
+    pub revisits: u64,
+    /// Complete executions reached (all threads terminated).
+    pub complete_executions: u64,
+    /// Blocked graphs inspected by the stagnancy analysis.
+    pub blocked_graphs: u64,
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executions ({} popped, {} pushed, {} dups, {} inconsistent, \
+             {} wasteful, {} revisits, {} blocked)",
+            self.complete_executions,
+            self.popped,
+            self.pushed,
+            self.duplicates,
+            self.inconsistent,
+            self.wasteful,
+            self.revisits,
+            self.blocked_graphs
+        )
+    }
+}
+
+/// A violation witness: the offending execution graph plus a description.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// The finite witness graph (paper §1.2: AT violations are witnessed by
+    /// finite graphs with a `⊥` read).
+    pub graph: ExecutionGraph,
+    /// Human-readable description of what failed.
+    pub message: String,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.message)?;
+        write!(f, "{}", self.graph.render())
+    }
+}
+
+/// Outcome of a verification run.
+#[derive(Debug, Clone)]
+pub enum Verdict {
+    /// Every execution is safe and every await terminates.
+    Verified,
+    /// A safety violation: failed assertion or final-state check.
+    Safety(Counterexample),
+    /// An await-termination violation (paper Def. 1): a stagnant graph.
+    AwaitTermination(Counterexample),
+    /// The program broke a modeling obligation (Bounded-Length /
+    /// Bounded-Effect principles) or an exploration budget.
+    Fault(String),
+}
+
+impl Verdict {
+    /// Did verification succeed?
+    pub fn is_verified(&self) -> bool {
+        matches!(self, Verdict::Verified)
+    }
+
+    /// The counterexample, for violation verdicts.
+    pub fn counterexample(&self) -> Option<&Counterexample> {
+        match self {
+            Verdict::Safety(c) | Verdict::AwaitTermination(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Verified => f.write_str("verified"),
+            Verdict::Safety(c) => write!(f, "safety violation: {}", c.message),
+            Verdict::AwaitTermination(c) => {
+                write!(f, "await-termination violation: {}", c.message)
+            }
+            Verdict::Fault(m) => write!(f, "fault: {m}"),
+        }
+    }
+}
+
+/// Full result of [`crate::explore`].
+#[derive(Debug, Clone)]
+pub struct AmcResult {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Exploration counters.
+    pub stats: ExploreStats,
+    /// Complete executions (when [`AmcConfig::collect_executions`] is set).
+    pub executions: Vec<ExecutionGraph>,
+}
+
+impl AmcResult {
+    /// Shorthand: did the program verify?
+    pub fn is_verified(&self) -> bool {
+        self.verdict.is_verified()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn default_config_is_vmm_with_dedup() {
+        let c = AmcConfig::default();
+        assert_eq!(c.model, ModelKind::Vmm);
+        assert!(c.dedup);
+        assert!(!c.collect_executions);
+        assert!(AmcConfig::default().collecting().collect_executions);
+    }
+
+    #[test]
+    fn verdict_accessors() {
+        assert!(Verdict::Verified.is_verified());
+        let ce = Counterexample {
+            graph: ExecutionGraph::new(0, BTreeMap::new()),
+            message: "boom".into(),
+        };
+        let v = Verdict::Safety(ce);
+        assert!(!v.is_verified());
+        assert_eq!(v.counterexample().unwrap().message, "boom");
+        assert!(v.to_string().contains("safety violation"));
+        assert!(Verdict::Fault("x".into()).to_string().contains("fault"));
+    }
+
+    #[test]
+    fn stats_display_mentions_counters() {
+        let s = ExploreStats { popped: 3, complete_executions: 2, ..Default::default() };
+        let d = s.to_string();
+        assert!(d.contains("2 executions"));
+        assert!(d.contains("3 popped"));
+    }
+}

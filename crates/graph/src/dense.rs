@@ -1,0 +1,280 @@
+//! Dense event indexing and bit-matrix relations.
+//!
+//! Memory-model axioms are phrased as (a)cyclicity and irreflexivity
+//! constraints over relations between events. For the small graphs AMC
+//! explores (tens to a few hundred events) a dense bitset matrix with
+//! Floyd–Warshall-style closure is both simple and fast.
+
+use crate::event::EventId;
+use crate::graph::ExecutionGraph;
+
+/// A bijection between the events of a graph (including virtual init
+/// writes) and dense indices `0..len`.
+///
+/// Init events come first (in location order), then each thread's events in
+/// program order.
+#[derive(Debug, Clone)]
+pub struct EventIndex {
+    ids: Vec<EventId>,
+    thread_base: Vec<usize>,
+    init_count: usize,
+    init_locs: Vec<u64>,
+}
+
+impl EventIndex {
+    /// Build the index for a graph.
+    pub fn new(g: &ExecutionGraph) -> Self {
+        let mut ids = Vec::with_capacity(g.num_events() + 8);
+        let mut init_locs: Vec<u64> = g.written_locs().collect();
+        // Locations that are only read still have init writes worth indexing.
+        for (_, loc, _) in g.reads() {
+            if !init_locs.contains(&loc) {
+                init_locs.push(loc);
+            }
+        }
+        init_locs.sort_unstable();
+        init_locs.dedup();
+        for &loc in &init_locs {
+            ids.push(EventId::Init(loc));
+        }
+        let init_count = ids.len();
+        let mut thread_base = Vec::with_capacity(g.num_threads());
+        for t in 0..g.num_threads() {
+            thread_base.push(ids.len());
+            for i in 0..g.thread_len(t as u32) {
+                ids.push(EventId::new(t as u32, i as u32));
+            }
+        }
+        EventIndex { ids, thread_base, init_count, init_locs }
+    }
+
+    /// Total number of indexed events.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Is the index empty?
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Number of init events (they occupy indices `0..init_count`).
+    pub fn init_count(&self) -> usize {
+        self.init_count
+    }
+
+    /// Dense index of an event id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event is not part of the indexed graph.
+    pub fn index_of(&self, id: EventId) -> usize {
+        match id {
+            EventId::Init(loc) => self
+                .init_locs
+                .binary_search(&loc)
+                .unwrap_or_else(|_| panic!("init event {id} not indexed")),
+            EventId::Event { thread, index } => self.thread_base[thread as usize] + index as usize,
+        }
+    }
+
+    /// Event id of a dense index.
+    pub fn id_of(&self, idx: usize) -> EventId {
+        self.ids[idx]
+    }
+
+    /// Iterate over all (index, id) pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, EventId)> + '_ {
+        self.ids.iter().copied().enumerate()
+    }
+}
+
+/// A binary relation over `n` events stored as a bitset matrix.
+#[derive(Debug, Clone)]
+pub struct Relation {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    /// The empty relation over `n` events.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        Relation { n, words_per_row, bits: vec![0; n * words_per_row] }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the relation over an empty carrier?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Add the edge `a -> b`.
+    pub fn add(&mut self, a: usize, b: usize) {
+        debug_assert!(a < self.n && b < self.n);
+        self.bits[a * self.words_per_row + b / 64] |= 1u64 << (b % 64);
+    }
+
+    /// Does the edge `a -> b` exist?
+    pub fn has(&self, a: usize, b: usize) -> bool {
+        self.bits[a * self.words_per_row + b / 64] & (1u64 << (b % 64)) != 0
+    }
+
+    /// Union with another relation of the same size.
+    pub fn union_with(&mut self, other: &Relation) {
+        debug_assert_eq!(self.n, other.n);
+        for (w, o) in self.bits.iter_mut().zip(&other.bits) {
+            *w |= o;
+        }
+    }
+
+    /// Replace `self` by its transitive closure.
+    ///
+    /// Word-parallel Floyd–Warshall: `O(n^2 * n/64)`.
+    pub fn close(&mut self) {
+        let wpr = self.words_per_row;
+        for k in 0..self.n {
+            let (kw, kb) = (k / 64, 1u64 << (k % 64));
+            for i in 0..self.n {
+                if i == k {
+                    continue; // row_k |= row_k is a no-op
+                }
+                if self.bits[i * wpr + kw] & kb != 0 {
+                    let (krow, irow) = if i < k {
+                        let (a, b) = self.bits.split_at_mut(k * wpr);
+                        (&b[..wpr], &mut a[i * wpr..i * wpr + wpr])
+                    } else {
+                        let (a, b) = self.bits.split_at_mut(i * wpr);
+                        (&a[k * wpr..k * wpr + wpr], &mut b[..wpr])
+                    };
+                    for (iw, kw2) in irow.iter_mut().zip(krow) {
+                        *iw |= kw2;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Is the relation irreflexive (no `a -> a` edge)?
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.has(i, i))
+    }
+
+    /// Is the relation acyclic? (Checked via closure on a copy.)
+    pub fn is_acyclic(&self) -> bool {
+        let mut c = self.clone();
+        c.close();
+        c.is_irreflexive()
+    }
+
+    /// Compose: `self ; other`, returning a new relation.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        debug_assert_eq!(self.n, other.n);
+        let mut out = Relation::new(self.n);
+        let wpr = self.words_per_row;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if self.has(a, b) {
+                    let dst = &mut out.bits[a * wpr..(a + 1) * wpr];
+                    let src = &other.bits[b * wpr..(b + 1) * wpr];
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d |= s;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterate over all edges `(a, b)`.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |a| (0..self.n).filter(move |&b| self.has(a, b)).map(move |b| (a, b)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Mode, RfSource};
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn index_round_trips() {
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let w = g.push_event(0, EventKind::Write { loc: 5, val: 1, mode: Mode::Rlx, rmw: false });
+        g.insert_mo(5, w, 0);
+        g.push_event(
+            1,
+            EventKind::Read { loc: 9, mode: Mode::Rlx, rf: RfSource::Write(EventId::Init(9)), rmw: false, awaiting: false },
+        );
+        let ix = EventIndex::new(&g);
+        // init(5), init(9), T0.0, T1.0
+        assert_eq!(ix.len(), 4);
+        assert_eq!(ix.init_count(), 2);
+        for (i, id) in ix.iter() {
+            assert_eq!(ix.index_of(id), i);
+            assert_eq!(ix.id_of(i), id);
+        }
+    }
+
+    #[test]
+    fn closure_and_acyclicity() {
+        let mut r = Relation::new(4);
+        r.add(0, 1);
+        r.add(1, 2);
+        assert!(r.is_acyclic());
+        let mut c = r.clone();
+        c.close();
+        assert!(c.has(0, 2));
+        assert!(!c.has(2, 0));
+        r.add(2, 0);
+        assert!(!r.is_acyclic());
+    }
+
+    #[test]
+    fn closure_handles_long_chains() {
+        let n = 130; // exercise multi-word rows
+        let mut r = Relation::new(n);
+        for i in 0..n - 1 {
+            r.add(i, i + 1);
+        }
+        r.close();
+        assert!(r.has(0, n - 1));
+        assert!(r.is_irreflexive());
+    }
+
+    #[test]
+    fn compose_chains_edges() {
+        let mut a = Relation::new(3);
+        a.add(0, 1);
+        let mut b = Relation::new(3);
+        b.add(1, 2);
+        let c = a.compose(&b);
+        assert!(c.has(0, 2));
+        assert!(!c.has(0, 1));
+        assert_eq!(c.edges().count(), 1);
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let mut r = Relation::new(2);
+        r.add(1, 1);
+        assert!(!r.is_acyclic());
+        assert!(!r.is_irreflexive());
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut a = Relation::new(2);
+        a.add(0, 1);
+        let mut b = Relation::new(2);
+        b.add(1, 0);
+        a.union_with(&b);
+        assert!(a.has(0, 1) && a.has(1, 0));
+    }
+}

@@ -1,0 +1,192 @@
+//! Canonical encoding and strong hashing of execution graphs.
+//!
+//! The explorer deduplicates work items by graph *content* (events, rf, mo
+//! — not exploration timestamps): two work items with the same content have
+//! identical futures under the deterministic scheduler, so one can be
+//! dropped. Content is serialized to a canonical byte string and hashed
+//! with a 128-bit FNV-1a variant; at lock-verification scale (well under
+//! 2^40 graphs) collisions are negligible.
+
+use crate::event::{EventId, EventKind, RfSource};
+use crate::graph::ExecutionGraph;
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Hash a byte string with 128-bit FNV-1a.
+pub fn fnv128(bytes: &[u8]) -> u128 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_event_id(out: &mut Vec<u8>, id: EventId) {
+    match id {
+        EventId::Init(loc) => {
+            out.push(0);
+            push_u64(out, loc);
+        }
+        EventId::Event { thread, index } => {
+            out.push(1);
+            out.extend_from_slice(&thread.to_le_bytes());
+            out.extend_from_slice(&index.to_le_bytes());
+        }
+    }
+}
+
+/// Serialize the semantic content of a graph to a canonical byte string.
+///
+/// Timestamps are deliberately excluded: they record the exploration path,
+/// not the execution. Two graphs encode equally iff they have the same
+/// events (kinds, in program order), reads-from edges and modification
+/// orders.
+pub fn canonical_bytes(g: &ExecutionGraph) -> Vec<u8> {
+    let mut out = Vec::with_capacity(g.num_events() * 24 + 64);
+    for (&loc, &val) in g.init_table() {
+        push_u64(&mut out, loc);
+        push_u64(&mut out, val);
+    }
+    out.push(0xfe);
+    for t in 0..g.num_threads() {
+        out.push(0xfd);
+        for ev in g.thread_events(t as u32) {
+            match &ev.kind {
+                EventKind::Read { loc, mode, rf, rmw, awaiting } => {
+                    out.push(1);
+                    push_u64(&mut out, *loc);
+                    out.push(mode.tag());
+                    out.push((*rmw as u8) | ((*awaiting as u8) << 1));
+                    match rf {
+                        RfSource::Bottom => out.push(0),
+                        RfSource::Write(w) => {
+                            out.push(1);
+                            push_event_id(&mut out, *w);
+                        }
+                    }
+                }
+                EventKind::Write { loc, val, mode, rmw } => {
+                    out.push(2);
+                    push_u64(&mut out, *loc);
+                    push_u64(&mut out, *val);
+                    out.push(mode.tag());
+                    out.push(*rmw as u8);
+                }
+                EventKind::Fence { mode } => {
+                    out.push(3);
+                    out.push(mode.tag());
+                }
+                EventKind::Error { msg } => {
+                    out.push(4);
+                    push_u64(&mut out, msg.len() as u64);
+                    out.extend_from_slice(msg.as_bytes());
+                }
+            }
+        }
+    }
+    out.push(0xfc);
+    for loc in g.written_locs().collect::<Vec<_>>() {
+        push_u64(&mut out, loc);
+        for &w in g.mo(loc) {
+            push_event_id(&mut out, w);
+        }
+        out.push(0xfb);
+    }
+    out
+}
+
+/// 128-bit content hash of a graph (see [`canonical_bytes`]).
+pub fn content_hash(g: &ExecutionGraph) -> u128 {
+    fnv128(&canonical_bytes(g))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Mode, RfSource};
+    use std::collections::BTreeMap;
+
+    fn sample() -> ExecutionGraph {
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let w = g.push_event(0, EventKind::Write { loc: 0x10, val: 1, mode: Mode::Rel, rmw: false });
+        g.insert_mo(0x10, w, 0);
+        g.push_event(
+            1,
+            EventKind::Read {
+                loc: 0x10,
+                mode: Mode::Acq,
+                rf: RfSource::Write(w),
+                rmw: false,
+                awaiting: false,
+            },
+        );
+        g
+    }
+
+    #[test]
+    fn equal_content_equal_hash() {
+        assert_eq!(content_hash(&sample()), content_hash(&sample()));
+    }
+
+    #[test]
+    fn rf_change_changes_hash() {
+        let g1 = sample();
+        let mut g2 = sample();
+        g2.set_rf(crate::event::EventId::new(1, 0), RfSource::Write(crate::event::EventId::Init(0x10)));
+        assert_ne!(content_hash(&g1), content_hash(&g2));
+    }
+
+    #[test]
+    fn timestamps_do_not_affect_hash() {
+        let g1 = sample();
+        let mut g2 = ExecutionGraph::new(2, BTreeMap::new());
+        // Add in a different order => different timestamps, same content.
+        g2.push_event(
+            1,
+            EventKind::Read {
+                loc: 0x10,
+                mode: Mode::Acq,
+                rf: RfSource::Write(crate::event::EventId::new(0, 0)),
+                rmw: false,
+                awaiting: false,
+            },
+        );
+        let w = g2.push_event(0, EventKind::Write { loc: 0x10, val: 1, mode: Mode::Rel, rmw: false });
+        g2.insert_mo(0x10, w, 0);
+        assert_eq!(content_hash(&g1), content_hash(&g2));
+    }
+
+    #[test]
+    fn mo_order_affects_hash() {
+        let mk = |swap: bool| {
+            let mut g = ExecutionGraph::new(2, BTreeMap::new());
+            let w0 = g.push_event(0, EventKind::Write { loc: 1, val: 1, mode: Mode::Rlx, rmw: false });
+            let w1 = g.push_event(1, EventKind::Write { loc: 1, val: 2, mode: Mode::Rlx, rmw: false });
+            if swap {
+                g.insert_mo(1, w1, 0);
+                g.insert_mo(1, w0, 1);
+            } else {
+                g.insert_mo(1, w0, 0);
+                g.insert_mo(1, w1, 1);
+            }
+            g
+        };
+        assert_ne!(content_hash(&mk(false)), content_hash(&mk(true)));
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Golden value guards against accidental algorithm changes that
+        // would silently invalidate persisted hashes.
+        assert_eq!(fnv128(b""), FNV_OFFSET);
+        assert_ne!(fnv128(b"a"), fnv128(b"b"));
+    }
+}

@@ -1,0 +1,382 @@
+//! Events of an execution graph.
+//!
+//! An execution graph abstracts one (possibly partial) execution of a
+//! concurrent program as a set of *events* — reads, writes, fences and
+//! errors — connected by the program order (`po`), reads-from (`rf`) and
+//! modification order (`mo`) relations (paper §1.1).
+
+use std::fmt;
+
+/// A shared-memory location (a plain address).
+///
+/// Locations are untyped 64-bit cells. Lock data structures lay out their
+/// fields at distinct addresses; dynamically computed addresses (e.g.
+/// `prev->next` in an MCS lock) are ordinary `Loc` values produced at
+/// runtime.
+pub type Loc = u64;
+
+/// A value stored in a location or register.
+pub type Value = u64;
+
+/// Index of a thread in a program (0-based).
+pub type ThreadId = u32;
+
+/// Barrier mode of a memory access or fence (C11-style subset used by IMM
+/// and the VSync atomics).
+///
+/// The per-kind lattices used by the optimizer are:
+/// * reads: `Rlx < Acq < Sc`
+/// * writes: `Rlx < Rel < Sc`
+/// * read-modify-writes: `Rlx < {Acq, Rel} < AcqRel < Sc`
+/// * fences: `Rlx (no-op) < {Acq, Rel} < AcqRel < Sc`
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Mode {
+    /// Relaxed: no ordering beyond coherence. For fences this is a no-op.
+    Rlx,
+    /// Acquire (reads, RMWs, fences).
+    Acq,
+    /// Release (writes, RMWs, fences).
+    Rel,
+    /// Acquire + release (RMWs and fences).
+    AcqRel,
+    /// Sequentially consistent.
+    Sc,
+}
+
+impl Mode {
+    /// Does this mode provide acquire semantics (for a read or fence)?
+    pub fn is_acquire(self) -> bool {
+        matches!(self, Mode::Acq | Mode::AcqRel | Mode::Sc)
+    }
+
+    /// Does this mode provide release semantics (for a write or fence)?
+    pub fn is_release(self) -> bool {
+        matches!(self, Mode::Rel | Mode::AcqRel | Mode::Sc)
+    }
+
+    /// Is this the strongest (sequentially consistent) mode?
+    pub fn is_sc(self) -> bool {
+        matches!(self, Mode::Sc)
+    }
+
+    /// Compact lowercase name as used in the paper's figures
+    /// (`rlx`, `acq`, `rel`, `acq_rel`, `sc`).
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Mode::Rlx => "rlx",
+            Mode::Acq => "acq",
+            Mode::Rel => "rel",
+            Mode::AcqRel => "acq_rel",
+            Mode::Sc => "sc",
+        }
+    }
+
+    /// A small stable integer used by canonical encodings.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            Mode::Rlx => 0,
+            Mode::Acq => 1,
+            Mode::Rel => 2,
+            Mode::AcqRel => 3,
+            Mode::Sc => 4,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Identifier of an event inside an execution graph.
+///
+/// Regular events are addressed by `(thread, index-in-program-order)`.
+/// Initialization writes (`Winit(x, v)`) are virtual events addressed per
+/// location; they are `mo`-minimal and `po`-before every regular event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EventId {
+    /// The virtual initialization write of a location.
+    Init(Loc),
+    /// A regular event: `thread`'s `index`-th event in program order.
+    Event {
+        /// Thread that issued the event.
+        thread: ThreadId,
+        /// Position in the thread's program order (0-based).
+        index: u32,
+    },
+}
+
+impl EventId {
+    /// Construct a regular (non-init) event id.
+    pub fn new(thread: ThreadId, index: u32) -> Self {
+        EventId::Event { thread, index }
+    }
+
+    /// Is this a virtual initialization write?
+    pub fn is_init(self) -> bool {
+        matches!(self, EventId::Init(_))
+    }
+
+    /// The thread of a regular event, or `None` for init events.
+    pub fn thread(self) -> Option<ThreadId> {
+        match self {
+            EventId::Init(_) => None,
+            EventId::Event { thread, .. } => Some(thread),
+        }
+    }
+
+    /// The program-order index of a regular event, or `None` for inits.
+    pub fn index(self) -> Option<u32> {
+        match self {
+            EventId::Init(_) => None,
+            EventId::Event { index, .. } => Some(index),
+        }
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventId::Init(loc) => write!(f, "init[{loc:#x}]"),
+            EventId::Event { thread, index } => write!(f, "T{thread}.{index}"),
+        }
+    }
+}
+
+/// The reads-from source of a read event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RfSource {
+    /// The read has no incoming rf-edge (written `⊥ →rf r` in the paper).
+    ///
+    /// Only reads polled by await loops may carry a pending source; a
+    /// complete stagnant graph with such a read is the evidence for an
+    /// await-termination violation (paper §1.2).
+    Bottom,
+    /// The read observes the given write event (or an init write).
+    Write(EventId),
+}
+
+impl RfSource {
+    /// Is this the missing (`⊥`) source?
+    pub fn is_bottom(self) -> bool {
+        matches!(self, RfSource::Bottom)
+    }
+
+    /// The source event, if any.
+    pub fn event(self) -> Option<EventId> {
+        match self {
+            RfSource::Bottom => None,
+            RfSource::Write(w) => Some(w),
+        }
+    }
+}
+
+impl fmt::Display for RfSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RfSource::Bottom => f.write_str("⊥"),
+            RfSource::Write(w) => write!(f, "{w}"),
+        }
+    }
+}
+
+/// Payload of an event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A read of `loc`.
+    Read {
+        /// Location read.
+        loc: Loc,
+        /// Barrier mode of the access.
+        mode: Mode,
+        /// Where the value comes from (`⊥` while unresolved).
+        rf: RfSource,
+        /// Is this the read part of a read-modify-write?
+        rmw: bool,
+        /// Is this read polled by an await loop?
+        ///
+        /// Await reads participate in the wasteful filter `W(G)` and may
+        /// carry a `⊥` source (paper Def. 2 / §1.2).
+        awaiting: bool,
+    },
+    /// A write of `val` to `loc`.
+    Write {
+        /// Location written.
+        loc: Loc,
+        /// Value written.
+        val: Value,
+        /// Barrier mode of the access.
+        mode: Mode,
+        /// Is this the write part of a read-modify-write?
+        rmw: bool,
+    },
+    /// A memory fence.
+    Fence {
+        /// Strength of the fence (`Rlx` fences are no-ops).
+        mode: Mode,
+    },
+    /// A failed assertion (the paper's error event `E`).
+    Error {
+        /// Program-defined message describing the failed assertion.
+        msg: String,
+    },
+}
+
+impl EventKind {
+    /// The location accessed by a read or write, if any.
+    pub fn loc(&self) -> Option<Loc> {
+        match self {
+            EventKind::Read { loc, .. } | EventKind::Write { loc, .. } => Some(*loc),
+            _ => None,
+        }
+    }
+
+    /// Is this a read event?
+    pub fn is_read(&self) -> bool {
+        matches!(self, EventKind::Read { .. })
+    }
+
+    /// Is this a write event?
+    pub fn is_write(&self) -> bool {
+        matches!(self, EventKind::Write { .. })
+    }
+
+    /// Is this an error (failed assertion) event?
+    pub fn is_error(&self) -> bool {
+        matches!(self, EventKind::Error { .. })
+    }
+
+    /// Barrier mode of the event (`Rlx` for errors).
+    pub fn mode(&self) -> Mode {
+        match self {
+            EventKind::Read { mode, .. }
+            | EventKind::Write { mode, .. }
+            | EventKind::Fence { mode } => *mode,
+            EventKind::Error { .. } => Mode::Rlx,
+        }
+    }
+}
+
+/// One event of an execution graph: its payload plus bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Payload.
+    pub kind: EventKind,
+    /// Exploration timestamp: the order in which the event was added to the
+    /// graph. Used only for diagnostics; the exploration algorithm restricts
+    /// graphs to `porf`-prefixes, which are content-determined.
+    pub ts: u32,
+}
+
+impl Event {
+    /// Create an event with timestamp 0 (the graph assigns the real one).
+    pub fn new(kind: EventKind) -> Self {
+        Event { kind, ts: 0 }
+    }
+}
+
+/// Render a kind compactly, e.g. `Racq(0x10)=1<-T1.2` or `Wrel(0x10,0)`.
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EventKind::Read { loc, mode, rf, rmw, awaiting } => {
+                let u = if *rmw { "U" } else { "" };
+                let a = if *awaiting { "~" } else { "" };
+                write!(f, "{a}{u}R{mode}({loc:#x})<-{rf}")
+            }
+            EventKind::Write { loc, val, mode, rmw } => {
+                let u = if *rmw { "U" } else { "" };
+                write!(f, "{u}W{mode}({loc:#x},{val})")
+            }
+            EventKind::Fence { mode } => write!(f, "F{mode}"),
+            EventKind::Error { msg } => write!(f, "E({msg})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_capabilities() {
+        assert!(Mode::Acq.is_acquire());
+        assert!(Mode::AcqRel.is_acquire());
+        assert!(Mode::Sc.is_acquire());
+        assert!(!Mode::Rel.is_acquire());
+        assert!(!Mode::Rlx.is_acquire());
+
+        assert!(Mode::Rel.is_release());
+        assert!(Mode::AcqRel.is_release());
+        assert!(Mode::Sc.is_release());
+        assert!(!Mode::Acq.is_release());
+        assert!(!Mode::Rlx.is_release());
+
+        assert!(Mode::Sc.is_sc());
+        assert!(!Mode::AcqRel.is_sc());
+    }
+
+    #[test]
+    fn mode_names_match_paper() {
+        assert_eq!(Mode::Rlx.to_string(), "rlx");
+        assert_eq!(Mode::Acq.to_string(), "acq");
+        assert_eq!(Mode::Rel.to_string(), "rel");
+        assert_eq!(Mode::Sc.to_string(), "sc");
+    }
+
+    #[test]
+    fn event_id_accessors() {
+        let e = EventId::new(3, 7);
+        assert_eq!(e.thread(), Some(3));
+        assert_eq!(e.index(), Some(7));
+        assert!(!e.is_init());
+
+        let i = EventId::Init(0x40);
+        assert!(i.is_init());
+        assert_eq!(i.thread(), None);
+        assert_eq!(i.index(), None);
+    }
+
+    #[test]
+    fn event_id_display() {
+        assert_eq!(EventId::new(1, 2).to_string(), "T1.2");
+        assert_eq!(EventId::Init(16).to_string(), "init[0x10]");
+    }
+
+    #[test]
+    fn rf_source_accessors() {
+        assert!(RfSource::Bottom.is_bottom());
+        assert_eq!(RfSource::Bottom.event(), None);
+        let w = EventId::new(0, 0);
+        assert_eq!(RfSource::Write(w).event(), Some(w));
+        assert_eq!(RfSource::Bottom.to_string(), "⊥");
+    }
+
+    #[test]
+    fn kind_display_forms() {
+        let r = EventKind::Read {
+            loc: 0x10,
+            mode: Mode::Acq,
+            rf: RfSource::Write(EventId::new(1, 2)),
+            rmw: false,
+            awaiting: true,
+        };
+        assert_eq!(r.to_string(), "~Racq(0x10)<-T1.2");
+        let w = EventKind::Write { loc: 0x10, val: 0, mode: Mode::Rel, rmw: true };
+        assert_eq!(w.to_string(), "UWrel(0x10,0)");
+    }
+
+    #[test]
+    fn kind_accessors() {
+        let w = EventKind::Write { loc: 1, val: 2, mode: Mode::Rlx, rmw: false };
+        assert_eq!(w.loc(), Some(1));
+        assert!(w.is_write() && !w.is_read() && !w.is_error());
+        let f = EventKind::Fence { mode: Mode::Sc };
+        assert_eq!(f.loc(), None);
+        assert_eq!(f.mode(), Mode::Sc);
+        let e = EventKind::Error { msg: "x".into() };
+        assert!(e.is_error());
+        assert_eq!(e.mode(), Mode::Rlx);
+    }
+}

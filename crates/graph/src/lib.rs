@@ -1,0 +1,47 @@
+//! # vsync-graph
+//!
+//! Execution graphs for axiomatic weak-memory reasoning — the substrate of
+//! the AMC model checker (paper §1.1, §2.1).
+//!
+//! An [`ExecutionGraph`] abstracts one (possibly partial) execution of a
+//! concurrent program:
+//!
+//! * **events** ([`Event`], [`EventKind`]): reads, writes, fences and error
+//!   events, each tagged with a barrier [`Mode`];
+//! * **program order** (`po`): the per-thread event sequences;
+//! * **reads-from** (`rf`): which write each read observes — possibly the
+//!   missing edge `⊥` ([`RfSource::Bottom`]) for reads polled by awaits;
+//! * **modification order** (`mo`): a per-location total order of writes.
+//!
+//! The crate also provides dense bit-matrix relations ([`Relation`],
+//! [`EventIndex`]) used by the memory models, canonical content hashing
+//! used by the explorer's deduplication ([`content_hash`]), and Graphviz /
+//! text rendering of counterexamples ([`to_dot`], [`to_text`]).
+//!
+//! ```
+//! use std::collections::BTreeMap;
+//! use vsync_graph::{EventKind, ExecutionGraph, Mode, RfSource};
+//!
+//! // Build the message-passing graph: T0 writes, T1 observes.
+//! let mut g = ExecutionGraph::new(2, BTreeMap::new());
+//! let w = g.push_event(0, EventKind::Write { loc: 0x10, val: 1, mode: Mode::Rel, rmw: false });
+//! g.insert_mo(0x10, w, 0);
+//! let r = g.push_event(1, EventKind::Read {
+//!     loc: 0x10, mode: Mode::Acq, rf: RfSource::Write(w), rmw: false, awaiting: false,
+//! });
+//! assert_eq!(g.read_value(r), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+mod dense;
+mod dot;
+mod encode;
+mod event;
+mod graph;
+
+pub use dense::{EventIndex, Relation};
+pub use dot::{to_dot, to_text};
+pub use encode::{canonical_bytes, content_hash, fnv128};
+pub use event::{Event, EventId, EventKind, Loc, Mode, RfSource, ThreadId, Value};
+pub use graph::ExecutionGraph;

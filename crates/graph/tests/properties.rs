@@ -1,0 +1,185 @@
+//! Property-based tests of the execution-graph substrate: prefix closure,
+//! restriction, canonical encoding and the relation algebra.
+
+use std::collections::{BTreeMap, HashSet};
+
+use proptest::prelude::*;
+use vsync_graph::{
+    canonical_bytes, content_hash, EventId, EventKind, ExecutionGraph, Mode, Relation, RfSource,
+};
+
+const LOCS: [u64; 3] = [0x10, 0x20, 0x30];
+
+/// A compact recipe for one random event.
+#[derive(Debug, Clone)]
+enum Ev {
+    Write { loc: usize, val: u64 },
+    /// Read from the `k`-th most recent write to `loc` (init if none).
+    Read { loc: usize, back: usize },
+    Fence,
+}
+
+fn ev_strategy() -> impl Strategy<Value = Ev> {
+    prop_oneof![
+        ((0..LOCS.len()), 0u64..4).prop_map(|(loc, val)| Ev::Write { loc, val }),
+        ((0..LOCS.len()), 0usize..3).prop_map(|(loc, back)| Ev::Read { loc, back }),
+        Just(Ev::Fence),
+    ]
+}
+
+/// Materialize recipes into a graph: writes append to mo, reads pick an
+/// existing write (or init) so rf edges always point backwards in time —
+/// a porf-acyclic graph by construction.
+fn build(threads: &[Vec<Ev>]) -> ExecutionGraph {
+    let mut g = ExecutionGraph::new(threads.len(), BTreeMap::new());
+    let mut order: Vec<(usize, usize)> = Vec::new();
+    for (t, evs) in threads.iter().enumerate() {
+        for i in 0..evs.len() {
+            order.push((t, i));
+        }
+    }
+    // Round-robin interleave so threads' events mix in timestamp order.
+    order.sort_by_key(|&(t, i)| (i, t));
+    for (t, i) in order {
+        match &threads[t][i] {
+            Ev::Write { loc, val } => {
+                let id = g.push_event(
+                    t as u32,
+                    EventKind::Write { loc: LOCS[*loc], val: *val, mode: Mode::Rlx, rmw: false },
+                );
+                let pos = g.mo(LOCS[*loc]).len();
+                g.insert_mo(LOCS[*loc], id, pos);
+            }
+            Ev::Read { loc, back } => {
+                let writes = g.mo(LOCS[*loc]);
+                let src = if writes.is_empty() || *back >= writes.len() {
+                    EventId::Init(LOCS[*loc])
+                } else {
+                    writes[writes.len() - 1 - back]
+                };
+                g.push_event(
+                    t as u32,
+                    EventKind::Read {
+                        loc: LOCS[*loc],
+                        mode: Mode::Rlx,
+                        rf: RfSource::Write(src),
+                        rmw: false,
+                        awaiting: false,
+                    },
+                );
+            }
+            Ev::Fence => {
+                g.push_event(t as u32, EventKind::Fence { mode: Mode::Sc });
+            }
+        }
+    }
+    g
+}
+
+fn graph_strategy() -> impl Strategy<Value = ExecutionGraph> {
+    prop::collection::vec(prop::collection::vec(ev_strategy(), 0..5), 1..4)
+        .prop_map(|threads| build(&threads))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// porf-prefixes are closed under po and rf predecessors.
+    #[test]
+    fn porf_prefix_is_closed(g in graph_strategy()) {
+        let all: Vec<EventId> = g.events().map(|(id, _)| id).collect();
+        for &seed in all.iter().take(4) {
+            let prefix = g.porf_prefix([seed]);
+            for &e in &prefix {
+                if let EventId::Event { thread, index } = e {
+                    if index > 0 {
+                        prop_assert!(prefix.contains(&EventId::new(thread, index - 1)),
+                            "po predecessor of {e} missing");
+                    }
+                }
+                if let EventKind::Read { rf: RfSource::Write(w), .. } = &g.event(e).kind {
+                    if !w.is_init() {
+                        prop_assert!(prefix.contains(w), "rf source of {e} missing");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Restricting to a porf-prefix keeps rf intact and produces per-thread
+    /// prefixes; restricting to everything is the identity.
+    #[test]
+    fn restrict_to_prefix_is_sound(g in graph_strategy()) {
+        let all: HashSet<EventId> = g.events().map(|(id, _)| id).collect();
+        let identity = g.restrict(&all);
+        prop_assert_eq!(content_hash(&g), content_hash(&identity));
+        if let Some((seed, _)) = g.events().last() {
+            let keep = g.porf_prefix([seed]);
+            let sub = g.restrict(&keep);
+            prop_assert_eq!(sub.num_events(), keep.len());
+            // Every kept read still has its source.
+            for (r, _, rf) in sub.reads() {
+                if let RfSource::Write(w) = rf {
+                    prop_assert_eq!(sub.write_value(w), g.write_value(w));
+                    let _ = r;
+                }
+            }
+        }
+    }
+
+    /// Canonical encodings are stable (pure) and equal encodings mean equal
+    /// hashes; touching rf changes the encoding.
+    #[test]
+    fn canonical_encoding_is_pure(g in graph_strategy()) {
+        prop_assert_eq!(canonical_bytes(&g), canonical_bytes(&g));
+        prop_assert_eq!(content_hash(&g), content_hash(&g));
+        let mut g2 = g.clone();
+        let target = g2
+            .reads()
+            .find_map(|(r, loc, rf)| match rf {
+                RfSource::Write(w) if !w.is_init() => Some((r, loc)),
+                _ => None,
+            });
+        if let Some((r, loc)) = target {
+            // Re-point the read at init: the encoding must change.
+            g2.set_rf(r, RfSource::Write(EventId::Init(loc)));
+            prop_assert_ne!(content_hash(&g), content_hash(&g2));
+        }
+    }
+
+    /// final_state reports exactly the mo-maximal writes.
+    #[test]
+    fn final_state_is_mo_maximal(g in graph_strategy()) {
+        let state = g.final_state();
+        for loc in LOCS {
+            if let Some(&w) = g.mo(loc).last() {
+                prop_assert_eq!(state.get(&loc).copied(), Some(g.write_value(w)));
+            }
+        }
+    }
+
+    /// The transitive closure of an acyclic relation built from the graph's
+    /// po edges stays acyclic and contains the base relation.
+    #[test]
+    fn closure_preserves_acyclicity(g in graph_strategy()) {
+        let n = g.num_events();
+        prop_assume!(n > 0);
+        let mut rel = Relation::new(n);
+        let ids: Vec<EventId> = g.events().map(|(id, _)| id).collect();
+        let index_of = |id: EventId| ids.iter().position(|x| *x == id).unwrap();
+        for (id, _) in g.events() {
+            if let EventId::Event { thread, index } = id {
+                if index > 0 {
+                    rel.add(index_of(EventId::new(thread, index - 1)), index_of(id));
+                }
+            }
+        }
+        prop_assert!(rel.is_acyclic());
+        let mut closed = rel.clone();
+        closed.close();
+        for (a, b) in rel.edges() {
+            prop_assert!(closed.has(a, b));
+        }
+        prop_assert!(closed.is_irreflexive());
+    }
+}

@@ -1,0 +1,592 @@
+//! Builders for programs and threads.
+//!
+//! The builder is the ergonomic front-end of the language: it manages
+//! labels (forward and backward), auto-names barrier sites, and — crucially
+//! for the optimizer — lets several threads *share* a site by giving it the
+//! same name, mirroring how all threads of a real lock run the same source
+//! code and therefore the same barrier annotations.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+
+use vsync_graph::{Loc, Mode, Value};
+
+use crate::insn::{Addr, AluOp, Instr, ModeRef, Operand, Reg, RmwOp, Test};
+use crate::program::{BarrierSite, FinalCheck, Program, ProgramError, SiteKind};
+
+/// Specification of a barrier site for one instruction: a bare [`Mode`]
+/// (auto-named, relaxable), a `(name, Mode)` pair (named, relaxable,
+/// shared across threads by name), or [`Fixed`] (excluded from
+/// optimization).
+pub trait IntoSite {
+    /// Destructure into `(name, mode, relaxable)`; `None` name = auto.
+    fn into_site(self) -> (Option<String>, Mode, bool);
+}
+
+impl IntoSite for Mode {
+    fn into_site(self) -> (Option<String>, Mode, bool) {
+        (None, self, true)
+    }
+}
+
+impl IntoSite for (&str, Mode) {
+    fn into_site(self) -> (Option<String>, Mode, bool) {
+        (Some(self.0.to_owned()), self.1, true)
+    }
+}
+
+/// A barrier mode the optimizer must not touch (e.g. client code).
+#[derive(Debug, Clone, Copy)]
+pub struct Fixed(pub Mode);
+
+impl IntoSite for Fixed {
+    fn into_site(self) -> (Option<String>, Mode, bool) {
+        (None, self.0, false)
+    }
+}
+
+/// A branch label handle created by [`ThreadBuilder::label`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Label(usize);
+
+/// Builds the code of one thread.
+#[derive(Debug)]
+pub struct ThreadBuilder {
+    thread: u32,
+    code: Vec<Instr>,
+    /// Local site registrations: (name?, kind, mode, relaxable).
+    sites: Vec<(Option<String>, SiteKind, Mode, bool)>,
+    labels: Vec<Option<usize>>,
+    patches: Vec<(usize, Label)>,
+}
+
+impl ThreadBuilder {
+    fn new(thread: u32) -> Self {
+        ThreadBuilder { thread, code: Vec::new(), sites: Vec::new(), labels: Vec::new(), patches: Vec::new() }
+    }
+
+    /// The thread index being built.
+    pub fn id(&self) -> u32 {
+        self.thread
+    }
+
+    /// Current instruction count (the pc the next instruction will get).
+    pub fn here(&self) -> usize {
+        self.code.len()
+    }
+
+    fn site(&mut self, kind: SiteKind, spec: impl IntoSite) -> ModeRef {
+        let (name, mode, relaxable) = spec.into_site();
+        self.sites.push((name, kind, mode, relaxable));
+        // Local index; remapped to the global table when the thread is added.
+        ModeRef((self.sites.len() - 1) as u32)
+    }
+
+    /// `dst = load(addr)`.
+    pub fn load(&mut self, dst: Reg, addr: impl Into<Addr>, site: impl IntoSite) -> &mut Self {
+        let mode = self.site(SiteKind::Load, site);
+        self.code.push(Instr::Load { dst, addr: addr.into(), mode });
+        self
+    }
+
+    /// `store(addr, src)`.
+    pub fn store(
+        &mut self,
+        addr: impl Into<Addr>,
+        src: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        let mode = self.site(SiteKind::Store, site);
+        self.code.push(Instr::Store { addr: addr.into(), src: src.into(), mode });
+        self
+    }
+
+    /// `dst = rmw(addr, op, operand)`; `dst` receives the old value.
+    pub fn rmw(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        op: RmwOp,
+        operand: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        let mode = self.site(SiteKind::Rmw, site);
+        self.code.push(Instr::Rmw { dst, addr: addr.into(), op, operand: operand.into(), mode });
+        self
+    }
+
+    /// `dst = xchg(addr, v)`.
+    pub fn xchg(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        v: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        self.rmw(dst, addr, RmwOp::Xchg, v, site)
+    }
+
+    /// `dst = fetch_add(addr, v)`.
+    pub fn fetch_add(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        v: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        self.rmw(dst, addr, RmwOp::Add, v, site)
+    }
+
+    /// `dst = fetch_sub(addr, v)`.
+    pub fn fetch_sub(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        v: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        self.rmw(dst, addr, RmwOp::Sub, v, site)
+    }
+
+    /// `dst = fetch_or(addr, v)`.
+    pub fn fetch_or(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        v: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        self.rmw(dst, addr, RmwOp::Or, v, site)
+    }
+
+    /// `dst = cas(addr, expected, new)`; `dst` receives the old value.
+    pub fn cas(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        expected: impl Into<Operand>,
+        new: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        let mode = self.site(SiteKind::Rmw, site);
+        self.code.push(Instr::Cas {
+            dst,
+            addr: addr.into(),
+            expected: expected.into(),
+            new: new.into(),
+            mode,
+        });
+        self
+    }
+
+    /// A memory fence.
+    pub fn fence(&mut self, site: impl IntoSite) -> &mut Self {
+        let mode = self.site(SiteKind::Fence, site);
+        self.code.push(Instr::Fence { mode });
+        self
+    }
+
+    /// `dst = await_load(addr) until test(v)`.
+    pub fn await_load(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        until: Test,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        let mode = self.site(SiteKind::Load, site);
+        self.code.push(Instr::AwaitLoad { dst, addr: addr.into(), until, mode });
+        self
+    }
+
+    /// `dst = await_eq(addr, v)` — poll until the location equals `v`.
+    pub fn await_eq(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        v: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        self.await_load(dst, addr, Test::eq(v), site)
+    }
+
+    /// `dst = await_neq(addr, v)` — poll until the location differs from `v`.
+    pub fn await_neq(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        v: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        self.await_load(dst, addr, Test::ne(v), site)
+    }
+
+    /// `dst = await_rmw(addr, op, operand) until test(old)` — e.g. the
+    /// paper's `await_while (atomic_xchg(&lock, 1) != 0)` is
+    /// `await_rmw(lock, Xchg, 1, until old == 0)`.
+    pub fn await_rmw(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        until: Test,
+        op: RmwOp,
+        operand: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        let mode = self.site(SiteKind::Rmw, site);
+        self.code.push(Instr::AwaitRmw {
+            dst,
+            addr: addr.into(),
+            until,
+            op,
+            operand: operand.into(),
+            mode,
+        });
+        self
+    }
+
+    /// `dst = await_cas(addr, expected, new)`.
+    pub fn await_cas(
+        &mut self,
+        dst: Reg,
+        addr: impl Into<Addr>,
+        expected: impl Into<Operand>,
+        new: impl Into<Operand>,
+        site: impl IntoSite,
+    ) -> &mut Self {
+        let mode = self.site(SiteKind::Rmw, site);
+        self.code.push(Instr::AwaitCas {
+            dst,
+            addr: addr.into(),
+            expected: expected.into(),
+            new: new.into(),
+            mode,
+        });
+        self
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) -> &mut Self {
+        self.code.push(Instr::Mov { dst, src: src.into() });
+        self
+    }
+
+    /// `dst = a op b`.
+    pub fn op(
+        &mut self,
+        dst: Reg,
+        op: AluOp,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        self.code.push(Instr::Op { dst, op, a: a.into(), b: b.into() });
+        self
+    }
+
+    /// `dst = a + b`.
+    pub fn add(&mut self, dst: Reg, a: impl Into<Operand>, b: impl Into<Operand>) -> &mut Self {
+        self.op(dst, AluOp::Add, a, b)
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind a label to the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already bound.
+    pub fn bind(&mut self, l: Label) -> &mut Self {
+        assert!(self.labels[l.0].is_none(), "label bound twice");
+        self.labels[l.0] = Some(self.code.len());
+        self
+    }
+
+    /// Create a label bound right here (for backward jumps).
+    pub fn here_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, l: Label) -> &mut Self {
+        self.patches.push((self.code.len(), l));
+        self.code.push(Instr::Jmp { target: usize::MAX });
+        self
+    }
+
+    /// Jump to `l` when `test(src)` holds.
+    pub fn jmp_if(&mut self, src: impl Into<Operand>, test: Test, l: Label) -> &mut Self {
+        self.patches.push((self.code.len(), l));
+        self.code.push(Instr::JmpIf { src: src.into(), test, target: usize::MAX });
+        self
+    }
+
+    /// Assert `test(src)`; generates an error event on failure.
+    pub fn assert(&mut self, src: impl Into<Operand>, test: Test, msg: &str) -> &mut Self {
+        self.code.push(Instr::Assert { src: src.into(), test, msg: msg.to_owned() });
+        self
+    }
+
+    /// Assert `src == v`.
+    pub fn assert_eq(&mut self, src: impl Into<Operand>, v: impl Into<Operand>, msg: &str) -> &mut Self {
+        self.assert(src, Test { mask: None, cmp: crate::insn::Cmp::Eq, rhs: v.into() }, msg)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.code.push(Instr::Nop);
+        self
+    }
+
+    fn finish(mut self) -> (Vec<Instr>, Vec<(Option<String>, SiteKind, Mode, bool)>) {
+        for (pc, l) in std::mem::take(&mut self.patches) {
+            let target = self.labels[l.0].unwrap_or_else(|| panic!("label {} never bound", l.0));
+            match &mut self.code[pc] {
+                Instr::Jmp { target: t } | Instr::JmpIf { target: t, .. } => *t = target,
+                _ => unreachable!(),
+            }
+        }
+        (self.code, self.sites)
+    }
+}
+
+/// Builds a complete [`Program`].
+///
+/// ```
+/// use vsync_lang::{ProgramBuilder, Reg, Test};
+/// use vsync_graph::Mode;
+///
+/// let mut pb = ProgramBuilder::new("spinner");
+/// pb.init(0x10, 0);
+/// pb.thread(|t| {
+///     t.store(0x10, 1u64, ("release", Mode::Rel));
+/// });
+/// pb.thread(|t| {
+///     t.await_eq(Reg(0), 0x10, 1u64, ("poll", Mode::Acq));
+/// });
+/// let program = pb.build().expect("well-formed");
+/// assert_eq!(program.num_threads(), 2);
+/// ```
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    threads: Vec<Vec<Instr>>,
+    sites: Vec<BarrierSite>,
+    by_name: HashMap<String, u32>,
+    init: BTreeMap<Loc, Value>,
+    final_checks: Vec<FinalCheck>,
+}
+
+impl ProgramBuilder {
+    /// Start building a program.
+    pub fn new(name: &str) -> Self {
+        ProgramBuilder {
+            name: name.to_owned(),
+            threads: Vec::new(),
+            sites: Vec::new(),
+            by_name: HashMap::new(),
+            init: BTreeMap::new(),
+            final_checks: Vec::new(),
+        }
+    }
+
+    /// Set the initial value of a location (default 0).
+    pub fn init(&mut self, loc: Loc, val: Value) -> &mut Self {
+        self.init.insert(loc, val);
+        self
+    }
+
+    /// Add a final-state check: `test(final value of loc)` must hold in
+    /// every complete execution.
+    pub fn final_check(&mut self, loc: Loc, test: Test, msg: &str) -> &mut Self {
+        self.final_checks.push(FinalCheck { loc, test, msg: msg.to_owned() });
+        self
+    }
+
+    /// Add a thread, building its code in the closure.
+    pub fn thread(&mut self, f: impl FnOnce(&mut ThreadBuilder)) -> &mut Self {
+        let id = self.threads.len() as u32;
+        let mut tb = ThreadBuilder::new(id);
+        f(&mut tb);
+        let (mut code, local_sites) = tb.finish();
+        // Remap local site refs to the global table, sharing named sites.
+        let mut remap = Vec::with_capacity(local_sites.len());
+        for (li, (name, kind, mode, relaxable)) in local_sites.into_iter().enumerate() {
+            let global = match &name {
+                Some(n) => {
+                    if let Some(&g) = self.by_name.get(n) {
+                        let existing = &self.sites[g as usize];
+                        assert_eq!(
+                            existing.kind, kind,
+                            "site {n} registered with different kinds"
+                        );
+                        assert_eq!(
+                            existing.mode, mode,
+                            "site {n} registered with different modes"
+                        );
+                        g
+                    } else {
+                        let g = self.sites.len() as u32;
+                        self.by_name.insert(n.clone(), g);
+                        self.sites.push(BarrierSite {
+                            name: n.clone(),
+                            kind,
+                            mode,
+                            relaxable,
+                            thread: id,
+                            pc: 0,
+                        });
+                        g
+                    }
+                }
+                None => {
+                    let g = self.sites.len() as u32;
+                    self.sites.push(BarrierSite {
+                        name: format!("{}.t{id}.s{li}", self.name),
+                        kind,
+                        mode,
+                        relaxable,
+                        thread: id,
+                        pc: 0,
+                    });
+                    g
+                }
+            };
+            remap.push(global);
+        }
+        for (pc, instr) in code.iter_mut().enumerate() {
+            if let Some(local) = instr.mode_ref() {
+                let global = ModeRef(remap[local.0 as usize]);
+                let site = &mut self.sites[global.0 as usize];
+                if site.thread == id {
+                    site.pc = pc;
+                }
+                set_mode_ref(instr, global);
+            }
+        }
+        self.threads.push(code);
+        self
+    }
+
+    /// Finish and validate the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ProgramError`] for malformed programs (bad jump targets,
+    /// registers, or mode/kind mismatches).
+    pub fn build(&mut self) -> Result<Program, ProgramError> {
+        let p = Program::from_parts(
+            std::mem::take(&mut self.name),
+            std::mem::take(&mut self.threads),
+            std::mem::take(&mut self.sites),
+            std::mem::take(&mut self.init),
+            std::mem::take(&mut self.final_checks),
+        );
+        p.validate()?;
+        Ok(p)
+    }
+}
+
+fn set_mode_ref(instr: &mut Instr, m: ModeRef) {
+    match instr {
+        Instr::Load { mode, .. }
+        | Instr::Store { mode, .. }
+        | Instr::Rmw { mode, .. }
+        | Instr::Cas { mode, .. }
+        | Instr::Fence { mode }
+        | Instr::AwaitLoad { mode, .. }
+        | Instr::AwaitRmw { mode, .. }
+        | Instr::AwaitCas { mode, .. } => *mode = m,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_sites_are_shared_across_threads() {
+        let mut pb = ProgramBuilder::new("p");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                t.store(0x10, 1u64, ("same", Mode::Rel));
+                t.load(Reg(0), 0x10, Mode::Acq); // auto-named: unique
+            });
+        }
+        let p = pb.build().unwrap();
+        // One shared named site + two auto-named loads.
+        assert_eq!(p.sites().len(), 3);
+        assert_eq!(p.sites().iter().filter(|s| s.name == "same").count(), 1);
+    }
+
+    #[test]
+    fn fixed_sites_are_not_relaxable() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.load(Reg(0), 0x10, Fixed(Mode::Rlx));
+        });
+        let p = pb.build().unwrap();
+        assert!(!p.sites()[0].relaxable);
+        // with_all_sc leaves it alone.
+        assert_eq!(p.with_all_sc().sites()[0].mode, Mode::Rlx);
+    }
+
+    #[test]
+    fn labels_patch_forward_and_backward() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            let head = t.here_label();
+            let out = t.label();
+            t.load(Reg(0), 0x10, Mode::Rlx);
+            t.jmp_if(Reg(0), Test::eq(1u64), out);
+            t.jmp(head);
+            t.bind(out);
+            t.nop();
+        });
+        let p = pb.build().unwrap();
+        let code = p.thread_code(0);
+        assert!(matches!(code[1], Instr::JmpIf { target: 3, .. }));
+        assert!(matches!(code[2], Instr::Jmp { target: 0 }));
+    }
+
+    #[test]
+    #[should_panic(expected = "never bound")]
+    fn unbound_label_panics() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            let l = t.label();
+            t.jmp(l);
+        });
+    }
+
+    #[test]
+    fn init_and_final_checks_carried_over() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.init(0x10, 5);
+        pb.final_check(0x10, Test::eq(5u64), "untouched");
+        pb.thread(|t| {
+            t.nop();
+        });
+        let p = pb.build().unwrap();
+        assert_eq!(p.init().get(&0x10), Some(&5));
+        assert_eq!(p.final_checks().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different modes")]
+    fn shared_site_mode_conflict_panics() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.store(0x10, 1u64, ("s", Mode::Rel));
+        });
+        pb.thread(|t| {
+            t.store(0x10, 1u64, ("s", Mode::Rlx));
+        });
+    }
+}

@@ -1,0 +1,531 @@
+//! The instruction set of the tiny concurrent language (paper §2.1).
+//!
+//! The paper formalizes programs as sequences of event-generating `step`s
+//! plus `do-await-while` statements. This crate realizes the same idea as a
+//! small register machine:
+//!
+//! * shared-memory instructions generate graph events (loads, stores, RMWs,
+//!   CAS, fences, failed assertions);
+//! * local instructions (`Mov`, `Op`, jumps) are the paper's
+//!   state-transformer lambdas;
+//! * *await instructions* ([`Instr::AwaitLoad`], [`Instr::AwaitRmw`],
+//!   [`Instr::AwaitCas`]) are the primitive polling loops of the VSync
+//!   atomics API (`atomic_await_eq`, `await_while(xchg(..))`, …). Failed
+//!   await iterations generate only the polling read (Definition 3 of the
+//!   paper forbids writes in failed iterations); the successful final
+//!   iteration additionally generates the RMW write.
+
+use std::fmt;
+
+use vsync_graph::Value;
+
+/// A thread-local register. Each thread has [`NUM_REGS`] registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+/// Number of registers per thread.
+pub const NUM_REGS: usize = 32;
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// An operand: a register or an immediate value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// Value of a register.
+    Reg(Reg),
+    /// Immediate constant.
+    Imm(Value),
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<u64> for Operand {
+    fn from(v: u64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// A memory address: immediate, register-indirect, or register + offset.
+///
+/// Register-based addresses let threads follow pointers read from shared
+/// memory (e.g. `prev->next` in an MCS lock).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Addr {
+    /// A fixed location.
+    Imm(u64),
+    /// The address held in a register.
+    Reg(Reg),
+    /// `register + offset` (field access through a pointer).
+    RegOff(Reg, u64),
+}
+
+impl From<u64> for Addr {
+    fn from(a: u64) -> Self {
+        Addr::Imm(a)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Addr::Imm(a) => write!(f, "[{a:#x}]"),
+            Addr::Reg(r) => write!(f, "[{r}]"),
+            Addr::RegOff(r, o) => write!(f, "[{r}+{o:#x}]"),
+        }
+    }
+}
+
+/// Comparison operator of a [`Test`] (unsigned).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl Cmp {
+    /// Evaluate `a cmp b`.
+    pub fn eval(self, a: Value, b: Value) -> bool {
+        match self {
+            Cmp::Eq => a == b,
+            Cmp::Ne => a != b,
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Gt => a > b,
+            Cmp::Ge => a >= b,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        })
+    }
+}
+
+/// A predicate on a value: `(v [& mask]) cmp rhs`.
+///
+/// This is the loop condition `κ` of awaits, the branch condition of
+/// [`Instr::JmpIf`] and the predicate of [`Instr::Assert`]. The optional
+/// mask supports VSync's `await_mask_eq`-style operations used by the
+/// qspinlock (Fig. 20).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Test {
+    /// Optional mask applied to the value before comparing.
+    pub mask: Option<Operand>,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: Operand,
+}
+
+impl Test {
+    /// `v == rhs`
+    pub fn eq(rhs: impl Into<Operand>) -> Self {
+        Test { mask: None, cmp: Cmp::Eq, rhs: rhs.into() }
+    }
+
+    /// `v != rhs`
+    pub fn ne(rhs: impl Into<Operand>) -> Self {
+        Test { mask: None, cmp: Cmp::Ne, rhs: rhs.into() }
+    }
+
+    /// `(v & mask) == rhs`
+    pub fn mask_eq(mask: impl Into<Operand>, rhs: impl Into<Operand>) -> Self {
+        Test { mask: Some(mask.into()), cmp: Cmp::Eq, rhs: rhs.into() }
+    }
+
+    /// `(v & mask) != rhs`
+    pub fn mask_ne(mask: impl Into<Operand>, rhs: impl Into<Operand>) -> Self {
+        Test { mask: Some(mask.into()), cmp: Cmp::Ne, rhs: rhs.into() }
+    }
+
+    /// General comparison against `rhs`.
+    pub fn cmp(cmp: Cmp, rhs: impl Into<Operand>) -> Self {
+        Test { mask: None, cmp, rhs: rhs.into() }
+    }
+}
+
+impl fmt::Display for Test {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.mask {
+            Some(m) => write!(f, "(v & {m}) {} {}", self.cmp, self.rhs),
+            None => write!(f, "v {} {}", self.cmp, self.rhs),
+        }
+    }
+}
+
+/// A fully resolved test (operands evaluated to constants). Produced during
+/// replay, consumed by the explorer's await-termination analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ResolvedTest {
+    /// Mask (`u64::MAX` when absent).
+    pub mask: Value,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: Value,
+}
+
+impl ResolvedTest {
+    /// Evaluate the test on a value.
+    pub fn eval(self, v: Value) -> bool {
+        self.cmp.eval(v & self.mask, self.rhs)
+    }
+}
+
+/// Arithmetic/logical operations of [`Instr::Op`] (all wrapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (by `b & 63`).
+    Shl,
+    /// Logical right shift (by `b & 63`).
+    Shr,
+}
+
+impl AluOp {
+    /// Apply the operation.
+    pub fn apply(self, a: Value, b: Value) -> Value {
+        match self {
+            AluOp::Add => a.wrapping_add(b),
+            AluOp::Sub => a.wrapping_sub(b),
+            AluOp::And => a & b,
+            AluOp::Or => a | b,
+            AluOp::Xor => a ^ b,
+            AluOp::Shl => a.wrapping_shl((b & 63) as u32),
+            AluOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// Read-modify-write operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RmwOp {
+    /// Exchange: the new value is the operand.
+    Xchg,
+    /// Fetch-and-add.
+    Add,
+    /// Fetch-and-sub.
+    Sub,
+    /// Fetch-and-or.
+    Or,
+    /// Fetch-and-and.
+    And,
+    /// Fetch-and-xor.
+    Xor,
+}
+
+impl RmwOp {
+    /// Compute the stored value from the old value and the operand.
+    pub fn apply(self, old: Value, operand: Value) -> Value {
+        match self {
+            RmwOp::Xchg => operand,
+            RmwOp::Add => old.wrapping_add(operand),
+            RmwOp::Sub => old.wrapping_sub(operand),
+            RmwOp::Or => old | operand,
+            RmwOp::And => old & operand,
+            RmwOp::Xor => old ^ operand,
+        }
+    }
+}
+
+impl fmt::Display for RmwOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RmwOp::Xchg => "xchg",
+            RmwOp::Add => "add",
+            RmwOp::Sub => "sub",
+            RmwOp::Or => "or",
+            RmwOp::And => "and",
+            RmwOp::Xor => "xor",
+        })
+    }
+}
+
+/// Reference to a barrier site in the program's site table.
+///
+/// Every memory-ordering annotation in a program is an indirection through
+/// the site table so the optimizer can relax sites without rewriting code
+/// (paper §"barrier optimization").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ModeRef(pub u32);
+
+/// One instruction of the language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instr {
+    /// `dst = load(addr)` — generates a read event.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `store(addr, src)` — generates a write event.
+    Store {
+        /// Address.
+        addr: Addr,
+        /// Stored value.
+        src: Operand,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `dst = rmw(addr, op, operand)` — atomic read-modify-write; `dst`
+    /// receives the old value. Generates a read event and a write event.
+    Rmw {
+        /// Destination register (old value).
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+        /// Update operation.
+        op: RmwOp,
+        /// Operand of the update.
+        operand: Operand,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `dst = cas(addr, expected, new)` — compare-and-swap; `dst` receives
+    /// the old value. A successful CAS generates read + write events; a
+    /// failed CAS generates only the read.
+    Cas {
+        /// Destination register (old value).
+        dst: Reg,
+        /// Address.
+        addr: Addr,
+        /// Expected value.
+        expected: Operand,
+        /// New value on success.
+        new: Operand,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// A memory fence. Relaxed fences are no-ops and generate no event.
+    Fence {
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `dst = await_load(addr) until test(value)` — primitive await: poll
+    /// `addr` until the test holds. Each failed iteration generates one
+    /// read event.
+    AwaitLoad {
+        /// Destination register (final value).
+        dst: Reg,
+        /// Polled address.
+        addr: Addr,
+        /// Exit condition on the polled value.
+        until: Test,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `dst = await_rmw(addr, op, operand) until test(old)` — poll `addr`
+    /// until the test holds on the read value, then perform the RMW
+    /// (`await_while(xchg(&lock,1) != 0)` is `until: old == 0, op: xchg 1`).
+    ///
+    /// Failed iterations generate only the read. The program must guarantee
+    /// that the elided failed-iteration write would be value-preserving
+    /// (the Bounded-Effect principle, paper Def. 3); the replayer checks
+    /// this and reports a fault otherwise.
+    AwaitRmw {
+        /// Destination register (old value of the successful iteration).
+        dst: Reg,
+        /// Polled address.
+        addr: Addr,
+        /// Exit condition on the old value.
+        until: Test,
+        /// Update operation applied on exit.
+        op: RmwOp,
+        /// Operand of the update.
+        operand: Operand,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `dst = await_cas(addr, expected, new)` — poll until the location
+    /// holds `expected`, then swap in `new`. Always bounded-effect safe.
+    AwaitCas {
+        /// Destination register (old value, = expected on exit).
+        dst: Reg,
+        /// Polled address.
+        addr: Addr,
+        /// Expected value.
+        expected: Operand,
+        /// New value.
+        new: Operand,
+        /// Barrier site.
+        mode: ModeRef,
+    },
+    /// `dst = src` (local).
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = a op b` (local).
+    Op {
+        /// Destination register.
+        dst: Reg,
+        /// Operation.
+        op: AluOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// Unconditional jump.
+    Jmp {
+        /// Target pc.
+        target: usize,
+    },
+    /// Jump when `test(src)` holds.
+    JmpIf {
+        /// Tested operand.
+        src: Operand,
+        /// Predicate.
+        test: Test,
+        /// Target pc.
+        target: usize,
+    },
+    /// Assert `test(src)`; on failure generates an error event and stops
+    /// the thread (the paper's `E` event).
+    Assert {
+        /// Tested operand.
+        src: Operand,
+        /// Predicate.
+        test: Test,
+        /// Message attached to the error event.
+        msg: String,
+    },
+    /// No operation.
+    Nop,
+}
+
+impl Instr {
+    /// The barrier site of the instruction, if it has one.
+    pub fn mode_ref(&self) -> Option<ModeRef> {
+        match self {
+            Instr::Load { mode, .. }
+            | Instr::Store { mode, .. }
+            | Instr::Rmw { mode, .. }
+            | Instr::Cas { mode, .. }
+            | Instr::Fence { mode }
+            | Instr::AwaitLoad { mode, .. }
+            | Instr::AwaitRmw { mode, .. }
+            | Instr::AwaitCas { mode, .. } => Some(*mode),
+            _ => None,
+        }
+    }
+
+    /// Is this one of the primitive await instructions?
+    pub fn is_await(&self) -> bool {
+        matches!(
+            self,
+            Instr::AwaitLoad { .. } | Instr::AwaitRmw { .. } | Instr::AwaitCas { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_eval() {
+        assert!(Cmp::Eq.eval(1, 1));
+        assert!(Cmp::Ne.eval(1, 2));
+        assert!(Cmp::Lt.eval(1, 2));
+        assert!(Cmp::Le.eval(2, 2));
+        assert!(Cmp::Gt.eval(3, 2));
+        assert!(Cmp::Ge.eval(2, 2));
+        assert!(!Cmp::Lt.eval(2, 2));
+    }
+
+    #[test]
+    fn resolved_test_applies_mask() {
+        let t = ResolvedTest { mask: 0xff, cmp: Cmp::Eq, rhs: 0x34 };
+        assert!(t.eval(0x1234));
+        assert!(!t.eval(0x1235));
+    }
+
+    #[test]
+    fn alu_ops_wrap() {
+        assert_eq!(AluOp::Add.apply(u64::MAX, 1), 0);
+        assert_eq!(AluOp::Sub.apply(0, 1), u64::MAX);
+        assert_eq!(AluOp::Shl.apply(1, 4), 16);
+        assert_eq!(AluOp::Shr.apply(16, 4), 1);
+        assert_eq!(AluOp::And.apply(0b1100, 0b1010), 0b1000);
+        assert_eq!(AluOp::Or.apply(0b1100, 0b1010), 0b1110);
+        assert_eq!(AluOp::Xor.apply(0b1100, 0b1010), 0b0110);
+    }
+
+    #[test]
+    fn rmw_ops() {
+        assert_eq!(RmwOp::Xchg.apply(5, 9), 9);
+        assert_eq!(RmwOp::Add.apply(5, 9), 14);
+        assert_eq!(RmwOp::Sub.apply(5, 2), 3);
+        assert_eq!(RmwOp::Or.apply(0b01, 0b10), 0b11);
+        assert_eq!(RmwOp::And.apply(0b11, 0b10), 0b10);
+        assert_eq!(RmwOp::Xor.apply(0b11, 0b01), 0b10);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Reg(3).to_string(), "r3");
+        assert_eq!(Operand::Imm(7).to_string(), "7");
+        assert_eq!(Addr::RegOff(Reg(1), 8).to_string(), "[r1+0x8]");
+        assert_eq!(Test::eq(1u64).to_string(), "v == 1");
+        assert_eq!(Test::mask_eq(0xffu64, 0u64).to_string(), "(v & 255) == 0");
+    }
+
+    #[test]
+    fn instr_mode_refs() {
+        let i = Instr::Load { dst: Reg(0), addr: Addr::Imm(1), mode: ModeRef(4) };
+        assert_eq!(i.mode_ref(), Some(ModeRef(4)));
+        assert_eq!(Instr::Nop.mode_ref(), None);
+        assert!(Instr::AwaitLoad { dst: Reg(0), addr: Addr::Imm(0), until: Test::eq(0u64), mode: ModeRef(0) }.is_await());
+        assert!(!i.is_await());
+    }
+}

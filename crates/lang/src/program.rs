@@ -1,0 +1,471 @@
+//! Programs: per-thread instruction sequences plus the barrier-site table.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vsync_graph::{Loc, Mode, Value};
+
+use crate::insn::{Instr, ModeRef, Test, NUM_REGS};
+
+/// The syntactic category of a barrier site, which determines the set of
+/// modes it may take and the relaxation order used by the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A load (or the polling read of an `await_load`): `rlx < acq < sc`.
+    Load,
+    /// A store: `rlx < rel < sc`.
+    Store,
+    /// A read-modify-write: `rlx < acq, rel < acq_rel < sc`.
+    Rmw,
+    /// A fence: `rlx (no-op) < acq, rel < acq_rel < sc`.
+    Fence,
+}
+
+impl SiteKind {
+    /// All modes a site of this kind may legally take, weakest first.
+    pub fn valid_modes(self) -> &'static [Mode] {
+        match self {
+            SiteKind::Load => &[Mode::Rlx, Mode::Acq, Mode::Sc],
+            SiteKind::Store => &[Mode::Rlx, Mode::Rel, Mode::Sc],
+            SiteKind::Rmw | SiteKind::Fence => {
+                &[Mode::Rlx, Mode::Acq, Mode::Rel, Mode::AcqRel, Mode::Sc]
+            }
+        }
+    }
+
+    /// The strongest mode of this kind.
+    pub fn strongest(self) -> Mode {
+        Mode::Sc
+    }
+
+    /// Modes strictly weaker than `m`, weakest first, that a site of this
+    /// kind may be relaxed to.
+    ///
+    /// The mode lattice is partial for RMWs and fences (`Acq` and `Rel` are
+    /// incomparable); "weaker" means weaker-or-incomparable-but-cheaper is
+    /// *not* assumed — only genuine lattice descents are returned.
+    pub fn weaker_modes(self, m: Mode) -> Vec<Mode> {
+        let weaker = |c: Mode| match (c, m) {
+            (a, b) if a == b => false,
+            (Mode::Rlx, _) => true,
+            (_, Mode::Sc) => true,
+            (Mode::Acq, Mode::AcqRel) | (Mode::Rel, Mode::AcqRel) => true,
+            _ => false,
+        };
+        self.valid_modes().iter().copied().filter(|&c| weaker(c)).collect()
+    }
+}
+
+/// A barrier site: one memory-ordering annotation in the program text.
+///
+/// The optimizer's unit of work (paper §"Optimization results", Fig. 20):
+/// each site can be independently relaxed as long as the program still
+/// verifies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BarrierSite {
+    /// Human-readable name (e.g. `"lock.cmpxchg"`), used in reports.
+    pub name: String,
+    /// Syntactic category.
+    pub kind: SiteKind,
+    /// Current mode.
+    pub mode: Mode,
+    /// May the optimizer change this site?
+    pub relaxable: bool,
+    /// Thread the site belongs to.
+    pub thread: u32,
+    /// Instruction index within the thread.
+    pub pc: usize,
+}
+
+/// A predicate over the final memory state of complete executions
+/// (evaluated on the `mo`-maximal value of `loc`).
+///
+/// This is how the generic client checks global outcomes, e.g. that no
+/// counter increment was lost (paper §3.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinalCheck {
+    /// Checked location.
+    pub loc: Loc,
+    /// Predicate on the final value.
+    pub test: Test,
+    /// Message reported when the check fails.
+    pub msg: String,
+}
+
+/// Errors detected by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProgramError {
+    /// A jump target is outside the thread's code.
+    BadJumpTarget {
+        /// Offending thread.
+        thread: u32,
+        /// Offending instruction index.
+        pc: usize,
+        /// The invalid target.
+        target: usize,
+    },
+    /// A register index is out of range.
+    BadRegister {
+        /// Offending thread.
+        thread: u32,
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A mode reference points outside the site table.
+    BadModeRef {
+        /// Offending thread.
+        thread: u32,
+        /// Offending instruction index.
+        pc: usize,
+    },
+    /// A site's mode is invalid for its kind (e.g. a `rel` load).
+    InvalidMode {
+        /// Site name.
+        site: String,
+        /// The invalid mode.
+        mode: Mode,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::BadJumpTarget { thread, pc, target } => {
+                write!(f, "thread {thread} pc {pc}: jump target {target} out of range")
+            }
+            ProgramError::BadRegister { thread, pc } => {
+                write!(f, "thread {thread} pc {pc}: register out of range")
+            }
+            ProgramError::BadModeRef { thread, pc } => {
+                write!(f, "thread {thread} pc {pc}: dangling mode reference")
+            }
+            ProgramError::InvalidMode { site, mode } => {
+                write!(f, "site {site}: mode {mode} invalid for its kind")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// Counts of non-relaxed barrier modes, as reported in the paper's Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BarrierSummary {
+    /// Number of acquire sites.
+    pub acq: usize,
+    /// Number of release sites.
+    pub rel: usize,
+    /// Number of acquire+release sites.
+    pub acq_rel: usize,
+    /// Number of SC sites (accesses or fences).
+    pub sc: usize,
+    /// Number of relaxed sites.
+    pub rlx: usize,
+}
+
+impl fmt::Display for BarrierSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} acq, {} rel, {} acq_rel, {} sc ({} rlx)",
+            self.acq, self.rel, self.acq_rel, self.sc, self.rlx
+        )
+    }
+}
+
+/// A complete concurrent program: one instruction sequence per thread, a
+/// barrier-site table, initial memory values, and final-state checks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    name: String,
+    threads: Vec<Vec<Instr>>,
+    sites: Vec<BarrierSite>,
+    init: BTreeMap<Loc, Value>,
+    final_checks: Vec<FinalCheck>,
+}
+
+impl Program {
+    /// Assemble a program from parts. Prefer [`crate::ProgramBuilder`].
+    pub fn from_parts(
+        name: String,
+        threads: Vec<Vec<Instr>>,
+        sites: Vec<BarrierSite>,
+        init: BTreeMap<Loc, Value>,
+        final_checks: Vec<FinalCheck>,
+    ) -> Self {
+        Program { name, threads, sites, init, final_checks }
+    }
+
+    /// The program's name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of threads.
+    pub fn num_threads(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// The code of one thread.
+    pub fn thread_code(&self, thread: u32) -> &[Instr] {
+        &self.threads[thread as usize]
+    }
+
+    /// The initial memory values.
+    pub fn init(&self) -> &BTreeMap<Loc, Value> {
+        &self.init
+    }
+
+    /// The final-state checks.
+    pub fn final_checks(&self) -> &[FinalCheck] {
+        &self.final_checks
+    }
+
+    /// The barrier-site table.
+    pub fn sites(&self) -> &[BarrierSite] {
+        &self.sites
+    }
+
+    /// Resolve a mode reference.
+    pub fn mode(&self, r: ModeRef) -> Mode {
+        self.sites[r.0 as usize].mode
+    }
+
+    /// Set the mode of a site (used by the optimizer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mode is invalid for the site's kind.
+    pub fn set_mode(&mut self, r: ModeRef, mode: Mode) {
+        let site = &mut self.sites[r.0 as usize];
+        assert!(
+            site.kind.valid_modes().contains(&mode),
+            "mode {mode} invalid for site {} of kind {:?}",
+            site.name,
+            site.kind
+        );
+        site.mode = mode;
+    }
+
+    /// A copy with every relaxable site raised to SC — the paper's
+    /// "sc-only" baseline variant.
+    pub fn with_all_sc(&self) -> Program {
+        let mut p = self.clone();
+        for s in &mut p.sites {
+            if s.relaxable {
+                s.mode = Mode::Sc;
+            }
+        }
+        p.name = format!("{}-seq", self.name);
+        p
+    }
+
+    /// Count the barrier modes over relaxable sites (Table 1 format).
+    pub fn barrier_summary(&self) -> BarrierSummary {
+        let mut s = BarrierSummary::default();
+        for site in self.sites.iter().filter(|s| s.relaxable) {
+            match site.mode {
+                Mode::Rlx => s.rlx += 1,
+                Mode::Acq => s.acq += 1,
+                Mode::Rel => s.rel += 1,
+                Mode::AcqRel => s.acq_rel += 1,
+                Mode::Sc => s.sc += 1,
+            }
+        }
+        s
+    }
+
+    /// Copy the modes of `other`'s sites onto this program's sites with the
+    /// same names (sites missing on either side are left untouched).
+    ///
+    /// This lets a barrier assignment found by the optimizer on one client
+    /// program be applied to another scenario of the same lock: named sites
+    /// are the lock's source-level annotations, shared across programs.
+    pub fn copy_modes_by_name(&mut self, other: &Program) {
+        for i in 0..self.sites.len() {
+            let name = self.sites[i].name.clone();
+            if let Some(src) = other.sites.iter().find(|s| s.name == name) {
+                if self.sites[i].kind == src.kind {
+                    self.sites[i].mode = src.mode;
+                }
+            }
+        }
+    }
+
+    /// Validate structural well-formedness (jump targets, registers, mode
+    /// references, mode/kind compatibility).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ProgramError`] found.
+    pub fn validate(&self) -> Result<(), ProgramError> {
+        use crate::insn::{Addr, Operand, Reg};
+        let check_reg = |r: Reg| (r.0 as usize) < NUM_REGS;
+        let check_op = |o: &Operand| match o {
+            Operand::Reg(r) => check_reg(*r),
+            Operand::Imm(_) => true,
+        };
+        let check_addr = |a: &Addr| match a {
+            Addr::Imm(_) => true,
+            Addr::Reg(r) | Addr::RegOff(r, _) => check_reg(*r),
+        };
+        let check_test =
+            |t: &Test| t.mask.as_ref().map(check_op).unwrap_or(true) && check_op(&t.rhs);
+        for (t, code) in self.threads.iter().enumerate() {
+            for (pc, i) in code.iter().enumerate() {
+                let bad_reg = ProgramError::BadRegister { thread: t as u32, pc };
+                let ok = match i {
+                    Instr::Load { dst, addr, .. } => check_reg(*dst) && check_addr(addr),
+                    Instr::Store { addr, src, .. } => check_addr(addr) && check_op(src),
+                    Instr::Rmw { dst, addr, operand, .. } => {
+                        check_reg(*dst) && check_addr(addr) && check_op(operand)
+                    }
+                    Instr::Cas { dst, addr, expected, new, .. }
+                    | Instr::AwaitCas { dst, addr, expected, new, .. } => {
+                        check_reg(*dst) && check_addr(addr) && check_op(expected) && check_op(new)
+                    }
+                    Instr::AwaitLoad { dst, addr, until, .. } => {
+                        check_reg(*dst) && check_addr(addr) && check_test(until)
+                    }
+                    Instr::AwaitRmw { dst, addr, until, operand, .. } => {
+                        check_reg(*dst) && check_addr(addr) && check_test(until) && check_op(operand)
+                    }
+                    Instr::Mov { dst, src } => check_reg(*dst) && check_op(src),
+                    Instr::Op { dst, a, b, .. } => check_reg(*dst) && check_op(a) && check_op(b),
+                    Instr::JmpIf { src, test, .. } => check_op(src) && check_test(test),
+                    Instr::Assert { src, test, .. } => check_op(src) && check_test(test),
+                    Instr::Jmp { .. } | Instr::Fence { .. } | Instr::Nop => true,
+                };
+                if !ok {
+                    return Err(bad_reg);
+                }
+                if let Instr::Jmp { target } | Instr::JmpIf { target, .. } = i {
+                    if *target > code.len() {
+                        return Err(ProgramError::BadJumpTarget {
+                            thread: t as u32,
+                            pc,
+                            target: *target,
+                        });
+                    }
+                }
+                if let Some(m) = i.mode_ref() {
+                    if m.0 as usize >= self.sites.len() {
+                        return Err(ProgramError::BadModeRef { thread: t as u32, pc });
+                    }
+                }
+            }
+        }
+        for s in &self.sites {
+            if !s.kind.valid_modes().contains(&s.mode) {
+                return Err(ProgramError::InvalidMode { site: s.name.clone(), mode: s.mode });
+            }
+        }
+        Ok(())
+    }
+
+    /// Render the program with its barrier assignment, one line per site,
+    /// in the style of the paper's Fig. 20/21.
+    pub fn render_barriers(&self) -> String {
+        let mut out = String::new();
+        for s in &self.sites {
+            if s.relaxable {
+                out.push_str(&format!("  {:<40} {}\n", s.name, s.mode));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Addr, Reg};
+
+    fn one_site_program(mode: Mode, kind: SiteKind) -> Program {
+        let site = BarrierSite {
+            name: "s".into(),
+            kind,
+            mode,
+            relaxable: true,
+            thread: 0,
+            pc: 0,
+        };
+        let instr = match kind {
+            SiteKind::Load => Instr::Load { dst: Reg(0), addr: Addr::Imm(1), mode: ModeRef(0) },
+            SiteKind::Store => {
+                Instr::Store { addr: Addr::Imm(1), src: 1u64.into(), mode: ModeRef(0) }
+            }
+            SiteKind::Fence => Instr::Fence { mode: ModeRef(0) },
+            SiteKind::Rmw => Instr::Rmw {
+                dst: Reg(0),
+                addr: Addr::Imm(1),
+                op: crate::insn::RmwOp::Xchg,
+                operand: 1u64.into(),
+                mode: ModeRef(0),
+            },
+        };
+        Program::from_parts("p".into(), vec![vec![instr]], vec![site], BTreeMap::new(), vec![])
+    }
+
+    #[test]
+    fn weaker_modes_follow_lattice() {
+        assert_eq!(SiteKind::Load.weaker_modes(Mode::Sc), vec![Mode::Rlx, Mode::Acq]);
+        assert_eq!(SiteKind::Load.weaker_modes(Mode::Acq), vec![Mode::Rlx]);
+        assert_eq!(SiteKind::Store.weaker_modes(Mode::Sc), vec![Mode::Rlx, Mode::Rel]);
+        assert_eq!(
+            SiteKind::Rmw.weaker_modes(Mode::Sc),
+            vec![Mode::Rlx, Mode::Acq, Mode::Rel, Mode::AcqRel]
+        );
+        assert_eq!(SiteKind::Rmw.weaker_modes(Mode::AcqRel), vec![Mode::Rlx, Mode::Acq, Mode::Rel]);
+        assert_eq!(SiteKind::Rmw.weaker_modes(Mode::Acq), vec![Mode::Rlx]);
+        assert!(SiteKind::Fence.weaker_modes(Mode::Rlx).is_empty());
+    }
+
+    #[test]
+    fn with_all_sc_raises_relaxable_sites() {
+        let p = one_site_program(Mode::Rlx, SiteKind::Load);
+        let seq = p.with_all_sc();
+        assert_eq!(seq.mode(ModeRef(0)), Mode::Sc);
+        assert_eq!(p.mode(ModeRef(0)), Mode::Rlx); // original untouched
+        assert!(seq.name().ends_with("-seq"));
+    }
+
+    #[test]
+    fn barrier_summary_counts() {
+        let p = one_site_program(Mode::Acq, SiteKind::Load);
+        let s = p.barrier_summary();
+        assert_eq!((s.acq, s.rel, s.sc, s.rlx), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        assert!(one_site_program(Mode::Acq, SiteKind::Load).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_mode_for_kind() {
+        let p = one_site_program(Mode::Rel, SiteKind::Load);
+        assert!(matches!(p.validate(), Err(ProgramError::InvalidMode { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_bad_jump() {
+        let p = Program::from_parts(
+            "p".into(),
+            vec![vec![Instr::Jmp { target: 5 }]],
+            vec![],
+            BTreeMap::new(),
+            vec![],
+        );
+        assert!(matches!(p.validate(), Err(ProgramError::BadJumpTarget { .. })));
+    }
+
+    #[test]
+    fn set_mode_rejects_invalid() {
+        let mut p = one_site_program(Mode::Acq, SiteKind::Load);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.set_mode(ModeRef(0), Mode::Rel)
+        }));
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,930 @@
+//! Graph-driven replay: the operational face of `consP(G)` (paper §2.1.2).
+//!
+//! Threads are deterministic once every read value is fixed, so a thread's
+//! state can be reconstructed by executing its code against the events
+//! already in the graph. Replay reports, per thread, whether it has
+//! finished, which event it would generate next ([`ThreadStatus::Ready`]),
+//! or that it is blocked on an await read with a `⊥` reads-from edge.
+//!
+//! Replay is also where the paper's two side conditions are enforced:
+//!
+//! * the **wasteful filter** `W(G)` — an await reading from the same write
+//!   in two consecutive iterations marks the graph wasteful (Def. 2);
+//! * the **Bounded-Effect principle** — a failed `await_rmw` iteration
+//!   whose elided write would have changed the value is a modeling fault
+//!   (Def. 3, footnote 9).
+
+use vsync_graph::{EventId, EventKind, ExecutionGraph, Loc, Mode, RfSource, Value};
+
+use crate::insn::{Addr, Instr, Operand, ResolvedTest, RmwOp, Test, NUM_REGS};
+use crate::program::Program;
+
+/// What kind of read a pending read event is — enough for the explorer to
+/// derive the event flags for any candidate reads-from choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadDesc {
+    /// A plain load; never writes.
+    Plain,
+    /// The read part of an unconditional RMW; always followed by a write.
+    Rmw {
+        /// Update operation.
+        op: RmwOp,
+        /// Resolved operand.
+        operand: Value,
+    },
+    /// The read part of a CAS; writes `new` iff the value equals `expected`.
+    Cas {
+        /// Expected value.
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+    },
+    /// A polling read of `await_load`; exits when `exit` holds.
+    AwaitLoad {
+        /// Exit condition.
+        exit: ResolvedTest,
+    },
+    /// A polling read of `await_rmw`; on exit performs the RMW.
+    AwaitRmw {
+        /// Exit condition on the old value.
+        exit: ResolvedTest,
+        /// Update operation.
+        op: RmwOp,
+        /// Resolved operand.
+        operand: Value,
+    },
+    /// A polling read of `await_cas`.
+    AwaitCas {
+        /// Expected value (also the exit condition).
+        expected: Value,
+        /// Replacement value.
+        new: Value,
+    },
+}
+
+impl ReadDesc {
+    /// Is this read polled by an await instruction?
+    pub fn is_await(self) -> bool {
+        matches!(
+            self,
+            ReadDesc::AwaitLoad { .. } | ReadDesc::AwaitRmw { .. } | ReadDesc::AwaitCas { .. }
+        )
+    }
+
+    /// Does the await exit (or the instruction complete) after reading `v`?
+    /// Non-await reads always "exit".
+    pub fn exits(self, v: Value) -> bool {
+        match self {
+            ReadDesc::Plain | ReadDesc::Rmw { .. } | ReadDesc::Cas { .. } => true,
+            ReadDesc::AwaitLoad { exit } | ReadDesc::AwaitRmw { exit, .. } => exit.eval(v),
+            ReadDesc::AwaitCas { expected, .. } => v == expected,
+        }
+    }
+
+    /// The value written by the instruction's write part after reading `v`,
+    /// or `None` if no write part follows.
+    pub fn write_on(self, v: Value) -> Option<Value> {
+        match self {
+            ReadDesc::Plain | ReadDesc::AwaitLoad { .. } => None,
+            ReadDesc::Rmw { op, operand } => Some(op.apply(v, operand)),
+            ReadDesc::Cas { expected, new } => (v == expected).then_some(new),
+            ReadDesc::AwaitRmw { exit, op, operand } => {
+                exit.eval(v).then(|| op.apply(v, operand))
+            }
+            ReadDesc::AwaitCas { expected, new } => (v == expected).then_some(new),
+        }
+    }
+
+    /// The Bounded-Effect principle check for failed await iterations: the
+    /// elided write of a failed `await_rmw` iteration must preserve the
+    /// value.
+    pub fn bounded_effect_ok(self, v: Value) -> bool {
+        match self {
+            ReadDesc::AwaitRmw { exit, op, operand } => {
+                exit.eval(v) || op.apply(v, operand) == v
+            }
+            _ => true,
+        }
+    }
+}
+
+/// The next event a runnable thread would generate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PendingOp {
+    /// A read of `loc`; the explorer chooses the reads-from edge.
+    Read {
+        /// Location.
+        loc: Loc,
+        /// Barrier mode.
+        mode: Mode,
+        /// Read semantics.
+        desc: ReadDesc,
+        /// For await reads: the reads-from source of the previous failed
+        /// iteration of this await instance (for the wasteful filter).
+        prev_rf: Option<RfSource>,
+    },
+    /// A write of `val` to `loc` (value fully determined).
+    Write {
+        /// Location.
+        loc: Loc,
+        /// Value.
+        val: Value,
+        /// Barrier mode.
+        mode: Mode,
+        /// Is this the write part of an RMW?
+        rmw: bool,
+    },
+    /// A fence.
+    Fence {
+        /// Strength.
+        mode: Mode,
+    },
+    /// A failed assertion about to generate an error event.
+    Error {
+        /// Message.
+        msg: String,
+    },
+}
+
+/// A thread stuck on an await read whose reads-from edge is `⊥`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockedAwait {
+    /// The pending read event (already in the graph).
+    pub read: EventId,
+    /// Polled location.
+    pub loc: Loc,
+    /// Barrier mode of the polling read.
+    pub mode: Mode,
+    /// Read semantics (used by the stagnancy analysis).
+    pub desc: ReadDesc,
+    /// Reads-from source of the previous failed iteration, if any.
+    pub prev_rf: Option<RfSource>,
+}
+
+/// Status of one thread after replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ThreadStatus {
+    /// Control left the program text; the thread terminated.
+    Finished,
+    /// The thread's next step generates this event, not yet in the graph.
+    Ready(PendingOp),
+    /// The thread is blocked inside an await (paper: removed from `T_G`).
+    Blocked(BlockedAwait),
+    /// The thread executed an error event (failed assertion).
+    Errored,
+    /// The program violated a modeling obligation (Bounded-Effect or
+    /// Bounded-Length principle, or an internal replay mismatch).
+    Fault(String),
+}
+
+impl ThreadStatus {
+    /// Is the thread runnable (would generate a new event)?
+    pub fn is_ready(&self) -> bool {
+        matches!(self, ThreadStatus::Ready(_))
+    }
+}
+
+/// Result of replaying a whole program against a graph.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Per-thread statuses.
+    pub threads: Vec<ThreadStatus>,
+    /// Did some await read from the same write in two consecutive
+    /// iterations (`W(G)`, paper Def. 2)?
+    pub wasteful: bool,
+}
+
+impl ReplayOutcome {
+    /// Indices of ready threads.
+    pub fn ready_threads(&self) -> impl Iterator<Item = u32> + '_ {
+        self.threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_ready())
+            .map(|(t, _)| t as u32)
+    }
+
+    /// The blocked awaits of all threads.
+    pub fn blocked(&self) -> impl Iterator<Item = &BlockedAwait> + '_ {
+        self.threads.iter().filter_map(|s| match s {
+            ThreadStatus::Blocked(b) => Some(b),
+            _ => None,
+        })
+    }
+
+    /// First fault, if any thread faulted.
+    pub fn fault(&self) -> Option<&str> {
+        self.threads.iter().find_map(|s| match s {
+            ThreadStatus::Fault(m) => Some(m.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Did any thread consume an error event?
+    pub fn errored(&self) -> bool {
+        self.threads.iter().any(|s| matches!(s, ThreadStatus::Errored))
+    }
+}
+
+/// Maximum instructions one thread may execute in a single replay before
+/// the Bounded-Length principle is considered violated.
+pub const DEFAULT_STEP_BUDGET: usize = 200_000;
+
+/// Replay `prog` against `g`.
+///
+/// Read-event flags (`rmw`, `awaiting`) are *derived* data: replay repairs
+/// them in place when a revisit changed a read's value (and with it whether
+/// a write part follows).
+pub fn replay(prog: &Program, g: &mut ExecutionGraph) -> ReplayOutcome {
+    replay_with_budget(prog, g, DEFAULT_STEP_BUDGET)
+}
+
+/// [`replay`] with an explicit per-thread step budget.
+pub fn replay_with_budget(
+    prog: &Program,
+    g: &mut ExecutionGraph,
+    budget: usize,
+) -> ReplayOutcome {
+    let mut threads = Vec::with_capacity(prog.num_threads());
+    let mut wasteful = false;
+    for t in 0..prog.num_threads() as u32 {
+        let mut tr = ThreadReplay::new(prog, t, budget);
+        let status = tr.run(g);
+        wasteful |= tr.wasteful;
+        threads.push(status);
+    }
+    ReplayOutcome { threads, wasteful }
+}
+
+struct ThreadReplay<'p> {
+    prog: &'p Program,
+    thread: u32,
+    regs: [Value; NUM_REGS],
+    pc: usize,
+    ev: usize,
+    steps: usize,
+    budget: usize,
+    wasteful: bool,
+}
+
+enum Consume {
+    /// Event present; for reads carries the observed value.
+    Got(Option<Value>),
+    /// Event not in the graph: the thread is ready with this op.
+    Missing(PendingOp),
+    /// The event in the graph contradicts the program.
+    Mismatch(String),
+    /// A `⊥` read (await reads only).
+    Pending,
+}
+
+impl<'p> ThreadReplay<'p> {
+    fn new(prog: &'p Program, thread: u32, budget: usize) -> Self {
+        ThreadReplay {
+            prog,
+            thread,
+            regs: [0; NUM_REGS],
+            pc: 0,
+            ev: 0,
+            steps: 0,
+            budget,
+            wasteful: false,
+        }
+    }
+
+    fn operand(&self, o: Operand) -> Value {
+        match o {
+            Operand::Reg(r) => self.regs[r.0 as usize],
+            Operand::Imm(v) => v,
+        }
+    }
+
+    fn addr(&self, a: Addr) -> Loc {
+        match a {
+            Addr::Imm(x) => x,
+            Addr::Reg(r) => self.regs[r.0 as usize],
+            Addr::RegOff(r, o) => self.regs[r.0 as usize].wrapping_add(o),
+        }
+    }
+
+    fn test(&self, t: &Test) -> ResolvedTest {
+        ResolvedTest {
+            mask: t.mask.map(|m| self.operand(m)).unwrap_or(u64::MAX),
+            cmp: t.cmp,
+            rhs: self.operand(t.rhs),
+        }
+    }
+
+    /// Try to consume the next read event of this thread.
+    fn consume_read(
+        &mut self,
+        g: &mut ExecutionGraph,
+        loc: Loc,
+        mode: Mode,
+        desc: ReadDesc,
+        prev_rf: Option<RfSource>,
+    ) -> Consume {
+        let id = EventId::new(self.thread, self.ev as u32);
+        if self.ev >= g.thread_len(self.thread) {
+            return Consume::Missing(PendingOp::Read { loc, mode, desc, prev_rf });
+        }
+        let (eloc, emode, rf) = match &g.event(id).kind {
+            EventKind::Read { loc, mode, rf, .. } => (*loc, *mode, *rf),
+            k => return Consume::Mismatch(format!("expected read at {id}, found {k}")),
+        };
+        if eloc != loc || emode != mode {
+            return Consume::Mismatch(format!(
+                "read at {id} accesses {eloc:#x}/{emode}, program says {loc:#x}/{mode}"
+            ));
+        }
+        match rf {
+            RfSource::Bottom => {
+                if !desc.is_await() {
+                    return Consume::Mismatch(format!("non-await read at {id} has ⊥ source"));
+                }
+                Consume::Pending
+            }
+            RfSource::Write(w) => {
+                let v = g.write_value(w);
+                // Repair derived flags (a revisit may have changed v).
+                g.set_read_flags(id, desc.write_on(v).is_some(), desc.is_await());
+                self.ev += 1;
+                Consume::Got(Some(v))
+            }
+        }
+    }
+
+    fn consume_write(
+        &mut self,
+        g: &ExecutionGraph,
+        loc: Loc,
+        val: Value,
+        mode: Mode,
+        rmw: bool,
+    ) -> Consume {
+        let id = EventId::new(self.thread, self.ev as u32);
+        if self.ev >= g.thread_len(self.thread) {
+            return Consume::Missing(PendingOp::Write { loc, val, mode, rmw });
+        }
+        match &g.event(id).kind {
+            EventKind::Write { loc: l, val: v, mode: m, rmw: r }
+                if *l == loc && *v == val && *m == mode && *r == rmw =>
+            {
+                self.ev += 1;
+                Consume::Got(None)
+            }
+            k => Consume::Mismatch(format!(
+                "expected W({loc:#x},{val}) at {id}, found {k}"
+            )),
+        }
+    }
+
+    fn consume_fence(&mut self, g: &ExecutionGraph, mode: Mode) -> Consume {
+        let id = EventId::new(self.thread, self.ev as u32);
+        if self.ev >= g.thread_len(self.thread) {
+            return Consume::Missing(PendingOp::Fence { mode });
+        }
+        match &g.event(id).kind {
+            EventKind::Fence { mode: m } if *m == mode => {
+                self.ev += 1;
+                Consume::Got(None)
+            }
+            k => Consume::Mismatch(format!("expected F{mode} at {id}, found {k}")),
+        }
+    }
+
+    fn run(&mut self, g: &mut ExecutionGraph) -> ThreadStatus {
+        let code: Vec<Instr> = self.prog.thread_code(self.thread).to_vec();
+        loop {
+            if self.pc >= code.len() {
+                if self.ev != g.thread_len(self.thread) {
+                    return ThreadStatus::Fault(format!(
+                        "thread {} terminated at pc {} but graph has {} extra events",
+                        self.thread,
+                        self.pc,
+                        g.thread_len(self.thread) - self.ev
+                    ));
+                }
+                return ThreadStatus::Finished;
+            }
+            self.steps += 1;
+            if self.steps > self.budget {
+                return ThreadStatus::Fault(format!(
+                    "thread {} exceeded the step budget of {} — non-await loop? \
+                     (Bounded-Length principle, paper §1.2; mark polling loops \
+                     with await instructions)",
+                    self.thread, self.budget
+                ));
+            }
+            match &code[self.pc] {
+                Instr::Load { dst, addr, mode } => {
+                    let loc = self.addr(*addr);
+                    let m = self.prog.mode(*mode);
+                    match self.consume_read(g, loc, m, ReadDesc::Plain, None) {
+                        Consume::Got(Some(v)) => {
+                            self.regs[dst.0 as usize] = v;
+                            self.pc += 1;
+                        }
+                        Consume::Got(None) | Consume::Pending => unreachable!(),
+                        Consume::Missing(op) => return ThreadStatus::Ready(op),
+                        Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                    }
+                }
+                Instr::Store { addr, src, mode } => {
+                    let loc = self.addr(*addr);
+                    let val = self.operand(*src);
+                    let m = self.prog.mode(*mode);
+                    match self.consume_write(g, loc, val, m, false) {
+                        Consume::Got(_) => self.pc += 1,
+                        Consume::Missing(op) => return ThreadStatus::Ready(op),
+                        Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                        Consume::Pending => unreachable!(),
+                    }
+                }
+                Instr::Rmw { dst, addr, op, operand, mode } => {
+                    let loc = self.addr(*addr);
+                    let m = self.prog.mode(*mode);
+                    let desc = ReadDesc::Rmw { op: *op, operand: self.operand(*operand) };
+                    match self.consume_read(g, loc, m, desc, None) {
+                        Consume::Got(Some(v)) => {
+                            self.regs[dst.0 as usize] = v;
+                            let new = desc.write_on(v).expect("rmw always writes");
+                            match self.consume_write(g, loc, new, m, true) {
+                                Consume::Got(_) => self.pc += 1,
+                                Consume::Missing(op) => return ThreadStatus::Ready(op),
+                                Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                                Consume::Pending => unreachable!(),
+                            }
+                        }
+                        Consume::Got(None) | Consume::Pending => unreachable!(),
+                        Consume::Missing(op) => return ThreadStatus::Ready(op),
+                        Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                    }
+                }
+                Instr::Cas { dst, addr, expected, new, mode } => {
+                    let loc = self.addr(*addr);
+                    let m = self.prog.mode(*mode);
+                    let desc = ReadDesc::Cas {
+                        expected: self.operand(*expected),
+                        new: self.operand(*new),
+                    };
+                    match self.consume_read(g, loc, m, desc, None) {
+                        Consume::Got(Some(v)) => {
+                            self.regs[dst.0 as usize] = v;
+                            if let Some(nv) = desc.write_on(v) {
+                                match self.consume_write(g, loc, nv, m, true) {
+                                    Consume::Got(_) => self.pc += 1,
+                                    Consume::Missing(op) => return ThreadStatus::Ready(op),
+                                    Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                                    Consume::Pending => unreachable!(),
+                                }
+                            } else {
+                                self.pc += 1;
+                            }
+                        }
+                        Consume::Got(None) | Consume::Pending => unreachable!(),
+                        Consume::Missing(op) => return ThreadStatus::Ready(op),
+                        Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                    }
+                }
+                Instr::Fence { mode } => {
+                    let m = self.prog.mode(*mode);
+                    if m == Mode::Rlx {
+                        self.pc += 1; // relaxed fences are no-ops
+                        continue;
+                    }
+                    match self.consume_fence(g, m) {
+                        Consume::Got(_) => self.pc += 1,
+                        Consume::Missing(op) => return ThreadStatus::Ready(op),
+                        Consume::Mismatch(m) => return ThreadStatus::Fault(m),
+                        Consume::Pending => unreachable!(),
+                    }
+                }
+                Instr::AwaitLoad { dst, addr, until, mode } => {
+                    let exit = self.test(until);
+                    let desc = ReadDesc::AwaitLoad { exit };
+                    match self.run_await(g, *addr, *mode, desc) {
+                        AwaitStep::Exited(v) => {
+                            self.regs[dst.0 as usize] = v;
+                            self.pc += 1;
+                        }
+                        AwaitStep::Status(s) => return s,
+                    }
+                }
+                Instr::AwaitRmw { dst, addr, until, op, operand, mode } => {
+                    let exit = self.test(until);
+                    let desc =
+                        ReadDesc::AwaitRmw { exit, op: *op, operand: self.operand(*operand) };
+                    match self.run_await(g, *addr, *mode, desc) {
+                        AwaitStep::Exited(v) => {
+                            self.regs[dst.0 as usize] = v;
+                            self.pc += 1;
+                        }
+                        AwaitStep::Status(s) => return s,
+                    }
+                }
+                Instr::AwaitCas { dst, addr, expected, new, mode } => {
+                    let desc = ReadDesc::AwaitCas {
+                        expected: self.operand(*expected),
+                        new: self.operand(*new),
+                    };
+                    match self.run_await(g, *addr, *mode, desc) {
+                        AwaitStep::Exited(v) => {
+                            self.regs[dst.0 as usize] = v;
+                            self.pc += 1;
+                        }
+                        AwaitStep::Status(s) => return s,
+                    }
+                }
+                Instr::Mov { dst, src } => {
+                    self.regs[dst.0 as usize] = self.operand(*src);
+                    self.pc += 1;
+                }
+                Instr::Op { dst, op, a, b } => {
+                    self.regs[dst.0 as usize] = op.apply(self.operand(*a), self.operand(*b));
+                    self.pc += 1;
+                }
+                Instr::Jmp { target } => self.pc = *target,
+                Instr::JmpIf { src, test, target } => {
+                    let t = self.test(test);
+                    if t.eval(self.operand(*src)) {
+                        self.pc = *target;
+                    } else {
+                        self.pc += 1;
+                    }
+                }
+                Instr::Assert { src, test, msg } => {
+                    let t = self.test(test);
+                    if t.eval(self.operand(*src)) {
+                        self.pc += 1;
+                        continue;
+                    }
+                    // Failed assertion: an error event.
+                    let id = EventId::new(self.thread, self.ev as u32);
+                    if self.ev >= g.thread_len(self.thread) {
+                        return ThreadStatus::Ready(PendingOp::Error { msg: msg.clone() });
+                    }
+                    match &g.event(id).kind {
+                        EventKind::Error { .. } => return ThreadStatus::Errored,
+                        k => {
+                            return ThreadStatus::Fault(format!(
+                                "expected error event at {id}, found {k}"
+                            ))
+                        }
+                    }
+                }
+                Instr::Nop => self.pc += 1,
+            }
+        }
+    }
+
+    /// Execute one await instruction: consume polling reads until the exit
+    /// test holds, the event is missing, or the thread blocks.
+    fn run_await(
+        &mut self,
+        g: &mut ExecutionGraph,
+        addr: Addr,
+        mode: crate::insn::ModeRef,
+        desc: ReadDesc,
+    ) -> AwaitStep {
+        let loc = self.addr(addr);
+        let m = self.prog.mode(mode);
+        let mut prev_rf: Option<RfSource> = None;
+        loop {
+            let id = EventId::new(self.thread, self.ev as u32);
+            match self.consume_read(g, loc, m, desc, prev_rf) {
+                Consume::Missing(op) => return AwaitStep::Status(ThreadStatus::Ready(op)),
+                Consume::Mismatch(m) => return AwaitStep::Status(ThreadStatus::Fault(m)),
+                Consume::Pending => {
+                    return AwaitStep::Status(ThreadStatus::Blocked(BlockedAwait {
+                        read: id,
+                        loc,
+                        mode: m,
+                        desc,
+                        prev_rf,
+                    }))
+                }
+                Consume::Got(Some(v)) => {
+                    if desc.exits(v) {
+                        if let Some(new) = desc.write_on(v) {
+                            match self.consume_write(g, loc, new, m, true) {
+                                Consume::Got(_) => {}
+                                Consume::Missing(op) => {
+                                    return AwaitStep::Status(ThreadStatus::Ready(op))
+                                }
+                                Consume::Mismatch(m) => {
+                                    return AwaitStep::Status(ThreadStatus::Fault(m))
+                                }
+                                Consume::Pending => unreachable!(),
+                            }
+                        }
+                        return AwaitStep::Exited(v);
+                    }
+                    // Failed iteration.
+                    if !desc.bounded_effect_ok(v) {
+                        return AwaitStep::Status(ThreadStatus::Fault(format!(
+                            "await_rmw at {id}: failed iteration would write a \
+                             different value (Bounded-Effect principle, paper Def. 3)"
+                        )));
+                    }
+                    let rf = g.rf(id);
+                    if prev_rf == Some(rf) {
+                        self.wasteful = true; // W(G): same write twice in a row
+                    }
+                    prev_rf = Some(rf);
+                    self.steps += 1;
+                    if self.steps > self.budget {
+                        return AwaitStep::Status(ThreadStatus::Fault(
+                            "await iterations exceeded step budget".into(),
+                        ));
+                    }
+                }
+                Consume::Got(None) => unreachable!(),
+            }
+        }
+    }
+}
+
+enum AwaitStep {
+    Exited(Value),
+    Status(ThreadStatus),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::insn::Reg;
+
+    const X: Loc = 0x10;
+
+    /// Drive a single-threaded program to completion by adding each Ready
+    /// event with the obvious rf/mo choice (sequential semantics).
+    fn run_sequential(prog: &Program) -> ExecutionGraph {
+        let mut g = ExecutionGraph::new(prog.num_threads(), prog.init().clone());
+        loop {
+            let out = replay(prog, &mut g);
+            if let Some(f) = out.fault() {
+                panic!("fault: {f}");
+            }
+            let Some(t) = out.ready_threads().next() else { return g };
+            match &out.threads[t as usize] {
+                ThreadStatus::Ready(PendingOp::Read { loc, mode, desc, .. }) => {
+                    // Sequential: read the mo-maximal write.
+                    let src = g
+                        .mo(*loc)
+                        .last()
+                        .copied()
+                        .map(RfSource::Write)
+                        .unwrap_or(RfSource::Write(EventId::Init(*loc)));
+                    let v = match src {
+                        RfSource::Write(w) => g.write_value(w),
+                        RfSource::Bottom => unreachable!(),
+                    };
+                    g.push_event(
+                        t,
+                        EventKind::Read {
+                            loc: *loc,
+                            mode: *mode,
+                            rf: src,
+                            rmw: desc.write_on(v).is_some(),
+                            awaiting: desc.is_await(),
+                        },
+                    );
+                }
+                ThreadStatus::Ready(PendingOp::Write { loc, val, mode, rmw }) => {
+                    let id = g.push_event(
+                        t,
+                        EventKind::Write { loc: *loc, val: *val, mode: *mode, rmw: *rmw },
+                    );
+                    let pos = g.mo(*loc).len();
+                    g.insert_mo(*loc, id, pos);
+                }
+                ThreadStatus::Ready(PendingOp::Fence { mode }) => {
+                    g.push_event(t, EventKind::Fence { mode: *mode });
+                }
+                ThreadStatus::Ready(PendingOp::Error { msg }) => {
+                    g.push_event(t, EventKind::Error { msg: msg.clone() });
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_store_load() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.store(X, 7u64, vsync_graph::Mode::Rlx);
+            t.load(Reg(0), X, vsync_graph::Mode::Rlx);
+            t.assert_eq(Reg(0), 7u64, "read back");
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert!(g.error().is_none());
+        assert_eq!(g.final_state().get(&X), Some(&7));
+    }
+
+    #[test]
+    fn failed_assert_generates_error_event() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.load(Reg(0), X, vsync_graph::Mode::Rlx);
+            t.assert_eq(Reg(0), 1u64, "x must be 1");
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert_eq!(g.error().map(|(_, m)| m.to_owned()), Some("x must be 1".into()));
+    }
+
+    #[test]
+    fn rmw_reads_then_writes() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.init(X, 5);
+        pb.thread(|t| {
+            t.fetch_add(Reg(0), X, 3u64, vsync_graph::Mode::Rlx);
+            t.assert_eq(Reg(0), 5u64, "old value");
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert!(g.error().is_none());
+        assert_eq!(g.final_state().get(&X), Some(&8));
+        // Two events: rmw read + rmw write.
+        assert_eq!(g.thread_len(0), 2);
+    }
+
+    #[test]
+    fn cas_failure_has_no_write_event() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.init(X, 5);
+        pb.thread(|t| {
+            t.cas(Reg(0), X, 9u64, 1u64, vsync_graph::Mode::Rlx);
+            t.assert_eq(Reg(0), 5u64, "old value returned");
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert!(g.error().is_none());
+        assert_eq!(g.thread_len(0), 1); // read only
+        assert_eq!(g.final_state().get(&X), Some(&5));
+    }
+
+    #[test]
+    fn relaxed_fence_emits_no_event() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.fence(vsync_graph::Mode::Rlx);
+            t.fence(vsync_graph::Mode::Sc);
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert_eq!(g.thread_len(0), 1); // only the sc fence
+    }
+
+    #[test]
+    fn await_exits_immediately_when_condition_holds() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.init(X, 3);
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 3u64, vsync_graph::Mode::Acq);
+            t.assert_eq(Reg(0), 3u64, "polled value");
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert!(g.error().is_none());
+        assert_eq!(g.thread_len(0), 1);
+    }
+
+    #[test]
+    fn await_rmw_success_emits_pair() {
+        // await_while(xchg(x,1) != 0) with x initially 0: immediate success.
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.await_rmw(Reg(0), X, Test::eq(0u64), RmwOp::Xchg, 1u64, vsync_graph::Mode::Acq);
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert_eq!(g.thread_len(0), 2);
+        assert_eq!(g.final_state().get(&X), Some(&1));
+    }
+
+    #[test]
+    fn bounded_effect_violation_faults() {
+        // A failed iteration that would fetch_add(1): not value-preserving.
+        let mut pb = ProgramBuilder::new("p");
+        pb.init(X, 5);
+        pb.thread(|t| {
+            // until x == 0, op add 1: reading 5 fails the test and add 1 ≠ id.
+            t.await_rmw(Reg(0), X, Test::eq(0u64), RmwOp::Add, 1u64, vsync_graph::Mode::Rlx);
+        });
+        let prog = pb.build().unwrap();
+        let mut g = ExecutionGraph::new(1, prog.init().clone());
+        g.push_event(
+            0,
+            EventKind::Read {
+                loc: X,
+                mode: vsync_graph::Mode::Rlx,
+                rf: RfSource::Write(EventId::Init(X)),
+                rmw: false,
+                awaiting: true,
+            },
+        );
+        let out = replay(&prog, &mut g);
+        assert!(out.fault().unwrap().contains("Bounded-Effect"));
+    }
+
+    #[test]
+    fn wasteful_detected_on_repeated_source() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 1u64, vsync_graph::Mode::Rlx);
+        });
+        let prog = pb.build().unwrap();
+        let mut g = ExecutionGraph::new(1, prog.init().clone());
+        for _ in 0..2 {
+            g.push_event(
+                0,
+                EventKind::Read {
+                    loc: X,
+                    mode: vsync_graph::Mode::Rlx,
+                    rf: RfSource::Write(EventId::Init(X)),
+                    rmw: false,
+                    awaiting: true,
+                },
+            );
+        }
+        let out = replay(&prog, &mut g);
+        assert!(out.wasteful, "two consecutive reads from init are wasteful");
+    }
+
+    #[test]
+    fn blocked_await_reports_prev_rf() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 1u64, vsync_graph::Mode::Rlx);
+        });
+        let prog = pb.build().unwrap();
+        let mut g = ExecutionGraph::new(1, prog.init().clone());
+        g.push_event(
+            0,
+            EventKind::Read {
+                loc: X,
+                mode: vsync_graph::Mode::Rlx,
+                rf: RfSource::Write(EventId::Init(X)),
+                rmw: false,
+                awaiting: true,
+            },
+        );
+        g.push_event(
+            0,
+            EventKind::Read {
+                loc: X,
+                mode: vsync_graph::Mode::Rlx,
+                rf: RfSource::Bottom,
+                rmw: false,
+                awaiting: true,
+            },
+        );
+        let out = replay(&prog, &mut g);
+        match &out.threads[0] {
+            ThreadStatus::Blocked(b) => {
+                assert_eq!(b.prev_rf, Some(RfSource::Write(EventId::Init(X))));
+                assert_eq!(b.loc, X);
+            }
+            s => panic!("expected blocked, got {s:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_local_loop_exhausts_budget() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.thread(|t| {
+            let head = t.here_label();
+            t.jmp(head);
+        });
+        let prog = pb.build().unwrap();
+        let mut g = ExecutionGraph::new(1, prog.init().clone());
+        let out = replay_with_budget(&prog, &mut g, 1000);
+        assert!(out.fault().unwrap().contains("Bounded-Length"));
+    }
+
+    #[test]
+    fn control_flow_branches() {
+        let mut pb = ProgramBuilder::new("p");
+        pb.init(X, 2);
+        pb.thread(|t| {
+            let else_ = t.label();
+            let end = t.label();
+            t.load(Reg(0), X, vsync_graph::Mode::Rlx);
+            t.jmp_if(Reg(0), Test::ne(1u64), else_);
+            t.mov(Reg(1), 100u64);
+            t.jmp(end);
+            t.bind(else_);
+            t.mov(Reg(1), 200u64);
+            t.bind(end);
+            t.assert_eq(Reg(1), 200u64, "took else branch");
+        });
+        let prog = pb.build().unwrap();
+        let g = run_sequential(&prog);
+        assert!(g.error().is_none());
+    }
+}

@@ -1,0 +1,15 @@
+//! # vsync-locks
+//!
+//! Synchronization primitives in two forms:
+//!
+//! * [`model`] — lock algorithms written in the modeling language, checked
+//!   and optimized by AMC: the paper's study cases (§3: DPDK MCS, Huawei
+//!   MCS, Linux qspinlock) and the classic spinlock family;
+//! * [`runtime`] — executable implementations of the 18 locks of the
+//!   paper's Table 5, parameterized by barrier profile (sc-only vs
+//!   optimized), run on the `vsync-sim` virtual-time multicore simulator.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod runtime;

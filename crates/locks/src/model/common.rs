@@ -1,0 +1,111 @@
+//! Shared infrastructure for model-checked locks: the memory map, the
+//! [`LockModel`] abstraction and the paper's generic client.
+//!
+//! The client is the workload AMC verifies (paper §1.2 "generic client
+//! code" and Listing 1): every thread acquires the lock, increments a
+//! shared counter with *plain* accesses, and releases. Mutual exclusion
+//! and sufficient barriers are both checked by a single final-state
+//! predicate — a lost increment means overlapping critical sections or
+//! missing synchronization (exactly the Huawei MCS failure of §3.2).
+
+use vsync_graph::Loc;
+use vsync_lang::{Fixed, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
+
+/// The primary lock word (tail pointer for queue locks).
+pub const LOCK: Loc = 0x100;
+/// Secondary lock word (e.g. ticket `owner`).
+pub const LOCK2: Loc = 0x108;
+/// Tertiary lock word.
+pub const LOCK3: Loc = 0x110;
+/// The client's shared counter.
+pub const COUNTER: Loc = 0x200;
+/// Extra client scratch locations.
+pub const SCRATCH: Loc = 0x300;
+
+/// Base address of per-thread queue nodes.
+pub const NODE_BASE: Loc = 0x1000;
+/// Size of one queue node.
+pub const NODE_SIZE: Loc = 0x40;
+/// Offset of a node's `next` field.
+pub const NEXT_OFF: Loc = 0x0;
+/// Offset of a node's `locked`/`spin` field.
+pub const LOCKED_OFF: Loc = 0x8;
+
+/// The queue node address of a thread (for queue-based locks).
+pub fn node_addr(tid: u32) -> Loc {
+    NODE_BASE + tid as Loc * NODE_SIZE
+}
+
+/// Registers `r0..=r15` belong to lock code; the client uses `r24..=r27`.
+pub const CLIENT_REG0: Reg = Reg(24);
+/// Second client register.
+pub const CLIENT_REG1: Reg = Reg(25);
+
+/// A lock algorithm expressed in the modeling language.
+///
+/// Implementations emit straight-line acquire/release code into a thread
+/// builder; barrier annotations become named, shared sites the optimizer
+/// can relax.
+pub trait LockModel: std::fmt::Debug + Sync {
+    /// Identifier used in reports (`"ttas"`, `"mcs"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Declare initial memory values (most locks start all-zero).
+    fn emit_init(&self, _pb: &mut ProgramBuilder) {}
+
+    /// Emit once-per-thread setup before the first acquire (e.g. CLH node
+    /// adoption).
+    fn emit_thread_setup(&self, _t: &mut ThreadBuilder) {}
+
+    /// Emit the acquire path.
+    fn emit_acquire(&self, t: &mut ThreadBuilder);
+
+    /// Emit the release path.
+    fn emit_release(&self, t: &mut ThreadBuilder);
+}
+
+/// Build the generic mutual-exclusion client: `threads` threads each
+/// acquire, increment [`COUNTER`] with plain (non-atomic) accesses, and
+/// release, `acquires` times. The final-state check demands no increment
+/// is lost.
+pub fn mutex_client(lock: &dyn LockModel, threads: usize, acquires: usize) -> Program {
+    let mut pb = ProgramBuilder::new(lock.name());
+    pb.init(COUNTER, 0);
+    lock.emit_init(&mut pb);
+    for _ in 0..threads {
+        pb.thread(|t| {
+            lock.emit_thread_setup(t);
+            for _ in 0..acquires {
+                lock.emit_acquire(t);
+                emit_counter_increment(t);
+                lock.emit_release(t);
+            }
+        });
+    }
+    let total = (threads * acquires) as u64;
+    pb.final_check(COUNTER, Test::eq(total), "no increment lost in the critical section");
+    pb.build().expect("lock client is well-formed")
+}
+
+/// The critical section: `counter++` with plain relaxed accesses.
+///
+/// Uses `Fixed` sites so the optimizer never touches client code.
+pub fn emit_counter_increment(t: &mut ThreadBuilder) {
+    t.load(CLIENT_REG0, COUNTER, Fixed(vsync_graph::Mode::Rlx));
+    t.add(CLIENT_REG1, CLIENT_REG0, 1u64);
+    t.store(COUNTER, CLIENT_REG1, Fixed(vsync_graph::Mode::Rlx));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_addresses_do_not_overlap() {
+        assert_eq!(node_addr(0), 0x1000);
+        assert_eq!(node_addr(1), 0x1040);
+        assert!(node_addr(0) + LOCKED_OFF < node_addr(1));
+        // Nodes stay clear of the static locations.
+        assert!(node_addr(0) > COUNTER + 8);
+    }
+}

@@ -1,0 +1,186 @@
+//! Study case §3.1: the DPDK v20.05 MCS lock bug.
+//!
+//! `rte_mcslock_lock` publishes `prev->next = me` with a **relaxed** store
+//! (Fig. 13, line 27). Nothing orders the initialization of `me->locked`
+//! before that publication, so the releasing thread's
+//! `me->next->locked = 0` can land `mo`-before the owner's own
+//! `me->locked = 1` — and the owner awaits `locked == 0` forever
+//! (Fig. 14). The fix makes the publication release and — under IMM-style
+//! models, which have no address-dependency ordering — the consumer's read
+//! acquire (Fig. 15).
+
+use vsync_graph::Mode;
+use vsync_lang::{Addr, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
+
+use super::common::{node_addr, LockModel, LOCK, LOCKED_OFF, NEXT_OFF};
+
+/// The DPDK MCS lock, with the bug toggleable.
+#[derive(Debug, Clone, Copy)]
+pub struct DpdkMcsLock {
+    /// `false` reproduces DPDK v20.05 (relaxed `prev->next` store and
+    /// relaxed `me->next` reads); `true` applies the paper's fix.
+    pub fixed: bool,
+}
+
+impl DpdkMcsLock {
+    /// The buggy upstream version.
+    pub fn buggy() -> Self {
+        DpdkMcsLock { fixed: false }
+    }
+
+    /// The fixed version.
+    pub fn patched() -> Self {
+        DpdkMcsLock { fixed: true }
+    }
+
+    fn store_next_mode(&self) -> Mode {
+        if self.fixed {
+            Mode::Rel
+        } else {
+            Mode::Rlx
+        }
+    }
+
+    fn read_next_mode(&self) -> Mode {
+        if self.fixed {
+            Mode::Acq
+        } else {
+            Mode::Rlx
+        }
+    }
+}
+
+impl LockModel for DpdkMcsLock {
+    fn name(&self) -> &'static str {
+        if self.fixed {
+            "dpdk-mcs-fixed"
+        } else {
+            "dpdk-mcs"
+        }
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        let me = node_addr(t.id());
+        let done = t.label();
+        // Init me node (Fig. 13 lines 14-15).
+        t.store(me + LOCKED_OFF, 1u64, ("dpdk.acquire.init_locked", Mode::Rlx));
+        t.store(me + NEXT_OFF, 0u64, ("dpdk.acquire.init_next", Mode::Rlx));
+        // prev = exchange(msl, me, ACQ_REL) (line 23).
+        t.xchg(Reg(0), LOCK, me, ("dpdk.acquire.xchg", Mode::AcqRel));
+        t.jmp_if(Reg(0), Test::eq(0u64), done);
+        // prev->next = me  (line 27 — RELAXED: the bug).
+        t.store(
+            Addr::RegOff(Reg(0), NEXT_OFF),
+            me,
+            ("dpdk.acquire.store_next", self.store_next_mode()),
+        );
+        // __atomic_thread_fence(ACQ_REL) (line 32 — useless, see §3.1).
+        t.fence(("dpdk.acquire.fence", Mode::AcqRel));
+        // while (load(&me->locked, ACQUIRE)) pause (line 33).
+        t.await_eq(Reg(1), me + LOCKED_OFF, 0u64, ("dpdk.acquire.await", Mode::Acq));
+        t.bind(done);
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        let me = node_addr(t.id());
+        let pass = t.label();
+        let done = t.label();
+        // if (load(&me->next, RELAXED) == NULL) { slowpath } (line 39).
+        t.load(Reg(2), me + NEXT_OFF, ("dpdk.release.load_next", self.read_next_mode()));
+        t.jmp_if(Reg(2), Test::ne(0u64), pass);
+        t.cas(Reg(3), LOCK, me, 0u64, ("dpdk.release.cas", Mode::AcqRel));
+        t.jmp_if(Reg(3), Test::eq(me), done);
+        t.await_neq(Reg(2), me + NEXT_OFF, 0u64, ("dpdk.release.await_next", self.read_next_mode()));
+        t.bind(pass);
+        // store(&me->next->locked, 0, RELEASE) (line 44).
+        t.store(Addr::RegOff(Reg(2), LOCKED_OFF), 0u64, ("dpdk.release.handover", Mode::Rel));
+        t.bind(done);
+    }
+}
+
+/// The exact bug scenario of Fig. 13 (lines 46-55): Bob holds the lock and
+/// releases it; Alice acquires. In the buggy version Alice can hang
+/// forever — an await-termination violation with Fig. 14's graph as the
+/// counterexample.
+pub fn dpdk_scenario(fixed: bool) -> Program {
+    let lock = DpdkMcsLock { fixed };
+    let alice = node_addr(0);
+    let bob = node_addr(1);
+    let mut pb = ProgramBuilder::new(if fixed { "dpdk-scenario-fixed" } else { "dpdk-scenario" });
+    // Bob has the lock: tail points at his node.
+    pb.init(LOCK, bob);
+    pb.init(bob + NEXT_OFF, 0);
+    pb.init(alice + NEXT_OFF, 0);
+    pb.init(alice + LOCKED_OFF, 0);
+    // Alice: rte_mcslock_lock(&tail, &alice).
+    pb.thread(|t| {
+        lock.emit_acquire(t);
+    });
+    // Bob: rte_mcslock_unlock(&tail, &bob) — fastpath ignored per Fig. 13:
+    // he waits for his successor and hands over.
+    pb.thread(|t| {
+        let read_mode = if fixed { Mode::Acq } else { Mode::Rlx };
+        t.await_neq(Reg(2), bob + NEXT_OFF, 0u64, ("bob.await_next", read_mode));
+        t.store(Addr::RegOff(Reg(2), LOCKED_OFF), 0u64, ("bob.handover", Mode::Rel));
+    });
+    pb.build().expect("scenario is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::mutex_client;
+    use super::*;
+    use vsync_core::{verify, AmcConfig, Verdict};
+    use vsync_model::ModelKind;
+
+    fn vmm() -> AmcConfig {
+        AmcConfig::with_model(ModelKind::Vmm)
+    }
+
+    #[test]
+    fn buggy_scenario_hangs_alice() {
+        let v = verify(&dpdk_scenario(false), &vmm());
+        let Verdict::AwaitTermination(ce) = &v else {
+            panic!("expected Alice to hang (Fig. 14), got {v}");
+        };
+        // The witness has Alice's poll of her own locked flag pending.
+        assert!(ce.graph.pending_reads().any(|(_, loc)| loc == node_addr(0) + LOCKED_OFF));
+    }
+
+    #[test]
+    fn fixed_scenario_verifies() {
+        let v = verify(&dpdk_scenario(true), &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn buggy_scenario_fine_under_sc() {
+        // The hang is a weak-memory artifact: SC admits no such execution.
+        let v = verify(&dpdk_scenario(false), &AmcConfig::with_model(ModelKind::Sc));
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn buggy_scenario_fine_under_tso() {
+        // x86 is also safe — the bug bites on weaker (ARM-like) models.
+        let v = verify(&dpdk_scenario(false), &AmcConfig::with_model(ModelKind::Tso));
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn fixed_lock_full_client_verifies() {
+        let p = mutex_client(&DpdkMcsLock::patched(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn buggy_lock_full_client_violates() {
+        let p = mutex_client(&DpdkMcsLock::buggy(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(
+            matches!(v, Verdict::AwaitTermination(_) | Verdict::Safety(_)),
+            "expected a violation, got {v}"
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Study case §3.2: the MCS lock of an internal Huawei product.
+//!
+//! The implementation (Fig. 18) ends `mcslock_acquire` with a plain
+//! `while (me->spin);` — no acquire barrier after the await. The releasing
+//! thread's critical section is therefore not ordered before the new
+//! owner's critical section, and the two increments of `x++` can overlap:
+//! one update is lost (Fig. 19). The fix is an acquire barrier at the end
+//! of the acquire path.
+//!
+//! Unlike the DPDK case this bug was reproduced on real hardware and causes
+//! silent data corruption — a safety violation, not a hang.
+
+use vsync_graph::Mode;
+use vsync_lang::{Addr, Fixed, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
+
+use super::common::{node_addr, LockModel, COUNTER, LOCK, LOCKED_OFF, NEXT_OFF};
+
+/// The Huawei-product MCS lock, with the missing barrier toggleable.
+#[derive(Debug, Clone, Copy)]
+pub struct HuaweiMcsLock {
+    /// `false` reproduces the shipped code; `true` adds the acquire fence
+    /// the paper recommends.
+    pub fixed: bool,
+}
+
+impl HuaweiMcsLock {
+    /// The shipped (buggy) version.
+    pub fn buggy() -> Self {
+        HuaweiMcsLock { fixed: false }
+    }
+
+    /// The version with the recommended fix.
+    pub fn patched() -> Self {
+        HuaweiMcsLock { fixed: true }
+    }
+}
+
+impl LockModel for HuaweiMcsLock {
+    fn name(&self) -> &'static str {
+        if self.fixed {
+            "huawei-mcs-fixed"
+        } else {
+            "huawei-mcs"
+        }
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        let me = node_addr(t.id());
+        let done = t.label();
+        let wait = t.label();
+        // me->next = NULL; me->spin = 1 (plain stores in the original).
+        t.store(me + NEXT_OFF, 0u64, ("hw.acquire.init_next", Mode::Rlx));
+        t.store(me + LOCKED_OFF, 1u64, ("hw.acquire.init_spin", Mode::Rlx));
+        // smp_wmb() — "consider to be SC fence" (Fig. 18 comment).
+        t.fence(("hw.acquire.wmb", Mode::Sc));
+        // prev = __sync_lock_test_and_set(tail, me) — acquire semantics.
+        t.xchg(Reg(0), LOCK, me, ("hw.acquire.tas", Mode::Acq));
+        t.jmp_if(Reg(0), Test::ne(0u64), wait);
+        t.jmp(done);
+        t.bind(wait);
+        // prev->next = me (plain store).
+        t.store(Addr::RegOff(Reg(0), NEXT_OFF), me, ("hw.acquire.store_next", Mode::Rlx));
+        // smp_mb().
+        t.fence(("hw.acquire.mb", Mode::Sc));
+        // while (me->spin); — plain polling read.
+        t.await_eq(Reg(1), me + LOCKED_OFF, 0u64, ("hw.acquire.await", Mode::Rlx));
+        if self.fixed {
+            // The missing barrier: e.g. smp_mb() / an acquire fence.
+            t.fence(("hw.acquire.fix_fence", Mode::Acq));
+        }
+        t.bind(done);
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        let me = node_addr(t.id());
+        let pass = t.label();
+        let done = t.label();
+        // if (!me->next) { sc cmpxchg; wait for successor }
+        t.load(Reg(2), me + NEXT_OFF, ("hw.release.load_next", Mode::Rlx));
+        t.jmp_if(Reg(2), Test::ne(0u64), pass);
+        t.cas(Reg(3), LOCK, me, 0u64, ("hw.release.cas", Mode::Sc));
+        t.jmp_if(Reg(3), Test::eq(me), done);
+        t.await_neq(Reg(2), me + NEXT_OFF, 0u64, ("hw.release.await_next", Mode::Rlx));
+        t.bind(pass);
+        // smp_mb(); me->next->spin = 0 (plain store after full fence).
+        t.fence(("hw.release.mb", Mode::Sc));
+        t.store(Addr::RegOff(Reg(2), LOCKED_OFF), 0u64, ("hw.release.store_spin", Mode::Rlx));
+        t.bind(done);
+    }
+}
+
+/// The Fig. 19 scenario: Bob is inside the critical section (`x++`), Alice
+/// wants to enter and increment too. With the missing acquire barrier the
+/// increments can overlap and the final value of `x` is 1 instead of 2.
+pub fn huawei_scenario(fixed: bool) -> Program {
+    let lock = HuaweiMcsLock { fixed };
+    let bob = node_addr(1);
+    let mut pb =
+        ProgramBuilder::new(if fixed { "huawei-scenario-fixed" } else { "huawei-scenario" });
+    // Bob holds the lock.
+    pb.init(LOCK, bob);
+    pb.init(COUNTER, 0);
+    // Alice: acquire; x++; release.
+    pb.thread(|t| {
+        lock.emit_acquire(t);
+        t.load(Reg(8), COUNTER, Fixed(Mode::Rlx));
+        t.add(Reg(9), Reg(8), 1u64);
+        t.store(COUNTER, Reg(9), Fixed(Mode::Rlx));
+        lock.emit_release(t);
+    });
+    // Bob: x++ (already inside); release.
+    pb.thread(|t| {
+        t.load(Reg(8), COUNTER, Fixed(Mode::Rlx));
+        t.add(Reg(9), Reg(8), 1u64);
+        t.store(COUNTER, Reg(9), Fixed(Mode::Rlx));
+        lock.emit_release(t);
+    });
+    pb.final_check(COUNTER, Test::eq(2u64), "both increments visible (no data corruption)");
+    pb.build().expect("scenario is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::mutex_client;
+    use super::*;
+    use vsync_core::{verify, AmcConfig, Verdict};
+    use vsync_model::ModelKind;
+
+    fn vmm() -> AmcConfig {
+        AmcConfig::with_model(ModelKind::Vmm)
+    }
+
+    #[test]
+    fn buggy_scenario_loses_an_increment() {
+        let v = verify(&huawei_scenario(false), &vmm());
+        let Verdict::Safety(ce) = &v else {
+            panic!("expected lost update (Fig. 19), got {v}");
+        };
+        assert!(ce.message.contains("no data corruption"));
+    }
+
+    #[test]
+    fn fixed_scenario_verifies() {
+        let v = verify(&huawei_scenario(true), &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn buggy_scenario_fine_under_sc() {
+        let v = verify(&huawei_scenario(false), &AmcConfig::with_model(ModelKind::Sc));
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn fixed_lock_full_client_verifies() {
+        let p = mutex_client(&HuaweiMcsLock::patched(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn buggy_lock_full_client_violates() {
+        let p = mutex_client(&HuaweiMcsLock::buggy(), 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+}

@@ -1,0 +1,263 @@
+//! Queue locks: MCS (Mellor-Crummey & Scott), CLH, and the CertiKOS-style
+//! sc-heavy MCS used as a baseline in the paper's Fig. 27.
+
+use vsync_graph::Mode;
+use vsync_lang::{Addr, ProgramBuilder, Reg, Test, ThreadBuilder};
+
+use super::common::{node_addr, LockModel, LOCK, LOCKED_OFF, NEXT_OFF};
+
+/// The MCS queue lock with correct (already relaxed) barriers.
+///
+/// Node protocol: `next = 0` until a successor announces itself;
+/// `locked = 1` while waiting, reset to `0` by the predecessor.
+#[derive(Debug, Clone, Copy)]
+pub struct McsLock {
+    /// Mode of the tail exchange.
+    pub xchg_mode: Mode,
+    /// Mode of the `prev->next = me` store (must be release: §3.1!).
+    pub store_next_mode: Mode,
+    /// Mode of the `me->locked` polling read.
+    pub await_mode: Mode,
+    /// Mode of the `me->next` read in release (must be acquire under IMM).
+    pub load_next_mode: Mode,
+    /// Mode of the tail CAS in release.
+    pub release_cas_mode: Mode,
+    /// Mode of the `next->locked = 0` handover store.
+    pub handover_mode: Mode,
+}
+
+impl Default for McsLock {
+    fn default() -> Self {
+        McsLock {
+            xchg_mode: Mode::AcqRel,
+            store_next_mode: Mode::Rel,
+            await_mode: Mode::Acq,
+            load_next_mode: Mode::Acq,
+            release_cas_mode: Mode::Rel,
+            handover_mode: Mode::Rel,
+        }
+    }
+}
+
+impl McsLock {
+    fn emit_acquire_named(&self, t: &mut ThreadBuilder, prefix: &str) {
+        let me = node_addr(t.id());
+        let done = t.label();
+        t.store(me + NEXT_OFF, 0u64, (&*format!("{prefix}.acquire.init_next"), Mode::Rlx));
+        t.store(me + LOCKED_OFF, 1u64, (&*format!("{prefix}.acquire.init_locked"), Mode::Rlx));
+        t.xchg(Reg(0), LOCK, me, (&*format!("{prefix}.acquire.xchg"), self.xchg_mode));
+        t.jmp_if(Reg(0), Test::eq(0u64), done);
+        t.store(
+            Addr::RegOff(Reg(0), NEXT_OFF),
+            me,
+            (&*format!("{prefix}.acquire.store_next"), self.store_next_mode),
+        );
+        t.await_eq(
+            Reg(1),
+            me + LOCKED_OFF,
+            0u64,
+            (&*format!("{prefix}.acquire.await"), self.await_mode),
+        );
+        t.bind(done);
+    }
+
+    fn emit_release_named(&self, t: &mut ThreadBuilder, prefix: &str) {
+        let me = node_addr(t.id());
+        let pass = t.label();
+        let done = t.label();
+        t.load(Reg(2), me + NEXT_OFF, (&*format!("{prefix}.release.load_next"), self.load_next_mode));
+        t.jmp_if(Reg(2), Test::ne(0u64), pass);
+        t.cas(Reg(3), LOCK, me, 0u64, (&*format!("{prefix}.release.cas"), self.release_cas_mode));
+        t.jmp_if(Reg(3), Test::eq(me), done);
+        t.await_neq(
+            Reg(2),
+            me + NEXT_OFF,
+            0u64,
+            (&*format!("{prefix}.release.await_next"), self.load_next_mode),
+        );
+        t.bind(pass);
+        t.store(
+            Addr::RegOff(Reg(2), LOCKED_OFF),
+            0u64,
+            (&*format!("{prefix}.release.handover"), self.handover_mode),
+        );
+        t.bind(done);
+    }
+}
+
+impl LockModel for McsLock {
+    fn name(&self) -> &'static str {
+        "mcs"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        self.emit_acquire_named(t, "mcs");
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        self.emit_release_named(t, "mcs");
+    }
+}
+
+/// The CertiKOS-style MCS lock: same shape, every barrier SC (the verified
+/// OS keeps everything sequentially consistent). Baseline of Fig. 27.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CertikosMcs;
+
+impl LockModel for CertikosMcs {
+    fn name(&self) -> &'static str {
+        "certikos-mcs"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        let sc = McsLock {
+            xchg_mode: Mode::Sc,
+            store_next_mode: Mode::Sc,
+            await_mode: Mode::Sc,
+            load_next_mode: Mode::Sc,
+            release_cas_mode: Mode::Sc,
+            handover_mode: Mode::Sc,
+        };
+        sc.emit_acquire_named(t, "certikos");
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        let sc = McsLock {
+            xchg_mode: Mode::Sc,
+            store_next_mode: Mode::Sc,
+            await_mode: Mode::Sc,
+            load_next_mode: Mode::Sc,
+            release_cas_mode: Mode::Sc,
+            handover_mode: Mode::Sc,
+        };
+        sc.emit_release_named(t, "certikos");
+    }
+}
+
+/// The CLH queue lock: threads spin on their *predecessor's* node.
+///
+/// The queue tail starts at a dummy unlocked node. Released nodes are
+/// recycled: after releasing, a thread adopts its predecessor's node
+/// (register `r15` holds the current node across acquire/release pairs).
+#[derive(Debug, Clone, Copy)]
+pub struct ClhLock {
+    /// Mode of the tail exchange.
+    pub xchg_mode: Mode,
+    /// Mode of the predecessor poll.
+    pub await_mode: Mode,
+    /// Mode of the releasing store.
+    pub release_mode: Mode,
+}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        ClhLock { xchg_mode: Mode::AcqRel, await_mode: Mode::Acq, release_mode: Mode::Rel }
+    }
+}
+
+/// Address of the CLH dummy node (distinct from all per-thread nodes,
+/// which use small thread ids).
+pub fn clh_dummy_node() -> u64 {
+    node_addr(48)
+}
+
+const MY_NODE: Reg = Reg(15);
+const MY_PRED: Reg = Reg(14);
+
+impl LockModel for ClhLock {
+    fn name(&self) -> &'static str {
+        "clh"
+    }
+
+    fn emit_init(&self, pb: &mut ProgramBuilder) {
+        pb.init(LOCK, clh_dummy_node());
+    }
+
+    fn emit_thread_setup(&self, t: &mut ThreadBuilder) {
+        t.mov(MY_NODE, node_addr(t.id()));
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        t.store(Addr::RegOff(MY_NODE, LOCKED_OFF), 1u64, ("clh.acquire.init", Mode::Rlx));
+        t.xchg(MY_PRED, LOCK, MY_NODE, ("clh.acquire.xchg", self.xchg_mode));
+        t.await_eq(
+            Reg(0),
+            Addr::RegOff(MY_PRED, LOCKED_OFF),
+            0u64,
+            ("clh.acquire.await", self.await_mode),
+        );
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        t.store(Addr::RegOff(MY_NODE, LOCKED_OFF), 0u64, ("clh.release.store", self.release_mode));
+        // Recycle: adopt the predecessor's node for the next round.
+        t.mov(MY_NODE, MY_PRED);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::mutex_client;
+    use super::*;
+    use vsync_core::{verify, AmcConfig, Verdict};
+    use vsync_model::ModelKind;
+
+    fn vmm() -> AmcConfig {
+        AmcConfig::with_model(ModelKind::Vmm)
+    }
+
+    #[test]
+    fn mcs_two_threads_verifies() {
+        let p = mutex_client(&McsLock::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn mcs_relaxed_store_next_hangs() {
+        // The DPDK bug shape (§3.1): prev->next published without release.
+        let lock = McsLock { store_next_mode: Mode::Rlx, load_next_mode: Mode::Rlx, ..McsLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(
+            matches!(v, Verdict::AwaitTermination(_) | Verdict::Safety(_)),
+            "expected a violation, got {v}"
+        );
+    }
+
+    #[test]
+    fn mcs_relaxed_handover_fails() {
+        let lock = McsLock { handover_mode: Mode::Rlx, ..McsLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+
+    #[test]
+    fn certikos_two_threads_verifies() {
+        let p = mutex_client(&CertikosMcs, 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn clh_two_threads_verifies() {
+        let p = mutex_client(&ClhLock::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn clh_reacquire_verifies() {
+        // Node recycling: each thread acquires twice.
+        let p = mutex_client(&ClhLock::default(), 2, 2);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn clh_relaxed_release_fails() {
+        let lock = ClhLock { release_mode: Mode::Rlx, ..ClhLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+}

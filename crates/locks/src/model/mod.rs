@@ -1,0 +1,55 @@
+//! Model-checked lock algorithms (verified and optimized by AMC).
+//!
+//! Every lock implements [`LockModel`]; [`mutex_client`] wraps any of them
+//! in the paper's generic client (acquire; `counter++`; release) with a
+//! lost-update final-state check. The two study-case locks additionally
+//! ship the paper's exact bug scenarios ([`dpdk_scenario`],
+//! [`huawei_scenario`]).
+
+mod common;
+mod dpdk;
+mod extra;
+mod huawei;
+mod mcs;
+mod qspinlock;
+mod rwlock;
+mod simple;
+
+pub use common::{
+    emit_counter_increment, mutex_client, node_addr, LockModel, COUNTER, LOCK, LOCK2, LOCK3,
+    LOCKED_OFF, NEXT_OFF, NODE_BASE, NODE_SIZE, SCRATCH,
+};
+pub use dpdk::{dpdk_scenario, DpdkMcsLock};
+pub use extra::{
+    recursive_scenario, ArrayLock, FutexMutex, RecursiveLock, TwaLock, ARRAY_BASE, TWA_WA_BASE,
+};
+pub use huawei::{huawei_scenario, HuaweiMcsLock};
+pub use mcs::{clh_dummy_node, CertikosMcs, ClhLock, McsLock};
+pub use qspinlock::{
+    qspinlock_handover_scenario, qspinlock_scenario, tail_of, Qspinlock, LOCKED_MASK, LOCKED_PENDING_MASK, LOCKED_VAL,
+    PENDING_VAL, TAIL_SHIFT,
+};
+pub use rwlock::{rwlock_reader_scenario, RwLock, WRITER};
+pub use simple::{CasLock, Semaphore, TicketLock, TtasLock};
+
+/// The catalog of verifiable lock models with their default (published)
+/// barrier assignments.
+pub fn all_lock_models() -> Vec<Box<dyn LockModel>> {
+    vec![
+        Box::new(CasLock::default()),
+        Box::new(TtasLock::default()),
+        Box::new(TicketLock::default()),
+        Box::new(Semaphore::default()),
+        Box::new(McsLock::default()),
+        Box::new(CertikosMcs),
+        Box::new(ClhLock::default()),
+        Box::new(DpdkMcsLock::patched()),
+        Box::new(HuaweiMcsLock::patched()),
+        Box::new(RwLock::default()),
+        Box::new(Qspinlock),
+        Box::new(ArrayLock::default()),
+        Box::new(TwaLock::default()),
+        Box::new(RecursiveLock::default()),
+        Box::new(FutexMutex::default()),
+    ]
+}

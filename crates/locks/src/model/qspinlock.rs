@@ -1,0 +1,310 @@
+//! The Linux qspinlock (§3.3, Table 1, Figs. 20–22), modeled after version
+//! 4.4 — the paper's optimization baseline.
+//!
+//! Word layout (32-bit in Linux; low bits of a cell here):
+//!
+//! ```text
+//! bits 0..8   locked byte   (_Q_LOCKED_VAL    = 0x0001)
+//! bits 8..16  pending bit   (_Q_PENDING_VAL   = 0x0100)
+//! bits 16..   tail cpu+1    (tail of tid t    = (t+1) << 16)
+//! ```
+//!
+//! The first contender spins on the pending bit instead of queueing; later
+//! contenders join an MCS queue embedded in per-CPU nodes. Linux's
+//! `cmpxchg` has a full barrier *after* the operation on success (Fig. 22);
+//! the 4.4 baseline is modeled the same way: a `rel` cmpxchg followed by a
+//! conditional SC fence — exactly the sites VSYNC relaxes in Fig. 20.
+
+use vsync_graph::Mode;
+use vsync_lang::{Addr, AluOp, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
+
+use super::common::{node_addr, LockModel, COUNTER, LOCK, LOCKED_OFF, NEXT_OFF, NODE_BASE, NODE_SIZE};
+
+/// `_Q_LOCKED_VAL`.
+pub const LOCKED_VAL: u64 = 0x0001;
+/// `_Q_PENDING_VAL`.
+pub const PENDING_VAL: u64 = 0x0100;
+/// Mask of the locked byte.
+pub const LOCKED_MASK: u64 = 0x00ff;
+/// Mask of locked byte + pending bit.
+pub const LOCKED_PENDING_MASK: u64 = 0xffff;
+/// Tail shift.
+pub const TAIL_SHIFT: u64 = 16;
+
+/// Tail encoding of a thread (cpu + 1, shifted).
+pub fn tail_of(tid: u32) -> u64 {
+    ((tid as u64) + 1) << TAIL_SHIFT
+}
+
+/// The qspinlock model. Default barrier modes reproduce the Linux 4.4
+/// baseline of Table 1 (3 acq / 6 rel / 6 sc among cmpxchg+fence pairs);
+/// the optimizer derives the VSYNC column.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Qspinlock;
+
+impl Qspinlock {
+    /// Emit `old = linux_cmpxchg(LOCK, expected_reg_or_imm, new)` with the
+    /// Fig. 22 wrapper: cmpxchg(rel) + SC fence when it succeeded.
+    fn linux_cmpxchg(
+        t: &mut ThreadBuilder,
+        dst: Reg,
+        expected: impl Into<vsync_lang::Operand> + Copy,
+        new: impl Into<vsync_lang::Operand>,
+        site: &str,
+    ) {
+        let skip = t.label();
+        t.cas(dst, LOCK, expected, new, (&*format!("{site}.cmpxchg"), Mode::Rel));
+        t.jmp_if(dst, Test::ne(expected), skip);
+        t.fence((&*format!("{site}.fence"), Mode::Sc));
+        t.bind(skip);
+    }
+}
+
+impl Qspinlock {
+    /// Head-of-queue protocol: wait for owner and pending waiter to drain,
+    /// then either claim an empty queue or hand the head role to the
+    /// successor. Factored out so scenarios can start a thread mid-queue
+    /// (see [`qspinlock_handover_scenario`]).
+    fn emit_queue_head(
+        &self,
+        t: &mut ThreadBuilder,
+        my_tail: u64,
+        me: u64,
+        contended: vsync_lang::Label,
+        done: vsync_lang::Label,
+    ) {
+        // Head of queue: wait for owner + pending to drain.
+        t.await_load(
+            Reg(7),
+            LOCK,
+            Test::mask_eq(LOCKED_PENDING_MASK, 0u64),
+            ("q.queue.await_lp", Mode::Acq),
+        );
+        // If we are the last queued CPU, claim the lock and empty the queue.
+        t.jmp_if(Reg(7), Test::ne(my_tail), contended);
+        Qspinlock::linux_cmpxchg(t, Reg(8), my_tail, LOCKED_VAL, "q.queue.claim");
+        t.jmp_if(Reg(8), Test::eq(my_tail), done);
+        t.bind(contended);
+        // Somebody is queued behind us: set the locked byte...
+        t.fetch_or(Reg(9), LOCK, LOCKED_VAL, ("q.queue.set_locked", Mode::Rlx));
+        // ...and hand the MCS head role to our successor.
+        t.await_neq(Reg(10), me + NEXT_OFF, 0u64, ("q.queue.await_next", Mode::Acq));
+        t.store(Addr::RegOff(Reg(10), LOCKED_OFF), 0u64, ("q.queue.handover", Mode::Rel));
+    }
+}
+
+impl LockModel for Qspinlock {
+    fn name(&self) -> &'static str {
+        "qspinlock"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        let tid = t.id();
+        let me = node_addr(tid);
+        let my_tail = tail_of(tid);
+        let done = t.label();
+        let slow = t.label();
+        let queue = t.label();
+        let head = t.label();
+        let contended = t.label();
+
+        // Fastpath: cmpxchg(0 -> LOCKED).
+        Qspinlock::linux_cmpxchg(t, Reg(0), 0u64, LOCKED_VAL, "q.lock");
+        t.jmp_if(Reg(0), Test::ne(0u64), slow);
+        t.jmp(done);
+
+        // --- queued_spin_lock_slowpath ---
+        t.bind(slow);
+        // Wait while the word is pending-only (owner gone, pending set):
+        // atomic32_await_neq_rlx in Fig. 20.
+        t.await_neq(Reg(1), LOCK, PENDING_VAL, ("q.slow.await_pending", Mode::Rlx));
+        // Any tail or pending => queue.
+        t.op(Reg(2), AluOp::And, Reg(1), !LOCKED_MASK);
+        t.jmp_if(Reg(2), Test::ne(0u64), queue);
+        // Try to take the pending bit: cmpxchg(val -> val | PENDING).
+        t.op(Reg(3), AluOp::Or, Reg(1), PENDING_VAL);
+        Qspinlock::linux_cmpxchg(t, Reg(4), Reg(1), Reg(3), "q.slow.pend");
+        t.jmp_if(Reg(4), Test::ne(Reg(1)), slow); // raced: retry
+        // We own pending: wait for the owner to drop the locked byte.
+        t.await_load(
+            Reg(5),
+            LOCK,
+            Test::mask_eq(LOCKED_MASK, 0u64),
+            ("q.slow.await_locked", Mode::Acq),
+        );
+        // Take the lock: clear pending, set locked (add LOCKED - PENDING).
+        t.rmw(
+            Reg(6),
+            LOCK,
+            vsync_lang::RmwOp::Sub,
+            PENDING_VAL - LOCKED_VAL,
+            ("q.slow.set_locked", Mode::Rlx),
+        );
+        t.jmp(done);
+
+        // --- queue path ---
+        t.bind(queue);
+        t.store(me + NEXT_OFF, 0u64, ("q.queue.init_next", Mode::Rlx));
+        t.store(me + LOCKED_OFF, 1u64, ("q.queue.init_locked", Mode::Rlx));
+        // xchg_tail: cmpxchg loop publishing our tail.
+        let xt = t.here_label();
+        t.load(Reg(1), LOCK, ("q.queue.read_tail", Mode::Rlx));
+        t.op(Reg(2), AluOp::And, Reg(1), LOCKED_PENDING_MASK);
+        t.op(Reg(2), AluOp::Or, Reg(2), my_tail);
+        // Fig. 20: this is the cmpxchg VSYNC keeps at seq_cst.
+        Qspinlock::linux_cmpxchg(t, Reg(3), Reg(1), Reg(2), "q.queue.xchg_tail");
+        t.jmp_if(Reg(3), Test::ne(Reg(1)), xt);
+        // prev tail (cpu+1) from the old value.
+        t.op(Reg(4), AluOp::Shr, Reg(1), TAIL_SHIFT);
+        t.jmp_if(Reg(4), Test::eq(0u64), head);
+        // Link behind the predecessor: prev_node = BASE + (ptail-1)*SIZE.
+        t.op(Reg(5), AluOp::Sub, Reg(4), 1u64);
+        t.op(Reg(5), AluOp::Shl, Reg(5), NODE_SIZE.trailing_zeros() as u64);
+        t.op(Reg(5), AluOp::Add, Reg(5), NODE_BASE);
+        // Must be release: the successor's node initialization has to be
+        // visible before the link is (the Linux 4.16 fix, and §3.1's DPDK
+        // lesson). Under IMM the consumer's address dependency would allow
+        // a relaxed read; our RC11-style VMM needs the acquire side too.
+        t.store(Addr::RegOff(Reg(5), NEXT_OFF), me, ("q.queue.store_next", Mode::Rel));
+        // Spin on our own node until the predecessor hands over.
+        t.await_eq(Reg(6), me + LOCKED_OFF, 0u64, ("q.queue.await_node", Mode::Acq));
+
+        t.bind(head);
+        self.emit_queue_head(t, my_tail, me, contended, done);
+        t.bind(done);
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        // Linux 4.4: smp_mb(); atomic_sub(_Q_LOCKED_VAL) — Fig. 20 removes
+        // the fence and makes the sub release.
+        t.fence(("q.unlock.fence", Mode::Sc));
+        t.fetch_sub(Reg(11), LOCK, LOCKED_VAL, ("q.unlock.sub", Mode::Rlx));
+    }
+}
+
+/// A cheaper Table 1 scenario: thread 0 starts as the lock owner (the word
+/// is initialized to `LOCKED_VAL`) and only releases; the other
+/// `threads - 1` threads acquire, increment, release. With three threads
+/// this exercises the pending *and* the queue paths without paying for
+/// three full acquisitions.
+pub fn qspinlock_scenario(threads: usize) -> Program {
+    let lock = Qspinlock;
+    let mut pb = ProgramBuilder::new("qspinlock-scenario");
+    pb.init(LOCK, LOCKED_VAL);
+    pb.init(COUNTER, 0);
+    pb.thread(|t| {
+        super::common::emit_counter_increment(t);
+        lock.emit_release(t);
+    });
+    for _ in 1..threads {
+        pb.thread(|t| {
+            lock.emit_acquire(t);
+            super::common::emit_counter_increment(t);
+            lock.emit_release(t);
+        });
+    }
+    pb.final_check(
+        COUNTER,
+        Test::eq(threads as u64),
+        "no increment lost in the critical section",
+    );
+    pb.build().expect("scenario is well-formed")
+}
+
+/// The queue-handover scenario: thread 1 starts *pre-queued* (the lock
+/// word already carries its tail and the owner, thread 0, is about to
+/// release), and thread 2 enqueues behind it. With only three threads this
+/// exercises every queue-path site — `store_next`, `await_node`,
+/// `set_locked`, `await_next` and `handover` — which the plain 3-thread
+/// scenario cannot (its queue never holds two waiters at once).
+///
+/// Without this scenario in the oracle, the optimizer happily relaxes the
+/// MCS hand-off of the queue to `rlx` — and the resulting lock loses
+/// increments at 4 threads. The §3.1 lesson, rediscovered push-button.
+pub fn qspinlock_handover_scenario() -> Program {
+    let lock = Qspinlock;
+    let t1 = 1u32;
+    let t1_node = node_addr(t1);
+    let mut pb = ProgramBuilder::new("qspinlock-handover");
+    // T0 owns the lock; T1 is already queued (tail published, spinning as
+    // queue head — nobody precedes it, so it starts at the head protocol).
+    pb.init(LOCK, LOCKED_VAL | tail_of(t1));
+    pb.init(t1_node + NEXT_OFF, 0);
+    pb.init(t1_node + LOCKED_OFF, 1);
+    pb.init(COUNTER, 0);
+    // T0: critical section, then release.
+    pb.thread(|t| {
+        super::common::emit_counter_increment(t);
+        lock.emit_release(t);
+    });
+    // T1: resume as the waiting queue head.
+    pb.thread(move |t| {
+        let contended = t.label();
+        let done = t.label();
+        lock.emit_queue_head(t, tail_of(t1), t1_node, contended, done);
+        t.bind(done);
+        super::common::emit_counter_increment(t);
+        lock.emit_release(t);
+    });
+    // T2: full acquisition — enqueues behind T1, exercising the link and
+    // hand-off writes.
+    pb.thread(|t| {
+        lock.emit_acquire(t);
+        super::common::emit_counter_increment(t);
+        lock.emit_release(t);
+    });
+    pb.final_check(COUNTER, Test::eq(3u64), "no increment lost in the critical section");
+    pb.build().expect("scenario is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::mutex_client;
+    use super::*;
+    use vsync_core::{verify, AmcConfig};
+    use vsync_model::ModelKind;
+
+    fn vmm() -> AmcConfig {
+        AmcConfig::with_model(ModelKind::Vmm)
+    }
+
+    #[test]
+    fn tail_encoding() {
+        assert_eq!(tail_of(0), 0x10000);
+        assert_eq!(tail_of(2), 0x30000);
+    }
+
+    #[test]
+    fn two_thread_client_verifies() {
+        // Exercises fastpath + pending path.
+        let p = mutex_client(&Qspinlock, 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn two_thread_scenario_verifies() {
+        let p = qspinlock_scenario(2);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn handover_scenario_verifies_with_published_barriers() {
+        let p = qspinlock_handover_scenario();
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn handover_scenario_catches_relaxed_handover() {
+        use vsync_lang::ModeRef;
+        let mut p = qspinlock_handover_scenario();
+        let i = p.sites().iter().position(|s| s.name == "q.queue.handover").unwrap();
+        p.set_mode(ModeRef(i as u32), vsync_graph::Mode::Rlx);
+        let j = p.sites().iter().position(|s| s.name == "q.queue.await_node").unwrap();
+        p.set_mode(ModeRef(j as u32), vsync_graph::Mode::Rlx);
+        let v = verify(&p, &vmm());
+        assert!(!v.is_verified(), "relaxed hand-off must be caught: {v}");
+    }
+}

@@ -1,0 +1,141 @@
+//! A reader-writer spinlock: reader count in the low bits, a writer bit
+//! above them.
+
+use vsync_graph::Mode;
+use vsync_lang::{Fixed, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
+
+use super::common::{LockModel, LOCK, SCRATCH};
+
+/// Writer bit of the lock word.
+pub const WRITER: u64 = 1 << 16;
+
+/// The reader-writer lock. As a [`LockModel`] it acts as its writer lock;
+/// reader-side code is emitted with [`RwLock::emit_read_acquire`] /
+/// [`RwLock::emit_read_release`].
+#[derive(Debug, Clone, Copy)]
+pub struct RwLock {
+    /// Mode of the writer-acquiring CAS.
+    pub write_acquire_mode: Mode,
+    /// Mode of the writer-releasing store.
+    pub write_release_mode: Mode,
+    /// Mode of the reader-acquiring CAS.
+    pub read_acquire_mode: Mode,
+    /// Mode of the reader-releasing fetch-sub.
+    pub read_release_mode: Mode,
+}
+
+impl Default for RwLock {
+    fn default() -> Self {
+        RwLock {
+            write_acquire_mode: Mode::Acq,
+            write_release_mode: Mode::Rel,
+            read_acquire_mode: Mode::Acq,
+            read_release_mode: Mode::Rel,
+        }
+    }
+}
+
+impl RwLock {
+    /// Reader acquire: wait until no writer, then bump the reader count.
+    pub fn emit_read_acquire(&self, t: &mut ThreadBuilder) {
+        let retry = t.here_label();
+        let got = t.label();
+        t.await_load(
+            Reg(0),
+            LOCK,
+            Test::mask_eq(WRITER, 0u64),
+            ("rw.racquire.await", Mode::Rlx),
+        );
+        t.op(Reg(1), vsync_lang::AluOp::Add, Reg(0), 1u64);
+        t.cas(Reg(2), LOCK, Reg(0), Reg(1), ("rw.racquire.cas", self.read_acquire_mode));
+        t.jmp_if(Reg(2), Test::eq(Reg(0)), got);
+        t.jmp(retry);
+        t.bind(got);
+    }
+
+    /// Reader release: drop the reader count.
+    pub fn emit_read_release(&self, t: &mut ThreadBuilder) {
+        t.fetch_sub(Reg(3), LOCK, 1u64, ("rw.rrelease.sub", self.read_release_mode));
+    }
+}
+
+impl LockModel for RwLock {
+    fn name(&self) -> &'static str {
+        "rwlock"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        // Writers wait for a completely free word.
+        t.await_cas(Reg(4), LOCK, 0u64, WRITER, ("rw.wacquire.cas", self.write_acquire_mode));
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        t.store(LOCK, 0u64, ("rw.wrelease.store", self.write_release_mode));
+    }
+}
+
+/// A reader-consistency scenario: the writer updates two locations under
+/// the write lock; a reader takes the read lock and must observe them
+/// equal. Verifies reader/writer exclusion *and* the barrier placement.
+pub fn rwlock_reader_scenario(lock: RwLock) -> Program {
+    let (a, b) = (SCRATCH, SCRATCH + 8);
+    let mut pb = ProgramBuilder::new("rwlock-reader");
+    pb.thread(move |t| {
+        lock.emit_acquire(t);
+        t.store(a, 1u64, Fixed(Mode::Rlx));
+        t.store(b, 1u64, Fixed(Mode::Rlx));
+        lock.emit_release(t);
+    });
+    pb.thread(move |t| {
+        lock.emit_read_acquire(t);
+        t.load(Reg(8), a, Fixed(Mode::Rlx));
+        t.load(Reg(9), b, Fixed(Mode::Rlx));
+        lock.emit_read_release(t);
+        // Under the read lock, a and b are updated atomically.
+        t.assert(
+            Reg(8),
+            Test { mask: None, cmp: vsync_lang::Cmp::Eq, rhs: Reg(9).into() },
+            "reader sees a == b",
+        );
+    });
+    pb.build().expect("scenario is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::mutex_client;
+    use super::*;
+    use vsync_core::{verify, AmcConfig, Verdict};
+    use vsync_model::ModelKind;
+
+    fn vmm() -> AmcConfig {
+        AmcConfig::with_model(ModelKind::Vmm)
+    }
+
+    #[test]
+    fn writer_lock_mutual_exclusion() {
+        let p = mutex_client(&RwLock::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn reader_sees_consistent_pair() {
+        let v = verify(&rwlock_reader_scenario(RwLock::default()), &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn relaxed_writer_release_breaks_readers() {
+        let lock = RwLock { write_release_mode: Mode::Rlx, ..RwLock::default() };
+        let v = verify(&rwlock_reader_scenario(lock), &vmm());
+        assert!(matches!(v, Verdict::Safety(_)), "got {v}");
+    }
+
+    #[test]
+    fn relaxed_reader_acquire_breaks_readers() {
+        let lock = RwLock { read_acquire_mode: Mode::Rlx, ..RwLock::default() };
+        let v = verify(&rwlock_reader_scenario(lock), &vmm());
+        assert!(matches!(v, Verdict::Safety(_)), "got {v}");
+    }
+}

@@ -1,0 +1,269 @@
+//! The flat spinlocks: CAS lock, TTAS lock (paper Fig. 3), ticket lock and
+//! a counting semaphore.
+
+use vsync_graph::Mode;
+use vsync_lang::{ProgramBuilder, Reg, RmwOp, Test, ThreadBuilder};
+
+use super::common::{LockModel, LOCK, LOCK2};
+
+/// The CAS (test-and-set) lock: `await_while(cas(&l, 0, 1) fails)`.
+///
+/// The acquire RMW is a compound await primitive, exactly VSync's
+/// `atomic_await_cas`; failed polls generate only reads (Bounded-Effect
+/// principle).
+#[derive(Debug, Clone, Copy)]
+pub struct CasLock {
+    /// Barrier mode of the acquiring CAS.
+    pub acquire_mode: Mode,
+    /// Barrier mode of the releasing store.
+    pub release_mode: Mode,
+}
+
+impl Default for CasLock {
+    fn default() -> Self {
+        CasLock { acquire_mode: Mode::Acq, release_mode: Mode::Rel }
+    }
+}
+
+impl LockModel for CasLock {
+    fn name(&self) -> &'static str {
+        "caslock"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        t.await_cas(Reg(0), LOCK, 0u64, 1u64, ("caslock.acquire.cas", self.acquire_mode));
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        t.store(LOCK, 0u64, ("caslock.release.store", self.release_mode));
+    }
+}
+
+/// The TTAS lock of the paper's Fig. 3:
+///
+/// ```c
+/// do { atomic_await_neq(&lock, 1); } while (atomic_xchg(&lock, 1) != 0);
+/// ...
+/// atomic_write(&lock, 0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TtasLock {
+    /// Mode of the polling read.
+    pub await_mode: Mode,
+    /// Mode of the exchanging RMW.
+    pub xchg_mode: Mode,
+    /// Mode of the releasing store.
+    pub release_mode: Mode,
+}
+
+impl Default for TtasLock {
+    fn default() -> Self {
+        TtasLock { await_mode: Mode::Rlx, xchg_mode: Mode::Acq, release_mode: Mode::Rel }
+    }
+}
+
+impl LockModel for TtasLock {
+    fn name(&self) -> &'static str {
+        "ttas"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        let retry = t.here_label();
+        let acquired = t.label();
+        t.await_neq(Reg(0), LOCK, 1u64, ("ttas.acquire.await", self.await_mode));
+        t.xchg(Reg(1), LOCK, 1u64, ("ttas.acquire.xchg", self.xchg_mode));
+        t.jmp_if(Reg(1), Test::eq(0u64), acquired);
+        t.jmp(retry);
+        t.bind(acquired);
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        t.store(LOCK, 0u64, ("ttas.release.store", self.release_mode));
+    }
+}
+
+/// The classic ticket lock: `my = fetch_add(next); await(owner == my)`.
+#[derive(Debug, Clone, Copy)]
+pub struct TicketLock {
+    /// Mode of the ticket-drawing fetch-add.
+    pub fai_mode: Mode,
+    /// Mode of the owner-polling read.
+    pub await_mode: Mode,
+    /// Mode of the owner-bumping store.
+    pub release_mode: Mode,
+}
+
+impl Default for TicketLock {
+    fn default() -> Self {
+        TicketLock { fai_mode: Mode::Rlx, await_mode: Mode::Acq, release_mode: Mode::Rel }
+    }
+}
+
+impl LockModel for TicketLock {
+    fn name(&self) -> &'static str {
+        "ticketlock"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        // LOCK = next ticket dispenser, LOCK2 = current owner.
+        t.fetch_add(Reg(0), LOCK, 1u64, ("ticket.acquire.fai", self.fai_mode));
+        t.await_eq(Reg(1), LOCK2, Reg(0), ("ticket.acquire.await", self.await_mode));
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        // owner++ — only the owner writes it, a plain load/store suffices.
+        t.load(Reg(2), LOCK2, ("ticket.release.load", Mode::Rlx));
+        t.add(Reg(3), Reg(2), 1u64);
+        t.store(LOCK2, Reg(3), ("ticket.release.store", self.release_mode));
+    }
+}
+
+/// A counting semaphore used as a mutex (`permits = 1`): acquire polls for
+/// a positive count and decrements with CAS; release is a fetch-add.
+#[derive(Debug, Clone, Copy)]
+pub struct Semaphore {
+    /// Number of permits.
+    pub permits: u64,
+    /// Mode of the decrementing CAS.
+    pub acquire_mode: Mode,
+    /// Mode of the releasing fetch-add.
+    pub release_mode: Mode,
+}
+
+impl Default for Semaphore {
+    fn default() -> Self {
+        Semaphore { permits: 1, acquire_mode: Mode::Acq, release_mode: Mode::Rel }
+    }
+}
+
+impl LockModel for Semaphore {
+    fn name(&self) -> &'static str {
+        "semaphore"
+    }
+
+    fn emit_init(&self, pb: &mut ProgramBuilder) {
+        pb.init(LOCK, self.permits);
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        let retry = t.here_label();
+        let got = t.label();
+        // Poll for a positive count.
+        t.await_load(
+            Reg(0),
+            LOCK,
+            Test::cmp(vsync_lang::Cmp::Gt, 0u64),
+            ("sem.acquire.await", self.acquire_mode),
+        );
+        // Try to take one permit.
+        t.op(Reg(1), vsync_lang::AluOp::Sub, Reg(0), 1u64);
+        t.cas(Reg(2), LOCK, Reg(0), Reg(1), ("sem.acquire.cas", self.acquire_mode));
+        t.jmp_if(Reg(2), Test::eq(Reg(0)), got);
+        t.jmp(retry);
+        t.bind(got);
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        t.rmw(Reg(3), LOCK, RmwOp::Add, 1u64, ("sem.release.add", self.release_mode));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::common::mutex_client;
+    use super::*;
+    use vsync_core::{verify, AmcConfig, Verdict};
+    use vsync_model::ModelKind;
+
+    fn vmm() -> AmcConfig {
+        AmcConfig::with_model(ModelKind::Vmm)
+    }
+
+    #[test]
+    fn caslock_two_threads_verifies() {
+        let p = mutex_client(&CasLock::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn caslock_relaxed_release_fails() {
+        let lock = CasLock { release_mode: Mode::Rlx, ..CasLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+
+    #[test]
+    fn caslock_relaxed_acquire_fails() {
+        let lock = CasLock { acquire_mode: Mode::Rlx, ..CasLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+
+    #[test]
+    fn caslock_relaxed_everything_verifies_under_sc_model() {
+        // The same broken barriers are fine under SC — it's a WMM bug.
+        let lock = CasLock { acquire_mode: Mode::Rlx, release_mode: Mode::Rlx };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(verify(&p, &AmcConfig::with_model(ModelKind::Sc)).is_verified());
+    }
+
+    #[test]
+    fn ttas_two_threads_verifies() {
+        let p = mutex_client(&TtasLock::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn ttas_two_acquires_each_verifies() {
+        let p = mutex_client(&TtasLock::default(), 2, 2);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn ttas_relaxed_xchg_fails() {
+        let lock = TtasLock { xchg_mode: Mode::Rlx, ..TtasLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+
+    #[test]
+    fn ticket_two_threads_verifies() {
+        let p = mutex_client(&TicketLock::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn ticket_relaxed_await_fails() {
+        let lock = TicketLock { await_mode: Mode::Rlx, ..TicketLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+
+    #[test]
+    fn ticket_is_fair_two_threads_complete() {
+        // Await termination: every ticket holder eventually runs.
+        let p = mutex_client(&TicketLock::default(), 2, 1);
+        match verify(&p, &vmm()) {
+            Verdict::Verified => {}
+            v => panic!("{v}"),
+        }
+    }
+
+    #[test]
+    fn semaphore_binary_verifies() {
+        let p = mutex_client(&Semaphore::default(), 2, 1);
+        let v = verify(&p, &vmm());
+        assert!(v.is_verified(), "{v}");
+    }
+
+    #[test]
+    fn semaphore_relaxed_release_fails() {
+        let lock = Semaphore { release_mode: Mode::Rlx, ..Semaphore::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
+    }
+}

@@ -1,0 +1,313 @@
+//! Flat (non-queued) runtime locks of Table 5: CAS lock, TTAS, ticket,
+//! TWA, Anderson array lock, recursive CAS lock, reader-writer lock,
+//! semaphore, and the two futex-based mutexes (musl-style and Drepper's
+//! 3-state).
+//!
+//! Every lock takes a `sc` flag: `true` builds the paper's "sc-only"
+//! variant (every barrier sequentially consistent), `false` the
+//! VSYNC-optimized variant.
+
+use vsync_graph::Mode;
+use vsync_sim::{SimLock, SimThread};
+
+use super::{m, LOCK2_ADDR, LOCK_ADDR, PRIV_BASE, SLOTS_BASE, WA_BASE};
+
+/// CAS (test-and-set) spinlock — the paper's `spin` row.
+#[derive(Debug)]
+pub struct CasLockSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for CasLockSim {
+    fn name(&self) -> &'static str {
+        "spin"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        loop {
+            if ctx.cas(LOCK_ADDR, 0, 1, m(self.sc, Mode::Acq)) == 0 {
+                return;
+            }
+            ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Rlx), |v| v == 0);
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        ctx.store(LOCK_ADDR, 0, m(self.sc, Mode::Rel));
+    }
+}
+
+/// Test-and-test-and-set lock (paper Fig. 3) — row `ttas`.
+#[derive(Debug)]
+pub struct TtasSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for TtasSim {
+    fn name(&self) -> &'static str {
+        "ttas"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        loop {
+            ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Rlx), |v| v != 1);
+            if ctx.xchg(LOCK_ADDR, 1, m(self.sc, Mode::Acq)) == 0 {
+                return;
+            }
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        ctx.store(LOCK_ADDR, 0, m(self.sc, Mode::Rel));
+    }
+}
+
+/// Classic ticket lock — row `ticket`.
+#[derive(Debug)]
+pub struct TicketSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for TicketSim {
+    fn name(&self) -> &'static str {
+        "ticket"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        let my = ctx.fetch_add(LOCK_ADDR, 1, m(self.sc, Mode::Rlx));
+        ctx.spin_until(LOCK2_ADDR, m(self.sc, Mode::Acq), |v| v == my);
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        let v = ctx.load(LOCK2_ADDR, m(self.sc, Mode::Rlx));
+        ctx.store(LOCK2_ADDR, v + 1, m(self.sc, Mode::Rel));
+    }
+}
+
+/// Ticket lock augmented with a waiting array (Dice & Kogan) — row `twa`.
+///
+/// Waiters far from the head spin on a hashed waiting-array slot instead of
+/// the hot owner word; the releaser bumps the slot of the next ticket.
+#[derive(Debug)]
+pub struct TwaSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+const WA_MASK: u64 = 63;
+
+impl SimLock for TwaSim {
+    fn name(&self) -> &'static str {
+        "twa"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        let my = ctx.fetch_add(LOCK_ADDR, 1, m(self.sc, Mode::Rlx));
+        let cur = ctx.load(LOCK2_ADDR, m(self.sc, Mode::Acq));
+        if my.wrapping_sub(cur) > 1 {
+            // Long-term waiting: park on the hashed array slot.
+            let slot = WA_BASE + (my & WA_MASK) * 64;
+            ctx.spin_until(slot, m(self.sc, Mode::Rlx), |v| v >= my);
+        }
+        ctx.spin_until(LOCK2_ADDR, m(self.sc, Mode::Acq), |v| v == my);
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        let v = ctx.load(LOCK2_ADDR, m(self.sc, Mode::Rlx));
+        let next = v + 1;
+        ctx.store(LOCK2_ADDR, next, m(self.sc, Mode::Rel));
+        // Wake the long-term waiter of the following ticket.
+        let slot = WA_BASE + ((next + 1) & WA_MASK) * 64;
+        ctx.store(slot, next + 1, m(self.sc, Mode::Rel));
+    }
+}
+
+/// Anderson's array-based queue lock — row `array`.
+#[derive(Debug)]
+pub struct ArraySim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+const ARRAY_SLOTS: u64 = 128;
+
+impl SimLock for ArraySim {
+    fn name(&self) -> &'static str {
+        "array"
+    }
+    fn init_mem(&self, mem: &mut std::collections::HashMap<u64, u64>) {
+        mem.insert(SLOTS_BASE, 1); // slot 0 starts open
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        let my = ctx.fetch_add(LOCK_ADDR, 1, m(self.sc, Mode::AcqRel)) % ARRAY_SLOTS;
+        ctx.spin_until(SLOTS_BASE + my * 64, m(self.sc, Mode::Acq), |v| v == 1);
+        ctx.store(SLOTS_BASE + my * 64, 0, m(self.sc, Mode::Rlx)); // reset for reuse
+        // Remember our slot for release.
+        let priv_slot = PRIV_BASE + ctx.tid() as u64 * 64;
+        ctx.store(priv_slot, my, m(self.sc, Mode::Rlx));
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        let priv_slot = PRIV_BASE + ctx.tid() as u64 * 64;
+        let my = ctx.load(priv_slot, m(self.sc, Mode::Rlx));
+        ctx.store(SLOTS_BASE + ((my + 1) % ARRAY_SLOTS) * 64, 1, m(self.sc, Mode::Rel));
+    }
+}
+
+/// Recursive CAS lock (owner + depth) — row `recspin`.
+#[derive(Debug)]
+pub struct RecSpinSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for RecSpinSim {
+    fn name(&self) -> &'static str {
+        "recspin"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        let me = ctx.tid() as u64 + 1;
+        if ctx.load(LOCK_ADDR, m(self.sc, Mode::Rlx)) == me {
+            // Recursive re-entry: bump depth only.
+            let d = ctx.load(LOCK2_ADDR, m(self.sc, Mode::Rlx));
+            ctx.store(LOCK2_ADDR, d + 1, m(self.sc, Mode::Rlx));
+            return;
+        }
+        loop {
+            if ctx.cas(LOCK_ADDR, 0, me, m(self.sc, Mode::Acq)) == 0 {
+                break;
+            }
+            ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Rlx), |v| v == 0);
+        }
+        ctx.store(LOCK2_ADDR, 1, m(self.sc, Mode::Rlx));
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        let d = ctx.load(LOCK2_ADDR, m(self.sc, Mode::Rlx));
+        if d > 1 {
+            ctx.store(LOCK2_ADDR, d - 1, m(self.sc, Mode::Rlx));
+        } else {
+            ctx.store(LOCK2_ADDR, 0, m(self.sc, Mode::Rlx));
+            ctx.store(LOCK_ADDR, 0, m(self.sc, Mode::Rel));
+        }
+    }
+}
+
+/// Reader-writer lock, exercised on its writer side — row `rw`.
+#[derive(Debug)]
+pub struct RwSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+const RW_WRITER: u64 = 1 << 16;
+
+impl SimLock for RwSim {
+    fn name(&self) -> &'static str {
+        "rw"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        loop {
+            if ctx.cas(LOCK_ADDR, 0, RW_WRITER, m(self.sc, Mode::Acq)) == 0 {
+                return;
+            }
+            ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Rlx), |v| v == 0);
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        ctx.store(LOCK_ADDR, 0, m(self.sc, Mode::Rel));
+    }
+}
+
+/// Counting semaphore used as a mutex — row `semaphore`.
+#[derive(Debug)]
+pub struct SemaphoreSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for SemaphoreSim {
+    fn name(&self) -> &'static str {
+        "semaphore"
+    }
+    fn init_mem(&self, mem: &mut std::collections::HashMap<u64, u64>) {
+        mem.insert(LOCK_ADDR, 1);
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        loop {
+            let v = ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Rlx), |v| v > 0);
+            if ctx.cas(LOCK_ADDR, v, v - 1, m(self.sc, Mode::Acq)) == v {
+                return;
+            }
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        ctx.fetch_add(LOCK_ADDR, 1, m(self.sc, Mode::Rel));
+    }
+}
+
+/// musl-libc-style mutex: brief adaptive spinning, then futex wait —
+/// row `musl`.
+#[derive(Debug)]
+pub struct MuslMutexSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for MuslMutexSim {
+    fn name(&self) -> &'static str {
+        "musl"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        // Fast path.
+        if ctx.cas(LOCK_ADDR, 0, 1, m(self.sc, Mode::Acq)) == 0 {
+            return;
+        }
+        // Brief spin phase (musl spins ~100 times when no waiters).
+        for _ in 0..4 {
+            ctx.pause();
+            if ctx.cas(LOCK_ADDR, 0, 1, m(self.sc, Mode::Acq)) == 0 {
+                return;
+            }
+        }
+        // Contended: mark waiters and sleep.
+        loop {
+            let old = ctx.xchg(LOCK_ADDR, 2, m(self.sc, Mode::Acq));
+            if old == 0 {
+                return;
+            }
+            ctx.futex_wait(LOCK_ADDR, 2);
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        let old = ctx.xchg(LOCK_ADDR, 0, m(self.sc, Mode::Rel));
+        if old == 2 {
+            ctx.futex_wake();
+        }
+    }
+}
+
+/// Drepper's 3-state futex mutex (0 free / 1 locked / 2 contended) —
+/// row `mutex`.
+#[derive(Debug)]
+pub struct ThreeStateMutexSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+impl SimLock for ThreeStateMutexSim {
+    fn name(&self) -> &'static str {
+        "mutex"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        let mut c = ctx.cas(LOCK_ADDR, 0, 1, m(self.sc, Mode::Acq));
+        if c == 0 {
+            return;
+        }
+        if c != 2 {
+            c = ctx.xchg(LOCK_ADDR, 2, m(self.sc, Mode::Acq));
+        }
+        while c != 0 {
+            ctx.futex_wait(LOCK_ADDR, 2);
+            c = ctx.xchg(LOCK_ADDR, 2, m(self.sc, Mode::Acq));
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        if ctx.xchg(LOCK_ADDR, 0, m(self.sc, Mode::Rel)) == 2 {
+            ctx.futex_wake();
+        }
+    }
+}

@@ -1,0 +1,433 @@
+//! Queued and hierarchical runtime locks of Table 5: the MCS family
+//! (including the Fig. 27 implementation comparison set), CLH, HCLH, the
+//! qspinlock, and the cohort locks.
+
+use vsync_graph::Mode;
+use vsync_sim::{Arch, SimLock, SimThread};
+
+use super::{m, LOCK2_ADDR, LOCK_ADDR, NODE2_BASE, NODE_BASE, PRIV_BASE};
+
+fn node_of(tid: usize) -> u64 {
+    NODE_BASE + tid as u64 * 0x80
+}
+
+const NEXT: u64 = 0;
+const LOCKED: u64 = 0x40; // own cache line for the spin field
+
+/// Barrier profile of an MCS implementation: which modes each access site
+/// uses, and whether the (useless) DPDK fence is present. The Fig. 27
+/// comparison is exactly a comparison of these profiles.
+#[derive(Debug, Clone, Copy)]
+pub struct McsProfile {
+    /// Displayed name.
+    pub name: &'static str,
+    /// Tail exchange.
+    pub xchg: Mode,
+    /// `prev->next = me` publication.
+    pub store_next: Mode,
+    /// `me->locked` poll.
+    pub poll: Mode,
+    /// `me->next` read in release.
+    pub load_next: Mode,
+    /// Tail CAS in release.
+    pub cas: Mode,
+    /// Handover store.
+    pub handover: Mode,
+    /// Node initialization stores.
+    pub init: Mode,
+    /// Emit DPDK's `thread_fence(ACQ_REL)` in acquire.
+    pub acquire_fence: Option<Mode>,
+}
+
+impl McsProfile {
+    /// Our VSYNC-optimized MCS ("own impl." in Fig. 27).
+    pub fn own() -> Self {
+        McsProfile {
+            name: "mcs",
+            xchg: Mode::AcqRel,
+            store_next: Mode::Rel,
+            poll: Mode::Acq,
+            load_next: Mode::Acq,
+            cas: Mode::Rel,
+            handover: Mode::Rel,
+            init: Mode::Rlx,
+            acquire_fence: None,
+        }
+    }
+
+    /// DPDK v20.05 barriers (with the superfluous fence).
+    pub fn dpdk() -> Self {
+        McsProfile {
+            name: "dpdk-mcs",
+            xchg: Mode::AcqRel,
+            store_next: Mode::Rel, // post-fix barriers; perf shape unchanged
+            poll: Mode::Acq,
+            load_next: Mode::Acq,
+            cas: Mode::AcqRel,
+            handover: Mode::Rel,
+            init: Mode::Rlx,
+            acquire_fence: Some(Mode::AcqRel),
+        }
+    }
+
+    /// Concurrency-kit-style MCS (fence-based synchronization).
+    pub fn ck() -> Self {
+        McsProfile {
+            name: "ck-mcs",
+            xchg: Mode::AcqRel,
+            store_next: Mode::Rel,
+            poll: Mode::Acq,
+            load_next: Mode::Acq,
+            cas: Mode::Sc,
+            handover: Mode::Rel,
+            init: Mode::Rlx,
+            acquire_fence: Some(Mode::Sc),
+        }
+    }
+
+    /// CertiKOS-style: everything sequentially consistent.
+    pub fn certikos() -> Self {
+        McsProfile {
+            name: "certikosmcs",
+            xchg: Mode::Sc,
+            store_next: Mode::Sc,
+            poll: Mode::Sc,
+            load_next: Mode::Sc,
+            cas: Mode::Sc,
+            handover: Mode::Sc,
+            init: Mode::Sc,
+            acquire_fence: Some(Mode::Sc),
+        }
+    }
+
+    /// The sc-only version of this profile.
+    pub fn all_sc(self, name: &'static str) -> Self {
+        McsProfile {
+            name,
+            xchg: Mode::Sc,
+            store_next: Mode::Sc,
+            poll: Mode::Sc,
+            load_next: Mode::Sc,
+            cas: Mode::Sc,
+            handover: Mode::Sc,
+            init: Mode::Sc,
+            acquire_fence: self.acquire_fence.map(|_| Mode::Sc),
+        }
+    }
+}
+
+/// An MCS lock with a given barrier profile.
+#[derive(Debug)]
+pub struct McsSim {
+    /// Barrier profile.
+    pub profile: McsProfile,
+}
+
+impl McsSim {
+    /// Construct from a profile.
+    pub fn new(profile: McsProfile) -> Self {
+        McsSim { profile }
+    }
+
+    fn acquire_at(&self, ctx: &mut SimThread, base: u64, tail: u64) {
+        let p = &self.profile;
+        let me = base + ctx.tid() as u64 * 0x80;
+        ctx.store(me + NEXT, 0, p.init);
+        ctx.store(me + LOCKED, 1, p.init);
+        let prev = ctx.xchg(tail, me, p.xchg);
+        if prev != 0 {
+            ctx.store(prev + NEXT, me, p.store_next);
+            if let Some(f) = p.acquire_fence {
+                ctx.fence(f);
+            }
+            ctx.spin_until(me + LOCKED, p.poll, |v| v == 0);
+        }
+    }
+
+    fn release_at(&self, ctx: &mut SimThread, base: u64, tail: u64) {
+        let p = &self.profile;
+        let me = base + ctx.tid() as u64 * 0x80;
+        let mut next = ctx.load(me + NEXT, p.load_next);
+        if next == 0 {
+            if ctx.cas(tail, me, 0, p.cas) == me {
+                return;
+            }
+            next = ctx.spin_until(me + NEXT, p.load_next, |v| v != 0);
+        }
+        ctx.store(next + LOCKED, 0, p.handover);
+    }
+}
+
+impl SimLock for McsSim {
+    fn name(&self) -> &'static str {
+        self.profile.name
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        self.acquire_at(ctx, NODE_BASE, LOCK_ADDR);
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        self.release_at(ctx, NODE_BASE, LOCK_ADDR);
+    }
+}
+
+/// CLH lock with node recycling (per-thread node/pred pointers live in
+/// private simulated memory) — row `clh`.
+#[derive(Debug)]
+pub struct ClhSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+/// The CLH dummy node lives on its own line, clear of every per-thread
+/// node (tids 0..=127 occupy NODE_BASE .. NODE_BASE + 128*0x80).
+const CLH_DUMMY: u64 = NODE_BASE + 200 * 0x80;
+const CLH_MY: u64 = 0; // offset in the private slot
+const CLH_PRED: u64 = 8;
+
+impl ClhSim {
+    fn priv_slot(ctx: &SimThread) -> u64 {
+        PRIV_BASE + ctx.tid() as u64 * 64
+    }
+}
+
+impl SimLock for ClhSim {
+    fn name(&self) -> &'static str {
+        "clh"
+    }
+    fn init_mem(&self, mem: &mut std::collections::HashMap<u64, u64>) {
+        mem.insert(LOCK_ADDR, CLH_DUMMY);
+        for tid in 0..128 {
+            mem.insert(PRIV_BASE + tid * 64 + CLH_MY, NODE_BASE + tid * 0x80);
+        }
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        let slot = ClhSim::priv_slot(ctx);
+        let node = ctx.load(slot + CLH_MY, Mode::Rlx);
+        ctx.store(node + LOCKED, 1, m(self.sc, Mode::Rlx));
+        let pred = ctx.xchg(LOCK_ADDR, node, m(self.sc, Mode::AcqRel));
+        ctx.store(slot + CLH_PRED, pred, Mode::Rlx);
+        ctx.spin_until(pred + LOCKED, m(self.sc, Mode::Acq), |v| v == 0);
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        let slot = ClhSim::priv_slot(ctx);
+        let node = ctx.load(slot + CLH_MY, Mode::Rlx);
+        let pred = ctx.load(slot + CLH_PRED, Mode::Rlx);
+        ctx.store(node + LOCKED, 0, m(self.sc, Mode::Rel));
+        ctx.store(slot + CLH_MY, pred, Mode::Rlx); // recycle predecessor's node
+    }
+}
+
+/// Two-level hierarchical lock: a per-NUMA-node local lock plus a global
+/// lock. Used for `hclh` (CLH/CLH) and the cohort rows (`cmcsticket`,
+/// `cmcsttas`, `ctwamcs`).
+///
+/// Simplification vs. the literature: no cohort passing (the local holder
+/// always acquires the global lock); NUMA locality benefits still accrue
+/// because the local lock line stays on-node. DESIGN.md §5 records this.
+#[derive(Debug)]
+pub struct HierarchicalSim {
+    /// Displayed name.
+    pub display_name: &'static str,
+    /// Local (per-node) lock kind.
+    pub local: LocalKind,
+    /// Global lock kind.
+    pub global: GlobalKind,
+    /// sc-only variant?
+    pub sc: bool,
+    /// Platform (for NUMA node lookup).
+    pub arch: Arch,
+}
+
+/// Local-lock flavors for [`HierarchicalSim`].
+#[derive(Debug, Clone, Copy)]
+pub enum LocalKind {
+    /// Ticket lock per node.
+    Ticket,
+    /// TTAS lock per node.
+    Ttas,
+    /// MCS queue per node.
+    Mcs,
+    /// CLH queue per node.
+    Clh,
+}
+
+/// Global-lock flavors for [`HierarchicalSim`].
+#[derive(Debug, Clone, Copy)]
+pub enum GlobalKind {
+    /// Global MCS queue.
+    Mcs,
+    /// Global TWA (ticket + waiting array).
+    Twa,
+    /// Global CLH queue.
+    Clh,
+}
+
+const LOCAL_BASE: u64 = 0xC0_0000; // per-node lock words, one line each
+
+impl HierarchicalSim {
+    fn local_word(&self, ctx: &SimThread) -> u64 {
+        let node = self.arch.node_of(ctx.core());
+        LOCAL_BASE + node as u64 * 0x1000
+    }
+
+    fn local_acquire(&self, ctx: &mut SimThread) {
+        let w = self.local_word(ctx);
+        match self.local {
+            LocalKind::Ttas => loop {
+                ctx.spin_until(w, m(self.sc, Mode::Rlx), |v| v == 0);
+                if ctx.xchg(w, 1, m(self.sc, Mode::Acq)) == 0 {
+                    return;
+                }
+            },
+            LocalKind::Ticket => {
+                let my = ctx.fetch_add(w, 1, m(self.sc, Mode::Rlx));
+                ctx.spin_until(w + 0x40, m(self.sc, Mode::Acq), |v| v == my);
+            }
+            LocalKind::Mcs | LocalKind::Clh => {
+                // Queue on the node-local tail; reuse the MCS shape with
+                // per-thread nodes in the second node region.
+                let mcs = McsSim::new(if self.sc {
+                    McsProfile::own().all_sc("local")
+                } else {
+                    McsProfile::own()
+                });
+                mcs.acquire_at(ctx, NODE2_BASE, w);
+            }
+        }
+    }
+
+    fn local_release(&self, ctx: &mut SimThread) {
+        let w = self.local_word(ctx);
+        match self.local {
+            LocalKind::Ttas => ctx.store(w, 0, m(self.sc, Mode::Rel)),
+            LocalKind::Ticket => {
+                let v = ctx.load(w + 0x40, m(self.sc, Mode::Rlx));
+                ctx.store(w + 0x40, v + 1, m(self.sc, Mode::Rel));
+            }
+            LocalKind::Mcs | LocalKind::Clh => {
+                let mcs = McsSim::new(if self.sc {
+                    McsProfile::own().all_sc("local")
+                } else {
+                    McsProfile::own()
+                });
+                mcs.release_at(ctx, NODE2_BASE, w);
+            }
+        }
+    }
+
+    fn global_acquire(&self, ctx: &mut SimThread) {
+        match self.global {
+            GlobalKind::Mcs | GlobalKind::Clh => {
+                let mcs = McsSim::new(if self.sc {
+                    McsProfile::own().all_sc("global")
+                } else {
+                    McsProfile::own()
+                });
+                mcs.acquire_at(ctx, NODE_BASE, LOCK_ADDR);
+            }
+            GlobalKind::Twa => {
+                let my = ctx.fetch_add(LOCK_ADDR, 1, m(self.sc, Mode::Rlx));
+                ctx.spin_until(LOCK2_ADDR, m(self.sc, Mode::Acq), |v| v == my);
+            }
+        }
+    }
+
+    fn global_release(&self, ctx: &mut SimThread) {
+        match self.global {
+            GlobalKind::Mcs | GlobalKind::Clh => {
+                let mcs = McsSim::new(if self.sc {
+                    McsProfile::own().all_sc("global")
+                } else {
+                    McsProfile::own()
+                });
+                mcs.release_at(ctx, NODE_BASE, LOCK_ADDR);
+            }
+            GlobalKind::Twa => {
+                let v = ctx.load(LOCK2_ADDR, m(self.sc, Mode::Rlx));
+                ctx.store(LOCK2_ADDR, v + 1, m(self.sc, Mode::Rel));
+            }
+        }
+    }
+}
+
+impl SimLock for HierarchicalSim {
+    fn name(&self) -> &'static str {
+        self.display_name
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        self.local_acquire(ctx);
+        self.global_acquire(ctx);
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        self.global_release(ctx);
+        self.local_release(ctx);
+    }
+}
+
+/// The Linux qspinlock (4.4-style pending bit + MCS queue) — row `qspin`.
+#[derive(Debug)]
+pub struct QspinSim {
+    /// sc-only variant?
+    pub sc: bool,
+}
+
+const Q_LOCKED: u64 = 0x1;
+const Q_PENDING: u64 = 0x100;
+const Q_LP_MASK: u64 = 0xffff;
+
+impl SimLock for QspinSim {
+    fn name(&self) -> &'static str {
+        "qspin"
+    }
+    fn acquire(&self, ctx: &mut SimThread) {
+        if ctx.cas(LOCK_ADDR, 0, Q_LOCKED, m(self.sc, Mode::Acq)) == 0 {
+            return;
+        }
+        'slow: loop {
+            let mut val = ctx.load(LOCK_ADDR, m(self.sc, Mode::Rlx));
+            if val == Q_PENDING {
+                val = ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Rlx), |v| v != Q_PENDING);
+            }
+            if val & !0xff == 0 {
+                // Try to become the pending waiter.
+                if ctx.cas(LOCK_ADDR, val, val | Q_PENDING, m(self.sc, Mode::Acq)) == val {
+                    ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Acq), |v| v & 0xff == 0);
+                    ctx.fetch_sub(LOCK_ADDR, Q_PENDING - Q_LOCKED, m(self.sc, Mode::Rlx));
+                    return;
+                }
+                continue 'slow;
+            }
+            // Queue path.
+            let me = node_of(ctx.tid());
+            let my_tail = (ctx.tid() as u64 + 1) << 16;
+            ctx.store(me + NEXT, 0, m(self.sc, Mode::Rlx));
+            ctx.store(me + LOCKED, 1, m(self.sc, Mode::Rlx));
+            let old = loop {
+                let v = ctx.load(LOCK_ADDR, m(self.sc, Mode::Rlx));
+                if ctx.cas(LOCK_ADDR, v, (v & Q_LP_MASK) | my_tail, m(self.sc, Mode::AcqRel)) == v
+                {
+                    break v;
+                }
+            };
+            let prev_tail = old >> 16;
+            if prev_tail != 0 {
+                let prev = NODE_BASE + (prev_tail - 1) * 0x80;
+                ctx.store(prev + NEXT, me, m(self.sc, Mode::Rel));
+                ctx.spin_until(me + LOCKED, m(self.sc, Mode::Acq), |v| v == 0);
+            }
+            let val = ctx.spin_until(LOCK_ADDR, m(self.sc, Mode::Acq), |v| v & Q_LP_MASK == 0);
+            if val == my_tail && ctx.cas(LOCK_ADDR, my_tail, Q_LOCKED, m(self.sc, Mode::Acq)) == my_tail {
+                return;
+            }
+            ctx.fetch_or(LOCK_ADDR, Q_LOCKED, m(self.sc, Mode::Rlx));
+            let next = ctx.spin_until(me + NEXT, m(self.sc, Mode::Rlx), |v| v != 0);
+            ctx.store(next + LOCKED, 0, m(self.sc, Mode::Rel));
+            return;
+        }
+    }
+    fn release(&self, ctx: &mut SimThread) {
+        // Linux releases by storing 0 to the locked *byte*
+        // (smp_store_release((u8 *)&lock->val, 0)).
+        ctx.store_masked(LOCK_ADDR, 0xff, 0, m(self.sc, Mode::Rel));
+    }
+}

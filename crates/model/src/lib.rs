@@ -1,0 +1,114 @@
+//! # vsync-model
+//!
+//! Axiomatic weak memory models as consistency predicates over execution
+//! graphs (`consM(G)`, paper §1.1).
+//!
+//! Three models are provided:
+//!
+//! * [`Sc`] — sequential consistency (the reference; also what the paper's
+//!   "sc-only" lock variants assume);
+//! * [`Tso`] — x86-style total store order;
+//! * [`Vmm`] — an RC11-style model standing in for the paper's IMM (see
+//!   the [`Vmm`] docs and DESIGN.md §5 for the substitution rationale).
+//!
+//! Models are *monotone*: adding events or edges to an inconsistent graph
+//! never makes it consistent, which is what allows the AMC explorer to
+//! discard inconsistent partial graphs early.
+//!
+//! ```
+//! use vsync_model::{MemoryModel, ModelKind};
+//! use vsync_graph::ExecutionGraph;
+//! use std::collections::BTreeMap;
+//!
+//! let g = ExecutionGraph::new(1, BTreeMap::new());
+//! assert!(ModelKind::Vmm.model().is_consistent(&g));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod axioms;
+mod sc;
+mod tso;
+mod vmm;
+
+pub use sc::Sc;
+pub use tso::Tso;
+pub use vmm::{sw_relation, Vmm};
+
+use vsync_graph::ExecutionGraph;
+
+/// A weak memory model: a consistency predicate over execution graphs.
+pub trait MemoryModel: std::fmt::Debug + Send + Sync {
+    /// Short display name (`"SC"`, `"TSO"`, `"VMM"`).
+    fn name(&self) -> &'static str;
+
+    /// Does the model admit this (possibly partial) execution graph?
+    fn is_consistent(&self, g: &ExecutionGraph) -> bool;
+}
+
+/// Enumeration of the built-in models, for configuration surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ModelKind {
+    /// Sequential consistency.
+    Sc,
+    /// Total store order.
+    Tso,
+    /// The RC11-style default model.
+    #[default]
+    Vmm,
+}
+
+impl ModelKind {
+    /// The model implementation for this kind.
+    pub fn model(self) -> &'static dyn MemoryModel {
+        match self {
+            ModelKind::Sc => &Sc,
+            ModelKind::Tso => &Tso,
+            ModelKind::Vmm => &Vmm,
+        }
+    }
+
+    /// All built-in models (useful for cross-model tests).
+    pub fn all() -> [ModelKind; 3] {
+        [ModelKind::Sc, ModelKind::Tso, ModelKind::Vmm]
+    }
+}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.model().name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_resolve_to_models() {
+        assert_eq!(ModelKind::Sc.model().name(), "SC");
+        assert_eq!(ModelKind::Tso.model().name(), "TSO");
+        assert_eq!(ModelKind::Vmm.model().name(), "VMM");
+        assert_eq!(ModelKind::default(), ModelKind::Vmm);
+        assert_eq!(ModelKind::Vmm.to_string(), "VMM");
+    }
+
+    /// SC admits a subset of TSO which admits a subset of VMM on the
+    /// store-buffering shape (the canonical strength witness).
+    #[test]
+    fn strength_ordering_on_sb() {
+        use std::collections::BTreeMap;
+        use vsync_graph::{EventId, EventKind, Mode, RfSource};
+        let (x, y) = (1, 2);
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let wx = g.push_event(0, EventKind::Write { loc: x, val: 1, mode: Mode::Rel, rmw: false });
+        g.insert_mo(x, wx, 0);
+        g.push_event(0, EventKind::Read { loc: y, mode: Mode::Acq, rf: RfSource::Write(EventId::Init(y)), rmw: false, awaiting: false });
+        let wy = g.push_event(1, EventKind::Write { loc: y, val: 1, mode: Mode::Rel, rmw: false });
+        g.insert_mo(y, wy, 0);
+        g.push_event(1, EventKind::Read { loc: x, mode: Mode::Acq, rf: RfSource::Write(EventId::Init(x)), rmw: false, awaiting: false });
+        assert!(!Sc.is_consistent(&g));
+        assert!(Tso.is_consistent(&g));
+        assert!(Vmm.is_consistent(&g));
+    }
+}

@@ -1,0 +1,186 @@
+//! Total store order (x86-style).
+
+use vsync_graph::{EventId, EventIndex, EventKind, ExecutionGraph};
+
+use crate::axioms::{atomicity_holds, fr_relation, mo_relation, per_loc_coherent, rf_relation};
+use crate::MemoryModel;
+
+/// The TSO memory model in the style of x86-TSO.
+///
+/// * per-location coherence and RMW atomicity;
+/// * `acyclic(ppo ∪ rfe ∪ mo ∪ fr)` where `ppo` is program order minus
+///   write→read pairs, unless the pair is separated by an SC fence
+///   (`mfence`) or either end is part of a locked RMW;
+/// * only *external* reads-from edges constrain the global order (a thread
+///   may read its own buffered store early).
+///
+/// Barrier modes other than SC fences are ignored: every x86 load already
+/// has acquire semantics and every store release semantics, which is why the
+/// paper's x86 speedups come almost exclusively from eliminating SC
+/// fences/accesses (§4.2.2).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Tso;
+
+impl Tso {
+    /// Is the `W -> R` pair (a po-earlier write, a po-later read of the same
+    /// thread) ordered despite store buffering?
+    fn wr_ordered(g: &ExecutionGraph, thread: u32, wi: usize, ri: usize) -> bool {
+        let evs = g.thread_events(thread);
+        // Locked RMWs drain the buffer; so does an mfence in between.
+        let end_is_locked = |k: &EventKind| match k {
+            EventKind::Read { rmw, .. } | EventKind::Write { rmw, .. } => *rmw,
+            _ => false,
+        };
+        if end_is_locked(&evs[wi].kind) || end_is_locked(&evs[ri].kind) {
+            return true;
+        }
+        evs[wi + 1..ri].iter().any(|e| match &e.kind {
+            EventKind::Fence { mode } => mode.is_sc(),
+            EventKind::Read { rmw, .. } | EventKind::Write { rmw, .. } => *rmw,
+            _ => false,
+        })
+    }
+}
+
+impl MemoryModel for Tso {
+    fn name(&self) -> &'static str {
+        "TSO"
+    }
+
+    fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        if !atomicity_holds(g) || !per_loc_coherent(g) {
+            return false;
+        }
+        let ix = EventIndex::new(g);
+        let mut ghb = mo_relation(g, &ix);
+        ghb.union_with(&fr_relation(g, &ix));
+        // External reads-from only (init counts as external).
+        let rf = rf_relation(g, &ix);
+        for (widx, ridx) in rf.edges() {
+            let w = ix.id_of(widx);
+            let r = ix.id_of(ridx);
+            if w.thread() != r.thread() {
+                ghb.add(widx, ridx);
+            }
+        }
+        // Preserved program order.
+        for init_idx in 0..ix.init_count() {
+            for t in 0..g.num_threads() {
+                if g.thread_len(t as u32) > 0 {
+                    ghb.add(init_idx, ix.index_of(EventId::new(t as u32, 0)));
+                }
+            }
+        }
+        for t in 0..g.num_threads() {
+            let evs = g.thread_events(t as u32);
+            for i in 0..evs.len() {
+                for j in i + 1..evs.len() {
+                    let a_w = evs[i].kind.is_write();
+                    let b_r = evs[j].kind.is_read();
+                    let keep = if a_w && b_r {
+                        Tso::wr_ordered(g, t as u32, i, j)
+                    } else {
+                        true
+                    };
+                    if keep {
+                        ghb.add(
+                            ix.index_of(EventId::new(t as u32, i as u32)),
+                            ix.index_of(EventId::new(t as u32, j as u32)),
+                        );
+                    }
+                }
+            }
+        }
+        ghb.is_acyclic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+    use vsync_graph::{Mode, RfSource};
+
+    fn w(loc: u64, val: u64) -> EventKind {
+        EventKind::Write { loc, val, mode: Mode::Rlx, rmw: false }
+    }
+
+    fn r(loc: u64, rf: RfSource) -> EventKind {
+        EventKind::Read { loc, mode: Mode::Rlx, rf, rmw: false, awaiting: false }
+    }
+
+    fn store_buffering(with_fences: bool) -> ExecutionGraph {
+        let (x, y) = (1, 2);
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let wx = g.push_event(0, w(x, 1));
+        g.insert_mo(x, wx, 0);
+        if with_fences {
+            g.push_event(0, EventKind::Fence { mode: Mode::Sc });
+        }
+        g.push_event(0, r(y, RfSource::Write(EventId::Init(y))));
+        let wy = g.push_event(1, w(y, 1));
+        g.insert_mo(y, wy, 0);
+        if with_fences {
+            g.push_event(1, EventKind::Fence { mode: Mode::Sc });
+        }
+        g.push_event(1, r(x, RfSource::Write(EventId::Init(x))));
+        g
+    }
+
+    #[test]
+    fn sb_allowed_without_fences() {
+        // The hallmark TSO relaxation: both threads read 0.
+        assert!(Tso.is_consistent(&store_buffering(false)));
+    }
+
+    #[test]
+    fn sb_forbidden_with_mfence() {
+        assert!(!Tso.is_consistent(&store_buffering(true)));
+    }
+
+    #[test]
+    fn message_passing_stale_read_forbidden() {
+        // TSO preserves W->W and R->R order: MP is forbidden.
+        let (d, f) = (1, 2);
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let wd = g.push_event(0, w(d, 1));
+        g.insert_mo(d, wd, 0);
+        let wf = g.push_event(0, w(f, 1));
+        g.insert_mo(f, wf, 0);
+        g.push_event(1, r(f, RfSource::Write(wf)));
+        g.push_event(1, r(d, RfSource::Write(EventId::Init(d))));
+        assert!(!Tso.is_consistent(&g));
+    }
+
+    #[test]
+    fn own_store_forwarding_allowed() {
+        // T0: W(x,1); R(x)=1 (own store) while T1's write is mo-later.
+        let x = 1;
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let w0 = g.push_event(0, w(x, 1));
+        g.insert_mo(x, w0, 0);
+        g.push_event(0, r(x, RfSource::Write(w0)));
+        let w1 = g.push_event(1, w(x, 2));
+        g.insert_mo(x, w1, 1);
+        assert!(Tso.is_consistent(&g));
+    }
+
+    #[test]
+    fn locked_rmw_orders_like_fence() {
+        // Replace T0's plain write in SB by an RMW: pair becomes ordered.
+        let (x, y) = (1, 2);
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        g.push_event(
+            0,
+            EventKind::Read { loc: x, mode: Mode::Rlx, rf: RfSource::Write(EventId::Init(x)), rmw: true, awaiting: false },
+        );
+        let wx = g.push_event(0, EventKind::Write { loc: x, val: 1, mode: Mode::Rlx, rmw: true });
+        g.insert_mo(x, wx, 0);
+        g.push_event(0, r(y, RfSource::Write(EventId::Init(y))));
+        let wy = g.push_event(1, w(y, 1));
+        g.insert_mo(y, wy, 0);
+        g.push_event(1, EventKind::Fence { mode: Mode::Sc });
+        g.push_event(1, r(x, RfSource::Write(EventId::Init(x))));
+        assert!(!Tso.is_consistent(&g));
+    }
+}

@@ -1,0 +1,191 @@
+//! Architecture cost models.
+//!
+//! These stand in for the paper's two testbeds (DESIGN.md §5):
+//!
+//! * [`Arch::ArmV8`] — the `taishan200-128c` Kunpeng 920 server (128 cores,
+//!   2 NUMA nodes). `ldar`/`stlr` implement acquire/SC loads and
+//!   release/SC stores alike, so relaxation gains come from demoting
+//!   accesses to plain `ldr`/`str` and from deleting `dmb ish` fences.
+//! * [`Arch::X86_64`] — the `gigabyte-96c` EPYC server (96 hardware
+//!   threads, 2 nodes). Plain loads/stores already have acquire/release
+//!   semantics; only SC stores (implemented with `lock xchg`/`mfence`) and
+//!   explicit SC fences cost extra, which is why the paper's x86 speedups
+//!   concentrate in low-contention cases and can reach several-fold.
+//!
+//! Costs are in CPU cycles at the paper's fixed 1.5 GHz operating point.
+//! Absolute values are synthetic; only their relations matter for the
+//! reproduced phenomena.
+
+use vsync_graph::Mode;
+
+/// The memory-access categories the cost model distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpClass {
+    /// A load.
+    Load,
+    /// A store.
+    Store,
+    /// An atomic read-modify-write (including CAS).
+    Rmw,
+    /// A standalone fence.
+    Fence,
+}
+
+/// Simulated hardware platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// ARMv8 server (`taishan200-128c`).
+    ArmV8,
+    /// x86_64 server (`gigabyte-96c`).
+    X86_64,
+}
+
+impl Arch {
+    /// Identifier used in record tables (matches the paper's `arch` column).
+    pub fn label(self) -> &'static str {
+        match self {
+            Arch::ArmV8 => "aarch64",
+            Arch::X86_64 => "x86_64",
+        }
+    }
+
+    /// Machine identifier from the paper's §4.1.1.
+    pub fn machine(self) -> &'static str {
+        match self {
+            Arch::ArmV8 => "taishan200-128c",
+            Arch::X86_64 => "gigabyte-96c",
+        }
+    }
+
+    /// Number of usable cores (core 0 is reserved for the OS, as in the
+    /// paper's isolcpus setup).
+    pub fn cores(self) -> usize {
+        match self {
+            Arch::ArmV8 => 128,
+            Arch::X86_64 => 96,
+        }
+    }
+
+    /// NUMA node of a core.
+    pub fn node_of(self, core: usize) -> usize {
+        match self {
+            Arch::ArmV8 => core / 64,
+            Arch::X86_64 => core / 48,
+        }
+    }
+
+    /// The thread counts the paper sweeps (§4.2.1), capped at the core
+    /// count (the 127-thread case exists only on the 128-core machine).
+    pub fn thread_counts(self) -> Vec<usize> {
+        [1usize, 2, 4, 8, 16, 23, 31, 63, 95, 127]
+            .into_iter()
+            .filter(|&n| n < self.cores())
+            .collect()
+    }
+
+    /// Base (cache-hit) cost of an access in cycles.
+    pub fn op_cost(self, class: OpClass, mode: Mode) -> u64 {
+        match self {
+            Arch::ArmV8 => match class {
+                OpClass::Load => match mode {
+                    Mode::Rlx => 4,           // ldr
+                    Mode::Acq | Mode::Sc => 11, // ldar
+                    _ => 11,
+                },
+                OpClass::Store => match mode {
+                    Mode::Rlx => 4,           // str
+                    Mode::Rel | Mode::Sc => 14, // stlr
+                    _ => 14,
+                },
+                OpClass::Rmw => match mode {
+                    Mode::Rlx => 18,
+                    Mode::Acq | Mode::Rel => 24,
+                    Mode::AcqRel => 28,
+                    Mode::Sc => 32,
+                },
+                OpClass::Fence => match mode {
+                    Mode::Rlx => 0,
+                    Mode::Acq | Mode::Rel => 18, // dmb ishld / ishst
+                    Mode::AcqRel => 28,
+                    Mode::Sc => 38, // dmb ish
+                },
+            },
+            Arch::X86_64 => match class {
+                OpClass::Load => 4, // mov — acquire for free
+                OpClass::Store => match mode {
+                    Mode::Rlx | Mode::Rel => 4, // mov — release for free
+                    _ => 90,                    // seq_cst: xchg / mov+mfence
+                },
+                OpClass::Rmw => 34, // lock-prefixed regardless of mode
+                OpClass::Fence => match mode {
+                    Mode::Sc => 95, // mfence
+                    _ => 0,         // compiler-only
+                },
+            },
+        }
+    }
+
+    /// Cost of pulling a cache line from another core, same NUMA node.
+    pub fn local_transfer(self) -> u64 {
+        match self {
+            Arch::ArmV8 => 65,
+            Arch::X86_64 => 55,
+        }
+    }
+
+    /// Cost of pulling a cache line across NUMA nodes.
+    pub fn remote_transfer(self) -> u64 {
+        match self {
+            Arch::ArmV8 => 165,
+            Arch::X86_64 => 130,
+        }
+    }
+
+    /// Cost of one `pause`/`yield` spin hint.
+    pub fn pause_cost(self) -> u64 {
+        match self {
+            Arch::ArmV8 => 30,
+            Arch::X86_64 => 35,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_relaxation_saves_on_loads_and_stores() {
+        let a = Arch::ArmV8;
+        assert!(a.op_cost(OpClass::Load, Mode::Rlx) < a.op_cost(OpClass::Load, Mode::Acq));
+        // acquire and sc loads both compile to ldar: same cost.
+        assert_eq!(a.op_cost(OpClass::Load, Mode::Acq), a.op_cost(OpClass::Load, Mode::Sc));
+        assert_eq!(a.op_cost(OpClass::Store, Mode::Rel), a.op_cost(OpClass::Store, Mode::Sc));
+        assert!(a.op_cost(OpClass::Fence, Mode::Sc) > a.op_cost(OpClass::Fence, Mode::Rel));
+        assert_eq!(a.op_cost(OpClass::Fence, Mode::Rlx), 0);
+    }
+
+    #[test]
+    fn x86_only_pays_for_sc() {
+        let x = Arch::X86_64;
+        assert_eq!(x.op_cost(OpClass::Load, Mode::Acq), x.op_cost(OpClass::Load, Mode::Rlx));
+        assert_eq!(x.op_cost(OpClass::Store, Mode::Rel), x.op_cost(OpClass::Store, Mode::Rlx));
+        assert!(x.op_cost(OpClass::Store, Mode::Sc) > 10 * x.op_cost(OpClass::Store, Mode::Rel));
+        assert_eq!(x.op_cost(OpClass::Rmw, Mode::Rlx), x.op_cost(OpClass::Rmw, Mode::Sc));
+    }
+
+    #[test]
+    fn numa_topology() {
+        assert_eq!(Arch::ArmV8.node_of(0), 0);
+        assert_eq!(Arch::ArmV8.node_of(64), 1);
+        assert_eq!(Arch::X86_64.node_of(47), 0);
+        assert_eq!(Arch::X86_64.node_of(48), 1);
+        assert!(Arch::ArmV8.remote_transfer() > Arch::ArmV8.local_transfer());
+    }
+
+    #[test]
+    fn thread_counts_match_paper() {
+        assert_eq!(Arch::ArmV8.thread_counts(), vec![1, 2, 4, 8, 16, 23, 31, 63, 95, 127]);
+        assert_eq!(Arch::X86_64.thread_counts(), vec![1, 2, 4, 8, 16, 23, 31, 63, 95]);
+    }
+}

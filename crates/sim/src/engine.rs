@@ -1,0 +1,579 @@
+//! The virtual-time multicore engine.
+//!
+//! Worker threads are real OS threads, but only the thread with the
+//! smallest virtual clock may execute an operation at any moment — a
+//! conductor pattern that makes every simulation fully deterministic for a
+//! given seed while letting lock implementations be written as ordinary
+//! blocking Rust code. Each memory operation pays a cost from the
+//! [`Arch`] model plus MESI-style coherence traffic, advancing the
+//! thread's clock.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use vsync_graph::Mode;
+
+use crate::arch::{Arch, OpClass};
+use crate::rng::SplitMix64;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated platform.
+    pub arch: Arch,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Virtual duration in cycles (the paper runs 30 s wall-clock; scale
+    /// with [`SimConfig::CYCLES_PER_SECOND`] when converting).
+    pub duration: u64,
+    /// RNG seed (one "run" of the paper's 5 repetitions per seed).
+    pub seed: u64,
+    /// Cost jitter in percent (models thermal/measurement noise).
+    pub jitter_percent: u64,
+}
+
+impl SimConfig {
+    /// Simulated clock rate: the paper fixes 1.5 GHz on all platforms.
+    pub const CYCLES_PER_SECOND: f64 = 1.5e9;
+
+    /// A config with sensible defaults for the given arch/thread count.
+    pub fn new(arch: Arch, threads: usize) -> Self {
+        SimConfig { arch, threads, duration: 300_000, seed: 1, jitter_percent: 8 }
+    }
+}
+
+/// Exclusive-or-shared state of one cache line.
+#[derive(Debug, Clone, Default)]
+struct Line {
+    owner: Option<usize>,
+    sharers: u128,
+}
+
+/// Engine-internal shared state (all guarded by one mutex).
+pub struct Shared {
+    arch: Arch,
+    jitter_percent: u64,
+    mem: HashMap<u64, u64>,
+    lines: HashMap<u64, Line>,
+    clocks: Vec<u64>,
+    done: Vec<bool>,
+    rng: SplitMix64,
+    total_ops: u64,
+}
+
+impl Shared {
+    fn line_of(addr: u64) -> u64 {
+        addr >> 6
+    }
+
+    /// Read memory (no cost accounting).
+    pub fn read_mem(&self, addr: u64) -> u64 {
+        self.mem.get(&addr).copied().unwrap_or(0)
+    }
+
+    fn write_mem(&mut self, addr: u64, val: u64) {
+        self.mem.insert(addr, val);
+    }
+
+    /// Coherence cost of accessing `addr` from `core`, updating line state.
+    fn access_cost(&mut self, core: usize, addr: u64, write: bool) -> u64 {
+        let arch = self.arch;
+        let line = self.lines.entry(Shared::line_of(addr)).or_default();
+        let bit = 1u128 << core;
+        let my_node = arch.node_of(core);
+        let transfer = |other: usize| {
+            if arch.node_of(other) == my_node {
+                arch.local_transfer()
+            } else {
+                arch.remote_transfer()
+            }
+        };
+        if write {
+            match line.owner {
+                Some(o) if o == core => 0,
+                Some(o) => {
+                    let c = transfer(o);
+                    line.owner = Some(core);
+                    line.sharers = bit;
+                    c
+                }
+                None => {
+                    // Invalidate all sharers; pay for the farthest.
+                    let mut cost = arch.local_transfer() / 2; // upgrade/cold
+                    for sc in 0..128usize {
+                        if line.sharers & (1u128 << sc) != 0 && sc != core {
+                            cost = cost.max(transfer(sc));
+                        }
+                    }
+                    line.owner = Some(core);
+                    line.sharers = bit;
+                    cost
+                }
+            }
+        } else {
+            match line.owner {
+                Some(o) if o == core => 0,
+                Some(o) => {
+                    // Downgrade M -> S at the owner.
+                    let c = transfer(o);
+                    line.owner = None;
+                    line.sharers |= bit | (1u128 << o);
+                    c
+                }
+                None => {
+                    if line.sharers & bit != 0 {
+                        0
+                    } else {
+                        let cold = line.sharers == 0;
+                        line.sharers |= bit;
+                        if cold {
+                            arch.local_transfer() // memory fetch
+                        } else {
+                            arch.local_transfer() / 2 // shared copy nearby
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+struct EngineInner {
+    state: Mutex<Shared>,
+    cvs: Vec<Condvar>,
+}
+
+impl EngineInner {
+    /// Is `tid` the unique minimum-clock runnable thread?
+    fn is_turn(st: &Shared, tid: usize) -> bool {
+        let me = (st.clocks[tid], tid);
+        (0..st.clocks.len())
+            .filter(|&t| !st.done[t] && t != tid)
+            .all(|t| (st.clocks[t], t) > me)
+    }
+
+    /// Wake the thread whose turn it now is.
+    fn wake_next(&self, st: &Shared) {
+        if let Some(next) = (0..st.clocks.len())
+            .filter(|&t| !st.done[t])
+            .min_by_key(|&t| (st.clocks[t], t))
+        {
+            self.cvs[next].notify_one();
+        }
+    }
+}
+
+/// Handle passed to each simulated thread: the atomics API locks are
+/// written against.
+pub struct SimThread {
+    engine: Arc<EngineInner>,
+    tid: usize,
+    core: usize,
+    clock_cache: u64,
+}
+
+impl SimThread {
+    /// This thread's index.
+    pub fn tid(&self) -> usize {
+        self.tid
+    }
+
+    /// The core this thread is pinned to.
+    pub fn core(&self) -> usize {
+        self.core
+    }
+
+    /// The thread's virtual clock after its last operation.
+    pub fn now(&self) -> u64 {
+        self.clock_cache
+    }
+
+    /// Run one operation when it is this thread's turn.
+    fn step<R>(&mut self, f: impl FnOnce(&mut Shared, usize) -> (u64, R)) -> R {
+        let engine = Arc::clone(&self.engine);
+        let mut st = engine.state.lock();
+        while !EngineInner::is_turn(&st, self.tid) {
+            engine.cvs[self.tid].wait(&mut st);
+        }
+        let (cost, result) = f(&mut st, self.core);
+        let jittered = {
+            let pct = st.jitter_percent;
+            st.rng.jitter(cost.max(1), pct)
+        };
+        st.clocks[self.tid] += jittered.max(1);
+        st.total_ops += 1;
+        self.clock_cache = st.clocks[self.tid];
+        engine.wake_next(&st);
+        result
+    }
+
+    /// Atomic load.
+    pub fn load(&mut self, addr: u64, mode: Mode) -> u64 {
+        self.step(|st, core| {
+            let cost = st.arch.op_cost(OpClass::Load, mode) + st.access_cost(core, addr, false);
+            (cost, st.read_mem(addr))
+        })
+    }
+
+    /// Atomic store.
+    pub fn store(&mut self, addr: u64, val: u64, mode: Mode) {
+        self.step(|st, core| {
+            let cost = st.arch.op_cost(OpClass::Store, mode) + st.access_cost(core, addr, true);
+            st.write_mem(addr, val);
+            (cost, ())
+        })
+    }
+
+    /// Compare-and-swap; returns the old value.
+    pub fn cas(&mut self, addr: u64, expected: u64, new: u64, mode: Mode) -> u64 {
+        self.step(|st, core| {
+            let cost = st.arch.op_cost(OpClass::Rmw, mode) + st.access_cost(core, addr, true);
+            let old = st.read_mem(addr);
+            if old == expected {
+                st.write_mem(addr, new);
+            }
+            (cost, old)
+        })
+    }
+
+    /// Atomic exchange; returns the old value.
+    pub fn xchg(&mut self, addr: u64, val: u64, mode: Mode) -> u64 {
+        self.step(|st, core| {
+            let cost = st.arch.op_cost(OpClass::Rmw, mode) + st.access_cost(core, addr, true);
+            let old = st.read_mem(addr);
+            st.write_mem(addr, val);
+            (cost, old)
+        })
+    }
+
+    /// Fetch-and-add; returns the old value.
+    pub fn fetch_add(&mut self, addr: u64, val: u64, mode: Mode) -> u64 {
+        self.fetch_op(addr, mode, move |old| old.wrapping_add(val))
+    }
+
+    /// Fetch-and-sub; returns the old value.
+    pub fn fetch_sub(&mut self, addr: u64, val: u64, mode: Mode) -> u64 {
+        self.fetch_op(addr, mode, move |old| old.wrapping_sub(val))
+    }
+
+    /// Fetch-and-or; returns the old value.
+    pub fn fetch_or(&mut self, addr: u64, val: u64, mode: Mode) -> u64 {
+        self.fetch_op(addr, mode, move |old| old | val)
+    }
+
+    fn fetch_op(&mut self, addr: u64, mode: Mode, f: impl FnOnce(u64) -> u64) -> u64 {
+        self.step(|st, core| {
+            let cost = st.arch.op_cost(OpClass::Rmw, mode) + st.access_cost(core, addr, true);
+            let old = st.read_mem(addr);
+            let new = f(old);
+            st.write_mem(addr, new);
+            (cost, old)
+        })
+    }
+
+    /// Masked store: `mem[addr] = (mem[addr] & !mask) | val`, charged as a
+    /// plain store. Models sub-word stores into a wider word, e.g. the
+    /// Linux qspinlock's byte store that releases the locked byte while
+    /// pending/tail bits live in the same 32-bit word (paper §3.3 discusses
+    /// exactly these mixed-size accesses).
+    pub fn store_masked(&mut self, addr: u64, mask: u64, val: u64, mode: Mode) {
+        self.step(|st, core| {
+            let cost = st.arch.op_cost(OpClass::Store, mode) + st.access_cost(core, addr, true);
+            let old = st.read_mem(addr);
+            st.write_mem(addr, (old & !mask) | (val & mask));
+            (cost, ())
+        })
+    }
+
+    /// Memory fence.
+    pub fn fence(&mut self, mode: Mode) {
+        self.step(|st, _| (st.arch.op_cost(OpClass::Fence, mode), ()));
+    }
+
+    /// One spin-hint pause.
+    pub fn pause(&mut self) {
+        self.step(|st, _| (st.arch.pause_cost(), ()));
+    }
+
+    /// Local (non-memory) work of `cycles` cycles.
+    pub fn work(&mut self, cycles: u64) {
+        self.step(|_, _| (cycles, ()));
+    }
+
+    /// Spin with exponential backoff until `pred(value at addr)` holds;
+    /// returns the satisfying value. This keeps contended simulations from
+    /// drowning in poll events while preserving polling semantics.
+    pub fn spin_until(&mut self, addr: u64, mode: Mode, pred: impl Fn(u64) -> bool) -> u64 {
+        let mut backoff = 1u64;
+        let mut polls = 0u64;
+        loop {
+            let v = self.load(addr, mode);
+            if pred(v) {
+                return v;
+            }
+            polls += 1;
+            assert!(
+                polls < 2_000_000,
+                "thread {} spun 2M times on {addr:#x} (last value {v}) —                  livelocked lock implementation?",
+                self.tid
+            );
+            self.work(self.arch_pause() * backoff);
+            backoff = (backoff * 2).min(64);
+        }
+    }
+
+    /// Futex-style wait: sleep in coarse quanta while `addr` still holds
+    /// `expected`. Models the syscall cost asymmetry of blocking mutexes.
+    pub fn futex_wait(&mut self, addr: u64, expected: u64) {
+        // Syscall entry cost.
+        self.work(600);
+        let mut backoff = 1u64;
+        loop {
+            let v = self.load(addr, Mode::Acq);
+            if v != expected {
+                return;
+            }
+            self.work(800 * backoff);
+            backoff = (backoff * 2).min(16);
+        }
+    }
+
+    /// Futex-style wake (the wakeup itself is polled by waiters).
+    pub fn futex_wake(&mut self) {
+        self.work(500); // syscall cost
+    }
+
+    fn arch_pause(&self) -> u64 {
+        // Constant per arch; read once without locking.
+        30
+    }
+}
+
+/// Result of [`run_simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimOutput {
+    /// Final value of each probed address.
+    pub duration: u64,
+    /// Total operations executed (diagnostics).
+    pub total_ops: u64,
+}
+
+/// Run a simulation: `threads` workers execute `body(ctx)` until their
+/// virtual clock passes `cfg.duration`. Returns the final memory and
+/// counters via the `finish` closure.
+pub fn run_simulation<R: Send>(
+    cfg: &SimConfig,
+    init_mem: &HashMap<u64, u64>,
+    body: impl Fn(&mut SimThread) + Sync,
+    finish: impl FnOnce(&Shared) -> R,
+) -> (SimOutput, R) {
+    assert!(cfg.threads >= 1, "need at least one thread");
+    assert!(
+        cfg.threads < cfg.arch.cores(),
+        "{} threads exceed the {} usable cores of {}",
+        cfg.threads,
+        cfg.arch.cores() - 1,
+        cfg.arch.machine()
+    );
+    // Pin thread i to core i+1 (core 0 reserved, as in the paper §4.1.2);
+    // threads fill NUMA node 0 first.
+    let cores: Vec<usize> = (0..cfg.threads).map(|i| i + 1).collect();
+    let shared = Shared {
+        arch: cfg.arch,
+        jitter_percent: cfg.jitter_percent,
+        mem: init_mem.clone(),
+        lines: HashMap::new(),
+        clocks: vec![0; cfg.threads],
+        done: vec![false; cfg.threads],
+        rng: SplitMix64::new(cfg.seed),
+        total_ops: 0,
+    };
+    let engine = Arc::new(EngineInner {
+        state: Mutex::new(shared),
+        cvs: (0..cfg.threads).map(|_| Condvar::new()).collect(),
+    });
+    std::thread::scope(|scope| {
+        for tid in 0..cfg.threads {
+            let engine = Arc::clone(&engine);
+            let body = &body;
+            let core = cores[tid];
+            scope.spawn(move || {
+                let mut ctx = SimThread { engine: Arc::clone(&engine), tid, core, clock_cache: 0 };
+                body(&mut ctx);
+                let mut st = engine.state.lock();
+                st.done[tid] = true;
+                engine.wake_next(&st);
+            });
+        }
+    });
+    let st = engine.state.lock();
+    let out = SimOutput {
+        duration: st.clocks.iter().copied().max().unwrap_or(0),
+        total_ops: st.total_ops,
+    };
+    let r = finish(&st);
+    (out, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(threads: usize) -> SimConfig {
+        SimConfig { arch: Arch::ArmV8, threads, duration: 20_000, seed: 7, jitter_percent: 5 }
+    }
+
+    #[test]
+    fn single_thread_counts_deterministically() {
+        let cfg = tiny_cfg(1);
+        let run = || {
+            run_simulation(
+                &cfg,
+                &HashMap::new(),
+                |ctx| {
+                    while ctx.now() < 20_000 {
+                        let v = ctx.load(0x40, Mode::Rlx);
+                        ctx.store(0x40, v + 1, Mode::Rlx);
+                    }
+                },
+                |st| st.read_mem(0x40),
+            )
+        };
+        let (o1, c1) = run();
+        let (o2, c2) = run();
+        assert_eq!(c1, c2, "same seed, same count");
+        assert_eq!(o1.total_ops, o2.total_ops);
+        assert!(c1 > 100, "should make progress: {c1}");
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut cfg = tiny_cfg(1);
+        let count = |cfg: &SimConfig| {
+            run_simulation(
+                cfg,
+                &HashMap::new(),
+                |ctx| {
+                    while ctx.now() < 20_000 {
+                        let v = ctx.load(0x40, Mode::Rlx);
+                        ctx.store(0x40, v + 1, Mode::Rlx);
+                    }
+                },
+                |st| st.read_mem(0x40),
+            )
+            .1
+        };
+        let a = count(&cfg);
+        cfg.seed = 99;
+        let b = count(&cfg);
+        assert_ne!(a, b, "jitter should shift counts across seeds");
+    }
+
+    #[test]
+    fn operations_are_serialized_no_lost_updates() {
+        // Increments through the min-clock conductor are atomic even with
+        // plain load/store pairs *within one op* (fetch_add).
+        let cfg = tiny_cfg(4);
+        let (_, total) = run_simulation(
+            &cfg,
+            &HashMap::new(),
+            |ctx| {
+                for _ in 0..100 {
+                    ctx.fetch_add(0x80, 1, Mode::Rlx);
+                }
+            },
+            |st| st.read_mem(0x80),
+        );
+        assert_eq!(total, 400);
+    }
+
+    #[test]
+    fn contended_line_is_slower_than_private() {
+        let shared_count = {
+            let cfg = tiny_cfg(2);
+            run_simulation(
+                &cfg,
+                &HashMap::new(),
+                |ctx| {
+                    while ctx.now() < 20_000 {
+                        ctx.fetch_add(0x100, 1, Mode::Rlx); // same line
+                    }
+                },
+                |st| st.read_mem(0x100),
+            )
+            .1
+        };
+        let private_sum = {
+            let cfg = tiny_cfg(2);
+            run_simulation(
+                &cfg,
+                &HashMap::new(),
+                |ctx| {
+                    let addr = 0x100 + ctx.tid() as u64 * 0x200; // distinct lines
+                    while ctx.now() < 20_000 {
+                        ctx.fetch_add(addr, 1, Mode::Rlx);
+                    }
+                },
+                |st| st.read_mem(0x100) + st.read_mem(0x300),
+            )
+            .1
+        };
+        assert!(
+            private_sum > shared_count + shared_count / 2,
+            "coherence traffic should hurt: private {private_sum} vs shared {shared_count}"
+        );
+    }
+
+    #[test]
+    fn spin_until_sees_signal() {
+        let cfg = tiny_cfg(2);
+        let (_, v) = run_simulation(
+            &cfg,
+            &HashMap::new(),
+            |ctx| {
+                if ctx.tid() == 0 {
+                    ctx.work(500);
+                    ctx.store(0x40, 42, Mode::Rel);
+                } else {
+                    let v = ctx.spin_until(0x40, Mode::Acq, |v| v != 0);
+                    ctx.store(0x80, v, Mode::Rlx);
+                }
+            },
+            |st| st.read_mem(0x80),
+        );
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn sc_stores_cost_more_on_x86() {
+        let count_with = |mode: Mode| {
+            let cfg = SimConfig {
+                arch: Arch::X86_64,
+                threads: 1,
+                duration: 50_000,
+                seed: 3,
+                jitter_percent: 0,
+            };
+            run_simulation(
+                &cfg,
+                &HashMap::new(),
+                move |ctx| {
+                    while ctx.now() < 50_000 {
+                        let v = ctx.load(0x40, Mode::Rlx);
+                        ctx.store(0x40, v + 1, mode);
+                    }
+                },
+                |st| st.read_mem(0x40),
+            )
+            .1
+        };
+        let relaxed = count_with(Mode::Rlx);
+        let seq = count_with(Mode::Sc);
+        assert!(
+            relaxed > seq * 3,
+            "x86 sc stores should be far slower: rlx {relaxed} vs sc {seq}"
+        );
+    }
+}

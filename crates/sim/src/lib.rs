@@ -1,0 +1,55 @@
+//! # vsync-sim
+//!
+//! The evaluation substrate standing in for the paper's hardware testbeds
+//! (§4.1): a deterministic virtual-time multicore simulator with
+//! MESI-style coherence costs, NUMA topology and per-architecture barrier
+//! cost models, plus the microbenchmark harness, statistics and terminal
+//! plots that regenerate Tables 2–5 and Figures 23–27.
+//!
+//! Worker threads are real OS threads sequenced by a min-virtual-clock
+//! conductor, so lock implementations are ordinary blocking Rust code and
+//! every run is reproducible from its seed.
+//!
+//! ```
+//! use vsync_sim::{run_microbench, Arch, SimConfig, SimLock, SimThread, Workload};
+//! use vsync_graph::Mode;
+//!
+//! #[derive(Debug)]
+//! struct SpinLock;
+//! impl SimLock for SpinLock {
+//!     fn name(&self) -> &'static str { "spin" }
+//!     fn acquire(&self, ctx: &mut SimThread) {
+//!         while ctx.cas(0x40, 0, 1, Mode::Acq) != 0 {
+//!             ctx.spin_until(0x40, Mode::Rlx, |v| v == 0);
+//!         }
+//!     }
+//!     fn release(&self, ctx: &mut SimThread) { ctx.store(0x40, 0, Mode::Rel); }
+//! }
+//!
+//! let cfg = SimConfig { arch: Arch::ArmV8, threads: 2, duration: 30_000, seed: 1, jitter_percent: 5 };
+//! let (count, secs) = run_microbench(&SpinLock, &cfg, &Workload::default());
+//! assert!(count > 0 && secs > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod arch;
+mod engine;
+mod harness;
+mod plot;
+mod rng;
+mod stats;
+
+pub use arch::{Arch, OpClass};
+pub use engine::{run_simulation, Shared, SimConfig, SimOutput, SimThread};
+pub use harness::{
+    render_records, run_microbench, run_repetitions, sweep, LockPair, Record, SimLock, Variant,
+    Workload, COUNTER_ADDR, CS_LINES_BASE, ES_LINES_BASE,
+};
+pub use plot::{comparison_table, heat_map, histogram};
+pub use rng::SplitMix64;
+pub use stats::{
+    group_records, render_groups, render_speedup_summaries, render_stability_bands,
+    speedups, stability_bands, summarize_speedups, GroupKey, GroupStat, Speedup, SpeedupSummary,
+    StabilityBands, STABILITY_FILTER,
+};

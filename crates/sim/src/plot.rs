@@ -1,0 +1,135 @@
+//! Terminal renderings of the paper's figures: density histograms
+//! (Figs. 23/24) and speedup heat maps (Figs. 25/26).
+
+use std::collections::BTreeMap;
+
+use crate::stats::Speedup;
+
+/// Render a binned histogram of values, one row per bin, bar length
+/// proportional to the count (Figs. 23/24 are densities of stability and
+/// speedup values).
+pub fn histogram(title: &str, values: &[f64], bins: usize, width: usize) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (n = {})", values.len());
+    if values.is_empty() || bins == 0 {
+        out.push_str("  (no data)\n");
+        return out;
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let i = (((v - min) / span) * bins as f64) as usize;
+        counts[i.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + span * i as f64 / bins as f64;
+        let hi = min + span * (i + 1) as f64 / bins as f64;
+        let bar = "#".repeat(c * width / peak);
+        let _ = writeln!(out, "  [{lo:>8.3}, {hi:>8.3}) {c:>5} {bar}");
+    }
+    out
+}
+
+/// Render a speedup heat map: rows = locks, columns = thread counts, cells
+/// = speedup (blank = filtered out for instability, like the white squares
+/// of Figs. 25/26).
+pub fn heat_map(title: &str, samples: &[Speedup], thread_counts: &[usize]) -> String {
+    use std::fmt::Write as _;
+    let mut by_lock: BTreeMap<&str, BTreeMap<usize, f64>> = BTreeMap::new();
+    for s in samples {
+        by_lock.entry(&s.algorithm).or_default().insert(s.threads, s.speedup);
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = write!(out, "{:<16}", "lock \\ threads");
+    for t in thread_counts {
+        let _ = write!(out, "{t:>8}");
+    }
+    out.push('\n');
+    for (lock, cells) in &by_lock {
+        let _ = write!(out, "{lock:<16}");
+        for t in thread_counts {
+            match cells.get(t) {
+                Some(v) => {
+                    let _ = write!(out, "{:>8}", format!("{:+.2}", v));
+                }
+                None => {
+                    let _ = write!(out, "{:>8}", "."); // filtered / not run
+                }
+            }
+        }
+        out.push('\n');
+    }
+    out.push_str("(cells are To/Ts - 1; '.' = filtered for instability)\n");
+    out
+}
+
+/// Render the Fig. 27 comparison: one throughput column per implementation
+/// for each thread count.
+pub fn comparison_table(
+    title: &str,
+    impl_names: &[&str],
+    rows: &[(usize, Vec<f64>)], // (threads, throughput per impl)
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title} (median throughput, M ops/s)");
+    let _ = write!(out, "{:<10}", "threads");
+    for n in impl_names {
+        let _ = write!(out, "{n:>14}");
+    }
+    out.push('\n');
+    for (threads, vals) in rows {
+        let _ = write!(out, "{threads:<10}");
+        for v in vals {
+            let _ = write!(out, "{:>14.3}", v / 1e6);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_and_bars() {
+        let values = vec![0.0, 0.1, 0.1, 0.9];
+        let h = histogram("density", &values, 4, 20);
+        assert!(h.contains("density (n = 4)"));
+        assert!(h.contains('#'));
+        // The bin with two samples has the longest bar.
+        let longest = h.lines().map(|l| l.matches('#').count()).max().unwrap();
+        assert_eq!(longest, 20);
+    }
+
+    #[test]
+    fn histogram_handles_empty() {
+        assert!(histogram("x", &[], 4, 10).contains("no data"));
+    }
+
+    #[test]
+    fn heat_map_marks_missing_cells() {
+        let samples = vec![
+            Speedup { arch: "aarch64", algorithm: "mcs".into(), threads: 1, speedup: 0.5 },
+            Speedup { arch: "aarch64", algorithm: "mcs".into(), threads: 4, speedup: -0.1 },
+        ];
+        let m = heat_map("ARM speedups", &samples, &[1, 2, 4]);
+        assert!(m.contains("mcs"));
+        assert!(m.contains("+0.50"));
+        assert!(m.contains("-0.10"));
+        assert!(m.contains('.'), "missing threads=2 cell rendered as dot");
+    }
+
+    #[test]
+    fn comparison_table_scales_to_mops() {
+        let t = comparison_table("MCS", &["dpdk", "own"], &[(1, vec![2.0e6, 3.0e6])]);
+        assert!(t.contains("2.000"));
+        assert!(t.contains("3.000"));
+    }
+}

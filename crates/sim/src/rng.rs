@@ -1,0 +1,88 @@
+//! A tiny deterministic PRNG (SplitMix64).
+//!
+//! The simulator needs reproducible per-run jitter; SplitMix64 is
+//! statistically adequate, seedable, and keeps the crate dependency-free.
+
+/// SplitMix64 pseudo-random generator.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Jitter a cost by ±`percent`% (deterministic per state).
+    pub fn jitter(&mut self, value: u64, percent: u64) -> u64 {
+        if value == 0 || percent == 0 {
+            return value;
+        }
+        let span = (value * percent / 100).max(1);
+        let delta = self.below(2 * span + 1);
+        (value + delta).saturating_sub(span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::new(43);
+        assert_ne!(SplitMix64::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = SplitMix64::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(10) < 10);
+        }
+        assert_eq!(r.below(0), 0);
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut r = SplitMix64::new(9);
+        for _ in 0..1000 {
+            let v = r.jitter(100, 10);
+            assert!((90..=110).contains(&v), "{v}");
+        }
+        assert_eq!(r.jitter(0, 10), 0);
+        assert_eq!(r.jitter(100, 0), 100);
+    }
+
+    #[test]
+    fn jitter_varies() {
+        let mut r = SplitMix64::new(11);
+        let vals: std::collections::HashSet<u64> = (0..50).map(|_| r.jitter(1000, 10)).collect();
+        assert!(vals.len() > 10);
+    }
+}

@@ -1,0 +1,337 @@
+//! Statistics over benchmark records: grouping, stability, speedups
+//! (paper §4.2.2, Tables 3–5).
+
+use std::collections::BTreeMap;
+
+use crate::arch::Arch;
+use crate::harness::{Record, Variant};
+
+/// Key of one experiment group (a row of Table 3).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GroupKey {
+    /// Platform.
+    pub arch: &'static str,
+    /// Lock algorithm.
+    pub algorithm: String,
+    /// Variant (`seq` / `opt`).
+    pub variant: Variant,
+    /// Thread count.
+    pub threads: usize,
+}
+
+/// Aggregates of one group's throughput samples.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GroupStat {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median.
+    pub median: f64,
+    /// Standard deviation.
+    pub std: f64,
+    /// `max / min` — 1.0 is perfectly stable (paper's `stability`).
+    pub stability: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+/// Group raw records by (arch, algorithm, variant, threads) and compute
+/// mean/median/std/stability — the paper's Table 3.
+pub fn group_records(records: &[Record]) -> BTreeMap<GroupKey, GroupStat> {
+    let mut buckets: BTreeMap<GroupKey, Vec<f64>> = BTreeMap::new();
+    for r in records {
+        let key = GroupKey {
+            arch: r.arch.label(),
+            algorithm: r.algorithm.clone(),
+            variant: r.variant,
+            threads: r.threads,
+        };
+        buckets.entry(key).or_default().push(r.throughput);
+    }
+    buckets
+        .into_iter()
+        .map(|(k, mut v)| {
+            v.sort_by(f64::total_cmp);
+            let n = v.len();
+            let mean = v.iter().sum::<f64>() / n as f64;
+            let median = if n % 2 == 1 { v[n / 2] } else { (v[n / 2 - 1] + v[n / 2]) / 2.0 };
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+            let stability = if v[0] > 0.0 { v[n - 1] / v[0] } else { f64::INFINITY };
+            (k, GroupStat { mean, median, std: var.sqrt(), stability, n })
+        })
+        .collect()
+}
+
+/// The paper's Table 4: count groups by stability band.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StabilityBands {
+    /// stability ≤ 1.1
+    pub le_1_1: usize,
+    /// stability > 1.1
+    pub gt_1_1: usize,
+    /// stability > 1.2
+    pub gt_1_2: usize,
+    /// stability > 1.3
+    pub gt_1_3: usize,
+    /// stability > 1.4
+    pub gt_1_4: usize,
+    /// total groups
+    pub total: usize,
+}
+
+/// Categorize group stabilities into the bands of Table 4.
+pub fn stability_bands(groups: &BTreeMap<GroupKey, GroupStat>) -> StabilityBands {
+    let mut b = StabilityBands::default();
+    for s in groups.values() {
+        b.total += 1;
+        if s.stability <= 1.1 {
+            b.le_1_1 += 1;
+        } else {
+            b.gt_1_1 += 1;
+        }
+        if s.stability > 1.2 {
+            b.gt_1_2 += 1;
+        }
+        if s.stability > 1.3 {
+            b.gt_1_3 += 1;
+        }
+        if s.stability > 1.4 {
+            b.gt_1_4 += 1;
+        }
+    }
+    b
+}
+
+/// Render Table 4.
+pub fn render_stability_bands(b: &StabilityBands) -> String {
+    let pct = |n: usize| 100.0 * n as f64 / b.total.max(1) as f64;
+    format!(
+        "Stability values   Amount (absolute)   Amount (%)\n\
+         <= 1.1             {:>17}   {:>9.2}%\n\
+         > 1.1              {:>17}   {:>9.2}%\n\
+         > 1.2              {:>17}   {:>9.2}%\n\
+         > 1.3              {:>17}   {:>9.2}%\n\
+         > 1.4              {:>17}   {:>9.2}%\n\
+         Total              {:>17}      100.00%\n",
+        b.le_1_1,
+        pct(b.le_1_1),
+        b.gt_1_1,
+        pct(b.gt_1_1),
+        b.gt_1_2,
+        pct(b.gt_1_2),
+        b.gt_1_3,
+        pct(b.gt_1_3),
+        b.gt_1_4,
+        pct(b.gt_1_4),
+        b.total
+    )
+}
+
+/// One speedup sample: optimized over sc-only at a given contention level.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Speedup {
+    /// Platform.
+    pub arch: &'static str,
+    /// Lock algorithm.
+    pub algorithm: String,
+    /// Thread count.
+    pub threads: usize,
+    /// `T_opt / T_seq - 1` (paper's definition).
+    pub speedup: f64,
+}
+
+/// The stability threshold above which records are dropped (the paper
+/// filters out > 20 % instability before computing speedups).
+pub const STABILITY_FILTER: f64 = 1.2;
+
+/// Compute per-(algorithm, threads) speedups from grouped stats, dropping
+/// unstable groups (either variant) per the paper's filtering rule.
+pub fn speedups(groups: &BTreeMap<GroupKey, GroupStat>) -> Vec<Speedup> {
+    let mut out = Vec::new();
+    for (k, seq_stat) in groups.iter().filter(|(k, _)| k.variant == Variant::Seq) {
+        let opt_key = GroupKey { variant: Variant::Opt, ..k.clone() };
+        let Some(opt_stat) = groups.get(&opt_key) else { continue };
+        if seq_stat.stability > STABILITY_FILTER || opt_stat.stability > STABILITY_FILTER {
+            continue;
+        }
+        out.push(Speedup {
+            arch: k.arch,
+            algorithm: k.algorithm.clone(),
+            threads: k.threads,
+            speedup: opt_stat.median / seq_stat.median - 1.0,
+        });
+    }
+    out
+}
+
+/// Table 5 row: descriptive statistics of one algorithm's speedups on one
+/// platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSummary {
+    /// Platform.
+    pub arch: &'static str,
+    /// Lock algorithm.
+    pub algorithm: String,
+    /// Maximum observed speedup.
+    pub max: f64,
+    /// Mean speedup.
+    pub mean: f64,
+    /// Minimum observed speedup.
+    pub min: f64,
+    /// Standard deviation.
+    pub std: f64,
+}
+
+/// Aggregate speedups per (arch, algorithm) — the paper's Table 5.
+pub fn summarize_speedups(samples: &[Speedup]) -> Vec<SpeedupSummary> {
+    let mut buckets: BTreeMap<(&'static str, String), Vec<f64>> = BTreeMap::new();
+    for s in samples {
+        buckets.entry((s.arch, s.algorithm.clone())).or_default().push(s.speedup);
+    }
+    buckets
+        .into_iter()
+        .map(|((arch, algorithm), v)| {
+            let n = v.len().max(1) as f64;
+            let mean = v.iter().sum::<f64>() / n;
+            let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+            SpeedupSummary {
+                arch,
+                algorithm,
+                max: v.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+                mean,
+                min: v.iter().copied().fold(f64::INFINITY, f64::min),
+                std: var.sqrt(),
+            }
+        })
+        .collect()
+}
+
+/// Render Table 3.
+pub fn render_groups(groups: &BTreeMap<GroupKey, GroupStat>) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>8} {:>14} {:>7} {:>8} {:>13} {:>13} {:>12} {:>10}",
+        "arch", "algorithm", "seqopt", "threads", "mean", "median", "std", "stability"
+    );
+    for (k, s) in groups {
+        let _ = writeln!(
+            out,
+            "{:>8} {:>14} {:>7} {:>8} {:>13.5e} {:>13.5e} {:>12.4e} {:>10.5}",
+            k.arch,
+            k.algorithm,
+            k.variant.label(),
+            k.threads,
+            s.mean,
+            s.median,
+            s.std,
+            s.stability
+        );
+    }
+    out
+}
+
+/// Render Table 5.
+pub fn render_speedup_summaries(rows: &[SpeedupSummary], arch: Arch) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "Speedups of VSYNC-optimized over sc-only ({}):", arch.label());
+    let _ = writeln!(out, "{:<16} {:>10} {:>10} {:>10} {:>10}", "Lock", "max", "mean", "min", "std");
+    for r in rows.iter().filter(|r| r.arch == arch.label()) {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>10.6} {:>10.6} {:>10.6} {:>10.6}",
+            r.algorithm, r.max, r.mean, r.min, r.std
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(alg: &str, variant: Variant, threads: usize, run: usize, tp: f64) -> Record {
+        Record {
+            arch: Arch::ArmV8,
+            algorithm: alg.into(),
+            variant,
+            threads,
+            run,
+            count: (tp * 0.02) as u64,
+            duration: 0.02,
+            throughput: tp,
+        }
+    }
+
+    #[test]
+    fn grouping_computes_median_and_stability() {
+        let records = vec![
+            rec("a", Variant::Seq, 2, 1, 100.0),
+            rec("a", Variant::Seq, 2, 2, 110.0),
+            rec("a", Variant::Seq, 2, 3, 105.0),
+        ];
+        let groups = group_records(&records);
+        assert_eq!(groups.len(), 1);
+        let s = groups.values().next().unwrap();
+        assert_eq!(s.median, 105.0);
+        assert!((s.mean - 105.0).abs() < 1e-9);
+        assert!((s.stability - 1.1).abs() < 1e-9);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn speedup_is_opt_over_seq_minus_one() {
+        let records = vec![
+            rec("a", Variant::Seq, 2, 1, 100.0),
+            rec("a", Variant::Opt, 2, 1, 150.0),
+        ];
+        let groups = group_records(&records);
+        let sp = speedups(&groups);
+        assert_eq!(sp.len(), 1);
+        assert!((sp[0].speedup - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unstable_groups_are_filtered() {
+        let records = vec![
+            rec("a", Variant::Seq, 2, 1, 100.0),
+            rec("a", Variant::Seq, 2, 2, 130.0), // stability 1.3 > 1.2
+            rec("a", Variant::Opt, 2, 1, 150.0),
+        ];
+        let groups = group_records(&records);
+        assert!(speedups(&groups).is_empty());
+    }
+
+    #[test]
+    fn stability_bands_count_correctly() {
+        let records = vec![
+            rec("a", Variant::Seq, 1, 1, 100.0),
+            rec("a", Variant::Seq, 1, 2, 105.0), // 1.05
+            rec("b", Variant::Seq, 1, 1, 100.0),
+            rec("b", Variant::Seq, 1, 2, 145.0), // 1.45
+        ];
+        let groups = group_records(&records);
+        let b = stability_bands(&groups);
+        assert_eq!(b.total, 2);
+        assert_eq!(b.le_1_1, 1);
+        assert_eq!(b.gt_1_4, 1);
+        let rendered = render_stability_bands(&b);
+        assert!(rendered.contains("Total"));
+    }
+
+    #[test]
+    fn summaries_aggregate_across_threads() {
+        let samples = vec![
+            Speedup { arch: "aarch64", algorithm: "a".into(), threads: 1, speedup: 0.5 },
+            Speedup { arch: "aarch64", algorithm: "a".into(), threads: 2, speedup: 0.1 },
+        ];
+        let rows = summarize_speedups(&samples);
+        assert_eq!(rows.len(), 1);
+        assert!((rows[0].max - 0.5).abs() < 1e-9);
+        assert!((rows[0].min - 0.1).abs() < 1e-9);
+        assert!((rows[0].mean - 0.3).abs() < 1e-9);
+        let table = render_speedup_summaries(&rows, Arch::ArmV8);
+        assert!(table.contains("aarch64"));
+    }
+}

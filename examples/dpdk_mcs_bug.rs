@@ -1,0 +1,35 @@
+//! Study case §3.1: find the DPDK v20.05 MCS lock hang with AMC.
+//!
+//! Alice acquires the lock while Bob (the current owner) releases it. The
+//! relaxed `prev->next = me` publication lets Bob's handover write land
+//! mo-before Alice's own `locked = 1` initialization — Alice then awaits
+//! `locked == 0` forever (paper Figs. 13/14). AMC reports the
+//! await-termination violation with the finite witness graph; the fix
+//! (release publication + acquire consumption) verifies.
+//!
+//! ```sh
+//! cargo run --release --example dpdk_mcs_bug
+//! ```
+
+use vsync::core::{explore, AmcConfig, Verdict};
+use vsync::graph::to_dot;
+use vsync::locks::model::dpdk_scenario;
+use vsync::model::ModelKind;
+
+fn main() {
+    println!("=== DPDK rte_mcslock v20.05, scenario of Fig. 13 ===\n");
+    for model in [ModelKind::Vmm, ModelKind::Tso, ModelKind::Sc] {
+        let result = explore(&dpdk_scenario(false), &AmcConfig::with_model(model));
+        println!("buggy lock under {model}: {}", result.verdict);
+        if let Verdict::AwaitTermination(ce) = &result.verdict {
+            println!("\nwitness graph (cf. paper Fig. 14):\n{}", ce.graph.render());
+            println!("Graphviz form written to stderr; render with `dot -Tsvg`.");
+            eprintln!("{}", to_dot(&ce.graph));
+        }
+    }
+    println!("\nThe hang needs a weak memory model: TSO and SC admit no such execution.");
+
+    let result = explore(&dpdk_scenario(true), &AmcConfig::with_model(ModelKind::Vmm));
+    println!("\nfixed lock under VMM: {}", result.verdict);
+    println!("  ({} executions explored)", result.stats.complete_executions);
+}

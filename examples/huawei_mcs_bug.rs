@@ -1,0 +1,35 @@
+//! Study case §3.2: the Huawei-product MCS lock data corruption.
+//!
+//! The shipped `mcslock_acquire` ends with a plain `while (me->spin);` —
+//! no acquire barrier. Bob's critical section is then unordered with
+//! Alice's: both read the same counter value and one increment vanishes
+//! (paper Figs. 18/19). Unlike the DPDK hang this is a *safety* violation,
+//! and it was reproduced on real hardware.
+//!
+//! ```sh
+//! cargo run --release --example huawei_mcs_bug
+//! ```
+
+use vsync::core::{explore, AmcConfig, Verdict};
+use vsync::locks::model::huawei_scenario;
+use vsync::model::ModelKind;
+
+fn main() {
+    println!("=== Huawei-product MCS lock, scenario of Fig. 19 ===\n");
+    let result = explore(&huawei_scenario(false), &AmcConfig::with_model(ModelKind::Vmm));
+    println!("shipped code under VMM: {}", result.verdict);
+    if let Verdict::Safety(ce) = &result.verdict {
+        println!("\nlost-update execution (cf. paper Fig. 19):\n{}", ce.graph.render());
+        let final_state = ce.graph.final_state();
+        println!(
+            "final counter value: {} (two increments ran!)",
+            final_state.get(&vsync::locks::model::COUNTER).unwrap_or(&0)
+        );
+    }
+
+    let result = explore(&huawei_scenario(false), &AmcConfig::with_model(ModelKind::Sc));
+    println!("\nshipped code under SC:  {} (an x86-to-ARM porting bug)", result.verdict);
+
+    let result = explore(&huawei_scenario(true), &AmcConfig::with_model(ModelKind::Vmm));
+    println!("with the acquire fence: {}", result.verdict);
+}

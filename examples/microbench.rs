@@ -1,0 +1,42 @@
+//! A small tour of the performance evaluation substrate: run the paper's
+//! Listing-1 microbenchmark (lock; counter++; unlock) for a few locks on
+//! both simulated platforms and print seq-vs-opt speedups.
+//!
+//! The full sweeps live in the `vsync-bench` binaries
+//! (`table2_records` ... `fig27_mcs_comparison`).
+//!
+//! ```sh
+//! cargo run --release --example microbench
+//! ```
+
+use vsync::locks::runtime::table5_pairs;
+use vsync::sim::{run_microbench, Arch, SimConfig, Workload};
+
+fn main() {
+    let wl = Workload::default();
+    for arch in [Arch::ArmV8, Arch::X86_64] {
+        println!("=== {} ({}) ===", arch.label(), arch.machine());
+        println!("{:<14} {:>8} {:>12} {:>12} {:>9}", "lock", "threads", "seq ops/s", "opt ops/s", "speedup");
+        for pair in table5_pairs(arch).iter().take(6) {
+            for threads in [1usize, 8] {
+                let run = |lock: &dyn vsync::sim::SimLock| {
+                    let cfg = SimConfig { arch, threads, duration: 150_000, seed: 42, jitter_percent: 8 };
+                    let (count, secs) = run_microbench(lock, &cfg, &wl);
+                    count as f64 / secs
+                };
+                let seq = run(pair.seq.as_ref());
+                let opt = run(pair.opt.as_ref());
+                println!(
+                    "{:<14} {:>8} {:>12.3e} {:>12.3e} {:>+9.3}",
+                    pair.seq.name(),
+                    threads,
+                    seq,
+                    opt,
+                    opt / seq - 1.0
+                );
+            }
+        }
+        println!();
+    }
+    println!("(speedup = T_opt/T_seq - 1, the paper's Table 5 definition)");
+}

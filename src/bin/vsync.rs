@@ -1,0 +1,245 @@
+//! `vsync` — command-line front end for the model checker and optimizer.
+//!
+//! ```text
+//! vsync locks                         list the verifiable lock catalog
+//! vsync verify <lock> [opts]          AMC-verify a lock's generic client
+//! vsync optimize <lock> [opts]        push-button barrier optimization
+//! vsync bug <dpdk|huawei> [--fixed]   run a §3 study-case scenario
+//! vsync litmus <sb|mp|lb|iriw>        explore a classic litmus shape
+//!
+//! options:
+//!   --threads N     client threads (default 2)
+//!   --acquires K    acquisitions per thread (default 1)
+//!   --model M       sc | tso | vmm (default vmm)
+//!   --enumerate     (optimize) list all maximally-relaxed assignments
+//!   --dot           (verify/bug) print counterexamples as Graphviz
+//! ```
+
+use std::process::ExitCode;
+
+use vsync::core::{
+    enumerate_maximal, explore, optimize, AmcConfig, OptimizerConfig, Verdict,
+};
+use vsync::graph::{to_dot, Mode};
+use vsync::lang::{Program, ProgramBuilder, Reg};
+use vsync::locks::model::{all_lock_models, dpdk_scenario, huawei_scenario, mutex_client};
+use vsync::model::ModelKind;
+
+struct Options {
+    threads: usize,
+    acquires: usize,
+    model: ModelKind,
+    enumerate: bool,
+    dot: bool,
+    fixed: bool,
+}
+
+impl Options {
+    fn parse(args: &[String]) -> Result<Options, String> {
+        let mut o = Options {
+            threads: 2,
+            acquires: 1,
+            model: ModelKind::Vmm,
+            enumerate: false,
+            dot: false,
+            fixed: false,
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--threads" => {
+                    o.threads = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--threads needs a number")?
+                }
+                "--acquires" => {
+                    o.acquires = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--acquires needs a number")?
+                }
+                "--model" => {
+                    o.model = match it.next().map(String::as_str) {
+                        Some("sc") => ModelKind::Sc,
+                        Some("tso") => ModelKind::Tso,
+                        Some("vmm") => ModelKind::Vmm,
+                        other => return Err(format!("unknown model {other:?}")),
+                    }
+                }
+                "--enumerate" => o.enumerate = true,
+                "--dot" => o.dot = true,
+                "--fixed" => o.fixed = true,
+                other => return Err(format!("unknown option {other}")),
+            }
+        }
+        Ok(o)
+    }
+}
+
+fn lock_program(name: &str, o: &Options) -> Result<Program, String> {
+    let locks = all_lock_models();
+    let lock = locks
+        .iter()
+        .find(|l| l.name() == name)
+        .ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
+    Ok(mutex_client(lock.as_ref(), o.threads, o.acquires))
+}
+
+fn report(verdict: &Verdict, dot: bool) -> ExitCode {
+    println!("{verdict}");
+    if let Some(ce) = verdict.counterexample() {
+        println!("\ncounterexample:\n{}", ce.graph.render());
+        if dot {
+            println!("{}", to_dot(&ce.graph));
+        }
+    }
+    if verdict.is_verified() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn litmus(name: &str) -> Result<Program, String> {
+    const X: u64 = 0x10;
+    const Y: u64 = 0x20;
+    let mut pb = ProgramBuilder::new(name);
+    match name {
+        "sb" => {
+            for (a, b) in [(X, Y), (Y, X)] {
+                pb.thread(move |t| {
+                    t.store(a, 1u64, Mode::Rlx);
+                    t.load(Reg(0), b, Mode::Rlx);
+                });
+            }
+        }
+        "mp" => {
+            pb.thread(|t| {
+                t.store(X, 1u64, Mode::Rlx);
+                t.store(Y, 1u64, Mode::Rel);
+            });
+            pb.thread(|t| {
+                t.load(Reg(0), Y, Mode::Acq);
+                t.load(Reg(1), X, Mode::Rlx);
+            });
+        }
+        "lb" => {
+            for (a, b) in [(X, Y), (Y, X)] {
+                pb.thread(move |t| {
+                    t.load(Reg(0), a, Mode::Rlx);
+                    t.store(b, 1u64, Mode::Rlx);
+                });
+            }
+        }
+        "iriw" => {
+            pb.thread(|t| {
+                t.store(X, 1u64, Mode::Rlx);
+            });
+            pb.thread(|t| {
+                t.store(Y, 1u64, Mode::Rlx);
+            });
+            for (a, b) in [(X, Y), (Y, X)] {
+                pb.thread(move |t| {
+                    t.load(Reg(0), a, Mode::Rlx);
+                    t.load(Reg(1), b, Mode::Rlx);
+                });
+            }
+        }
+        other => return Err(format!("unknown litmus '{other}' (sb, mp, lb, iriw)")),
+    }
+    pb.build().map_err(|e| e.to_string())
+}
+
+fn run() -> Result<ExitCode, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            println!("usage: vsync <locks|verify|optimize|bug|litmus> ... (see --help)");
+            return Ok(ExitCode::SUCCESS);
+        }
+    };
+    if cmd == "--help" || cmd == "help" {
+        println!("{}", include_str!("vsync.rs").lines().skip(2).take(14).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+        return Ok(ExitCode::SUCCESS);
+    }
+    match cmd {
+        "locks" => {
+            for lock in all_lock_models() {
+                println!("{}", lock.name());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "verify" => {
+            let (name, rest) = rest.split_first().ok_or("verify needs a lock name")?;
+            let o = Options::parse(rest)?;
+            let p = lock_program(name, &o)?;
+            let r = explore(&p, &AmcConfig::with_model(o.model));
+            eprintln!(
+                "{} under {} with {} thread(s) x {} acquire(s): {}",
+                name, o.model, o.threads, o.acquires, r.stats
+            );
+            Ok(report(&r.verdict, o.dot))
+        }
+        "optimize" => {
+            let (name, rest) = rest.split_first().ok_or("optimize needs a lock name")?;
+            let o = Options::parse(rest)?;
+            let p = lock_program(name, &o)?.with_all_sc();
+            let cfg = OptimizerConfig { amc: AmcConfig::with_model(o.model), max_passes: 0 };
+            if o.enumerate {
+                let (names, maximal) = enumerate_maximal(&p, &cfg);
+                println!("{} maximally-relaxed assignment(s):", maximal.len());
+                for (i, modes) in maximal.iter().enumerate() {
+                    println!("#{i}");
+                    for (n, m) in names.iter().zip(modes) {
+                        println!("  {n:<44} {m}");
+                    }
+                }
+            } else {
+                let report = optimize(&p, &cfg);
+                print!("{}", report.render());
+                if !report.verified {
+                    return Ok(ExitCode::FAILURE);
+                }
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        "bug" => {
+            let (which, rest) = rest.split_first().ok_or("bug needs dpdk|huawei")?;
+            let o = Options::parse(rest)?;
+            let p = match which.as_str() {
+                "dpdk" => dpdk_scenario(o.fixed),
+                "huawei" => huawei_scenario(o.fixed),
+                other => return Err(format!("unknown study case '{other}'")),
+            };
+            let r = explore(&p, &AmcConfig::with_model(o.model));
+            Ok(report(&r.verdict, o.dot))
+        }
+        "litmus" => {
+            let (name, rest) = rest.split_first().ok_or("litmus needs a shape name")?;
+            let o = Options::parse(rest)?;
+            let p = litmus(name)?;
+            let r = explore(&p, &AmcConfig::with_model(o.model).collecting());
+            println!(
+                "{name} under {}: {} consistent executions",
+                o.model, r.stats.complete_executions
+            );
+            for (i, g) in r.executions.iter().enumerate() {
+                println!("--- execution {i} ---\n{}", g.render());
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # vsync — await model checking and barrier optimization in Rust
+//!
+//! A from-scratch reproduction of *"VSync: Push-Button Verification and
+//! Optimization for Synchronization Primitives on Weak Memory Models"*
+//! (Oberhauser et al., ASPLOS 2021).
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`graph`] — execution graphs (events, po/rf/mo relations);
+//! * [`model`] — weak memory models (`SC`, `TSO`, RC11-style `VMM`);
+//! * [`lang`] — the modeling language with primitive awaits and its
+//!   graph-driven replay semantics;
+//! * [`core`] — **AMC**, the await-aware stateless model checker, and the
+//!   push-button barrier optimizer (the paper's contribution);
+//! * [`locks`] — the verified lock catalog (incl. the paper's three study
+//!   cases) and the 18 runtime locks of the evaluation;
+//! * [`sim`] — the deterministic virtual-time multicore simulator behind
+//!   the performance evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vsync::core::{verify, AmcConfig};
+//! use vsync::locks::model::{mutex_client, TtasLock};
+//!
+//! // Verify the paper's Fig. 3 TTAS lock: mutual exclusion + await
+//! // termination under the weak memory model.
+//! let program = mutex_client(&TtasLock::default(), 2, 1);
+//! let verdict = verify(&program, &AmcConfig::default());
+//! assert!(verdict.is_verified());
+//! ```
+
+#![warn(missing_docs)]
+
+pub use vsync_core as core;
+pub use vsync_graph as graph;
+pub use vsync_lang as lang;
+pub use vsync_locks as locks;
+pub use vsync_model as model;
+pub use vsync_sim as sim;

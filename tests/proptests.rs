@@ -1,0 +1,205 @@
+//! Property-based tests (proptest) over the whole stack: random small
+//! concurrent programs and random barrier assignments must respect the
+//! meta-level laws of the theory — model strength ordering, dedup
+//! transparency, scheduler irrelevance, monotonicity of barriers, and
+//! graph encoding stability.
+
+use proptest::prelude::*;
+
+use vsync::core::{explore, AmcConfig, Verdict};
+use vsync::graph::{content_hash, Mode};
+use vsync::lang::{Program, ProgramBuilder, Reg};
+use vsync::model::ModelKind;
+
+const LOCS: [u64; 2] = [0x10, 0x20];
+
+/// One random instruction for a generated straight-line thread.
+#[derive(Debug, Clone)]
+enum Op {
+    Load(usize),
+    Store(usize, u8),
+    FetchAdd(usize, u8),
+    Cas(usize, u8, u8),
+    Fence,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..LOCS.len()).prop_map(Op::Load),
+        ((0..LOCS.len()), 0u8..3).prop_map(|(l, v)| Op::Store(l, v)),
+        ((0..LOCS.len()), 1u8..3).prop_map(|(l, v)| Op::FetchAdd(l, v)),
+        ((0..LOCS.len()), 0u8..2, 1u8..3).prop_map(|(l, e, n)| Op::Cas(l, e, n)),
+        Just(Op::Fence),
+    ]
+}
+
+fn mode_strategy() -> impl Strategy<Value = Mode> {
+    prop_oneof![Just(Mode::Rlx), Just(Mode::Acq), Just(Mode::Rel), Just(Mode::AcqRel), Just(Mode::Sc)]
+}
+
+/// Build a program from per-thread op lists (modes picked per op kind).
+fn build_program(threads: &[Vec<(Op, Mode)>]) -> Program {
+    let mut pb = ProgramBuilder::new("random");
+    for ops in threads {
+        let ops = ops.clone();
+        pb.thread(move |t| {
+            for (i, (op, mode)) in ops.iter().enumerate() {
+                let r = Reg((i % 8) as u8);
+                match op {
+                    Op::Load(l) => {
+                        let m = match mode {
+                            Mode::Rel | Mode::AcqRel => Mode::Acq,
+                            m => *m,
+                        };
+                        t.load(r, LOCS[*l], m);
+                    }
+                    Op::Store(l, v) => {
+                        let m = match mode {
+                            Mode::Acq | Mode::AcqRel => Mode::Rel,
+                            m => *m,
+                        };
+                        t.store(LOCS[*l], *v as u64, m);
+                    }
+                    Op::FetchAdd(l, v) => {
+                        t.fetch_add(r, LOCS[*l], *v as u64, *mode);
+                    }
+                    Op::Cas(l, e, n) => {
+                        t.cas(r, LOCS[*l], *e as u64, *n as u64, *mode);
+                    }
+                    Op::Fence => {
+                        t.fence(*mode);
+                    }
+                }
+            }
+        });
+    }
+    pb.build().expect("generated program is well-formed")
+}
+
+fn thread_strategy(max_ops: usize) -> impl Strategy<Value = Vec<(Op, Mode)>> {
+    prop::collection::vec((op_strategy(), mode_strategy()), 1..=max_ops)
+}
+
+fn program_strategy() -> impl Strategy<Value = Vec<Vec<(Op, Mode)>>> {
+    prop::collection::vec(thread_strategy(3), 2..=3)
+}
+
+fn executions(p: &Program, model: ModelKind, dedup: bool) -> u64 {
+    let mut cfg = AmcConfig::with_model(model);
+    cfg.dedup = dedup;
+    let r = explore(p, &cfg);
+    match r.verdict {
+        Verdict::Verified => r.stats.complete_executions,
+        v => panic!("random program without asserts cannot fail: {v}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Model strength: every SC execution is TSO-consistent, every TSO
+    /// execution is VMM-consistent — counts must be monotone.
+    #[test]
+    fn model_strength_ordering(threads in program_strategy()) {
+        let p = build_program(&threads);
+        let sc = executions(&p, ModelKind::Sc, true);
+        let tso = executions(&p, ModelKind::Tso, true);
+        let vmm = executions(&p, ModelKind::Vmm, true);
+        prop_assert!(sc >= 1, "at least one interleaving exists");
+        prop_assert!(sc <= tso, "SC ⊆ TSO violated: {sc} > {tso}");
+        prop_assert!(tso <= vmm, "TSO ⊆ VMM violated: {tso} > {vmm}");
+    }
+
+    /// Deduplication is an optimization, not a semantics change: the set of
+    /// complete executions (counted via distinct content hashes) is stable.
+    #[test]
+    fn dedup_preserves_execution_sets(threads in prop::collection::vec(thread_strategy(2), 2..=2)) {
+        let p = build_program(&threads);
+        let mut with = AmcConfig::with_model(ModelKind::Vmm).collecting();
+        with.dedup = true;
+        let mut without = with.clone();
+        without.dedup = false;
+        let a = explore(&p, &with);
+        let b = explore(&p, &without);
+        let ha: std::collections::BTreeSet<u128> =
+            a.executions.iter().map(content_hash).collect();
+        let hb: std::collections::BTreeSet<u128> =
+            b.executions.iter().map(content_hash).collect();
+        prop_assert_eq!(&ha, &hb, "dedup changed the execution set");
+        prop_assert_eq!(ha.len() as u64, a.stats.complete_executions,
+            "duplicate complete executions explored with dedup on");
+    }
+
+    /// Strengthening all barriers never *adds* behaviours: the all-SC
+    /// variant has at most as many executions as the original.
+    #[test]
+    fn strengthening_shrinks_behaviours(threads in program_strategy()) {
+        let p = build_program(&threads);
+        let strong = p.with_all_sc();
+        let weak_count = executions(&p, ModelKind::Vmm, true);
+        let strong_count = executions(&strong, ModelKind::Vmm, true);
+        prop_assert!(strong_count <= weak_count,
+            "all-SC gained executions: {strong_count} > {weak_count}");
+        prop_assert!(strong_count >= 1);
+    }
+
+    /// Every collected execution is consistent with the model and has no
+    /// pending reads, and final states agree with some SC execution when
+    /// the program is all-SC.
+    #[test]
+    fn collected_executions_are_wellformed(threads in prop::collection::vec(thread_strategy(2), 2..=2)) {
+        use vsync::model::MemoryModel;
+        let p = build_program(&threads);
+        let r = explore(&p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
+        for g in &r.executions {
+            prop_assert_eq!(g.pending_reads().count(), 0);
+            prop_assert!(vsync::model::Vmm.is_consistent(g));
+            // Replay agrees: all threads finished.
+            let mut g2 = g.clone();
+            let out = vsync::lang::replay(&p, &mut g2);
+            prop_assert!(out.threads.iter().all(|t| matches!(t, vsync::lang::ThreadStatus::Finished)));
+            prop_assert!(!out.wasteful);
+        }
+    }
+
+    /// Graph content hashing is injective on the executions we see (no
+    /// collisions among distinct canonical encodings).
+    #[test]
+    fn content_hash_no_observed_collisions(threads in prop::collection::vec(thread_strategy(2), 2..=2)) {
+        let p = build_program(&threads);
+        let r = explore(&p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
+        let mut seen: std::collections::HashMap<u128, Vec<u8>> = std::collections::HashMap::new();
+        for g in &r.executions {
+            let bytes = vsync::graph::canonical_bytes(g);
+            let h = content_hash(g);
+            if let Some(prev) = seen.insert(h, bytes.clone()) {
+                prop_assert_eq!(prev, bytes, "hash collision between distinct graphs");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The TTAS lock stays correct under arbitrary *strengthening* of its
+    /// three sites (monotonicity of verification in barrier strength).
+    #[test]
+    fn ttas_verifies_under_all_stronger_modes(
+        await_extra in 0usize..3,
+        xchg_extra in 0usize..3,
+        rel_extra in 0usize..2,
+    ) {
+        use vsync::locks::model::{mutex_client, TtasLock};
+        let awaits = [Mode::Rlx, Mode::Acq, Mode::Sc];
+        let xchgs = [Mode::Acq, Mode::AcqRel, Mode::Sc];
+        let rels = [Mode::Rel, Mode::Sc];
+        let lock = TtasLock {
+            await_mode: awaits[await_extra],
+            xchg_mode: xchgs[xchg_extra],
+            release_mode: rels[rel_extra],
+        };
+        let v = vsync::core::verify(&mutex_client(&lock, 2, 1), &AmcConfig::with_model(ModelKind::Vmm));
+        prop_assert!(v.is_verified(), "{:?}: {v}", lock);
+    }
+}

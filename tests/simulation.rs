@@ -1,0 +1,177 @@
+//! Integration tests of the evaluation pipeline: sweep → grouping →
+//! stability → speedups, checking the *shapes* the paper reports
+//! (§4.2.2) at reduced scale.
+
+use vsync::locks::runtime::{table5_pairs, McsProfile, McsSim};
+use vsync::sim::{
+    group_records, run_microbench, run_repetitions, speedups, stability_bands,
+    summarize_speedups, Arch, SimConfig, SimLock, Variant, Workload,
+};
+
+const DURATION: u64 = 80_000;
+
+fn pair_by_name(arch: Arch, name: &str) -> vsync::sim::LockPair {
+    table5_pairs(arch)
+        .into_iter()
+        .find(|p| p.seq.name() == name)
+        .unwrap_or_else(|| panic!("lock {name} not in catalog"))
+}
+
+fn median_throughput(lock: &dyn SimLock, arch: Arch, threads: usize) -> f64 {
+    let recs =
+        run_repetitions(lock, Variant::Opt, arch, threads, DURATION, &Workload::default(), 3);
+    let mut tps: Vec<f64> = recs.iter().map(|r| r.throughput).collect();
+    tps.sort_by(f64::total_cmp);
+    tps[tps.len() / 2]
+}
+
+/// Table 5's x86 headline: large single-thread speedups for spinlocks.
+#[test]
+fn x86_single_thread_speedups_are_large() {
+    for name in ["spin", "ticket", "clh"] {
+        let pair = pair_by_name(Arch::X86_64, name);
+        let seq = median_throughput(pair.seq.as_ref(), Arch::X86_64, 1);
+        let opt = median_throughput(pair.opt.as_ref(), Arch::X86_64, 1);
+        // Note: run_repetitions derives seeds from variant; compare medians.
+        let recs_seq = run_repetitions(
+            pair.seq.as_ref(),
+            Variant::Seq,
+            Arch::X86_64,
+            1,
+            DURATION,
+            &Workload::default(),
+            3,
+        );
+        let seq = recs_seq.iter().map(|r| r.throughput).fold(f64::MAX, f64::min).min(seq);
+        let speedup = opt / seq - 1.0;
+        assert!(speedup > 1.0, "{name}: x86 1-thread speedup only {speedup:.2}");
+    }
+}
+
+/// The futex/RMW-bound locks show near-zero speedup (musl row of Table 5).
+#[test]
+fn futex_locks_show_no_speedup() {
+    for name in ["musl", "mutex", "semaphore"] {
+        let pair = pair_by_name(Arch::X86_64, name);
+        let seq = median_throughput(pair.seq.as_ref(), Arch::X86_64, 1);
+        let opt = median_throughput(pair.opt.as_ref(), Arch::X86_64, 1);
+        let speedup = (opt / seq - 1.0).abs();
+        assert!(speedup < 0.35, "{name}: unexpected speedup {speedup:.2}");
+    }
+}
+
+/// ARM speedups are moderate: barrier relaxation saves less because
+/// acquire/SC loads both compile to ldar (§4.2.2 / DESIGN.md §5).
+#[test]
+fn arm_speedups_are_moderate() {
+    let pair = pair_by_name(Arch::ArmV8, "mcs");
+    let seq = median_throughput(pair.seq.as_ref(), Arch::ArmV8, 1);
+    let opt = median_throughput(pair.opt.as_ref(), Arch::ArmV8, 1);
+    let speedup = opt / seq - 1.0;
+    assert!(speedup > 0.02, "some gain expected, got {speedup:.3}");
+    assert!(speedup < 2.0, "ARM gains should be far below x86's, got {speedup:.3}");
+}
+
+/// Contention flattens the gain: the 16-thread speedup is below the
+/// 1-thread speedup (the "most speedups are close to 0" mass of Fig. 24).
+#[test]
+fn contention_shrinks_speedups() {
+    let speedup_at = |threads: usize| {
+        let pair = pair_by_name(Arch::X86_64, "ticket");
+        let run = |lock: &dyn SimLock, v: Variant| {
+            let recs = run_repetitions(lock, v, Arch::X86_64, threads, DURATION, &Workload::default(), 3);
+            let mut tps: Vec<f64> = recs.iter().map(|r| r.throughput).collect();
+            tps.sort_by(f64::total_cmp);
+            tps[tps.len() / 2]
+        };
+        run(pair.opt.as_ref(), Variant::Opt) / run(pair.seq.as_ref(), Variant::Seq) - 1.0
+    };
+    let low = speedup_at(1);
+    let high = speedup_at(16);
+    assert!(low > high, "1t {low:.3} should exceed 16t {high:.3}");
+}
+
+/// Throughput decreases with contention for a spinlock (the qualitative
+/// shape of the per-thread panels in Fig. 27).
+#[test]
+fn throughput_decays_with_contention() {
+    let lock = McsSim::new(McsProfile::own());
+    let t1 = median_throughput(&lock, Arch::ArmV8, 1);
+    let t8 = median_throughput(&lock, Arch::ArmV8, 8);
+    let t31 = median_throughput(&lock, Arch::ArmV8, 31);
+    assert!(t1 > t8, "1t {t1:.3e} vs 8t {t8:.3e}");
+    assert!(t8 > t31, "8t {t8:.3e} vs 31t {t31:.3e}");
+}
+
+/// Most groups are stable (Table 4 reports ~85 % below 1.1), and the
+/// pipeline produces speedup summaries for every lock in the sweep.
+#[test]
+fn stability_and_speedup_pipeline() {
+    let pairs: Vec<vsync::sim::LockPair> = ["mcs", "spin", "ticket"]
+        .iter()
+        .map(|n| pair_by_name(Arch::X86_64, n))
+        .collect();
+    let mut records = Vec::new();
+    for pair in &pairs {
+        for threads in [1usize, 4] {
+            for (variant, lock) in
+                [(Variant::Seq, pair.seq.as_ref()), (Variant::Opt, pair.opt.as_ref())]
+            {
+                records.extend(run_repetitions(
+                    lock,
+                    variant,
+                    Arch::X86_64,
+                    threads,
+                    DURATION,
+                    &Workload::default(),
+                    4,
+                ));
+            }
+        }
+    }
+    let groups = group_records(&records);
+    assert_eq!(groups.len(), 3 * 2 * 2);
+    let bands = stability_bands(&groups);
+    assert!(
+        bands.le_1_1 * 2 > bands.total,
+        "most groups should be stable: {bands:?}"
+    );
+    let samples = speedups(&groups);
+    assert!(!samples.is_empty());
+    let rows = summarize_speedups(&samples);
+    assert_eq!(rows.len(), 3, "one summary row per lock");
+    for r in &rows {
+        assert!(r.max >= r.mean && r.mean >= r.min, "{r:?}");
+    }
+}
+
+/// §4.2.2's workload findings: es_size does not matter, cs_size does.
+#[test]
+fn workload_knobs_behave_like_the_paper() {
+    let lock = McsSim::new(McsProfile::own());
+    let run = |wl: Workload| {
+        let cfg = SimConfig { arch: Arch::X86_64, threads: 2, duration: DURATION, seed: 9, jitter_percent: 0 };
+        run_microbench(&lock, &cfg, &wl).0 as f64
+    };
+    let base = run(Workload { cs_size: 1, es_size: 0 });
+    let with_es = run(Workload { cs_size: 1, es_size: 4 });
+    let with_cs = run(Workload { cs_size: 6, es_size: 0 });
+    // es work reduces counts (threads do other things) but moderately;
+    // cs work slows every critical section substantially.
+    assert!(with_cs < base * 0.7, "bigger CS must cut throughput: {with_cs} vs {base}");
+    assert!(with_es < base, "es work takes time too");
+    assert!(with_es > with_cs, "es impact should be milder than cs impact");
+}
+
+/// Simulation determinism: identical configs yield identical records.
+#[test]
+fn sweep_is_deterministic() {
+    let pair = pair_by_name(Arch::ArmV8, "ttas");
+    let a = run_repetitions(pair.opt.as_ref(), Variant::Opt, Arch::ArmV8, 4, DURATION, &Workload::default(), 2);
+    let b = run_repetitions(pair.opt.as_ref(), Variant::Opt, Arch::ArmV8, 4, DURATION, &Workload::default(), 2);
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.count, y.count);
+        assert_eq!(x.throughput, y.throughput);
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests for the paper's three study cases (§3) — the
+//! headline results of the reproduction.
+
+use vsync::core::{explore, verify, AmcConfig, Verdict};
+use vsync::graph::Mode;
+use vsync::locks::model::{
+    dpdk_scenario, huawei_scenario, mutex_client, node_addr, DpdkMcsLock, HuaweiMcsLock,
+    LOCKED_OFF,
+};
+use vsync::model::ModelKind;
+
+fn vmm() -> AmcConfig {
+    AmcConfig::with_model(ModelKind::Vmm)
+}
+
+/// §3.1: the DPDK v20.05 MCS lock hangs Alice (Fig. 14) — an
+/// await-termination violation only visible on weak memory.
+#[test]
+fn dpdk_bug_is_an_await_termination_violation() {
+    let v = verify(&dpdk_scenario(false), &vmm());
+    let Verdict::AwaitTermination(ce) = &v else {
+        panic!("expected AT violation, got {v}");
+    };
+    // Alice (thread 0) is stuck polling her own locked flag.
+    let alice_locked = node_addr(0) + LOCKED_OFF;
+    assert!(ce.graph.pending_reads().any(|(_, loc)| loc == alice_locked));
+    // Fig. 14's essence: Bob's handover (locked=0) is mo-before Alice's
+    // init (locked=1), so no newer 0 can ever arrive.
+    let mo = ce.graph.mo(alice_locked);
+    assert_eq!(ce.graph.write_value(*mo.last().unwrap()), 1);
+}
+
+/// §3.1: the bug needs a weak memory model (the paper could not reproduce
+/// it on hardware; Rmem confirmed it on the ARM model — we cross-check
+/// against SC and TSO instead).
+#[test]
+fn dpdk_bug_absent_under_sc_and_tso() {
+    for model in [ModelKind::Sc, ModelKind::Tso] {
+        let v = verify(&dpdk_scenario(false), &AmcConfig::with_model(model));
+        assert!(v.is_verified(), "{model}: {v}");
+    }
+}
+
+/// §3.1: release publication + acquire consumption fix the lock.
+#[test]
+fn dpdk_fix_verifies_everywhere() {
+    for model in ModelKind::all() {
+        let v = verify(&dpdk_scenario(true), &AmcConfig::with_model(model));
+        assert!(v.is_verified(), "{model}: {v}");
+    }
+}
+
+/// §3.1 full-lock check: the fixed DPDK lock passes the generic client.
+#[test]
+fn dpdk_fixed_lock_client_verifies() {
+    let v = verify(&mutex_client(&DpdkMcsLock::patched(), 2, 1), &vmm());
+    assert!(v.is_verified(), "{v}");
+}
+
+/// §3.2: the Huawei MCS lock loses an increment (Fig. 19) — a safety
+/// violation (data corruption), reproduced as a failing final-state check.
+#[test]
+fn huawei_bug_is_a_safety_violation() {
+    let v = verify(&huawei_scenario(false), &vmm());
+    let Verdict::Safety(ce) = &v else {
+        panic!("expected lost update, got {v}");
+    };
+    // The witness's final counter is 1, not 2.
+    let counter = vsync::locks::model::COUNTER;
+    assert_eq!(ce.graph.final_state().get(&counter), Some(&1));
+}
+
+/// §3.2: "porting x86 code to ARM" — under SC (and even TSO) the shipped
+/// code is fine; the missing barrier only matters on weaker models.
+#[test]
+fn huawei_bug_absent_under_sc_and_tso() {
+    for model in [ModelKind::Sc, ModelKind::Tso] {
+        let v = verify(&huawei_scenario(false), &AmcConfig::with_model(model));
+        assert!(v.is_verified(), "{model}: {v}");
+    }
+}
+
+/// §3.2: the recommended acquire fence fixes the lock, for the scenario
+/// and for the full generic client.
+#[test]
+fn huawei_fix_verifies() {
+    assert!(verify(&huawei_scenario(true), &vmm()).is_verified());
+    let v = verify(&mutex_client(&HuaweiMcsLock::patched(), 2, 1), &vmm());
+    assert!(v.is_verified(), "{v}");
+}
+
+/// §3.1 discussion: "the explicit fence at Line 32 is useless and can be
+/// removed" — relaxing the DPDK acquire fence in the *fixed* lock keeps it
+/// correct.
+#[test]
+fn dpdk_acquire_fence_is_useless() {
+    use vsync::lang::ModeRef;
+    let mut p = dpdk_scenario(true);
+    let fence_site = p
+        .sites()
+        .iter()
+        .position(|s| s.name == "dpdk.acquire.fence")
+        .expect("fence site exists");
+    p.set_mode(ModeRef(fence_site as u32), Mode::Rlx);
+    let v = verify(&p, &vmm());
+    assert!(v.is_verified(), "fence removal should be safe: {v}");
+}
+
+/// The buggy and fixed scenarios have disjoint verdicts across all models
+/// (sanity matrix of the whole §3 reproduction).
+#[test]
+fn study_case_matrix() {
+    let r = explore(&dpdk_scenario(false), &vmm());
+    assert!(!r.is_verified());
+    let r = explore(&huawei_scenario(false), &vmm());
+    assert!(!r.is_verified());
+    let r = explore(&dpdk_scenario(true), &vmm());
+    assert!(r.is_verified());
+    let r = explore(&huawei_scenario(true), &vmm());
+    assert!(r.is_verified());
+}
