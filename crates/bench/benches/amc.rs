@@ -1,9 +1,10 @@
-//! Criterion benchmarks of the AMC explorer itself: how fast the model
-//! checker verifies the paper's lock catalog (the cost that bounds the
-//! optimizer's push-button loop).
+//! Benchmarks of the AMC explorer itself: how fast the model checker
+//! verifies the paper's lock catalog (the cost that bounds the optimizer's
+//! push-button loop). Uses the dependency-free harness in
+//! `vsync_bench::timing` (run with `cargo bench -p vsync-bench`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vsync_bench::timing::{bench, env_samples};
 use vsync_core::{explore, AmcConfig};
 use vsync_locks::model::{
     dpdk_scenario, huawei_scenario, mutex_client, CasLock, McsLock, Qspinlock, TicketLock,
@@ -11,60 +12,41 @@ use vsync_locks::model::{
 };
 use vsync_model::ModelKind;
 
-fn bench_verification(c: &mut Criterion) {
+fn bench_verification(samples: usize) {
     let cfg = AmcConfig::with_model(ModelKind::Vmm);
-    let mut g = c.benchmark_group("amc-verify");
-    g.sample_size(10);
-    g.bench_function("caslock-2t", |b| {
-        let p = mutex_client(&CasLock::default(), 2, 1);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.bench_function("ttas-2t", |b| {
-        let p = mutex_client(&TtasLock::default(), 2, 1);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.bench_function("ticket-3t", |b| {
-        let p = mutex_client(&TicketLock::default(), 3, 1);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.bench_function("mcs-2t", |b| {
-        let p = mutex_client(&McsLock::default(), 2, 1);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.bench_function("qspinlock-2t", |b| {
-        let p = mutex_client(&Qspinlock, 2, 1);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.finish();
+    let p = mutex_client(&CasLock::default(), 2, 1);
+    bench("amc-verify", "caslock-2t", samples, || black_box(explore(&p, &cfg)));
+    let p = mutex_client(&TtasLock::default(), 2, 1);
+    bench("amc-verify", "ttas-2t", samples, || black_box(explore(&p, &cfg)));
+    let p = mutex_client(&TicketLock::default(), 3, 1);
+    bench("amc-verify", "ticket-3t", samples, || black_box(explore(&p, &cfg)));
+    let p = mutex_client(&McsLock::default(), 2, 1);
+    bench("amc-verify", "mcs-2t", samples, || black_box(explore(&p, &cfg)));
+    let p = mutex_client(&Qspinlock, 2, 1);
+    bench("amc-verify", "qspinlock-2t", samples, || black_box(explore(&p, &cfg)));
 }
 
-fn bench_bug_finding(c: &mut Criterion) {
+fn bench_bug_finding(samples: usize) {
     let cfg = AmcConfig::with_model(ModelKind::Vmm);
-    let mut g = c.benchmark_group("amc-find-bug");
-    g.sample_size(10);
-    g.bench_function("dpdk-hang", |b| {
-        let p = dpdk_scenario(false);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.bench_function("huawei-lost-update", |b| {
-        let p = huawei_scenario(false);
-        b.iter(|| black_box(explore(&p, &cfg)))
-    });
-    g.finish();
+    let p = dpdk_scenario(false);
+    bench("amc-find-bug", "dpdk-hang", samples, || black_box(explore(&p, &cfg)));
+    let p = huawei_scenario(false);
+    bench("amc-find-bug", "huawei-lost-update", samples, || black_box(explore(&p, &cfg)));
 }
 
-fn bench_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("amc-by-model");
-    g.sample_size(10);
+fn bench_models(samples: usize) {
     for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::Vmm] {
         let cfg = AmcConfig::with_model(model);
-        g.bench_function(format!("mcs-2t-{model}"), |b| {
-            let p = mutex_client(&McsLock::default(), 2, 1);
-            b.iter(|| black_box(explore(&p, &cfg)))
+        let p = mutex_client(&McsLock::default(), 2, 1);
+        bench("amc-by-model", &format!("mcs-2t-{model}"), samples, || {
+            black_box(explore(&p, &cfg))
         });
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_verification, bench_bug_finding, bench_models);
-criterion_main!(benches);
+fn main() {
+    let samples = env_samples();
+    bench_verification(samples);
+    bench_bug_finding(samples);
+    bench_models(samples);
+}

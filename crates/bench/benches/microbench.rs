@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the simulator-based microbenchmark (the
-//! substrate behind Tables 2-5 / Figures 23-27), at a reduced sweep.
+//! Benchmarks of the simulator-based microbenchmark (the substrate behind
+//! Tables 2-5 / Figures 23-27), at a reduced sweep. Uses the
+//! dependency-free harness in `vsync_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vsync_bench::timing::{bench, env_samples};
 use vsync_locks::runtime::{McsProfile, McsSim, QspinSim, TicketSim};
 use vsync_sim::{run_microbench, Arch, SimConfig, SimLock, Workload};
 
@@ -11,29 +12,24 @@ fn one(lock: &dyn SimLock, arch: Arch, threads: usize) -> u64 {
     run_microbench(lock, &cfg, &Workload::default()).0
 }
 
-fn bench_sim(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulated-microbench");
-    g.sample_size(10);
+fn main() {
+    let samples = env_samples();
     for threads in [1usize, 8] {
-        g.bench_function(format!("mcs-opt-arm-{threads}t"), |b| {
-            let lock = McsSim::new(McsProfile::own());
-            b.iter(|| black_box(one(&lock, Arch::ArmV8, threads)))
+        let lock = McsSim::new(McsProfile::own());
+        bench("simulated-microbench", &format!("mcs-opt-arm-{threads}t"), samples, || {
+            black_box(one(&lock, Arch::ArmV8, threads))
         });
-        g.bench_function(format!("mcs-seq-arm-{threads}t"), |b| {
-            let lock = McsSim::new(McsProfile::own().all_sc("mcs"));
-            b.iter(|| black_box(one(&lock, Arch::ArmV8, threads)))
+        let lock = McsSim::new(McsProfile::own().all_sc("mcs"));
+        bench("simulated-microbench", &format!("mcs-seq-arm-{threads}t"), samples, || {
+            black_box(one(&lock, Arch::ArmV8, threads))
         });
-        g.bench_function(format!("qspin-opt-x86-{threads}t"), |b| {
-            let lock = QspinSim { sc: false };
-            b.iter(|| black_box(one(&lock, Arch::X86_64, threads)))
+        let lock = QspinSim { sc: false };
+        bench("simulated-microbench", &format!("qspin-opt-x86-{threads}t"), samples, || {
+            black_box(one(&lock, Arch::X86_64, threads))
         });
-        g.bench_function(format!("ticket-seq-x86-{threads}t"), |b| {
-            let lock = TicketSim { sc: true };
-            b.iter(|| black_box(one(&lock, Arch::X86_64, threads)))
+        let lock = TicketSim { sc: true };
+        bench("simulated-microbench", &format!("ticket-seq-x86-{threads}t"), samples, || {
+            black_box(one(&lock, Arch::X86_64, threads))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

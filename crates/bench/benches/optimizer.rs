@@ -1,8 +1,9 @@
-//! Criterion benchmarks of the barrier optimizer (the paper's 11-minute
-//! qspinlock optimization, scaled to our substrate).
+//! Benchmarks of the barrier optimizer (the paper's 11-minute qspinlock
+//! optimization, scaled to our substrate). Uses the dependency-free
+//! harness in `vsync_bench::timing`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use vsync_bench::timing::{bench, env_samples};
 use vsync_core::{optimize, AmcConfig, OptimizerConfig};
 use vsync_locks::model::{mutex_client, CasLock, TicketLock, TtasLock};
 use vsync_model::ModelKind;
@@ -11,23 +12,12 @@ fn cfg() -> OptimizerConfig {
     OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 }
 }
 
-fn bench_optimize(c: &mut Criterion) {
-    let mut g = c.benchmark_group("optimize");
-    g.sample_size(10);
-    g.bench_function("caslock-2t", |b| {
-        let p = mutex_client(&CasLock::default(), 2, 1).with_all_sc();
-        b.iter(|| black_box(optimize(&p, &cfg())))
-    });
-    g.bench_function("ttas-2t", |b| {
-        let p = mutex_client(&TtasLock::default(), 2, 1).with_all_sc();
-        b.iter(|| black_box(optimize(&p, &cfg())))
-    });
-    g.bench_function("ticket-2t", |b| {
-        let p = mutex_client(&TicketLock::default(), 2, 1).with_all_sc();
-        b.iter(|| black_box(optimize(&p, &cfg())))
-    });
-    g.finish();
+fn main() {
+    let samples = env_samples();
+    let p = mutex_client(&CasLock::default(), 2, 1).with_all_sc();
+    bench("optimize", "caslock-2t", samples, || black_box(optimize(&p, &cfg())));
+    let p = mutex_client(&TtasLock::default(), 2, 1).with_all_sc();
+    bench("optimize", "ttas-2t", samples, || black_box(optimize(&p, &cfg())));
+    let p = mutex_client(&TicketLock::default(), 2, 1).with_all_sc();
+    bench("optimize", "ticket-2t", samples, || black_box(optimize(&p, &cfg())));
 }
-
-criterion_group!(benches, bench_optimize);
-criterion_main!(benches);

@@ -1,0 +1,199 @@
+//! `explore_perf` — the AMC explorer performance matrix.
+//!
+//! Times the verification of the lock catalog under three configurations:
+//!
+//! * `baseline` — the naive closure-based reference checker, 1 worker
+//!   (the pre-optimization cost model: Floyd–Warshall closures per axiom);
+//! * `fast-1`   — the closure-free consistency fast path, 1 worker;
+//! * `fast-N`   — the fast path with one worker per CPU.
+//!
+//! Asserts that all three configurations produce identical verdicts and
+//! `complete_executions` counts, prints a table, and writes
+//! `BENCH_explore.json` so the perf trajectory is tracked across PRs.
+//!
+//! ```sh
+//! cargo run --release -p vsync-bench --bin explore_perf
+//! ```
+//!
+//! Knobs: `VSYNC_BENCH_SAMPLES` (default 3), `VSYNC_WORKERS` (default:
+//! available parallelism).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use vsync_core::{explore, AmcConfig, AmcResult};
+use vsync_lang::Program;
+use vsync_locks::model::{
+    mutex_client, CasLock, ClhLock, McsLock, Qspinlock, TicketLock, TtasLock,
+};
+use vsync_model::ModelKind;
+
+struct Row {
+    name: String,
+    graphs: u64,
+    events: u64,
+    executions: u64,
+    baseline: Duration,
+    fast1: Duration,
+    fast_n: Duration,
+}
+
+fn median_time(samples: usize, mut f: impl FnMut() -> AmcResult) -> (Duration, AmcResult) {
+    // Discarded warmup so cold-start cost is not charged to whichever
+    // configuration happens to run first (the baseline).
+    std::hint::black_box(f());
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed());
+        last = Some(r);
+    }
+    times.sort();
+    (times[times.len() / 2], last.expect("at least one sample"))
+}
+
+fn catalog() -> Vec<(String, Program)> {
+    vec![
+        ("caslock-2t".into(), mutex_client(&CasLock::default(), 2, 1)),
+        ("caslock-3t".into(), mutex_client(&CasLock::default(), 3, 1)),
+        ("ttas-2t".into(), mutex_client(&TtasLock::default(), 2, 1)),
+        ("ttas-2tx2".into(), mutex_client(&TtasLock::default(), 2, 2)),
+        ("ticket-2t".into(), mutex_client(&TicketLock::default(), 2, 1)),
+        ("ticket-3t".into(), mutex_client(&TicketLock::default(), 3, 1)),
+        ("clh-2t".into(), mutex_client(&ClhLock::default(), 2, 1)),
+        ("mcs-2t".into(), mutex_client(&McsLock::default(), 2, 1)),
+        ("mcs-3t".into(), mutex_client(&McsLock::default(), 3, 1)),
+        ("qspinlock-2t".into(), mutex_client(&Qspinlock, 2, 1)),
+        ("qspinlock-3t".into(), mutex_client(&Qspinlock, 3, 1)),
+    ]
+}
+
+fn main() {
+    let samples = vsync_bench::timing::env_samples().clamp(1, 5);
+    let workers = std::env::var("VSYNC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .max(1);
+
+    let base_cfg = AmcConfig::with_model(ModelKind::Vmm);
+    let ref_cfg = base_cfg.clone().with_reference_checker();
+    let par_cfg = base_cfg.clone().with_workers(workers);
+
+    eprintln!(
+        "explore_perf: {} locks x 3 configs x {samples} samples (fast-N uses {workers} workers)",
+        catalog().len()
+    );
+    let mut rows = Vec::new();
+    for (name, prog) in catalog() {
+        let (baseline, r_base) = median_time(samples, || explore(&prog, &ref_cfg));
+        let (fast1, r_fast) = median_time(samples, || explore(&prog, &base_cfg));
+        let (fast_n, r_par) = median_time(samples, || explore(&prog, &par_cfg));
+        assert!(
+            r_base.is_verified() && r_fast.is_verified() && r_par.is_verified(),
+            "{name}: catalog lock failed to verify"
+        );
+        assert_eq!(
+            r_base.stats.complete_executions, r_fast.stats.complete_executions,
+            "{name}: baseline/fast execution counts diverge"
+        );
+        assert_eq!(
+            r_fast.stats.complete_executions, r_par.stats.complete_executions,
+            "{name}: sequential/parallel execution counts diverge"
+        );
+        eprintln!(
+            "  {name:<14} baseline {baseline:>9.2?}  fast-1 {fast1:>9.2?}  fast-{workers} {fast_n:>9.2?}  ({} graphs)",
+            r_fast.stats.popped
+        );
+        rows.push(Row {
+            name,
+            graphs: r_fast.stats.popped,
+            events: r_fast.stats.events,
+            executions: r_fast.stats.complete_executions,
+            baseline,
+            fast1,
+            fast_n,
+        });
+    }
+
+    let total = |f: fn(&Row) -> Duration| rows.iter().map(f).sum::<Duration>();
+    let (tb, t1, tn) = (total(|r| r.baseline), total(|r| r.fast1), total(|r| r.fast_n));
+    let speedup1 = tb.as_secs_f64() / t1.as_secs_f64().max(1e-9);
+    let speedup_n = tb.as_secs_f64() / tn.as_secs_f64().max(1e-9);
+    let total_graphs: u64 = rows.iter().map(|r| r.graphs).sum();
+    let total_events: u64 = rows.iter().map(|r| r.events).sum();
+
+    println!(
+        "{:<14} {:>10} {:>12} {:>11} {:>11} {:>11} {:>9}",
+        "lock", "graphs", "events", "baseline", "fast-1", "fast-N", "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>10} {:>12} {:>11.2?} {:>11.2?} {:>11.2?} {:>8.2}x",
+            r.name,
+            r.graphs,
+            r.events,
+            r.baseline,
+            r.fast1,
+            r.fast_n,
+            r.baseline.as_secs_f64() / r.fast1.as_secs_f64().max(1e-9)
+        );
+    }
+    println!(
+        "{:<14} {:>10} {:>12} {:>11.2?} {:>11.2?} {:>11.2?} {:>8.2}x",
+        "TOTAL", total_graphs, total_events, tb, t1, tn, speedup1
+    );
+    println!(
+        "fast-1: {:.0} graphs/s, {:.0} events/s | fast-{workers}: {:.0} graphs/s | speedup vs baseline: {speedup1:.2}x (1 worker), {speedup_n:.2}x ({workers} workers)",
+        total_graphs as f64 / t1.as_secs_f64(),
+        total_events as f64 / t1.as_secs_f64(),
+        total_graphs as f64 / tn.as_secs_f64(),
+    );
+
+    // Hand-rolled JSON (the build environment has no serde).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"explore_perf\",");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"graphs\": {}, \"events\": {}, \"complete_executions\": {}, \
+             \"baseline_ms\": {:.3}, \"fast1_ms\": {:.3}, \"fastN_ms\": {:.3}, \
+             \"graphs_per_sec_fast1\": {:.1}, \"events_per_sec_fast1\": {:.1}, \"speedup_fast1\": {:.3}}}{comma}",
+            r.name,
+            r.graphs,
+            r.events,
+            r.executions,
+            r.baseline.as_secs_f64() * 1e3,
+            r.fast1.as_secs_f64() * 1e3,
+            r.fast_n.as_secs_f64() * 1e3,
+            r.graphs as f64 / r.fast1.as_secs_f64().max(1e-9),
+            r.events as f64 / r.fast1.as_secs_f64().max(1e-9),
+            r.baseline.as_secs_f64() / r.fast1.as_secs_f64().max(1e-9),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"total\": {{\"graphs\": {total_graphs}, \"events\": {total_events}, \
+         \"baseline_ms\": {:.3}, \"fast1_ms\": {:.3}, \"fastN_ms\": {:.3}, \
+         \"graphs_per_sec_fast1\": {:.1}, \"events_per_sec_fast1\": {:.1}, \
+         \"speedup_fast1\": {speedup1:.3}, \"speedup_fastN\": {speedup_n:.3}}}",
+        tb.as_secs_f64() * 1e3,
+        t1.as_secs_f64() * 1e3,
+        tn.as_secs_f64() * 1e3,
+        total_graphs as f64 / t1.as_secs_f64(),
+        total_events as f64 / t1.as_secs_f64(),
+    );
+    let _ = writeln!(json, "}}");
+    std::fs::write("BENCH_explore.json", json).expect("write BENCH_explore.json");
+    eprintln!("wrote BENCH_explore.json");
+}

@@ -2,8 +2,10 @@
 //!
 //! Experiment drivers that regenerate every table and figure of the
 //! paper's evaluation. One binary per artifact (see `src/bin/`); this
-//! library holds the shared logic so the Criterion benches and the
-//! binaries agree on parameters.
+//! library holds the shared logic so the benches (see [`timing`]) and the
+//! binaries agree on parameters. The `explore_perf` binary additionally
+//! tracks the AMC explorer's own performance across PRs
+//! (`BENCH_explore.json`).
 //!
 //! Environment knobs for the binaries:
 //!
@@ -16,6 +18,8 @@
 //!   2-thread client (fast smoke mode).
 
 #![warn(missing_docs)]
+
+pub mod timing;
 
 use std::time::Instant;
 
@@ -149,8 +153,8 @@ pub fn render_table1(rows: &[Table1Row]) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
-        "{:<28} {:>4} {:>4} {:>4}  {:<12} {}",
-        "Version", "acq", "rel", "sc", "Time", "Correctness"
+        "{:<28} {:>4} {:>4} {:>4}  {:<12} Correctness",
+        "Version", "acq", "rel", "sc", "Time"
     );
     for r in rows {
         let _ = writeln!(

@@ -1,0 +1,65 @@
+//! A tiny self-contained benchmark harness.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! benches cannot use Criterion; this module provides the minimal subset the
+//! experiment drivers need — warmup, repeated samples, median/min selection
+//! and aligned reporting — with zero dependencies.
+
+use std::time::{Duration, Instant};
+
+/// One measured benchmark: its name and per-iteration sample times.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark id (`group/name`).
+    pub name: String,
+    /// Individual sample durations, in sampling order.
+    pub samples: Vec<Duration>,
+}
+
+impl Measurement {
+    /// Median sample (samples are copied and sorted).
+    pub fn median(&self) -> Duration {
+        let mut s = self.samples.clone();
+        s.sort();
+        s[s.len() / 2]
+    }
+
+    /// Fastest sample.
+    pub fn min(&self) -> Duration {
+        self.samples.iter().copied().min().unwrap_or_default()
+    }
+}
+
+/// Run `f` once as warmup, then `samples` measured times; prints a
+/// Criterion-style one-liner and returns the measurement.
+pub fn bench<R>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> R) -> Measurement {
+    assert!(samples >= 1);
+    std::hint::black_box(f()); // warmup
+    let mut times = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        times.push(t0.elapsed());
+    }
+    let m = Measurement { name: format!("{group}/{name}"), samples: times };
+    println!("{:<44} median {:>12.3?}  min {:>12.3?}", m.name, m.median(), m.min());
+    m
+}
+
+/// Number of samples per bench, overridable with `VSYNC_BENCH_SAMPLES`.
+pub fn env_samples() -> usize {
+    std::env::var("VSYNC_BENCH_SAMPLES").ok().and_then(|v| v.parse().ok()).unwrap_or(5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_collects_samples_and_orders_stats() {
+        let m = bench("t", "noop", 3, || 1 + 1);
+        assert_eq!(m.samples.len(), 3);
+        assert!(m.min() <= m.median());
+        assert_eq!(m.name, "t/noop");
+    }
+}

@@ -1,10 +1,9 @@
 //! The AMC exploration algorithm (paper Fig. 6).
 //!
-//! A work stack holds partial execution graphs. Each iteration pops a
-//! graph, replays the program against it to reconstruct thread states,
-//! discards it if it is wasteful (`W(G)`) or inconsistent with the memory
-//! model, and otherwise extends it by one event of the first runnable
-//! thread:
+//! A work queue holds partial execution graphs. Each step takes a graph,
+//! replays the program against it to reconstruct thread states, discards it
+//! if it is wasteful (`W(G)`) or inconsistent with the memory model, and
+//! otherwise extends it by one event of the first runnable thread:
 //!
 //! * **reads** branch over every same-location write already in the graph
 //!   (plus the missing-edge `⊥` option for await reads);
@@ -19,11 +18,25 @@
 //! Work items are deduplicated by canonical content hash: the scheduler is
 //! deterministic and revisit restrictions are content-determined, so two
 //! items with equal content have identical futures.
+//!
+//! ## Parallel exploration
+//!
+//! Work items are *independent*: a popped graph's processing depends only
+//! on its own content. With [`AmcConfig::workers`] `> 1` the explorer runs
+//! N worker threads over a shared injector queue with a sharded
+//! content-hash dedup set; per-worker [`ExploreStats`] are merged at the
+//! end. Because the dedup set admits each graph content exactly once and
+//! successors are functions of content, the set of explored graphs — and
+//! hence the verdict and `complete_executions` — is identical for every
+//! worker count. `workers == 1` runs the exact sequential LIFO algorithm.
 
 use std::collections::HashSet;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::{Condvar, Mutex};
 
 use vsync_graph::{content_hash, EventId, EventKind, ExecutionGraph, Loc, RfSource, ThreadId};
 use vsync_lang::{Operand, PendingOp, Program, ReadDesc, ThreadStatus};
+use vsync_model::MemoryModel;
 
 use crate::stagnancy::is_stagnant;
 use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict};
@@ -35,7 +48,19 @@ use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict
 /// (Theorem 1 of the paper: for programs obeying the Bounded-Length and
 /// Bounded-Effect principles, the search is exhaustive and terminates).
 pub fn explore(prog: &Program, config: &AmcConfig) -> AmcResult {
-    Explorer::new(prog, config).run()
+    if let Err(e) = prog.validate() {
+        return AmcResult {
+            verdict: Verdict::Fault(format!("malformed program: {e}")),
+            stats: ExploreStats::default(),
+            executions: Vec::new(),
+        };
+    }
+    let engine = Engine { prog, config, model: config.model.checker(config.checker) };
+    if config.workers > 1 {
+        engine.run_parallel(config.workers)
+    } else {
+        engine.run_sequential()
+    }
 }
 
 /// Convenience wrapper returning only the verdict.
@@ -49,110 +74,124 @@ pub fn count_executions(prog: &Program, config: &AmcConfig) -> u64 {
     explore(prog, config).stats.complete_executions
 }
 
-struct Explorer<'p> {
-    prog: &'p Program,
-    config: &'p AmcConfig,
-    stack: Vec<ExecutionGraph>,
-    seen: HashSet<u128>,
-    stats: ExploreStats,
-    executions: Vec<ExecutionGraph>,
+/// Pass-through hasher for the dedup set: the keys are already 128-bit
+/// content hashes, so running them through SipHash again is pure waste.
+#[derive(Default)]
+struct IdentityHasher(u64);
+
+impl Hasher for IdentityHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("dedup keys hash via write_u128");
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        // Shard selection uses the LOW bits (`h % SHARDS`); the in-table
+        // hash must use disjoint bits or every key in a shard clusters
+        // into 1/SHARDS of its buckets.
+        self.0 = (v >> 64) as u64;
+    }
 }
 
-impl<'p> Explorer<'p> {
-    fn new(prog: &'p Program, config: &'p AmcConfig) -> Self {
-        Explorer {
-            prog,
-            config,
-            stack: Vec::new(),
-            seen: HashSet::new(),
-            stats: ExploreStats::default(),
-            executions: Vec::new(),
-        }
+type SeenSet = HashSet<u128, BuildHasherDefault<IdentityHasher>>;
+
+/// The scheduler-independent part of the explorer: how one work item is
+/// processed. Shared by the sequential and parallel drivers.
+struct Engine<'p> {
+    prog: &'p Program,
+    config: &'p AmcConfig,
+    model: &'static dyn MemoryModel,
+}
+
+/// Scratch state for processing one work item; children end up in `out`.
+struct Step<'s> {
+    stats: &'s mut ExploreStats,
+    out: &'s mut Vec<ExecutionGraph>,
+    executions: &'s mut Vec<ExecutionGraph>,
+}
+
+impl<'p> Engine<'p> {
+    fn initial_graph(&self) -> ExecutionGraph {
+        ExecutionGraph::new(self.prog.num_threads(), self.prog.init().clone())
     }
 
-    fn result(self, verdict: Verdict) -> AmcResult {
-        AmcResult { verdict, stats: self.stats, executions: self.executions }
-    }
-
-    fn run(mut self) -> AmcResult {
-        if let Err(e) = self.prog.validate() {
-            return self.result(Verdict::Fault(format!("malformed program: {e}")));
+    /// Process one popped work item. Children are appended to `step.out`
+    /// (in the same order the sequential explorer would push them); a
+    /// `Some` return is a terminal verdict that ends the exploration.
+    ///
+    /// `seen` is the dedup probe: returns `true` iff the hash is new.
+    fn process(
+        &self,
+        mut g: ExecutionGraph,
+        seen: &mut dyn FnMut(u128) -> bool,
+        step: &mut Step<'_>,
+    ) -> Option<Verdict> {
+        // Replay first: it repairs derived read flags, which both the
+        // content hash and the consistency check depend on.
+        let out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
+        if let Some(f) = out.fault() {
+            return Some(Verdict::Fault(f.to_owned()));
         }
-        let model = self.config.model.model();
-        self.stack.push(ExecutionGraph::new(self.prog.num_threads(), self.prog.init().clone()));
-        while let Some(mut g) = self.stack.pop() {
-            self.stats.popped += 1;
-            if self.config.max_graphs != 0 && self.stats.popped > self.config.max_graphs {
-                let msg = format!("exploration exceeded {} work items", self.config.max_graphs);
-                return self.result(Verdict::Fault(msg));
-            }
-            // Replay first: it repairs derived read flags, which both the
-            // content hash and the consistency check depend on.
-            let out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
-            if let Some(f) = out.fault() {
-                return self.result(Verdict::Fault(f.to_owned()));
-            }
-            if self.config.dedup && !self.seen.insert(content_hash(&g)) {
-                self.stats.duplicates += 1;
-                continue;
-            }
-            if out.wasteful {
-                self.stats.wasteful += 1;
-                continue;
-            }
-            if !model.is_consistent(&g) {
-                self.stats.inconsistent += 1;
-                continue;
-            }
-            if out.errored() {
-                let (_, msg) = g.error().expect("errored replay has an error event");
-                let message = format!("assertion failed: {msg}");
-                return self.result(Verdict::Safety(Counterexample { graph: g, message }));
-            }
-            let next_ready = out.ready_threads().next();
-            match next_ready {
-                Some(t) => {
-                    let ThreadStatus::Ready(op) = &out.threads[t as usize] else {
-                        unreachable!()
-                    };
-                    if let Err(v) = self.extend(&g, t, op) {
-                        return self.result(v);
-                    }
+        step.stats.events += g.num_events() as u64;
+        if self.config.dedup && !seen(content_hash(&g)) {
+            step.stats.duplicates += 1;
+            return None;
+        }
+        if out.wasteful {
+            step.stats.wasteful += 1;
+            return None;
+        }
+        if !self.model.is_consistent(&g) {
+            step.stats.inconsistent += 1;
+            return None;
+        }
+        if out.errored() {
+            let (_, msg) = g.error().expect("errored replay has an error event");
+            let message = format!("assertion failed: {msg}");
+            return Some(Verdict::Safety(Counterexample { graph: g, message }));
+        }
+        let next_ready = out.ready_threads().next();
+        match next_ready {
+            Some(t) => {
+                let ThreadStatus::Ready(op) = &out.threads[t as usize] else { unreachable!() };
+                if let Err(v) = self.extend(&g, t, op, step) {
+                    return Some(v);
                 }
-                None => {
-                    let blocked: Vec<_> = out.blocked().collect();
-                    if blocked.is_empty() {
-                        self.stats.complete_executions += 1;
-                        if let Some(msg) = self.failed_final_check(&g) {
-                            return self
-                                .result(Verdict::Safety(Counterexample { graph: g, message: msg }));
-                        }
-                        if self.config.collect_executions {
-                            self.executions.push(g);
-                        }
-                    } else {
-                        self.stats.blocked_graphs += 1;
-                        if is_stagnant(&g, &blocked, model) {
-                            let polls: Vec<String> =
-                                blocked.iter().map(|b| format!("{}@{:#x}", b.read, b.loc)).collect();
-                            let message = format!(
-                                "await never terminates: blocked read(s) {} cannot \
-                                 observe any new write",
-                                polls.join(", ")
-                            );
-                            return self.result(Verdict::AwaitTermination(Counterexample {
-                                graph: g,
-                                message,
-                            }));
-                        }
-                        // Non-stagnant blocked graphs are exploration
-                        // artifacts; their real continuations are siblings.
+            }
+            None => {
+                let blocked: Vec<_> = out.blocked().collect();
+                if blocked.is_empty() {
+                    step.stats.complete_executions += 1;
+                    if let Some(msg) = self.failed_final_check(&g) {
+                        return Some(Verdict::Safety(Counterexample { graph: g, message: msg }));
                     }
+                    if self.config.collect_executions {
+                        step.executions.push(g);
+                    }
+                } else {
+                    step.stats.blocked_graphs += 1;
+                    if is_stagnant(&g, &blocked, self.model) {
+                        let polls: Vec<String> =
+                            blocked.iter().map(|b| format!("{}@{:#x}", b.read, b.loc)).collect();
+                        let message = format!(
+                            "await never terminates: blocked read(s) {} cannot \
+                             observe any new write",
+                            polls.join(", ")
+                        );
+                        return Some(Verdict::AwaitTermination(Counterexample {
+                            graph: g,
+                            message,
+                        }));
+                    }
+                    // Non-stagnant blocked graphs are exploration
+                    // artifacts; their real continuations are siblings.
                 }
             }
         }
-        let verdict = Verdict::Verified;
-        self.result(verdict)
+        None
     }
 
     /// Evaluate the program's final-state checks on a complete execution.
@@ -175,8 +214,14 @@ impl<'p> Explorer<'p> {
         None
     }
 
-    /// Generate and push all successor graphs for thread `t`'s pending op.
-    fn extend(&mut self, g: &ExecutionGraph, t: ThreadId, op: &PendingOp) -> Result<(), Verdict> {
+    /// Generate all successor graphs for thread `t`'s pending op.
+    fn extend(
+        &self,
+        g: &ExecutionGraph,
+        t: ThreadId,
+        op: &PendingOp,
+        step: &mut Step<'_>,
+    ) -> Result<(), Verdict> {
         if g.thread_len(t) >= self.config.max_events_per_thread {
             return Err(Verdict::Fault(format!(
                 "thread {t} exceeded {} events — unbounded non-await loop? \
@@ -188,18 +233,18 @@ impl<'p> Explorer<'p> {
             PendingOp::Fence { mode } => {
                 let mut g2 = g.clone();
                 g2.push_event(t, EventKind::Fence { mode: *mode });
-                self.push(g2);
+                push(step, g2);
             }
             PendingOp::Error { msg } => {
                 let mut g2 = g.clone();
                 g2.push_event(t, EventKind::Error { msg: msg.clone() });
-                self.push(g2);
+                push(step, g2);
             }
             PendingOp::Read { loc, mode, desc, prev_rf } => {
-                self.extend_read(g, t, *loc, *mode, *desc, *prev_rf);
+                self.extend_read(g, t, *loc, *mode, *desc, *prev_rf, step);
             }
             PendingOp::Write { loc, val, mode, rmw } => {
-                self.extend_write(g, t, *loc, *val, *mode, *rmw);
+                self.extend_write(g, t, *loc, *val, *mode, *rmw, step);
             }
         }
         Ok(())
@@ -207,14 +252,16 @@ impl<'p> Explorer<'p> {
 
     /// R-step of Fig. 6: branch over every rf candidate, plus `⊥` for
     /// await reads.
+    #[allow(clippy::too_many_arguments)]
     fn extend_read(
-        &mut self,
+        &self,
         g: &ExecutionGraph,
         t: ThreadId,
         loc: Loc,
         mode: vsync_graph::Mode,
         desc: ReadDesc,
         prev_rf: Option<RfSource>,
+        step: &mut Step<'_>,
     ) {
         let min_pos = min_source_pos(g, t, loc);
         let mut candidates: Vec<EventId> = vec![EventId::Init(loc)];
@@ -243,7 +290,7 @@ impl<'p> Explorer<'p> {
                     awaiting: desc.is_await(),
                 },
             );
-            self.push(g2);
+            push(step, g2);
         }
         if desc.is_await() {
             // The potential AT violation: no incoming rf-edge (yet).
@@ -252,21 +299,23 @@ impl<'p> Explorer<'p> {
                 t,
                 EventKind::Read { loc, mode, rf: RfSource::Bottom, rmw: false, awaiting: true },
             );
-            self.push(g2);
+            push(step, g2);
         }
     }
 
     /// W-step of Fig. 6: place the write in mo (all positions for plain
     /// writes; the atomicity-forced slot for RMW write parts), then compute
     /// revisits.
+    #[allow(clippy::too_many_arguments)]
     fn extend_write(
-        &mut self,
+        &self,
         g: &ExecutionGraph,
         t: ThreadId,
         loc: Loc,
         val: u64,
         mode: vsync_graph::Mode,
         rmw: bool,
+        step: &mut Step<'_>,
     ) {
         let positions: Vec<usize> = if rmw {
             // The write part must land immediately after its read's source.
@@ -288,9 +337,9 @@ impl<'p> Explorer<'p> {
             let wid = g2.push_event(t, EventKind::Write { loc, val, mode, rmw });
             g2.insert_mo(loc, wid, pos);
             // Revisits from this placed variant.
-            let prefix_w = g2.porf_prefix([wid]);
+            let prefix_w = g2.porf_prefix_set([wid]);
             for (r, rloc, rf) in g2.reads().collect::<Vec<_>>() {
-                if rloc != loc || r == wid || prefix_w.contains(&r) {
+                if rloc != loc || r == wid || prefix_w.contains(r) {
                     continue;
                 }
                 match rf {
@@ -299,29 +348,212 @@ impl<'p> Explorer<'p> {
                         // needed, the blocked thread has no successors.
                         let mut g3 = g2.clone();
                         g3.set_rf(r, RfSource::Write(wid));
-                        self.stats.revisits += 1;
-                        self.push(g3);
+                        step.stats.revisits += 1;
+                        push(step, g3);
                     }
                     RfSource::Write(old) if old != wid => {
                         // Standard revisit: keep only the porf-prefixes of
                         // the new write and of the read, re-point the read.
                         let mut keep = prefix_w.clone();
-                        keep.extend(g2.porf_prefix([r]));
-                        let mut g3 = g2.restrict(&keep);
+                        keep.union_with(&g2.porf_prefix_set([r]));
+                        let mut g3 = g2.restrict_set(&keep);
                         g3.set_rf(r, RfSource::Write(wid));
-                        self.stats.revisits += 1;
-                        self.push(g3);
+                        step.stats.revisits += 1;
+                        push(step, g3);
                     }
                     RfSource::Write(_) => {}
                 }
             }
-            self.push(g2);
+            push(step, g2);
         }
     }
 
-    fn push(&mut self, g: ExecutionGraph) {
-        self.stats.pushed += 1;
-        self.stack.push(g);
+    /// The sequential driver: a LIFO stack, one `HashSet` dedup set —
+    /// bit-for-bit the original exploration order.
+    fn run_sequential(&self) -> AmcResult {
+        let mut stats = ExploreStats::default();
+        let mut executions = Vec::new();
+        let mut seen: SeenSet = SeenSet::default();
+        let mut stack = vec![self.initial_graph()];
+        let mut children: Vec<ExecutionGraph> = Vec::new();
+        while let Some(g) = stack.pop() {
+            stats.popped += 1;
+            if self.config.max_graphs != 0 && stats.popped > self.config.max_graphs {
+                let msg = format!("exploration exceeded {} work items", self.config.max_graphs);
+                return AmcResult { verdict: Verdict::Fault(msg), stats, executions };
+            }
+            let mut step =
+                Step { stats: &mut stats, out: &mut children, executions: &mut executions };
+            if let Some(v) = self.process(g, &mut |h| seen.insert(h), &mut step) {
+                return AmcResult { verdict: v, stats, executions };
+            }
+            stack.append(&mut children);
+        }
+        AmcResult { verdict: Verdict::Verified, stats, executions }
+    }
+
+    /// The parallel driver: `workers` threads over a shared injector queue,
+    /// a sharded dedup set, per-worker stats merged at the end.
+    fn run_parallel(&self, workers: usize) -> AmcResult {
+        const SHARDS: usize = 64;
+        let queue = WorkQueue::new(self.initial_graph());
+        let seen: Vec<Mutex<SeenSet>> =
+            (0..SHARDS).map(|_| Mutex::new(SeenSet::default())).collect();
+
+        let worker = || {
+            // If this worker panics mid-item, `pending` never reaches zero;
+            // without this guard the peers would sleep on the condvar
+            // forever and the scope join would deadlock instead of
+            // propagating the panic.
+            struct PanicGuard<'a>(&'a WorkQueue);
+            impl Drop for PanicGuard<'_> {
+                fn drop(&mut self) {
+                    if std::thread::panicking() {
+                        self.0.abort();
+                    }
+                }
+            }
+            let _guard = PanicGuard(&queue);
+            let mut stats = ExploreStats::default();
+            let mut executions = Vec::new();
+            let mut children: Vec<ExecutionGraph> = Vec::new();
+            while let Some((g, popped_total)) = queue.pop() {
+                stats.popped += 1;
+                if self.config.max_graphs != 0 && popped_total > self.config.max_graphs {
+                    let msg =
+                        format!("exploration exceeded {} work items", self.config.max_graphs);
+                    queue.finish(Verdict::Fault(msg));
+                    break;
+                }
+                let mut step = Step {
+                    stats: &mut stats,
+                    out: &mut children,
+                    executions: &mut executions,
+                };
+                let mut probe = |h: u128| {
+                    let shard = (h as usize) % SHARDS;
+                    seen[shard].lock().unwrap().insert(h)
+                };
+                match self.process(g, &mut probe, &mut step) {
+                    Some(v) => {
+                        queue.finish(v);
+                        break;
+                    }
+                    None => queue.complete_item(&mut children),
+                }
+            }
+            (stats, executions)
+        };
+
+        let results: Vec<(ExploreStats, Vec<ExecutionGraph>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let mut stats = ExploreStats::default();
+        let mut executions = Vec::new();
+        for (s, mut e) in results {
+            stats.merge(&s);
+            executions.append(&mut e);
+        }
+        let verdict = queue.into_verdict();
+        AmcResult { verdict, stats, executions }
+    }
+}
+
+fn push(step: &mut Step<'_>, g: ExecutionGraph) {
+    step.stats.pushed += 1;
+    step.out.push(g);
+}
+
+/// The shared injector queue of the parallel explorer.
+///
+/// `pending` counts items that are queued *or* currently being processed:
+/// exploration is complete exactly when it reaches zero. Verdict-bearing
+/// items set `stop`, draining all workers promptly.
+struct WorkQueue {
+    state: Mutex<QueueState>,
+    cond: Condvar,
+}
+
+struct QueueState {
+    items: Vec<ExecutionGraph>,
+    pending: usize,
+    popped: u64,
+    stop: bool,
+    verdict: Option<Verdict>,
+}
+
+impl WorkQueue {
+    fn new(initial: ExecutionGraph) -> Self {
+        WorkQueue {
+            state: Mutex::new(QueueState {
+                items: vec![initial],
+                pending: 1,
+                popped: 0,
+                stop: false,
+                verdict: None,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// Pop a work item, sleeping while the queue is empty but siblings are
+    /// still in flight. `None` means the exploration is over.
+    fn pop(&self) -> Option<(ExecutionGraph, u64)> {
+        let mut q = self.state.lock().unwrap();
+        loop {
+            if q.stop {
+                return None;
+            }
+            if let Some(g) = q.items.pop() {
+                q.popped += 1;
+                return Some((g, q.popped));
+            }
+            if q.pending == 0 {
+                return None;
+            }
+            q = self.cond.wait(q).unwrap();
+        }
+    }
+
+    /// Account the end of one item's processing, injecting its children.
+    fn complete_item(&self, children: &mut Vec<ExecutionGraph>) {
+        let n = children.len();
+        let mut q = self.state.lock().unwrap();
+        q.items.append(children);
+        q.pending += n;
+        q.pending -= 1;
+        if q.pending == 0 || q.stop {
+            self.cond.notify_all();
+        } else {
+            for _ in 0..n {
+                self.cond.notify_one();
+            }
+        }
+    }
+
+    /// Record a terminal verdict (first one wins) and stop all workers.
+    fn finish(&self, v: Verdict) {
+        let mut q = self.state.lock().unwrap();
+        q.verdict.get_or_insert(v);
+        q.stop = true;
+        self.cond.notify_all();
+    }
+
+    /// Stop all workers without recording a verdict (panic unwind path).
+    fn abort(&self) {
+        // A panicking peer may have poisoned the mutex; drain regardless.
+        let mut q = match self.state.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        q.stop = true;
+        self.cond.notify_all();
+    }
+
+    fn into_verdict(self) -> Verdict {
+        self.state.into_inner().unwrap().verdict.unwrap_or(Verdict::Verified)
     }
 }
 
@@ -690,5 +922,80 @@ mod tests {
         let p = pb.build().unwrap();
         let v = verify(&p, &cfg(ModelKind::Vmm));
         assert!(matches!(v, Verdict::Safety(_)), "got {v}");
+    }
+
+    /// Parallel exploration: identical counts and verdicts for any worker
+    /// count on verified programs.
+    #[test]
+    fn workers_preserve_counts_and_verdicts() {
+        let p = sb_program();
+        let base = explore(&p, &cfg(ModelKind::Vmm));
+        for workers in [2, 4, 8] {
+            let c = cfg(ModelKind::Vmm).with_workers(workers);
+            let r = explore(&p, &c);
+            assert!(r.is_verified(), "workers={workers}: {}", r.verdict);
+            assert_eq!(
+                r.stats.complete_executions, base.stats.complete_executions,
+                "workers={workers}"
+            );
+            assert_eq!(r.stats.popped, base.stats.popped, "workers={workers}");
+            assert_eq!(r.stats.duplicates, base.stats.duplicates, "workers={workers}");
+        }
+    }
+
+    /// Parallel exploration still finds violations (any counterexample
+    /// wins; the verdict *kind* is deterministic for these programs).
+    #[test]
+    fn workers_find_violations() {
+        let mut pb = ProgramBuilder::new("mp-bug");
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rlx);
+            t.store(Y, 1u64, Mode::Rlx);
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), Y, 1u64, Mode::Rlx);
+            t.load(Reg(1), X, Mode::Rlx);
+            t.assert_eq(Reg(1), 1u64, "visible");
+        });
+        let p = pb.build().unwrap();
+        for workers in [1, 2, 8] {
+            let c = cfg(ModelKind::Vmm).with_workers(workers);
+            let v = verify(&p, &c);
+            assert!(matches!(v, Verdict::Safety(_)), "workers={workers}: {v}");
+        }
+        // An AT violation, in parallel.
+        let mut pb = ProgramBuilder::new("lonely");
+        pb.thread(|t| {
+            t.await_eq(Reg(0), X, 1u64, Mode::Rlx);
+        });
+        let p = pb.build().unwrap();
+        for workers in [2, 4] {
+            let v = verify(&p, &cfg(ModelKind::Vmm).with_workers(workers));
+            assert!(matches!(v, Verdict::AwaitTermination(_)), "workers={workers}: {v}");
+        }
+    }
+
+    /// The graph budget also faults in parallel mode.
+    #[test]
+    fn workers_respect_graph_budget() {
+        let mut c = cfg(ModelKind::Vmm).with_workers(4);
+        c.max_graphs = 2;
+        let v = verify(&sb_program(), &c);
+        assert!(matches!(v, Verdict::Fault(_)));
+    }
+
+    /// The reference checker produces the same verdicts and counts.
+    #[test]
+    fn reference_checker_agrees_on_counts() {
+        let p = sb_program();
+        for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::Vmm] {
+            let fast = explore(&p, &cfg(model));
+            let slow = explore(&p, &cfg(model).with_reference_checker());
+            assert_eq!(
+                fast.stats.complete_executions, slow.stats.complete_executions,
+                "{model}"
+            );
+            assert_eq!(fast.stats.popped, slow.stats.popped, "{model}");
+        }
     }
 }

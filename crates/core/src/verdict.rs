@@ -3,7 +3,7 @@
 use std::fmt;
 
 use vsync_graph::ExecutionGraph;
-use vsync_model::ModelKind;
+use vsync_model::{CheckerKind, ModelKind};
 
 /// Configuration of an AMC run.
 #[derive(Debug, Clone)]
@@ -22,6 +22,16 @@ pub struct AmcConfig {
     /// Keep all complete executions in the result (for tests and graph
     /// counting; off by default to save memory).
     pub collect_executions: bool,
+    /// Number of exploration worker threads. `1` (the default) runs the
+    /// exact sequential algorithm; `> 1` distributes independent branches
+    /// over a shared work queue with a sharded dedup set. Verdicts and
+    /// `complete_executions` counts are identical for any worker count
+    /// (for failing programs the *first* counterexample found wins, so
+    /// partial-run counters may differ).
+    pub workers: usize,
+    /// Consistency-check implementation: the closure-free fast path
+    /// (default) or the naive closure-based reference formulation.
+    pub checker: CheckerKind,
 }
 
 impl Default for AmcConfig {
@@ -33,6 +43,8 @@ impl Default for AmcConfig {
             step_budget: vsync_lang::DEFAULT_STEP_BUDGET,
             dedup: true,
             collect_executions: false,
+            workers: 1,
+            checker: CheckerKind::Fast,
         }
     }
 }
@@ -46,6 +58,18 @@ impl AmcConfig {
     /// Builder-style: collect complete executions.
     pub fn collecting(mut self) -> Self {
         self.collect_executions = true;
+        self
+    }
+
+    /// Builder-style: explore with `workers` threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Builder-style: use the naive closure-based reference checker.
+    pub fn with_reference_checker(mut self) -> Self {
+        self.checker = CheckerKind::Reference;
         self
     }
 }
@@ -69,6 +93,23 @@ pub struct ExploreStats {
     pub complete_executions: u64,
     /// Blocked graphs inspected by the stagnancy analysis.
     pub blocked_graphs: u64,
+    /// Total events across all popped graphs (throughput accounting).
+    pub events: u64,
+}
+
+impl ExploreStats {
+    /// Field-wise accumulation — used to merge per-worker stats.
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.popped += other.popped;
+        self.pushed += other.pushed;
+        self.duplicates += other.duplicates;
+        self.inconsistent += other.inconsistent;
+        self.wasteful += other.wasteful;
+        self.revisits += other.revisits;
+        self.complete_executions += other.complete_executions;
+        self.blocked_graphs += other.blocked_graphs;
+        self.events += other.events;
+    }
 }
 
 impl fmt::Display for ExploreStats {

@@ -1,6 +1,12 @@
 //! The execution-graph data structure.
+//!
+//! Graph internals are copy-on-write: each thread's event list and the
+//! (immutable) init table sit behind `Arc`s, so the explorer's
+//! one-clone-per-child pattern copies only the single thread it then
+//! extends — every other thread's events are shared with the parent.
 
 use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
 
 use crate::event::{Event, EventId, EventKind, Loc, Mode, RfSource, ThreadId, Value};
 
@@ -17,13 +23,14 @@ use crate::event::{Event, EventId, EventKind, Loc, Mode, RfSource, ThreadId, Val
 /// (default `0`).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionGraph {
-    /// Events of each thread, in program order.
-    threads: Vec<Vec<Event>>,
+    /// Events of each thread, in program order (copy-on-write per thread).
+    threads: Vec<Arc<Vec<Event>>>,
     /// Modification order per location: all non-init write events, oldest
     /// first. The virtual init write is implicitly at position `-1`.
     mo: BTreeMap<Loc, Vec<EventId>>,
-    /// Initial values of locations (missing entries are `0`).
-    init: BTreeMap<Loc, Value>,
+    /// Initial values of locations (missing entries are `0`); immutable
+    /// after construction, shared between clones.
+    init: Arc<BTreeMap<Loc, Value>>,
     /// Next exploration timestamp.
     next_ts: u32,
 }
@@ -33,9 +40,9 @@ impl ExecutionGraph {
     /// memory values.
     pub fn new(n_threads: usize, init: BTreeMap<Loc, Value>) -> Self {
         ExecutionGraph {
-            threads: vec![Vec::new(); n_threads],
+            threads: (0..n_threads).map(|_| Arc::new(Vec::new())).collect(),
             mo: BTreeMap::new(),
-            init,
+            init: Arc::new(init),
             next_ts: 0,
         }
     }
@@ -47,7 +54,7 @@ impl ExecutionGraph {
 
     /// Number of regular (non-init) events currently in the graph.
     pub fn num_events(&self) -> usize {
-        self.threads.iter().map(Vec::len).sum()
+        self.threads.iter().map(|t| t.len()).sum()
     }
 
     /// Number of events of one thread.
@@ -86,7 +93,7 @@ impl ExecutionGraph {
         match id {
             EventId::Init(loc) => panic!("init event of {loc:#x} has no Event record"),
             EventId::Event { thread, index } => {
-                &mut self.threads[thread as usize][index as usize]
+                &mut Arc::make_mut(&mut self.threads[thread as usize])[index as usize]
             }
         }
     }
@@ -128,7 +135,7 @@ impl ExecutionGraph {
         let mut ev = Event::new(kind);
         ev.ts = self.next_ts;
         self.next_ts += 1;
-        self.threads[thread as usize].push(ev);
+        Arc::make_mut(&mut self.threads[thread as usize]).push(ev);
         EventId::new(thread, index)
     }
 
@@ -274,7 +281,7 @@ impl ExecutionGraph {
     ///
     /// Meaningful for complete executions; used by final-state assertions.
     pub fn final_state(&self) -> BTreeMap<Loc, Value> {
-        let mut state = self.init.clone();
+        let mut state = (*self.init).clone();
         for (&loc, writes) in &self.mo {
             if let Some(&w) = writes.last() {
                 state.insert(loc, self.write_value(w));
@@ -290,7 +297,13 @@ impl ExecutionGraph {
     ///
     /// Init events are implicit and never included.
     pub fn porf_prefix(&self, seeds: impl IntoIterator<Item = EventId>) -> HashSet<EventId> {
-        let mut prefix: HashSet<EventId> = HashSet::new();
+        self.porf_prefix_set(seeds).iter(self).collect()
+    }
+
+    /// [`ExecutionGraph::porf_prefix`] as a dense [`EventSet`] — the
+    /// allocation-light form used by the explorer's revisit hot path.
+    pub fn porf_prefix_set(&self, seeds: impl IntoIterator<Item = EventId>) -> EventSet {
+        let mut prefix = EventSet::new(self);
         let mut work: Vec<EventId> = seeds.into_iter().filter(|e| !e.is_init()).collect();
         while let Some(id) = work.pop() {
             if !prefix.insert(id) {
@@ -301,6 +314,9 @@ impl ExecutionGraph {
                 EventId::Init(_) => continue,
             };
             if index > 0 {
+                // The whole po-prefix of the thread is in the porf-prefix;
+                // mark it in one go, chasing only the rf edges of newly
+                // marked reads.
                 work.push(EventId::new(thread, index - 1));
             }
             if let EventKind::Read { rf: RfSource::Write(w), .. } = &self.event(id).kind {
@@ -322,28 +338,41 @@ impl ExecutionGraph {
     ///
     /// Panics (in debug builds) if `keep` is not prefix-closed.
     pub fn restrict(&self, keep: &HashSet<EventId>) -> ExecutionGraph {
+        self.restrict_with(|id| keep.contains(&id))
+    }
+
+    /// [`ExecutionGraph::restrict`] with a dense [`EventSet`] keep-set.
+    pub fn restrict_set(&self, keep: &EventSet) -> ExecutionGraph {
+        self.restrict_with(|id| keep.contains(id))
+    }
+
+    fn restrict_with(&self, keep: impl Fn(EventId) -> bool) -> ExecutionGraph {
         let mut threads = Vec::with_capacity(self.threads.len());
         for (t, evs) in self.threads.iter().enumerate() {
-            let mut kept = Vec::new();
-            for (i, ev) in evs.iter().enumerate() {
-                if keep.contains(&EventId::new(t as ThreadId, i as u32)) {
-                    debug_assert_eq!(
-                        kept.len(),
-                        i,
-                        "keep set is not po-prefix-closed for thread {t}"
-                    );
-                    kept.push(ev.clone());
-                } else {
-                    break;
-                }
+            // Find the cut first so a fully-surviving thread shares the
+            // parent's storage without copying a single event.
+            let mut cut = 0;
+            while cut < evs.len() && keep(EventId::new(t as ThreadId, cut as u32)) {
+                cut += 1;
             }
-            threads.push(kept);
+            #[cfg(debug_assertions)]
+            for i in cut..evs.len() {
+                assert!(
+                    !keep(EventId::new(t as ThreadId, i as u32)),
+                    "keep set is not po-prefix-closed for thread {t}"
+                );
+            }
+            if cut == evs.len() {
+                threads.push(Arc::clone(evs));
+            } else {
+                threads.push(Arc::new(evs[..cut].to_vec()));
+            }
         }
         let mo = self
             .mo
             .iter()
             .map(|(&loc, ws)| {
-                (loc, ws.iter().filter(|w| keep.contains(w)).copied().collect::<Vec<_>>())
+                (loc, ws.iter().filter(|w| keep(**w)).copied().collect::<Vec<_>>())
             })
             .filter(|(_, ws): &(Loc, Vec<EventId>)| !ws.is_empty())
             .collect();
@@ -352,10 +381,7 @@ impl ExecutionGraph {
         for (id, _, rf) in g.reads() {
             if let RfSource::Write(w) = rf {
                 if !w.is_init() {
-                    assert!(
-                        keep.contains(&w),
-                        "dangling rf after restrict: {id} reads deleted {w}"
-                    );
+                    assert!(keep(w), "dangling rf after restrict: {id} reads deleted {w}");
                 }
             }
         }
@@ -366,7 +392,7 @@ impl ExecutionGraph {
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        for (&loc, &val) in &self.init {
+        for (&loc, &val) in self.init.iter() {
             let _ = writeln!(out, "  Winit({loc:#x}) = {val}");
         }
         for (t, evs) in self.threads.iter().enumerate() {
@@ -380,6 +406,93 @@ impl ExecutionGraph {
             let _ = writeln!(out, "  mo({loc:#x}): init -> {}", order.join(" -> "));
         }
         out
+    }
+}
+
+/// A dense set of a graph's regular events, stored as one bitset over
+/// `(thread, index)` pairs.
+///
+/// The explorer computes `porf`-prefixes for every write placement and
+/// revisit; a `HashSet<EventId>` there means hashing on the hottest path.
+/// `EventSet` replaces it with word-level bit operations. The set is tied
+/// to the shape (per-thread lengths) of the graph it was created from.
+#[derive(Debug, Clone)]
+pub struct EventSet {
+    /// `offsets[t]` is the first bit of thread `t`; the last entry is the
+    /// total bit count.
+    offsets: Vec<u32>,
+    bits: Vec<u64>,
+}
+
+impl EventSet {
+    /// An empty set shaped for `g`'s current events.
+    pub fn new(g: &ExecutionGraph) -> Self {
+        let mut offsets = Vec::with_capacity(g.num_threads() + 1);
+        let mut total = 0u32;
+        for t in 0..g.num_threads() {
+            offsets.push(total);
+            total += g.thread_len(t as u32) as u32;
+        }
+        offsets.push(total);
+        EventSet { offsets, bits: vec![0; (total as usize).div_ceil(64)] }
+    }
+
+    fn slot(&self, id: EventId) -> Option<usize> {
+        match id {
+            EventId::Init(_) => None,
+            EventId::Event { thread, index } => {
+                Some(self.offsets[thread as usize] as usize + index as usize)
+            }
+        }
+    }
+
+    /// Insert an event; returns `true` iff it was not already present.
+    /// Init events are implicit in every prefix and never stored.
+    pub fn insert(&mut self, id: EventId) -> bool {
+        let Some(b) = self.slot(id) else { return false };
+        let (w, m) = (b / 64, 1u64 << (b % 64));
+        let fresh = self.bits[w] & m == 0;
+        self.bits[w] |= m;
+        fresh
+    }
+
+    /// Is the event in the set?
+    pub fn contains(&self, id: EventId) -> bool {
+        match self.slot(id) {
+            Some(b) => self.bits[b / 64] & (1u64 << (b % 64)) != 0,
+            None => false,
+        }
+    }
+
+    /// Union another set of the same shape into this one.
+    pub fn union_with(&mut self, other: &EventSet) {
+        debug_assert_eq!(self.offsets, other.offsets, "sets from different graph shapes");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= b;
+        }
+    }
+
+    /// Number of events in the set.
+    pub fn len(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    pub fn is_empty(&self) -> bool {
+        self.bits.iter().all(|&w| w == 0)
+    }
+
+    /// Iterate the members as [`EventId`]s (`g` must be the graph the set
+    /// was created from, or one with the same per-thread lengths).
+    pub fn iter<'a>(&'a self, g: &'a ExecutionGraph) -> impl Iterator<Item = EventId> + 'a {
+        (0..g.num_threads()).flat_map(move |t| {
+            let base = self.offsets[t] as usize;
+            (0..g.thread_len(t as u32)).filter_map(move |i| {
+                let b = base + i;
+                (self.bits[b / 64] & (1u64 << (b % 64)) != 0)
+                    .then(|| EventId::new(t as ThreadId, i as u32))
+            })
+        })
     }
 }
 

@@ -40,8 +40,8 @@ mod encode;
 mod event;
 mod graph;
 
-pub use dense::{EventIndex, Relation};
+pub use dense::{iter_set_bits, EventIndex, Relation};
 pub use dot::{to_dot, to_text};
-pub use encode::{canonical_bytes, content_hash, fnv128};
+pub use encode::{canonical_bytes, content_hash, fnv128, hash128};
 pub use event::{Event, EventId, EventKind, Loc, Mode, RfSource, ThreadId, Value};
-pub use graph::ExecutionGraph;
+pub use graph::{EventSet, ExecutionGraph};

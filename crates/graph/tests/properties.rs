@@ -1,14 +1,35 @@
-//! Property-based tests of the execution-graph substrate: prefix closure,
-//! restriction, canonical encoding and the relation algebra.
+//! Randomized property tests of the execution-graph substrate: prefix
+//! closure, restriction, canonical encoding and the relation algebra.
+//!
+//! The build environment has no network access, so instead of proptest we
+//! use a tiny deterministic SplitMix64-driven generator; every case is
+//! reproducible from the printed seed.
 
 use std::collections::{BTreeMap, HashSet};
 
-use proptest::prelude::*;
 use vsync_graph::{
     canonical_bytes, content_hash, EventId, EventKind, ExecutionGraph, Mode, Relation, RfSource,
 };
 
 const LOCS: [u64; 3] = [0x10, 0x20, 0x30];
+const CASES: u64 = 128;
+
+/// SplitMix64: tiny, deterministic, good-enough mixing for test generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 /// A compact recipe for one random event.
 #[derive(Debug, Clone)]
@@ -19,12 +40,23 @@ enum Ev {
     Fence,
 }
 
-fn ev_strategy() -> impl Strategy<Value = Ev> {
-    prop_oneof![
-        ((0..LOCS.len()), 0u64..4).prop_map(|(loc, val)| Ev::Write { loc, val }),
-        ((0..LOCS.len()), 0usize..3).prop_map(|(loc, back)| Ev::Read { loc, back }),
-        Just(Ev::Fence),
-    ]
+fn random_threads(rng: &mut Rng) -> Vec<Vec<Ev>> {
+    let n_threads = 1 + rng.below(3) as usize;
+    (0..n_threads)
+        .map(|_| {
+            let len = rng.below(5) as usize;
+            (0..len)
+                .map(|_| match rng.below(3) {
+                    0 => Ev::Write { loc: rng.below(LOCS.len() as u64) as usize, val: rng.below(4) },
+                    1 => Ev::Read {
+                        loc: rng.below(LOCS.len() as u64) as usize,
+                        back: rng.below(3) as usize,
+                    },
+                    _ => Ev::Fence,
+                })
+                .collect()
+        })
+        .collect()
 }
 
 /// Materialize recipes into a graph: writes append to mo, reads pick an
@@ -76,94 +108,109 @@ fn build(threads: &[Vec<Ev>]) -> ExecutionGraph {
     g
 }
 
-fn graph_strategy() -> impl Strategy<Value = ExecutionGraph> {
-    prop::collection::vec(prop::collection::vec(ev_strategy(), 0..5), 1..4)
-        .prop_map(|threads| build(&threads))
+/// Run `check` on `CASES` random graphs, reporting the failing seed.
+fn for_random_graphs(test_name: &str, mut check: impl FnMut(&ExecutionGraph)) {
+    for seed in 0..CASES {
+        let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0xda3e39cb94b95bdb));
+        let g = build(&random_threads(&mut rng));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&g)));
+        if let Err(e) = r {
+            eprintln!("{test_name}: failing case at seed {seed}:\n{}", g.render());
+            std::panic::resume_unwind(e);
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// porf-prefixes are closed under po and rf predecessors.
-    #[test]
-    fn porf_prefix_is_closed(g in graph_strategy()) {
+/// porf-prefixes are closed under po and rf predecessors.
+#[test]
+fn porf_prefix_is_closed() {
+    for_random_graphs("porf_prefix_is_closed", |g| {
         let all: Vec<EventId> = g.events().map(|(id, _)| id).collect();
         for &seed in all.iter().take(4) {
             let prefix = g.porf_prefix([seed]);
             for &e in &prefix {
                 if let EventId::Event { thread, index } = e {
                     if index > 0 {
-                        prop_assert!(prefix.contains(&EventId::new(thread, index - 1)),
-                            "po predecessor of {e} missing");
+                        assert!(
+                            prefix.contains(&EventId::new(thread, index - 1)),
+                            "po predecessor of {e} missing"
+                        );
                     }
                 }
                 if let EventKind::Read { rf: RfSource::Write(w), .. } = &g.event(e).kind {
                     if !w.is_init() {
-                        prop_assert!(prefix.contains(w), "rf source of {e} missing");
+                        assert!(prefix.contains(w), "rf source of {e} missing");
                     }
                 }
             }
         }
-    }
+    });
+}
 
-    /// Restricting to a porf-prefix keeps rf intact and produces per-thread
-    /// prefixes; restricting to everything is the identity.
-    #[test]
-    fn restrict_to_prefix_is_sound(g in graph_strategy()) {
+/// Restricting to a porf-prefix keeps rf intact and produces per-thread
+/// prefixes; restricting to everything is the identity.
+#[test]
+fn restrict_to_prefix_is_sound() {
+    for_random_graphs("restrict_to_prefix_is_sound", |g| {
         let all: HashSet<EventId> = g.events().map(|(id, _)| id).collect();
         let identity = g.restrict(&all);
-        prop_assert_eq!(content_hash(&g), content_hash(&identity));
+        assert_eq!(content_hash(g), content_hash(&identity));
         if let Some((seed, _)) = g.events().last() {
             let keep = g.porf_prefix([seed]);
             let sub = g.restrict(&keep);
-            prop_assert_eq!(sub.num_events(), keep.len());
+            assert_eq!(sub.num_events(), keep.len());
             // Every kept read still has its source.
-            for (r, _, rf) in sub.reads() {
+            for (_, _, rf) in sub.reads() {
                 if let RfSource::Write(w) = rf {
-                    prop_assert_eq!(sub.write_value(w), g.write_value(w));
-                    let _ = r;
+                    assert_eq!(sub.write_value(w), g.write_value(w));
                 }
             }
         }
-    }
+    });
+}
 
-    /// Canonical encodings are stable (pure) and equal encodings mean equal
-    /// hashes; touching rf changes the encoding.
-    #[test]
-    fn canonical_encoding_is_pure(g in graph_strategy()) {
-        prop_assert_eq!(canonical_bytes(&g), canonical_bytes(&g));
-        prop_assert_eq!(content_hash(&g), content_hash(&g));
+/// Canonical encodings are stable (pure) and equal encodings mean equal
+/// hashes; touching rf changes the encoding.
+#[test]
+fn canonical_encoding_is_pure() {
+    for_random_graphs("canonical_encoding_is_pure", |g| {
+        assert_eq!(canonical_bytes(g), canonical_bytes(g));
+        assert_eq!(content_hash(g), content_hash(g));
         let mut g2 = g.clone();
-        let target = g2
-            .reads()
-            .find_map(|(r, loc, rf)| match rf {
-                RfSource::Write(w) if !w.is_init() => Some((r, loc)),
-                _ => None,
-            });
+        let target = g2.reads().find_map(|(r, loc, rf)| match rf {
+            RfSource::Write(w) if !w.is_init() => Some((r, loc)),
+            _ => None,
+        });
         if let Some((r, loc)) = target {
             // Re-point the read at init: the encoding must change.
             g2.set_rf(r, RfSource::Write(EventId::Init(loc)));
-            prop_assert_ne!(content_hash(&g), content_hash(&g2));
+            assert_ne!(content_hash(g), content_hash(&g2));
         }
-    }
+    });
+}
 
-    /// final_state reports exactly the mo-maximal writes.
-    #[test]
-    fn final_state_is_mo_maximal(g in graph_strategy()) {
+/// final_state reports exactly the mo-maximal writes.
+#[test]
+fn final_state_is_mo_maximal() {
+    for_random_graphs("final_state_is_mo_maximal", |g| {
         let state = g.final_state();
         for loc in LOCS {
             if let Some(&w) = g.mo(loc).last() {
-                prop_assert_eq!(state.get(&loc).copied(), Some(g.write_value(w)));
+                assert_eq!(state.get(&loc).copied(), Some(g.write_value(w)));
             }
         }
-    }
+    });
+}
 
-    /// The transitive closure of an acyclic relation built from the graph's
-    /// po edges stays acyclic and contains the base relation.
-    #[test]
-    fn closure_preserves_acyclicity(g in graph_strategy()) {
+/// The transitive closure of an acyclic relation built from the graph's
+/// po edges stays acyclic and contains the base relation.
+#[test]
+fn closure_preserves_acyclicity() {
+    for_random_graphs("closure_preserves_acyclicity", |g| {
         let n = g.num_events();
-        prop_assume!(n > 0);
+        if n == 0 {
+            return;
+        }
         let mut rel = Relation::new(n);
         let ids: Vec<EventId> = g.events().map(|(id, _)| id).collect();
         let index_of = |id: EventId| ids.iter().position(|x| *x == id).unwrap();
@@ -174,12 +221,12 @@ proptest! {
                 }
             }
         }
-        prop_assert!(rel.is_acyclic());
+        assert!(rel.is_acyclic());
         let mut closed = rel.clone();
         closed.close();
         for (a, b) in rel.edges() {
-            prop_assert!(closed.has(a, b));
+            assert!(closed.has(a, b));
         }
-        prop_assert!(closed.is_irreflexive());
-    }
+        assert!(closed.is_irreflexive());
+    });
 }

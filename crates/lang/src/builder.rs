@@ -49,13 +49,16 @@ impl IntoSite for Fixed {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Label(usize);
 
+/// A site registration before assembly: (name?, kind, mode, relaxable).
+type SiteProto = (Option<String>, SiteKind, Mode, bool);
+
 /// Builds the code of one thread.
 #[derive(Debug)]
 pub struct ThreadBuilder {
     thread: u32,
     code: Vec<Instr>,
     /// Local site registrations: (name?, kind, mode, relaxable).
-    sites: Vec<(Option<String>, SiteKind, Mode, bool)>,
+    sites: Vec<SiteProto>,
     labels: Vec<Option<usize>>,
     patches: Vec<(usize, Label)>,
 }
@@ -343,7 +346,7 @@ impl ThreadBuilder {
         self
     }
 
-    fn finish(mut self) -> (Vec<Instr>, Vec<(Option<String>, SiteKind, Mode, bool)>) {
+    fn finish(mut self) -> (Vec<Instr>, Vec<SiteProto>) {
         for (pc, l) in std::mem::take(&mut self.patches) {
             let target = self.labels[l.0].unwrap_or_else(|| panic!("label {} never bound", l.0));
             match &mut self.code[pc] {

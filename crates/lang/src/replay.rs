@@ -328,8 +328,10 @@ impl<'p> ThreadReplay<'p> {
         if self.ev >= g.thread_len(self.thread) {
             return Consume::Missing(PendingOp::Read { loc, mode, desc, prev_rf });
         }
-        let (eloc, emode, rf) = match &g.event(id).kind {
-            EventKind::Read { loc, mode, rf, .. } => (*loc, *mode, *rf),
+        let (eloc, emode, rf, ermw, eawait) = match &g.event(id).kind {
+            EventKind::Read { loc, mode, rf, rmw, awaiting } => {
+                (*loc, *mode, *rf, *rmw, *awaiting)
+            }
             k => return Consume::Mismatch(format!("expected read at {id}, found {k}")),
         };
         if eloc != loc || emode != mode {
@@ -347,7 +349,13 @@ impl<'p> ThreadReplay<'p> {
             RfSource::Write(w) => {
                 let v = g.write_value(w);
                 // Repair derived flags (a revisit may have changed v).
-                g.set_read_flags(id, desc.write_on(v).is_some(), desc.is_await());
+                // Only touch the graph when they actually changed: a
+                // redundant write would force a copy-on-write of the whole
+                // thread's (usually shared) event storage.
+                let (rmw, awaiting) = (desc.write_on(v).is_some(), desc.is_await());
+                if (ermw, eawait) != (rmw, awaiting) {
+                    g.set_read_flags(id, rmw, awaiting);
+                }
                 self.ev += 1;
                 Consume::Got(Some(v))
             }
@@ -394,7 +402,7 @@ impl<'p> ThreadReplay<'p> {
     }
 
     fn run(&mut self, g: &mut ExecutionGraph) -> ThreadStatus {
-        let code: Vec<Instr> = self.prog.thread_code(self.thread).to_vec();
+        let code: &'p [Instr] = self.prog.thread_code(self.thread);
         loop {
             if self.pc >= code.len() {
                 if self.ev != g.thread_len(self.thread) {

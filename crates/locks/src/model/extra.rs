@@ -8,7 +8,7 @@
 //! at all. This keeps the 3-state mutex fully checkable by AMC.
 
 use vsync_graph::Mode;
-use vsync_lang::{Addr, AluOp, Fixed, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
+use vsync_lang::{Addr, AluOp, Program, ProgramBuilder, Reg, Test, ThreadBuilder};
 
 use super::common::{emit_counter_increment, LockModel, COUNTER, LOCK, LOCK2};
 

@@ -1,6 +1,20 @@
 //! Relation builders and axioms shared by all memory models.
+//!
+//! These are the *reference* formulations: every relation is rebuilt from
+//! scratch and acyclicity goes through a full transitive closure. The
+//! explorer's hot path uses [`crate::fast`] instead; the reference is
+//! retained as the oracle of the differential test suite and as the
+//! baseline of the `explore_perf` benchmark.
 
 use vsync_graph::{EventId, EventIndex, EventKind, ExecutionGraph, Relation, RfSource};
+
+/// Acyclicity the closure-based way: close a copy, check irreflexivity.
+/// `O(n³/64)` — kept as the reference-checker formulation.
+pub fn acyclic_by_closure(r: &Relation) -> bool {
+    let mut c = r.clone();
+    c.close();
+    c.is_irreflexive()
+}
 
 /// Build the program-order relation (immediate edges; callers close it when
 /// needed). Init events are ordered before the first event of every thread,

@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 
 pub mod axioms;
+pub mod fast;
 mod sc;
 mod tso;
 mod vmm;
 
+pub use fast::AxiomContext;
 pub use sc::Sc;
 pub use tso::Tso;
 pub use vmm::{sw_relation, Vmm};
@@ -43,7 +45,52 @@ pub trait MemoryModel: std::fmt::Debug + Send + Sync {
     fn name(&self) -> &'static str;
 
     /// Does the model admit this (possibly partial) execution graph?
+    ///
+    /// Runs the closure-free fast path (see [`fast`]).
     fn is_consistent(&self, g: &ExecutionGraph) -> bool;
+
+    /// The naive closure-based formulation of the same predicate.
+    ///
+    /// Extensionally equal to [`MemoryModel::is_consistent`]; retained as
+    /// the oracle for differential testing and as the performance baseline
+    /// measured by `explore_perf`. Deliberately has no default body: a
+    /// model without a genuine reference formulation would make the
+    /// differential tests vacuous.
+    fn is_consistent_reference(&self, g: &ExecutionGraph) -> bool;
+}
+
+/// Which consistency-check implementation the explorer should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CheckerKind {
+    /// The closure-free fast path (the default).
+    #[default]
+    Fast,
+    /// The naive closure-based reference formulation — for differential
+    /// testing and baseline measurements only.
+    Reference,
+}
+
+/// A [`MemoryModel`] adapter that answers with the reference formulation.
+#[derive(Debug, Clone, Copy)]
+pub struct ReferenceModel(pub ModelKind);
+
+impl MemoryModel for ReferenceModel {
+    fn name(&self) -> &'static str {
+        match self.0 {
+            ModelKind::Sc => "SC(ref)",
+            ModelKind::Tso => "TSO(ref)",
+            ModelKind::Vmm => "VMM(ref)",
+        }
+    }
+
+    fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        self.0.model().is_consistent_reference(g)
+    }
+
+    fn is_consistent_reference(&self, g: &ExecutionGraph) -> bool {
+        // Already the reference: both flavors answer identically.
+        self.is_consistent(g)
+    }
 }
 
 /// Enumeration of the built-in models, for configuration surfaces.
@@ -65,6 +112,26 @@ impl ModelKind {
             ModelKind::Sc => &Sc,
             ModelKind::Tso => &Tso,
             ModelKind::Vmm => &Vmm,
+        }
+    }
+
+    /// The closure-based reference checker for this kind.
+    pub fn reference_model(self) -> &'static dyn MemoryModel {
+        const SC_REF: ReferenceModel = ReferenceModel(ModelKind::Sc);
+        const TSO_REF: ReferenceModel = ReferenceModel(ModelKind::Tso);
+        const VMM_REF: ReferenceModel = ReferenceModel(ModelKind::Vmm);
+        match self {
+            ModelKind::Sc => &SC_REF,
+            ModelKind::Tso => &TSO_REF,
+            ModelKind::Vmm => &VMM_REF,
+        }
+    }
+
+    /// The checker implementation for this kind and checker flavor.
+    pub fn checker(self, kind: CheckerKind) -> &'static dyn MemoryModel {
+        match kind {
+            CheckerKind::Fast => self.model(),
+            CheckerKind::Reference => self.reference_model(),
         }
     }
 

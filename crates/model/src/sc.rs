@@ -2,7 +2,10 @@
 
 use vsync_graph::{EventIndex, ExecutionGraph};
 
-use crate::axioms::{atomicity_holds, fr_relation, mo_relation, po_relation, rf_relation};
+use crate::axioms::{
+    acyclic_by_closure, atomicity_holds, fr_relation, mo_relation, po_relation, rf_relation,
+};
+use crate::fast::AxiomContext;
 use crate::MemoryModel;
 
 /// The sequentially consistent memory model: all executions must be
@@ -22,6 +25,11 @@ impl MemoryModel for Sc {
     }
 
     fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        let cx = AxiomContext::new(g);
+        cx.atomicity_holds() && cx.sc_order().is_acyclic()
+    }
+
+    fn is_consistent_reference(&self, g: &ExecutionGraph) -> bool {
         if !atomicity_holds(g) {
             return false;
         }
@@ -30,7 +38,7 @@ impl MemoryModel for Sc {
         rel.union_with(&rf_relation(g, &ix));
         rel.union_with(&mo_relation(g, &ix));
         rel.union_with(&fr_relation(g, &ix));
-        rel.is_acyclic()
+        acyclic_by_closure(&rel)
     }
 }
 
@@ -46,6 +54,14 @@ mod tests {
 
     fn r(loc: u64, rf: RfSource) -> EventKind {
         EventKind::Read { loc, mode: Mode::Rlx, rf, rmw: false, awaiting: false }
+    }
+
+    /// Every Sc test asserts both paths: fast and reference must agree.
+    fn consistent(g: &ExecutionGraph) -> bool {
+        let fast = Sc.is_consistent(g);
+        let naive = Sc.is_consistent_reference(g);
+        assert_eq!(fast, naive, "fast/reference divergence on:\n{}", g.render());
+        fast
     }
 
     /// Store buffering: T0: W(x,1); R(y)=0 | T1: W(y,1); R(x)=0.
@@ -64,7 +80,7 @@ mod tests {
 
     #[test]
     fn sb_both_zero_forbidden() {
-        assert!(!Sc.is_consistent(&store_buffering()));
+        assert!(!consistent(&store_buffering()));
     }
 
     #[test]
@@ -72,7 +88,7 @@ mod tests {
         // T1 reads x = 1 instead: consistent interleaving exists.
         let mut g = store_buffering();
         g.set_rf(EventId::new(1, 1), RfSource::Write(EventId::new(0, 0)));
-        assert!(Sc.is_consistent(&g));
+        assert!(consistent(&g));
     }
 
     #[test]
@@ -86,6 +102,6 @@ mod tests {
         g.insert_mo(f, wf, 0);
         g.push_event(1, r(f, RfSource::Write(wf)));
         g.push_event(1, r(d, RfSource::Write(EventId::Init(d))));
-        assert!(!Sc.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 }

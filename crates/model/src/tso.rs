@@ -2,7 +2,10 @@
 
 use vsync_graph::{EventId, EventIndex, EventKind, ExecutionGraph};
 
-use crate::axioms::{atomicity_holds, fr_relation, mo_relation, per_loc_coherent, rf_relation};
+use crate::axioms::{
+    acyclic_by_closure, atomicity_holds, fr_relation, mo_relation, per_loc_coherent, rf_relation,
+};
+use crate::fast::AxiomContext;
 use crate::MemoryModel;
 
 /// The TSO memory model in the style of x86-TSO.
@@ -48,6 +51,14 @@ impl MemoryModel for Tso {
     }
 
     fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        let cx = AxiomContext::new(g);
+        if !cx.atomicity_holds() || !cx.per_loc_coherent() {
+            return false;
+        }
+        cx.tso_order(Tso::wr_ordered).is_acyclic()
+    }
+
+    fn is_consistent_reference(&self, g: &ExecutionGraph) -> bool {
         if !atomicity_holds(g) || !per_loc_coherent(g) {
             return false;
         }
@@ -91,7 +102,7 @@ impl MemoryModel for Tso {
                 }
             }
         }
-        ghb.is_acyclic()
+        acyclic_by_closure(&ghb)
     }
 }
 
@@ -107,6 +118,14 @@ mod tests {
 
     fn r(loc: u64, rf: RfSource) -> EventKind {
         EventKind::Read { loc, mode: Mode::Rlx, rf, rmw: false, awaiting: false }
+    }
+
+    /// Every Tso test asserts both paths: fast and reference must agree.
+    fn consistent(g: &ExecutionGraph) -> bool {
+        let fast = Tso.is_consistent(g);
+        let naive = Tso.is_consistent_reference(g);
+        assert_eq!(fast, naive, "fast/reference divergence on:\n{}", g.render());
+        fast
     }
 
     fn store_buffering(with_fences: bool) -> ExecutionGraph {
@@ -130,12 +149,12 @@ mod tests {
     #[test]
     fn sb_allowed_without_fences() {
         // The hallmark TSO relaxation: both threads read 0.
-        assert!(Tso.is_consistent(&store_buffering(false)));
+        assert!(consistent(&store_buffering(false)));
     }
 
     #[test]
     fn sb_forbidden_with_mfence() {
-        assert!(!Tso.is_consistent(&store_buffering(true)));
+        assert!(!consistent(&store_buffering(true)));
     }
 
     #[test]
@@ -149,7 +168,7 @@ mod tests {
         g.insert_mo(f, wf, 0);
         g.push_event(1, r(f, RfSource::Write(wf)));
         g.push_event(1, r(d, RfSource::Write(EventId::Init(d))));
-        assert!(!Tso.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 
     #[test]
@@ -162,7 +181,7 @@ mod tests {
         g.push_event(0, r(x, RfSource::Write(w0)));
         let w1 = g.push_event(1, w(x, 2));
         g.insert_mo(x, w1, 1);
-        assert!(Tso.is_consistent(&g));
+        assert!(consistent(&g));
     }
 
     #[test]
@@ -181,6 +200,6 @@ mod tests {
         g.insert_mo(y, wy, 0);
         g.push_event(1, EventKind::Fence { mode: Mode::Sc });
         g.push_event(1, r(x, RfSource::Write(EventId::Init(x))));
-        assert!(!Tso.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 }

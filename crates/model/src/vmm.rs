@@ -8,13 +8,19 @@
 //! release/acquire synchronization (including fences and release
 //! sequences), RMW atomicity and the SC axioms. `Vmm` is the RC11-style
 //! member of that family; DESIGN.md §5 documents the substitution.
+//!
+//! [`MemoryModel::is_consistent`] runs the closure-free fast path
+//! ([`crate::fast`]); the original closure-based formulation is retained as
+//! [`MemoryModel::is_consistent_reference`] for differential testing and
+//! as the performance baseline of `explore_perf`.
 
-use vsync_graph::{EventId, EventIndex, EventKind, ExecutionGraph, ExecutionGraph as G, Relation, RfSource};
+use vsync_graph::{EventId, EventIndex, EventKind, ExecutionGraph, Relation, RfSource};
 
 use crate::axioms::{
-    atomicity_holds, eco_relation, fr_relation, mo_relation, per_loc_coherent, po_relation,
-    rf_relation, rmw_pairs,
+    acyclic_by_closure, atomicity_holds, eco_relation, fr_relation, mo_relation,
+    per_loc_coherent, po_relation, rf_relation, rmw_pairs,
 };
+use crate::fast::AxiomContext;
 use crate::MemoryModel;
 
 /// The RC11-style weak memory model (see module docs).
@@ -27,6 +33,29 @@ impl MemoryModel for Vmm {
     }
 
     fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        let cx = AxiomContext::new(g);
+        // Cheap structural axioms first.
+        if !cx.atomicity_holds() || !cx.per_loc_coherent() {
+            return false;
+        }
+        // No-thin-air: acyclic(po ∪ rf).
+        if !cx.porf_acyclic() {
+            return false;
+        }
+        // Happens-before: a cycle in po ∪ sw means hb is reflexive.
+        let sw = cx.sw_relation();
+        let Some(hb) = cx.hb_closure(&sw) else {
+            return false;
+        };
+        // Coherence: irreflexive(hb ; eco?), via mo positions.
+        if !cx.coherent(&hb) {
+            return false;
+        }
+        // SC axiom, over the SC events only.
+        cx.psc_acyclic(&hb)
+    }
+
+    fn is_consistent_reference(&self, g: &ExecutionGraph) -> bool {
         // Cheap structural axioms first.
         if !atomicity_holds(g) || !per_loc_coherent(g) {
             return false;
@@ -37,7 +66,7 @@ impl MemoryModel for Vmm {
         let rf = rf_relation(g, &ix);
         let mut porf = po.clone();
         porf.union_with(&rf);
-        if !porf.is_acyclic() {
+        if !acyclic_by_closure(&porf) {
             return false;
         }
         // Happens-before.
@@ -56,7 +85,7 @@ impl MemoryModel for Vmm {
             }
         }
         // SC axiom.
-        psc_acyclic(g, &ix, &hb, &eco)
+        psc_acyclic_naive(g, &ix, &hb, &eco)
     }
 }
 
@@ -66,7 +95,7 @@ impl MemoryModel for Vmm {
 ///
 /// where the release sequence `rs` of a write `w` is `w` together with the
 /// chain of RMW writes reading (transitively) from it.
-pub fn sw_relation(g: &G, ix: &EventIndex) -> Relation {
+pub fn sw_relation(g: &ExecutionGraph, ix: &EventIndex) -> Relation {
     let mut sw = Relation::new(ix.len());
     let pairs = rmw_pairs(g);
     for (wid, wev) in g.events() {
@@ -132,8 +161,14 @@ pub fn sw_relation(g: &G, ix: &EventIndex) -> Relation {
     sw
 }
 
-/// Check the RC11 SC axiom: `acyclic(psc_base ∪ psc_F)`.
-fn psc_acyclic(g: &G, ix: &EventIndex, hb: &Relation, eco: &Relation) -> bool {
+/// Check the RC11 SC axiom `acyclic(psc_base ∪ psc_F)` the closure-based
+/// way (the reference formulation: compose + Floyd–Warshall).
+fn psc_acyclic_naive(
+    g: &ExecutionGraph,
+    ix: &EventIndex,
+    hb: &Relation,
+    eco: &Relation,
+) -> bool {
     let n = ix.len();
     let is_sc_fence = |i: usize| match ix.id_of(i) {
         EventId::Init(_) => false,
@@ -183,11 +218,7 @@ fn psc_acyclic(g: &G, ix: &EventIndex, hb: &Relation, eco: &Relation) -> bool {
     let mut left = Relation::new(n);
     let mut right = Relation::new(n);
     for i in 0..n {
-        if is_sc_access(i) {
-            left.add(i, i);
-            right.add(i, i);
-        }
-        if is_sc_fence(i) {
+        if is_sc_access(i) || is_sc_fence(i) {
             left.add(i, i);
             right.add(i, i);
         }
@@ -214,10 +245,10 @@ fn psc_acyclic(g: &G, ix: &EventIndex, hb: &Relation, eco: &Relation) -> bool {
             psc.add(a, b);
         }
     }
-    psc.is_acyclic()
+    acyclic_by_closure(&psc)
 }
 
-fn loc_of_idx(g: &G, ix: &EventIndex, i: usize) -> Option<u64> {
+fn loc_of_idx(g: &ExecutionGraph, ix: &EventIndex, i: usize) -> Option<u64> {
     match ix.id_of(i) {
         EventId::Init(loc) => Some(loc),
         id => g.event(id).kind.loc(),
@@ -238,6 +269,14 @@ mod tests {
         EventKind::Read { loc, mode, rf, rmw: false, awaiting: false }
     }
 
+    /// Every Vmm test asserts both paths: fast and reference must agree.
+    fn consistent(g: &ExecutionGraph) -> bool {
+        let fast = Vmm.is_consistent(g);
+        let naive = Vmm.is_consistent_reference(g);
+        assert_eq!(fast, naive, "fast/reference divergence on:\n{}", g.render());
+        fast
+    }
+
     /// Message passing: T0: W(d,1); W^wm(f,1) | T1: R^rm(f)=1; R(d)=?
     fn mp(wm: Mode, rm: Mode, stale: bool) -> ExecutionGraph {
         let (d, f) = (1, 2);
@@ -254,15 +293,15 @@ mod tests {
 
     #[test]
     fn mp_release_acquire_forbids_stale_read() {
-        assert!(!Vmm.is_consistent(&mp(Mode::Rel, Mode::Acq, true)));
-        assert!(Vmm.is_consistent(&mp(Mode::Rel, Mode::Acq, false)));
+        assert!(!consistent(&mp(Mode::Rel, Mode::Acq, true)));
+        assert!(consistent(&mp(Mode::Rel, Mode::Acq, false)));
     }
 
     #[test]
     fn mp_relaxed_allows_stale_read() {
-        assert!(Vmm.is_consistent(&mp(Mode::Rlx, Mode::Rlx, true)));
-        assert!(Vmm.is_consistent(&mp(Mode::Rlx, Mode::Acq, true)));
-        assert!(Vmm.is_consistent(&mp(Mode::Rel, Mode::Rlx, true)));
+        assert!(consistent(&mp(Mode::Rlx, Mode::Rlx, true)));
+        assert!(consistent(&mp(Mode::Rlx, Mode::Acq, true)));
+        assert!(consistent(&mp(Mode::Rel, Mode::Rlx, true)));
     }
 
     /// Store buffering with optional SC fences between the accesses.
@@ -287,12 +326,12 @@ mod tests {
     #[test]
     fn sb_allowed_with_release_acquire_only() {
         // rel/acq does not forbid store-load reordering.
-        assert!(Vmm.is_consistent(&sb(false)));
+        assert!(consistent(&sb(false)));
     }
 
     #[test]
     fn sb_forbidden_with_sc_fences() {
-        assert!(!Vmm.is_consistent(&sb(true)));
+        assert!(!consistent(&sb(true)));
     }
 
     #[test]
@@ -305,7 +344,7 @@ mod tests {
         let wy = g.push_event(1, w(y, 1, Mode::Sc));
         g.insert_mo(y, wy, 0);
         g.push_event(1, r(x, RfSource::Write(EventId::Init(x)), Mode::Sc));
-        assert!(!Vmm.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 
     #[test]
@@ -319,7 +358,7 @@ mod tests {
         g.push_event(1, r(y, RfSource::Write(wy), Mode::Rlx));
         let wx = g.push_event(1, w(x, 1, Mode::Rlx));
         g.insert_mo(x, wx, 0);
-        assert!(!Vmm.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 
     #[test]
@@ -335,7 +374,7 @@ mod tests {
         g.push_event(1, r(f, RfSource::Write(wf), Mode::Rlx));
         g.push_event(1, EventKind::Fence { mode: Mode::Acq });
         g.push_event(1, r(d, RfSource::Write(EventId::Init(d)), Mode::Rlx));
-        assert!(!Vmm.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 
     #[test]
@@ -357,13 +396,33 @@ mod tests {
         g.insert_mo(f, wu, 1);
         g.push_event(2, r(f, RfSource::Write(wu), Mode::Acq));
         g.push_event(2, r(d, RfSource::Write(EventId::Init(d)), Mode::Rlx));
-        assert!(!Vmm.is_consistent(&g));
+        assert!(!consistent(&g));
     }
 
     #[test]
     fn pending_reads_are_unconstrained() {
         let mut g = ExecutionGraph::new(1, BTreeMap::new());
         g.push_event(0, r(1, RfSource::Bottom, Mode::Acq));
-        assert!(Vmm.is_consistent(&g));
+        assert!(consistent(&g));
+    }
+
+    /// SC fences on *partial* graphs with pending reads: the PSC fast path
+    /// must agree with the reference when ⊥ reads are present.
+    #[test]
+    fn sc_fences_with_pending_reads_agree() {
+        let (x, y) = (1, 2);
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let wx = g.push_event(0, w(x, 1, Mode::Rel));
+        g.insert_mo(x, wx, 0);
+        g.push_event(0, EventKind::Fence { mode: Mode::Sc });
+        g.push_event(
+            0,
+            EventKind::Read { loc: y, mode: Mode::Acq, rf: RfSource::Bottom, rmw: false, awaiting: true },
+        );
+        let wy = g.push_event(1, w(y, 1, Mode::Rel));
+        g.insert_mo(y, wy, 0);
+        g.push_event(1, EventKind::Fence { mode: Mode::Sc });
+        g.push_event(1, r(x, RfSource::Write(EventId::Init(x)), Mode::Acq));
+        consistent(&g);
     }
 }

@@ -9,9 +9,7 @@
 //! thread's clock.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use vsync_graph::Mode;
 
@@ -193,9 +191,9 @@ impl SimThread {
     /// Run one operation when it is this thread's turn.
     fn step<R>(&mut self, f: impl FnOnce(&mut Shared, usize) -> (u64, R)) -> R {
         let engine = Arc::clone(&self.engine);
-        let mut st = engine.state.lock();
+        let mut st = engine.state.lock().unwrap();
         while !EngineInner::is_turn(&st, self.tid) {
-            engine.cvs[self.tid].wait(&mut st);
+            st = engine.cvs[self.tid].wait(st).unwrap();
         }
         let (cost, result) = f(&mut st, self.core);
         let jittered = {
@@ -395,20 +393,19 @@ pub fn run_simulation<R: Send>(
         cvs: (0..cfg.threads).map(|_| Condvar::new()).collect(),
     });
     std::thread::scope(|scope| {
-        for tid in 0..cfg.threads {
+        for (tid, &core) in cores.iter().enumerate() {
             let engine = Arc::clone(&engine);
             let body = &body;
-            let core = cores[tid];
             scope.spawn(move || {
                 let mut ctx = SimThread { engine: Arc::clone(&engine), tid, core, clock_cache: 0 };
                 body(&mut ctx);
-                let mut st = engine.state.lock();
+                let mut st = engine.state.lock().unwrap();
                 st.done[tid] = true;
                 engine.wake_next(&st);
             });
         }
     });
-    let st = engine.state.lock();
+    let st = engine.state.lock().unwrap();
     let out = SimOutput {
         duration: st.clocks.iter().copied().max().unwrap_or(0),
         total_ops: st.total_ops,

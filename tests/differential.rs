@@ -1,0 +1,278 @@
+//! Differential tests of the consistency fast path and the parallel
+//! explorer:
+//!
+//! * the closure-free fast checkers must agree with the retained naive
+//!   closure-based reference checkers on randomized execution graphs —
+//!   including inconsistent, cyclic, pending-read and RMW-violating ones;
+//! * `count_executions` must be identical for `workers ∈ {1, 2, 8}` and
+//!   for fast vs. reference checking across the lock catalog;
+//! * bug-finding scenarios must report the same verdict kind under every
+//!   configuration.
+//!
+//! The generator is a deterministic SplitMix64 stream; failures print the
+//! offending seed and graph.
+
+use std::collections::BTreeMap;
+
+use vsync::core::{explore, AmcConfig};
+use vsync::graph::{EventId, EventKind, ExecutionGraph, Mode, RfSource};
+use vsync::model::ModelKind;
+
+/// SplitMix64: tiny, deterministic, good-enough mixing for test generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.below(100) < percent
+    }
+}
+
+const LOCS: [u64; 2] = [0x10, 0x20];
+
+fn mode(rng: &mut Rng, kind: u64) -> Mode {
+    // kind 0 = read, 1 = write, 2 = fence — keep modes valid-ish but also
+    // include every mode for fences and RMW halves.
+    let all = [Mode::Rlx, Mode::Acq, Mode::Rel, Mode::AcqRel, Mode::Sc];
+    match kind {
+        0 => [Mode::Rlx, Mode::Acq, Mode::Sc][rng.below(3) as usize],
+        1 => [Mode::Rlx, Mode::Rel, Mode::Sc][rng.below(3) as usize],
+        _ => all[rng.below(5) as usize],
+    }
+}
+
+/// Generate an arbitrary (frequently inconsistent) execution graph:
+/// random writes with random `mo` insertion points, reads from arbitrary
+/// same-location writes (including *later* ones — porf cycles), RMW pairs
+/// with random sources (atomicity violations), pending await reads, and
+/// fences of every mode. Only the structural invariants the checkers
+/// genuinely require are maintained (RMW write parts follow their read
+/// parts; every write is in `mo`; rf sources exist).
+fn random_graph(rng: &mut Rng) -> ExecutionGraph {
+    let n_threads = 1 + rng.below(3) as usize;
+    // First pass: lay out per-thread event shapes so reads can later pick
+    // any write in the whole graph (forward references included).
+    #[derive(Clone, Copy)]
+    enum Shape {
+        Write { loc: u64, val: u64 },
+        RmwPair { loc: u64, val: u64 },
+        Read { loc: u64 },
+        PendingRead { loc: u64 },
+        Fence,
+    }
+    let mut shapes: Vec<Vec<Shape>> = Vec::new();
+    for _ in 0..n_threads {
+        let len = rng.below(5);
+        let mut tshapes = Vec::new();
+        for _ in 0..len {
+            let loc = LOCS[rng.below(2) as usize];
+            let val = rng.below(3);
+            tshapes.push(match rng.below(10) {
+                0..=2 => Shape::Write { loc, val },
+                3 => Shape::RmwPair { loc, val },
+                4..=6 => Shape::Read { loc },
+                7 => Shape::PendingRead { loc },
+                _ => Shape::Fence,
+            });
+        }
+        shapes.push(tshapes);
+    }
+    // Second pass: build the graph. Writes land at a random mo position.
+    let mut g = ExecutionGraph::new(n_threads, BTreeMap::new());
+    let mut write_ids: Vec<(u64, EventId)> = Vec::new(); // (loc, id)
+    for (t, tshapes) in shapes.iter().enumerate() {
+        for s in tshapes {
+            match *s {
+                Shape::Write { loc, val } => {
+                    let m = mode(rng, 1);
+                    let id = g.push_event(
+                        t as u32,
+                        EventKind::Write { loc, val, mode: m, rmw: false },
+                    );
+                    let pos = rng.below(g.mo(loc).len() as u64 + 1) as usize;
+                    g.insert_mo(loc, id, pos);
+                    write_ids.push((loc, id));
+                }
+                Shape::RmwPair { loc, val } => {
+                    let m = mode(rng, 2);
+                    g.push_event(
+                        t as u32,
+                        EventKind::Read {
+                            loc,
+                            mode: m,
+                            rf: RfSource::Write(EventId::Init(loc)), // patched below
+                            rmw: true,
+                            awaiting: false,
+                        },
+                    );
+                    let id = g.push_event(
+                        t as u32,
+                        EventKind::Write { loc, val, mode: m, rmw: true },
+                    );
+                    let pos = rng.below(g.mo(loc).len() as u64 + 1) as usize;
+                    g.insert_mo(loc, id, pos);
+                    write_ids.push((loc, id));
+                }
+                Shape::Read { loc } => {
+                    g.push_event(
+                        t as u32,
+                        EventKind::Read {
+                            loc,
+                            mode: mode(rng, 0),
+                            rf: RfSource::Write(EventId::Init(loc)), // patched below
+                            rmw: false,
+                            awaiting: rng.chance(25),
+                        },
+                    );
+                }
+                Shape::PendingRead { loc } => {
+                    g.push_event(
+                        t as u32,
+                        EventKind::Read {
+                            loc,
+                            mode: mode(rng, 0),
+                            rf: RfSource::Bottom,
+                            rmw: false,
+                            awaiting: true,
+                        },
+                    );
+                }
+                Shape::Fence => {
+                    g.push_event(t as u32, EventKind::Fence { mode: mode(rng, 2) });
+                }
+            }
+        }
+    }
+    // Third pass: point every resolved read at a random same-location
+    // write — possibly its own thread's later write (porf cycle), possibly
+    // a write another RMW already consumed (atomicity violation).
+    let reads: Vec<(EventId, u64)> = g
+        .reads()
+        .filter(|(_, _, rf)| !rf.is_bottom())
+        .map(|(id, loc, _)| (id, loc))
+        .collect();
+    for (r, loc) in reads {
+        let candidates: Vec<EventId> = std::iter::once(EventId::Init(loc))
+            .chain(write_ids.iter().filter(|(l, _)| *l == loc).map(|(_, id)| *id))
+            .filter(|w| *w != r)
+            .collect();
+        let w = candidates[rng.below(candidates.len() as u64) as usize];
+        g.set_rf(r, RfSource::Write(w));
+    }
+    g
+}
+
+/// The fast and reference checkers must agree on every random graph, for
+/// every model.
+#[test]
+fn fast_checker_agrees_with_reference_on_random_graphs() {
+    let mut agree = [0u64; 3];
+    for seed in 0..600u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0xb5ad4eceda1ce2a9));
+        let g = random_graph(&mut rng);
+        for (k, kind) in ModelKind::all().into_iter().enumerate() {
+            let fast = kind.model().is_consistent(&g);
+            let naive = kind.model().is_consistent_reference(&g);
+            assert_eq!(
+                fast,
+                naive,
+                "{kind} fast/reference divergence at seed {seed} on:\n{}",
+                g.render()
+            );
+            agree[k] += fast as u64;
+        }
+    }
+    // Sanity: the generator produces a healthy mix of consistent and
+    // inconsistent graphs for every model (otherwise the test is vacuous).
+    for (k, kind) in ModelKind::all().into_iter().enumerate() {
+        assert!(
+            agree[k] > 50 && agree[k] < 550,
+            "{kind}: degenerate generator, {} / 600 consistent",
+            agree[k]
+        );
+    }
+}
+
+/// `count_executions` is identical for every worker count and for fast vs
+/// reference checking, across the lock catalog.
+#[test]
+fn worker_counts_and_checkers_preserve_catalog_counts() {
+    use vsync::locks::model::{mutex_client, CasLock, McsLock, Qspinlock, TicketLock, TtasLock};
+    let catalog: Vec<(&str, vsync::lang::Program)> = vec![
+        ("caslock-2t", mutex_client(&CasLock::default(), 2, 1)),
+        ("ttas-2t", mutex_client(&TtasLock::default(), 2, 1)),
+        ("ticket-2t", mutex_client(&TicketLock::default(), 2, 1)),
+        ("mcs-2t", mutex_client(&McsLock::default(), 2, 1)),
+        ("qspinlock-2t", mutex_client(&Qspinlock, 2, 1)),
+    ];
+    for (name, p) in catalog {
+        let base = explore(&p, &AmcConfig::default());
+        assert!(base.is_verified(), "{name}: {}", base.verdict);
+        let reference = explore(&p, &AmcConfig::default().with_reference_checker());
+        assert!(reference.is_verified(), "{name} (reference): {}", reference.verdict);
+        assert_eq!(
+            base.stats.complete_executions, reference.stats.complete_executions,
+            "{name}: fast vs reference executions"
+        );
+        assert_eq!(base.stats.popped, reference.stats.popped, "{name}: fast vs reference popped");
+        for workers in [2usize, 8] {
+            let r = explore(&p, &AmcConfig::default().with_workers(workers));
+            assert!(r.is_verified(), "{name} workers={workers}: {}", r.verdict);
+            assert_eq!(
+                r.stats.complete_executions, base.stats.complete_executions,
+                "{name}: workers={workers} executions"
+            );
+            assert_eq!(
+                r.stats.popped, base.stats.popped,
+                "{name}: workers={workers} popped"
+            );
+        }
+    }
+}
+
+/// Bug-finding verdict kinds are stable across workers and checkers.
+#[test]
+fn study_case_verdicts_stable_across_configurations() {
+    use vsync::core::Verdict;
+    use vsync::locks::model::{dpdk_scenario, huawei_scenario};
+    let kind_of = |v: &Verdict| match v {
+        Verdict::Verified => "verified",
+        Verdict::Safety(_) => "safety",
+        Verdict::AwaitTermination(_) => "await-termination",
+        Verdict::Fault(_) => "fault",
+    };
+    for (name, p) in [("dpdk", dpdk_scenario(false)), ("huawei", huawei_scenario(false))] {
+        let base = explore(&p, &AmcConfig::default());
+        let base_kind = kind_of(&base.verdict);
+        assert_ne!(base_kind, "verified", "{name} is a bug scenario");
+        let reference = explore(&p, &AmcConfig::default().with_reference_checker());
+        assert_eq!(kind_of(&reference.verdict), base_kind, "{name}: reference");
+        for workers in [2usize, 8] {
+            let r = explore(&p, &AmcConfig::default().with_workers(workers));
+            assert_eq!(kind_of(&r.verdict), base_kind, "{name}: workers={workers}");
+        }
+    }
+}
+
+/// The fixed study-case variants verify under every configuration.
+#[test]
+fn fixed_study_cases_verify_in_parallel() {
+    use vsync::locks::model::{dpdk_scenario, huawei_scenario};
+    for (name, p) in [("dpdk", dpdk_scenario(true)), ("huawei", huawei_scenario(true))] {
+        for workers in [1usize, 4] {
+            let r = explore(&p, &AmcConfig::default().with_workers(workers));
+            assert!(r.is_verified(), "{name} workers={workers}: {}", r.verdict);
+        }
+    }
+}

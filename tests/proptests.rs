@@ -1,10 +1,11 @@
-//! Property-based tests (proptest) over the whole stack: random small
-//! concurrent programs and random barrier assignments must respect the
-//! meta-level laws of the theory — model strength ordering, dedup
-//! transparency, scheduler irrelevance, monotonicity of barriers, and
-//! graph encoding stability.
-
-use proptest::prelude::*;
+//! Randomized property tests over the whole stack: random small concurrent
+//! programs and random barrier assignments must respect the meta-level laws
+//! of the theory — model strength ordering, dedup transparency,
+//! monotonicity of barriers, and graph encoding stability.
+//!
+//! The build environment has no network access, so instead of proptest we
+//! use a deterministic SplitMix64-driven generator; every case is
+//! reproducible from the printed seed.
 
 use vsync::core::{explore, AmcConfig, Verdict};
 use vsync::graph::{content_hash, Mode};
@@ -12,6 +13,23 @@ use vsync::lang::{Program, ProgramBuilder, Reg};
 use vsync::model::ModelKind;
 
 const LOCS: [u64; 2] = [0x10, 0x20];
+
+/// SplitMix64: tiny, deterministic, good-enough mixing for test generation.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+}
 
 /// One random instruction for a generated straight-line thread.
 #[derive(Debug, Clone)]
@@ -23,18 +41,28 @@ enum Op {
     Fence,
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..LOCS.len()).prop_map(Op::Load),
-        ((0..LOCS.len()), 0u8..3).prop_map(|(l, v)| Op::Store(l, v)),
-        ((0..LOCS.len()), 1u8..3).prop_map(|(l, v)| Op::FetchAdd(l, v)),
-        ((0..LOCS.len()), 0u8..2, 1u8..3).prop_map(|(l, e, n)| Op::Cas(l, e, n)),
-        Just(Op::Fence),
-    ]
+fn random_op(rng: &mut Rng) -> Op {
+    match rng.below(5) {
+        0 => Op::Load(rng.below(LOCS.len() as u64) as usize),
+        1 => Op::Store(rng.below(LOCS.len() as u64) as usize, rng.below(3) as u8),
+        2 => Op::FetchAdd(rng.below(LOCS.len() as u64) as usize, 1 + rng.below(2) as u8),
+        3 => Op::Cas(rng.below(LOCS.len() as u64) as usize, rng.below(2) as u8, 1 + rng.below(2) as u8),
+        _ => Op::Fence,
+    }
 }
 
-fn mode_strategy() -> impl Strategy<Value = Mode> {
-    prop_oneof![Just(Mode::Rlx), Just(Mode::Acq), Just(Mode::Rel), Just(Mode::AcqRel), Just(Mode::Sc)]
+fn random_mode(rng: &mut Rng) -> Mode {
+    [Mode::Rlx, Mode::Acq, Mode::Rel, Mode::AcqRel, Mode::Sc][rng.below(5) as usize]
+}
+
+fn random_threads(rng: &mut Rng, n_threads: (u64, u64), max_ops: u64) -> Vec<Vec<(Op, Mode)>> {
+    let n = n_threads.0 + rng.below(n_threads.1 - n_threads.0 + 1);
+    (0..n)
+        .map(|_| {
+            let len = 1 + rng.below(max_ops);
+            (0..len).map(|_| (random_op(rng), random_mode(rng))).collect()
+        })
+        .collect()
 }
 
 /// Build a program from per-thread op lists (modes picked per op kind).
@@ -76,14 +104,6 @@ fn build_program(threads: &[Vec<(Op, Mode)>]) -> Program {
     pb.build().expect("generated program is well-formed")
 }
 
-fn thread_strategy(max_ops: usize) -> impl Strategy<Value = Vec<(Op, Mode)>> {
-    prop::collection::vec((op_strategy(), mode_strategy()), 1..=max_ops)
-}
-
-fn program_strategy() -> impl Strategy<Value = Vec<Vec<(Op, Mode)>>> {
-    prop::collection::vec(thread_strategy(3), 2..=3)
-}
-
 fn executions(p: &Program, model: ModelKind, dedup: bool) -> u64 {
     let mut cfg = AmcConfig::with_model(model);
     cfg.dedup = dedup;
@@ -94,112 +114,136 @@ fn executions(p: &Program, model: ModelKind, dedup: bool) -> u64 {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Model strength: every SC execution is TSO-consistent, every TSO
-    /// execution is VMM-consistent — counts must be monotone.
-    #[test]
-    fn model_strength_ordering(threads in program_strategy()) {
-        let p = build_program(&threads);
-        let sc = executions(&p, ModelKind::Sc, true);
-        let tso = executions(&p, ModelKind::Tso, true);
-        let vmm = executions(&p, ModelKind::Vmm, true);
-        prop_assert!(sc >= 1, "at least one interleaving exists");
-        prop_assert!(sc <= tso, "SC ⊆ TSO violated: {sc} > {tso}");
-        prop_assert!(tso <= vmm, "TSO ⊆ VMM violated: {tso} > {vmm}");
+/// Run `check` on `cases` random programs, reporting the failing seed.
+fn for_random_programs(
+    test_name: &str,
+    cases: u64,
+    n_threads: (u64, u64),
+    max_ops: u64,
+    mut check: impl FnMut(&Program),
+) {
+    for seed in 0..cases {
+        let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x14057b7ef767814f));
+        let p = build_program(&random_threads(&mut rng, n_threads, max_ops));
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| check(&p)));
+        if let Err(e) = r {
+            eprintln!("{test_name}: failing case at seed {seed}");
+            std::panic::resume_unwind(e);
+        }
     }
+}
 
-    /// Deduplication is an optimization, not a semantics change: the set of
-    /// complete executions (counted via distinct content hashes) is stable.
-    #[test]
-    fn dedup_preserves_execution_sets(threads in prop::collection::vec(thread_strategy(2), 2..=2)) {
-        let p = build_program(&threads);
+/// Model strength: every SC execution is TSO-consistent, every TSO
+/// execution is VMM-consistent — counts must be monotone.
+#[test]
+fn model_strength_ordering() {
+    for_random_programs("model_strength_ordering", 48, (2, 3), 3, |p| {
+        let sc = executions(p, ModelKind::Sc, true);
+        let tso = executions(p, ModelKind::Tso, true);
+        let vmm = executions(p, ModelKind::Vmm, true);
+        assert!(sc >= 1, "at least one interleaving exists");
+        assert!(sc <= tso, "SC ⊆ TSO violated: {sc} > {tso}");
+        assert!(tso <= vmm, "TSO ⊆ VMM violated: {tso} > {vmm}");
+    });
+}
+
+/// Deduplication is an optimization, not a semantics change: the set of
+/// complete executions (counted via distinct content hashes) is stable.
+#[test]
+fn dedup_preserves_execution_sets() {
+    for_random_programs("dedup_preserves_execution_sets", 48, (2, 2), 2, |p| {
         let mut with = AmcConfig::with_model(ModelKind::Vmm).collecting();
         with.dedup = true;
         let mut without = with.clone();
         without.dedup = false;
-        let a = explore(&p, &with);
-        let b = explore(&p, &without);
+        let a = explore(p, &with);
+        let b = explore(p, &without);
         let ha: std::collections::BTreeSet<u128> =
             a.executions.iter().map(content_hash).collect();
         let hb: std::collections::BTreeSet<u128> =
             b.executions.iter().map(content_hash).collect();
-        prop_assert_eq!(&ha, &hb, "dedup changed the execution set");
-        prop_assert_eq!(ha.len() as u64, a.stats.complete_executions,
-            "duplicate complete executions explored with dedup on");
-    }
+        assert_eq!(&ha, &hb, "dedup changed the execution set");
+        assert_eq!(
+            ha.len() as u64,
+            a.stats.complete_executions,
+            "duplicate complete executions explored with dedup on"
+        );
+    });
+}
 
-    /// Strengthening all barriers never *adds* behaviours: the all-SC
-    /// variant has at most as many executions as the original.
-    #[test]
-    fn strengthening_shrinks_behaviours(threads in program_strategy()) {
-        let p = build_program(&threads);
+/// Strengthening all barriers never *adds* behaviours: the all-SC variant
+/// has at most as many executions as the original.
+#[test]
+fn strengthening_shrinks_behaviours() {
+    for_random_programs("strengthening_shrinks_behaviours", 48, (2, 3), 3, |p| {
         let strong = p.with_all_sc();
-        let weak_count = executions(&p, ModelKind::Vmm, true);
+        let weak_count = executions(p, ModelKind::Vmm, true);
         let strong_count = executions(&strong, ModelKind::Vmm, true);
-        prop_assert!(strong_count <= weak_count,
-            "all-SC gained executions: {strong_count} > {weak_count}");
-        prop_assert!(strong_count >= 1);
-    }
+        assert!(
+            strong_count <= weak_count,
+            "all-SC gained executions: {strong_count} > {weak_count}"
+        );
+        assert!(strong_count >= 1);
+    });
+}
 
-    /// Every collected execution is consistent with the model and has no
-    /// pending reads, and final states agree with some SC execution when
-    /// the program is all-SC.
-    #[test]
-    fn collected_executions_are_wellformed(threads in prop::collection::vec(thread_strategy(2), 2..=2)) {
-        use vsync::model::MemoryModel;
-        let p = build_program(&threads);
-        let r = explore(&p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
+/// Every collected execution is consistent with the model and has no
+/// pending reads, and replay agrees that all threads finished.
+#[test]
+fn collected_executions_are_wellformed() {
+    use vsync::model::MemoryModel;
+    for_random_programs("collected_executions_are_wellformed", 24, (2, 2), 2, |p| {
+        let r = explore(p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
         for g in &r.executions {
-            prop_assert_eq!(g.pending_reads().count(), 0);
-            prop_assert!(vsync::model::Vmm.is_consistent(g));
+            assert_eq!(g.pending_reads().count(), 0);
+            assert!(vsync::model::Vmm.is_consistent(g));
             // Replay agrees: all threads finished.
             let mut g2 = g.clone();
-            let out = vsync::lang::replay(&p, &mut g2);
-            prop_assert!(out.threads.iter().all(|t| matches!(t, vsync::lang::ThreadStatus::Finished)));
-            prop_assert!(!out.wasteful);
+            let out = vsync::lang::replay(p, &mut g2);
+            assert!(out
+                .threads
+                .iter()
+                .all(|t| matches!(t, vsync::lang::ThreadStatus::Finished)));
+            assert!(!out.wasteful);
         }
-    }
+    });
+}
 
-    /// Graph content hashing is injective on the executions we see (no
-    /// collisions among distinct canonical encodings).
-    #[test]
-    fn content_hash_no_observed_collisions(threads in prop::collection::vec(thread_strategy(2), 2..=2)) {
-        let p = build_program(&threads);
-        let r = explore(&p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
+/// Graph content hashing is injective on the executions we see (no
+/// collisions among distinct canonical encodings).
+#[test]
+fn content_hash_no_observed_collisions() {
+    for_random_programs("content_hash_no_observed_collisions", 24, (2, 2), 2, |p| {
+        let r = explore(p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
         let mut seen: std::collections::HashMap<u128, Vec<u8>> = std::collections::HashMap::new();
         for g in &r.executions {
             let bytes = vsync::graph::canonical_bytes(g);
             let h = content_hash(g);
             if let Some(prev) = seen.insert(h, bytes.clone()) {
-                prop_assert_eq!(prev, bytes, "hash collision between distinct graphs");
+                assert_eq!(prev, bytes, "hash collision between distinct graphs");
             }
         }
-    }
+    });
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The TTAS lock stays correct under arbitrary *strengthening* of its
-    /// three sites (monotonicity of verification in barrier strength).
-    #[test]
-    fn ttas_verifies_under_all_stronger_modes(
-        await_extra in 0usize..3,
-        xchg_extra in 0usize..3,
-        rel_extra in 0usize..2,
-    ) {
-        use vsync::locks::model::{mutex_client, TtasLock};
-        let awaits = [Mode::Rlx, Mode::Acq, Mode::Sc];
-        let xchgs = [Mode::Acq, Mode::AcqRel, Mode::Sc];
-        let rels = [Mode::Rel, Mode::Sc];
-        let lock = TtasLock {
-            await_mode: awaits[await_extra],
-            xchg_mode: xchgs[xchg_extra],
-            release_mode: rels[rel_extra],
-        };
-        let v = vsync::core::verify(&mutex_client(&lock, 2, 1), &AmcConfig::with_model(ModelKind::Vmm));
-        prop_assert!(v.is_verified(), "{:?}: {v}", lock);
+/// The TTAS lock stays correct under arbitrary *strengthening* of its
+/// three sites (monotonicity of verification in barrier strength).
+#[test]
+fn ttas_verifies_under_all_stronger_modes() {
+    use vsync::locks::model::{mutex_client, TtasLock};
+    let awaits = [Mode::Rlx, Mode::Acq, Mode::Sc];
+    let xchgs = [Mode::Acq, Mode::AcqRel, Mode::Sc];
+    let rels = [Mode::Rel, Mode::Sc];
+    for &await_mode in &awaits {
+        for &xchg_mode in &xchgs {
+            for &release_mode in &rels {
+                let lock = TtasLock { await_mode, xchg_mode, release_mode };
+                let v = vsync::core::verify(
+                    &mutex_client(&lock, 2, 1),
+                    &AmcConfig::with_model(ModelKind::Vmm),
+                );
+                assert!(v.is_verified(), "{lock:?}: {v}");
+            }
+        }
     }
 }
