@@ -9,7 +9,7 @@ use vsync_locks::model::{mutex_client, CasLock, TicketLock, TtasLock};
 use vsync_model::ModelKind;
 
 fn cfg() -> OptimizerConfig {
-    OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 }
+    OptimizerConfig::with_amc(AmcConfig::with_model(ModelKind::Vmm))
 }
 
 fn main() {

@@ -7,9 +7,12 @@
 //! * `fast-1`   — the closure-free consistency fast path, 1 worker;
 //! * `fast-N`   — the fast path with one worker per CPU.
 //!
-//! Asserts that all three configurations produce identical verdicts and
+//! Every run goes through the [`Session`] pipeline (the production front
+//! door), resolving locks from the name-based registry. Asserts that all
+//! three configurations produce identical verdicts and
 //! `complete_executions` counts, prints a table, and writes
-//! `BENCH_explore.json` so the perf trajectory is tracked across PRs.
+//! `BENCH_explore.json` (validated by the in-repo JSON parser) so the
+//! perf trajectory is tracked across PRs.
 //!
 //! ```sh
 //! cargo run --release -p vsync-bench --bin explore_perf
@@ -21,12 +24,8 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use vsync_core::{explore, AmcConfig, AmcResult};
-use vsync_lang::Program;
-use vsync_locks::model::{
-    mutex_client, CasLock, ClhLock, McsLock, Qspinlock, TicketLock, TtasLock,
-};
-use vsync_model::ModelKind;
+use vsync_core::{Report, Session};
+use vsync_model::{CheckerKind, ModelKind};
 
 struct Row {
     name: String,
@@ -38,10 +37,27 @@ struct Row {
     fast_n: Duration,
 }
 
-fn median_time(samples: usize, mut f: impl FnMut() -> AmcResult) -> (Duration, AmcResult) {
+/// The perf matrix: row label, registry name, client threads, acquires.
+/// (Row labels predate the registry and are kept stable so the JSON's
+/// per-row history stays diffable across PRs.)
+const MATRIX: &[(&str, &str, usize, usize)] = &[
+    ("caslock-2t", "caslock", 2, 1),
+    ("caslock-3t", "caslock", 3, 1),
+    ("ttas-2t", "ttas", 2, 1),
+    ("ttas-2tx2", "ttas", 2, 2),
+    ("ticket-2t", "ticketlock", 2, 1),
+    ("ticket-3t", "ticketlock", 3, 1),
+    ("clh-2t", "clh", 2, 1),
+    ("mcs-2t", "mcs", 2, 1),
+    ("mcs-3t", "mcs", 3, 1),
+    ("qspinlock-2t", "qspinlock", 2, 1),
+    ("qspinlock-3t", "qspinlock", 3, 1),
+];
+
+fn median_time(samples: usize, mut f: impl FnMut() -> Report) -> (Duration, Report) {
     // Discarded warmup so cold-start cost is not charged to whichever
     // configuration happens to run first (the baseline).
-    std::hint::black_box(f());
+    let _ = std::hint::black_box(f());
     let mut times = Vec::with_capacity(samples);
     let mut last = None;
     for _ in 0..samples {
@@ -54,22 +70,6 @@ fn median_time(samples: usize, mut f: impl FnMut() -> AmcResult) -> (Duration, A
     (times[times.len() / 2], last.expect("at least one sample"))
 }
 
-fn catalog() -> Vec<(String, Program)> {
-    vec![
-        ("caslock-2t".into(), mutex_client(&CasLock::default(), 2, 1)),
-        ("caslock-3t".into(), mutex_client(&CasLock::default(), 3, 1)),
-        ("ttas-2t".into(), mutex_client(&TtasLock::default(), 2, 1)),
-        ("ttas-2tx2".into(), mutex_client(&TtasLock::default(), 2, 2)),
-        ("ticket-2t".into(), mutex_client(&TicketLock::default(), 2, 1)),
-        ("ticket-3t".into(), mutex_client(&TicketLock::default(), 3, 1)),
-        ("clh-2t".into(), mutex_client(&ClhLock::default(), 2, 1)),
-        ("mcs-2t".into(), mutex_client(&McsLock::default(), 2, 1)),
-        ("mcs-3t".into(), mutex_client(&McsLock::default(), 3, 1)),
-        ("qspinlock-2t".into(), mutex_client(&Qspinlock, 2, 1)),
-        ("qspinlock-3t".into(), mutex_client(&Qspinlock, 3, 1)),
-    ]
-}
-
 fn main() {
     let samples = vsync_bench::timing::env_samples().clamp(1, 5);
     let workers = std::env::var("VSYNC_WORKERS")
@@ -80,40 +80,49 @@ fn main() {
         })
         .max(1);
 
-    let base_cfg = AmcConfig::with_model(ModelKind::Vmm);
-    let ref_cfg = base_cfg.clone().with_reference_checker();
-    let par_cfg = base_cfg.clone().with_workers(workers);
-
     eprintln!(
         "explore_perf: {} locks x 3 configs x {samples} samples (fast-N uses {workers} workers)",
-        catalog().len()
+        MATRIX.len()
     );
     let mut rows = Vec::new();
-    for (name, prog) in catalog() {
-        let (baseline, r_base) = median_time(samples, || explore(&prog, &ref_cfg));
-        let (fast1, r_fast) = median_time(samples, || explore(&prog, &base_cfg));
-        let (fast_n, r_par) = median_time(samples, || explore(&prog, &par_cfg));
+    for &(label, lock, threads, acquires) in MATRIX {
+        // Build the client program once per row, outside the timed
+        // closures, so registry/program construction is not charged to
+        // the explorer (a Program clone is a few hundred bytes).
+        let program = vsync_locks::registry::entry(lock)
+            .unwrap_or_else(|| panic!("{lock} not registered"))
+            .client(threads, acquires);
+        let session = || Session::new(program.clone()).model(ModelKind::Vmm);
+        let (baseline, r_base) =
+            median_time(samples, || session().checker(CheckerKind::Reference).run());
+        let (fast1, r_fast) = median_time(samples, || session().run());
+        let (fast_n, r_par) = median_time(samples, || session().workers(workers).run());
         assert!(
             r_base.is_verified() && r_fast.is_verified() && r_par.is_verified(),
-            "{name}: catalog lock failed to verify"
+            "{label}: catalog lock failed to verify"
+        );
+        let (sb, sf, sp) = (
+            r_base.models[0].stats,
+            r_fast.models[0].stats,
+            r_par.models[0].stats,
         );
         assert_eq!(
-            r_base.stats.complete_executions, r_fast.stats.complete_executions,
-            "{name}: baseline/fast execution counts diverge"
+            sb.complete_executions, sf.complete_executions,
+            "{label}: baseline/fast execution counts diverge"
         );
         assert_eq!(
-            r_fast.stats.complete_executions, r_par.stats.complete_executions,
-            "{name}: sequential/parallel execution counts diverge"
+            sf.complete_executions, sp.complete_executions,
+            "{label}: sequential/parallel execution counts diverge"
         );
         eprintln!(
-            "  {name:<14} baseline {baseline:>9.2?}  fast-1 {fast1:>9.2?}  fast-{workers} {fast_n:>9.2?}  ({} graphs)",
-            r_fast.stats.popped
+            "  {label:<14} baseline {baseline:>9.2?}  fast-1 {fast1:>9.2?}  fast-{workers} {fast_n:>9.2?}  ({} graphs)",
+            sf.popped
         );
         rows.push(Row {
-            name,
-            graphs: r_fast.stats.popped,
-            events: r_fast.stats.events,
-            executions: r_fast.stats.complete_executions,
+            name: label.to_owned(),
+            graphs: sf.popped,
+            events: sf.events,
+            executions: sf.complete_executions,
             baseline,
             fast1,
             fast_n,
@@ -194,6 +203,9 @@ fn main() {
         total_events as f64 / t1.as_secs_f64(),
     );
     let _ = writeln!(json, "}}");
+    // Self-check: the artifact must stay machine-readable.
+    let parsed = vsync_bench::json::parse(&json).expect("BENCH_explore.json is valid JSON");
+    assert_eq!(parsed.get("rows").map(|r| r.items().len()), Some(rows.len()));
     std::fs::write("BENCH_explore.json", json).expect("write BENCH_explore.json");
     eprintln!("wrote BENCH_explore.json");
 }

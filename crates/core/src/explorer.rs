@@ -32,14 +32,17 @@
 
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 use vsync_graph::{content_hash, EventId, EventKind, ExecutionGraph, Loc, RfSource, ThreadId};
 use vsync_lang::{Operand, PendingOp, Program, ReadDesc, ThreadStatus};
 use vsync_model::MemoryModel;
 
+use crate::session::{ProgressSnapshot, RunControl};
 use crate::stagnancy::is_stagnant;
-use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict};
+use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Interrupt, Verdict};
 
 /// Run AMC on a program.
 ///
@@ -48,6 +51,19 @@ use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict
 /// (Theorem 1 of the paper: for programs obeying the Bounded-Length and
 /// Bounded-Effect principles, the search is exhaustive and terminates).
 pub fn explore(prog: &Program, config: &AmcConfig) -> AmcResult {
+    explore_with(prog, config, &RunControl::default())
+}
+
+/// [`explore`] with runtime controls: a cancellation token, a deadline and
+/// a progress sink (see [`RunControl`]). This is the engine entry point
+/// the [`crate::Session`] pipeline drives; prefer the `Session` builder
+/// unless you are wiring the explorer into your own scheduler.
+///
+/// Interruption is cooperative: the cancel flag is re-checked on every
+/// popped work item and the deadline every few dozen items, in every
+/// worker. An interrupted run reports [`Verdict::Interrupted`] without
+/// finishing the item in flight.
+pub fn explore_with(prog: &Program, config: &AmcConfig, control: &RunControl) -> AmcResult {
     if let Err(e) = prog.validate() {
         return AmcResult {
             verdict: Verdict::Fault(format!("malformed program: {e}")),
@@ -55,7 +71,7 @@ pub fn explore(prog: &Program, config: &AmcConfig) -> AmcResult {
             executions: Vec::new(),
         };
     }
-    let engine = Engine { prog, config, model: config.model.checker(config.checker) };
+    let engine = Engine { prog, config, model: config.model.checker(config.checker), control };
     if config.workers > 1 {
         engine.run_parallel(config.workers)
     } else {
@@ -104,6 +120,143 @@ struct Engine<'p> {
     prog: &'p Program,
     config: &'p AmcConfig,
     model: &'static dyn MemoryModel,
+    control: &'p RunControl,
+}
+
+/// Items between deadline/progress checks. The cancel flag is read on
+/// every item (one relaxed-ish atomic load); `Instant::now()` and the
+/// progress machinery only every `CHECK_PERIOD` items so they stay out of
+/// the hot path.
+const CHECK_PERIOD: u64 = 64;
+
+/// Per-worker cadence state for the cooperative control checks.
+///
+/// In parallel runs `gate` points at a shared last-emission timestamp so
+/// only one worker emits a snapshot per interval; sequential runs keep a
+/// local timestamp.
+struct Pacer<'c> {
+    control: &'c RunControl,
+    started: Instant,
+    last_emit: Instant,
+    gate: Option<&'c Mutex<Instant>>,
+    count: u64,
+    workers: usize,
+}
+
+impl<'c> Pacer<'c> {
+    fn new(control: &'c RunControl, workers: usize, gate: Option<&'c Mutex<Instant>>) -> Self {
+        let now = Instant::now();
+        Pacer { control, started: now, last_emit: now, gate, count: 0, workers }
+    }
+
+    /// One cancellation point. Returns the interrupt that should end the
+    /// run, if any; otherwise possibly emits a progress snapshot built
+    /// from `stats` (already merged across workers by the caller).
+    fn poll(&mut self, stats: impl FnOnce() -> ExploreStats) -> Option<Interrupt> {
+        if self.control.cancel.is_cancelled() {
+            return Some(Interrupt::Cancelled);
+        }
+        self.count += 1;
+        if self.count % CHECK_PERIOD != 1 {
+            return None;
+        }
+        let now = Instant::now();
+        if let Some(d) = self.control.deadline {
+            if now >= d {
+                return Some(Interrupt::DeadlineExceeded);
+            }
+        }
+        if let Some(cb) = &self.control.progress {
+            let due = match self.gate {
+                None => {
+                    let due = now.duration_since(self.last_emit) >= self.control.progress_interval;
+                    if due {
+                        self.last_emit = now;
+                    }
+                    due
+                }
+                // try_lock: a peer already emitting means we simply skip.
+                Some(gate) => match gate.try_lock() {
+                    Ok(mut last) => {
+                        let due =
+                            now.duration_since(*last) >= self.control.progress_interval;
+                        if due {
+                            *last = now;
+                        }
+                        due
+                    }
+                    Err(_) => false,
+                },
+            };
+            if due {
+                cb(&ProgressSnapshot {
+                    model: self.control.model,
+                    stats: stats(),
+                    elapsed: now.duration_since(self.started),
+                    workers: self.workers,
+                });
+            }
+        }
+        None
+    }
+}
+
+/// Atomic accumulation of per-worker [`ExploreStats`], so parallel
+/// progress snapshots can merge counters without stopping anyone.
+#[derive(Default)]
+struct SharedStats {
+    popped: AtomicU64,
+    pushed: AtomicU64,
+    duplicates: AtomicU64,
+    inconsistent: AtomicU64,
+    wasteful: AtomicU64,
+    revisits: AtomicU64,
+    complete_executions: AtomicU64,
+    blocked_graphs: AtomicU64,
+    events: AtomicU64,
+}
+
+impl SharedStats {
+    fn add(&self, s: &ExploreStats) {
+        self.popped.fetch_add(s.popped, Ordering::Relaxed);
+        self.pushed.fetch_add(s.pushed, Ordering::Relaxed);
+        self.duplicates.fetch_add(s.duplicates, Ordering::Relaxed);
+        self.inconsistent.fetch_add(s.inconsistent, Ordering::Relaxed);
+        self.wasteful.fetch_add(s.wasteful, Ordering::Relaxed);
+        self.revisits.fetch_add(s.revisits, Ordering::Relaxed);
+        self.complete_executions.fetch_add(s.complete_executions, Ordering::Relaxed);
+        self.blocked_graphs.fetch_add(s.blocked_graphs, Ordering::Relaxed);
+        self.events.fetch_add(s.events, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> ExploreStats {
+        ExploreStats {
+            popped: self.popped.load(Ordering::Relaxed),
+            pushed: self.pushed.load(Ordering::Relaxed),
+            duplicates: self.duplicates.load(Ordering::Relaxed),
+            inconsistent: self.inconsistent.load(Ordering::Relaxed),
+            wasteful: self.wasteful.load(Ordering::Relaxed),
+            revisits: self.revisits.load(Ordering::Relaxed),
+            complete_executions: self.complete_executions.load(Ordering::Relaxed),
+            blocked_graphs: self.blocked_graphs.load(Ordering::Relaxed),
+            events: self.events.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Field-wise `a - b`; `b` is always an earlier copy of `a`.
+fn stats_delta(a: &ExploreStats, b: &ExploreStats) -> ExploreStats {
+    ExploreStats {
+        popped: a.popped - b.popped,
+        pushed: a.pushed - b.pushed,
+        duplicates: a.duplicates - b.duplicates,
+        inconsistent: a.inconsistent - b.inconsistent,
+        wasteful: a.wasteful - b.wasteful,
+        revisits: a.revisits - b.revisits,
+        complete_executions: a.complete_executions - b.complete_executions,
+        blocked_graphs: a.blocked_graphs - b.blocked_graphs,
+        events: a.events - b.events,
+    }
 }
 
 /// Scratch state for processing one work item; children end up in `out`.
@@ -376,7 +529,11 @@ impl<'p> Engine<'p> {
         let mut seen: SeenSet = SeenSet::default();
         let mut stack = vec![self.initial_graph()];
         let mut children: Vec<ExecutionGraph> = Vec::new();
+        let mut pacer = Pacer::new(self.control, 1, None);
         while let Some(g) = stack.pop() {
+            if let Some(i) = pacer.poll(|| stats) {
+                return AmcResult { verdict: Verdict::Interrupted(i), stats, executions };
+            }
             stats.popped += 1;
             if self.config.max_graphs != 0 && stats.popped > self.config.max_graphs {
                 let msg = format!("exploration exceeded {} work items", self.config.max_graphs);
@@ -399,6 +556,8 @@ impl<'p> Engine<'p> {
         let queue = WorkQueue::new(self.initial_graph());
         let seen: Vec<Mutex<SeenSet>> =
             (0..SHARDS).map(|_| Mutex::new(SeenSet::default())).collect();
+        let shared = SharedStats::default();
+        let gate = Mutex::new(Instant::now());
 
         let worker = || {
             // If this worker panics mid-item, `pending` never reaches zero;
@@ -417,7 +576,27 @@ impl<'p> Engine<'p> {
             let mut stats = ExploreStats::default();
             let mut executions = Vec::new();
             let mut children: Vec<ExecutionGraph> = Vec::new();
-            while let Some((g, popped_total)) = queue.pop() {
+            let mut pacer = Pacer::new(self.control, workers, Some(&gate));
+            let mut flushed = ExploreStats::default();
+            let mut since_flush = 0u64;
+            loop {
+                // Batch-flush local counters so progress snapshots (built
+                // from `shared` by whichever worker emits) trail the true
+                // totals by at most CHECK_PERIOD items per worker.
+                since_flush += 1;
+                if since_flush >= CHECK_PERIOD {
+                    since_flush = 0;
+                    shared.add(&stats_delta(&stats, &flushed));
+                    flushed = stats;
+                }
+                // Cancellation point *before* popping: a token fired ahead
+                // of the run interrupts every worker deterministically,
+                // with zero items processed.
+                if let Some(i) = pacer.poll(|| shared.snapshot()) {
+                    queue.finish(Verdict::Interrupted(i));
+                    break;
+                }
+                let Some((g, popped_total)) = queue.pop() else { break };
                 stats.popped += 1;
                 if self.config.max_graphs != 0 && popped_total > self.config.max_graphs {
                     let msg =
@@ -533,10 +712,18 @@ impl WorkQueue {
         }
     }
 
-    /// Record a terminal verdict (first one wins) and stop all workers.
+    /// Record a terminal verdict and stop all workers. First verdict
+    /// wins, except that a *definitive* verdict (violation or fault)
+    /// found by a still-running worker upgrades an `Interrupted` one —
+    /// a cancellation must not discard a counterexample a peer already
+    /// holds in hand.
     fn finish(&self, v: Verdict) {
         let mut q = self.state.lock().unwrap();
-        q.verdict.get_or_insert(v);
+        let upgrade = matches!(q.verdict, Some(Verdict::Interrupted(_)))
+            && !matches!(v, Verdict::Interrupted(_));
+        if q.verdict.is_none() || upgrade {
+            q.verdict = Some(v);
+        }
         q.stop = true;
         self.cond.notify_all();
     }
@@ -982,6 +1169,18 @@ mod tests {
         c.max_graphs = 2;
         let v = verify(&sb_program(), &c);
         assert!(matches!(v, Verdict::Fault(_)));
+    }
+
+    /// A definitive verdict found by a running worker upgrades an
+    /// `Interrupted` one already recorded; the reverse never downgrades.
+    #[test]
+    fn queue_upgrades_interrupted_verdict_to_definitive() {
+        use crate::verdict::Interrupt;
+        let q = WorkQueue::new(ExecutionGraph::new(0, std::collections::BTreeMap::new()));
+        q.finish(Verdict::Interrupted(Interrupt::Cancelled));
+        q.finish(Verdict::Fault("real finding".into()));
+        q.finish(Verdict::Interrupted(Interrupt::DeadlineExceeded));
+        assert!(matches!(q.into_verdict(), Verdict::Fault(_)));
     }
 
     /// The reference checker produces the same verdicts and counts.

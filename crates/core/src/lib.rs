@@ -10,30 +10,40 @@
 //!   the barrier modes of a synchronization primitive while it still
 //!   verifies (paper §3.3, Table 1).
 //!
+//! The front door is the [`Session`] pipeline — model matrix, workers,
+//! budgets, progress streaming, cancellation and structured [`Report`]s in
+//! one builder chain; [`verify`], [`explore`] and [`optimize`] remain as
+//! thin single-shot wrappers over the same engine.
+//!
 //! ```
-//! use vsync_core::{verify, AmcConfig};
+//! use vsync_core::Session;
 //! use vsync_lang::{ProgramBuilder, Reg};
 //! use vsync_graph::Mode;
+//! use vsync_model::ModelKind;
 //!
 //! // A thread awaiting a signal that another thread sends: AT holds.
 //! let mut pb = ProgramBuilder::new("handshake");
 //! pb.thread(|t| { t.store(0x10, 1u64, Mode::Rel); });
 //! pb.thread(|t| { t.await_eq(Reg(0), 0x10, 1u64, Mode::Acq); });
 //! let program = pb.build().unwrap();
-//! assert!(verify(&program, &AmcConfig::default()).is_verified());
+//! let report = Session::new(program).models(ModelKind::all()).run();
+//! assert!(report.is_verified());
+//! println!("{}", report.to_json());
 //! ```
 
 #![warn(missing_docs)]
 
 mod explorer;
 mod optimizer;
+mod session;
 mod stagnancy;
 mod verdict;
 
-pub use explorer::{count_executions, explore, verify};
+pub use explorer::{count_executions, explore, explore_with, verify};
 pub use optimizer::{
     enumerate_maximal, is_locally_maximal, optimize, optimize_multi, optimize_with,
     OptimizationReport, OptimizationStep, OptimizerConfig,
 };
+pub use session::{CancelToken, ModelRun, ProgressSnapshot, Report, RunControl, Session};
 pub use stagnancy::{is_stagnant, is_stuck};
-pub use verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Verdict};
+pub use verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Interrupt, Verdict};

@@ -15,6 +15,7 @@ use vsync_graph::Mode;
 use vsync_lang::{BarrierSummary, ModeRef, Program};
 
 use crate::explorer::explore;
+use crate::session::CancelToken;
 use crate::verdict::{AmcConfig, Verdict};
 
 /// Configuration of an optimization run.
@@ -25,6 +26,37 @@ pub struct OptimizerConfig {
     /// Maximum number of full passes over the site table (0 = until
     /// fixpoint).
     pub max_passes: usize,
+    /// Cooperative cancellation flag, re-checked before every oracle
+    /// verification. An interrupted run keeps every relaxation accepted
+    /// so far (each one was individually verified) and reports
+    /// [`OptimizationReport::interrupted`].
+    pub cancel: Option<CancelToken>,
+}
+
+impl OptimizerConfig {
+    /// Config verifying each candidate with `amc`.
+    #[must_use]
+    pub fn with_amc(amc: AmcConfig) -> Self {
+        OptimizerConfig { amc, ..OptimizerConfig::default() }
+    }
+
+    /// Builder-style: cap the number of full passes over the site table.
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_max_passes(mut self, max_passes: usize) -> Self {
+        self.max_passes = max_passes;
+        self
+    }
+
+    /// Builder-style: attach a cancellation token.
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelToken::is_cancelled)
+    }
 }
 
 /// One attempted relaxation.
@@ -42,11 +74,17 @@ pub struct OptimizationStep {
 
 /// Result of [`optimize`].
 #[derive(Debug, Clone)]
+#[must_use = "a dropped OptimizationReport silently discards the optimized program"]
 pub struct OptimizationReport {
     /// The optimized program (unchanged if the input did not verify).
     pub program: Program,
-    /// Whether the final program verifies.
+    /// Whether the final program verifies. `false` with
+    /// [`interrupted`](Self::interrupted) set means *unknown*: the run was
+    /// cancelled during the initial verification.
     pub verified: bool,
+    /// The run was cut short by its [`OptimizerConfig::cancel`] token;
+    /// the assignment is verified but possibly not yet locally maximal.
+    pub interrupted: bool,
     /// Every relaxation attempt, in order.
     pub steps: Vec<OptimizationStep>,
     /// Number of AMC verification runs performed.
@@ -144,6 +182,7 @@ pub fn optimize_with(
             after: before,
             program,
             verified: false,
+            interrupted: config.is_cancelled(),
             steps,
             verifications,
             before,
@@ -152,7 +191,8 @@ pub fn optimize_with(
     }
 
     let mut pass = 0;
-    loop {
+    let mut interrupted = false;
+    'passes: loop {
         pass += 1;
         let mut changed = false;
         for i in 0..program.sites().len() {
@@ -162,8 +202,19 @@ pub fn optimize_with(
             }
             let (name, kind, current) = (site.name.clone(), site.kind, site.mode);
             for cand in kind.weaker_modes(current) {
+                if config.is_cancelled() {
+                    interrupted = true;
+                    break 'passes;
+                }
                 program.set_mode(ModeRef(i as u32), cand);
                 let ok = check(&program, &mut verifications);
+                if !ok && config.is_cancelled() {
+                    // The rejection came from an interrupted verification,
+                    // not from the memory model: drop the step unrecorded.
+                    program.set_mode(ModeRef(i as u32), current);
+                    interrupted = true;
+                    break 'passes;
+                }
                 steps.push(OptimizationStep {
                     site: name.clone(),
                     from: current,
@@ -186,6 +237,7 @@ pub fn optimize_with(
     OptimizationReport {
         program,
         verified: true,
+        interrupted,
         steps,
         verifications,
         before,
@@ -309,7 +361,7 @@ mod tests {
     const Y: u64 = 0x20;
 
     fn cfg() -> OptimizerConfig {
-        OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 }
+        OptimizerConfig::with_amc(AmcConfig::with_model(ModelKind::Vmm))
     }
 
     /// Message passing, all-SC: the optimizer must keep exactly a

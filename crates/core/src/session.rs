@@ -1,0 +1,712 @@
+//! The push-button `Session` pipeline — the front door of the crate.
+//!
+//! A [`Session`] takes a program to a [`Report`] in one fluent chain:
+//! pick the model matrix, the worker count and the checker, attach
+//! budgets ([`Session::deadline`], [`Session::max_graphs`]), subscribe to
+//! periodic [`ProgressSnapshot`]s, share a [`CancelToken`] with whatever
+//! supervises the run, optionally request barrier optimization — and call
+//! [`Session::run`].
+//!
+//! ```
+//! use vsync_core::Session;
+//! use vsync_model::ModelKind;
+//! use vsync_graph::Mode;
+//! use vsync_lang::{ProgramBuilder, Reg};
+//!
+//! let mut pb = ProgramBuilder::new("handshake");
+//! pb.thread(|t| { t.store(0x10, 1u64, Mode::Rel); });
+//! pb.thread(|t| { t.await_eq(Reg(0), 0x10, 1u64, Mode::Acq); });
+//! let program = pb.build().unwrap();
+//!
+//! let report = Session::new(program).models(ModelKind::all()).run();
+//! assert!(report.is_verified());
+//! assert_eq!(report.models.len(), 3);
+//! ```
+//!
+//! ## Lifecycle
+//!
+//! [`Session::run`] explores the program once per model in the matrix
+//! (in order, deduplicated), then — if requested — optimizes under each
+//! verified model. Cancellation and deadlines are *cooperative*: every
+//! exploration worker re-checks the token on each popped work item and
+//! the deadline every few dozen items, so an interrupt surfaces as a
+//! [`Verdict::Interrupted`] within microseconds, never mid-graph. The
+//! legacy free functions ([`crate::verify`], [`crate::explore`],
+//! [`crate::optimize`]) remain as thin wrappers over the same engine.
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vsync_lang::Program;
+use vsync_model::{CheckerKind, ModelKind};
+
+use crate::explorer::explore_with;
+use crate::optimizer::{optimize_with, OptimizationReport, OptimizerConfig};
+use crate::verdict::{AmcConfig, ExploreStats, Verdict};
+
+/// A shareable, thread-safe cancellation flag.
+///
+/// Clone it (cheap — an `Arc<AtomicBool>`) and hand it to whatever
+/// supervises the run; every exploration worker checks it cooperatively
+/// on each popped work item. Once fired it stays fired.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    #[must_use]
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fire the token: every run sharing it winds down at its next
+    /// cancellation point and reports [`Verdict::Interrupted`].
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Release);
+    }
+
+    /// Has the token been fired?
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire)
+    }
+}
+
+/// A periodic view of a running exploration, delivered to the
+/// [`Session::on_progress`] callback.
+#[derive(Debug, Clone)]
+pub struct ProgressSnapshot {
+    /// The model currently being explored.
+    pub model: ModelKind,
+    /// Merged counters across all workers at snapshot time. Parallel
+    /// workers flush their local counters in small batches, so the
+    /// snapshot may trail the true totals by a few dozen items.
+    pub stats: ExploreStats,
+    /// Time since this model's exploration started.
+    pub elapsed: Duration,
+    /// Number of exploration workers.
+    pub workers: usize,
+}
+
+/// Shared callback type for progress snapshots.
+pub(crate) type ProgressFn = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+
+/// Runtime controls threaded through the exploration hot loop: the
+/// cancellation token, the absolute deadline and the progress sink.
+///
+/// [`crate::explore_with`] accepts one directly; [`Session`] builds it
+/// from its builder state.
+#[derive(Clone, Default)]
+pub struct RunControl {
+    /// Cooperative cancellation flag (checked on every popped item).
+    pub(crate) cancel: CancelToken,
+    /// Absolute wall-clock cutoff (checked every few dozen items).
+    pub(crate) deadline: Option<Instant>,
+    /// Progress callback, if any.
+    pub(crate) progress: Option<ProgressFn>,
+    /// Minimum time between two progress snapshots.
+    pub(crate) progress_interval: Duration,
+    /// Model label stamped onto snapshots.
+    pub(crate) model: ModelKind,
+}
+
+impl fmt::Debug for RunControl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RunControl")
+            .field("cancelled", &self.cancel.is_cancelled())
+            .field("deadline", &self.deadline)
+            .field("progress", &self.progress.is_some())
+            .field("progress_interval", &self.progress_interval)
+            .finish()
+    }
+}
+
+impl RunControl {
+    /// A control tied to `token`, with no deadline and no progress sink.
+    #[must_use]
+    pub fn with_cancel(token: CancelToken) -> Self {
+        RunControl { cancel: token, ..RunControl::default() }
+    }
+
+    /// A control with an absolute deadline and no progress sink.
+    #[must_use]
+    pub fn with_deadline(deadline: Instant) -> Self {
+        RunControl { deadline: Some(deadline), ..RunControl::default() }
+    }
+}
+
+/// The exploration of one model from a [`Session`]'s matrix.
+#[derive(Debug, Clone)]
+pub struct ModelRun {
+    /// The memory model this run checked against.
+    pub model: ModelKind,
+    /// The verdict under this model.
+    pub verdict: Verdict,
+    /// Exploration counters (merged across workers).
+    pub stats: ExploreStats,
+    /// Wall-clock time of this model's exploration (excluding
+    /// optimization).
+    pub elapsed: Duration,
+    /// Complete executions, when [`Session::collect_executions`] was set.
+    pub executions: Vec<vsync_graph::ExecutionGraph>,
+    /// Barrier-optimization report, when [`Session::optimize`] was
+    /// requested and the verdict was `Verified`.
+    pub optimization: Option<OptimizationReport>,
+}
+
+/// Structured result of [`Session::run`]: one [`ModelRun`] per model in
+/// the matrix, in matrix order.
+#[derive(Debug, Clone)]
+#[must_use = "a Report carries the verdicts — inspect or serialize it"]
+pub struct Report {
+    /// Name of the verified program.
+    pub program: String,
+    /// Per-model results, in matrix order.
+    pub models: Vec<ModelRun>,
+    /// Total wall-clock time of the session.
+    pub elapsed: Duration,
+}
+
+impl Report {
+    /// Did every model in the matrix verify?
+    #[must_use]
+    pub fn is_verified(&self) -> bool {
+        self.models.iter().all(|m| m.verdict.is_verified())
+    }
+
+    /// Was any run cut short by cancellation or a deadline?
+    #[must_use]
+    pub fn is_interrupted(&self) -> bool {
+        self.models.iter().any(|m| {
+            matches!(m.verdict, Verdict::Interrupted(_))
+                || m.optimization.as_ref().is_some_and(|o| o.interrupted)
+        })
+    }
+
+    /// The run for a specific model, if it was in the matrix.
+    #[must_use]
+    pub fn for_model(&self, model: ModelKind) -> Option<&ModelRun> {
+        self.models.iter().find(|m| m.model == model)
+    }
+
+    /// Field-wise sum of all per-model exploration counters.
+    #[must_use]
+    pub fn merged_stats(&self) -> ExploreStats {
+        let mut total = ExploreStats::default();
+        for m in &self.models {
+            total.merge(&m.stats);
+        }
+        total
+    }
+
+    /// Human-readable multi-line report: one line per model, plus the
+    /// rendered counterexample of the first failing model.
+    #[must_use]
+    pub fn render(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}: {} ({:.1?})", self.program, self.summary_word(), self.elapsed);
+        for m in &self.models {
+            let _ = writeln!(out, "  {:<4} {} [{}] ({:.1?})", m.model, m.verdict, m.stats, m.elapsed);
+            if let Some(o) = &m.optimization {
+                let _ = write!(out, "{}", indent(&o.render(), "  "));
+            }
+        }
+        if let Some(ce) = self.models.iter().find_map(|m| m.verdict.counterexample()) {
+            let _ = writeln!(out, "counterexample:\n{}", ce.graph.render());
+        }
+        out
+    }
+
+    fn summary_word(&self) -> &'static str {
+        if self.is_verified() {
+            "verified"
+        } else if self.is_interrupted() {
+            "interrupted"
+        } else {
+            "NOT verified"
+        }
+    }
+
+    /// Serialize the report as JSON (dependency-free, stable key order).
+    ///
+    /// The schema is fixed and keys always appear in the same order, so
+    /// tooling may diff two reports textually:
+    ///
+    /// ```text
+    /// {"program", "verified", "interrupted", "elapsed_ms", "models": [
+    ///    {"model", "verdict", "message", "counterexample", "elapsed_ms",
+    ///     "stats": {popped, pushed, duplicates, inconsistent, wasteful,
+    ///               revisits, complete_executions, blocked_graphs, events},
+    ///     "optimization": null | {"verified", "interrupted",
+    ///        "verifications", "elapsed_ms", "before", "after",
+    ///        "steps": [{"site", "from", "to", "accepted"}]}}]}
+    /// ```
+    ///
+    /// `verdict` is one of `"verified"`, `"safety"`, `"await_termination"`,
+    /// `"fault"`, `"interrupted"`; `message` carries the failure or
+    /// interrupt description (`null` when verified) and `counterexample`
+    /// the rendered witness graph (`null` unless a violation was found).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        use fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"program\": {}, \"verified\": {}, \"interrupted\": {}, \"elapsed_ms\": {:.3}, \"models\": [",
+            json_str(&self.program),
+            self.is_verified(),
+            self.is_interrupted(),
+            self.elapsed.as_secs_f64() * 1e3,
+        );
+        for (i, m) in self.models.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"model\": {}, \"verdict\": {}, \"message\": {}, \"counterexample\": {}, \"elapsed_ms\": {:.3}, \"stats\": {}, \"optimization\": {}}}",
+                json_str(&m.model.to_string()),
+                json_str(verdict_kind(&m.verdict)),
+                verdict_message(&m.verdict),
+                m.verdict
+                    .counterexample()
+                    .map_or("null".to_owned(), |ce| json_str(&ce.graph.render())),
+                m.elapsed.as_secs_f64() * 1e3,
+                stats_json(&m.stats),
+                m.optimization.as_ref().map_or("null".to_owned(), optimization_json),
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// Stable JSON-kind tag for a verdict.
+fn verdict_kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Verified => "verified",
+        Verdict::Safety(_) => "safety",
+        Verdict::AwaitTermination(_) => "await_termination",
+        Verdict::Fault(_) => "fault",
+        Verdict::Interrupted(_) => "interrupted",
+    }
+}
+
+fn verdict_message(v: &Verdict) -> String {
+    match v {
+        Verdict::Verified => "null".to_owned(),
+        Verdict::Safety(ce) | Verdict::AwaitTermination(ce) => json_str(&ce.message),
+        Verdict::Fault(m) => json_str(m),
+        Verdict::Interrupted(i) => json_str(&i.to_string()),
+    }
+}
+
+fn stats_json(s: &ExploreStats) -> String {
+    format!(
+        "{{\"popped\": {}, \"pushed\": {}, \"duplicates\": {}, \"inconsistent\": {}, \
+         \"wasteful\": {}, \"revisits\": {}, \"complete_executions\": {}, \
+         \"blocked_graphs\": {}, \"events\": {}}}",
+        s.popped,
+        s.pushed,
+        s.duplicates,
+        s.inconsistent,
+        s.wasteful,
+        s.revisits,
+        s.complete_executions,
+        s.blocked_graphs,
+        s.events
+    )
+}
+
+fn summary_json(s: &vsync_lang::BarrierSummary) -> String {
+    format!(
+        "{{\"rlx\": {}, \"acq\": {}, \"rel\": {}, \"acq_rel\": {}, \"sc\": {}}}",
+        s.rlx, s.acq, s.rel, s.acq_rel, s.sc
+    )
+}
+
+fn optimization_json(o: &OptimizationReport) -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"verified\": {}, \"interrupted\": {}, \"verifications\": {}, \"elapsed_ms\": {:.3}, \
+         \"before\": {}, \"after\": {}, \"steps\": [",
+        o.verified,
+        o.interrupted,
+        o.verifications,
+        o.elapsed.as_secs_f64() * 1e3,
+        summary_json(&o.before),
+        summary_json(&o.after),
+    );
+    for (i, s) in o.steps.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "{{\"site\": {}, \"from\": {}, \"to\": {}, \"accepted\": {}}}",
+            json_str(&s.site),
+            json_str(&s.from.to_string()),
+            json_str(&s.to.to_string()),
+            s.accepted
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn indent(s: &str, pad: &str) -> String {
+    s.lines().map(|l| format!("{pad}{l}\n")).collect()
+}
+
+/// Builder for one push-button verification run: model matrix, workers,
+/// budgets, progress, cancellation, optimization — then [`Session::run`].
+#[must_use = "a Session does nothing until .run() is called"]
+pub struct Session {
+    program: Program,
+    models: Vec<ModelKind>,
+    config: AmcConfig,
+    deadline: Option<Duration>,
+    cancel: CancelToken,
+    progress: Option<ProgressFn>,
+    progress_interval: Duration,
+    optimizer: Option<OptimizerConfig>,
+    optimize_scenarios: Vec<Program>,
+}
+
+impl fmt::Debug for Session {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Session")
+            .field("program", &self.program.name())
+            .field("models", &self.models)
+            .field("config", &self.config)
+            .field("deadline", &self.deadline)
+            .field("optimize", &self.optimizer.is_some())
+            .finish()
+    }
+}
+
+impl Session {
+    /// Start a session over `program`, with the default single-model
+    /// matrix (`[ModelKind::Vmm]`) and default [`AmcConfig`].
+    pub fn new(program: Program) -> Session {
+        let config = AmcConfig::default();
+        Session {
+            program,
+            models: vec![config.model],
+            config,
+            deadline: None,
+            cancel: CancelToken::new(),
+            progress: None,
+            progress_interval: Duration::from_millis(250),
+            optimizer: None,
+            optimize_scenarios: Vec::new(),
+        }
+    }
+
+    /// Check against a single memory model.
+    pub fn model(self, model: ModelKind) -> Session {
+        self.models([model])
+    }
+
+    /// Check against a matrix of memory models, in order. Duplicates are
+    /// dropped (first occurrence wins). An *empty* matrix is refused —
+    /// the previous matrix is kept — so a dynamically-filtered list that
+    /// matches nothing can never produce a vacuously "verified" report.
+    pub fn models(mut self, models: impl IntoIterator<Item = ModelKind>) -> Session {
+        let mut matrix = Vec::new();
+        for m in models {
+            if !matrix.contains(&m) {
+                matrix.push(m);
+            }
+        }
+        if !matrix.is_empty() {
+            self.models = matrix;
+        }
+        self
+    }
+
+    /// Explore with `workers` threads per model (`1` = the exact
+    /// sequential algorithm; verdicts are worker-count independent).
+    pub fn workers(mut self, workers: usize) -> Session {
+        self.config.workers = workers.max(1);
+        self
+    }
+
+    /// Select the consistency-checker implementation.
+    pub fn checker(mut self, checker: CheckerKind) -> Session {
+        self.config.checker = checker;
+        self
+    }
+
+    /// Wall-clock budget for the whole session (all models and the
+    /// optimization phase together). When it expires, the current
+    /// exploration returns [`Verdict::Interrupted`] and the remaining
+    /// matrix entries are reported as interrupted without running.
+    pub fn deadline(mut self, budget: Duration) -> Session {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Hard cap on popped work items per exploration (0 = unlimited);
+    /// exceeding it is a [`Verdict::Fault`].
+    pub fn max_graphs(mut self, max_graphs: u64) -> Session {
+        self.config.max_graphs = max_graphs;
+        self
+    }
+
+    /// Keep every complete execution in the [`ModelRun`] (off by default;
+    /// memory-hungry on large programs).
+    pub fn collect_executions(mut self) -> Session {
+        self.config.collect_executions = true;
+        self
+    }
+
+    /// Replace the whole [`AmcConfig`] (model is still overridden per
+    /// matrix entry). For knobs without a dedicated builder method.
+    pub fn amc_config(mut self, config: AmcConfig) -> Session {
+        self.config = config;
+        self
+    }
+
+    /// Subscribe to periodic [`ProgressSnapshot`]s from the exploration
+    /// hot loop. The callback runs on exploration worker threads.
+    pub fn on_progress(
+        mut self,
+        callback: impl Fn(&ProgressSnapshot) + Send + Sync + 'static,
+    ) -> Session {
+        self.progress = Some(Arc::new(callback));
+        self
+    }
+
+    /// Minimum interval between progress snapshots (default 250 ms;
+    /// `Duration::ZERO` snapshots at every cadence point — test use).
+    pub fn progress_interval(mut self, interval: Duration) -> Session {
+        self.progress_interval = interval;
+        self
+    }
+
+    /// A [`CancelToken`] shared with this session: fire it from any
+    /// thread to wind the run down at the next cancellation point.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+
+    /// After each model that verifies, run push-button barrier
+    /// optimization under that model. The `config`'s AMC settings are
+    /// overridden by the session's (model, workers, checker, budgets);
+    /// `max_passes` is honored, and a `cancel` token on the config is
+    /// respected in addition to the session's own.
+    pub fn optimize(mut self, config: OptimizerConfig) -> Session {
+        self.optimizer = Some(config);
+        self
+    }
+
+    /// Extra scenarios the optimization oracle must also verify (with the
+    /// candidate barrier assignment transferred by site name) — the
+    /// multi-scenario oracle of the qspinlock experiment.
+    pub fn optimize_scenarios(mut self, scenarios: Vec<Program>) -> Session {
+        self.optimize_scenarios = scenarios;
+        self
+    }
+
+    /// Run the pipeline: explore each model in the matrix, optimize the
+    /// verified ones if requested, and assemble the [`Report`].
+    pub fn run(self) -> Report {
+        let started = Instant::now();
+        let control = RunControl {
+            cancel: self.cancel.clone(),
+            deadline: self.deadline.map(|d| started + d),
+            progress: self.progress.clone(),
+            progress_interval: self.progress_interval,
+            model: self.config.model,
+        };
+        let mut runs = Vec::new();
+        for &model in &self.models {
+            let mut config = self.config.clone();
+            config.model = model;
+            let control = RunControl { model, ..control.clone() };
+            let t0 = Instant::now();
+            let result = explore_with(&self.program, &config, &control);
+            let optimization = match (&self.optimizer, &result.verdict) {
+                (Some(ocfg), Verdict::Verified) => {
+                    Some(self.run_optimizer(model, &config, ocfg, &control))
+                }
+                _ => None,
+            };
+            runs.push(ModelRun {
+                model,
+                verdict: result.verdict,
+                stats: result.stats,
+                elapsed: t0.elapsed(),
+                executions: result.executions,
+                optimization,
+            });
+        }
+        Report { program: self.program.name().to_owned(), models: runs, elapsed: started.elapsed() }
+    }
+
+    /// One optimization run under `model`, sharing the session's
+    /// cancellation token and deadline (each oracle verification is a
+    /// cancellation point; progress snapshots are not emitted — the
+    /// per-verification explorations are too short to be meaningful).
+    fn run_optimizer(
+        &self,
+        model: ModelKind,
+        amc: &AmcConfig,
+        ocfg: &OptimizerConfig,
+        control: &RunControl,
+    ) -> OptimizationReport {
+        // `stop` drives the optimizer's between-verifications check. It is
+        // internal: a deadline expiry must NOT fire the caller-visible
+        // session token (that would poison other runs sharing it and
+        // misreport the interrupt cause), so interrupts are translated
+        // into `stop` by the oracle instead.
+        let stop = CancelToken::new();
+        let config = OptimizerConfig {
+            amc: amc.clone(),
+            max_passes: ocfg.max_passes,
+            cancel: Some(stop.clone()),
+        };
+        let oracle_control =
+            RunControl { progress: None, model, ..control.clone() };
+        let amc = amc.clone();
+        let scenarios = self.optimize_scenarios.clone();
+        let extra_cancel = ocfg.cancel.clone();
+        let check_one = {
+            let stop = stop.clone();
+            move |p: &Program| {
+                // Honor a cancel token the caller attached to the
+                // OptimizerConfig, in addition to the session's own.
+                if extra_cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+                    stop.cancel();
+                    return false;
+                }
+                let r = explore_with(p, &amc, &oracle_control);
+                if let Verdict::Interrupted(_) = r.verdict {
+                    stop.cancel();
+                    return false;
+                }
+                r.verdict.is_verified()
+            }
+        };
+        // The session just verified `self.program` under this exact
+        // config, so the optimizer's initial oracle call skips the
+        // (expensive) primary re-exploration and only checks scenarios.
+        let mut first_call = true;
+        let oracle = move |p: &Program| {
+            if !std::mem::take(&mut first_call) && !check_one(p) {
+                return false;
+            }
+            scenarios.iter().all(|s| {
+                let mut s = s.clone();
+                s.copy_modes_by_name(p);
+                check_one(&s)
+            })
+        };
+        optimize_with(&self.program, &config, oracle)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::Interrupt;
+    use vsync_graph::Mode;
+    use vsync_lang::{ProgramBuilder, Reg};
+
+    fn handshake() -> Program {
+        let mut pb = ProgramBuilder::new("handshake");
+        pb.thread(|t| {
+            t.store(0x10, 1u64, Mode::Rel);
+        });
+        pb.thread(|t| {
+            t.await_eq(Reg(0), 0x10, 1u64, Mode::Acq);
+        });
+        pb.build().unwrap()
+    }
+
+    #[test]
+    fn session_matrix_dedups_and_orders() {
+        let report = Session::new(handshake())
+            .models([ModelKind::Tso, ModelKind::Sc, ModelKind::Tso])
+            .run();
+        let kinds: Vec<ModelKind> = report.models.iter().map(|m| m.model).collect();
+        assert_eq!(kinds, vec![ModelKind::Tso, ModelKind::Sc]);
+        assert!(report.is_verified());
+        assert!(!report.is_interrupted());
+        assert!(report.for_model(ModelKind::Sc).is_some());
+        assert!(report.for_model(ModelKind::Vmm).is_none());
+        let merged = report.merged_stats();
+        assert_eq!(
+            merged.popped,
+            report.models.iter().map(|m| m.stats.popped).sum::<u64>()
+        );
+    }
+
+    #[test]
+    fn cancelled_token_interrupts_before_work() {
+        let s = Session::new(handshake());
+        s.cancel_token().cancel();
+        let report = s.run();
+        assert!(report.is_interrupted());
+        assert!(matches!(
+            report.models[0].verdict,
+            Verdict::Interrupted(Interrupt::Cancelled)
+        ));
+        // No work item was processed.
+        assert_eq!(report.models[0].stats.popped, 0);
+    }
+
+    #[test]
+    fn empty_model_matrix_is_refused() {
+        let report = Session::new(handshake())
+            .models(std::iter::empty::<ModelKind>())
+            .run();
+        assert_eq!(report.models.len(), 1, "default matrix kept");
+        assert_eq!(report.models[0].model, ModelKind::Vmm);
+    }
+
+    #[test]
+    fn json_escaping_is_sound() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn report_render_mentions_every_model() {
+        let report = Session::new(handshake()).models(ModelKind::all()).run();
+        let text = report.render();
+        for m in ModelKind::all() {
+            assert!(text.contains(&m.to_string()), "missing {m} in:\n{text}");
+        }
+        assert!(text.contains("verified"));
+    }
+}

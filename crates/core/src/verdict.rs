@@ -51,25 +51,43 @@ impl Default for AmcConfig {
 
 impl AmcConfig {
     /// Config with a specific memory model.
+    #[must_use]
     pub fn with_model(model: ModelKind) -> Self {
         AmcConfig { model, ..AmcConfig::default() }
     }
 
     /// Builder-style: collect complete executions.
+    #[must_use = "builder methods return the modified config"]
     pub fn collecting(mut self) -> Self {
         self.collect_executions = true;
         self
     }
 
     /// Builder-style: explore with `workers` threads.
+    #[must_use = "builder methods return the modified config"]
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
         self
     }
 
+    /// Builder-style: cap the number of popped work items (0 = unlimited).
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_max_graphs(mut self, max_graphs: u64) -> Self {
+        self.max_graphs = max_graphs;
+        self
+    }
+
     /// Builder-style: use the naive closure-based reference checker.
+    #[must_use = "builder methods return the modified config"]
     pub fn with_reference_checker(mut self) -> Self {
         self.checker = CheckerKind::Reference;
+        self
+    }
+
+    /// Builder-style: select a consistency-checker implementation.
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_checker(mut self, checker: CheckerKind) -> Self {
+        self.checker = checker;
         self
     }
 }
@@ -147,8 +165,27 @@ impl fmt::Display for Counterexample {
     }
 }
 
+/// Why a run stopped before reaching a real verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// A shared [`crate::CancelToken`] was fired.
+    Cancelled,
+    /// The session's wall-clock deadline expired.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Interrupt::Cancelled => f.write_str("cancelled"),
+            Interrupt::DeadlineExceeded => f.write_str("deadline exceeded"),
+        }
+    }
+}
+
 /// Outcome of a verification run.
 #[derive(Debug, Clone)]
+#[must_use = "a dropped Verdict silently discards the verification outcome"]
 pub enum Verdict {
     /// Every execution is safe and every await terminates.
     Verified,
@@ -159,6 +196,9 @@ pub enum Verdict {
     /// The program broke a modeling obligation (Bounded-Length /
     /// Bounded-Effect principles) or an exploration budget.
     Fault(String),
+    /// The run was cut short — by a [`crate::CancelToken`] or a deadline —
+    /// before exploration finished. Not a statement about the program.
+    Interrupted(Interrupt),
 }
 
 impl Verdict {
@@ -185,12 +225,14 @@ impl fmt::Display for Verdict {
                 write!(f, "await-termination violation: {}", c.message)
             }
             Verdict::Fault(m) => write!(f, "fault: {m}"),
+            Verdict::Interrupted(i) => write!(f, "interrupted: {i}"),
         }
     }
 }
 
 /// Full result of [`crate::explore`].
 #[derive(Debug, Clone)]
+#[must_use = "a dropped AmcResult silently discards the verification outcome"]
 pub struct AmcResult {
     /// The verdict.
     pub verdict: Verdict,

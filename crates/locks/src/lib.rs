@@ -8,8 +8,15 @@
 //! * [`runtime`] — executable implementations of the 18 locks of the
 //!   paper's Table 5, parameterized by barrier profile (sc-only vs
 //!   optimized), run on the `vsync-sim` virtual-time multicore simulator.
+//!
+//! The [`registry`] maps canonical lock names to [`model`] entries with
+//! catalog metadata, and [`SessionExt`] extends `vsync_core::Session`
+//! with the name-based `Session::lock("qspinlock", 3, 1)` constructor.
 
 #![warn(missing_docs)]
 
 pub mod model;
+pub mod registry;
 pub mod runtime;
+
+pub use registry::{LockEntry, SessionExt, UnknownLock};

@@ -33,23 +33,8 @@ pub use rwlock::{rwlock_reader_scenario, RwLock, WRITER};
 pub use simple::{CasLock, Semaphore, TicketLock, TtasLock};
 
 /// The catalog of verifiable lock models with their default (published)
-/// barrier assignments.
+/// barrier assignments — every [`crate::registry`] entry, built, in
+/// catalog order.
 pub fn all_lock_models() -> Vec<Box<dyn LockModel>> {
-    vec![
-        Box::new(CasLock::default()),
-        Box::new(TtasLock::default()),
-        Box::new(TicketLock::default()),
-        Box::new(Semaphore::default()),
-        Box::new(McsLock::default()),
-        Box::new(CertikosMcs),
-        Box::new(ClhLock::default()),
-        Box::new(DpdkMcsLock::patched()),
-        Box::new(HuaweiMcsLock::patched()),
-        Box::new(RwLock::default()),
-        Box::new(Qspinlock),
-        Box::new(ArrayLock::default()),
-        Box::new(TwaLock::default()),
-        Box::new(RecursiveLock::default()),
-        Box::new(FutexMutex::default()),
-    ]
+    crate::registry::catalog().iter().map(crate::registry::LockEntry::build).collect()
 }

@@ -1,0 +1,209 @@
+//! Name-based registry of the verifiable lock catalog.
+//!
+//! Every model-layer lock is registered here once, with its canonical
+//! name (the same string its [`LockModel::name`] reports) and catalog
+//! metadata. The registry is what makes the push-button surface
+//! *addressable*: CLI commands, services and the bench drivers resolve
+//! locks [`by_name`] instead of re-listing the catalog by hand, and
+//! [`SessionExt::lock`] turns a name straight into a runnable
+//! [`Session`].
+//!
+//! ```
+//! use vsync_core::Session;
+//! use vsync_locks::SessionExt as _;
+//!
+//! let report = Session::lock("ttas", 2, 1).run();
+//! assert!(report.is_verified());
+//! ```
+
+use std::fmt;
+
+use vsync_core::Session;
+use vsync_lang::Program;
+
+use crate::model::{
+    mutex_client, ArrayLock, CasLock, CertikosMcs, ClhLock, DpdkMcsLock, FutexMutex,
+    HuaweiMcsLock, LockModel, McsLock, Qspinlock, RecursiveLock, RwLock, Semaphore, TicketLock,
+    TtasLock, TwaLock,
+};
+
+/// One registry row: the canonical name, catalog metadata and a
+/// constructor for the lock with its default (published) barriers.
+pub struct LockEntry {
+    /// Canonical name — always equal to the built lock's
+    /// [`LockModel::name`].
+    pub name: &'static str,
+    /// Structural family, for catalog listings.
+    pub family: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+    build: fn() -> Box<dyn LockModel>,
+}
+
+impl LockEntry {
+    /// Instantiate the lock with its default barrier assignment.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn LockModel> {
+        (self.build)()
+    }
+
+    /// The paper's generic mutual-exclusion client over this lock:
+    /// `threads` threads, `acquires` acquisitions each, with the
+    /// lost-update final-state check.
+    #[must_use]
+    pub fn client(&self, threads: usize, acquires: usize) -> Program {
+        mutex_client(self.build().as_ref(), threads, acquires)
+    }
+}
+
+impl fmt::Debug for LockEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockEntry")
+            .field("name", &self.name)
+            .field("family", &self.family)
+            .finish()
+    }
+}
+
+macro_rules! entry {
+    ($name:literal, $family:literal, $summary:literal, $build:expr) => {
+        LockEntry { name: $name, family: $family, summary: $summary, build: || Box::new($build) }
+    };
+}
+
+static CATALOG: [LockEntry; 15] = [
+    entry!("caslock", "flat", "compare-and-swap test-and-set lock", CasLock::default()),
+    entry!("ttas", "flat", "test-and-test-and-set lock (paper Fig. 3)", TtasLock::default()),
+    entry!(
+        "ticketlock",
+        "ticket",
+        "FIFO ticket lock (fetch-add next, await owner)",
+        TicketLock::default()
+    ),
+    entry!("semaphore", "flat", "binary semaphore via fetch-sub/add", Semaphore::default()),
+    entry!("mcs", "queue", "MCS queue lock (per-thread spin nodes)", McsLock::default()),
+    entry!(
+        "certikos-mcs",
+        "queue",
+        "CertiKOS's MCS variant (busy-flag handshake)",
+        CertikosMcs
+    ),
+    entry!("clh", "queue", "CLH queue lock (implicit predecessor nodes)", ClhLock::default()),
+    entry!(
+        "dpdk-mcs-fixed",
+        "queue",
+        "DPDK rte_mcslock with the §3.1 publication fix",
+        DpdkMcsLock::patched()
+    ),
+    entry!(
+        "huawei-mcs-fixed",
+        "queue",
+        "Huawei-product MCS with the §3.2 acquire fix",
+        HuaweiMcsLock::patched()
+    ),
+    entry!(
+        "rwlock",
+        "rw",
+        "reader-writer lock (writer-preference counter)",
+        RwLock::default()
+    ),
+    entry!(
+        "qspinlock",
+        "queue",
+        "Linux qspinlock (pending bit + MCS tail), §3.3 study case",
+        Qspinlock
+    ),
+    entry!(
+        "arraylock",
+        "array",
+        "Anderson array lock (per-slot spinning)",
+        ArrayLock::default()
+    ),
+    entry!(
+        "twalock",
+        "ticket",
+        "ticket lock with waiting array (TWA)",
+        TwaLock::default()
+    ),
+    entry!(
+        "recursive",
+        "composite",
+        "owner-reentrant recursive lock over a CAS core",
+        RecursiveLock::default()
+    ),
+    entry!(
+        "futex-mutex",
+        "composite",
+        "futex-style mutex (fast path + wait word)",
+        FutexMutex::default()
+    ),
+];
+
+/// The full catalog, in presentation order.
+#[must_use]
+pub fn catalog() -> &'static [LockEntry] {
+    &CATALOG
+}
+
+/// The canonical names of every registered lock, in catalog order.
+#[must_use]
+pub fn names() -> Vec<&'static str> {
+    CATALOG.iter().map(|e| e.name).collect()
+}
+
+/// The registry row for `name`, if registered.
+#[must_use]
+pub fn entry(name: &str) -> Option<&'static LockEntry> {
+    CATALOG.iter().find(|e| e.name == name)
+}
+
+/// Instantiate a lock by canonical name with its default barriers.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Box<dyn LockModel>> {
+    entry(name).map(LockEntry::build)
+}
+
+/// The error of [`SessionExt::try_lock`]: no such lock in the registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownLock {
+    /// The name that failed to resolve.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownLock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown lock '{}' (known: {})", self.name, names().join(", "))
+    }
+}
+
+impl std::error::Error for UnknownLock {}
+
+/// Registry-powered constructors for [`Session`]: bring this trait into
+/// scope and `Session::lock("qspinlock", 3, 1)` builds a session over the
+/// generic client of the named lock.
+pub trait SessionExt: Sized {
+    /// Session over the named lock's generic client (`threads` threads ×
+    /// `acquires` acquisitions, lost-update final check).
+    ///
+    /// # Panics
+    /// On an unregistered name, listing the registered ones — this is the
+    /// push-button entry point; use [`SessionExt::try_lock`] in services.
+    fn lock(name: &str, threads: usize, acquires: usize) -> Self;
+
+    /// Non-panicking [`SessionExt::lock`].
+    fn try_lock(name: &str, threads: usize, acquires: usize) -> Result<Self, UnknownLock>;
+}
+
+impl SessionExt for Session {
+    fn lock(name: &str, threads: usize, acquires: usize) -> Session {
+        match Self::try_lock(name, threads, acquires) {
+            Ok(s) => s,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    fn try_lock(name: &str, threads: usize, acquires: usize) -> Result<Session, UnknownLock> {
+        let entry = entry(name).ok_or_else(|| UnknownLock { name: name.to_owned() })?;
+        Ok(Session::new(entry.client(threads, acquires)))
+    }
+}

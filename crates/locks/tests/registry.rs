@@ -1,0 +1,67 @@
+//! The registry is the single source of truth for the lock catalog:
+//! every catalog entry resolves by name, names are canonical (equal to
+//! the built lock's own `name()`), and the session constructor works
+//! end-to-end.
+
+use vsync_core::Session;
+use vsync_locks::model::all_lock_models;
+use vsync_locks::registry::{by_name, catalog, entry, names};
+use vsync_locks::SessionExt as _;
+
+/// Satellite requirement: every `all_lock_models()` entry is reachable
+/// `by_name`, and the resolved lock is the same algorithm (same name).
+#[test]
+fn every_catalog_lock_is_reachable_by_name() {
+    let locks = all_lock_models();
+    assert_eq!(locks.len(), catalog().len());
+    for lock in locks {
+        let resolved = by_name(lock.name())
+            .unwrap_or_else(|| panic!("{} not reachable by_name", lock.name()));
+        assert_eq!(resolved.name(), lock.name());
+    }
+}
+
+/// Registry names are canonical: `entry(n).build().name() == n`, no
+/// duplicates, and metadata is filled in.
+#[test]
+fn registry_names_are_canonical_and_unique() {
+    let ns = names();
+    for n in &ns {
+        let e = entry(n).expect("listed name resolves");
+        assert_eq!(e.build().name(), *n, "registry key must match LockModel::name()");
+        assert!(!e.summary.is_empty(), "{n}: missing summary");
+        assert!(!e.family.is_empty(), "{n}: missing family");
+    }
+    let mut sorted = ns.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), ns.len(), "duplicate registry names");
+}
+
+#[test]
+fn unknown_names_resolve_to_none_and_helpful_errors() {
+    assert!(by_name("no-such-lock").is_none());
+    let err = Session::try_lock("no-such-lock", 2, 1).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("no-such-lock"), "{msg}");
+    assert!(msg.contains("qspinlock"), "error should list known locks: {msg}");
+}
+
+/// The name-based session front door verifies a real lock.
+#[test]
+fn session_lock_runs_a_catalog_entry() {
+    let report = Session::lock("ttas", 2, 1).run();
+    assert!(report.is_verified(), "{}", report.render());
+    assert_eq!(report.program, "ttas");
+    assert_eq!(report.models.len(), 1);
+}
+
+/// Clients built through the registry match clients built by hand.
+#[test]
+fn registry_client_matches_manual_client() {
+    let via_registry = entry("caslock").unwrap().client(2, 1);
+    let by_hand =
+        vsync_locks::model::mutex_client(&vsync_locks::model::CasLock::default(), 2, 1);
+    assert_eq!(via_registry.name(), by_hand.name());
+    assert_eq!(via_registry.num_threads(), by_hand.num_threads());
+}

@@ -135,7 +135,9 @@ impl ModelKind {
         }
     }
 
-    /// All built-in models (useful for cross-model tests).
+    /// All built-in models, weakest-checked last — the default *model
+    /// matrix* for cross-model sessions (`Session::models(ModelKind::all())`)
+    /// and tests.
     pub fn all() -> [ModelKind; 3] {
         [ModelKind::Sc, ModelKind::Tso, ModelKind::Vmm]
     }
@@ -144,6 +146,22 @@ impl ModelKind {
 impl std::fmt::Display for ModelKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.model().name())
+    }
+}
+
+/// Parse a model name, case-insensitively (`"sc"`, `"TSO"`, `"vmm"`) —
+/// the inverse of `Display` for configuration surfaces (CLI `--model`,
+/// service request fields).
+impl std::str::FromStr for ModelKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "sc" => Ok(ModelKind::Sc),
+            "tso" => Ok(ModelKind::Tso),
+            "vmm" => Ok(ModelKind::Vmm),
+            other => Err(format!("unknown memory model '{other}' (sc, tso, vmm)")),
+        }
     }
 }
 
@@ -158,6 +176,15 @@ mod tests {
         assert_eq!(ModelKind::Vmm.model().name(), "VMM");
         assert_eq!(ModelKind::default(), ModelKind::Vmm);
         assert_eq!(ModelKind::Vmm.to_string(), "VMM");
+    }
+
+    #[test]
+    fn kinds_parse_back_from_display_and_lowercase() {
+        for kind in ModelKind::all() {
+            assert_eq!(kind.to_string().parse::<ModelKind>(), Ok(kind));
+            assert_eq!(kind.to_string().to_lowercase().parse::<ModelKind>(), Ok(kind));
+        }
+        assert!("power".parse::<ModelKind>().is_err());
     }
 
     /// SC admits a subset of TSO which admits a subset of VMM on the

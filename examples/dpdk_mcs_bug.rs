@@ -7,21 +7,26 @@
 //! await-termination violation with the finite witness graph; the fix
 //! (release publication + acquire consumption) verifies.
 //!
+//! One cross-model `Session` covers all three models: the hang needs a
+//! weak memory model, so VMM fails while TSO and SC verify.
+//!
 //! ```sh
 //! cargo run --release --example dpdk_mcs_bug
 //! ```
 
-use vsync::core::{explore, AmcConfig, Verdict};
+use vsync::core::{Session, Verdict};
 use vsync::graph::to_dot;
 use vsync::locks::model::dpdk_scenario;
 use vsync::model::ModelKind;
 
 fn main() {
     println!("=== DPDK rte_mcslock v20.05, scenario of Fig. 13 ===\n");
-    for model in [ModelKind::Vmm, ModelKind::Tso, ModelKind::Sc] {
-        let result = explore(&dpdk_scenario(false), &AmcConfig::with_model(model));
-        println!("buggy lock under {model}: {}", result.verdict);
-        if let Verdict::AwaitTermination(ce) = &result.verdict {
+    let report = Session::new(dpdk_scenario(false))
+        .models([ModelKind::Vmm, ModelKind::Tso, ModelKind::Sc])
+        .run();
+    for run in &report.models {
+        println!("buggy lock under {}: {}", run.model, run.verdict);
+        if let Verdict::AwaitTermination(ce) = &run.verdict {
             println!("\nwitness graph (cf. paper Fig. 14):\n{}", ce.graph.render());
             println!("Graphviz form written to stderr; render with `dot -Tsvg`.");
             eprintln!("{}", to_dot(&ce.graph));
@@ -29,7 +34,8 @@ fn main() {
     }
     println!("\nThe hang needs a weak memory model: TSO and SC admit no such execution.");
 
-    let result = explore(&dpdk_scenario(true), &AmcConfig::with_model(ModelKind::Vmm));
-    println!("\nfixed lock under VMM: {}", result.verdict);
-    println!("  ({} executions explored)", result.stats.complete_executions);
+    let report = Session::new(dpdk_scenario(true)).model(ModelKind::Vmm).run();
+    let run = &report.models[0];
+    println!("\nfixed lock under VMM: {}", run.verdict);
+    println!("  ({} executions explored)", run.stats.complete_executions);
 }

@@ -10,15 +10,20 @@
 //! cargo run --release --example huawei_mcs_bug
 //! ```
 
-use vsync::core::{explore, AmcConfig, Verdict};
+use vsync::core::{Session, Verdict};
 use vsync::locks::model::huawei_scenario;
 use vsync::model::ModelKind;
 
 fn main() {
     println!("=== Huawei-product MCS lock, scenario of Fig. 19 ===\n");
-    let result = explore(&huawei_scenario(false), &AmcConfig::with_model(ModelKind::Vmm));
-    println!("shipped code under VMM: {}", result.verdict);
-    if let Verdict::Safety(ce) = &result.verdict {
+    // One cross-model session: broken under VMM, fine under SC — the
+    // classic x86-to-ARM porting bug, in one report.
+    let report = Session::new(huawei_scenario(false))
+        .models([ModelKind::Vmm, ModelKind::Sc])
+        .run();
+    let vmm = report.for_model(ModelKind::Vmm).expect("VMM in matrix");
+    println!("shipped code under VMM: {}", vmm.verdict);
+    if let Verdict::Safety(ce) = &vmm.verdict {
         println!("\nlost-update execution (cf. paper Fig. 19):\n{}", ce.graph.render());
         let final_state = ce.graph.final_state();
         println!(
@@ -26,10 +31,9 @@ fn main() {
             final_state.get(&vsync::locks::model::COUNTER).unwrap_or(&0)
         );
     }
+    let sc = report.for_model(ModelKind::Sc).expect("SC in matrix");
+    println!("\nshipped code under SC:  {} (an x86-to-ARM porting bug)", sc.verdict);
 
-    let result = explore(&huawei_scenario(false), &AmcConfig::with_model(ModelKind::Sc));
-    println!("\nshipped code under SC:  {} (an x86-to-ARM porting bug)", result.verdict);
-
-    let result = explore(&huawei_scenario(true), &AmcConfig::with_model(ModelKind::Vmm));
-    println!("with the acquire fence: {}", result.verdict);
+    let report = Session::new(huawei_scenario(true)).model(ModelKind::Vmm).run();
+    println!("with the acquire fence: {}", report.models[0].verdict);
 }

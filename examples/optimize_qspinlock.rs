@@ -5,7 +5,8 @@
 //! site to the weakest mode that still verifies — safety (no lost
 //! increments) *and* await termination — under the weak memory model.
 //!
-//! This example uses the quick 2-thread oracle; run the
+//! This example uses the quick 2-thread oracle (driven end-to-end by the
+//! registry-backed `Session` pipeline inside `vsync_bench`); run the
 //! `table1_qspinlock` bench binary for the full experiment with the
 //! 3-thread queue-path scenario.
 //!

@@ -1,29 +1,32 @@
-//! Quickstart: model a lock, verify it with AMC, break it, and let the
-//! optimizer find the minimal barriers.
+//! Quickstart: verify a lock from the registry across the whole model
+//! matrix, break it, and let the optimizer find the minimal barriers —
+//! all through the push-button `Session` pipeline.
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use vsync::core::{explore, optimize, AmcConfig, OptimizerConfig, Verdict};
+use vsync::core::{OptimizerConfig, Session, Verdict};
 use vsync::graph::Mode;
 use vsync::lang::{ProgramBuilder, Reg, Test};
 use vsync::locks::model::{mutex_client, TtasLock};
+use vsync::locks::SessionExt as _;
 use vsync::model::ModelKind;
 
 fn main() {
-    // 1. Verify the paper's Fig. 3 TTAS lock under the weak memory model:
-    //    two threads, each acquiring once and incrementing a counter.
-    let program = mutex_client(&TtasLock::default(), 2, 1);
-    let result = explore(&program, &AmcConfig::default());
-    println!("TTAS lock, correct barriers:  {}", result.verdict);
-    println!("  explored: {}", result.stats);
+    // 1. Verify the paper's Fig. 3 TTAS lock under SC, TSO and the weak
+    //    memory model: two threads, each acquiring once and incrementing
+    //    a counter. One session, three verdicts, one structured report.
+    let report = Session::lock("ttas", 2, 1).models(ModelKind::all()).run();
+    print!("TTAS lock, correct barriers:\n{}", report.render());
+    println!("machine-readable: {} bytes of JSON\n", report.to_json().len());
 
     // 2. The same lock with a relaxed exchange loses mutual exclusion.
     let broken = TtasLock { xchg_mode: Mode::Rlx, ..TtasLock::default() };
-    let result = explore(&mutex_client(&broken, 2, 1), &AmcConfig::default());
-    println!("\nTTAS lock, relaxed xchg:      {}", result.verdict);
-    if let Verdict::Safety(ce) = &result.verdict {
+    let report = Session::new(mutex_client(&broken, 2, 1)).run();
+    let verdict = &report.models[0].verdict;
+    println!("TTAS lock, relaxed xchg:      {verdict}");
+    if let Verdict::Safety(ce) = verdict {
         println!("counterexample execution:\n{}", ce.graph.render());
     }
 
@@ -42,9 +45,12 @@ fn main() {
     pb.final_check(0x10, Test::eq(42u64), "data still in place");
     let program = pb.build().expect("well-formed");
 
-    let config = OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 };
-    let report = optimize(&program, &config);
+    let report = Session::new(program)
+        .model(ModelKind::Vmm)
+        .optimize(OptimizerConfig::default())
+        .run();
+    let opt = report.models[0].optimization.as_ref().expect("MP verifies, so it optimizes");
     println!("\nOptimizer on all-SC message passing:");
-    println!("  {} -> {}", report.before, report.after);
-    print!("{}", report.render());
+    println!("  {} -> {}", opt.before, opt.after);
+    print!("{}", opt.render());
 }

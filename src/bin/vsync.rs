@@ -8,27 +8,36 @@
 //! vsync litmus <sb|mp|lb|iriw>        explore a classic litmus shape
 //!
 //! options:
-//!   --threads N     client threads (default 2)
-//!   --acquires K    acquisitions per thread (default 1)
-//!   --model M       sc | tso | vmm (default vmm)
-//!   --enumerate     (optimize) list all maximally-relaxed assignments
-//!   --dot           (verify/bug) print counterexamples as Graphviz
+//!   --threads N      client threads (default 2)
+//!   --acquires K     acquisitions per thread (default 1)
+//!   --model M        sc | tso | vmm (default vmm)
+//!   --models A,B     comma-separated model matrix (overrides --model)
+//!   --workers N      exploration worker threads (default 1)
+//!   --deadline-ms T  wall-clock budget; expiry reports `interrupted`
+//!   --json           (verify/bug) print the structured Report as JSON
+//!   --progress       (verify/bug) stream progress snapshots to stderr
+//!   --enumerate      (optimize) list all maximally-relaxed assignments
+//!   --dot            (verify/bug) print counterexamples as Graphviz
 //! ```
 
 use std::process::ExitCode;
+use std::time::Duration;
 
-use vsync::core::{
-    enumerate_maximal, explore, optimize, AmcConfig, OptimizerConfig, Verdict,
-};
+use vsync::core::{enumerate_maximal, AmcConfig, OptimizerConfig, Report, Session};
 use vsync::graph::{to_dot, Mode};
 use vsync::lang::{Program, ProgramBuilder, Reg};
-use vsync::locks::model::{all_lock_models, dpdk_scenario, huawei_scenario, mutex_client};
+use vsync::locks::model::{dpdk_scenario, huawei_scenario};
+use vsync::locks::registry;
 use vsync::model::ModelKind;
 
 struct Options {
     threads: usize,
     acquires: usize,
-    model: ModelKind,
+    models: Vec<ModelKind>,
+    workers: usize,
+    deadline: Option<Duration>,
+    json: bool,
+    progress: bool,
     enumerate: bool,
     dot: bool,
     fixed: bool,
@@ -39,7 +48,11 @@ impl Options {
         let mut o = Options {
             threads: 2,
             acquires: 1,
-            model: ModelKind::Vmm,
+            models: vec![ModelKind::Vmm],
+            workers: 1,
+            deadline: None,
+            json: false,
+            progress: false,
             enumerate: false,
             dot: false,
             fixed: false,
@@ -60,13 +73,29 @@ impl Options {
                         .ok_or("--acquires needs a number")?
                 }
                 "--model" => {
-                    o.model = match it.next().map(String::as_str) {
-                        Some("sc") => ModelKind::Sc,
-                        Some("tso") => ModelKind::Tso,
-                        Some("vmm") => ModelKind::Vmm,
-                        other => return Err(format!("unknown model {other:?}")),
-                    }
+                    let m = it.next().ok_or("--model needs sc|tso|vmm")?;
+                    o.models = vec![m.parse()?];
                 }
+                "--models" => {
+                    let ms = it.next().ok_or("--models needs a comma-separated list")?;
+                    o.models =
+                        ms.split(',').map(str::parse).collect::<Result<Vec<_>, _>>()?;
+                }
+                "--workers" => {
+                    o.workers = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--workers needs a number")?
+                }
+                "--deadline-ms" => {
+                    let ms: u64 = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--deadline-ms needs a number")?;
+                    o.deadline = Some(Duration::from_millis(ms));
+                }
+                "--json" => o.json = true,
+                "--progress" => o.progress = true,
                 "--enumerate" => o.enumerate = true,
                 "--dot" => o.dot = true,
                 "--fixed" => o.fixed = true,
@@ -75,26 +104,40 @@ impl Options {
         }
         Ok(o)
     }
+
+    /// A session over `program` with every runtime option applied.
+    fn session(&self, program: Program) -> Session {
+        let mut s = Session::new(program)
+            .models(self.models.iter().copied())
+            .workers(self.workers);
+        if let Some(d) = self.deadline {
+            s = s.deadline(d);
+        }
+        if self.progress {
+            s = s.on_progress(|p| {
+                eprintln!(
+                    "[{}] {:.1?}: {} ({} workers)",
+                    p.model, p.elapsed, p.stats, p.workers
+                );
+            });
+        }
+        s
+    }
 }
 
-fn lock_program(name: &str, o: &Options) -> Result<Program, String> {
-    let locks = all_lock_models();
-    let lock = locks
-        .iter()
-        .find(|l| l.name() == name)
-        .ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
-    Ok(mutex_client(lock.as_ref(), o.threads, o.acquires))
-}
-
-fn report(verdict: &Verdict, dot: bool) -> ExitCode {
-    println!("{verdict}");
-    if let Some(ce) = verdict.counterexample() {
-        println!("\ncounterexample:\n{}", ce.graph.render());
-        if dot {
-            println!("{}", to_dot(&ce.graph));
+/// Print a session report and turn it into an exit code.
+fn report(r: &Report, o: &Options) -> ExitCode {
+    if o.json {
+        println!("{}", r.to_json());
+    } else {
+        print!("{}", r.render());
+        if o.dot {
+            if let Some(ce) = r.models.iter().find_map(|m| m.verdict.counterexample()) {
+                println!("{}", to_dot(&ce.graph));
+            }
         }
     }
-    if verdict.is_verified() {
+    if r.is_verified() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
@@ -161,33 +204,40 @@ fn run() -> Result<ExitCode, String> {
         }
     };
     if cmd == "--help" || cmd == "help" {
-        println!("{}", include_str!("vsync.rs").lines().skip(2).take(14).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+        println!("{}", include_str!("vsync.rs").lines().skip(2).take(19).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
         return Ok(ExitCode::SUCCESS);
     }
     match cmd {
         "locks" => {
-            for lock in all_lock_models() {
-                println!("{}", lock.name());
+            for e in registry::catalog() {
+                println!("{:<18} {:<10} {}", e.name, e.family, e.summary);
             }
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
             let (name, rest) = rest.split_first().ok_or("verify needs a lock name")?;
             let o = Options::parse(rest)?;
-            let p = lock_program(name, &o)?;
-            let r = explore(&p, &AmcConfig::with_model(o.model));
-            eprintln!(
-                "{} under {} with {} thread(s) x {} acquire(s): {}",
-                name, o.model, o.threads, o.acquires, r.stats
-            );
-            Ok(report(&r.verdict, o.dot))
+            let entry =
+                registry::entry(name).ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
+            let r = o.session(entry.client(o.threads, o.acquires)).run();
+            Ok(report(&r, &o))
         }
         "optimize" => {
             let (name, rest) = rest.split_first().ok_or("optimize needs a lock name")?;
             let o = Options::parse(rest)?;
-            let p = lock_program(name, &o)?.with_all_sc();
-            let cfg = OptimizerConfig { amc: AmcConfig::with_model(o.model), max_passes: 0 };
+            let entry =
+                registry::entry(name).ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
+            let p = entry.client(o.threads, o.acquires).with_all_sc();
             if o.enumerate {
+                if o.deadline.is_some() || o.json || o.progress || o.models.len() > 1 {
+                    eprintln!(
+                        "note: --enumerate honors --model and --workers only; \
+                         other session flags are ignored"
+                    );
+                }
+                let cfg = OptimizerConfig::with_amc(
+                    AmcConfig::with_model(o.models[0]).with_workers(o.workers),
+                );
                 let (names, maximal) = enumerate_maximal(&p, &cfg);
                 println!("{} maximally-relaxed assignment(s):", maximal.len());
                 for (i, modes) in maximal.iter().enumerate() {
@@ -196,14 +246,16 @@ fn run() -> Result<ExitCode, String> {
                         println!("  {n:<44} {m}");
                     }
                 }
+                Ok(ExitCode::SUCCESS)
             } else {
-                let report = optimize(&p, &cfg);
-                print!("{}", report.render());
-                if !report.verified {
-                    return Ok(ExitCode::FAILURE);
+                let r = o.session(p).optimize(OptimizerConfig::default()).run();
+                if o.json {
+                    println!("{}", r.to_json());
+                } else {
+                    print!("{}", r.render());
                 }
+                Ok(if r.is_verified() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
             }
-            Ok(ExitCode::SUCCESS)
         }
         "bug" => {
             let (which, rest) = rest.split_first().ok_or("bug needs dpdk|huawei")?;
@@ -213,20 +265,22 @@ fn run() -> Result<ExitCode, String> {
                 "huawei" => huawei_scenario(o.fixed),
                 other => return Err(format!("unknown study case '{other}'")),
             };
-            let r = explore(&p, &AmcConfig::with_model(o.model));
-            Ok(report(&r.verdict, o.dot))
+            let r = o.session(p).run();
+            Ok(report(&r, &o))
         }
         "litmus" => {
             let (name, rest) = rest.split_first().ok_or("litmus needs a shape name")?;
             let o = Options::parse(rest)?;
             let p = litmus(name)?;
-            let r = explore(&p, &AmcConfig::with_model(o.model).collecting());
-            println!(
-                "{name} under {}: {} consistent executions",
-                o.model, r.stats.complete_executions
-            );
-            for (i, g) in r.executions.iter().enumerate() {
-                println!("--- execution {i} ---\n{}", g.render());
+            let r = o.session(p).collect_executions().run();
+            for m in &r.models {
+                println!(
+                    "{name} under {}: {} consistent executions",
+                    m.model, m.stats.complete_executions
+                );
+                for (i, g) in m.executions.iter().enumerate() {
+                    println!("--- execution {i} ---\n{}", g.render());
+                }
             }
             Ok(ExitCode::SUCCESS)
         }

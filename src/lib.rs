@@ -1,4 +1,4 @@
-//! # vsync — await model checking and barrier optimization in Rust
+//! # vsync — Await Model Checking and barrier optimization in Rust
 //!
 //! A from-scratch reproduction of *"VSync: Push-Button Verification and
 //! Optimization for Synchronization Primitives on Weak Memory Models"*
@@ -10,24 +10,31 @@
 //! * [`model`] — weak memory models (`SC`, `TSO`, RC11-style `VMM`);
 //! * [`lang`] — the modeling language with primitive awaits and its
 //!   graph-driven replay semantics;
-//! * [`core`] — **AMC**, the await-aware stateless model checker, and the
-//!   push-button barrier optimizer (the paper's contribution);
+//! * [`core`] — **AMC**, the await-aware stateless model checker, the
+//!   push-button barrier optimizer (the paper's contribution), and the
+//!   [`core::Session`] pipeline that fronts them;
 //! * [`locks`] — the verified lock catalog (incl. the paper's three study
-//!   cases) and the 18 runtime locks of the evaluation;
+//!   cases), its name-based [`locks::registry`], and the 18 runtime locks
+//!   of the evaluation;
 //! * [`sim`] — the deterministic virtual-time multicore simulator behind
 //!   the performance evaluation.
 //!
 //! ## Quickstart
 //!
+//! One [`core::Session`] takes a named lock to a structured, per-model
+//! [`core::Report`] — the paper's push-button workflow:
+//!
 //! ```
-//! use vsync::core::{verify, AmcConfig};
-//! use vsync::locks::model::{mutex_client, TtasLock};
+//! use vsync::core::Session;
+//! use vsync::locks::SessionExt as _;
+//! use vsync::model::ModelKind;
 //!
 //! // Verify the paper's Fig. 3 TTAS lock: mutual exclusion + await
-//! // termination under the weak memory model.
-//! let program = mutex_client(&TtasLock::default(), 2, 1);
-//! let verdict = verify(&program, &AmcConfig::default());
-//! assert!(verdict.is_verified());
+//! // termination under SC, TSO and the weak memory model.
+//! let report = Session::lock("ttas", 2, 1).models(ModelKind::all()).run();
+//! assert!(report.is_verified());
+//! assert_eq!(report.models.len(), 3);
+//! println!("{}", report.to_json());
 //! ```
 
 #![warn(missing_docs)]

@@ -2,38 +2,35 @@
 //! every lock with its published barriers verifies; targeted relaxations
 //! of the load-bearing barriers produce violations.
 
-use vsync::core::{explore, verify, AmcConfig, Verdict};
+use vsync::core::{explore, verify, AmcConfig, Session, Verdict};
 use vsync::model::MemoryModel as _;
 use vsync::graph::Mode;
 use vsync::locks::model::{
-    all_lock_models, mutex_client, rwlock_reader_scenario, CasLock, ClhLock, McsLock, RwLock,
-    Semaphore, TicketLock, TtasLock,
+    mutex_client, rwlock_reader_scenario, CasLock, ClhLock, McsLock, RwLock, Semaphore,
+    TicketLock, TtasLock,
 };
+use vsync::locks::registry;
+use vsync::locks::SessionExt as _;
 use vsync::model::ModelKind;
 
 fn vmm() -> AmcConfig {
     AmcConfig::with_model(ModelKind::Vmm)
 }
 
-/// Every cataloged lock passes the 2-thread generic client under VMM.
+/// Every registered lock passes the 2-thread generic client across the
+/// full model matrix (SC and TSO are stronger than VMM) — one session per
+/// lock, straight off the registry.
 #[test]
-fn catalog_verifies_two_threads() {
-    for lock in all_lock_models() {
-        let p = mutex_client(lock.as_ref(), 2, 1);
-        let r = explore(&p, &vmm());
-        assert!(r.is_verified(), "{}: {}", lock.name(), r.verdict);
-        assert!(r.stats.complete_executions > 0, "{} explored nothing", lock.name());
-    }
-}
-
-/// Every cataloged lock also passes under SC and TSO (stronger models).
-#[test]
-fn catalog_verifies_under_stronger_models() {
-    for lock in all_lock_models() {
-        for model in [ModelKind::Sc, ModelKind::Tso] {
-            let p = mutex_client(lock.as_ref(), 2, 1);
-            let v = verify(&p, &AmcConfig::with_model(model));
-            assert!(v.is_verified(), "{} under {model}: {v}", lock.name());
+fn catalog_verifies_two_threads_across_models() {
+    for name in registry::names() {
+        let report = Session::lock(name, 2, 1).models(ModelKind::all()).run();
+        assert!(report.is_verified(), "{name}:\n{}", report.render());
+        for run in &report.models {
+            assert!(
+                run.stats.complete_executions > 0,
+                "{name} under {} explored nothing",
+                run.model
+            );
         }
     }
 }

@@ -11,7 +11,7 @@ use vsync::locks::model::{mutex_client, CasLock, McsLock, TicketLock, TtasLock};
 use vsync::model::ModelKind;
 
 fn config() -> OptimizerConfig {
-    OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 }
+    OptimizerConfig::with_amc(AmcConfig::with_model(ModelKind::Vmm))
 }
 
 fn mode_of(p: &Program, name: &str) -> Mode {
@@ -130,7 +130,7 @@ fn optimizer_report_steps_are_replayable() {
 fn optimization_depends_on_the_memory_model() {
     let base = mutex_client(&CasLock::default(), 2, 1).with_all_sc();
     let per_model = |model: ModelKind| {
-        let cfg = OptimizerConfig { amc: AmcConfig::with_model(model), max_passes: 0 };
+        let cfg = OptimizerConfig::with_amc(AmcConfig::with_model(model));
         let report = optimize(&base, &cfg);
         assert!(report.verified, "{model}");
         report.after
@@ -148,7 +148,7 @@ fn optimization_depends_on_the_memory_model() {
 #[test]
 fn vmm_optimum_verifies_under_stronger_models() {
     let base = mutex_client(&TtasLock::default(), 2, 1).with_all_sc();
-    let cfg = OptimizerConfig { amc: AmcConfig::with_model(ModelKind::Vmm), max_passes: 0 };
+    let cfg = OptimizerConfig::with_amc(AmcConfig::with_model(ModelKind::Vmm));
     let report = optimize(&base, &cfg);
     for model in [ModelKind::Sc, ModelKind::Tso] {
         let v = verify(&report.program, &AmcConfig::with_model(model));

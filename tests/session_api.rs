@@ -1,0 +1,330 @@
+//! Integration tests for the push-button `Session` pipeline: the
+//! cross-model acceptance matrix, cancellation and deadline budgets,
+//! progress streaming, and the structured JSON report.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use vsync::core::{
+    verify, AmcConfig, CancelToken, Interrupt, OptimizationReport, OptimizationStep,
+    OptimizerConfig, Report, Session, Verdict,
+};
+use vsync::core::{ExploreStats, ModelRun};
+use vsync::locks::SessionExt as _;
+use vsync::model::ModelKind;
+
+/// Acceptance criterion: one `Session::lock("qspinlock", 3, 1)` call over
+/// the full model matrix produces per-model verdicts identical to the
+/// equivalent sequence of legacy `verify` calls.
+#[test]
+fn qspinlock_matrix_matches_legacy_verify_sequence() {
+    let report =
+        Session::lock("qspinlock", 3, 1).models(ModelKind::all()).workers(8).run();
+    assert_eq!(report.models.len(), 3);
+    assert_eq!(report.program, "qspinlock");
+    let client = vsync::locks::registry::entry("qspinlock").unwrap().client(3, 1);
+    for run in &report.models {
+        let legacy =
+            verify(&client, &AmcConfig::with_model(run.model).with_workers(8));
+        assert_eq!(
+            std::mem::discriminant(&run.verdict),
+            std::mem::discriminant(&legacy),
+            "{}: session={} legacy={legacy}",
+            run.model,
+            run.verdict
+        );
+        assert!(run.verdict.is_verified(), "{}: {}", run.model, run.verdict);
+        assert!(run.stats.complete_executions > 0);
+    }
+    assert!(report.is_verified());
+}
+
+/// A `CancelToken` fired before the run interrupts deterministically for
+/// any worker count: `Interrupted(Cancelled)` with zero items processed.
+#[test]
+fn prefired_cancel_token_is_deterministic_across_worker_counts() {
+    for workers in [1, 2, 8] {
+        let session = Session::lock("mcs", 3, 1).workers(workers);
+        session.cancel_token().cancel();
+        let report = session.run();
+        let run = &report.models[0];
+        assert!(
+            matches!(run.verdict, Verdict::Interrupted(Interrupt::Cancelled)),
+            "workers={workers}: {}",
+            run.verdict
+        );
+        assert_eq!(run.stats.popped, 0, "workers={workers}: work was processed");
+        assert!(report.is_interrupted());
+        assert!(!report.is_verified());
+    }
+}
+
+/// A token fired mid-run (from the progress callback, i.e. from inside
+/// the hot loop) still lands on `Interrupted` for any worker count.
+#[test]
+fn midrun_cancel_interrupts_for_all_worker_counts() {
+    for workers in [1, 2, 8] {
+        let session = Session::lock("mcs", 3, 1)
+            .workers(workers)
+            .progress_interval(Duration::ZERO);
+        let token = session.cancel_token();
+        let report = session.on_progress(move |_| token.cancel()).run();
+        let run = &report.models[0];
+        assert!(
+            matches!(run.verdict, Verdict::Interrupted(Interrupt::Cancelled)),
+            "workers={workers}: {}",
+            run.verdict
+        );
+        // The run did start: some items were popped before the cancel.
+        assert!(run.stats.popped > 0, "workers={workers}");
+    }
+}
+
+/// A zero deadline never hangs: every worker count reports
+/// `Interrupted(DeadlineExceeded)` without processing anything.
+#[test]
+fn zero_deadline_never_hangs() {
+    for workers in [1, 2, 8] {
+        let report = Session::lock("qspinlock", 3, 1)
+            .workers(workers)
+            .deadline(Duration::ZERO)
+            .run();
+        let run = &report.models[0];
+        assert!(
+            matches!(run.verdict, Verdict::Interrupted(Interrupt::DeadlineExceeded)),
+            "workers={workers}: {}",
+            run.verdict
+        );
+        assert_eq!(run.stats.popped, 0, "workers={workers}");
+    }
+}
+
+/// A deadline covers the whole matrix: once expired, later models are
+/// reported interrupted too (nothing silently runs to completion).
+#[test]
+fn expired_deadline_covers_remaining_matrix_entries() {
+    let report = Session::lock("ttas", 2, 1)
+        .models(ModelKind::all())
+        .deadline(Duration::ZERO)
+        .run();
+    assert_eq!(report.models.len(), 3);
+    for run in &report.models {
+        assert!(
+            matches!(run.verdict, Verdict::Interrupted(Interrupt::DeadlineExceeded)),
+            "{}: {}",
+            run.model,
+            run.verdict
+        );
+    }
+}
+
+/// Progress snapshots stream from the hot loop with plausible,
+/// monotonically growing counters and the right model stamp.
+#[test]
+fn progress_snapshots_stream_from_the_hot_loop() {
+    let snapshots = Arc::new(AtomicU64::new(0));
+    let max_popped = Arc::new(AtomicU64::new(0));
+    let (s, m) = (snapshots.clone(), max_popped.clone());
+    let report = Session::lock("ttas", 2, 2)
+        .progress_interval(Duration::ZERO)
+        .on_progress(move |p| {
+            assert_eq!(p.model, ModelKind::Vmm);
+            assert_eq!(p.workers, 1);
+            s.fetch_add(1, Ordering::Relaxed);
+            m.fetch_max(p.stats.popped, Ordering::Relaxed);
+        })
+        .run();
+    assert!(report.is_verified());
+    let n = snapshots.load(Ordering::Relaxed);
+    assert!(n > 0, "no snapshots emitted");
+    let seen = max_popped.load(Ordering::Relaxed);
+    assert!(
+        seen <= report.models[0].stats.popped,
+        "snapshot popped {seen} exceeds final {}",
+        report.models[0].stats.popped
+    );
+    assert!(seen > 0, "snapshots never carried counters");
+}
+
+/// Interrupted optimization keeps the verified-so-far assignment and is
+/// flagged, both in the report struct and the JSON.
+#[test]
+fn cancel_during_optimization_is_reported() {
+    let session = Session::lock("ttas", 2, 1)
+        .optimize(OptimizerConfig::default())
+        .progress_interval(Duration::ZERO);
+    let token = session.cancel_token();
+    // Fire during the *verification* phase: optimization never starts.
+    let report = session.on_progress(move |_| token.cancel()).run();
+    assert!(report.is_interrupted());
+    assert!(report.models[0].optimization.is_none());
+
+    // A token attached to the OptimizerConfig itself (the caller-supplied
+    // channel), pre-fired: verification completes, the optimizer stops
+    // deterministically before its first relaxation attempt.
+    let token = CancelToken::new();
+    token.cancel();
+    let report = Session::lock("ttas", 2, 1)
+        .optimize(OptimizerConfig::default().with_cancel(token))
+        .run();
+    assert!(report.is_interrupted(), "{}", report.to_json());
+    let opt = report.models[0].optimization.as_ref().expect("optimizer ran");
+    assert!(opt.interrupted);
+    assert!(opt.verified, "the session-verified baseline stays verified");
+    assert!(opt.steps.is_empty(), "no relaxation was attempted after the cancel");
+}
+
+/// Session-produced JSON is well-formed, has the documented stable key
+/// order, and round-trips through the bench JSON tooling.
+#[test]
+fn session_json_is_parseable_and_stable() {
+    let report = Session::lock("ttas", 2, 1).models(ModelKind::all()).run();
+    let json = report.to_json();
+    let v = vsync_bench::json::parse(&json).expect("valid JSON");
+    assert_eq!(
+        v.keys(),
+        vec!["program", "verified", "interrupted", "elapsed_ms", "models"]
+    );
+    assert_eq!(v.get("program").unwrap().as_str(), Some("ttas"));
+    assert_eq!(v.get("verified").unwrap().as_bool(), Some(true));
+    let models = v.get("models").unwrap().items();
+    assert_eq!(models.len(), 3);
+    for m in models {
+        assert_eq!(
+            m.keys(),
+            vec![
+                "model",
+                "verdict",
+                "message",
+                "counterexample",
+                "elapsed_ms",
+                "stats",
+                "optimization"
+            ]
+        );
+        assert_eq!(m.get("verdict").unwrap().as_str(), Some("verified"));
+        assert_eq!(
+            m.get("stats").unwrap().keys(),
+            vec![
+                "popped",
+                "pushed",
+                "duplicates",
+                "inconsistent",
+                "wasteful",
+                "revisits",
+                "complete_executions",
+                "blocked_graphs",
+                "events"
+            ]
+        );
+    }
+    // Round-trip: re-serializing the parsed value parses to the same tree.
+    let reparsed = vsync_bench::json::parse(&v.to_string()).expect("round-trip");
+    assert_eq!(v, reparsed);
+}
+
+/// Golden test: a hand-built report with fixed counters serializes to
+/// exactly this string. Catches accidental schema or key-order drift.
+#[test]
+fn report_json_golden() {
+    let mut pb = vsync::lang::ProgramBuilder::new("golden");
+    pb.thread(|t| {
+        t.store(0x10, 1u64, ("site.a", vsync::graph::Mode::Sc));
+    });
+    let program = pb.build().unwrap();
+    let summary = program.barrier_summary();
+    let report = Report {
+        program: "golden \"lock\"".to_owned(),
+        elapsed: Duration::from_micros(1500),
+        models: vec![
+            ModelRun {
+                model: ModelKind::Sc,
+                verdict: Verdict::Verified,
+                stats: ExploreStats {
+                    popped: 7,
+                    pushed: 6,
+                    complete_executions: 2,
+                    events: 40,
+                    ..Default::default()
+                },
+                elapsed: Duration::from_micros(1000),
+                executions: Vec::new(),
+                optimization: Some(OptimizationReport {
+                    program: program.clone(),
+                    verified: true,
+                    interrupted: false,
+                    steps: vec![OptimizationStep {
+                        site: "site.a".to_owned(),
+                        from: vsync::graph::Mode::Sc,
+                        to: vsync::graph::Mode::Rlx,
+                        accepted: true,
+                    }],
+                    verifications: 3,
+                    before: summary,
+                    after: summary,
+                    elapsed: Duration::from_micros(250),
+                }),
+            },
+            ModelRun {
+                model: ModelKind::Vmm,
+                verdict: Verdict::Fault("budget\nblown".to_owned()),
+                stats: ExploreStats::default(),
+                elapsed: Duration::from_micros(500),
+                executions: Vec::new(),
+                optimization: None,
+            },
+        ],
+    };
+    let expected = concat!(
+        "{\"program\": \"golden \\\"lock\\\"\", \"verified\": false, ",
+        "\"interrupted\": false, \"elapsed_ms\": 1.500, \"models\": [",
+        "{\"model\": \"SC\", \"verdict\": \"verified\", \"message\": null, ",
+        "\"counterexample\": null, \"elapsed_ms\": 1.000, ",
+        "\"stats\": {\"popped\": 7, \"pushed\": 6, \"duplicates\": 0, ",
+        "\"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
+        "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40}, ",
+        "\"optimization\": {\"verified\": true, \"interrupted\": false, ",
+        "\"verifications\": 3, \"elapsed_ms\": 0.250, ",
+        "\"before\": {\"rlx\": 0, \"acq\": 0, \"rel\": 0, \"acq_rel\": 0, \"sc\": 1}, ",
+        "\"after\": {\"rlx\": 0, \"acq\": 0, \"rel\": 0, \"acq_rel\": 0, \"sc\": 1}, ",
+        "\"steps\": [{\"site\": \"site.a\", \"from\": \"sc\", \"to\": \"rlx\", ",
+        "\"accepted\": true}]}}, ",
+        "{\"model\": \"VMM\", \"verdict\": \"fault\", \"message\": \"budget\\nblown\", ",
+        "\"counterexample\": null, \"elapsed_ms\": 0.500, ",
+        "\"stats\": {\"popped\": 0, \"pushed\": 0, \"duplicates\": 0, ",
+        "\"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
+        "\"complete_executions\": 0, \"blocked_graphs\": 0, \"events\": 0}, ",
+        "\"optimization\": null}]}",
+    );
+    assert_eq!(report.to_json(), expected);
+    // And it is valid, round-trippable JSON.
+    let v = vsync_bench::json::parse(&report.to_json()).expect("valid");
+    assert_eq!(vsync_bench::json::parse(&v.to_string()).unwrap(), v);
+}
+
+/// A violating program surfaces its counterexample in the JSON.
+#[test]
+fn json_carries_counterexamples_for_violations() {
+    let report =
+        Session::new(vsync::locks::model::huawei_scenario(false)).model(ModelKind::Vmm).run();
+    assert!(!report.is_verified());
+    let v = vsync_bench::json::parse(&report.to_json()).expect("valid JSON");
+    let m = &v.get("models").unwrap().items()[0];
+    assert_eq!(m.get("verdict").unwrap().as_str(), Some("safety"));
+    assert!(m.get("message").unwrap().as_str().is_some());
+    let ce = m.get("counterexample").unwrap().as_str().expect("witness rendered");
+    assert!(!ce.is_empty());
+}
+
+/// The session honors `max_graphs` budgets like the legacy config did.
+#[test]
+fn max_graphs_budget_faults() {
+    let report = Session::lock("ttas", 2, 1).max_graphs(2).run();
+    assert!(matches!(report.models[0].verdict, Verdict::Fault(_)));
+    let v = vsync_bench::json::parse(&report.to_json()).unwrap();
+    assert_eq!(
+        v.get("models").unwrap().items()[0].get("verdict").unwrap().as_str(),
+        Some("fault")
+    );
+}
