@@ -37,22 +37,9 @@ struct Row {
     fast_n: Duration,
 }
 
-/// The perf matrix: row label, registry name, client threads, acquires.
-/// (Row labels predate the registry and are kept stable so the JSON's
-/// per-row history stays diffable across PRs.)
-const MATRIX: &[(&str, &str, usize, usize)] = &[
-    ("caslock-2t", "caslock", 2, 1),
-    ("caslock-3t", "caslock", 3, 1),
-    ("ttas-2t", "ttas", 2, 1),
-    ("ttas-2tx2", "ttas", 2, 2),
-    ("ticket-2t", "ticketlock", 2, 1),
-    ("ticket-3t", "ticketlock", 3, 1),
-    ("clh-2t", "clh", 2, 1),
-    ("mcs-2t", "mcs", 2, 1),
-    ("mcs-3t", "mcs", 3, 1),
-    ("qspinlock-2t", "qspinlock", 2, 1),
-    ("qspinlock-3t", "qspinlock", 3, 1),
-];
+// The 11-entry matrix lives in the lock registry (shared with
+// `optimize_perf` and the strategy-differential tests); row labels are
+// stable so the JSON's per-row history stays diffable across PRs.
 
 fn median_time(samples: usize, mut f: impl FnMut() -> Report) -> (Duration, Report) {
     // Discarded warmup so cold-start cost is not charged to whichever
@@ -80,18 +67,18 @@ fn main() {
         })
         .max(1);
 
+    let matrix = vsync_locks::registry::perf_matrix();
     eprintln!(
         "explore_perf: {} locks x 3 configs x {samples} samples (fast-N uses {workers} workers)",
-        MATRIX.len()
+        matrix.len()
     );
     let mut rows = Vec::new();
-    for &(label, lock, threads, acquires) in MATRIX {
+    for row in matrix {
+        let label = row.label;
         // Build the client program once per row, outside the timed
         // closures, so registry/program construction is not charged to
         // the explorer (a Program clone is a few hundred bytes).
-        let program = vsync_locks::registry::entry(lock)
-            .unwrap_or_else(|| panic!("{lock} not registered"))
-            .client(threads, acquires);
+        let program = row.client();
         let session = || Session::new(program.clone()).model(ModelKind::Vmm);
         let (baseline, r_base) =
             median_time(samples, || session().checker(CheckerKind::Reference).run());

@@ -1,0 +1,238 @@
+//! `optimize_perf` — the barrier-optimizer strategy matrix.
+//!
+//! Runs push-button optimization of every row of the standard 11-entry
+//! lock matrix (each from its all-SC baseline) under the three
+//! [`OptimizeStrategy`]s and compares *oracle-call counts*: full AMC
+//! explorations, candidate verifications and witness-cache hits. Asserts
+//! that
+//!
+//! * every strategy reaches the **identical final barrier assignment**
+//!   (the differential guarantee the engine's monotonic merge provides),
+//!   and
+//! * the adaptive strategy pays **at least 2x fewer full explorations**
+//!   than the sequential reference across the matrix (batch/bisect
+//!   screening + witness-cache replays).
+//!
+//! Prints a table and writes `BENCH_optimize.json` (validated by the
+//! in-repo JSON parser) next to `BENCH_explore.json` so the optimizer's
+//! cost trajectory is tracked across PRs.
+//!
+//! ```sh
+//! cargo run --release -p vsync-bench --bin optimize_perf
+//! ```
+//!
+//! Knobs: `VSYNC_WORKERS` (default: available parallelism) sizes the
+//! oracle and the screening pool; `VSYNC_QUICK=1` restricts the matrix to
+//! the 2-thread rows (CI smoke mode). With `VSYNC_WORKERS=1` exploration
+//! order — and therefore which violating graph seeds the witness cache —
+//! is deterministic, so the counts (and the ratio assert) are exactly
+//! reproducible; multi-worker runs may capture different witnesses and
+//! shift a few candidates between cache hits and explorations.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use vsync_core::{optimize, AmcConfig, OptimizationReport, OptimizeStrategy, OptimizerConfig};
+use vsync_graph::Mode;
+use vsync_model::ModelKind;
+
+struct StratCost {
+    verifications: u64,
+    explorations: u64,
+    graphs: u64,
+    cache_hits: u64,
+    elapsed: Duration,
+}
+
+impl StratCost {
+    fn of(r: &OptimizationReport) -> StratCost {
+        StratCost {
+            verifications: r.verifications,
+            explorations: r.explorations,
+            graphs: r.explored_graphs,
+            cache_hits: r.cache_hits,
+            elapsed: r.elapsed,
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            "{{\"verifications\": {}, \"explorations\": {}, \"graphs\": {}, \"cache_hits\": {}, \"elapsed_ms\": {:.3}}}",
+            self.verifications,
+            self.explorations,
+            self.graphs,
+            self.cache_hits,
+            self.elapsed.as_secs_f64() * 1e3
+        )
+    }
+}
+
+struct Row {
+    name: String,
+    sites: usize,
+    sequential: StratCost,
+    parallel: StratCost,
+    adaptive: StratCost,
+}
+
+fn main() {
+    let workers = std::env::var("VSYNC_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        })
+        .max(1);
+    let quick = vsync_bench::env_quick();
+
+    let matrix: Vec<_> = vsync_locks::registry::perf_matrix()
+        .iter()
+        .filter(|e| !quick || e.threads <= 2)
+        .collect();
+    eprintln!(
+        "optimize_perf: {} locks x 3 strategies ({workers} workers{})",
+        matrix.len(),
+        if quick { ", quick mode" } else { "" }
+    );
+
+    let config = |strategy: OptimizeStrategy| {
+        OptimizerConfig::with_amc(
+            AmcConfig::with_model(ModelKind::Vmm).with_workers(workers),
+        )
+        .with_strategy(strategy)
+    };
+
+    let mut rows = Vec::new();
+    for entry in &matrix {
+        let base = entry.client().with_all_sc();
+        let seq = optimize(&base, &config(OptimizeStrategy::Sequential));
+        let par = optimize(&base, &config(OptimizeStrategy::Parallel));
+        let ad = optimize(&base, &config(OptimizeStrategy::Adaptive));
+        for (r, s) in [(&seq, "sequential"), (&par, "parallel"), (&ad, "adaptive")] {
+            assert!(r.verified, "{}: {s} optimization failed to verify", entry.label);
+        }
+        let modes = |r: &OptimizationReport| -> Vec<Mode> { r.program.site_modes() };
+        assert_eq!(
+            modes(&seq),
+            modes(&par),
+            "{}: parallel diverged from the sequential reference",
+            entry.label
+        );
+        assert_eq!(
+            modes(&seq),
+            modes(&ad),
+            "{}: adaptive diverged from the sequential reference",
+            entry.label
+        );
+        eprintln!(
+            "  {:<14} seq {:>4} explorations  par {:>4} (+{} hits)  adaptive {:>4} (+{} hits)",
+            entry.label,
+            seq.explorations,
+            par.explorations,
+            par.cache_hits,
+            ad.explorations,
+            ad.cache_hits
+        );
+        rows.push(Row {
+            name: entry.label.to_owned(),
+            sites: base.relaxable_sites().len(),
+            sequential: StratCost::of(&seq),
+            parallel: StratCost::of(&par),
+            adaptive: StratCost::of(&ad),
+        });
+    }
+
+    let total = |f: fn(&Row) -> u64| rows.iter().map(f).sum::<u64>();
+    let seq_total = total(|r| r.sequential.explorations);
+    let par_total = total(|r| r.parallel.explorations);
+    let ad_total = total(|r| r.adaptive.explorations);
+    let ad_hits = total(|r| r.adaptive.cache_hits);
+    let seq_graphs = total(|r| r.sequential.graphs);
+    let par_graphs = total(|r| r.parallel.graphs);
+    let ad_graphs = total(|r| r.adaptive.graphs);
+    let ratio_par = seq_total as f64 / par_total.max(1) as f64;
+    let ratio_ad = seq_total as f64 / ad_total.max(1) as f64;
+    let gratio_ad = seq_graphs as f64 / ad_graphs.max(1) as f64;
+
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "lock", "sites", "sequential", "parallel", "adaptive", "hits(ad)", "ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>6} {:>12} {:>12} {:>12} {:>10} {:>7.2}x",
+            r.name,
+            r.sites,
+            r.sequential.explorations,
+            r.parallel.explorations,
+            r.adaptive.explorations,
+            r.adaptive.cache_hits,
+            r.sequential.explorations as f64 / r.adaptive.explorations.max(1) as f64
+        );
+    }
+    println!(
+        "{:<14} {:>6} {:>12} {:>12} {:>12} {:>10} {:>7.2}x",
+        "TOTAL",
+        rows.iter().map(|r| r.sites).sum::<usize>(),
+        seq_total,
+        par_total,
+        ad_total,
+        ad_hits,
+        ratio_ad
+    );
+    println!(
+        "oracle calls: sequential {seq_total}, parallel {par_total} ({ratio_par:.2}x vs \
+         sequential), adaptive {ad_total} ({ratio_ad:.2}x fewer, {ad_hits} witness-cache hits)"
+    );
+    println!(
+        "exploration work (popped graphs): sequential {seq_graphs}, parallel {par_graphs}, \
+         adaptive {ad_graphs} ({gratio_ad:.2}x fewer)"
+    );
+
+    // The headline acceptance criterion: across the matrix, the adaptive
+    // strategy must at least halve the sequential reference's count of
+    // full explorations (oracle calls that actually explored).
+    assert!(
+        ratio_ad >= 2.0,
+        "adaptive strategy must use >= 2x fewer full explorations than sequential \
+         (got {seq_total} vs {ad_total}, {ratio_ad:.2}x)"
+    );
+
+    // Hand-rolled JSON (the build environment has no serde).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"optimize_perf\",");
+    let _ = writeln!(json, "  \"workers\": {workers},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"sites\": {}, \"sequential\": {}, \"parallel\": {}, \
+             \"adaptive\": {}}}{comma}",
+            r.name,
+            r.sites,
+            r.sequential.json(),
+            r.parallel.json(),
+            r.adaptive.json(),
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"total\": {{\"sequential_explorations\": {seq_total}, \
+         \"parallel_explorations\": {par_total}, \"adaptive_explorations\": {ad_total}, \
+         \"sequential_graphs\": {seq_graphs}, \"parallel_graphs\": {par_graphs}, \
+         \"adaptive_graphs\": {ad_graphs}, \
+         \"adaptive_cache_hits\": {ad_hits}, \"exploration_ratio_parallel\": {ratio_par:.3}, \
+         \"exploration_ratio_adaptive\": {ratio_ad:.3}, \
+         \"graph_ratio_adaptive\": {gratio_ad:.3}}}"
+    );
+    let _ = writeln!(json, "}}");
+    // Self-check: the artifact must stay machine-readable.
+    let parsed = vsync_bench::json::parse(&json).expect("BENCH_optimize.json is valid JSON");
+    assert_eq!(parsed.get("rows").map(|r| r.items().len()), Some(rows.len()));
+    std::fs::write("BENCH_optimize.json", json).expect("write BENCH_optimize.json");
+    eprintln!("wrote BENCH_optimize.json");
+}

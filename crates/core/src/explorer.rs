@@ -84,6 +84,62 @@ pub fn verify(prog: &Program, config: &AmcConfig) -> Verdict {
     explore(prog, config).verdict
 }
 
+/// Compact outcome of an oracle-mode exploration ([`explore_oracle`]).
+#[derive(Debug)]
+#[must_use = "a dropped OracleOutcome discards the candidate's verdict"]
+pub struct OracleOutcome {
+    /// Did the program verify? Meaningless when [`interrupted`] is set.
+    ///
+    /// [`interrupted`]: OracleOutcome::interrupted
+    pub ok: bool,
+    /// The run was cut short by cancellation or a deadline before the
+    /// verdict was decided.
+    pub interrupted: bool,
+    /// The violating execution graph, when the exploration found a safety
+    /// or await-termination violation. Faults (budget/modeling errors)
+    /// reject the candidate without a witness.
+    pub witness: Option<ExecutionGraph>,
+    /// Work items popped before the verdict was decided — the cost of
+    /// this oracle call. Rejections stop at the first violation, so they
+    /// are typically far cheaper than the full exploration a verified
+    /// candidate pays.
+    pub graphs: u64,
+}
+
+/// Early-stop oracle mode: the optimizer's view of the explorer.
+///
+/// A barrier-optimization oracle only needs *rejected-or-not* plus, on
+/// rejection, the violating graph to seed the witness cache — so this
+/// entry point never collects executions, strips the result down to an
+/// [`OracleOutcome`], and leans on the drivers' first-violation stop: the
+/// sequential driver returns the moment a violation is found, and in the
+/// parallel driver the verdict-bearing worker stops the shared queue so
+/// every peer drains at its next pop instead of exploring useless
+/// branches. Candidate evaluations run under their own [`CancelToken`]
+/// children, so a scheduler can cooperatively cancel losers mid-flight.
+///
+/// [`CancelToken`]: crate::session::CancelToken
+pub fn explore_oracle(prog: &Program, config: &AmcConfig, control: &RunControl) -> OracleOutcome {
+    let mut config = config.clone();
+    config.collect_executions = false;
+    let result = explore_with(prog, &config, control);
+    let graphs = result.stats.popped;
+    match result.verdict {
+        Verdict::Verified => {
+            OracleOutcome { ok: true, interrupted: false, witness: None, graphs }
+        }
+        Verdict::Safety(ce) | Verdict::AwaitTermination(ce) => {
+            OracleOutcome { ok: false, interrupted: false, witness: Some(ce.graph), graphs }
+        }
+        Verdict::Fault(_) => {
+            OracleOutcome { ok: false, interrupted: false, witness: None, graphs }
+        }
+        Verdict::Interrupted(_) => {
+            OracleOutcome { ok: false, interrupted: true, witness: None, graphs }
+        }
+    }
+}
+
 /// Count the complete consistent executions of a program — the size of the
 /// paper's `G^F_*` set (used by the Fig. 1/Fig. 5 experiments).
 pub fn count_executions(prog: &Program, config: &AmcConfig) -> u64 {
@@ -349,22 +405,7 @@ impl<'p> Engine<'p> {
 
     /// Evaluate the program's final-state checks on a complete execution.
     fn failed_final_check(&self, g: &ExecutionGraph) -> Option<String> {
-        let state = g.final_state();
-        for c in self.prog.final_checks() {
-            let v = state.get(&c.loc).copied().unwrap_or(g.init_value(c.loc));
-            let resolved = vsync_lang::ResolvedTest {
-                mask: c.test.mask.map(const_operand).unwrap_or(u64::MAX),
-                cmp: c.test.cmp,
-                rhs: const_operand(c.test.rhs),
-            };
-            if !resolved.eval(v) {
-                return Some(format!(
-                    "final-state check failed: {} (final value of {:#x} is {v})",
-                    c.msg, c.loc
-                ));
-            }
-        }
-        None
+        failed_final_check(self.prog, g)
     }
 
     /// Generate all successor graphs for thread `t`'s pending op.
@@ -770,6 +811,27 @@ fn const_operand(o: Operand) -> u64 {
         Operand::Imm(v) => v,
         Operand::Reg(r) => panic!("final-state checks must use immediate operands, found {r}"),
     }
+}
+
+/// Evaluate `prog`'s final-state checks on a complete execution graph.
+/// Shared by the explorer and the optimizer's witness-cache replay.
+pub(crate) fn failed_final_check(prog: &Program, g: &ExecutionGraph) -> Option<String> {
+    let state = g.final_state();
+    for c in prog.final_checks() {
+        let v = state.get(&c.loc).copied().unwrap_or(g.init_value(c.loc));
+        let resolved = vsync_lang::ResolvedTest {
+            mask: c.test.mask.map(const_operand).unwrap_or(u64::MAX),
+            cmp: c.test.cmp,
+            rhs: const_operand(c.test.rhs),
+        };
+        if !resolved.eval(v) {
+            return Some(format!(
+                "final-state check failed: {} (final value of {:#x} is {v})",
+                c.msg, c.loc
+            ));
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -34,15 +34,16 @@
 #![warn(missing_docs)]
 
 mod explorer;
-mod optimizer;
+mod optimize;
 mod session;
 mod stagnancy;
 mod verdict;
 
-pub use explorer::{count_executions, explore, explore_with, verify};
-pub use optimizer::{
+pub use explorer::{count_executions, explore, explore_oracle, explore_with, verify, OracleOutcome};
+pub use optimize::{
     enumerate_maximal, is_locally_maximal, optimize, optimize_multi, optimize_with,
-    OptimizationReport, OptimizationStep, OptimizerConfig,
+    OptimizationReport, OptimizationStep, OptimizeEvent, OptimizePhase, OptimizeStrategy,
+    OptimizerConfig,
 };
 pub use session::{CancelToken, ModelRun, ProgressSnapshot, Report, RunControl, Session};
 pub use stagnancy::{is_stagnant, is_stuck};

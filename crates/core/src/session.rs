@@ -43,7 +43,7 @@ use vsync_lang::Program;
 use vsync_model::{CheckerKind, ModelKind};
 
 use crate::explorer::explore_with;
-use crate::optimizer::{optimize_with, OptimizationReport, OptimizerConfig};
+use crate::optimize::{run_engine, OptimizationReport, OptimizeEvent, OptimizerConfig, StepFn};
 use crate::verdict::{AmcConfig, ExploreStats, Verdict};
 
 /// A shareable, thread-safe cancellation flag.
@@ -51,8 +51,16 @@ use crate::verdict::{AmcConfig, ExploreStats, Verdict};
 /// Clone it (cheap — an `Arc<AtomicBool>`) and hand it to whatever
 /// supervises the run; every exploration worker checks it cooperatively
 /// on each popped work item. Once fired it stays fired.
+///
+/// Tokens form a hierarchy: a [`CancelToken::child`] observes its parent's
+/// cancellation but can be fired independently without affecting the
+/// parent or its siblings. The optimizer uses children to cancel losing
+/// candidate evaluations while the session-level token stays clean.
 #[derive(Debug, Clone, Default)]
-pub struct CancelToken(Arc<AtomicBool>);
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+    parent: Option<Arc<CancelToken>>,
+}
 
 impl CancelToken {
     /// A fresh, unfired token.
@@ -61,16 +69,34 @@ impl CancelToken {
         CancelToken::default()
     }
 
-    /// Fire the token: every run sharing it winds down at its next
-    /// cancellation point and reports [`Verdict::Interrupted`].
-    pub fn cancel(&self) {
-        self.0.store(true, Ordering::Release);
+    /// A child token: cancelled when either it or any ancestor is fired;
+    /// firing the child leaves the parent (and its other children) alone.
+    #[must_use]
+    pub fn child(&self) -> CancelToken {
+        CancelToken { flag: Arc::default(), parent: Some(Arc::new(self.clone())) }
     }
 
-    /// Has the token been fired?
+    /// Fire the token: every run sharing it (and every descendant token)
+    /// winds down at its next cancellation point and reports
+    /// [`Verdict::Interrupted`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Has this token (or any ancestor) been fired?
     #[must_use]
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Acquire)
+        if self.flag.load(Ordering::Acquire) {
+            return true;
+        }
+        self.parent.as_deref().is_some_and(CancelToken::is_cancelled)
+    }
+
+    /// Has this token *itself* been fired (ignoring ancestors)? Lets the
+    /// optimizer distinguish a cancelled loser from a session interrupt.
+    #[must_use]
+    pub fn is_cancelled_locally(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
     }
 }
 
@@ -240,8 +266,9 @@ impl Report {
     ///    {"model", "verdict", "message", "counterexample", "elapsed_ms",
     ///     "stats": {popped, pushed, duplicates, inconsistent, wasteful,
     ///               revisits, complete_executions, blocked_graphs, events},
-    ///     "optimization": null | {"verified", "interrupted",
-    ///        "verifications", "elapsed_ms", "before", "after",
+    ///     "optimization": null | {"verified", "interrupted", "strategy",
+    ///        "verifications", "explorations", "explored_graphs",
+    ///        "cache_hits", "elapsed_ms", "before", "after",
     ///        "steps": [{"site", "from", "to", "accepted"}]}}]}
     /// ```
     ///
@@ -333,11 +360,16 @@ fn optimization_json(o: &OptimizationReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"verified\": {}, \"interrupted\": {}, \"verifications\": {}, \"elapsed_ms\": {:.3}, \
-         \"before\": {}, \"after\": {}, \"steps\": [",
+        "{{\"verified\": {}, \"interrupted\": {}, \"strategy\": {}, \"verifications\": {}, \
+         \"explorations\": {}, \"explored_graphs\": {}, \"cache_hits\": {}, \
+         \"elapsed_ms\": {:.3}, \"before\": {}, \"after\": {}, \"steps\": [",
         o.verified,
         o.interrupted,
+        json_str(&o.strategy.to_string()),
         o.verifications,
+        o.explorations,
+        o.explored_graphs,
+        o.cache_hits,
         o.elapsed.as_secs_f64() * 1e3,
         summary_json(&o.before),
         summary_json(&o.after),
@@ -346,10 +378,11 @@ fn optimization_json(o: &OptimizationReport) -> String {
         if i > 0 {
             out.push_str(", ");
         }
+        // Step sites are stored as indices; resolve to names here only.
         let _ = write!(
             out,
             "{{\"site\": {}, \"from\": {}, \"to\": {}, \"accepted\": {}}}",
-            json_str(&s.site),
+            json_str(o.site_name(s)),
             json_str(&s.from.to_string()),
             json_str(&s.to.to_string()),
             s.accepted
@@ -398,6 +431,7 @@ pub struct Session {
     progress_interval: Duration,
     optimizer: Option<OptimizerConfig>,
     optimize_scenarios: Vec<Program>,
+    optimize_steps: Option<StepFn>,
 }
 
 impl fmt::Debug for Session {
@@ -427,6 +461,7 @@ impl Session {
             progress_interval: Duration::from_millis(250),
             optimizer: None,
             optimize_scenarios: Vec::new(),
+            optimize_steps: None,
         }
     }
 
@@ -537,6 +572,18 @@ impl Session {
         self
     }
 
+    /// Subscribe to per-step [`OptimizeEvent`]s from the optimization
+    /// phase (each relaxation attempt as it is decided). The callback may
+    /// run on optimizer worker threads. A callback set directly on the
+    /// [`OptimizerConfig`] takes precedence.
+    pub fn on_optimize_step(
+        mut self,
+        callback: impl Fn(&OptimizeEvent<'_>) + Send + Sync + 'static,
+    ) -> Session {
+        self.optimize_steps = Some(Arc::new(callback));
+        self
+    }
+
     /// Run the pipeline: explore each model in the matrix, optimize the
     /// verified ones if requested, and assemble the [`Report`].
     pub fn run(self) -> Report {
@@ -574,9 +621,17 @@ impl Session {
     }
 
     /// One optimization run under `model`, sharing the session's
-    /// cancellation token and deadline (each oracle verification is a
-    /// cancellation point; progress snapshots are not emitted — the
-    /// per-verification explorations are too short to be meaningful).
+    /// cancellation token and deadline (every candidate verification is a
+    /// cancellation point and in-flight explorations observe the token
+    /// directly; progress snapshots are not emitted — the per-candidate
+    /// explorations are too short to be meaningful). The strategy, pass
+    /// cap and caller-attached cancel token come from the
+    /// [`OptimizerConfig`]; the AMC settings (model, workers, checker,
+    /// budgets) are the session's.
+    ///
+    /// The session just verified `self.program` under this exact config,
+    /// so the engine's initial verification skips the (expensive) primary
+    /// re-exploration and only checks scenarios.
     fn run_optimizer(
         &self,
         model: ModelKind,
@@ -584,54 +639,13 @@ impl Session {
         ocfg: &OptimizerConfig,
         control: &RunControl,
     ) -> OptimizationReport {
-        // `stop` drives the optimizer's between-verifications check. It is
-        // internal: a deadline expiry must NOT fire the caller-visible
-        // session token (that would poison other runs sharing it and
-        // misreport the interrupt cause), so interrupts are translated
-        // into `stop` by the oracle instead.
-        let stop = CancelToken::new();
-        let config = OptimizerConfig {
-            amc: amc.clone(),
-            max_passes: ocfg.max_passes,
-            cancel: Some(stop.clone()),
-        };
-        let oracle_control =
-            RunControl { progress: None, model, ..control.clone() };
-        let amc = amc.clone();
-        let scenarios = self.optimize_scenarios.clone();
-        let extra_cancel = ocfg.cancel.clone();
-        let check_one = {
-            let stop = stop.clone();
-            move |p: &Program| {
-                // Honor a cancel token the caller attached to the
-                // OptimizerConfig, in addition to the session's own.
-                if extra_cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
-                    stop.cancel();
-                    return false;
-                }
-                let r = explore_with(p, &amc, &oracle_control);
-                if let Verdict::Interrupted(_) = r.verdict {
-                    stop.cancel();
-                    return false;
-                }
-                r.verdict.is_verified()
-            }
-        };
-        // The session just verified `self.program` under this exact
-        // config, so the optimizer's initial oracle call skips the
-        // (expensive) primary re-exploration and only checks scenarios.
-        let mut first_call = true;
-        let oracle = move |p: &Program| {
-            if !std::mem::take(&mut first_call) && !check_one(p) {
-                return false;
-            }
-            scenarios.iter().all(|s| {
-                let mut s = s.clone();
-                s.copy_modes_by_name(p);
-                check_one(&s)
-            })
-        };
-        optimize_with(&self.program, &config, oracle)
+        let mut config = ocfg.clone();
+        config.amc = amc.clone();
+        if config.on_step.is_none() {
+            config.on_step = self.optimize_steps.clone();
+        }
+        let oracle_control = RunControl { progress: None, model, ..control.clone() };
+        run_engine(&self.program, &self.optimize_scenarios, &config, oracle_control, true)
     }
 }
 

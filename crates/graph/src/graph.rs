@@ -208,6 +208,27 @@ impl ExecutionGraph {
         }
     }
 
+    /// Overwrite the barrier mode of a read, write or fence event.
+    ///
+    /// Modes are program-derived data: an execution graph recorded under
+    /// one barrier assignment can be re-interpreted under another by
+    /// rewriting each event's mode from the new program's site table
+    /// (`vsync_lang::replay_adopt_modes` — the optimizer's witness-cache
+    /// replay). Only the mode changes; the event structure, values, `rf`
+    /// and `mo` are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is an init or error event (neither carries a mode).
+    pub fn set_event_mode(&mut self, id: EventId, mode: Mode) {
+        match &mut self.event_mut(id).kind {
+            EventKind::Read { mode: m, .. }
+            | EventKind::Write { mode: m, .. }
+            | EventKind::Fence { mode: m } => *m = mode,
+            k => panic!("{id} carries no mode: {k}"),
+        }
+    }
+
     /// The reads-from source of a read event.
     pub fn rf(&self, read: EventId) -> RfSource {
         match &self.event(read).kind {

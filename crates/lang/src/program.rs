@@ -275,6 +275,43 @@ impl Program {
         s
     }
 
+    /// Indices of the relaxable sites, in site-table order — the
+    /// optimizer's work list.
+    pub fn relaxable_sites(&self) -> Vec<u32> {
+        (0..self.sites.len() as u32).filter(|&i| self.sites[i as usize].relaxable).collect()
+    }
+
+    /// Snapshot of every site's current mode, in site-table order.
+    ///
+    /// Together with [`Program::apply_patch`] this is the optimizer's
+    /// currency: a barrier assignment is the mode vector, and a candidate
+    /// is the baseline plus a sparse patch.
+    pub fn site_modes(&self) -> Vec<Mode> {
+        self.sites.iter().map(|s| s.mode).collect()
+    }
+
+    /// Apply a sparse mode patch: each `(site index, mode)` pair overwrites
+    /// one site's mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range or a mode is invalid for the
+    /// site's kind (same contract as [`Program::set_mode`]).
+    pub fn apply_patch(&mut self, patch: &[(u32, Mode)]) {
+        for &(i, m) in patch {
+            self.set_mode(ModeRef(i), m);
+        }
+    }
+
+    /// A copy of the program with a sparse mode patch applied — the
+    /// optimizer's candidate constructor.
+    #[must_use]
+    pub fn with_patch(&self, patch: &[(u32, Mode)]) -> Program {
+        let mut p = self.clone();
+        p.apply_patch(patch);
+        p
+    }
+
     /// Copy the modes of `other`'s sites onto this program's sites with the
     /// same names (sites missing on either side are left untouched).
     ///

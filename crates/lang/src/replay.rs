@@ -245,10 +245,41 @@ pub fn replay_with_budget(
     g: &mut ExecutionGraph,
     budget: usize,
 ) -> ReplayOutcome {
+    replay_inner(prog, g, budget, false)
+}
+
+/// Replay `prog` against a graph that was recorded under a *different
+/// barrier assignment* of the same program, adopting `prog`'s modes.
+///
+/// Event kinds, values, reads-from edges and modification orders must
+/// still match what `prog` would generate — modes are the only tolerated
+/// difference, and each mismatching event is rewritten in place to the
+/// program's mode. This is how the optimizer's witness cache re-interprets
+/// a cached violating execution under a new candidate assignment: the
+/// structure of the execution is mode-independent (control flow depends
+/// only on values), so if the re-moded graph is still consistent and still
+/// violating, it refutes the candidate without a fresh exploration.
+///
+/// Structural divergence *is* possible across assignments — a fence
+/// relaxed to `rlx` emits no event, so a graph recorded with the fence
+/// present cannot be re-interpreted without it (and vice versa). Such
+/// witnesses surface as [`ThreadStatus::Fault`] mismatches and the caller
+/// simply treats them as inapplicable.
+pub fn replay_adopt_modes(prog: &Program, g: &mut ExecutionGraph) -> ReplayOutcome {
+    replay_inner(prog, g, DEFAULT_STEP_BUDGET, true)
+}
+
+fn replay_inner(
+    prog: &Program,
+    g: &mut ExecutionGraph,
+    budget: usize,
+    adopt_modes: bool,
+) -> ReplayOutcome {
     let mut threads = Vec::with_capacity(prog.num_threads());
     let mut wasteful = false;
     for t in 0..prog.num_threads() as u32 {
         let mut tr = ThreadReplay::new(prog, t, budget);
+        tr.adopt_modes = adopt_modes;
         let status = tr.run(g);
         wasteful |= tr.wasteful;
         threads.push(status);
@@ -265,6 +296,9 @@ struct ThreadReplay<'p> {
     steps: usize,
     budget: usize,
     wasteful: bool,
+    /// Tolerate mode-only mismatches and rewrite the graph's event modes
+    /// to the program's (see [`replay_adopt_modes`]).
+    adopt_modes: bool,
 }
 
 enum Consume {
@@ -289,6 +323,7 @@ impl<'p> ThreadReplay<'p> {
             steps: 0,
             budget,
             wasteful: false,
+            adopt_modes: false,
         }
     }
 
@@ -334,10 +369,13 @@ impl<'p> ThreadReplay<'p> {
             }
             k => return Consume::Mismatch(format!("expected read at {id}, found {k}")),
         };
-        if eloc != loc || emode != mode {
+        if eloc != loc || (emode != mode && !self.adopt_modes) {
             return Consume::Mismatch(format!(
                 "read at {id} accesses {eloc:#x}/{emode}, program says {loc:#x}/{mode}"
             ));
+        }
+        if emode != mode {
+            g.set_event_mode(id, mode);
         }
         match rf {
             RfSource::Bottom => {
@@ -364,7 +402,7 @@ impl<'p> ThreadReplay<'p> {
 
     fn consume_write(
         &mut self,
-        g: &ExecutionGraph,
+        g: &mut ExecutionGraph,
         loc: Loc,
         val: Value,
         mode: Mode,
@@ -374,30 +412,48 @@ impl<'p> ThreadReplay<'p> {
         if self.ev >= g.thread_len(self.thread) {
             return Consume::Missing(PendingOp::Write { loc, val, mode, rmw });
         }
-        match &g.event(id).kind {
-            EventKind::Write { loc: l, val: v, mode: m, rmw: r }
-                if *l == loc && *v == val && *m == mode && *r == rmw =>
+        let found = match &g.event(id).kind {
+            EventKind::Write { loc: l, val: v, mode: m, rmw: r } => Some((*l, *v, *m, *r)),
+            _ => None,
+        };
+        match found {
+            Some((l, v, m, r))
+                if l == loc && v == val && r == rmw && (m == mode || self.adopt_modes) =>
             {
+                if m != mode {
+                    g.set_event_mode(id, mode);
+                }
                 self.ev += 1;
                 Consume::Got(None)
             }
-            k => Consume::Mismatch(format!(
-                "expected W({loc:#x},{val}) at {id}, found {k}"
+            _ => Consume::Mismatch(format!(
+                "expected W({loc:#x},{val}) at {id}, found {}",
+                g.event(id).kind
             )),
         }
     }
 
-    fn consume_fence(&mut self, g: &ExecutionGraph, mode: Mode) -> Consume {
+    fn consume_fence(&mut self, g: &mut ExecutionGraph, mode: Mode) -> Consume {
         let id = EventId::new(self.thread, self.ev as u32);
         if self.ev >= g.thread_len(self.thread) {
             return Consume::Missing(PendingOp::Fence { mode });
         }
-        match &g.event(id).kind {
-            EventKind::Fence { mode: m } if *m == mode => {
+        let found = match &g.event(id).kind {
+            EventKind::Fence { mode: m } => Some(*m),
+            _ => None,
+        };
+        match found {
+            Some(m) if m == mode || self.adopt_modes => {
+                if m != mode {
+                    g.set_event_mode(id, mode);
+                }
                 self.ev += 1;
                 Consume::Got(None)
             }
-            k => Consume::Mismatch(format!("expected F{mode} at {id}, found {k}")),
+            _ => Consume::Mismatch(format!(
+                "expected F{mode} at {id}, found {}",
+                g.event(id).kind
+            )),
         }
     }
 

@@ -19,4 +19,4 @@ pub mod model;
 pub mod registry;
 pub mod runtime;
 
-pub use registry::{LockEntry, SessionExt, UnknownLock};
+pub use registry::{LockEntry, MatrixEntry, SessionExt, UnknownLock};

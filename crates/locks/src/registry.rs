@@ -145,6 +145,57 @@ pub fn catalog() -> &'static [LockEntry] {
     &CATALOG
 }
 
+/// One row of the standard 11-entry performance matrix: a registered lock
+/// with a client configuration small enough to explore exhaustively but
+/// large enough to exercise the interesting paths.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixEntry {
+    /// Stable row label (kept diffable across PRs in the BENCH_*.json
+    /// artifacts).
+    pub label: &'static str,
+    /// Registry name of the lock.
+    pub lock: &'static str,
+    /// Client threads.
+    pub threads: usize,
+    /// Acquisitions per thread.
+    pub acquires: usize,
+}
+
+impl MatrixEntry {
+    /// Build the row's generic mutual-exclusion client.
+    ///
+    /// # Panics
+    /// If the row names an unregistered lock (a bug in the matrix table).
+    #[must_use]
+    pub fn client(&self) -> Program {
+        entry(self.lock)
+            .unwrap_or_else(|| panic!("{} not registered", self.lock))
+            .client(self.threads, self.acquires)
+    }
+}
+
+/// The standard lock matrix shared by the `explore_perf` and
+/// `optimize_perf` benches, CI smoke checks and the strategy-differential
+/// tests — the "11-entry lock matrix" of the perf acceptance criteria.
+/// Row labels are stable so the JSON artifacts stay diffable across PRs.
+#[must_use]
+pub fn perf_matrix() -> &'static [MatrixEntry] {
+    const M: &[MatrixEntry] = &[
+        MatrixEntry { label: "caslock-2t", lock: "caslock", threads: 2, acquires: 1 },
+        MatrixEntry { label: "caslock-3t", lock: "caslock", threads: 3, acquires: 1 },
+        MatrixEntry { label: "ttas-2t", lock: "ttas", threads: 2, acquires: 1 },
+        MatrixEntry { label: "ttas-2tx2", lock: "ttas", threads: 2, acquires: 2 },
+        MatrixEntry { label: "ticket-2t", lock: "ticketlock", threads: 2, acquires: 1 },
+        MatrixEntry { label: "ticket-3t", lock: "ticketlock", threads: 3, acquires: 1 },
+        MatrixEntry { label: "clh-2t", lock: "clh", threads: 2, acquires: 1 },
+        MatrixEntry { label: "mcs-2t", lock: "mcs", threads: 2, acquires: 1 },
+        MatrixEntry { label: "mcs-3t", lock: "mcs", threads: 3, acquires: 1 },
+        MatrixEntry { label: "qspinlock-2t", lock: "qspinlock", threads: 2, acquires: 1 },
+        MatrixEntry { label: "qspinlock-3t", lock: "qspinlock", threads: 3, acquires: 1 },
+    ];
+    M
+}
+
 /// The canonical names of every registered lock, in catalog order.
 #[must_use]
 pub fn names() -> Vec<&'static str> {

@@ -22,7 +22,13 @@ fn main() {
     println!("{}", vsync_bench::render_table1(&rows));
     println!("Relaxations accepted (cf. paper Fig. 20):");
     for step in result.report.steps.iter().filter(|s| s.accepted) {
-        println!("  {:<44} {} -> {}", step.site, step.from, step.to);
+        println!("  {:<44} {} -> {}", result.report.site_name(step), step.from, step.to);
     }
-    println!("\n{} AMC verification runs in {:.1?}", result.report.verifications, result.report.elapsed);
+    println!(
+        "\n{} AMC verification runs ({} explorations, {} witness-cache hits) in {:.1?}",
+        result.report.verifications,
+        result.report.explorations,
+        result.report.cache_hits,
+        result.report.elapsed
+    );
 }

@@ -1,34 +1,44 @@
 //! `vsync` — command-line front end for the model checker and optimizer.
 //!
-//! ```text
-//! vsync locks                         list the verifiable lock catalog
-//! vsync verify <lock> [opts]          AMC-verify a lock's generic client
-//! vsync optimize <lock> [opts]        push-button barrier optimization
-//! vsync bug <dpdk|huawei> [--fixed]   run a §3 study-case scenario
-//! vsync litmus <sb|mp|lb|iriw>        explore a classic litmus shape
-//!
-//! options:
-//!   --threads N      client threads (default 2)
-//!   --acquires K     acquisitions per thread (default 1)
-//!   --model M        sc | tso | vmm (default vmm)
-//!   --models A,B     comma-separated model matrix (overrides --model)
-//!   --workers N      exploration worker threads (default 1)
-//!   --deadline-ms T  wall-clock budget; expiry reports `interrupted`
-//!   --json           (verify/bug) print the structured Report as JSON
-//!   --progress       (verify/bug) stream progress snapshots to stderr
-//!   --enumerate      (optimize) list all maximally-relaxed assignments
-//!   --dot            (verify/bug) print counterexamples as Graphviz
-//! ```
+//! See [`HELP`] for the command and option summary.
 
 use std::process::ExitCode;
 use std::time::Duration;
 
-use vsync::core::{enumerate_maximal, AmcConfig, OptimizerConfig, Report, Session};
+use vsync::core::{
+    enumerate_maximal, AmcConfig, OptimizeStrategy, OptimizerConfig, Report, Session,
+};
 use vsync::graph::{to_dot, Mode};
 use vsync::lang::{Program, ProgramBuilder, Reg};
 use vsync::locks::model::{dpdk_scenario, huawei_scenario};
 use vsync::locks::registry;
 use vsync::model::ModelKind;
+
+/// Command and option summary (also the `--help` text).
+const HELP: &str = "\
+vsync locks                         list the verifiable lock catalog
+                                    (name, family, relaxable sites, summary)
+vsync verify <lock> [opts]          AMC-verify a lock's generic client
+vsync optimize <lock> [opts]        push-button barrier optimization
+vsync bug <dpdk|huawei> [--fixed]   run a §3 study-case scenario
+vsync litmus <sb|mp|lb|iriw>        explore a classic litmus shape
+
+options:
+  --threads N      client threads (default 2)
+  --acquires K     acquisitions per thread (default 1)
+  --model M        sc | tso | vmm (default vmm)
+  --models A,B     comma-separated model matrix (overrides --model)
+  --workers N      worker threads: sizes each exploration and the
+                   optimizer's candidate-screening pool (default 1)
+  --deadline-ms T  wall-clock budget; expiry reports `interrupted`
+  --json           (verify/optimize/bug) print the Report as JSON
+  --progress       (verify/bug) stream progress snapshots to stderr
+  --strategy S     (optimize) sequential | parallel | adaptive
+                   (default adaptive; sequential is the reference loop)
+  --passes N       (optimize) cap optimization passes (default: fixpoint)
+  --steps          (optimize) stream per-step relaxation events to stderr
+  --enumerate      (optimize) list all maximally-relaxed assignments
+  --dot            (verify/bug) print counterexamples as Graphviz";
 
 struct Options {
     threads: usize,
@@ -38,6 +48,9 @@ struct Options {
     deadline: Option<Duration>,
     json: bool,
     progress: bool,
+    strategy: OptimizeStrategy,
+    passes: usize,
+    steps: bool,
     enumerate: bool,
     dot: bool,
     fixed: bool,
@@ -53,6 +66,9 @@ impl Options {
             deadline: None,
             json: false,
             progress: false,
+            strategy: OptimizeStrategy::default(),
+            passes: 0,
+            steps: false,
             enumerate: false,
             dot: false,
             fixed: false,
@@ -96,6 +112,17 @@ impl Options {
                 }
                 "--json" => o.json = true,
                 "--progress" => o.progress = true,
+                "--strategy" => {
+                    let s = it.next().ok_or("--strategy needs sequential|parallel|adaptive")?;
+                    o.strategy = s.parse()?;
+                }
+                "--passes" => {
+                    o.passes = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--passes needs a number")?
+                }
+                "--steps" => o.steps = true,
                 "--enumerate" => o.enumerate = true,
                 "--dot" => o.dot = true,
                 "--fixed" => o.fixed = true,
@@ -204,14 +231,20 @@ fn run() -> Result<ExitCode, String> {
         }
     };
     if cmd == "--help" || cmd == "help" {
-        println!("{}", include_str!("vsync.rs").lines().skip(2).take(19).map(|l| l.trim_start_matches("//! ")).collect::<Vec<_>>().join("\n"));
+        println!("{HELP}");
         return Ok(ExitCode::SUCCESS);
     }
     match cmd {
         "locks" => {
+            println!("{:<18} {:<10} {:>5}  summary", "name", "family", "sites");
             for e in registry::catalog() {
-                println!("{:<18} {:<10} {}", e.name, e.family, e.summary);
+                let sites = e.client(2, 1).relaxable_sites().len();
+                println!("{:<18} {:<10} {:>5}  {}", e.name, e.family, sites, e.summary);
             }
+            println!(
+                "\nverify or optimize any entry: `vsync verify <name>`, `vsync optimize <name> \
+                 [--strategy sequential|parallel|adaptive] [--workers N]`"
+            );
             Ok(ExitCode::SUCCESS)
         }
         "verify" => {
@@ -248,7 +281,24 @@ fn run() -> Result<ExitCode, String> {
                 }
                 Ok(ExitCode::SUCCESS)
             } else {
-                let r = o.session(p).optimize(OptimizerConfig::default()).run();
+                let ocfg = OptimizerConfig::default()
+                    .with_strategy(o.strategy)
+                    .with_max_passes(o.passes);
+                let mut s = o.session(p).optimize(ocfg);
+                if o.steps {
+                    s = s.on_optimize_step(|e| {
+                        eprintln!(
+                            "[pass {} {:<10}] {} {:<44} {} -> {}",
+                            e.pass,
+                            e.phase,
+                            if e.step.accepted { "accept" } else { "reject" },
+                            e.site,
+                            e.step.from,
+                            e.step.to
+                        );
+                    });
+                }
+                let r = s.run();
                 if o.json {
                     println!("{}", r.to_json());
                 } else {

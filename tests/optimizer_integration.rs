@@ -108,13 +108,14 @@ fn multi_scenario_oracle_is_stricter() {
 
 #[test]
 fn optimizer_report_steps_are_replayable() {
-    // Applying the accepted steps to the baseline reproduces the result.
+    // Applying the accepted steps (recorded by site index) to the
+    // baseline reproduces the result; names resolve via the report.
     let base = mutex_client(&CasLock::default(), 2, 1).with_all_sc();
     let report = optimize(&base, &config());
     let mut replayed = base.clone();
     for step in report.steps.iter().filter(|s| s.accepted) {
-        let idx = replayed.sites().iter().position(|s| s.name == step.site).unwrap();
-        replayed.set_mode(vsync::lang::ModeRef(idx as u32), step.to);
+        assert_eq!(report.site_name(step), base.sites()[step.site as usize].name);
+        replayed.set_mode(vsync::lang::ModeRef(step.site), step.to);
     }
     let a: Vec<Mode> = replayed.sites().iter().map(|s| s.mode).collect();
     let b: Vec<Mode> = report.program.sites().iter().map(|s| s.mode).collect();

@@ -254,13 +254,17 @@ fn report_json_golden() {
                     program: program.clone(),
                     verified: true,
                     interrupted: false,
+                    strategy: vsync::core::OptimizeStrategy::Adaptive,
                     steps: vec![OptimizationStep {
-                        site: "site.a".to_owned(),
+                        site: 0,
                         from: vsync::graph::Mode::Sc,
                         to: vsync::graph::Mode::Rlx,
                         accepted: true,
                     }],
                     verifications: 3,
+                    explorations: 2,
+                    explored_graphs: 40,
+                    cache_hits: 1,
                     before: summary,
                     after: summary,
                     elapsed: Duration::from_micros(250),
@@ -285,7 +289,9 @@ fn report_json_golden() {
         "\"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40}, ",
         "\"optimization\": {\"verified\": true, \"interrupted\": false, ",
-        "\"verifications\": 3, \"elapsed_ms\": 0.250, ",
+        "\"strategy\": \"adaptive\", \"verifications\": 3, ",
+        "\"explorations\": 2, \"explored_graphs\": 40, \"cache_hits\": 1, ",
+        "\"elapsed_ms\": 0.250, ",
         "\"before\": {\"rlx\": 0, \"acq\": 0, \"rel\": 0, \"acq_rel\": 0, \"sc\": 1}, ",
         "\"after\": {\"rlx\": 0, \"acq\": 0, \"rel\": 0, \"acq_rel\": 0, \"sc\": 1}, ",
         "\"steps\": [{\"site\": \"site.a\", \"from\": \"sc\", \"to\": \"rlx\", ",
