@@ -1,0 +1,199 @@
+//! `symmetry_perf` — thread-symmetry reduction on the symmetric lock
+//! matrix.
+//!
+//! Runs every symmetric row of the registry's perf matrix twice through
+//! the [`Session`] pipeline — symmetry-aware canonical dedup (the
+//! default) vs the naive twin-exploring reference (`--no-symmetry`) —
+//! and reports the explored-graph reduction alongside wall-clock medians.
+//! Asserts that
+//!
+//! * verdicts are identical in both modes (all rows verify);
+//! * symmetry never explores more graphs, prunes something on every
+//!   symmetric row, and its counts are worker-count independent;
+//! * **on every 3-thread row the naive exploration visits at least 2x as
+//!   many graphs** — the acceptance bar of the symmetry PR (in practice
+//!   the reduction approaches `3! = 6x`).
+//!
+//! Writes `BENCH_symmetry.json` (validated by the in-repo JSON parser)
+//! next to `BENCH_explore.json` / `BENCH_optimize.json` so the reduction
+//! is tracked across PRs.
+//!
+//! ```sh
+//! cargo run --release -p vsync-bench --bin symmetry_perf
+//! ```
+//!
+//! Knobs: `VSYNC_BENCH_SAMPLES` (default 3).
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use vsync_core::{ExploreStats, Report, Session};
+use vsync_model::ModelKind;
+
+struct Row {
+    name: String,
+    threads: usize,
+    graphs_on: u64,
+    graphs_off: u64,
+    pruned: u64,
+    executions_on: u64,
+    executions_off: u64,
+    time_on: Duration,
+    time_off: Duration,
+}
+
+fn median_time(samples: usize, mut f: impl FnMut() -> Report) -> (Duration, Report) {
+    let _ = std::hint::black_box(f()); // discarded warmup
+    let mut times = Vec::with_capacity(samples);
+    let mut last = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = f();
+        times.push(t0.elapsed());
+        last = Some(r);
+    }
+    times.sort();
+    (times[times.len() / 2], last.expect("at least one sample"))
+}
+
+fn main() {
+    let samples = vsync_bench::timing::env_samples().clamp(1, 5);
+    let matrix = vsync_locks::registry::symmetric_matrix();
+    eprintln!(
+        "symmetry_perf: {} symmetric rows x {{on, off}} x {samples} samples",
+        matrix.len()
+    );
+
+    let mut rows = Vec::new();
+    for row in &matrix {
+        let program = row.client();
+        let session = || Session::new(program.clone()).model(ModelKind::Vmm);
+        let (time_on, r_on) = median_time(samples, || session().run());
+        let (time_off, r_off) = median_time(samples, || session().symmetry(false).run());
+        assert!(
+            r_on.is_verified() && r_off.is_verified(),
+            "{}: verdicts must be identical and verified (on: {}, off: {})",
+            row.label,
+            r_on.models[0].verdict,
+            r_off.models[0].verdict
+        );
+        let (on, off): (ExploreStats, ExploreStats) =
+            (r_on.models[0].stats, r_off.models[0].stats);
+        assert!(on.symmetry_pruned > 0, "{}: symmetric row pruned nothing", row.label);
+        assert_eq!(off.symmetry_pruned, 0, "{}", row.label);
+        assert!(
+            on.popped <= off.popped,
+            "{}: symmetry explored more ({} vs {})",
+            row.label,
+            on.popped,
+            off.popped
+        );
+        // Worker-count independence of the reduced counts (spot check).
+        let par = session().workers(4).run();
+        assert_eq!(par.models[0].stats.popped, on.popped, "{}: parallel drift", row.label);
+        if row.threads >= 3 {
+            assert!(
+                off.popped >= 2 * on.popped,
+                "{}: acceptance bar missed — {} naive vs {} reduced graphs (< 2x)",
+                row.label,
+                off.popped,
+                on.popped
+            );
+        }
+        eprintln!(
+            "  {:<14} on {:>8} graphs {:>9.2?}   off {:>8} graphs {:>9.2?}   ({:.2}x fewer)",
+            row.label,
+            on.popped,
+            time_on,
+            off.popped,
+            time_off,
+            off.popped as f64 / on.popped.max(1) as f64,
+        );
+        rows.push(Row {
+            name: row.label.to_owned(),
+            threads: row.threads,
+            graphs_on: on.popped,
+            graphs_off: off.popped,
+            pruned: on.symmetry_pruned,
+            executions_on: on.complete_executions,
+            executions_off: off.complete_executions,
+            time_on,
+            time_off,
+        });
+    }
+
+    let (g_on, g_off) = (
+        rows.iter().map(|r| r.graphs_on).sum::<u64>(),
+        rows.iter().map(|r| r.graphs_off).sum::<u64>(),
+    );
+    let (t_on, t_off) = (
+        rows.iter().map(|r| r.time_on).sum::<Duration>(),
+        rows.iter().map(|r| r.time_off).sum::<Duration>(),
+    );
+    let reduction = g_off as f64 / g_on.max(1) as f64;
+    let speedup = t_off.as_secs_f64() / t_on.as_secs_f64().max(1e-9);
+
+    println!(
+        "{:<14} {:>3} {:>10} {:>10} {:>10} {:>9} {:>11} {:>11} {:>9}",
+        "lock", "thr", "graphs-on", "graphs-off", "pruned", "reduction", "time-on", "time-off",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<14} {:>3} {:>10} {:>10} {:>10} {:>8.2}x {:>11.2?} {:>11.2?} {:>8.2}x",
+            r.name,
+            r.threads,
+            r.graphs_on,
+            r.graphs_off,
+            r.pruned,
+            r.graphs_off as f64 / r.graphs_on.max(1) as f64,
+            r.time_on,
+            r.time_off,
+            r.time_off.as_secs_f64() / r.time_on.as_secs_f64().max(1e-9),
+        );
+    }
+    println!(
+        "TOTAL: {g_on} vs {g_off} graphs ({reduction:.2}x fewer), {t_on:.2?} vs {t_off:.2?} ({speedup:.2}x faster)"
+    );
+
+    // Hand-rolled JSON (the build environment has no serde).
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"symmetry_perf\",");
+    let _ = writeln!(json, "  \"samples\": {samples},");
+    let _ = writeln!(json, "  \"rows\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"threads\": {}, \"graphs_on\": {}, \"graphs_off\": {}, \
+             \"symmetry_pruned\": {}, \"executions_on\": {}, \"executions_off\": {}, \
+             \"reduction\": {:.3}, \"on_ms\": {:.3}, \"off_ms\": {:.3}}}{comma}",
+            r.name,
+            r.threads,
+            r.graphs_on,
+            r.graphs_off,
+            r.pruned,
+            r.executions_on,
+            r.executions_off,
+            r.graphs_off as f64 / r.graphs_on.max(1) as f64,
+            r.time_on.as_secs_f64() * 1e3,
+            r.time_off.as_secs_f64() * 1e3,
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"total\": {{\"graphs_on\": {g_on}, \"graphs_off\": {g_off}, \
+         \"reduction\": {reduction:.3}, \"on_ms\": {:.3}, \"off_ms\": {:.3}, \
+         \"speedup\": {speedup:.3}}}",
+        t_on.as_secs_f64() * 1e3,
+        t_off.as_secs_f64() * 1e3,
+    );
+    let _ = writeln!(json, "}}");
+    // Self-check: the artifact must stay machine-readable.
+    let parsed = vsync_bench::json::parse(&json).expect("BENCH_symmetry.json is valid JSON");
+    assert_eq!(parsed.get("rows").map(|r| r.items().len()), Some(rows.len()));
+    std::fs::write("BENCH_symmetry.json", json).expect("write BENCH_symmetry.json");
+    eprintln!("wrote BENCH_symmetry.json");
+}

@@ -19,6 +19,23 @@
 //! deterministic and revisit restrictions are content-determined, so two
 //! items with equal content have identical futures.
 //!
+//! ## Thread-symmetry reduction
+//!
+//! With [`AmcConfig::symmetry`] (default on) the dedup key is the
+//! canonical hash *modulo permutations of template-identical threads*
+//! ([`vsync_lang::Program::symmetry_partition`]): up to `k!` relabeled
+//! twins per `k`-thread symmetry class collapse onto one orbit, pruned at
+//! insertion instead of explored (counted as `symmetry_pruned`). The item
+//! admitted for an orbit is normalized to the orbit's *canonical
+//! representative* ([`ExecutionGraph::permute_threads`] by the minimizing
+//! relabeling), so successor generation — which extends the first ready
+//! thread, a choice that is not relabeling-invariant — stays a function
+//! of the orbit and the explored set remains deterministic across worker
+//! counts. Soundness: relabeling template-identical threads maps
+//! executions of the program onto executions of the same program and
+//! preserves assertion failures, final-state checks and stagnancy
+//! (DESIGN.md §8).
+//!
 //! ## Parallel exploration
 //!
 //! Work items are *independent*: a popped graph's processing depends only
@@ -36,7 +53,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
-use vsync_graph::{content_hash, EventId, EventKind, ExecutionGraph, Loc, RfSource, ThreadId};
+use vsync_graph::{
+    content_hash, Canonicalizer, EventId, EventKind, ExecutionGraph, Loc, RfSource, ThreadId,
+};
 use vsync_lang::{Operand, PendingOp, Program, ReadDesc, ThreadStatus};
 use vsync_model::MemoryModel;
 
@@ -71,7 +90,19 @@ pub fn explore_with(prog: &Program, config: &AmcConfig, control: &RunControl) ->
             executions: Vec::new(),
         };
     }
-    let engine = Engine { prog, config, model: config.model.checker(config.checker), control };
+    // The symmetry partition is recomputed from the *current* resolved
+    // code on every run (cheap), so optimizer-patched candidates whose
+    // thread modes diverged never reuse a stale merge.
+    let partition = (config.symmetry && config.dedup)
+        .then(|| prog.symmetry_partition())
+        .filter(|p| !p.is_trivial());
+    let engine = Engine {
+        prog,
+        config,
+        model: config.model.checker(config.checker),
+        control,
+        partition,
+    };
     if config.workers > 1 {
         engine.run_parallel(config.workers)
     } else {
@@ -141,9 +172,37 @@ pub fn explore_oracle(prog: &Program, config: &AmcConfig, control: &RunControl) 
 }
 
 /// Count the complete consistent executions of a program — the size of the
-/// paper's `G^F_*` set (used by the Fig. 1/Fig. 5 experiments).
+/// paper's `G^F_*` set (used by the Fig. 1/Fig. 5 experiments). With
+/// [`AmcConfig::symmetry`] on, the count is the number of *orbits* of
+/// executions under permutations of symmetric threads; disable symmetry
+/// for the naive per-twin count.
 pub fn count_executions(prog: &Program, config: &AmcConfig) -> u64 {
-    explore(prog, config).stats.complete_executions
+    count_executions_with(prog, config, &RunControl::default())
+        .unwrap_or_else(|i| unreachable!("default RunControl cannot interrupt: {i}"))
+}
+
+/// [`count_executions`] honoring runtime controls: a pre-fired
+/// [`CancelToken`] or an already-expired deadline returns promptly with
+/// the [`Interrupt`] instead of enumerating the full execution space
+/// (every exploration worker re-checks the budget cooperatively, exactly
+/// as [`explore_with`] does).
+///
+/// # Errors
+///
+/// The interrupt, when the run was cut short before the space was
+/// exhausted — a partial count would be meaningless.
+///
+/// [`CancelToken`]: crate::session::CancelToken
+pub fn count_executions_with(
+    prog: &Program,
+    config: &AmcConfig,
+    control: &RunControl,
+) -> Result<u64, Interrupt> {
+    let result = explore_with(prog, config, control);
+    match result.verdict {
+        Verdict::Interrupted(i) => Err(i),
+        _ => Ok(result.stats.complete_executions),
+    }
 }
 
 /// Pass-through hasher for the dedup set: the keys are already 128-bit
@@ -177,6 +236,10 @@ struct Engine<'p> {
     config: &'p AmcConfig,
     model: &'static dyn MemoryModel,
     control: &'p RunControl,
+    /// Non-trivial thread-symmetry partition, when symmetry-aware dedup
+    /// is enabled for this run. Each worker derives its own
+    /// [`Canonicalizer`] (scratch buffers) from it.
+    partition: Option<vsync_graph::ThreadPartition>,
 }
 
 /// Items between deadline/progress checks. The cancel flag is read on
@@ -264,6 +327,7 @@ struct SharedStats {
     popped: AtomicU64,
     pushed: AtomicU64,
     duplicates: AtomicU64,
+    symmetry_pruned: AtomicU64,
     inconsistent: AtomicU64,
     wasteful: AtomicU64,
     revisits: AtomicU64,
@@ -277,6 +341,7 @@ impl SharedStats {
         self.popped.fetch_add(s.popped, Ordering::Relaxed);
         self.pushed.fetch_add(s.pushed, Ordering::Relaxed);
         self.duplicates.fetch_add(s.duplicates, Ordering::Relaxed);
+        self.symmetry_pruned.fetch_add(s.symmetry_pruned, Ordering::Relaxed);
         self.inconsistent.fetch_add(s.inconsistent, Ordering::Relaxed);
         self.wasteful.fetch_add(s.wasteful, Ordering::Relaxed);
         self.revisits.fetch_add(s.revisits, Ordering::Relaxed);
@@ -290,6 +355,7 @@ impl SharedStats {
             popped: self.popped.load(Ordering::Relaxed),
             pushed: self.pushed.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
+            symmetry_pruned: self.symmetry_pruned.load(Ordering::Relaxed),
             inconsistent: self.inconsistent.load(Ordering::Relaxed),
             wasteful: self.wasteful.load(Ordering::Relaxed),
             revisits: self.revisits.load(Ordering::Relaxed),
@@ -306,6 +372,7 @@ fn stats_delta(a: &ExploreStats, b: &ExploreStats) -> ExploreStats {
         popped: a.popped - b.popped,
         pushed: a.pushed - b.pushed,
         duplicates: a.duplicates - b.duplicates,
+        symmetry_pruned: a.symmetry_pruned - b.symmetry_pruned,
         inconsistent: a.inconsistent - b.inconsistent,
         wasteful: a.wasteful - b.wasteful,
         revisits: a.revisits - b.revisits,
@@ -332,22 +399,52 @@ impl<'p> Engine<'p> {
     /// `Some` return is a terminal verdict that ends the exploration.
     ///
     /// `seen` is the dedup probe: returns `true` iff the hash is new.
+    /// `canon` is the worker's symmetry canonicalizer, `None` when the run
+    /// has no usable symmetry.
     fn process(
         &self,
         mut g: ExecutionGraph,
         seen: &mut dyn FnMut(u128) -> bool,
+        canon: &mut Option<Canonicalizer>,
         step: &mut Step<'_>,
     ) -> Option<Verdict> {
         // Replay first: it repairs derived read flags, which both the
         // content hash and the consistency check depend on.
-        let out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
+        let mut out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
         if let Some(f) = out.fault() {
             return Some(Verdict::Fault(f.to_owned()));
         }
         step.stats.events += g.num_events() as u64;
-        if self.config.dedup && !seen(content_hash(&g)) {
-            step.stats.duplicates += 1;
-            return None;
+        if self.config.dedup {
+            let (hash, permuted) = match canon {
+                Some(c) => c.canonical_hash(&g),
+                None => (content_hash(&g), false),
+            };
+            if !seen(hash) {
+                // An orbit twin (or the very content) was already admitted
+                // and covers this item's futures up to relabeling.
+                if permuted {
+                    step.stats.symmetry_pruned += 1;
+                } else {
+                    step.stats.duplicates += 1;
+                }
+                return None;
+            }
+            if permuted {
+                // First arrival of its orbit, but not in canonical form:
+                // normalize to the representative so successor generation
+                // (which picks the first ready thread — not a
+                // relabeling-invariant choice) is a function of the orbit.
+                let perm = canon
+                    .as_ref()
+                    .and_then(Canonicalizer::chosen_perm)
+                    .expect("permuted hash implies a chosen relabeling");
+                g = g.permute_threads(perm);
+                out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
+                if let Some(f) = out.fault() {
+                    return Some(Verdict::Fault(f.to_owned()));
+                }
+            }
         }
         if out.wasteful {
             step.stats.wasteful += 1;
@@ -571,6 +668,7 @@ impl<'p> Engine<'p> {
         let mut stack = vec![self.initial_graph()];
         let mut children: Vec<ExecutionGraph> = Vec::new();
         let mut pacer = Pacer::new(self.control, 1, None);
+        let mut canon = self.partition.as_ref().map(Canonicalizer::new);
         while let Some(g) = stack.pop() {
             if let Some(i) = pacer.poll(|| stats) {
                 return AmcResult { verdict: Verdict::Interrupted(i), stats, executions };
@@ -582,7 +680,7 @@ impl<'p> Engine<'p> {
             }
             let mut step =
                 Step { stats: &mut stats, out: &mut children, executions: &mut executions };
-            if let Some(v) = self.process(g, &mut |h| seen.insert(h), &mut step) {
+            if let Some(v) = self.process(g, &mut |h| seen.insert(h), &mut canon, &mut step) {
                 return AmcResult { verdict: v, stats, executions };
             }
             stack.append(&mut children);
@@ -618,6 +716,7 @@ impl<'p> Engine<'p> {
             let mut executions = Vec::new();
             let mut children: Vec<ExecutionGraph> = Vec::new();
             let mut pacer = Pacer::new(self.control, workers, Some(&gate));
+            let mut canon = self.partition.as_ref().map(Canonicalizer::new);
             let mut flushed = ExploreStats::default();
             let mut since_flush = 0u64;
             loop {
@@ -654,7 +753,7 @@ impl<'p> Engine<'p> {
                     let shard = (h as usize) % SHARDS;
                     seen[shard].lock().unwrap().insert(h)
                 };
-                match self.process(g, &mut probe, &mut step) {
+                match self.process(g, &mut probe, &mut canon, &mut step) {
                     Some(v) => {
                         queue.finish(v);
                         break;
@@ -944,7 +1043,83 @@ mod tests {
         pb.final_check(X, Test::eq(2u64), "no lost increment");
         let p = pb.build().unwrap();
         assert!(verify(&p, &cfg(ModelKind::Vmm)).is_verified());
-        assert_eq!(count_executions(&p, &cfg(ModelKind::Vmm)), 2, "two interleavings");
+        // The two interleavings are thread-relabelings of each other: one
+        // orbit under symmetry, two with the naive reference oracle.
+        assert_eq!(count_executions(&p, &cfg(ModelKind::Vmm)), 1, "one orbit");
+        assert_eq!(
+            count_executions(&p, &cfg(ModelKind::Vmm).without_symmetry()),
+            2,
+            "two interleavings"
+        );
+    }
+
+    /// Thread-symmetry reduction prunes relabeled twins (counted in
+    /// `symmetry_pruned`) without changing verdicts, and asymmetric
+    /// programs are completely unaffected.
+    #[test]
+    fn symmetry_prunes_twins_and_leaves_asymmetric_programs_alone() {
+        // Symmetric: the TTAS client from `ttas_lock_mutual_exclusion`
+        // shape, 2 identical threads.
+        let lock = X;
+        let mut pb = ProgramBuilder::new("sym");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                t.await_neq(Reg(0), lock, 1u64, ("acquire.await", Mode::Rlx));
+                t.xchg(Reg(1), lock, 1u64, ("acquire.xchg", Mode::AcqRel));
+                t.store(lock, 0u64, ("release.store", Mode::Rel));
+            });
+        }
+        let p = pb.build().unwrap();
+        let on = explore(&p, &cfg(ModelKind::Vmm));
+        let off = explore(&p, &cfg(ModelKind::Vmm).without_symmetry());
+        assert!(on.is_verified() && off.is_verified());
+        assert!(on.stats.symmetry_pruned > 0, "twins were pruned: {}", on.stats);
+        assert_eq!(off.stats.symmetry_pruned, 0, "no pruning with symmetry off");
+        assert!(
+            on.stats.popped < off.stats.popped,
+            "symmetry must shrink the explored set: {} vs {}",
+            on.stats.popped,
+            off.stats.popped
+        );
+        assert!(on.stats.complete_executions < off.stats.complete_executions);
+        // Asymmetric: SB explores identically with symmetry on and off.
+        let p = sb_program();
+        let on = explore(&p, &cfg(ModelKind::Vmm));
+        let off = explore(&p, &cfg(ModelKind::Vmm).without_symmetry());
+        assert_eq!(on.stats.popped, off.stats.popped);
+        assert_eq!(on.stats.symmetry_pruned, 0);
+    }
+
+    /// `count_executions_with` honors pre-fired tokens and zero deadlines
+    /// instead of enumerating the space (the legacy `count_executions`
+    /// silently ignored budgets).
+    #[test]
+    fn count_executions_with_returns_promptly_on_spent_budgets() {
+        use crate::session::CancelToken;
+        let p = sb_program();
+        for workers in [1usize, 2, 8] {
+            let c = cfg(ModelKind::Vmm).with_workers(workers);
+            let token = CancelToken::new();
+            token.cancel();
+            let control = RunControl::with_cancel(token);
+            assert_eq!(
+                count_executions_with(&p, &c, &control),
+                Err(Interrupt::Cancelled),
+                "workers={workers}"
+            );
+            let control = RunControl::with_deadline(Instant::now());
+            assert_eq!(
+                count_executions_with(&p, &c, &control),
+                Err(Interrupt::DeadlineExceeded),
+                "workers={workers}"
+            );
+            // And with budgets left, the count comes through unchanged.
+            assert_eq!(
+                count_executions_with(&p, &c, &RunControl::default()),
+                Ok(count_executions(&p, &c)),
+                "workers={workers}"
+            );
+        }
     }
 
     #[test]

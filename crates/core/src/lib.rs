@@ -39,7 +39,10 @@ mod session;
 mod stagnancy;
 mod verdict;
 
-pub use explorer::{count_executions, explore, explore_oracle, explore_with, verify, OracleOutcome};
+pub use explorer::{
+    count_executions, count_executions_with, explore, explore_oracle, explore_with, verify,
+    OracleOutcome,
+};
 pub use optimize::{
     enumerate_maximal, is_locally_maximal, optimize, optimize_multi, optimize_with,
     OptimizationReport, OptimizationStep, OptimizeEvent, OptimizePhase, OptimizeStrategy,

@@ -264,8 +264,9 @@ impl Report {
     /// ```text
     /// {"program", "verified", "interrupted", "elapsed_ms", "models": [
     ///    {"model", "verdict", "message", "counterexample", "elapsed_ms",
-    ///     "stats": {popped, pushed, duplicates, inconsistent, wasteful,
-    ///               revisits, complete_executions, blocked_graphs, events},
+    ///     "stats": {popped, pushed, duplicates, symmetry_pruned,
+    ///               inconsistent, wasteful, revisits, complete_executions,
+    ///               blocked_graphs, events},
     ///     "optimization": null | {"verified", "interrupted", "strategy",
     ///        "verifications", "explorations", "explored_graphs",
     ///        "cache_hits", "elapsed_ms", "before", "after",
@@ -333,12 +334,13 @@ fn verdict_message(v: &Verdict) -> String {
 
 fn stats_json(s: &ExploreStats) -> String {
     format!(
-        "{{\"popped\": {}, \"pushed\": {}, \"duplicates\": {}, \"inconsistent\": {}, \
-         \"wasteful\": {}, \"revisits\": {}, \"complete_executions\": {}, \
-         \"blocked_graphs\": {}, \"events\": {}}}",
+        "{{\"popped\": {}, \"pushed\": {}, \"duplicates\": {}, \"symmetry_pruned\": {}, \
+         \"inconsistent\": {}, \"wasteful\": {}, \"revisits\": {}, \
+         \"complete_executions\": {}, \"blocked_graphs\": {}, \"events\": {}}}",
         s.popped,
         s.pushed,
         s.duplicates,
+        s.symmetry_pruned,
         s.inconsistent,
         s.wasteful,
         s.revisits,
@@ -497,6 +499,18 @@ impl Session {
     /// Select the consistency-checker implementation.
     pub fn checker(mut self, checker: CheckerKind) -> Session {
         self.config.checker = checker;
+        self
+    }
+
+    /// Enable or disable thread-symmetry reduction (default on): with it,
+    /// each orbit of executions under permutations of template-identical
+    /// threads is explored once through its canonical representative, and
+    /// pruned twins are reported as `symmetry_pruned`. Verdicts are
+    /// unchanged; exploration counts become per-orbit counts. Disable to
+    /// recover the naive twin-exploring counts as a reference oracle
+    /// (the CLI's `--no-symmetry`).
+    pub fn symmetry(mut self, enabled: bool) -> Session {
+        self.config.symmetry = enabled;
         self
     }
 

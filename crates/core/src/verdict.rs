@@ -19,6 +19,16 @@ pub struct AmcConfig {
     /// Deduplicate work items by content hash (keep on; exposed for the
     /// cross-checking property tests).
     pub dedup: bool,
+    /// Quotient the dedup by thread symmetry: work items are keyed on
+    /// their canonical form modulo permutations of template-identical
+    /// threads ([`vsync_lang::Program::symmetry_partition`]), and each
+    /// orbit is explored once through its canonical representative. On by
+    /// default; disable (`--no-symmetry`, [`AmcConfig::without_symmetry`])
+    /// to recover the naive twin-exploring counts as a reference oracle.
+    /// Only effective while `dedup` is on. With symmetry on, exploration
+    /// counts (`popped`, `complete_executions`, ...) are per-orbit counts;
+    /// verdicts are unchanged.
+    pub symmetry: bool,
     /// Keep all complete executions in the result (for tests and graph
     /// counting; off by default to save memory).
     pub collect_executions: bool,
@@ -42,6 +52,7 @@ impl Default for AmcConfig {
             max_graphs: 20_000_000,
             step_budget: vsync_lang::DEFAULT_STEP_BUDGET,
             dedup: true,
+            symmetry: true,
             collect_executions: false,
             workers: 1,
             checker: CheckerKind::Fast,
@@ -77,6 +88,21 @@ impl AmcConfig {
         self
     }
 
+    /// Builder-style: disable thread-symmetry reduction (explore every
+    /// relabeled twin distinctly — the reference oracle for orbit counts).
+    #[must_use = "builder methods return the modified config"]
+    pub fn without_symmetry(mut self) -> Self {
+        self.symmetry = false;
+        self
+    }
+
+    /// Builder-style: enable or disable thread-symmetry reduction.
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_symmetry(mut self, symmetry: bool) -> Self {
+        self.symmetry = symmetry;
+        self
+    }
+
     /// Builder-style: use the naive closure-based reference checker.
     #[must_use = "builder methods return the modified config"]
     pub fn with_reference_checker(mut self) -> Self {
@@ -101,6 +127,14 @@ pub struct ExploreStats {
     pub pushed: u64,
     /// Items skipped as duplicates (content hash already seen).
     pub duplicates: u64,
+    /// Items pruned by thread-symmetry reduction: the item was not its
+    /// orbit's canonical representative (a non-identity relabeling
+    /// produced its canonical form) and the orbit was already admitted.
+    /// `duplicates + symmetry_pruned` — the total dedup hits — is
+    /// deterministic for every worker count; the *split* depends on which
+    /// twin of an orbit arrived first, so it can vary between parallel
+    /// runs (`workers == 1` is fully deterministic).
+    pub symmetry_pruned: u64,
     /// Items discarded as inconsistent with the memory model.
     pub inconsistent: u64,
     /// Items discarded by the wasteful filter `W(G)`.
@@ -121,6 +155,7 @@ impl ExploreStats {
         self.popped += other.popped;
         self.pushed += other.pushed;
         self.duplicates += other.duplicates;
+        self.symmetry_pruned += other.symmetry_pruned;
         self.inconsistent += other.inconsistent;
         self.wasteful += other.wasteful;
         self.revisits += other.revisits;
@@ -134,12 +169,13 @@ impl fmt::Display for ExploreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} executions ({} popped, {} pushed, {} dups, {} inconsistent, \
-             {} wasteful, {} revisits, {} blocked)",
+            "{} executions ({} popped, {} pushed, {} dups, {} sym-pruned, \
+             {} inconsistent, {} wasteful, {} revisits, {} blocked)",
             self.complete_executions,
             self.popped,
             self.pushed,
             self.duplicates,
+            self.symmetry_pruned,
             self.inconsistent,
             self.wasteful,
             self.revisits,
@@ -255,12 +291,15 @@ mod tests {
     use std::collections::BTreeMap;
 
     #[test]
-    fn default_config_is_vmm_with_dedup() {
+    fn default_config_is_vmm_with_dedup_and_symmetry() {
         let c = AmcConfig::default();
         assert_eq!(c.model, ModelKind::Vmm);
         assert!(c.dedup);
+        assert!(c.symmetry);
         assert!(!c.collect_executions);
         assert!(AmcConfig::default().collecting().collect_executions);
+        assert!(!AmcConfig::default().without_symmetry().symmetry);
+        assert!(AmcConfig::default().with_symmetry(false).with_symmetry(true).symmetry);
     }
 
     #[test]

@@ -10,8 +10,9 @@
 //! checker. At lock-verification scale (well under 2^40 graphs) collisions
 //! are negligible.
 
-use crate::event::{EventId, EventKind, RfSource};
+use crate::event::{EventId, EventKind, RfSource, ThreadId};
 use crate::graph::ExecutionGraph;
+use crate::symmetry::{ThreadPartition, MAX_SYMMETRY_PERMUTATIONS};
 
 /// 128-bit FNV-1a offset basis.
 const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
@@ -143,32 +144,59 @@ fn push_event_id(out: &mut Vec<u8>, id: EventId) {
 /// orders.
 pub fn canonical_bytes(g: &ExecutionGraph) -> Vec<u8> {
     let mut out = Vec::with_capacity(g.num_events() * 24 + 64);
+    canonical_bytes_into(g, &mut out);
+    out
+}
+
+/// [`canonical_bytes`] into a caller-owned buffer (cleared first, capacity
+/// kept). The dedup hot path encodes every popped graph; reusing one
+/// scratch buffer per worker removes that per-graph allocation.
+pub fn canonical_bytes_into(g: &ExecutionGraph, out: &mut Vec<u8>) {
+    encode_relabeled(g, None, out);
+}
+
+/// Serialize `g` as if its threads were relabeled by `perm`
+/// (`perm[original] = new label`, with `inv` its inverse): thread blocks
+/// appear in new-label order and every embedded [`EventId`] has its thread
+/// rewritten through `perm`. `None` encodes the graph as-is.
+fn encode_relabeled(g: &ExecutionGraph, perm: Option<(&[ThreadId], &[ThreadId])>, out: &mut Vec<u8>) {
+    out.clear();
+    let map_id = |id: EventId| match (perm, id) {
+        (Some((fwd, _)), EventId::Event { thread, index }) => {
+            EventId::Event { thread: fwd[thread as usize], index }
+        }
+        _ => id,
+    };
     for (&loc, &val) in g.init_table() {
-        push_u64(&mut out, loc);
-        push_u64(&mut out, val);
+        push_u64(out, loc);
+        push_u64(out, val);
     }
     out.push(0xfe);
-    for t in 0..g.num_threads() {
+    for t in 0..g.num_threads() as ThreadId {
         out.push(0xfd);
-        for ev in g.thread_events(t as u32) {
+        let source = match perm {
+            Some((_, inv)) => inv[t as usize],
+            None => t,
+        };
+        for ev in g.thread_events(source) {
             match &ev.kind {
                 EventKind::Read { loc, mode, rf, rmw, awaiting } => {
                     out.push(1);
-                    push_u64(&mut out, *loc);
+                    push_u64(out, *loc);
                     out.push(mode.tag());
                     out.push((*rmw as u8) | ((*awaiting as u8) << 1));
                     match rf {
                         RfSource::Bottom => out.push(0),
                         RfSource::Write(w) => {
                             out.push(1);
-                            push_event_id(&mut out, *w);
+                            push_event_id(out, map_id(*w));
                         }
                     }
                 }
                 EventKind::Write { loc, val, mode, rmw } => {
                     out.push(2);
-                    push_u64(&mut out, *loc);
-                    push_u64(&mut out, *val);
+                    push_u64(out, *loc);
+                    push_u64(out, *val);
                     out.push(mode.tag());
                     out.push(*rmw as u8);
                 }
@@ -178,7 +206,7 @@ pub fn canonical_bytes(g: &ExecutionGraph) -> Vec<u8> {
                 }
                 EventKind::Error { msg } => {
                     out.push(4);
-                    push_u64(&mut out, msg.len() as u64);
+                    push_u64(out, msg.len() as u64);
                     out.extend_from_slice(msg.as_bytes());
                 }
             }
@@ -186,13 +214,113 @@ pub fn canonical_bytes(g: &ExecutionGraph) -> Vec<u8> {
     }
     out.push(0xfc);
     for loc in g.written_locs().collect::<Vec<_>>() {
-        push_u64(&mut out, loc);
+        push_u64(out, loc);
         for &w in g.mo(loc) {
-            push_event_id(&mut out, w);
+            push_event_id(out, map_id(w));
         }
         out.push(0xfb);
     }
-    out
+}
+
+/// Reusable canonicalization state for one [`ThreadPartition`]: the
+/// allowed non-identity thread relabelings (with inverses) and two scratch
+/// encoding buffers. One instance per explorer worker; feeding it graphs
+/// of different programs with the same partition shape is fine.
+#[derive(Debug)]
+pub struct Canonicalizer {
+    /// Non-identity relabelings: `(forward, inverse)` pairs.
+    perms: Vec<(Vec<ThreadId>, Vec<ThreadId>)>,
+    best: Vec<u8>,
+    cur: Vec<u8>,
+    /// Index into `perms` of the minimizing relabeling of the last
+    /// [`Canonicalizer::canonicalize`] call (`None` = identity won).
+    chosen: Option<usize>,
+}
+
+impl Canonicalizer {
+    /// Build the canonicalizer for a partition. Partitions beyond
+    /// [`MAX_SYMMETRY_PERMUTATIONS`] are split down to the cap first
+    /// (sound: splitting only loses pruning power).
+    #[must_use]
+    pub fn new(partition: &ThreadPartition) -> Self {
+        let limited = partition.clone().limited(MAX_SYMMETRY_PERMUTATIONS);
+        let perms = limited
+            .permutations()
+            .into_iter()
+            .filter(|p| p.iter().enumerate().any(|(t, &l)| l != t as ThreadId))
+            .map(|fwd| {
+                let mut inv = vec![0 as ThreadId; fwd.len()];
+                for (t, &l) in fwd.iter().enumerate() {
+                    inv[l as usize] = t as ThreadId;
+                }
+                (fwd, inv)
+            })
+            .collect();
+        Canonicalizer { perms, best: Vec::new(), cur: Vec::new(), chosen: None }
+    }
+
+    /// Does the partition allow any relabeling at all?
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        !self.perms.is_empty()
+    }
+
+    /// The canonical encoding of `g` modulo the partition: the
+    /// lexicographically smallest [`canonical_bytes`]-style serialization
+    /// over all allowed relabelings. The returned slice lives in the
+    /// canonicalizer's scratch buffer; [`Canonicalizer::chosen_perm`]
+    /// reports which relabeling won.
+    pub fn canonicalize(&mut self, g: &ExecutionGraph) -> &[u8] {
+        // Swap-based double buffering: `best` holds the minimum so far.
+        let (best, cur) = (&mut self.best, &mut self.cur);
+        encode_relabeled(g, None, best);
+        self.chosen = None;
+        for (i, (fwd, inv)) in self.perms.iter().enumerate() {
+            encode_relabeled(g, Some((fwd, inv)), cur);
+            if cur.as_slice() < best.as_slice() {
+                std::mem::swap(best, cur);
+                self.chosen = Some(i);
+            }
+        }
+        &self.best
+    }
+
+    /// [`hash128`] of [`Canonicalizer::canonicalize`], plus whether a
+    /// non-identity relabeling produced the canonical form (i.e. the graph
+    /// was *not* already the orbit representative).
+    pub fn canonical_hash(&mut self, g: &ExecutionGraph) -> (u128, bool) {
+        let h = hash128(self.canonicalize(g));
+        (h, self.chosen.is_some())
+    }
+
+    /// The relabeling (`perm[original] = new`) that produced the last
+    /// canonical form, or `None` if the graph already was the
+    /// representative.
+    #[must_use]
+    pub fn chosen_perm(&self) -> Option<&[ThreadId]> {
+        self.chosen.map(|i| self.perms[i].0.as_slice())
+    }
+}
+
+/// The canonical encoding of `g` under permutations of symmetric threads:
+/// the lexicographically smallest serialization over all relabelings the
+/// partition allows. Graphs related by such a relabeling — and only those
+/// — encode identically. With a trivial partition this is exactly
+/// [`canonical_bytes`].
+///
+/// One-shot convenience over [`Canonicalizer`], which the explorer uses to
+/// reuse the permutation table and scratch buffers across graphs.
+#[must_use]
+pub fn canonical_bytes_modulo(g: &ExecutionGraph, partition: &ThreadPartition) -> Vec<u8> {
+    let mut c = Canonicalizer::new(partition);
+    c.canonicalize(g).to_vec()
+}
+
+/// [`hash128`] over [`canonical_bytes_modulo`]: the orbit-invariant
+/// content hash the explorer's symmetry-aware dedup keys on.
+#[must_use]
+pub fn canonical_hash_modulo(g: &ExecutionGraph, partition: &ThreadPartition) -> u128 {
+    Canonicalizer::new(partition).canonical_hash(g).0
 }
 
 impl Hash128 {
@@ -362,6 +490,85 @@ mod tests {
         assert_eq!(content_hash(&g), hash128(&canonical_bytes(&g)));
         let empty = ExecutionGraph::new(0, BTreeMap::new());
         assert_eq!(content_hash(&empty), hash128(&canonical_bytes(&empty)));
+    }
+
+    /// Two threads with mirrored roles: T0 writes 1, T1 writes 2 (same
+    /// loc, both in mo), plus a swapped twin. Symmetric under {0,1}.
+    fn twin_pair() -> (ExecutionGraph, ExecutionGraph) {
+        let mk = |first: u32| {
+            let mut g = ExecutionGraph::new(2, BTreeMap::new());
+            let w0 = g.push_event(first, EventKind::Write { loc: 1, val: 1, mode: Mode::Rlx, rmw: false });
+            let w1 =
+                g.push_event(1 - first, EventKind::Write { loc: 1, val: 2, mode: Mode::Rlx, rmw: false });
+            g.insert_mo(1, w0, 0);
+            g.insert_mo(1, w1, 1);
+            g
+        };
+        (mk(0), mk(1))
+    }
+
+    #[test]
+    fn canonical_bytes_into_matches_allocating_variant() {
+        let g = sample();
+        let mut buf = vec![0xAA; 3]; // stale contents must be cleared
+        canonical_bytes_into(&g, &mut buf);
+        assert_eq!(buf, canonical_bytes(&g));
+    }
+
+    #[test]
+    fn modulo_trivial_partition_is_plain_canonical_bytes() {
+        let g = sample();
+        let p = crate::ThreadPartition::identity(2);
+        assert_eq!(canonical_bytes_modulo(&g, &p), canonical_bytes(&g));
+        assert_eq!(canonical_hash_modulo(&g, &p), content_hash(&g));
+    }
+
+    #[test]
+    fn symmetric_twins_share_canonical_form_iff_partitioned() {
+        let (a, b) = twin_pair();
+        assert_ne!(content_hash(&a), content_hash(&b), "twins differ as content");
+        let sym = crate::ThreadPartition::from_class_ids(&[0, 0]);
+        assert_eq!(canonical_bytes_modulo(&a, &sym), canonical_bytes_modulo(&b, &sym));
+        assert_eq!(canonical_hash_modulo(&a, &sym), canonical_hash_modulo(&b, &sym));
+        // A trivial partition must never merge them.
+        let triv = crate::ThreadPartition::identity(2);
+        assert_ne!(canonical_hash_modulo(&a, &triv), canonical_hash_modulo(&b, &triv));
+    }
+
+    #[test]
+    fn canonicalizer_reports_the_winning_relabeling() {
+        let (a, b) = twin_pair();
+        let sym = crate::ThreadPartition::from_class_ids(&[0, 0]);
+        let mut c = Canonicalizer::new(&sym);
+        assert!(c.is_active());
+        let (ha, a_permuted) = c.canonical_hash(&a);
+        let (hb, b_permuted) = c.canonical_hash(&b);
+        assert_eq!(ha, hb);
+        // Exactly one of the twins is the representative.
+        assert_ne!(a_permuted, b_permuted);
+        let (permuted_graph, flag) = if a_permuted { (&a, a_permuted) } else { (&b, b_permuted) };
+        assert!(flag);
+        let mut c2 = Canonicalizer::new(&sym);
+        let _ = c2.canonical_hash(permuted_graph);
+        let perm = c2.chosen_perm().expect("non-identity relabeling chosen");
+        // Applying the winning relabeling lands on the representative.
+        let canon = permuted_graph.permute_threads(perm);
+        let (_, again) = c2.canonical_hash(&canon);
+        assert!(!again, "the representative canonicalizes to itself");
+        assert_eq!(canonical_hash_modulo(&canon, &sym), ha);
+    }
+
+    #[test]
+    fn asymmetric_content_never_merges_even_when_partitioned() {
+        // Same shape but different values: relabeling cannot equate them.
+        let mk = |val| {
+            let mut g = ExecutionGraph::new(2, BTreeMap::new());
+            let w = g.push_event(0, EventKind::Write { loc: 1, val, mode: Mode::Rlx, rmw: false });
+            g.insert_mo(1, w, 0);
+            g
+        };
+        let sym = crate::ThreadPartition::from_class_ids(&[0, 0]);
+        assert_ne!(canonical_hash_modulo(&mk(1), &sym), canonical_hash_modulo(&mk(2), &sym));
     }
 
     #[test]

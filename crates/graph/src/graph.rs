@@ -409,6 +409,69 @@ impl ExecutionGraph {
         g
     }
 
+    /// The graph with its threads relabeled by `perm`
+    /// (`perm[original] = new label`): thread `t`'s event sequence becomes
+    /// thread `perm[t]`'s, and every embedded [`EventId`] — reads-from
+    /// sources and modification-order entries — is rewritten accordingly.
+    /// Per-location `mo` *order* and the init table are unchanged.
+    ///
+    /// Relabeling between threads running identical code maps execution
+    /// graphs of a program onto execution graphs of the same program;
+    /// the explorer uses this to replace a work item by its
+    /// symmetry-canonical representative.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_threads`.
+    #[must_use]
+    pub fn permute_threads(&self, perm: &[ThreadId]) -> ExecutionGraph {
+        assert_eq!(perm.len(), self.threads.len(), "permutation covers all threads");
+        let map_id = |id: EventId| match id {
+            EventId::Init(_) => id,
+            EventId::Event { thread, index } => {
+                EventId::Event { thread: perm[thread as usize], index }
+            }
+        };
+        // Placeholder Arcs; every slot is overwritten below (sharing the
+        // placeholder between slots until then is fine — clippy's
+        // rc_clone_in_vec_init lint wants that made explicit).
+        let placeholder: Arc<Vec<Event>> = Arc::new(Vec::new());
+        let mut threads: Vec<Arc<Vec<Event>>> =
+            (0..self.threads.len()).map(|_| Arc::clone(&placeholder)).collect();
+        let mut placed = vec![false; self.threads.len()];
+        for (t, evs) in self.threads.iter().enumerate() {
+            let mapped: Vec<Event> = evs
+                .iter()
+                .map(|ev| {
+                    let kind = match &ev.kind {
+                        EventKind::Read { loc, mode, rf, rmw, awaiting } => EventKind::Read {
+                            loc: *loc,
+                            mode: *mode,
+                            rf: match rf {
+                                RfSource::Bottom => RfSource::Bottom,
+                                RfSource::Write(w) => RfSource::Write(map_id(*w)),
+                            },
+                            rmw: *rmw,
+                            awaiting: *awaiting,
+                        },
+                        other => other.clone(),
+                    };
+                    Event { kind, ts: ev.ts }
+                })
+                .collect();
+            let slot = perm[t] as usize;
+            assert!(!placed[slot], "perm maps two threads to label {slot}");
+            placed[slot] = true;
+            threads[slot] = Arc::new(mapped);
+        }
+        let mo = self
+            .mo
+            .iter()
+            .map(|(&loc, ws)| (loc, ws.iter().map(|&w| map_id(w)).collect()))
+            .collect();
+        ExecutionGraph { threads, mo, init: self.init.clone(), next_ts: self.next_ts }
+    }
+
     /// Pretty multi-line rendering used in counterexample reports.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -641,6 +704,23 @@ mod tests {
         );
         assert_eq!(g.rmw_reader_of(w), Some(r));
         assert_eq!(g.rmw_reader_of(EventId::Init(0x10)), None);
+    }
+
+    #[test]
+    fn permute_threads_relabels_ids_and_keeps_mo_order() {
+        let g = two_thread_graph(); // T0: W(x,1); T1: R(x)<-T0.0
+        let p = g.permute_threads(&[1, 0]);
+        assert_eq!(p.thread_len(0), 1);
+        assert_eq!(p.thread_len(1), 1);
+        // The write now lives on T1, the read on T0 — pointing at T1.0.
+        assert_eq!(p.write_value(EventId::new(1, 0)), 1);
+        assert_eq!(p.rf(EventId::new(0, 0)), RfSource::Write(EventId::new(1, 0)));
+        assert_eq!(p.mo(0x10), &[EventId::new(1, 0)]);
+        // Involution: permuting back restores the original content.
+        let back = p.permute_threads(&[1, 0]);
+        assert_eq!(back, g);
+        // Identity is a no-op.
+        assert_eq!(g.permute_threads(&[0, 1]), g);
     }
 
     #[test]

@@ -15,8 +15,11 @@
 //!
 //! The crate also provides dense bit-matrix relations ([`Relation`],
 //! [`EventIndex`]) used by the memory models, canonical content hashing
-//! used by the explorer's deduplication ([`content_hash`]), and Graphviz /
-//! text rendering of counterexamples ([`to_dot`], [`to_text`]).
+//! used by the explorer's deduplication ([`content_hash`]) — including
+//! the thread-symmetry-aware quotient ([`canonical_hash_modulo`],
+//! [`ThreadPartition`]) that collapses relabeled twin executions of
+//! template-identical threads — and Graphviz / text rendering of
+//! counterexamples ([`to_dot`], [`to_text`]).
 //!
 //! ```
 //! use std::collections::BTreeMap;
@@ -39,9 +42,14 @@ mod dot;
 mod encode;
 mod event;
 mod graph;
+mod symmetry;
 
 pub use dense::{iter_set_bits, EventIndex, Relation};
 pub use dot::{to_dot, to_text};
-pub use encode::{canonical_bytes, content_hash, fnv128, hash128};
+pub use encode::{
+    canonical_bytes, canonical_bytes_into, canonical_bytes_modulo, canonical_hash_modulo,
+    content_hash, fnv128, hash128, Canonicalizer,
+};
 pub use event::{Event, EventId, EventKind, Loc, Mode, RfSource, ThreadId, Value};
 pub use graph::{EventSet, ExecutionGraph};
+pub use symmetry::{ThreadPartition, MAX_SYMMETRY_PERMUTATIONS};

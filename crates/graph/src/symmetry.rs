@@ -1,0 +1,269 @@
+//! Thread-symmetry partitions.
+//!
+//! A [`ThreadPartition`] groups the threads of a program into classes that
+//! are *interchangeable*: permuting the event sequences of threads within
+//! a class (and relabeling every cross-thread reference accordingly) maps
+//! any execution graph of the program onto another valid execution graph
+//! of the same program with the same verdict-relevant properties. The
+//! canonical encoding ([`crate::canonical_bytes_modulo`]) quotients graphs
+//! by exactly these permutations, which lets the explorer prune the up to
+//! `k!` symmetric twins of every graph a `k`-thread class induces.
+//!
+//! The partition itself is *declared* by the language layer (threads whose
+//! resolved code is identical); this module only provides the group
+//! structure: class bookkeeping, refinement, and enumeration of the
+//! induced permutations.
+
+use crate::event::ThreadId;
+
+/// Cap on the number of permutations a partition may induce before
+/// [`ThreadPartition::limited`] starts splitting classes. `7! = 5040` is
+/// far beyond any exhaustively-checkable thread count; the cap only
+/// guards against pathological declared partitions.
+pub const MAX_SYMMETRY_PERMUTATIONS: u64 = 5040;
+
+/// A partition of the threads `0..n` into symmetry classes.
+///
+/// Stored as a class id per thread, normalized so that each class is
+/// identified by its smallest member. Two partitions are equal iff they
+/// induce the same classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadPartition {
+    /// `class[t]` = smallest thread index in `t`'s class.
+    class: Vec<u32>,
+}
+
+impl ThreadPartition {
+    /// The trivial partition: every thread in its own class (no symmetry).
+    #[must_use]
+    pub fn identity(n_threads: usize) -> Self {
+        ThreadPartition { class: (0..n_threads as u32).collect() }
+    }
+
+    /// Build a partition from a class id per thread. Ids are arbitrary
+    /// labels; they are normalized to smallest-member representatives.
+    #[must_use]
+    pub fn from_class_ids(ids: &[u32]) -> Self {
+        let mut class: Vec<u32> = (0..ids.len() as u32).collect();
+        for t in 0..ids.len() {
+            for s in 0..t {
+                if ids[s] == ids[t] {
+                    class[t] = class[s];
+                    break;
+                }
+            }
+        }
+        ThreadPartition { class }
+    }
+
+    /// Number of threads partitioned.
+    #[must_use]
+    pub fn num_threads(&self) -> usize {
+        self.class.len()
+    }
+
+    /// Is every class a singleton (no usable symmetry)?
+    #[must_use]
+    pub fn is_trivial(&self) -> bool {
+        self.class.iter().enumerate().all(|(t, &c)| c == t as u32)
+    }
+
+    /// Are two threads in the same class?
+    #[must_use]
+    pub fn same_class(&self, a: ThreadId, b: ThreadId) -> bool {
+        self.class[a as usize] == self.class[b as usize]
+    }
+
+    /// The non-singleton classes, each sorted ascending, ordered by their
+    /// smallest member.
+    #[must_use]
+    pub fn groups(&self) -> Vec<Vec<ThreadId>> {
+        let mut groups: Vec<Vec<ThreadId>> = Vec::new();
+        for rep in 0..self.class.len() as u32 {
+            if self.class[rep as usize] != rep {
+                continue;
+            }
+            let members: Vec<ThreadId> = (0..self.class.len() as u32)
+                .filter(|&t| self.class[t as usize] == rep)
+                .collect();
+            if members.len() > 1 {
+                groups.push(members);
+            }
+        }
+        groups
+    }
+
+    /// The common refinement (meet) of two partitions over the same thread
+    /// count: threads share a class iff they do in *both* inputs. This is
+    /// how a declared partition is reconciled with the one recomputed from
+    /// the program text — the result never merges more than either side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partitions cover different thread counts.
+    #[must_use]
+    pub fn refine(&self, other: &ThreadPartition) -> ThreadPartition {
+        assert_eq!(
+            self.class.len(),
+            other.class.len(),
+            "refining partitions over different thread counts"
+        );
+        let mut class: Vec<u32> = (0..self.class.len() as u32).collect();
+        for t in 0..self.class.len() {
+            for s in 0..t {
+                if self.class[s] == self.class[t] && other.class[s] == other.class[t] {
+                    class[t] = class[s];
+                    break;
+                }
+            }
+        }
+        ThreadPartition { class }
+    }
+
+    /// The order of the induced permutation group: the product of the
+    /// factorials of the class sizes (saturating).
+    #[must_use]
+    pub fn num_permutations(&self) -> u64 {
+        let mut total: u64 = 1;
+        for g in self.groups() {
+            for k in 2..=g.len() as u64 {
+                total = total.saturating_mul(k);
+            }
+        }
+        total
+    }
+
+    /// A copy whose permutation count is at most `cap`, obtained by
+    /// splitting the largest class (demoting its highest member to a
+    /// singleton) until the bound holds. Splitting only *loses* pruning
+    /// power; it never merges threads, so the result is always sound.
+    #[must_use]
+    pub fn limited(mut self, cap: u64) -> ThreadPartition {
+        while self.num_permutations() > cap.max(1) {
+            let largest = self
+                .groups()
+                .into_iter()
+                .max_by_key(Vec::len)
+                .expect("non-trivial partition has a group");
+            let demoted = *largest.last().expect("group has members");
+            self.class[demoted as usize] = demoted;
+        }
+        self
+    }
+
+    /// All thread relabelings the partition allows, as full maps
+    /// `perm[original_thread] = new_label`, identity first. Threads only
+    /// ever trade labels within their class.
+    ///
+    /// The enumeration is the cartesian product of the per-class
+    /// permutations; call [`ThreadPartition::limited`] first if the
+    /// partition may be adversarial (`MAX_SYMMETRY_PERMUTATIONS`).
+    #[must_use]
+    pub fn permutations(&self) -> Vec<Vec<ThreadId>> {
+        let identity: Vec<ThreadId> = (0..self.class.len() as u32).collect();
+        let mut result = vec![identity];
+        for group in self.groups() {
+            let orderings = orderings_of(&group);
+            let mut next = Vec::with_capacity(result.len() * orderings.len());
+            for base in &result {
+                for ord in &orderings {
+                    let mut p = base.clone();
+                    // Member `ord[i]` takes the label of slot `group[i]`.
+                    for (slot, &member) in group.iter().zip(ord) {
+                        p[member as usize] = *slot;
+                    }
+                    next.push(p);
+                }
+            }
+            result = next;
+        }
+        result
+    }
+}
+
+/// All orderings of `items` (Heap's algorithm, iterative-enough for the
+/// tiny class sizes symmetry reduction meets).
+fn orderings_of(items: &[ThreadId]) -> Vec<Vec<ThreadId>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    permute_rec(&mut work, 0, &mut out);
+    out
+}
+
+fn permute_rec(work: &mut Vec<ThreadId>, k: usize, out: &mut Vec<Vec<ThreadId>>) {
+    if k + 1 >= work.len() {
+        out.push(work.clone());
+        return;
+    }
+    for i in k..work.len() {
+        work.swap(k, i);
+        permute_rec(work, k + 1, out);
+        work.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_trivial() {
+        let p = ThreadPartition::identity(3);
+        assert!(p.is_trivial());
+        assert!(p.groups().is_empty());
+        assert_eq!(p.num_permutations(), 1);
+        assert_eq!(p.permutations(), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn class_ids_normalize() {
+        let p = ThreadPartition::from_class_ids(&[7, 3, 7, 3]);
+        assert!(!p.is_trivial());
+        assert!(p.same_class(0, 2));
+        assert!(p.same_class(1, 3));
+        assert!(!p.same_class(0, 1));
+        assert_eq!(p.groups(), vec![vec![0, 2], vec![1, 3]]);
+        assert_eq!(p, ThreadPartition::from_class_ids(&[0, 1, 0, 1]));
+    }
+
+    #[test]
+    fn permutation_count_is_product_of_factorials() {
+        let p = ThreadPartition::from_class_ids(&[0, 0, 0, 1, 1]);
+        assert_eq!(p.num_permutations(), 6 * 2);
+        assert_eq!(p.permutations().len(), 12);
+    }
+
+    #[test]
+    fn permutations_fix_singletons_and_start_with_identity() {
+        let p = ThreadPartition::from_class_ids(&[0, 1, 0]);
+        let perms = p.permutations();
+        assert_eq!(perms[0], vec![0, 1, 2]);
+        assert_eq!(perms.len(), 2);
+        for perm in &perms {
+            assert_eq!(perm[1], 1, "singleton thread never relabeled");
+            let mut seen = perm.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2], "must be a permutation");
+        }
+    }
+
+    #[test]
+    fn refine_is_the_meet() {
+        let a = ThreadPartition::from_class_ids(&[0, 0, 0]);
+        let b = ThreadPartition::from_class_ids(&[0, 0, 1]);
+        assert_eq!(a.refine(&b), b);
+        assert_eq!(b.refine(&a), b);
+        assert_eq!(b.refine(&b), b);
+        let c = ThreadPartition::from_class_ids(&[0, 1, 1]);
+        assert!(b.refine(&c).is_trivial());
+    }
+
+    #[test]
+    fn limited_splits_down_to_cap() {
+        let p = ThreadPartition::from_class_ids(&[0; 8]); // 8! = 40320 perms
+        let l = p.limited(MAX_SYMMETRY_PERMUTATIONS);
+        assert!(l.num_permutations() <= MAX_SYMMETRY_PERMUTATIONS);
+        assert!(!l.is_trivial(), "splitting stops as soon as the cap holds");
+        assert_eq!(l.groups(), vec![(0..7).collect::<Vec<u32>>()]);
+    }
+}

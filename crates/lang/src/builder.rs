@@ -469,7 +469,7 @@ impl ProgramBuilder {
                 if site.thread == id {
                     site.pc = pc;
                 }
-                set_mode_ref(instr, global);
+                instr.set_mode_ref(global);
             }
         }
         self.threads.push(code);
@@ -478,12 +478,19 @@ impl ProgramBuilder {
 
     /// Finish and validate the program.
     ///
+    /// Threads built from the same template — identical instruction
+    /// sequences once barrier sites are resolved to modes, exactly what
+    /// the generic lock client's per-thread emission produces — are
+    /// detected here and *declared* as the program's thread-symmetry
+    /// partition ([`Program::declare_symmetry`]), which symmetry-aware
+    /// explorers use to prune relabeled twin executions.
+    ///
     /// # Errors
     ///
     /// Returns a [`ProgramError`] for malformed programs (bad jump targets,
     /// registers, or mode/kind mismatches).
     pub fn build(&mut self) -> Result<Program, ProgramError> {
-        let p = Program::from_parts(
+        let mut p = Program::from_parts(
             std::mem::take(&mut self.name),
             std::mem::take(&mut self.threads),
             std::mem::take(&mut self.sites),
@@ -491,21 +498,8 @@ impl ProgramBuilder {
             std::mem::take(&mut self.final_checks),
         );
         p.validate()?;
+        p.declare_symmetry(p.symmetry_partition());
         Ok(p)
-    }
-}
-
-fn set_mode_ref(instr: &mut Instr, m: ModeRef) {
-    match instr {
-        Instr::Load { mode, .. }
-        | Instr::Store { mode, .. }
-        | Instr::Rmw { mode, .. }
-        | Instr::Cas { mode, .. }
-        | Instr::Fence { mode }
-        | Instr::AwaitLoad { mode, .. }
-        | Instr::AwaitRmw { mode, .. }
-        | Instr::AwaitCas { mode, .. } => *mode = m,
-        _ => {}
     }
 }
 
@@ -579,6 +573,41 @@ mod tests {
         let p = pb.build().unwrap();
         assert_eq!(p.init().get(&0x10), Some(&5));
         assert_eq!(p.final_checks().len(), 1);
+    }
+
+    #[test]
+    fn build_declares_template_symmetry() {
+        // Two template threads (auto-named sites, equal modes) + one that
+        // stores a different value: {0, 2} symmetric, 1 alone.
+        let mut pb = ProgramBuilder::new("p");
+        for val in [1u64, 9, 1] {
+            pb.thread(move |t| {
+                t.store(0x10, val, Mode::Rel);
+                t.load(Reg(0), 0x10, Mode::Acq);
+            });
+        }
+        let p = pb.build().unwrap();
+        let declared = p.declared_symmetry().expect("builder declares the partition");
+        assert!(declared.same_class(0, 2));
+        assert!(!declared.same_class(0, 1));
+        assert_eq!(&p.symmetry_partition(), declared);
+    }
+
+    #[test]
+    fn mode_divergence_splits_detected_symmetry() {
+        use crate::insn::ModeRef;
+        let mut pb = ProgramBuilder::new("p");
+        for _ in 0..2 {
+            pb.thread(|t| {
+                t.store(0x10, 1u64, Mode::Rel); // auto-named: one site per thread
+            });
+        }
+        let mut p = pb.build().unwrap();
+        assert!(p.symmetry_partition().same_class(0, 1));
+        // Relax only thread 1's site: the threads' resolved code diverges
+        // and the recomputed partition must split them, declaration or no.
+        p.set_mode(ModeRef(1), Mode::Rlx);
+        assert!(p.symmetry_partition().is_trivial());
     }
 
     #[test]

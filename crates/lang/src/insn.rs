@@ -466,6 +466,23 @@ impl Instr {
             Instr::AwaitLoad { .. } | Instr::AwaitRmw { .. } | Instr::AwaitCas { .. }
         )
     }
+
+    /// Overwrite the instruction's barrier site reference (no-op for
+    /// instructions without one). Used by the builder's site remapping and
+    /// by the symmetry detector's mode-resolved code comparison.
+    pub(crate) fn set_mode_ref(&mut self, m: ModeRef) {
+        match self {
+            Instr::Load { mode, .. }
+            | Instr::Store { mode, .. }
+            | Instr::Rmw { mode, .. }
+            | Instr::Cas { mode, .. }
+            | Instr::Fence { mode }
+            | Instr::AwaitLoad { mode, .. }
+            | Instr::AwaitRmw { mode, .. }
+            | Instr::AwaitCas { mode, .. } => *mode = m,
+            _ => {}
+        }
+    }
 }
 
 #[cfg(test)]

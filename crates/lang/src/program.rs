@@ -3,7 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use vsync_graph::{Loc, Mode, Value};
+use vsync_graph::{Loc, Mode, ThreadPartition, Value};
 
 use crate::insn::{Instr, ModeRef, Test, NUM_REGS};
 
@@ -182,6 +182,10 @@ pub struct Program {
     sites: Vec<BarrierSite>,
     init: BTreeMap<Loc, Value>,
     final_checks: Vec<FinalCheck>,
+    /// Declared thread-symmetry partition (see
+    /// [`Program::declare_symmetry`]); `None` = no declaration, the
+    /// detected partition is used as-is.
+    declared_symmetry: Option<ThreadPartition>,
 }
 
 impl Program {
@@ -193,7 +197,7 @@ impl Program {
         init: BTreeMap<Loc, Value>,
         final_checks: Vec<FinalCheck>,
     ) -> Self {
-        Program { name, threads, sites, init, final_checks }
+        Program { name, threads, sites, init, final_checks, declared_symmetry: None }
     }
 
     /// The program's name (used in reports).
@@ -327,6 +331,98 @@ impl Program {
                 }
             }
         }
+    }
+
+    /// Declare a thread-symmetry partition: a commitment that threads in
+    /// the same class run the same template and may be treated as
+    /// interchangeable by symmetry-aware consumers.
+    ///
+    /// Declarations are advisory, never trusted blindly:
+    /// [`Program::symmetry_partition`] always intersects them with the
+    /// partition recomputed from the current (mode-resolved) thread code,
+    /// so a stale declaration — e.g. after the optimizer relaxed a
+    /// per-thread site — can only *lose* symmetry, never unsoundly merge
+    /// threads whose code has diverged. [`crate::ProgramBuilder::build`]
+    /// emits the detected partition automatically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition covers a different thread count.
+    pub fn declare_symmetry(&mut self, partition: ThreadPartition) {
+        assert_eq!(
+            partition.num_threads(),
+            self.threads.len(),
+            "symmetry partition must cover all {} threads",
+            self.threads.len()
+        );
+        self.declared_symmetry = Some(partition);
+    }
+
+    /// The declared thread-symmetry partition, if any.
+    pub fn declared_symmetry(&self) -> Option<&ThreadPartition> {
+        self.declared_symmetry.as_ref()
+    }
+
+    /// Drop the declared partition ([`Program::symmetry_partition`] then
+    /// uses pure detection).
+    pub fn clear_symmetry(&mut self) {
+        self.declared_symmetry = None;
+    }
+
+    /// The thread-symmetry partition of the program as it stands *now*:
+    /// threads are in the same class iff their instruction sequences are
+    /// identical once every barrier-site reference is resolved to its
+    /// current [`Mode`], intersected with the declared partition (if any).
+    ///
+    /// Recomputing from the resolved code on every call keeps the
+    /// partition sound across mode mutations ([`Program::set_mode`],
+    /// [`Program::apply_patch`], [`Program::with_all_sc`]): once two
+    /// template-sharing threads' modes diverge, they stop being merged.
+    pub fn symmetry_partition(&self) -> ThreadPartition {
+        let detected = self.detect_symmetry();
+        match &self.declared_symmetry {
+            Some(declared) => detected.refine(declared),
+            None => detected,
+        }
+    }
+
+    /// Equality classes of mode-resolved thread code.
+    fn detect_symmetry(&self) -> ThreadPartition {
+        let n = self.threads.len();
+        let mut class: Vec<u32> = (0..n as u32).collect();
+        for t in 1..n {
+            for s in 0..t {
+                if class[s] == s as u32 && self.threads_resolved_equal(s, t) {
+                    class[t] = s as u32;
+                    break;
+                }
+            }
+        }
+        ThreadPartition::from_class_ids(&class)
+    }
+
+    /// Are two threads' instruction sequences identical with barrier-site
+    /// references resolved to their current modes? (Site *identity* is
+    /// deliberately ignored: auto-named per-thread sites with equal modes
+    /// still compare equal — that is exactly the template-instantiation
+    /// pattern of the generic lock client.)
+    fn threads_resolved_equal(&self, a: usize, b: usize) -> bool {
+        let (ca, cb) = (&self.threads[a], &self.threads[b]);
+        ca.len() == cb.len()
+            && ca.iter().zip(cb).all(|(ia, ib)| match (ia.mode_ref(), ib.mode_ref()) {
+                (None, None) => ia == ib,
+                (Some(ma), Some(mb)) => {
+                    self.mode(ma) == self.mode(mb) && {
+                        // Compare the rest structurally by pinning both
+                        // site references to the same sentinel.
+                        let (mut na, mut nb) = (ia.clone(), ib.clone());
+                        na.set_mode_ref(ModeRef(0));
+                        nb.set_mode_ref(ModeRef(0));
+                        na == nb
+                    }
+                }
+                _ => false,
+            })
     }
 
     /// Validate structural well-formedness (jump targets, registers, mode
@@ -495,6 +591,46 @@ mod tests {
             vec![],
         );
         assert!(matches!(p.validate(), Err(ProgramError::BadJumpTarget { .. })));
+    }
+
+    #[test]
+    fn symmetry_detection_resolves_modes_and_respects_declarations() {
+        use vsync_graph::ThreadPartition;
+        // Two threads, each with its *own* site but equal mode: symmetric.
+        let site = |name: &str| BarrierSite {
+            name: name.into(),
+            kind: SiteKind::Load,
+            mode: Mode::Acq,
+            relaxable: true,
+            thread: 0,
+            pc: 0,
+        };
+        let load = |site: u32| Instr::Load { dst: Reg(0), addr: Addr::Imm(1), mode: ModeRef(site) };
+        let mut p = Program::from_parts(
+            "p".into(),
+            vec![vec![load(0)], vec![load(1)]],
+            vec![site("a"), site("b")],
+            BTreeMap::new(),
+            vec![],
+        );
+        assert!(p.symmetry_partition().same_class(0, 1));
+        assert_eq!(p.declared_symmetry(), None, "from_parts declares nothing");
+        // A declaration can only restrict, never extend.
+        p.declare_symmetry(ThreadPartition::identity(2));
+        assert!(p.symmetry_partition().is_trivial());
+        p.clear_symmetry();
+        assert!(p.symmetry_partition().same_class(0, 1));
+        // Diverging one site's mode splits the class regardless.
+        p.set_mode(ModeRef(0), Mode::Rlx);
+        assert!(p.symmetry_partition().is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "cover all")]
+    fn declare_symmetry_checks_thread_count() {
+        use vsync_graph::ThreadPartition;
+        let mut p = one_site_program(Mode::Acq, SiteKind::Load);
+        p.declare_symmetry(ThreadPartition::identity(5));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::fmt;
 
 use vsync_core::Session;
+use vsync_graph::ThreadPartition;
 use vsync_lang::Program;
 
 use crate::model::{
@@ -53,6 +54,23 @@ impl LockEntry {
     #[must_use]
     pub fn client(&self, threads: usize, acquires: usize) -> Program {
         mutex_client(self.build().as_ref(), threads, acquires)
+    }
+
+    /// The thread-symmetry partition of this lock's generic client: flat
+    /// locks emit one shared template per thread (all clients
+    /// interchangeable — a single class), while queue locks address
+    /// per-thread nodes and stay asymmetric. The explorer prunes relabeled
+    /// twin executions for every non-singleton class.
+    #[must_use]
+    pub fn client_symmetry(&self, threads: usize, acquires: usize) -> ThreadPartition {
+        self.client(threads, acquires).symmetry_partition()
+    }
+
+    /// Does the generic client of this lock have any usable thread
+    /// symmetry (at any thread count ≥ 2)?
+    #[must_use]
+    pub fn symmetric_client(&self) -> bool {
+        !self.client_symmetry(2, 1).is_trivial()
     }
 }
 
@@ -172,6 +190,16 @@ impl MatrixEntry {
             .unwrap_or_else(|| panic!("{} not registered", self.lock))
             .client(self.threads, self.acquires)
     }
+
+    /// Does this row's client have a non-trivial thread-symmetry
+    /// partition (so symmetry reduction can prune twins on it)?
+    ///
+    /// # Panics
+    /// If the row names an unregistered lock (a bug in the matrix table).
+    #[must_use]
+    pub fn is_symmetric(&self) -> bool {
+        !self.client().symmetry_partition().is_trivial()
+    }
 }
 
 /// The standard lock matrix shared by the `explore_perf` and
@@ -194,6 +222,15 @@ pub fn perf_matrix() -> &'static [MatrixEntry] {
         MatrixEntry { label: "qspinlock-3t", lock: "qspinlock", threads: 3, acquires: 1 },
     ];
     M
+}
+
+/// The rows of [`perf_matrix`] whose clients have a non-trivial
+/// thread-symmetry partition — the "symmetric lock matrix" of the
+/// `symmetry_perf` bench and its CI smoke (which asserts the ≥ 2x
+/// explored-graph reduction on the 3-thread rows).
+#[must_use]
+pub fn symmetric_matrix() -> Vec<MatrixEntry> {
+    perf_matrix().iter().copied().filter(MatrixEntry::is_symmetric).collect()
 }
 
 /// The canonical names of every registered lock, in catalog order.
@@ -256,5 +293,41 @@ impl SessionExt for Session {
     fn try_lock(name: &str, threads: usize, acquires: usize) -> Result<Session, UnknownLock> {
         let entry = entry(name).ok_or_else(|| UnknownLock { name: name.to_owned() })?;
         Ok(Session::new(entry.client(threads, acquires)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Flat locks share one client template across threads; queue locks
+    /// address per-thread nodes. The detector must see exactly that.
+    #[test]
+    fn flat_clients_are_symmetric_queue_clients_are_not() {
+        for name in ["caslock", "ttas", "ticketlock", "semaphore"] {
+            let e = entry(name).unwrap();
+            assert!(e.symmetric_client(), "{name} client should be symmetric");
+            let p = e.client_symmetry(3, 1);
+            assert!(p.same_class(0, 1) && p.same_class(1, 2), "{name}: one 3-thread class");
+        }
+        for name in ["mcs", "clh", "qspinlock"] {
+            let e = entry(name).unwrap();
+            assert!(!e.symmetric_client(), "{name} client uses per-thread nodes");
+        }
+    }
+
+    #[test]
+    fn symmetric_matrix_is_the_symmetric_subset() {
+        let sym = symmetric_matrix();
+        assert!(!sym.is_empty());
+        assert!(sym.iter().all(MatrixEntry::is_symmetric));
+        assert!(
+            sym.iter().any(|e| e.threads >= 3),
+            "the 3-thread acceptance rows must be present"
+        );
+        let labels: Vec<&str> = sym.iter().map(|e| e.label).collect();
+        assert!(labels.contains(&"caslock-3t"), "got {labels:?}");
+        assert!(labels.contains(&"ticket-3t"), "got {labels:?}");
+        assert!(!labels.contains(&"qspinlock-3t"), "queue locks are asymmetric");
     }
 }

@@ -31,6 +31,10 @@ options:
   --workers N      worker threads: sizes each exploration and the
                    optimizer's candidate-screening pool (default 1)
   --deadline-ms T  wall-clock budget; expiry reports `interrupted`
+  --no-symmetry    disable thread-symmetry reduction: explore every
+                   relabeled twin of template-identical client threads
+                   distinctly (naive reference counts; default prunes
+                   them, reported as `sym-pruned`)
   --json           (verify/optimize/bug) print the Report as JSON
   --progress       (verify/bug) stream progress snapshots to stderr
   --strategy S     (optimize) sequential | parallel | adaptive
@@ -48,6 +52,7 @@ struct Options {
     deadline: Option<Duration>,
     json: bool,
     progress: bool,
+    symmetry: bool,
     strategy: OptimizeStrategy,
     passes: usize,
     steps: bool,
@@ -66,6 +71,7 @@ impl Options {
             deadline: None,
             json: false,
             progress: false,
+            symmetry: true,
             strategy: OptimizeStrategy::default(),
             passes: 0,
             steps: false,
@@ -110,6 +116,7 @@ impl Options {
                         .ok_or("--deadline-ms needs a number")?;
                     o.deadline = Some(Duration::from_millis(ms));
                 }
+                "--no-symmetry" => o.symmetry = false,
                 "--json" => o.json = true,
                 "--progress" => o.progress = true,
                 "--strategy" => {
@@ -136,7 +143,8 @@ impl Options {
     fn session(&self, program: Program) -> Session {
         let mut s = Session::new(program)
             .models(self.models.iter().copied())
-            .workers(self.workers);
+            .workers(self.workers)
+            .symmetry(self.symmetry);
         if let Some(d) = self.deadline {
             s = s.deadline(d);
         }
@@ -236,10 +244,11 @@ fn run() -> Result<ExitCode, String> {
     }
     match cmd {
         "locks" => {
-            println!("{:<18} {:<10} {:>5}  summary", "name", "family", "sites");
+            println!("{:<18} {:<10} {:>5} {:>4}  summary", "name", "family", "sites", "sym");
             for e in registry::catalog() {
                 let sites = e.client(2, 1).relaxable_sites().len();
-                println!("{:<18} {:<10} {:>5}  {}", e.name, e.family, sites, e.summary);
+                let sym = if e.symmetric_client() { "yes" } else { "-" };
+                println!("{:<18} {:<10} {:>5} {:>4}  {}", e.name, e.family, sites, sym, e.summary);
             }
             println!(
                 "\nverify or optimize any entry: `vsync verify <name>`, `vsync optimize <name> \
@@ -269,7 +278,9 @@ fn run() -> Result<ExitCode, String> {
                     );
                 }
                 let cfg = OptimizerConfig::with_amc(
-                    AmcConfig::with_model(o.models[0]).with_workers(o.workers),
+                    AmcConfig::with_model(o.models[0])
+                        .with_workers(o.workers)
+                        .with_symmetry(o.symmetry),
                 );
                 let (names, maximal) = enumerate_maximal(&p, &cfg);
                 println!("{} maximally-relaxed assignment(s):", maximal.len());

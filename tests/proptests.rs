@@ -149,10 +149,12 @@ fn model_strength_ordering() {
 
 /// Deduplication is an optimization, not a semantics change: the set of
 /// complete executions (counted via distinct content hashes) is stable.
+/// Symmetry is disabled here — it deliberately quotients the set (see
+/// `symmetry_explores_one_representative_per_orbit`).
 #[test]
 fn dedup_preserves_execution_sets() {
     for_random_programs("dedup_preserves_execution_sets", 48, (2, 2), 2, |p| {
-        let mut with = AmcConfig::with_model(ModelKind::Vmm).collecting();
+        let mut with = AmcConfig::with_model(ModelKind::Vmm).collecting().without_symmetry();
         with.dedup = true;
         let mut without = with.clone();
         without.dedup = false;
@@ -168,6 +170,35 @@ fn dedup_preserves_execution_sets() {
             a.stats.complete_executions,
             "duplicate complete executions explored with dedup on"
         );
+    });
+}
+
+/// Thread-symmetry reduction explores exactly one representative per
+/// orbit: the canonical-hash-modulo set of the symmetry-on run equals the
+/// quotient of the full (symmetry-off) execution set, and every collected
+/// representative is its own canonical form.
+#[test]
+fn symmetry_explores_one_representative_per_orbit() {
+    for_random_programs("symmetry_explores_one_representative_per_orbit", 48, (2, 2), 2, |p| {
+        let partition = p.symmetry_partition();
+        let on = explore(p, &AmcConfig::with_model(ModelKind::Vmm).collecting());
+        let off = explore(
+            p,
+            &AmcConfig::with_model(ModelKind::Vmm).collecting().without_symmetry(),
+        );
+        let canon = |g: &vsync::graph::ExecutionGraph| {
+            vsync::graph::canonical_hash_modulo(g, &partition)
+        };
+        let orbits_on: std::collections::BTreeSet<u128> = on.executions.iter().map(canon).collect();
+        let orbits_off: std::collections::BTreeSet<u128> =
+            off.executions.iter().map(canon).collect();
+        assert_eq!(orbits_on, orbits_off, "symmetry lost (or invented) an orbit");
+        assert_eq!(
+            on.stats.complete_executions,
+            orbits_off.len() as u64,
+            "per-orbit count must equal the number of orbits of the full set"
+        );
+        assert!(on.stats.popped <= off.stats.popped, "symmetry may never explore more");
     });
 }
 

@@ -210,6 +210,7 @@ fn session_json_is_parseable_and_stable() {
                 "popped",
                 "pushed",
                 "duplicates",
+                "symmetry_pruned",
                 "inconsistent",
                 "wasteful",
                 "revisits",
@@ -286,7 +287,7 @@ fn report_json_golden() {
         "{\"model\": \"SC\", \"verdict\": \"verified\", \"message\": null, ",
         "\"counterexample\": null, \"elapsed_ms\": 1.000, ",
         "\"stats\": {\"popped\": 7, \"pushed\": 6, \"duplicates\": 0, ",
-        "\"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
+        "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40}, ",
         "\"optimization\": {\"verified\": true, \"interrupted\": false, ",
         "\"strategy\": \"adaptive\", \"verifications\": 3, ",
@@ -299,7 +300,7 @@ fn report_json_golden() {
         "{\"model\": \"VMM\", \"verdict\": \"fault\", \"message\": \"budget\\nblown\", ",
         "\"counterexample\": null, \"elapsed_ms\": 0.500, ",
         "\"stats\": {\"popped\": 0, \"pushed\": 0, \"duplicates\": 0, ",
-        "\"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
+        "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 0, \"blocked_graphs\": 0, \"events\": 0}, ",
         "\"optimization\": null}]}",
     );
