@@ -33,12 +33,17 @@
 
 #![warn(missing_docs)]
 
+mod corpus;
 mod explorer;
 mod optimize;
 mod session;
 mod stagnancy;
 mod verdict;
 
+pub use corpus::{
+    check_source, check_test, collect_litmus_files, run_corpus, CorpusOptions, CorpusReport,
+    FileOutcome, FileReport, ModelOutcome, SourceError,
+};
 pub use explorer::{
     count_executions, count_executions_with, explore, explore_oracle, explore_with, verify,
     OracleOutcome,
@@ -48,6 +53,6 @@ pub use optimize::{
     OptimizationReport, OptimizationStep, OptimizeEvent, OptimizePhase, OptimizeStrategy,
     OptimizerConfig,
 };
-pub use session::{CancelToken, ModelRun, ProgressSnapshot, Report, RunControl, Session};
+pub use session::{CancelToken, ModelRun, ProgressFn, ProgressSnapshot, Report, RunControl, Session};
 pub use stagnancy::{is_stagnant, is_stuck};
 pub use verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Interrupt, Verdict};

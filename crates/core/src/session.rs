@@ -116,8 +116,10 @@ pub struct ProgressSnapshot {
     pub workers: usize,
 }
 
-/// Shared callback type for progress snapshots.
-pub(crate) type ProgressFn = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
+/// Shared callback type for progress snapshots (what
+/// [`Session::on_progress`] wraps; [`crate::CorpusOptions::progress`]
+/// takes one directly so many sessions can share a sink).
+pub type ProgressFn = Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>;
 
 /// Runtime controls threaded through the exploration hot loop: the
 /// cancellation token, the absolute deadline and the progress sink.
@@ -313,7 +315,7 @@ impl Report {
 }
 
 /// Stable JSON-kind tag for a verdict.
-fn verdict_kind(v: &Verdict) -> &'static str {
+pub(crate) fn verdict_kind(v: &Verdict) -> &'static str {
     match v {
         Verdict::Verified => "verified",
         Verdict::Safety(_) => "safety",
@@ -395,7 +397,7 @@ fn optimization_json(o: &OptimizationReport) -> String {
 }
 
 /// Escape a string as a JSON string literal.
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -465,6 +467,52 @@ impl Session {
             optimize_scenarios: Vec::new(),
             optimize_steps: None,
         }
+    }
+
+    /// Start a session from litmus DSL source text (see the `vsync-dsl`
+    /// crate for the format). The session's model matrix is taken from
+    /// the file's `expect` annotations, in annotation order; a file
+    /// without annotations keeps the default matrix. The annotations'
+    /// *verdicts* are not judged here — use [`crate::check_source`] (or
+    /// the `vsync check` CLI) for expectation checking.
+    ///
+    /// ```
+    /// use vsync_core::Session;
+    ///
+    /// let report = Session::from_source(r#"
+    ///     litmus "handshake"
+    ///     thread { store.rel flag, 1 }
+    ///     thread { r0 = await_eq.acq flag, 1 }
+    ///     expect vmm: verified
+    /// "#).expect("well-formed").run();
+    /// assert!(report.is_verified());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns the first parse or lowering [`vsync_dsl::Diagnostic`].
+    pub fn from_source(source: &str) -> Result<Session, vsync_dsl::Diagnostic> {
+        let test = vsync_dsl::compile(source)?;
+        let mut session = Session::new(test.program);
+        if !test.expectations.is_empty() {
+            session = session.models(test.expectations.iter().map(|e| e.model));
+        }
+        Ok(session)
+    }
+
+    /// [`Session::from_source`] for a `.litmus` file on disk; the path is
+    /// stamped onto any diagnostic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::SourceError`] for unreadable or unparsable files.
+    pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<Session, crate::SourceError> {
+        let path = path.as_ref();
+        let label = path.display().to_string();
+        let source = std::fs::read_to_string(path)
+            .map_err(|e| crate::SourceError::Io(label.clone(), e))?;
+        Session::from_source(&source)
+            .map_err(|d| crate::SourceError::Parse(d.with_file(label)))
     }
 
     /// Check against a single memory model.
@@ -566,6 +614,15 @@ impl Session {
     #[must_use]
     pub fn cancel_token(&self) -> CancelToken {
         self.cancel.clone()
+    }
+
+    /// Adopt an external [`CancelToken`] instead of the session's own —
+    /// how a supervisor (e.g. the corpus runner) shares one token across
+    /// many sessions. Tokens previously handed out by
+    /// [`Session::cancel_token`] stop affecting this session.
+    pub fn with_cancel(mut self, token: CancelToken) -> Session {
+        self.cancel = token;
+        self
     }
 
     /// After each model that verifies, run push-button barrier

@@ -1,0 +1,356 @@
+//! Hand-rolled lexer for the litmus DSL.
+//!
+//! Newlines are plain whitespace — the grammar is fully self-delimiting —
+//! so the token stream is flat. Comments (`#` or `//` to end of line) are
+//! not tokens; they are collected separately so the formatter can
+//! re-attach them to the statement that follows them.
+
+use crate::diag::{Diagnostic, Span};
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Tok {
+    /// Identifier / keyword (may contain `_` and `-` after the first char).
+    Ident(String),
+    /// Unsigned integer literal; `hex` records the written base so the
+    /// formatter can preserve it.
+    Int { value: u64, hex: bool },
+    /// Double-quoted string literal (escapes resolved).
+    Str(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `@`
+    At,
+    /// `!`
+    Bang,
+    /// `=`
+    Eq,
+    /// `+`
+    Plus,
+    /// `&`
+    Amp,
+    /// `==`
+    EqEq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl Tok {
+    /// Short description for "expected X, found Y" messages.
+    pub(crate) fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("'{s}'"),
+            Tok::Int { value, .. } => format!("'{value}'"),
+            Tok::Str(_) => "a string".to_owned(),
+            Tok::LBrace => "'{'".to_owned(),
+            Tok::RBrace => "'}'".to_owned(),
+            Tok::LBracket => "'['".to_owned(),
+            Tok::RBracket => "']'".to_owned(),
+            Tok::Comma => "','".to_owned(),
+            Tok::Colon => "':'".to_owned(),
+            Tok::Dot => "'.'".to_owned(),
+            Tok::At => "'@'".to_owned(),
+            Tok::Bang => "'!'".to_owned(),
+            Tok::Eq => "'='".to_owned(),
+            Tok::Plus => "'+'".to_owned(),
+            Tok::Amp => "'&'".to_owned(),
+            Tok::EqEq => "'=='".to_owned(),
+            Tok::Ne => "'!='".to_owned(),
+            Tok::Lt => "'<'".to_owned(),
+            Tok::Le => "'<='".to_owned(),
+            Tok::Gt => "'>'".to_owned(),
+            Tok::Ge => "'>='".to_owned(),
+            Tok::Eof => "end of input".to_owned(),
+        }
+    }
+}
+
+/// A token plus its source span.
+#[derive(Debug, Clone)]
+pub(crate) struct Token {
+    pub(crate) tok: Tok,
+    pub(crate) span: Span,
+}
+
+/// A comment line collected during lexing (text without the marker).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Comment {
+    /// 1-based source line the comment starts on.
+    pub(crate) line: u32,
+    /// Comment text, trimmed, without the `#` / `//` marker.
+    pub(crate) text: String,
+}
+
+/// Lexer output: tokens, source lines (for excerpts) and comments.
+#[derive(Debug)]
+pub(crate) struct Lexed {
+    pub(crate) tokens: Vec<Token>,
+    pub(crate) lines: Vec<String>,
+    pub(crate) comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The source line a span points into (empty past the end).
+    pub(crate) fn line(&self, line: u32) -> &str {
+        self.lines.get(line.saturating_sub(1) as usize).map_or("", String::as_str)
+    }
+
+    /// A diagnostic anchored at `span`.
+    pub(crate) fn diag(&self, message: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic::new(message, span, self.line(span.line))
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_' || c == '-'
+}
+
+/// Tokenize `src`.
+pub(crate) fn lex(src: &str) -> Result<Lexed, Diagnostic> {
+    let lines: Vec<String> = src.lines().map(str::to_owned).collect();
+    let excerpt = |line: u32| -> String {
+        lines.get(line.saturating_sub(1) as usize).cloned().unwrap_or_default()
+    };
+    let mut tokens = Vec::new();
+    let mut comments = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let (mut i, mut line, mut col) = (0usize, 1u32, 1u32);
+    macro_rules! fail {
+        ($span:expr, $($msg:tt)*) => {
+            return Err(Diagnostic::new(format!($($msg)*), $span, excerpt($span.line)))
+        };
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let span1 = Span::new(line, col, 1);
+        // Whitespace (newlines included — the grammar is self-delimiting).
+        if c == '\n' {
+            i += 1;
+            line += 1;
+            col = 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            col += 1;
+            continue;
+        }
+        // Comments: `#` or `//` to end of line.
+        if c == '#' || (c == '/' && chars.get(i + 1) == Some(&'/')) {
+            let skip = if c == '#' { 1 } else { 2 };
+            let start = i + skip;
+            let mut end = start;
+            while end < chars.len() && chars[end] != '\n' {
+                end += 1;
+            }
+            let text: String = chars[start..end].iter().collect();
+            comments.push(Comment { line, text: text.trim().to_owned() });
+            col += (end - i) as u32;
+            i = end;
+            continue;
+        }
+        if is_ident_start(c) {
+            let start = i;
+            while i < chars.len() && is_ident_continue(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let len = (i - start) as u32;
+            tokens.push(Token { tok: Tok::Ident(text), span: Span::new(line, col, len) });
+            col += len;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            let len = (i - start) as u32;
+            let span = Span::new(line, col, len);
+            let digits = text.replace('_', "");
+            let (value, hex) = if let Some(h) = digits.strip_prefix("0x").or(digits.strip_prefix("0X")) {
+                (u64::from_str_radix(h, 16), true)
+            } else {
+                (digits.parse::<u64>(), false)
+            };
+            match value {
+                Ok(value) => tokens.push(Token { tok: Tok::Int { value, hex }, span }),
+                Err(_) => fail!(span, "invalid integer literal '{text}'"),
+            }
+            col += len;
+            continue;
+        }
+        if c == '"' {
+            let (start_line, start_col) = (line, col);
+            i += 1;
+            col += 1;
+            let mut text = String::new();
+            loop {
+                match chars.get(i) {
+                    None | Some('\n') => {
+                        fail!(Span::new(start_line, start_col, col - start_col), "unterminated string literal")
+                    }
+                    Some('"') => {
+                        i += 1;
+                        col += 1;
+                        break;
+                    }
+                    Some('\\') => {
+                        let esc_span = Span::new(line, col, 2);
+                        let e = chars.get(i + 1).copied();
+                        match e {
+                            Some('"') => text.push('"'),
+                            Some('\\') => text.push('\\'),
+                            Some('n') => text.push('\n'),
+                            Some('t') => text.push('\t'),
+                            Some('r') => text.push('\r'),
+                            Some(other) => fail!(esc_span, "unknown escape '\\{other}' in string"),
+                            None => fail!(esc_span, "unterminated string literal"),
+                        }
+                        i += 2;
+                        col += 2;
+                    }
+                    Some(&ch) => {
+                        text.push(ch);
+                        i += 1;
+                        col += 1;
+                    }
+                }
+            }
+            let len = col - start_col;
+            tokens.push(Token { tok: Tok::Str(text), span: Span::new(start_line, start_col, len) });
+            continue;
+        }
+        // Punctuation, with two-character lookahead for comparisons.
+        let two = chars.get(i + 1).copied();
+        let (tok, len) = match (c, two) {
+            ('=', Some('=')) => (Tok::EqEq, 2),
+            ('=', _) => (Tok::Eq, 1),
+            ('!', Some('=')) => (Tok::Ne, 2),
+            ('!', _) => (Tok::Bang, 1),
+            ('<', Some('=')) => (Tok::Le, 2),
+            ('<', _) => (Tok::Lt, 1),
+            ('>', Some('=')) => (Tok::Ge, 2),
+            ('>', _) => (Tok::Gt, 1),
+            ('{', _) => (Tok::LBrace, 1),
+            ('}', _) => (Tok::RBrace, 1),
+            ('[', _) => (Tok::LBracket, 1),
+            (']', _) => (Tok::RBracket, 1),
+            (',', _) => (Tok::Comma, 1),
+            (':', _) => (Tok::Colon, 1),
+            ('.', _) => (Tok::Dot, 1),
+            ('@', _) => (Tok::At, 1),
+            ('+', _) => (Tok::Plus, 1),
+            ('&', _) => (Tok::Amp, 1),
+            (other, _) => fail!(span1, "unexpected character '{other}'"),
+        };
+        tokens.push(Token { tok, span: Span::new(line, col, len) });
+        i += len as usize;
+        col += len;
+    }
+    let end_line = lines.len().max(1) as u32;
+    let end_col = lines.last().map_or(1, |l| l.chars().count() as u32 + 1);
+    tokens.push(Token { tok: Tok::Eof, span: Span::new(end_line, end_col, 1) });
+    Ok(Lexed { tokens, lines, comments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().tokens.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_core_tokens() {
+        assert_eq!(
+            toks("r0 = load.acq x"),
+            vec![
+                Tok::Ident("r0".into()),
+                Tok::Eq,
+                Tok::Ident("load".into()),
+                Tok::Dot,
+                Tok::Ident("acq".into()),
+                Tok::Ident("x".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers_both_bases() {
+        assert_eq!(
+            toks("16 0x10"),
+            vec![
+                Tok::Int { value: 16, hex: false },
+                Tok::Int { value: 16, hex: true },
+                Tok::Eof
+            ]
+        );
+        assert!(lex("0xzz").is_err());
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn lexes_comparisons_and_bang() {
+        assert_eq!(toks("== != <= >= < > !"), vec![
+            Tok::EqEq, Tok::Ne, Tok::Le, Tok::Ge, Tok::Lt, Tok::Gt, Tok::Bang, Tok::Eof
+        ]);
+    }
+
+    #[test]
+    fn dashed_idents_are_single_tokens() {
+        assert_eq!(toks("await-termination"), vec![Tok::Ident("await-termination".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn strings_resolve_escapes() {
+        assert_eq!(toks(r#""a\"b\n""#), vec![Tok::Str("a\"b\n".into()), Tok::Eof]);
+        assert!(lex("\"abc").is_err());
+        assert!(lex(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn comments_are_collected_not_tokenized() {
+        let l = lex("# top\nnop // trailing\n").unwrap();
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.comments[0], Comment { line: 1, text: "top".into() });
+        assert_eq!(l.comments[1], Comment { line: 2, text: "trailing".into() });
+        assert_eq!(l.tokens.len(), 2); // nop + eof
+    }
+
+    #[test]
+    fn spans_track_lines_and_columns() {
+        let l = lex("a\n  bb").unwrap();
+        assert_eq!(l.tokens[0].span, Span::new(1, 1, 1));
+        assert_eq!(l.tokens[1].span, Span::new(2, 3, 2));
+    }
+}

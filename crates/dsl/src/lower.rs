@@ -1,0 +1,777 @@
+//! Lowering: AST → [`vsync_lang::Program`] via [`ProgramBuilder`].
+//!
+//! All name resolution happens here — locations, labels, shared barrier
+//! sites — with span-carrying diagnostics, so the builder (whose contract
+//! violations are panics) is only ever fed pre-validated input.
+//!
+//! Thread templates (`thread[n] { ... }`) are lowered by instantiating
+//! the same statement block `n` times. The instances' resolved code is
+//! identical by construction, so [`ProgramBuilder::build`]'s template
+//! detection merges them into one symmetry class and declares the
+//! partition on the program — the lowering rule documented in
+//! DESIGN.md §9.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use vsync_graph::{Loc, Mode, ThreadPartition};
+use vsync_lang::{
+    Addr, IntoSite, Operand, Program, ProgramBuilder, Reg, SiteKind, Test, ThreadBuilder,
+};
+
+use crate::ast::{
+    AddrAst, Expectation, FinalCheckAst, Item, LocDecl, LocName, OperandAst, RhsAst, SiteAst,
+    SourceFile, Stmt, StmtKind, TestAst,
+};
+use crate::diag::{Diagnostic, Span};
+use crate::parser::parse;
+
+/// Auto-assigned locations start here and step by this much.
+const AUTO_LOC_BASE: Loc = 0x10;
+
+/// Largest supported `thread[n]` template count (a safeguard — graphs
+/// with more threads are far beyond exhaustive checking anyway).
+const MAX_TEMPLATE_COUNT: u64 = 8;
+
+/// A compiled litmus file: the program plus its annotations.
+#[derive(Debug, Clone)]
+pub struct LitmusTest {
+    /// Program name (from the `litmus "name"` header).
+    pub name: String,
+    /// The lowered program.
+    pub program: Program,
+    /// Per-model expected verdicts, in annotation order.
+    pub expectations: Vec<Expectation>,
+    /// Did the file use a `thread[n]` template with `n >= 2`? (Such files
+    /// are guaranteed a non-trivial declared symmetry partition.)
+    pub templated: bool,
+}
+
+/// Parse and lower a litmus source file in one step.
+///
+/// # Errors
+///
+/// Returns the first syntax or resolution error with its source span.
+pub fn compile(src: &str) -> Result<LitmusTest, Diagnostic> {
+    lower(&parse(src)?)
+}
+
+/// Barrier-site specification used by lowering: named or auto, any
+/// mode/fixedness combination (the builder's stock `IntoSite` impls cover
+/// only the idiomatic corners).
+#[derive(Debug, Clone)]
+struct SiteSpec {
+    name: Option<String>,
+    mode: Mode,
+    relaxable: bool,
+}
+
+impl IntoSite for SiteSpec {
+    fn into_site(self) -> (Option<String>, Mode, bool) {
+        (self.name, self.mode, self.relaxable)
+    }
+}
+
+/// Lower a parsed file into a [`LitmusTest`].
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for resolution errors: duplicate locations,
+/// unbound or doubly-bound labels, inconsistent shared-site
+/// registrations, invalid mode/kind combinations, malformed symmetry
+/// declarations, duplicate expectations.
+pub fn lower(file: &SourceFile) -> Result<LitmusTest, Diagnostic> {
+    let locs = resolve_locations(file)?;
+    validate_sites(file)?;
+    let mut expectations: Vec<Expectation> = Vec::new();
+    for item in &file.items {
+        if let Item::Expect { model, model_span, verdict, executions, .. } = item {
+            if expectations.iter().any(|e| e.model == *model) {
+                return Err(file.diag(format!("duplicate expectation for model '{model}'"), *model_span));
+            }
+            expectations.push(Expectation { model: *model, verdict: *verdict, executions: *executions });
+        }
+    }
+
+    let mut pb = ProgramBuilder::new(&file.name);
+    for item in &file.items {
+        if let Item::Init { decls, .. } = item {
+            for d in decls {
+                if let Some(init) = d.init {
+                    let addr = match &d.name {
+                        LocName::Named(n, _) => locs.addr[n],
+                        LocName::Addr(a, _) => a.value,
+                    };
+                    pb.init(addr, init.value);
+                }
+            }
+        }
+    }
+    let mut templated = false;
+    for item in &file.items {
+        if let Item::Thread { count, stmts, .. } = item {
+            let (n, span) = match count {
+                Some((n, span)) => (*n, Some(*span)),
+                None => (1, None),
+            };
+            if n > MAX_TEMPLATE_COUNT {
+                return Err(file.diag(
+                    format!("thread template count {n} exceeds the supported maximum ({MAX_TEMPLATE_COUNT})"),
+                    span.expect("count span present when count given"),
+                ));
+            }
+            templated |= n >= 2;
+            let labels = validate_labels(file, stmts)?;
+            for _ in 0..n {
+                pb.thread(|t| emit_thread(t, stmts, &labels, &locs));
+            }
+        }
+    }
+    for item in &file.items {
+        if let Item::Final { checks, .. } = item {
+            for c in checks {
+                emit_final_check(&mut pb, c, &locs);
+            }
+        }
+    }
+    let mut program = pb.build().map_err(|e| {
+        // Unreachable by construction: every builder obligation was
+        // pre-validated above. Surface it as a header-anchored error.
+        file.diag(format!("internal lowering error: {e}"), file.name_span)
+    })?;
+    apply_symmetry(file, &mut program)?;
+    Ok(LitmusTest { name: file.name.clone(), program, expectations, templated })
+}
+
+/// Resolved location table.
+struct LocTable {
+    addr: BTreeMap<String, Loc>,
+}
+
+/// Resolve every named location to an address: explicit `@` addresses
+/// first, then auto-assignment (0x10, 0x20, ...) in declaration /
+/// first-use order, skipping taken addresses.
+fn resolve_locations(file: &SourceFile) -> Result<LocTable, Diagnostic> {
+    let mut addr: BTreeMap<String, Loc> = BTreeMap::new();
+    let mut taken: BTreeMap<Loc, String> = BTreeMap::new();
+    let mut pending: Vec<String> = Vec::new();
+    let mut seen_decl: BTreeMap<&str, Span> = BTreeMap::new();
+    for item in &file.items {
+        if let Item::Init { decls, .. } = item {
+            for LocDecl { name, addr: explicit, .. } in decls {
+                match name {
+                    LocName::Named(n, span) => {
+                        if seen_decl.insert(n, *span).is_some() {
+                            return Err(file.diag(format!("location '{n}' declared twice"), *span));
+                        }
+                        match explicit {
+                            Some(a) => {
+                                if let Some(prev) = taken.insert(a.value, n.clone()) {
+                                    return Err(file.diag(
+                                        format!(
+                                            "address {:#x} already assigned to location '{prev}'",
+                                            a.value
+                                        ),
+                                        *span,
+                                    ));
+                                }
+                                addr.insert(n.clone(), a.value);
+                            }
+                            None => pending.push(n.clone()),
+                        }
+                    }
+                    LocName::Addr(a, span) => {
+                        if let Some(prev) = taken.insert(a.value, format!("{a}")) {
+                            return Err(file.diag(
+                                format!("address {:#x} already assigned to location '{prev}'", a.value),
+                                *span,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Collect undeclared names in first-use order (code, then finals),
+    // every raw literal address used there, and every offset each name
+    // is addressed with — auto-assignment must never silently alias a
+    // cell the file addresses explicitly, including `name + off` field
+    // accesses whose offset reaches past the 0x10 auto stride.
+    let mut pending_state =
+        (pending, BTreeSet::<Loc>::new(), BTreeMap::<String, BTreeSet<Loc>>::new());
+    {
+        let (pending, reserved, offsets) = &mut pending_state;
+        let note_name = |pending: &mut Vec<String>, name: &str| {
+            if !addr.contains_key(name) && !pending.iter().any(|p| p == name) {
+                pending.push(name.to_owned());
+            }
+        };
+        let mut visit = |node: Node<'_>| match node {
+            Node::Addr(AddrAst::Name { name, offset, .. }) => {
+                note_name(pending, name);
+                offsets.entry(name.clone()).or_default().insert(offset.map_or(0, |o| o.value));
+            }
+            Node::Operand(OperandAst::Name(name, _)) => note_name(pending, name),
+            Node::Addr(AddrAst::Lit(lit, _)) => {
+                reserved.insert(lit.value);
+            }
+            Node::Addr(AddrAst::Reg { .. }) | Node::Operand(_) => {}
+        };
+        for item in &file.items {
+            match item {
+                Item::Thread { stmts, .. } => {
+                    for s in stmts {
+                        visit_stmt_names(s, &mut visit);
+                    }
+                }
+                Item::Final { checks, .. } => {
+                    for c in checks {
+                        visit(Node::Addr(&c.loc));
+                        visit(Node::Operand(&c.test.rhs));
+                        if let Some(m) = &c.test.mask {
+                            visit(Node::Operand(m));
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let (pending, mut reserved, offsets) = pending_state;
+    let no_offsets = BTreeSet::new();
+    // Cells reached through explicitly-addressed names are taken too.
+    for (name, &base) in &addr {
+        for &off in offsets.get(name).unwrap_or(&no_offsets) {
+            reserved.insert(base + off);
+        }
+    }
+    let mut next = AUTO_LOC_BASE;
+    for name in pending {
+        let offs = offsets.get(&name).unwrap_or(&no_offsets);
+        let clashes = |base: Loc| {
+            std::iter::once(0)
+                .chain(offs.iter().copied())
+                .any(|off| taken.contains_key(&(base + off)) || reserved.contains(&(base + off)))
+        };
+        while clashes(next) {
+            next += AUTO_LOC_BASE;
+        }
+        for &off in offs {
+            reserved.insert(next + off);
+        }
+        taken.insert(next, name.clone());
+        addr.insert(name, next);
+        next += AUTO_LOC_BASE;
+    }
+    Ok(LocTable { addr })
+}
+
+/// A visited node.
+enum Node<'a> {
+    Addr(&'a AddrAst),
+    Operand(&'a OperandAst),
+}
+
+/// Walk every address and operand position of a statement, in source
+/// order (used for deterministic auto-address assignment).
+fn visit_stmt_names<'a>(s: &'a Stmt, f: &mut dyn FnMut(Node<'a>)) {
+    let mut addr = |a: &'a AddrAst| f(Node::Addr(a));
+    match &s.kind {
+        StmtKind::Store { addr: a, src, .. } => {
+            addr(a);
+            f(Node::Operand(src));
+        }
+        StmtKind::Jmp { cond: Some((src, test)), .. } => {
+            f(Node::Operand(src));
+            visit_test(test, f);
+        }
+        StmtKind::Assert { src, test, .. } => {
+            f(Node::Operand(src));
+            visit_test(test, f);
+        }
+        StmtKind::Assign { rhs, .. } => match rhs {
+            RhsAst::Load { addr: a, .. } => addr(a),
+            RhsAst::Rmw { addr: a, operand, .. } => {
+                addr(a);
+                f(Node::Operand(operand));
+            }
+            RhsAst::Cas { addr: a, expected, new, .. }
+            | RhsAst::AwaitCas { addr: a, expected, new, .. } => {
+                addr(a);
+                f(Node::Operand(expected));
+                f(Node::Operand(new));
+            }
+            RhsAst::AwaitLoad { addr: a, until, .. } => {
+                addr(a);
+                visit_test(until, f);
+            }
+            RhsAst::AwaitRmw { addr: a, operand, until, .. } => {
+                addr(a);
+                f(Node::Operand(operand));
+                visit_test(until, f);
+            }
+            RhsAst::Mov { src } => f(Node::Operand(src)),
+            RhsAst::Alu { a, b, .. } => {
+                f(Node::Operand(a));
+                f(Node::Operand(b));
+            }
+        },
+        StmtKind::Label(..) | StmtKind::Fence { .. } | StmtKind::Nop | StmtKind::Jmp { cond: None, .. } => {}
+    }
+}
+
+fn visit_test<'a>(t: &'a TestAst, f: &mut dyn FnMut(Node<'a>)) {
+    if let Some(m) = &t.mask {
+        f(Node::Operand(m));
+    }
+    f(Node::Operand(&t.rhs));
+}
+
+/// The site kind a statement's annotation belongs to.
+fn stmt_site_kinds(s: &Stmt) -> Option<(&SiteAst, SiteKind, &'static str)> {
+    match &s.kind {
+        StmtKind::Store { site, .. } => Some((site, SiteKind::Store, "store")),
+        StmtKind::Fence { site } => Some((site, SiteKind::Fence, "fence")),
+        StmtKind::Assign { rhs, .. } => match rhs {
+            RhsAst::Load { site, .. } => Some((site, SiteKind::Load, "load")),
+            RhsAst::AwaitLoad { site, .. } => Some((site, SiteKind::Load, "await-load")),
+            RhsAst::Rmw { site, .. }
+            | RhsAst::Cas { site, .. }
+            | RhsAst::AwaitRmw { site, .. }
+            | RhsAst::AwaitCas { site, .. } => Some((site, SiteKind::Rmw, "rmw")),
+            RhsAst::Mov { .. } | RhsAst::Alu { .. } => None,
+        },
+        _ => None,
+    }
+}
+
+/// Pre-validate every barrier-site annotation: mode/kind compatibility
+/// and consistency of shared (named) registrations — the conditions the
+/// builder would otherwise enforce by panicking.
+fn validate_sites(file: &SourceFile) -> Result<(), Diagnostic> {
+    let mut named: BTreeMap<&str, (SiteKind, Mode, bool)> = BTreeMap::new();
+    for item in &file.items {
+        let Item::Thread { stmts, .. } = item else { continue };
+        for s in stmts {
+            let Some((site, kind, what)) = stmt_site_kinds(s) else { continue };
+            if !kind.valid_modes().contains(&site.mode) {
+                return Err(file.diag(
+                    format!("mode '{}' is invalid for a {what} site", site.mode),
+                    site.mode_span,
+                ));
+            }
+            if let Some((name, span)) = &site.name {
+                match named.get(name.as_str()) {
+                    None => {
+                        named.insert(name, (kind, site.mode, site.fixed));
+                    }
+                    Some(&(k0, m0, f0)) => {
+                        if k0 != kind {
+                            return Err(file.diag(
+                                format!("site '{name}' reuses a name with a different kind"),
+                                *span,
+                            ));
+                        }
+                        if m0 != site.mode {
+                            return Err(file.diag(
+                                format!(
+                                    "site '{name}' reuses a name with a different mode ({m0} vs {})",
+                                    site.mode
+                                ),
+                                *span,
+                            ));
+                        }
+                        if f0 != site.fixed {
+                            return Err(file.diag(
+                                format!("site '{name}' is fixed ('!') in one place but not another"),
+                                *span,
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Check label bindings and jump targets; returns the name → index map.
+fn validate_labels(file: &SourceFile, stmts: &[Stmt]) -> Result<BTreeMap<String, usize>, Diagnostic> {
+    let mut labels: BTreeMap<String, usize> = BTreeMap::new();
+    for s in stmts {
+        if let StmtKind::Label(name, span) = &s.kind {
+            let next = labels.len();
+            if labels.insert(name.clone(), next).is_some() {
+                return Err(file.diag(format!("label '{name}' bound twice"), *span));
+            }
+        }
+    }
+    for s in stmts {
+        if let StmtKind::Jmp { target: (name, span), .. } = &s.kind {
+            if !labels.contains_key(name) {
+                return Err(file.diag(format!("unbound label '{name}'"), *span));
+            }
+        }
+    }
+    Ok(labels)
+}
+
+fn lower_site(site: &SiteAst) -> SiteSpec {
+    SiteSpec {
+        name: site.name.as_ref().map(|(n, _)| n.clone()),
+        mode: site.mode,
+        relaxable: !site.fixed,
+    }
+}
+
+fn lower_addr(a: &AddrAst, locs: &LocTable) -> Addr {
+    match a {
+        AddrAst::Name { name, offset, .. } => {
+            Addr::Imm(locs.addr[name] + offset.map_or(0, |o| o.value))
+        }
+        AddrAst::Lit(lit, _) => Addr::Imm(lit.value),
+        AddrAst::Reg { reg, offset: None, .. } => Addr::Reg(Reg(*reg)),
+        AddrAst::Reg { reg, offset: Some(o), .. } => Addr::RegOff(Reg(*reg), o.value),
+    }
+}
+
+fn lower_operand(o: &OperandAst, locs: &LocTable) -> Operand {
+    match o {
+        OperandAst::Reg(r, _) => Operand::Reg(Reg(*r)),
+        OperandAst::Lit(lit, _) => Operand::Imm(lit.value),
+        OperandAst::Name(n, _) => Operand::Imm(locs.addr[n]),
+    }
+}
+
+fn lower_test(t: &TestAst, locs: &LocTable) -> Test {
+    Test {
+        mask: t.mask.as_ref().map(|m| lower_operand(m, locs)),
+        cmp: t.cmp,
+        rhs: lower_operand(&t.rhs, locs),
+    }
+}
+
+/// Emit one (pre-validated) thread body into the builder.
+fn emit_thread(
+    t: &mut ThreadBuilder,
+    stmts: &[Stmt],
+    labels: &BTreeMap<String, usize>,
+    locs: &LocTable,
+) {
+    let handles: Vec<vsync_lang::Label> = (0..labels.len()).map(|_| t.label()).collect();
+    let handle = |name: &str| handles[labels[name]];
+    for s in stmts {
+        match &s.kind {
+            StmtKind::Label(name, _) => {
+                t.bind(handle(name));
+            }
+            StmtKind::Store { site, addr, src } => {
+                t.store(lower_addr(addr, locs), lower_operand(src, locs), lower_site(site));
+            }
+            StmtKind::Fence { site } => {
+                t.fence(lower_site(site));
+            }
+            StmtKind::Jmp { target: (name, _), cond } => match cond {
+                None => {
+                    t.jmp(handle(name));
+                }
+                Some((src, test)) => {
+                    t.jmp_if(lower_operand(src, locs), lower_test(test, locs), handle(name));
+                }
+            },
+            StmtKind::Assert { src, test, msg } => {
+                t.assert(lower_operand(src, locs), lower_test(test, locs), msg.as_deref().unwrap_or(""));
+            }
+            StmtKind::Nop => {
+                t.nop();
+            }
+            StmtKind::Assign { dst: (dst, _), rhs } => {
+                let dst = Reg(*dst);
+                match rhs {
+                    RhsAst::Load { site, addr } => {
+                        t.load(dst, lower_addr(addr, locs), lower_site(site));
+                    }
+                    RhsAst::Rmw { op, site, addr, operand } => {
+                        t.rmw(dst, lower_addr(addr, locs), *op, lower_operand(operand, locs), lower_site(site));
+                    }
+                    RhsAst::Cas { site, addr, expected, new } => {
+                        t.cas(
+                            dst,
+                            lower_addr(addr, locs),
+                            lower_operand(expected, locs),
+                            lower_operand(new, locs),
+                            lower_site(site),
+                        );
+                    }
+                    RhsAst::AwaitLoad { site, addr, until } => {
+                        t.await_load(dst, lower_addr(addr, locs), lower_test(until, locs), lower_site(site));
+                    }
+                    RhsAst::AwaitRmw { op, site, addr, operand, until } => {
+                        t.await_rmw(
+                            dst,
+                            lower_addr(addr, locs),
+                            lower_test(until, locs),
+                            *op,
+                            lower_operand(operand, locs),
+                            lower_site(site),
+                        );
+                    }
+                    RhsAst::AwaitCas { site, addr, expected, new } => {
+                        t.await_cas(
+                            dst,
+                            lower_addr(addr, locs),
+                            lower_operand(expected, locs),
+                            lower_operand(new, locs),
+                            lower_site(site),
+                        );
+                    }
+                    RhsAst::Mov { src } => {
+                        t.mov(dst, lower_operand(src, locs));
+                    }
+                    RhsAst::Alu { op, a, b } => {
+                        t.op(dst, *op, lower_operand(a, locs), lower_operand(b, locs));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn emit_final_check(pb: &mut ProgramBuilder, c: &FinalCheckAst, locs: &LocTable) {
+    let loc = match &c.loc {
+        AddrAst::Name { name, offset, .. } => locs.addr[name] + offset.map_or(0, |o| o.value),
+        AddrAst::Lit(lit, _) => lit.value,
+        AddrAst::Reg { .. } => unreachable!("parser rejects register final checks"),
+    };
+    pb.final_check(loc, lower_test(&c.test, locs), c.msg.as_deref().unwrap_or(""));
+}
+
+/// Apply an explicit `symmetry { ... } { ... }` declaration, if present.
+fn apply_symmetry(file: &SourceFile, program: &mut Program) -> Result<(), Diagnostic> {
+    let mut seen = false;
+    for item in &file.items {
+        let Item::Symmetry { groups, line } = item else { continue };
+        let span = Span::new(*line, 1, "symmetry".len() as u32);
+        if seen {
+            return Err(file.diag("duplicate symmetry section", span));
+        }
+        seen = true;
+        let n = program.num_threads();
+        let mut class = vec![u32::MAX; n];
+        for (gi, group) in groups.iter().enumerate() {
+            for (idx, ispan) in group {
+                let idx = *idx as usize;
+                if idx >= n {
+                    return Err(file.diag(
+                        format!("thread index {idx} out of range (the program has {n} threads)"),
+                        *ispan,
+                    ));
+                }
+                if class[idx] != u32::MAX {
+                    return Err(
+                        file.diag(format!("thread {idx} appears in two symmetry groups"), *ispan)
+                    );
+                }
+                class[idx] = gi as u32;
+            }
+        }
+        if let Some(missing) = class.iter().position(|&c| c == u32::MAX) {
+            return Err(file.diag(
+                format!("symmetry partition must mention every thread (thread {missing} is missing)"),
+                span,
+            ));
+        }
+        program.declare_symmetry(ThreadPartition::from_class_ids(&class));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vsync_lang::Instr;
+
+    #[test]
+    fn lowers_auto_and_explicit_locations() {
+        let t = compile(
+            r#"
+            litmus "locs"
+            init { a @ 0x20 = 7  b = 1 }
+            thread { r0 = load.rlx a  r1 = load.rlx b  r2 = load.rlx c }
+            "#,
+        )
+        .unwrap();
+        // a explicit at 0x20; b auto-assigned 0x10 (0x20 taken); c next at 0x30.
+        assert_eq!(t.program.init().get(&0x20), Some(&7));
+        assert_eq!(t.program.init().get(&0x10), Some(&1));
+        let code = t.program.thread_code(0);
+        assert!(matches!(code[0], Instr::Load { addr: Addr::Imm(0x20), .. }));
+        assert!(matches!(code[1], Instr::Load { addr: Addr::Imm(0x10), .. }));
+        assert!(matches!(code[2], Instr::Load { addr: Addr::Imm(0x30), .. }));
+    }
+
+    #[test]
+    fn auto_assignment_avoids_literal_addresses() {
+        // `x` must not be auto-assigned 0x10: the code addresses that
+        // cell explicitly as a raw literal.
+        let t = compile(
+            r#"
+            litmus "alias"
+            thread { store.rlx x, 1  r0 = load.rlx 0x10 }
+            final { 0x20 == 0 : "literal finals reserve too" }
+            "#,
+        )
+        .unwrap();
+        let code = t.program.thread_code(0);
+        assert!(
+            matches!(code[0], Instr::Store { addr: Addr::Imm(0x30), .. }),
+            "x collided with a literal address: {code:?}"
+        );
+    }
+
+    #[test]
+    fn auto_assignment_avoids_offset_reach() {
+        // `x + 0x10` reaches one auto stride past x, so `y` must skip
+        // the cell x's field access lands on — and x itself must skip
+        // cells reached through the explicitly-addressed node's fields.
+        let t = compile(
+            r#"
+            litmus "fields"
+            init { node @ 0x20 = 0 }
+            thread {
+              store.rlx x + 0x10, 1
+              store.rlx node + 0x10, 2
+              r0 = load.rlx y
+            }
+            "#,
+        )
+        .unwrap();
+        let code = t.program.thread_code(0);
+        // node@0x20 reserves 0x30 via its +0x10 use; x would auto-get
+        // 0x10 but its +0x10 field (0x20) clashes with node and 0x30 is
+        // reserved, so x lands at 0x40 (field at 0x50); y continues past
+        // the reserved field cell to 0x60.
+        assert!(matches!(code[0], Instr::Store { addr: Addr::Imm(0x50), .. }), "{code:?}");
+        assert!(matches!(code[1], Instr::Store { addr: Addr::Imm(0x30), .. }), "{code:?}");
+        assert!(matches!(code[2], Instr::Load { addr: Addr::Imm(0x60), .. }), "{code:?}");
+    }
+
+    #[test]
+    fn templates_declare_symmetry() {
+        let t = compile(
+            r#"
+            litmus "fai"
+            thread[3] { r0 = rmw.add.rlx x, 1 }
+            "#,
+        )
+        .unwrap();
+        assert!(t.templated);
+        assert_eq!(t.program.num_threads(), 3);
+        let declared = t.program.declared_symmetry().expect("builder declares");
+        assert!(declared.same_class(0, 2));
+    }
+
+    #[test]
+    fn named_sites_are_shared_and_fixed_sites_pinned() {
+        let t = compile(
+            r#"
+            litmus "sites"
+            thread[2] {
+              store.rel@handover x, 1
+              store.rlx! y, 1
+            }
+            "#,
+        )
+        .unwrap();
+        let sites = t.program.sites();
+        assert_eq!(sites.iter().filter(|s| s.name == "handover").count(), 1);
+        assert_eq!(sites.iter().filter(|s| !s.relaxable).count(), 2);
+    }
+
+    #[test]
+    fn labels_and_jumps_resolve() {
+        let t = compile(
+            r#"
+            litmus "loop"
+            thread {
+            top:
+              r0 = load.rlx x
+              jmp top if r0 == 0
+              jmp out
+            out:
+            }
+            "#,
+        )
+        .unwrap();
+        let code = t.program.thread_code(0);
+        assert!(matches!(code[1], Instr::JmpIf { target: 0, .. }));
+        assert!(matches!(code[2], Instr::Jmp { target: 3 }));
+    }
+
+    #[test]
+    fn location_name_as_operand_resolves_to_address() {
+        let t = compile(
+            r#"
+            litmus "ptr"
+            init { node @ 0x1000 = 0  tail @ 0x100 = 0 }
+            thread { store.rlx tail, node }
+            "#,
+        )
+        .unwrap();
+        assert!(matches!(
+            t.program.thread_code(0)[0],
+            Instr::Store { src: Operand::Imm(0x1000), .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unbound_label() {
+        let e = compile("litmus x thread { jmp out }").unwrap_err();
+        assert!(e.message.contains("unbound label 'out'"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_location() {
+        let e = compile("litmus x init { a = 0  a = 1 }").unwrap_err();
+        assert!(e.message.contains("declared twice"), "{e}");
+    }
+
+    #[test]
+    fn rejects_inconsistent_shared_site() {
+        let e = compile(
+            "litmus x thread { store.rel@s y, 1 } thread { store.rlx@s y, 1 }",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("different mode"), "{e}");
+    }
+
+    #[test]
+    fn rejects_invalid_mode_for_kind() {
+        let e = compile("litmus x thread { store.acq y, 1 }").unwrap_err();
+        assert!(e.message.contains("invalid for a store site"), "{e}");
+    }
+
+    #[test]
+    fn explicit_symmetry_section_is_declared() {
+        let t = compile(
+            r#"
+            litmus "sym"
+            thread { store.rlx x, 1 }
+            thread { store.rlx x, 1 }
+            symmetry { 0 } { 1 }
+            "#,
+        )
+        .unwrap();
+        // Detected partition merges the threads; the declaration splits.
+        assert!(t.program.symmetry_partition().is_trivial());
+        let e = compile("litmus x thread { nop } thread { nop } symmetry { 0 }").unwrap_err();
+        assert!(e.message.contains("thread 1 is missing"), "{e}");
+        let e = compile("litmus x thread { nop } symmetry { 0 0 }").unwrap_err();
+        assert!(e.message.contains("two symmetry groups"), "{e}");
+    }
+
+    #[test]
+    fn rejects_duplicate_expectation() {
+        let e = compile("litmus x thread { nop } expect vmm: verified expect vmm: safety").unwrap_err();
+        assert!(e.message.contains("duplicate expectation"), "{e}");
+    }
+}

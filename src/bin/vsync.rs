@@ -2,11 +2,14 @@
 //!
 //! See [`HELP`] for the command and option summary.
 
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 use vsync::core::{
-    enumerate_maximal, AmcConfig, OptimizeStrategy, OptimizerConfig, Report, Session,
+    collect_litmus_files, enumerate_maximal, run_corpus, AmcConfig, CancelToken, CorpusOptions,
+    OptimizeStrategy, OptimizerConfig, ProgressSnapshot, Report, Session,
 };
 use vsync::graph::{to_dot, Mode};
 use vsync::lang::{Program, ProgramBuilder, Reg};
@@ -22,6 +25,14 @@ vsync verify <lock> [opts]          AMC-verify a lock's generic client
 vsync optimize <lock> [opts]        push-button barrier optimization
 vsync bug <dpdk|huawei> [--fixed]   run a §3 study-case scenario
 vsync litmus <sb|mp|lb|iriw>        explore a classic litmus shape
+vsync check <file.litmus> [opts]    verify a litmus file against its
+                                    `expect <model>: <verdict>` annotations
+                                    (exit code reflects mismatches)
+vsync corpus <dir> [opts]           batch-check every *.litmus under dir
+                                    (per-file verdict table)
+vsync fmt [--check|--write] <path>  canonically format litmus files
+                                    (--check: fail if not canonical;
+                                     --write: rewrite in place)
 
 options:
   --threads N      client threads (default 2)
@@ -35,8 +46,9 @@ options:
                    relabeled twin of template-identical client threads
                    distinctly (naive reference counts; default prunes
                    them, reported as `sym-pruned`)
-  --json           (verify/optimize/bug) print the Report as JSON
-  --progress       (verify/bug) stream progress snapshots to stderr
+  --json           (verify/optimize/bug/check/corpus) print the report as JSON
+  --progress       (verify/bug/check/corpus) stream progress snapshots to stderr
+  --jobs J         (corpus) files checked concurrently (default: cores, max 8)
   --strategy S     (optimize) sequential | parallel | adaptive
                    (default adaptive; sequential is the reference loop)
   --passes N       (optimize) cap optimization passes (default: fixpoint)
@@ -48,7 +60,11 @@ struct Options {
     threads: usize,
     acquires: usize,
     models: Vec<ModelKind>,
+    /// Was `--model`/`--models` given explicitly? (`check`/`corpus` only
+    /// override a file's annotated matrix on explicit request.)
+    models_set: bool,
     workers: usize,
+    jobs: usize,
     deadline: Option<Duration>,
     json: bool,
     progress: bool,
@@ -67,7 +83,9 @@ impl Options {
             threads: 2,
             acquires: 1,
             models: vec![ModelKind::Vmm],
+            models_set: false,
             workers: 1,
+            jobs: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
             deadline: None,
             json: false,
             progress: false,
@@ -97,11 +115,19 @@ impl Options {
                 "--model" => {
                     let m = it.next().ok_or("--model needs sc|tso|vmm")?;
                     o.models = vec![m.parse()?];
+                    o.models_set = true;
                 }
                 "--models" => {
                     let ms = it.next().ok_or("--models needs a comma-separated list")?;
                     o.models =
                         ms.split(',').map(str::parse).collect::<Result<Vec<_>, _>>()?;
+                    o.models_set = true;
+                }
+                "--jobs" => {
+                    o.jobs = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--jobs needs a number")?
                 }
                 "--workers" => {
                     o.workers = it
@@ -137,6 +163,23 @@ impl Options {
             }
         }
         Ok(o)
+    }
+
+    /// Corpus-runner options mirroring the session flags.
+    fn corpus_options(&self) -> CorpusOptions {
+        CorpusOptions {
+            models: if self.models_set { Some(self.models.clone()) } else { None },
+            workers: self.workers,
+            jobs: self.jobs,
+            no_symmetry: !self.symmetry,
+            deadline: self.deadline,
+            cancel: CancelToken::new(),
+            progress: self.progress.then(|| {
+                Arc::new(|p: &ProgressSnapshot| {
+                    eprintln!("[{}] {:.1?}: {} ({} workers)", p.model, p.elapsed, p.stats, p.workers);
+                }) as Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>
+            }),
+        }
     }
 
     /// A session over `program` with every runtime option applied.
@@ -234,7 +277,7 @@ fn run() -> Result<ExitCode, String> {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            println!("usage: vsync <locks|verify|optimize|bug|litmus> ... (see --help)");
+            println!("usage: vsync <locks|verify|optimize|bug|litmus|check|corpus|fmt> ... (see --help)");
             return Ok(ExitCode::SUCCESS);
         }
     };
@@ -328,6 +371,88 @@ fn run() -> Result<ExitCode, String> {
             };
             let r = o.session(p).run();
             Ok(report(&r, &o))
+        }
+        "check" => {
+            let (file, rest) = rest.split_first().ok_or("check needs a .litmus file")?;
+            let o = Options::parse(rest)?;
+            let r = run_corpus(Path::new(file), &o.corpus_options())
+                .map_err(|e| format!("cannot read {file}: {e}"))?;
+            if o.json {
+                println!("{}", r.to_json());
+            } else {
+                print!("{}", r.render_table());
+            }
+            Ok(if r.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "corpus" => {
+            let (dir, rest) = rest.split_first().ok_or("corpus needs a directory")?;
+            let o = Options::parse(rest)?;
+            let r = run_corpus(Path::new(dir), &o.corpus_options())
+                .map_err(|e| format!("cannot read {dir}: {e}"))?;
+            if r.files.is_empty() {
+                return Err(format!("no .litmus files under {dir}"));
+            }
+            if o.json {
+                println!("{}", r.to_json());
+            } else {
+                print!("{}", r.render_table());
+            }
+            Ok(if r.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+        }
+        "fmt" => {
+            let mut check = false;
+            let mut write = false;
+            let mut paths: Vec<&str> = Vec::new();
+            for a in rest {
+                match a.as_str() {
+                    "--check" => check = true,
+                    "--write" => write = true,
+                    other if !other.starts_with("--") => paths.push(other),
+                    other => return Err(format!("unknown option {other}")),
+                }
+            }
+            if check && write {
+                return Err("--check and --write are mutually exclusive".into());
+            }
+            if paths.is_empty() {
+                return Err("fmt needs at least one file or directory".into());
+            }
+            let mut files = Vec::new();
+            for p in paths {
+                let mut found = collect_litmus_files(Path::new(p))
+                    .map_err(|e| format!("cannot read {p}: {e}"))?;
+                if found.is_empty() {
+                    return Err(format!("no .litmus files under {p}"));
+                }
+                files.append(&mut found);
+            }
+            let mut failed = false;
+            for path in files {
+                let label = path.display().to_string();
+                let src = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("cannot read {label}: {e}"))?;
+                match vsync::dsl::format_source(&src) {
+                    Err(d) => {
+                        eprint!("{}", d.with_file(&label).render());
+                        failed = true;
+                    }
+                    Ok(formatted) if check => {
+                        if formatted != src {
+                            eprintln!("would reformat {label}");
+                            failed = true;
+                        }
+                    }
+                    Ok(formatted) if write => {
+                        if formatted != src {
+                            std::fs::write(&path, formatted)
+                                .map_err(|e| format!("cannot write {label}: {e}"))?;
+                            eprintln!("reformatted {label}");
+                        }
+                    }
+                    Ok(formatted) => print!("{formatted}"),
+                }
+            }
+            Ok(if failed { ExitCode::FAILURE } else { ExitCode::SUCCESS })
         }
         "litmus" => {
             let (name, rest) = rest.split_first().ok_or("litmus needs a shape name")?;

@@ -10,6 +10,8 @@
 //! * [`model`] — weak memory models (`SC`, `TSO`, RC11-style `VMM`);
 //! * [`lang`] — the modeling language with primitive awaits and its
 //!   graph-driven replay semantics;
+//! * [`dsl`] — the textual litmus frontend: parser, pretty-printer and
+//!   per-model expected-verdict annotations for `.litmus` files;
 //! * [`core`] — **AMC**, the await-aware stateless model checker, the
 //!   push-button barrier optimizer (the paper's contribution), and the
 //!   [`core::Session`] pipeline that fronts them;
@@ -36,10 +38,34 @@
 //! assert_eq!(report.models.len(), 3);
 //! println!("{}", report.to_json());
 //! ```
+//!
+//! New scenarios need no recompilation: [`core::Session::from_source`]
+//! (and `from_path` / the `vsync check` CLI) accepts the litmus text
+//! format, with the model matrix taken from the file's `expect`
+//! annotations:
+//!
+//! ```
+//! use vsync::core::Session;
+//!
+//! let report = Session::from_source(r#"
+//!     litmus "message-passing"
+//!     thread { store.rlx data, 1  store.rel flag, 1 }
+//!     thread {
+//!       r0 = await_eq.acq flag, 1
+//!       r1 = load.rlx data
+//!       assert r1 == 1, "flag implies data"
+//!     }
+//!     expect sc: verified
+//!     expect vmm: verified
+//! "#).expect("well-formed").run();
+//! assert!(report.is_verified());
+//! assert_eq!(report.models.len(), 2);
+//! ```
 
 #![warn(missing_docs)]
 
 pub use vsync_core as core;
+pub use vsync_dsl as dsl;
 pub use vsync_graph as graph;
 pub use vsync_lang as lang;
 pub use vsync_locks as locks;

@@ -1,0 +1,135 @@
+//! Golden tests for DSL diagnostics: malformed inputs must produce
+//! *stable* `line:col` messages with their source excerpt, pinned here
+//! byte-for-byte (like the `Report::to_json` golden) so error output is
+//! a dependable surface for tooling and editors.
+
+/// Compile `src` (labeled `test.litmus`), expect failure, and compare
+/// the fully rendered diagnostic.
+fn golden(src: &str, expected: &str) {
+    let diag = match vsync::dsl::compile(src) {
+        Err(d) => d.with_file("test.litmus"),
+        Ok(_) => panic!("expected a diagnostic for:\n{src}"),
+    };
+    let rendered = diag.render();
+    assert_eq!(
+        rendered, expected,
+        "golden mismatch.\n--- actual ---\n{rendered}\n--- expected ---\n{expected}"
+    );
+}
+
+#[test]
+fn unknown_barrier_mode() {
+    golden(
+        "litmus \"t\"\nthread {\n  r0 = load.foo x\n}\n",
+        "error: unknown barrier mode 'foo' (rlx, acq, rel, acq_rel, sc)\n\
+         \x20--> test.litmus:3:13\n\
+         \x20  3 |   r0 = load.foo x\n\
+         \x20    |             ^^^\n",
+    );
+}
+
+#[test]
+fn unbound_label() {
+    golden(
+        "litmus \"t\"\nthread {\n  jmp out\n}\n",
+        "error: unbound label 'out'\n\
+         \x20--> test.litmus:3:7\n\
+         \x20  3 |   jmp out\n\
+         \x20    |       ^^^\n",
+    );
+}
+
+#[test]
+fn duplicate_location() {
+    golden(
+        "litmus \"t\"\ninit {\n  x = 0\n  x = 1\n}\n",
+        "error: location 'x' declared twice\n\
+         \x20--> test.litmus:4:3\n\
+         \x20  4 |   x = 1\n\
+         \x20    |   ^\n",
+    );
+}
+
+#[test]
+fn bad_expect_verdict() {
+    golden(
+        "litmus \"t\"\nthread {\n  nop\n}\nexpect vmm: maybe\n",
+        "error: unknown expected verdict 'maybe' (verified, safety, await-termination, fault)\n\
+         \x20--> test.litmus:5:13\n\
+         \x20  5 | expect vmm: maybe\n\
+         \x20    |             ^^^^^\n",
+    );
+}
+
+#[test]
+fn bad_expect_model() {
+    golden(
+        "litmus \"t\"\nexpect arm: verified\n",
+        "error: unknown memory model 'arm' (sc, tso, vmm)\n\
+         \x20--> test.litmus:2:8\n\
+         \x20  2 | expect arm: verified\n\
+         \x20    |        ^^^\n",
+    );
+}
+
+#[test]
+fn register_out_of_range() {
+    golden(
+        "litmus \"t\"\nthread {\n  r32 = mov 1\n}\n",
+        "error: register 'r32' out of range (r0..r31)\n\
+         \x20--> test.litmus:3:3\n\
+         \x20  3 |   r32 = mov 1\n\
+         \x20    |   ^^^\n",
+    );
+}
+
+#[test]
+fn mode_invalid_for_site_kind() {
+    golden(
+        "litmus \"t\"\nthread {\n  store.acq x, 1\n}\n",
+        "error: mode 'acq' is invalid for a store site\n\
+         \x20--> test.litmus:3:9\n\
+         \x20  3 |   store.acq x, 1\n\
+         \x20    |         ^^^\n",
+    );
+}
+
+#[test]
+fn count_on_failing_expectation() {
+    golden(
+        "litmus \"t\"\nexpect vmm: safety = 3\n",
+        "error: execution counts only apply to 'verified' expectations, not 'safety'\n\
+         \x20--> test.litmus:2:22\n\
+         \x20  2 | expect vmm: safety = 3\n\
+         \x20    |                      ^\n",
+    );
+}
+
+#[test]
+fn shared_site_mode_conflict() {
+    golden(
+        "litmus \"t\"\nthread {\n  store.rel@s x, 1\n}\nthread {\n  store.rlx@s x, 1\n}\n",
+        "error: site 's' reuses a name with a different mode (rel vs rlx)\n\
+         \x20--> test.litmus:6:13\n\
+         \x20  6 |   store.rlx@s x, 1\n\
+         \x20    |             ^\n",
+    );
+}
+
+#[test]
+fn bare_register_as_address() {
+    golden(
+        "litmus \"t\"\nthread {\n  r0 = load.rlx r1\n}\n",
+        "error: register-indirect addresses use brackets: [r1] or [r1 + off]\n\
+         \x20--> test.litmus:3:17\n\
+         \x20  3 |   r0 = load.rlx r1\n\
+         \x20    |                 ^^\n",
+    );
+}
+
+#[test]
+fn diagnostic_display_matches_render() {
+    let d = vsync::dsl::compile("litmus \"t\"\nthread {\n  jmp out\n}\n").unwrap_err();
+    assert_eq!(d.to_string(), d.render().trim_end());
+    assert!(d.file.is_none(), "no file attached until with_file");
+}

@@ -257,6 +257,250 @@ fn content_hash_no_observed_collisions() {
     });
 }
 
+/// DSL round-trip support: a richer generator than [`random_threads`]
+/// covering the *full* instruction surface — awaits (load/rmw/cas),
+/// masked tests, register-indirect addresses, ALU ops, asserts with
+/// hostile messages, forward/backward jumps, shared named sites, fixed
+/// sites, init values and final checks — so `parse ∘ print` is exercised
+/// on every printer path.
+mod dsl_gen {
+    use super::Rng;
+    use vsync::graph::Mode;
+    use vsync::lang::{Addr, AluOp, Fixed, Operand, Program, ProgramBuilder, Reg, RmwOp, Test, ThreadBuilder};
+
+    fn mode_for_load(rng: &mut Rng) -> Mode {
+        [Mode::Rlx, Mode::Acq, Mode::Sc][rng.below(3) as usize]
+    }
+
+    fn mode_for_store(rng: &mut Rng) -> Mode {
+        [Mode::Rlx, Mode::Rel, Mode::Sc][rng.below(3) as usize]
+    }
+
+    fn mode_any(rng: &mut Rng) -> Mode {
+        [Mode::Rlx, Mode::Acq, Mode::Rel, Mode::AcqRel, Mode::Sc][rng.below(5) as usize]
+    }
+
+    fn operand(rng: &mut Rng) -> Operand {
+        if rng.below(2) == 0 {
+            Operand::Reg(Reg(rng.below(32) as u8))
+        } else {
+            Operand::Imm(rng.below(4))
+        }
+    }
+
+    fn addr(rng: &mut Rng) -> Addr {
+        match rng.below(4) {
+            0 => Addr::Imm(0x10 + 0x10 * rng.below(3)),
+            1 => Addr::Imm(0x1000),
+            2 => Addr::Reg(Reg(rng.below(32) as u8)),
+            _ => Addr::RegOff(Reg(rng.below(32) as u8), 8 * rng.below(3)),
+        }
+    }
+
+    fn test(rng: &mut Rng) -> Test {
+        use vsync::lang::Cmp;
+        let cmp = [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge][rng.below(6) as usize];
+        Test {
+            mask: (rng.below(3) == 0).then(|| operand(rng)),
+            cmp,
+            rhs: operand(rng),
+        }
+    }
+
+    fn msg(rng: &mut Rng) -> &'static str {
+        ["", "boom", "line\nbreak", "with \"quotes\" and \\slashes\\", "tab\there"]
+            [rng.below(5) as usize]
+    }
+
+    /// Shared named sites: one per kind so every registration is
+    /// consistent (same kind + mode), exercising cross-thread sharing.
+    #[derive(Clone, Copy)]
+    struct SitePool {
+        load_mode: Mode,
+        store_mode: Mode,
+        rmw_mode: Mode,
+        fence_mode: Mode,
+    }
+
+    fn emit_simple(t: &mut ThreadBuilder, rng: &mut Rng, pool: SitePool) {
+        let dst = Reg(rng.below(32) as u8);
+        match rng.below(12) {
+            0 => {
+                let (a, m) = (addr(rng), mode_for_load(rng));
+                match rng.below(3) {
+                    0 => t.load(dst, a, m),
+                    1 => t.load(dst, a, ("pool.load", pool.load_mode)),
+                    _ => t.load(dst, a, Fixed(m)),
+                }
+            }
+            1 => {
+                let (a, s, m) = (addr(rng), operand(rng), mode_for_store(rng));
+                match rng.below(3) {
+                    0 => t.store(a, s, m),
+                    1 => t.store(a, s, ("pool.store", pool.store_mode)),
+                    _ => t.store(a, s, Fixed(m)),
+                }
+            }
+            2 => {
+                let op = [RmwOp::Xchg, RmwOp::Add, RmwOp::Sub, RmwOp::Or, RmwOp::And, RmwOp::Xor]
+                    [rng.below(6) as usize];
+                let (a, o, m) = (addr(rng), operand(rng), mode_any(rng));
+                match rng.below(3) {
+                    0 => t.rmw(dst, a, op, o, m),
+                    1 => t.rmw(dst, a, op, o, ("pool.rmw", pool.rmw_mode)),
+                    _ => t.rmw(dst, a, op, o, Fixed(m)),
+                }
+            }
+            3 => {
+                t.cas(dst, addr(rng), operand(rng), operand(rng), mode_any(rng))
+            }
+            4 => match rng.below(2) {
+                0 => t.fence(mode_any(rng)),
+                _ => t.fence(("pool.fence", pool.fence_mode)),
+            },
+            5 => t.await_load(dst, addr(rng), test(rng), mode_for_load(rng)),
+            6 => {
+                let op = [RmwOp::Xchg, RmwOp::Add, RmwOp::Or][rng.below(3) as usize];
+                t.await_rmw(dst, addr(rng), test(rng), op, operand(rng), mode_any(rng))
+            }
+            7 => t.await_cas(dst, addr(rng), operand(rng), operand(rng), mode_any(rng)),
+            8 => t.mov(dst, operand(rng)),
+            9 => {
+                let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Shl, AluOp::Shr]
+                    [rng.below(7) as usize];
+                t.op(dst, op, operand(rng), operand(rng))
+            }
+            10 => t.assert(operand(rng), test(rng), msg(rng)),
+            _ => t.nop(),
+        };
+    }
+
+    fn emit_thread(t: &mut ThreadBuilder, rng: &mut Rng, pool: SitePool) {
+        let segments = 1 + rng.below(4);
+        for _ in 0..segments {
+            match rng.below(4) {
+                // A guarded forward block: jmp skip if ...; ops; skip:
+                0 => {
+                    let skip = t.label();
+                    t.jmp_if(operand(rng), test(rng), skip);
+                    for _ in 0..1 + rng.below(2) {
+                        emit_simple(t, rng, pool);
+                    }
+                    t.bind(skip);
+                }
+                // A backward edge: top: ops; jmp top if ...
+                1 => {
+                    let top = t.here_label();
+                    emit_simple(t, rng, pool);
+                    t.jmp_if(operand(rng), test(rng), top);
+                }
+                // An unconditional skip (also covers jump-to-end).
+                2 => {
+                    let over = t.label();
+                    t.jmp(over);
+                    if rng.below(2) == 0 {
+                        emit_simple(t, rng, pool);
+                    }
+                    t.bind(over);
+                }
+                _ => emit_simple(t, rng, pool),
+            }
+        }
+    }
+
+    /// A random program over the full surface. Names deliberately include
+    /// characters that force quoted site names in the printed text.
+    pub fn random_full_program(rng: &mut Rng) -> Program {
+        let name = ["rt", "2+2w mix", "round-trip", "a\"b"][rng.below(4) as usize];
+        let mut pb = ProgramBuilder::new(name);
+        let pool = SitePool {
+            load_mode: mode_for_load(rng),
+            store_mode: mode_for_store(rng),
+            rmw_mode: mode_any(rng),
+            fence_mode: mode_any(rng),
+        };
+        for _ in 0..rng.below(3) {
+            pb.init(0x10 + 0x10 * rng.below(3), rng.below(5));
+        }
+        let threads = 1 + rng.below(3);
+        let template = rng.below(3) == 0;
+        if template {
+            // Identical bodies from one generation: a declared class.
+            let body_seed = rng.next();
+            for _ in 0..threads {
+                let mut r = Rng(body_seed);
+                pb.thread(|t| emit_thread(t, &mut r, pool));
+            }
+        } else {
+            for _ in 0..threads {
+                pb.thread(|t| emit_thread(t, rng, pool));
+            }
+        }
+        for _ in 0..rng.below(3) {
+            pb.final_check(0x10 + 0x10 * rng.below(3), test(rng), msg(rng));
+        }
+        pb.build().expect("generated program is well-formed")
+    }
+}
+
+/// The DSL round-trip law (printer ∘ parser): pretty-printing any
+/// program and re-parsing it reproduces the program *structurally* —
+/// instructions, barrier sites (names, modes, kinds, relaxability),
+/// init values, final checks and the declared symmetry partition all
+/// survive (`Program` equality covers every field).
+#[test]
+fn dsl_print_parse_round_trip_full_surface() {
+    for seed in 0..150u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(0xd1b54a32d192ed03));
+        let p = dsl_gen::random_full_program(&mut rng);
+        let text = vsync::dsl::print_program(&p);
+        let reparsed = vsync::dsl::compile(&text)
+            .unwrap_or_else(|d| panic!("seed {seed}: printed text does not parse:\n{d}\n{text}"))
+            .program;
+        assert_eq!(p, reparsed, "seed {seed}: round-trip changed the program:\n{text}");
+    }
+}
+
+/// Round-trip over the *simple* generator too (the one the other
+/// meta-laws use), plus expectation annotations through `print_test`,
+/// and printer output is always canonically formatted (a fixpoint of
+/// `vsync fmt`).
+#[test]
+fn dsl_round_trip_preserves_expectations_and_is_canonical() {
+    use vsync::dsl::{ExpectedVerdict, Expectation};
+    for_random_programs("dsl_round_trip_simple", 48, (2, 3), 3, |p| {
+        let mut rng = Rng(p.thread_code(0).len() as u64);
+        let verdicts = [
+            ExpectedVerdict::Verified,
+            ExpectedVerdict::Safety,
+            ExpectedVerdict::AwaitTermination,
+            ExpectedVerdict::Fault,
+        ];
+        let mut expectations: Vec<Expectation> = Vec::new();
+        for model in ModelKind::all() {
+            if rng.below(2) != 0 {
+                continue;
+            }
+            let verdict = verdicts[rng.below(4) as usize];
+            let executions = (verdict == ExpectedVerdict::Verified && rng.below(2) == 0)
+                .then(|| rng.below(100));
+            expectations.push(Expectation { model, verdict, executions });
+        }
+        let test = vsync::dsl::LitmusTest {
+            name: p.name().to_owned(),
+            program: p.clone(),
+            expectations: expectations.clone(),
+            templated: false,
+        };
+        let text = vsync::dsl::print_test(&test);
+        let reparsed = vsync::dsl::compile(&text).expect("printed text parses");
+        assert_eq!(p, &reparsed.program, "program round-trip:\n{text}");
+        assert_eq!(expectations, reparsed.expectations, "expectation round-trip:\n{text}");
+        let formatted = vsync::dsl::format_source(&text).expect("parses");
+        assert_eq!(text, formatted, "printer output must be canonical:\n{text}");
+    });
+}
+
 /// The TTAS lock stays correct under arbitrary *strengthening* of its
 /// three sites (monotonicity of verification in barrier strength).
 #[test]
