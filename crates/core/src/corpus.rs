@@ -14,7 +14,12 @@
 //! sharing one [`CancelToken`] and one wall-clock budget: every
 //! per-file session gets the *remaining* budget as its deadline, so a
 //! stuck file cannot starve the rest of the corpus beyond the global
-//! deadline. Reports render as a per-file verdict table
+//! deadline. The runner is fault-isolated: a panic while checking one
+//! file is caught and turns into [`FileOutcome::Quarantined`] without
+//! touching any other file's verdict, and a file whose run came back
+//! [`Verdict::Inconclusive`] is retried once (with a small
+//! deterministic backoff) before its partial result is accepted.
+//! Reports render as a per-file verdict table
 //! ([`CorpusReport::render_table`]) or dependency-free JSON with stable
 //! key order ([`CorpusReport::to_json`]).
 
@@ -29,8 +34,8 @@ use vsync_dsl::{Diagnostic, Expectation, ExpectedVerdict, LitmusTest, Span};
 use vsync_model::ModelKind;
 
 use crate::session::{json_str, verdict_kind, ProgressFn, Session};
-use crate::verdict::Verdict;
-use crate::CancelToken;
+use crate::verdict::{EngineError, EnginePhase, Verdict};
+use crate::{failpoint, CancelToken};
 
 /// Failure to load a litmus file: I/O or parse.
 #[derive(Debug)]
@@ -72,6 +77,10 @@ pub struct CorpusOptions {
     pub cancel: CancelToken,
     /// Progress sink forwarded to every session (CLI `--progress`).
     pub progress: Option<ProgressFn>,
+    /// Approximate per-exploration heap budget in bytes (0 = unlimited).
+    pub max_memory_bytes: u64,
+    /// Per-exploration dedup-table entry cap (0 = unlimited).
+    pub max_dedup_entries: u64,
 }
 
 impl fmt::Debug for CorpusOptions {
@@ -105,11 +114,16 @@ pub struct ModelOutcome {
     pub ok: bool,
 }
 
-/// Per-file result: a parse/load error, or one outcome per model.
+/// Per-file result: a parse/load error, a quarantined engine panic, or
+/// one outcome per model.
 #[derive(Debug, Clone)]
 pub enum FileOutcome {
     /// The file failed to load or compile.
     Error(Diagnostic),
+    /// Checking this file panicked inside the engine; the panic was
+    /// caught and the file quarantined so the rest of the corpus could
+    /// finish normally.
+    Quarantined(EngineError),
     /// The file was checked against its model matrix.
     Checked(Vec<ModelOutcome>),
 }
@@ -130,18 +144,33 @@ impl FileReport {
     #[must_use]
     pub fn passed(&self) -> bool {
         match &self.outcome {
-            FileOutcome::Error(_) => false,
+            FileOutcome::Error(_) | FileOutcome::Quarantined(_) => false,
             FileOutcome::Checked(models) => models.iter().all(|m| m.ok),
         }
     }
 
-    /// Was any run in this file cut short by cancellation or a deadline?
+    /// Was any run in this file cut short by cancellation, a deadline or
+    /// a resource budget?
     #[must_use]
     pub fn interrupted(&self) -> bool {
         match &self.outcome {
-            FileOutcome::Error(_) => false,
+            FileOutcome::Error(_) | FileOutcome::Quarantined(_) => false,
             FileOutcome::Checked(models) => {
-                models.iter().any(|m| matches!(m.verdict, Verdict::Interrupted(_)))
+                models.iter().any(|m| matches!(m.verdict, Verdict::Inconclusive(_)))
+            }
+        }
+    }
+
+    /// Did checking this file die to a caught engine panic — either the
+    /// whole file ([`FileOutcome::Quarantined`]) or a single model run
+    /// ([`Verdict::Error`])?
+    #[must_use]
+    pub fn errored(&self) -> bool {
+        match &self.outcome {
+            FileOutcome::Error(_) => false,
+            FileOutcome::Quarantined(_) => true,
+            FileOutcome::Checked(models) => {
+                models.iter().any(|m| matches!(m.verdict, Verdict::Error(_)))
             }
         }
     }
@@ -166,6 +195,22 @@ impl CorpusReport {
         self.files.iter().all(FileReport::passed)
     }
 
+    /// Paths of files whose check panicked and was quarantined.
+    #[must_use]
+    pub fn quarantined(&self) -> Vec<&str> {
+        self.files
+            .iter()
+            .filter(|f| matches!(f.outcome, FileOutcome::Quarantined(_)))
+            .map(|f| f.path.as_str())
+            .collect()
+    }
+
+    /// Did any file quarantine or report an engine error?
+    #[must_use]
+    pub fn errored(&self) -> bool {
+        self.files.iter().any(FileReport::errored)
+    }
+
     /// Render the per-file verdict table (one line per model outcome).
     #[must_use]
     pub fn render_table(&self) -> String {
@@ -186,6 +231,13 @@ impl CorpusReport {
                         f.path, "-", "-", "-", d.span.line, d.span.col, d.message
                     );
                 }
+                FileOutcome::Quarantined(e) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<path_w$}  {:<5} {:<24} {:<24} QUARANTINED ({e})",
+                        f.path, "-", "-", "-"
+                    );
+                }
                 FileOutcome::Checked(models) => {
                     for (i, m) in models.iter().enumerate() {
                         let path = if i == 0 { f.path.as_str() } else { "" };
@@ -193,7 +245,8 @@ impl CorpusReport {
                             None => "(verified)".to_owned(),
                             Some(e) => expectation_word(e),
                         };
-                        let got = match (&m.verdict, m.expected.as_ref().and_then(|e| e.executions)) {
+                        let got = match (&m.verdict, m.expected.as_ref().and_then(|e| e.executions))
+                        {
                             (Verdict::Verified, Some(_)) => {
                                 format!("verified = {}", m.executions)
                             }
@@ -210,27 +263,26 @@ impl CorpusReport {
             }
         }
         let passed = self.files.iter().filter(|f| f.passed()).count();
-        let _ = writeln!(
-            out,
-            "{passed}/{} file(s) passed ({:.1?})",
-            self.files.len(),
-            self.elapsed
-        );
+        let _ =
+            writeln!(out, "{passed}/{} file(s) passed ({:.1?})", self.files.len(), self.elapsed);
         out
     }
 
     /// Serialize as JSON (dependency-free, stable key order):
     ///
     /// ```text
-    /// {"corpus", "passed", "elapsed_ms", "files": [
-    ///    {"path", "program", "passed", "error",
+    /// {"corpus", "passed", "quarantined": [paths], "elapsed_ms", "files": [
+    ///    {"path", "program", "passed", "quarantined", "error",
     ///     "models": [{"model", "expected", "expected_executions",
     ///                 "verdict", "message", "executions",
     ///                 "symmetry_pruned", "ok", "elapsed_ms"}]}]}
     /// ```
     ///
-    /// `error` is the rendered diagnostic for unparsable files (`null`
-    /// otherwise, with `models` empty in that case); `expected` /
+    /// The top-level `quarantined` array lists the paths whose check
+    /// panicked and was isolated (per-file `quarantined` is the matching
+    /// boolean). `error` is the rendered diagnostic for unparsable files
+    /// or the caught panic description for quarantined ones (`null`
+    /// otherwise, with `models` empty in both cases); `expected` /
     /// `expected_executions` are `null` for unannotated models. Both
     /// `expected` and `verdict` use the annotation spelling
     /// (`await-termination`, dashes), so the two fields compare
@@ -239,11 +291,13 @@ impl CorpusReport {
     pub fn to_json(&self) -> String {
         use fmt::Write as _;
         let mut out = String::new();
+        let quarantined: Vec<String> = self.quarantined().iter().map(|p| json_str(p)).collect();
         let _ = write!(
             out,
-            "{{\"corpus\": {}, \"passed\": {}, \"elapsed_ms\": {:.3}, \"files\": [",
+            "{{\"corpus\": {}, \"passed\": {}, \"quarantined\": [{}], \"elapsed_ms\": {:.3}, \"files\": [",
             json_str(&self.root),
             self.passed(),
+            quarantined.join(", "),
             self.elapsed.as_secs_f64() * 1e3
         );
         for (i, f) in self.files.iter().enumerate() {
@@ -252,12 +306,14 @@ impl CorpusReport {
             }
             let _ = write!(
                 out,
-                "{{\"path\": {}, \"program\": {}, \"passed\": {}, \"error\": {}, \"models\": [",
+                "{{\"path\": {}, \"program\": {}, \"passed\": {}, \"quarantined\": {}, \"error\": {}, \"models\": [",
                 json_str(&f.path),
                 json_str(&f.program),
                 f.passed(),
+                matches!(f.outcome, FileOutcome::Quarantined(_)),
                 match &f.outcome {
                     FileOutcome::Error(d) => json_str(&d.render()),
+                    FileOutcome::Quarantined(e) => json_str(&e.to_string()),
                     FileOutcome::Checked(_) => "null".to_owned(),
                 }
             );
@@ -272,8 +328,7 @@ impl CorpusReport {
                          \"verdict\": {}, \"message\": {}, \"executions\": {}, \
                          \"symmetry_pruned\": {}, \"ok\": {}, \"elapsed_ms\": {:.3}}}",
                         json_str(&m.model.to_string()),
-                        m.expected
-                            .map_or("null".to_owned(), |e| json_str(e.verdict.name())),
+                        m.expected.map_or("null".to_owned(), |e| json_str(e.verdict.name())),
                         m.expected
                             .and_then(|e| e.executions)
                             .map_or("null".to_owned(), |n| n.to_string()),
@@ -354,6 +409,8 @@ pub fn check_test(
         .models(models.iter().copied())
         .workers(opts.workers.max(1))
         .symmetry(!opts.no_symmetry)
+        .max_memory_bytes(opts.max_memory_bytes)
+        .max_dedup_entries(opts.max_dedup_entries)
         .with_cancel(opts.cancel.clone());
     if let Some(at) = deadline_at {
         session = session.deadline(at.saturating_duration_since(Instant::now()));
@@ -436,6 +493,64 @@ pub fn collect_litmus_files(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(files)
 }
 
+/// One guarded attempt at checking a file: the `corpus.check` failpoint
+/// plus the whole compile-and-check runs under `catch_unwind`, so an
+/// engine panic quarantines this file instead of tearing down the pool.
+fn check_source_guarded(
+    label: &str,
+    source: &str,
+    opts: &CorpusOptions,
+    deadline_at: Option<Instant>,
+) -> FileReport {
+    let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _ = failpoint::hit("corpus.check");
+        check_source(label, source, opts, deadline_at)
+    }));
+    attempt.unwrap_or_else(|payload| {
+        let payload = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        FileReport {
+            path: label.to_owned(),
+            program: String::new(),
+            outcome: FileOutcome::Quarantined(EngineError {
+                phase: EnginePhase::Corpus,
+                thread: None,
+                payload,
+            }),
+        }
+    })
+}
+
+/// Check one file with fault isolation and a bounded retry: a panic is
+/// quarantined immediately; an inconclusive (budget-degraded) result is
+/// retried once after a small deterministic, file-indexed backoff —
+/// unless the run was cancelled or the corpus deadline is the thing
+/// that expired, where a retry could only waste the remaining budget.
+fn check_file(
+    index: usize,
+    label: &str,
+    source: &str,
+    opts: &CorpusOptions,
+    deadline_at: Option<Instant>,
+) -> FileReport {
+    let first = check_source_guarded(label, source, opts, deadline_at);
+    let deadline_left = match deadline_at {
+        Some(at) => Instant::now() < at,
+        None => true,
+    };
+    if !first.interrupted() || opts.cancel.is_cancelled() || !deadline_left {
+        return first;
+    }
+    // Deterministic per-file jitter: spreads retries of neighbouring
+    // files without consulting a clock or an RNG.
+    let backoff = Duration::from_millis(25 + (index as u64 % 8) * 5);
+    std::thread::sleep(backoff);
+    check_source_guarded(label, source, opts, deadline_at)
+}
+
 /// Run every `.litmus` file under `root`: `opts.jobs` files checked
 /// concurrently, all sharing `opts.cancel` and the `opts.deadline`
 /// budget. File order in the report is path order regardless of the
@@ -444,14 +559,15 @@ pub fn collect_litmus_files(root: &Path) -> io::Result<Vec<PathBuf>> {
 /// # Errors
 ///
 /// Propagates directory-listing errors; unreadable or unparsable
-/// individual files become failing [`FileReport`]s instead.
+/// individual files become failing [`FileReport`]s instead, and a file
+/// whose check panics is quarantined ([`FileOutcome::Quarantined`])
+/// without affecting any other file.
 pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> io::Result<CorpusReport> {
     let started = Instant::now();
     let deadline_at = opts.deadline.map(|d| started + d);
     let files = collect_litmus_files(root)?;
     let jobs = opts.jobs.max(1).min(files.len().max(1));
-    let reports: Vec<Mutex<Option<FileReport>>> =
-        files.iter().map(|_| Mutex::new(None)).collect();
+    let reports: Vec<Mutex<Option<FileReport>>> = files.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..jobs {
@@ -460,23 +576,27 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> io::Result<CorpusReport>
                 let Some(path) = files.get(i) else { break };
                 let label = path.display().to_string();
                 let report = match std::fs::read_to_string(path) {
-                    Ok(src) => check_source(&label, &src, opts, deadline_at),
+                    Ok(src) => check_file(i, &label, &src, opts, deadline_at),
                     Err(e) => FileReport {
                         path: label.clone(),
                         program: String::new(),
                         outcome: FileOutcome::Error(
-                            Diagnostic::new(format!("cannot read file: {e}"), Span::new(1, 1, 1), "")
-                                .with_file(label.clone()),
+                            Diagnostic::new(
+                                format!("cannot read file: {e}"),
+                                Span::new(1, 1, 1),
+                                "",
+                            )
+                            .with_file(label.clone()),
                         ),
                     },
                 };
-                *reports[i].lock().expect("corpus report lock") = Some(report);
+                *reports[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
             });
         }
     });
     let files = reports
         .into_iter()
-        .map(|m| m.into_inner().expect("corpus report lock").expect("every file checked"))
+        .map(|m| m.into_inner().unwrap_or_else(|e| e.into_inner()).expect("every file checked"))
         .collect();
     Ok(CorpusReport { root: root.display().to_string(), files, elapsed: started.elapsed() })
 }
@@ -544,7 +664,12 @@ mod tests {
 
     #[test]
     fn parse_errors_become_failing_reports() {
-        let r = check_source("bad.litmus", "litmus x thread { jmp out }", &CorpusOptions::default(), None);
+        let r = check_source(
+            "bad.litmus",
+            "litmus x thread { jmp out }",
+            &CorpusOptions::default(),
+            None,
+        );
         assert!(!r.passed());
         let FileOutcome::Error(d) = &r.outcome else { panic!() };
         assert!(d.render().contains("unbound label"));
@@ -572,5 +697,47 @@ mod tests {
         let r = check_source("mp.litmus", MP, &opts, None);
         assert!(!r.passed());
         assert!(r.interrupted());
+    }
+
+    #[test]
+    fn memory_budget_degrades_file_to_inconclusive() {
+        let opts = CorpusOptions { max_memory_bytes: 64, ..Default::default() };
+        let r = check_source("mp.litmus", MP, &opts, None);
+        assert!(!r.passed());
+        assert!(r.interrupted(), "a starved budget is an interrupt, not a crash");
+        assert!(!r.errored());
+    }
+
+    #[test]
+    fn quarantined_files_serialize_and_fail() {
+        let quarantined = FileReport {
+            path: "boom.litmus".into(),
+            program: String::new(),
+            outcome: FileOutcome::Quarantined(crate::verdict::EngineError {
+                phase: crate::verdict::EnginePhase::Corpus,
+                thread: None,
+                payload: "injected".into(),
+            }),
+        };
+        assert!(!quarantined.passed());
+        assert!(quarantined.errored());
+        let clean = check_source("mp.litmus", MP, &CorpusOptions::default(), None);
+        let report = CorpusReport {
+            root: "corpus".into(),
+            files: vec![clean, quarantined],
+            elapsed: Duration::ZERO,
+        };
+        assert!(!report.passed());
+        assert!(report.errored());
+        assert_eq!(report.quarantined(), vec!["boom.litmus"]);
+        let json = report.to_json();
+        assert!(
+            json.contains("\"quarantined\": [\"boom.litmus\"]"),
+            "top-level quarantine list: {json}"
+        );
+        assert!(json.contains("\"quarantined\": true"), "per-file flag: {json}");
+        assert!(json.contains("panic in corpus phase"), "error message: {json}");
+        let table = report.render_table();
+        assert!(table.contains("QUARANTINED"), "{table}");
     }
 }

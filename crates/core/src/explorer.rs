@@ -47,10 +47,12 @@
 //! hence the verdict and `complete_executions` — is identical for every
 //! worker count. `workers == 1` runs the exact sequential LIFO algorithm.
 
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, MutexGuard};
 use std::time::Instant;
 
 use vsync_graph::{
@@ -59,9 +61,34 @@ use vsync_graph::{
 use vsync_lang::{Operand, PendingOp, Program, ReadDesc, ThreadStatus};
 use vsync_model::MemoryModel;
 
+use crate::failpoint;
 use crate::session::{ProgressSnapshot, RunControl};
 use crate::stagnancy::is_stagnant;
-use crate::verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Interrupt, Verdict};
+use crate::verdict::{
+    AmcConfig, AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive,
+    ResourceBudget, StopReason, Verdict,
+};
+
+/// Lock acquisition with explicit poison recovery: every mutex in the
+/// explorer guards state that is valid at each lock release (counters,
+/// the work queue, dedup shards), so a peer's panic mid-*hold* is
+/// impossible to observe — the panic either happens outside any guard or
+/// inside `catch_unwind`-wrapped processing that never holds one. A
+/// poisoned flag therefore carries no information and must not cascade.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Render a caught panic payload for an [`EngineError`].
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Run AMC on a program.
 ///
@@ -80,8 +107,11 @@ pub fn explore(prog: &Program, config: &AmcConfig) -> AmcResult {
 ///
 /// Interruption is cooperative: the cancel flag is re-checked on every
 /// popped work item and the deadline every few dozen items, in every
-/// worker. An interrupted run reports [`Verdict::Interrupted`] without
-/// finishing the item in flight.
+/// worker. An interrupted run reports [`Verdict::Inconclusive`] without
+/// finishing the item in flight; resource-budget exhaustion
+/// ([`ResourceBudget`]) degrades to the same shape. A panic caught inside
+/// a worker terminates the run with [`Verdict::Error`] instead of
+/// aborting the process.
 pub fn explore_with(prog: &Program, config: &AmcConfig, control: &RunControl) -> AmcResult {
     if let Err(e) = prog.validate() {
         return AmcResult {
@@ -96,13 +126,8 @@ pub fn explore_with(prog: &Program, config: &AmcConfig, control: &RunControl) ->
     let partition = (config.symmetry && config.dedup)
         .then(|| prog.symmetry_partition())
         .filter(|p| !p.is_trivial());
-    let engine = Engine {
-        prog,
-        config,
-        model: config.model.checker(config.checker),
-        control,
-        partition,
-    };
+    let engine =
+        Engine { prog, config, model: config.model.checker(config.checker), control, partition };
     if config.workers > 1 {
         engine.run_parallel(config.workers)
     } else {
@@ -123,9 +148,15 @@ pub struct OracleOutcome {
     ///
     /// [`interrupted`]: OracleOutcome::interrupted
     pub ok: bool,
-    /// The run was cut short by cancellation or a deadline before the
-    /// verdict was decided.
+    /// The run was cut short — cancellation, deadline, resource budget or
+    /// an engine error — before the verdict was decided.
     pub interrupted: bool,
+    /// A panic caught inside the engine while checking this candidate
+    /// (also sets [`interrupted`]: the candidate's status is unknown and
+    /// must not be treated as a rejection).
+    ///
+    /// [`interrupted`]: OracleOutcome::interrupted
+    pub error: Option<EngineError>,
     /// The violating execution graph, when the exploration found a safety
     /// or await-termination violation. Faults (budget/modeling errors)
     /// reject the candidate without a witness.
@@ -157,16 +188,23 @@ pub fn explore_oracle(prog: &Program, config: &AmcConfig, control: &RunControl) 
     let graphs = result.stats.popped;
     match result.verdict {
         Verdict::Verified => {
-            OracleOutcome { ok: true, interrupted: false, witness: None, graphs }
+            OracleOutcome { ok: true, interrupted: false, error: None, witness: None, graphs }
         }
-        Verdict::Safety(ce) | Verdict::AwaitTermination(ce) => {
-            OracleOutcome { ok: false, interrupted: false, witness: Some(ce.graph), graphs }
-        }
+        Verdict::Safety(ce) | Verdict::AwaitTermination(ce) => OracleOutcome {
+            ok: false,
+            interrupted: false,
+            error: None,
+            witness: Some(ce.graph),
+            graphs,
+        },
         Verdict::Fault(_) => {
-            OracleOutcome { ok: false, interrupted: false, witness: None, graphs }
+            OracleOutcome { ok: false, interrupted: false, error: None, witness: None, graphs }
         }
-        Verdict::Interrupted(_) => {
-            OracleOutcome { ok: false, interrupted: true, witness: None, graphs }
+        Verdict::Inconclusive(_) => {
+            OracleOutcome { ok: false, interrupted: true, error: None, witness: None, graphs }
+        }
+        Verdict::Error(e) => {
+            OracleOutcome { ok: false, interrupted: true, error: Some(e), witness: None, graphs }
         }
     }
 }
@@ -177,19 +215,24 @@ pub fn explore_oracle(prog: &Program, config: &AmcConfig, control: &RunControl) 
 /// executions under permutations of symmetric threads; disable symmetry
 /// for the naive per-twin count.
 pub fn count_executions(prog: &Program, config: &AmcConfig) -> u64 {
-    count_executions_with(prog, config, &RunControl::default())
-        .unwrap_or_else(|i| unreachable!("default RunControl cannot interrupt: {i}"))
+    match count_executions_with(prog, config, &RunControl::default()) {
+        Ok(n) => n,
+        Err(r) => panic!(
+            "count_executions stopped early ({r}); raise the exploration \
+             budget or use count_executions_with"
+        ),
+    }
 }
 
 /// [`count_executions`] honoring runtime controls: a pre-fired
 /// [`CancelToken`] or an already-expired deadline returns promptly with
-/// the [`Interrupt`] instead of enumerating the full execution space
+/// the [`StopReason`] instead of enumerating the full execution space
 /// (every exploration worker re-checks the budget cooperatively, exactly
 /// as [`explore_with`] does).
 ///
 /// # Errors
 ///
-/// The interrupt, when the run was cut short before the space was
+/// The stop reason, when the run was cut short before the space was
 /// exhausted — a partial count would be meaningless.
 ///
 /// [`CancelToken`]: crate::session::CancelToken
@@ -197,10 +240,10 @@ pub fn count_executions_with(
     prog: &Program,
     config: &AmcConfig,
     control: &RunControl,
-) -> Result<u64, Interrupt> {
+) -> Result<u64, StopReason> {
     let result = explore_with(prog, config, control);
     match result.verdict {
-        Verdict::Interrupted(i) => Err(i),
+        Verdict::Inconclusive(i) => Err(i.reason),
         _ => Ok(result.stats.complete_executions),
     }
 }
@@ -268,12 +311,12 @@ impl<'c> Pacer<'c> {
         Pacer { control, started: now, last_emit: now, gate, count: 0, workers }
     }
 
-    /// One cancellation point. Returns the interrupt that should end the
-    /// run, if any; otherwise possibly emits a progress snapshot built
-    /// from `stats` (already merged across workers by the caller).
-    fn poll(&mut self, stats: impl FnOnce() -> ExploreStats) -> Option<Interrupt> {
+    /// One cancellation point. Returns the stop reason that should end
+    /// the run, if any; otherwise possibly emits a progress snapshot
+    /// built from `stats` (already merged across workers by the caller).
+    fn poll(&mut self, stats: impl FnOnce() -> ExploreStats) -> Option<StopReason> {
         if self.control.cancel.is_cancelled() {
-            return Some(Interrupt::Cancelled);
+            return Some(StopReason::Cancelled);
         }
         self.count += 1;
         if self.count % CHECK_PERIOD != 1 {
@@ -282,7 +325,7 @@ impl<'c> Pacer<'c> {
         let now = Instant::now();
         if let Some(d) = self.control.deadline {
             if now >= d {
-                return Some(Interrupt::DeadlineExceeded);
+                return Some(StopReason::DeadlineExceeded);
             }
         }
         if let Some(cb) = &self.control.progress {
@@ -295,17 +338,24 @@ impl<'c> Pacer<'c> {
                     due
                 }
                 // try_lock: a peer already emitting means we simply skip.
-                Some(gate) => match gate.try_lock() {
-                    Ok(mut last) => {
-                        let due =
-                            now.duration_since(*last) >= self.control.progress_interval;
-                        if due {
-                            *last = now;
+                // A poisoned gate only ever holds a timestamp — recover it.
+                Some(gate) => {
+                    let guard = match gate.try_lock() {
+                        Ok(g) => Some(g),
+                        Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+                        Err(std::sync::TryLockError::WouldBlock) => None,
+                    };
+                    match guard {
+                        Some(mut last) => {
+                            let due = now.duration_since(*last) >= self.control.progress_interval;
+                            if due {
+                                *last = now;
+                            }
+                            due
                         }
-                        due
+                        None => false,
                     }
-                    Err(_) => false,
-                },
+                }
             };
             if due {
                 cb(&ProgressSnapshot {
@@ -362,6 +412,7 @@ impl SharedStats {
             complete_executions: self.complete_executions.load(Ordering::Relaxed),
             blocked_graphs: self.blocked_graphs.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
+            frontier_dropped: 0,
         }
     }
 }
@@ -379,6 +430,104 @@ fn stats_delta(a: &ExploreStats, b: &ExploreStats) -> ExploreStats {
         complete_executions: a.complete_executions - b.complete_executions,
         blocked_graphs: a.blocked_graphs - b.blocked_graphs,
         events: a.events - b.events,
+        frontier_dropped: a.frontier_dropped - b.frontier_dropped,
+    }
+}
+
+/// Fixed estimated cost of one dedup-set entry (the 16-byte key plus
+/// table overhead), for [`ResourceBudget::max_memory_bytes`] accounting.
+const DEDUP_ENTRY_BYTES: u64 = 48;
+
+/// Shared accounting for a run's [`ResourceBudget`]: live frontier bytes
+/// (charged on push, released on pop) plus monotone dedup-set bytes and
+/// entry counts. Byte accounting is skipped entirely when no memory
+/// ceiling is set, so unlimited runs never call
+/// [`ExecutionGraph::approx_heap_bytes`].
+struct BudgetTracker {
+    max_bytes: u64,
+    max_entries: u64,
+    bytes: AtomicU64,
+    entries: AtomicU64,
+    /// Synthetic exhaustion injected by a failpoint (`0` none, `1`
+    /// memory, `2` dedup) — lets the fault harness exercise the
+    /// degradation path deterministically without tuning real budgets.
+    forced: AtomicUsize,
+}
+
+impl BudgetTracker {
+    fn new(b: &ResourceBudget) -> Self {
+        BudgetTracker {
+            max_bytes: b.max_memory_bytes,
+            max_entries: b.max_dedup_entries,
+            bytes: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+            forced: AtomicUsize::new(0),
+        }
+    }
+
+    fn charge(&self, g: &ExecutionGraph) {
+        if self.max_bytes != 0 {
+            self.bytes.fetch_add(g.approx_heap_bytes() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn release(&self, g: &ExecutionGraph) {
+        if self.max_bytes != 0 {
+            self.bytes.fetch_sub(g.approx_heap_bytes() as u64, Ordering::Relaxed);
+        }
+    }
+
+    fn note_dedup_entry(&self) {
+        if self.max_bytes != 0 {
+            self.bytes.fetch_add(DEDUP_ENTRY_BYTES, Ordering::Relaxed);
+        }
+        if self.max_entries != 0 {
+            self.entries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Record a synthetic allocation failure (failpoint `oom` action).
+    fn force(&self, reason: StopReason) {
+        let code = match reason {
+            StopReason::DedupBudget => 2,
+            _ => 1,
+        };
+        self.forced.store(code, Ordering::Relaxed);
+    }
+
+    fn exceeded(&self) -> Option<StopReason> {
+        match self.forced.load(Ordering::Relaxed) {
+            1 => return Some(StopReason::MemoryBudget),
+            2 => return Some(StopReason::DedupBudget),
+            _ => {}
+        }
+        if self.max_entries != 0 && self.entries.load(Ordering::Relaxed) > self.max_entries {
+            return Some(StopReason::DedupBudget);
+        }
+        if self.max_bytes != 0 && self.bytes.load(Ordering::Relaxed) > self.max_bytes {
+            return Some(StopReason::MemoryBudget);
+        }
+        None
+    }
+}
+
+/// Assemble the degraded result for a budget- or interrupt-stopped run.
+fn degraded(
+    reason: StopReason,
+    mut stats: ExploreStats,
+    explored: u64,
+    dropped: u64,
+    executions: Vec<ExecutionGraph>,
+) -> AmcResult {
+    stats.frontier_dropped = dropped;
+    AmcResult {
+        verdict: Verdict::Inconclusive(Inconclusive {
+            reason,
+            explored,
+            frontier_dropped: dropped,
+        }),
+        stats,
+        executions,
     }
 }
 
@@ -387,6 +536,25 @@ struct Step<'s> {
     stats: &'s mut ExploreStats,
     out: &'s mut Vec<ExecutionGraph>,
     executions: &'s mut Vec<ExecutionGraph>,
+    /// The run's budget tracker, so failpoint-injected allocation
+    /// failures can force exhaustion from any stage.
+    budget: &'s BudgetTracker,
+    /// Engine phase the worker is currently executing, kept up to date by
+    /// [`Engine::process`] so the driver's `catch_unwind` can attribute a
+    /// caught panic ([`EngineError::phase`]).
+    phase: &'s Cell<EnginePhase>,
+}
+
+impl Step<'_> {
+    /// Record a failpoint hit; a synthetic allocation failure is reported
+    /// as memory-budget exhaustion. Compiles to nothing without the
+    /// `failpoints` feature.
+    #[inline]
+    fn failpoint(&self, site: &'static str) {
+        if failpoint::hit(site).is_oom() {
+            self.budget.force(StopReason::MemoryBudget);
+        }
+    }
 }
 
 impl<'p> Engine<'p> {
@@ -410,12 +578,16 @@ impl<'p> Engine<'p> {
     ) -> Option<Verdict> {
         // Replay first: it repairs derived read flags, which both the
         // content hash and the consistency check depend on.
+        step.phase.set(EnginePhase::Replay);
+        step.failpoint("explore.replay");
         let mut out = vsync_lang::replay_with_budget(self.prog, &mut g, self.config.step_budget);
         if let Some(f) = out.fault() {
             return Some(Verdict::Fault(f.to_owned()));
         }
         step.stats.events += g.num_events() as u64;
         if self.config.dedup {
+            step.phase.set(EnginePhase::Dedup);
+            step.failpoint("explore.dedup");
             let (hash, permuted) = match canon {
                 Some(c) => c.canonical_hash(&g),
                 None => (content_hash(&g), false),
@@ -450,6 +622,8 @@ impl<'p> Engine<'p> {
             step.stats.wasteful += 1;
             return None;
         }
+        step.phase.set(EnginePhase::Consistency);
+        step.failpoint("explore.consistency");
         if !self.model.is_consistent(&g) {
             step.stats.inconsistent += 1;
             return None;
@@ -462,6 +636,8 @@ impl<'p> Engine<'p> {
         let next_ready = out.ready_threads().next();
         match next_ready {
             Some(t) => {
+                step.phase.set(EnginePhase::Extend);
+                step.failpoint("explore.extend");
                 let ThreadStatus::Ready(op) = &out.threads[t as usize] else { unreachable!() };
                 if let Err(v) = self.extend(&g, t, op, step) {
                     return Some(v);
@@ -470,6 +646,8 @@ impl<'p> Engine<'p> {
             None => {
                 let blocked: Vec<_> = out.blocked().collect();
                 if blocked.is_empty() {
+                    step.phase.set(EnginePhase::FinalCheck);
+                    step.failpoint("explore.final");
                     step.stats.complete_executions += 1;
                     if let Some(msg) = self.failed_final_check(&g) {
                         return Some(Verdict::Safety(Counterexample { graph: g, message: msg }));
@@ -478,6 +656,8 @@ impl<'p> Engine<'p> {
                         step.executions.push(g);
                     }
                 } else {
+                    step.phase.set(EnginePhase::Stagnancy);
+                    step.failpoint("explore.stagnancy");
                     step.stats.blocked_graphs += 1;
                     if is_stagnant(&g, &blocked, self.model) {
                         let polls: Vec<String> =
@@ -660,28 +840,74 @@ impl<'p> Engine<'p> {
     }
 
     /// The sequential driver: a LIFO stack, one `HashSet` dedup set —
-    /// bit-for-bit the original exploration order.
+    /// bit-for-bit the original exploration order. Each item is processed
+    /// under `catch_unwind`, so a panic anywhere in the engine degrades
+    /// to [`Verdict::Error`] instead of unwinding out of the library.
     fn run_sequential(&self) -> AmcResult {
         let mut stats = ExploreStats::default();
         let mut executions = Vec::new();
         let mut seen: SeenSet = SeenSet::default();
-        let mut stack = vec![self.initial_graph()];
+        let budget = BudgetTracker::new(&self.config.budget);
+        let initial = self.initial_graph();
+        budget.charge(&initial);
+        let mut stack = vec![initial];
         let mut children: Vec<ExecutionGraph> = Vec::new();
         let mut pacer = Pacer::new(self.control, 1, None);
         let mut canon = self.partition.as_ref().map(Canonicalizer::new);
+        let phase = Cell::new(EnginePhase::Driver);
         while let Some(g) = stack.pop() {
-            if let Some(i) = pacer.poll(|| stats) {
-                return AmcResult { verdict: Verdict::Interrupted(i), stats, executions };
+            if let Some(r) = pacer.poll(|| stats) {
+                return degraded(r, stats, stats.popped, stack.len() as u64, executions);
             }
             stats.popped += 1;
             if self.config.max_graphs != 0 && stats.popped > self.config.max_graphs {
-                let msg = format!("exploration exceeded {} work items", self.config.max_graphs);
-                return AmcResult { verdict: Verdict::Fault(msg), stats, executions };
+                let dropped = stack.len() as u64;
+                return degraded(StopReason::MaxGraphs, stats, stats.popped, dropped, executions);
             }
-            let mut step =
-                Step { stats: &mut stats, out: &mut children, executions: &mut executions };
-            if let Some(v) = self.process(g, &mut |h| seen.insert(h), &mut canon, &mut step) {
-                return AmcResult { verdict: v, stats, executions };
+            budget.release(&g);
+            phase.set(EnginePhase::Driver);
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if failpoint::hit("explore.pop").is_oom() {
+                    budget.force(StopReason::MemoryBudget);
+                }
+                let mut step = Step {
+                    stats: &mut stats,
+                    out: &mut children,
+                    executions: &mut executions,
+                    budget: &budget,
+                    phase: &phase,
+                };
+                let mut probe = |h: u128| {
+                    let fresh = seen.insert(h);
+                    if fresh {
+                        budget.note_dedup_entry();
+                    }
+                    fresh
+                };
+                self.process(g, &mut probe, &mut canon, &mut step)
+            }));
+            match outcome {
+                Ok(Some(v)) => return AmcResult { verdict: v, stats, executions },
+                Ok(None) => {}
+                Err(payload) => {
+                    // Counters touched mid-item stay as they are: partial
+                    // stats are better than none. Half-generated children
+                    // must not leak into the frontier, though.
+                    children.clear();
+                    let e = EngineError {
+                        phase: phase.get(),
+                        thread: None,
+                        payload: panic_payload(payload),
+                    };
+                    return AmcResult { verdict: Verdict::Error(e), stats, executions };
+                }
+            }
+            for c in &children {
+                budget.charge(c);
+            }
+            if let Some(reason) = budget.exceeded() {
+                let dropped = stack.len() as u64 + children.len() as u64;
+                return degraded(reason, stats, stats.popped, dropped, executions);
             }
             stack.append(&mut children);
         }
@@ -689,20 +915,28 @@ impl<'p> Engine<'p> {
     }
 
     /// The parallel driver: `workers` threads over a shared injector queue,
-    /// a sharded dedup set, per-worker stats merged at the end.
+    /// a sharded dedup set, per-worker stats merged at the end. Per-item
+    /// processing runs under `catch_unwind`: a panicking worker records a
+    /// structured [`EngineError`] and finishes the queue, so its queue
+    /// share drains to the peers and the run terminates cleanly with
+    /// [`Verdict::Error`] instead of aborting.
     fn run_parallel(&self, workers: usize) -> AmcResult {
         const SHARDS: usize = 64;
-        let queue = WorkQueue::new(self.initial_graph());
+        let budget = BudgetTracker::new(&self.config.budget);
+        let initial = self.initial_graph();
+        budget.charge(&initial);
+        let queue = WorkQueue::new(initial);
         let seen: Vec<Mutex<SeenSet>> =
             (0..SHARDS).map(|_| Mutex::new(SeenSet::default())).collect();
         let shared = SharedStats::default();
         let gate = Mutex::new(Instant::now());
 
-        let worker = || {
-            // If this worker panics mid-item, `pending` never reaches zero;
-            // without this guard the peers would sleep on the condvar
-            // forever and the scope join would deadlock instead of
-            // propagating the panic.
+        let worker = |index: usize| {
+            // If this worker panics outside the catch_unwind below (queue
+            // bookkeeping, progress callbacks), `pending` never reaches
+            // zero; without this guard the peers would sleep on the
+            // condvar forever and the scope join would deadlock instead
+            // of surfacing the failure.
             struct PanicGuard<'a>(&'a WorkQueue);
             impl Drop for PanicGuard<'_> {
                 fn drop(&mut self) {
@@ -719,6 +953,7 @@ impl<'p> Engine<'p> {
             let mut canon = self.partition.as_ref().map(Canonicalizer::new);
             let mut flushed = ExploreStats::default();
             let mut since_flush = 0u64;
+            let phase = Cell::new(EnginePhase::Driver);
             loop {
                 // Batch-flush local counters so progress snapshots (built
                 // from `shared` by whichever worker emits) trail the true
@@ -732,41 +967,108 @@ impl<'p> Engine<'p> {
                 // Cancellation point *before* popping: a token fired ahead
                 // of the run interrupts every worker deterministically,
                 // with zero items processed.
-                if let Some(i) = pacer.poll(|| shared.snapshot()) {
-                    queue.finish(Verdict::Interrupted(i));
+                if let Some(r) = pacer.poll(|| shared.snapshot()) {
+                    let (explored, dropped) = queue.snapshot();
+                    queue.finish(Verdict::Inconclusive(Inconclusive {
+                        reason: r,
+                        explored,
+                        frontier_dropped: dropped,
+                    }));
                     break;
                 }
-                let Some((g, popped_total)) = queue.pop() else { break };
+                let Some((g, popped_total)) = queue.pop() else {
+                    break;
+                };
                 stats.popped += 1;
                 if self.config.max_graphs != 0 && popped_total > self.config.max_graphs {
-                    let msg =
-                        format!("exploration exceeded {} work items", self.config.max_graphs);
-                    queue.finish(Verdict::Fault(msg));
+                    let (explored, dropped) = queue.snapshot();
+                    queue.finish(Verdict::Inconclusive(Inconclusive {
+                        reason: StopReason::MaxGraphs,
+                        explored,
+                        frontier_dropped: dropped,
+                    }));
                     break;
                 }
-                let mut step = Step {
-                    stats: &mut stats,
-                    out: &mut children,
-                    executions: &mut executions,
-                };
-                let mut probe = |h: u128| {
-                    let shard = (h as usize) % SHARDS;
-                    seen[shard].lock().unwrap().insert(h)
-                };
-                match self.process(g, &mut probe, &mut canon, &mut step) {
-                    Some(v) => {
+                budget.release(&g);
+                phase.set(EnginePhase::Driver);
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if failpoint::hit("explore.pop").is_oom() {
+                        budget.force(StopReason::MemoryBudget);
+                    }
+                    let mut step = Step {
+                        stats: &mut stats,
+                        out: &mut children,
+                        executions: &mut executions,
+                        budget: &budget,
+                        phase: &phase,
+                    };
+                    let mut probe = |h: u128| {
+                        let shard = (h as usize) % SHARDS;
+                        let fresh = relock(&seen[shard]).insert(h);
+                        if fresh {
+                            budget.note_dedup_entry();
+                        }
+                        fresh
+                    };
+                    self.process(g, &mut probe, &mut canon, &mut step)
+                }));
+                match outcome {
+                    Ok(Some(v)) => {
                         queue.finish(v);
                         break;
                     }
-                    None => queue.complete_item(&mut children),
+                    Ok(None) => {
+                        for c in &children {
+                            budget.charge(c);
+                        }
+                        if let Some(reason) = budget.exceeded() {
+                            let (explored, dropped) = queue.snapshot();
+                            queue.finish(Verdict::Inconclusive(Inconclusive {
+                                reason,
+                                explored,
+                                frontier_dropped: dropped + children.len() as u64,
+                            }));
+                            children.clear();
+                            break;
+                        }
+                        queue.complete_item(&mut children);
+                    }
+                    Err(payload) => {
+                        // The item's half-generated children die with it;
+                        // finishing the queue stops the peers, which drain
+                        // the remaining share and exit cleanly.
+                        children.clear();
+                        queue.finish(Verdict::Error(EngineError {
+                            phase: phase.get(),
+                            thread: Some(index),
+                            payload: panic_payload(payload),
+                        }));
+                        break;
+                    }
                 }
             }
             (stats, executions)
         };
 
         let results: Vec<(ExploreStats, Vec<ExecutionGraph>)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers).map(|_| scope.spawn(worker)).collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            let handles: Vec<_> = (0..workers).map(|i| scope.spawn(move || worker(i))).collect();
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        // A panic that escaped the per-item catch_unwind
+                        // (driver bookkeeping). The guard already drained
+                        // the queue; record the failure instead of
+                        // re-panicking the whole process.
+                        queue.finish(Verdict::Error(EngineError {
+                            phase: EnginePhase::Driver,
+                            thread: None,
+                            payload: panic_payload(payload),
+                        }));
+                        (ExploreStats::default(), Vec::new())
+                    })
+                })
+                .collect()
         });
 
         let mut stats = ExploreStats::default();
@@ -776,6 +1078,9 @@ impl<'p> Engine<'p> {
             executions.append(&mut e);
         }
         let verdict = queue.into_verdict();
+        if let Verdict::Inconclusive(i) = &verdict {
+            stats.frontier_dropped = i.frontier_dropped;
+        }
         AmcResult { verdict, stats, executions }
     }
 }
@@ -820,7 +1125,7 @@ impl WorkQueue {
     /// Pop a work item, sleeping while the queue is empty but siblings are
     /// still in flight. `None` means the exploration is over.
     fn pop(&self) -> Option<(ExecutionGraph, u64)> {
-        let mut q = self.state.lock().unwrap();
+        let mut q = relock(&self.state);
         loop {
             if q.stop {
                 return None;
@@ -832,14 +1137,21 @@ impl WorkQueue {
             if q.pending == 0 {
                 return None;
             }
-            q = self.cond.wait(q).unwrap();
+            q = self.cond.wait(q).unwrap_or_else(|e| e.into_inner());
         }
+    }
+
+    /// Total popped items and current frontier length — the `explored` /
+    /// `frontier_dropped` pair of a degraded stop.
+    fn snapshot(&self) -> (u64, u64) {
+        let q = relock(&self.state);
+        (q.popped, q.items.len() as u64)
     }
 
     /// Account the end of one item's processing, injecting its children.
     fn complete_item(&self, children: &mut Vec<ExecutionGraph>) {
         let n = children.len();
-        let mut q = self.state.lock().unwrap();
+        let mut q = relock(&self.state);
         q.items.append(children);
         q.pending += n;
         q.pending -= 1;
@@ -853,15 +1165,26 @@ impl WorkQueue {
     }
 
     /// Record a terminal verdict and stop all workers. First verdict
-    /// wins, except that a *definitive* verdict (violation or fault)
-    /// found by a still-running worker upgrades an `Interrupted` one —
-    /// a cancellation must not discard a counterexample a peer already
-    /// holds in hand.
+    /// wins within a severity class, but a more definitive verdict found
+    /// by a still-running worker upgrades a weaker one already recorded:
+    /// violations and faults beat engine errors, which beat inconclusive
+    /// stops — a cancellation must not discard a counterexample a peer
+    /// already holds in hand, and a budget stop must not mask a caught
+    /// panic.
     fn finish(&self, v: Verdict) {
-        let mut q = self.state.lock().unwrap();
-        let upgrade = matches!(q.verdict, Some(Verdict::Interrupted(_)))
-            && !matches!(v, Verdict::Interrupted(_));
-        if q.verdict.is_none() || upgrade {
+        fn rank(v: &Verdict) -> u8 {
+            match v {
+                Verdict::Inconclusive(_) => 0,
+                Verdict::Error(_) => 1,
+                _ => 2,
+            }
+        }
+        let mut q = relock(&self.state);
+        let replace = match &q.verdict {
+            None => true,
+            Some(old) => rank(&v) > rank(old),
+        };
+        if replace {
             q.verdict = Some(v);
         }
         q.stop = true;
@@ -870,17 +1193,17 @@ impl WorkQueue {
 
     /// Stop all workers without recording a verdict (panic unwind path).
     fn abort(&self) {
-        // A panicking peer may have poisoned the mutex; drain regardless.
-        let mut q = match self.state.lock() {
-            Ok(q) => q,
-            Err(poisoned) => poisoned.into_inner(),
-        };
+        let mut q = relock(&self.state);
         q.stop = true;
         self.cond.notify_all();
     }
 
     fn into_verdict(self) -> Verdict {
-        self.state.into_inner().unwrap().verdict.unwrap_or(Verdict::Verified)
+        self.state
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .verdict
+            .unwrap_or(Verdict::Verified)
     }
 }
 
@@ -905,23 +1228,41 @@ fn min_source_pos(g: &ExecutionGraph, t: ThreadId, loc: Loc) -> usize {
     0
 }
 
-fn const_operand(o: Operand) -> u64 {
+fn const_operand(o: Operand) -> Result<u64, String> {
     match o {
-        Operand::Imm(v) => v,
-        Operand::Reg(r) => panic!("final-state checks must use immediate operands, found {r}"),
+        Operand::Imm(v) => Ok(v),
+        Operand::Reg(r) => Err(format!("register operand {r}")),
     }
 }
 
 /// Evaluate `prog`'s final-state checks on a complete execution graph.
 /// Shared by the explorer and the optimizer's witness-cache replay.
+///
+/// Final checks run without any thread state, so their operands must be
+/// immediates — [`Program::validate`] rejects register operands before
+/// exploration starts (and the DSL frontend reports them as spanned
+/// diagnostics). If an unvalidated program slips through anyway, the
+/// malformed check is reported as a failure message rather than a panic.
 pub(crate) fn failed_final_check(prog: &Program, g: &ExecutionGraph) -> Option<String> {
     let state = g.final_state();
     for c in prog.final_checks() {
         let v = state.get(&c.loc).copied().unwrap_or(g.init_value(c.loc));
-        let resolved = vsync_lang::ResolvedTest {
-            mask: c.test.mask.map(const_operand).unwrap_or(u64::MAX),
-            cmp: c.test.cmp,
-            rhs: const_operand(c.test.rhs),
+        let resolve = || -> Result<vsync_lang::ResolvedTest, String> {
+            Ok(vsync_lang::ResolvedTest {
+                mask: c.test.mask.map(const_operand).transpose()?.unwrap_or(u64::MAX),
+                cmp: c.test.cmp,
+                rhs: const_operand(c.test.rhs)?,
+            })
+        };
+        let resolved = match resolve() {
+            Ok(t) => t,
+            Err(e) => {
+                return Some(format!(
+                    "final-state check '{}' is malformed: {e} (final checks must \
+                     use immediate operands)",
+                    c.msg
+                ))
+            }
         };
         if !resolved.eval(v) {
             return Some(format!(
@@ -1104,13 +1445,13 @@ mod tests {
             let control = RunControl::with_cancel(token);
             assert_eq!(
                 count_executions_with(&p, &c, &control),
-                Err(Interrupt::Cancelled),
+                Err(StopReason::Cancelled),
                 "workers={workers}"
             );
             let control = RunControl::with_deadline(Instant::now());
             assert_eq!(
                 count_executions_with(&p, &c, &control),
-                Err(Interrupt::DeadlineExceeded),
+                Err(StopReason::DeadlineExceeded),
                 "workers={workers}"
             );
             // And with budgets left, the count comes through unchanged.
@@ -1283,11 +1624,65 @@ mod tests {
     }
 
     #[test]
-    fn graph_budget_reports_fault() {
+    fn graph_budget_degrades_to_inconclusive() {
         let mut c = cfg(ModelKind::Vmm);
         c.max_graphs = 2;
-        let v = verify(&sb_program(), &c);
-        assert!(matches!(v, Verdict::Fault(_)));
+        let r = explore(&sb_program(), &c);
+        let Verdict::Inconclusive(i) = r.verdict else {
+            panic!("expected inconclusive, got {}", r.verdict)
+        };
+        assert_eq!(i.reason, StopReason::MaxGraphs);
+        assert!(i.explored >= 2, "partial coverage reported: {i:?}");
+        assert_eq!(r.stats.frontier_dropped, i.frontier_dropped);
+    }
+
+    /// A tiny memory budget degrades the run to `Inconclusive` with
+    /// partial stats for every worker count, and the explored coverage
+    /// grows monotonically with the budget.
+    #[test]
+    fn memory_budget_degrades_to_inconclusive() {
+        for workers in [1usize, 2, 8] {
+            let c = cfg(ModelKind::Vmm).with_workers(workers).with_max_memory_bytes(600);
+            let r = explore(&sb_program(), &c);
+            let Verdict::Inconclusive(i) = r.verdict else {
+                panic!("workers={workers}: expected inconclusive, got {}", r.verdict)
+            };
+            assert_eq!(i.reason, StopReason::MemoryBudget, "workers={workers}");
+            assert!(i.explored >= 1, "workers={workers}");
+            assert_eq!(r.stats.frontier_dropped, i.frontier_dropped, "workers={workers}");
+        }
+        // Monotonicity: more budget, at least as much coverage.
+        let explored_at = |bytes: u64| {
+            let c = cfg(ModelKind::Vmm).with_max_memory_bytes(bytes);
+            match explore(&sb_program(), &c).verdict {
+                Verdict::Inconclusive(i) => i.explored,
+                Verdict::Verified => u64::MAX,
+                v => panic!("unexpected verdict {v}"),
+            }
+        };
+        let mut last = 0;
+        for bytes in [600, 2_000, 8_000, 1 << 20] {
+            let e = explored_at(bytes);
+            assert!(e >= last, "coverage shrank: {e} < {last} at {bytes} bytes");
+            last = e;
+        }
+        // A generous budget changes nothing.
+        let c = cfg(ModelKind::Vmm).with_max_memory_bytes(64 << 20);
+        assert!(explore(&sb_program(), &c).is_verified());
+    }
+
+    #[test]
+    fn dedup_budget_degrades_to_inconclusive() {
+        for workers in [1usize, 2, 8] {
+            let c = cfg(ModelKind::Vmm).with_workers(workers).with_max_dedup_entries(2);
+            let r = explore(&sb_program(), &c);
+            let Verdict::Inconclusive(i) = r.verdict else {
+                panic!("workers={workers}: expected inconclusive, got {}", r.verdict)
+            };
+            assert_eq!(i.reason, StopReason::DedupBudget, "workers={workers}");
+        }
+        let c = cfg(ModelKind::Vmm).with_max_dedup_entries(1_000_000);
+        assert!(explore(&sb_program(), &c).is_verified());
     }
 
     #[test]
@@ -1399,25 +1794,76 @@ mod tests {
         }
     }
 
-    /// The graph budget also faults in parallel mode.
+    /// The graph budget also degrades gracefully in parallel mode.
     #[test]
     fn workers_respect_graph_budget() {
         let mut c = cfg(ModelKind::Vmm).with_workers(4);
         c.max_graphs = 2;
         let v = verify(&sb_program(), &c);
-        assert!(matches!(v, Verdict::Fault(_)));
+        assert_eq!(v.stop_reason(), Some(StopReason::MaxGraphs), "got {v}");
     }
 
-    /// A definitive verdict found by a running worker upgrades an
-    /// `Interrupted` one already recorded; the reverse never downgrades.
+    /// Verdict severity in the queue: violations/faults > engine errors >
+    /// inconclusive stops; a weaker verdict never downgrades a stronger
+    /// one already recorded.
     #[test]
-    fn queue_upgrades_interrupted_verdict_to_definitive() {
-        use crate::verdict::Interrupt;
+    fn queue_upgrades_verdicts_by_severity() {
+        let inconclusive = |reason| {
+            Verdict::Inconclusive(Inconclusive { reason, explored: 0, frontier_dropped: 0 })
+        };
+        let error = || {
+            Verdict::Error(EngineError {
+                phase: EnginePhase::Replay,
+                thread: None,
+                payload: "boom".into(),
+            })
+        };
+        // Inconclusive → Error → Fault; later weaker verdicts are ignored.
         let q = WorkQueue::new(ExecutionGraph::new(0, std::collections::BTreeMap::new()));
-        q.finish(Verdict::Interrupted(Interrupt::Cancelled));
+        q.finish(inconclusive(StopReason::Cancelled));
+        q.finish(error());
         q.finish(Verdict::Fault("real finding".into()));
-        q.finish(Verdict::Interrupted(Interrupt::DeadlineExceeded));
+        q.finish(error());
+        q.finish(inconclusive(StopReason::DeadlineExceeded));
         assert!(matches!(q.into_verdict(), Verdict::Fault(_)));
+        // An engine error outranks a budget stop but not a violation.
+        let q = WorkQueue::new(ExecutionGraph::new(0, std::collections::BTreeMap::new()));
+        q.finish(inconclusive(StopReason::MemoryBudget));
+        q.finish(error());
+        assert!(matches!(q.into_verdict(), Verdict::Error(_)));
+    }
+
+    /// A final check with a register operand is rejected as a structured
+    /// `Verdict::Fault` before exploration starts — never a panic — for
+    /// any worker count. The builder refuses to produce such a program,
+    /// so assemble it with `Program::from_parts` to model an unvalidated
+    /// caller.
+    #[test]
+    fn malformed_final_check_reports_fault_not_panic() {
+        let mut pb = ProgramBuilder::new("bad-final");
+        pb.thread(|t| {
+            t.store(X, 1u64, Mode::Rlx);
+        });
+        let valid = pb.build().unwrap();
+        let bad = vsync_lang::FinalCheck {
+            loc: X,
+            test: Test { cmp: vsync_lang::Cmp::Eq, rhs: Operand::Reg(Reg(0)), mask: None },
+            msg: "bad".to_owned(),
+        };
+        let p = Program::from_parts(
+            valid.name().to_owned(),
+            vec![valid.thread_code(0).to_vec()],
+            valid.sites().to_vec(),
+            valid.init().clone(),
+            vec![bad],
+        );
+        for workers in [1usize, 2] {
+            let v = verify(&p, &cfg(ModelKind::Vmm).with_workers(workers));
+            let Verdict::Fault(msg) = &v else {
+                panic!("workers={workers}: expected fault, got {v}")
+            };
+            assert!(msg.contains("final"), "workers={workers}: {msg}");
+        }
     }
 
     /// The reference checker produces the same verdicts and counts.
@@ -1427,10 +1873,7 @@ mod tests {
         for model in [ModelKind::Sc, ModelKind::Tso, ModelKind::Vmm] {
             let fast = explore(&p, &cfg(model));
             let slow = explore(&p, &cfg(model).with_reference_checker());
-            assert_eq!(
-                fast.stats.complete_executions, slow.stats.complete_executions,
-                "{model}"
-            );
+            assert_eq!(fast.stats.complete_executions, slow.stats.complete_executions, "{model}");
             assert_eq!(fast.stats.popped, slow.stats.popped, "{model}");
         }
     }

@@ -1,0 +1,223 @@
+//! Deterministic fault injection, in the spirit of libfailpoints.
+//!
+//! A *failpoint* is a named site in the engine (`explore.replay`,
+//! `explore.dedup`, `optimize.verify`, `corpus.check`, ...) that can be
+//! armed to fire a fault on its Nth hit: panic, delay, or report a
+//! synthetic allocation failure that the drivers treat exactly like a
+//! [`crate::StopReason::MemoryBudget`] exhaustion. Hit counters are
+//! global, so "panic on the 3rd replay" means the 3rd replay *anywhere*
+//! in the process — which keeps injected verdicts deterministic for any
+//! worker count (the payload and phase are site-determined even when the
+//! winning thread is not).
+//!
+//! Everything here is compiled out unless the `failpoints` cargo feature
+//! is enabled: the default build's [`hit`] is an inlined constant and the
+//! hot loops carry zero overhead. With the feature on, sites are armed
+//! either programmatically (`configure`) or through the
+//! `VSYNC_FAILPOINTS` environment variable, parsed once on first use:
+//!
+//! ```text
+//! VSYNC_FAILPOINTS="explore.replay=panic@3;corpus.check=delay(10)@1;explore.dedup=oom"
+//! ```
+//!
+//! Each clause is `site=action[@nth]` (default `@1`); actions are
+//! `panic`, `oom`, and `delay(ms)`. Site names live in one flat
+//! `stage.site` namespace documented in DESIGN.md §10.
+
+/// Effect a failpoint asks its call site to carry out. `Panic` and
+/// `Delay` never reach the caller (they unwind or sleep inside [`hit`]);
+/// `Oom` must be handled by the site, which reports it as a synthetic
+/// memory-budget exhaustion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fired {
+    /// Nothing to do (the site is unarmed or this is not the Nth hit).
+    None,
+    /// Simulate an allocation failure at this site.
+    Oom,
+}
+
+impl Fired {
+    /// Shorthand for call sites that only care about synthetic OOM.
+    pub fn is_oom(self) -> bool {
+        self == Fired::Oom
+    }
+}
+
+/// Record a hit on the named site. No-op (and fully inlined away)
+/// without the `failpoints` feature.
+#[cfg(not(feature = "failpoints"))]
+#[inline(always)]
+pub fn hit(_site: &str) -> Fired {
+    Fired::None
+}
+
+#[cfg(feature = "failpoints")]
+pub use imp::{clear, configure, exclusive, hit, Action};
+
+#[cfg(feature = "failpoints")]
+mod imp {
+    use super::Fired;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+
+    /// The fault a site is armed with.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Action {
+        /// Panic with payload `failpoint '<site>' fired`.
+        Panic,
+        /// Sleep for the given number of milliseconds.
+        Delay(u64),
+        /// Report a synthetic allocation failure to the call site.
+        Oom,
+    }
+
+    struct Site {
+        action: Action,
+        /// 1-based hit on which the site fires (exactly once).
+        nth: u64,
+        hits: AtomicU64,
+    }
+
+    /// Number of armed sites; lets unarmed runs skip the registry lock.
+    static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+    static ENV_INIT: Once = Once::new();
+
+    fn registry() -> &'static Mutex<HashMap<String, Arc<Site>>> {
+        static REGISTRY: OnceLock<Mutex<HashMap<String, Arc<Site>>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock_registry() -> MutexGuard<'static, HashMap<String, Arc<Site>>> {
+        registry().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// A process-wide guard serializing tests that arm failpoints (the
+    /// registry and hit counters are global state).
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arm `site` to fire `action` on its `nth` hit (1-based). Replaces
+    /// any previous configuration of the site and resets its counter.
+    pub fn configure(site: &str, action: Action, nth: u64) {
+        ensure_env_loaded();
+        let entry = Arc::new(Site { action, nth: nth.max(1), hits: AtomicU64::new(0) });
+        if lock_registry().insert(site.to_string(), entry).is_none() {
+            ACTIVE.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Disarm every site and reset all counters. The environment
+    /// configuration is *not* re-applied.
+    pub fn clear() {
+        ensure_env_loaded();
+        let removed = {
+            let mut reg = lock_registry();
+            let n = reg.len();
+            reg.clear();
+            n
+        };
+        ACTIVE.fetch_sub(removed, Ordering::SeqCst);
+    }
+
+    fn ensure_env_loaded() {
+        ENV_INIT.call_once(|| {
+            let Ok(spec) = std::env::var("VSYNC_FAILPOINTS") else {
+                return;
+            };
+            let mut reg = lock_registry();
+            let mut added = 0;
+            for clause in spec.split(';').map(str::trim).filter(|c| !c.is_empty()) {
+                let Some((site, rest)) = clause.split_once('=') else {
+                    eprintln!("vsync: ignoring malformed failpoint clause '{clause}'");
+                    continue;
+                };
+                let (action_str, nth) = match rest.rsplit_once('@') {
+                    Some((a, n)) => match n.parse::<u64>() {
+                        Ok(n) => (a, n.max(1)),
+                        Err(_) => {
+                            eprintln!("vsync: bad failpoint count in '{clause}'");
+                            continue;
+                        }
+                    },
+                    None => (rest, 1),
+                };
+                let action = if action_str == "panic" {
+                    Action::Panic
+                } else if action_str == "oom" {
+                    Action::Oom
+                } else if let Some(ms) = action_str
+                    .strip_prefix("delay(")
+                    .and_then(|s| s.strip_suffix(')'))
+                    .and_then(|s| s.parse::<u64>().ok())
+                {
+                    Action::Delay(ms)
+                } else {
+                    eprintln!("vsync: unknown failpoint action in '{clause}'");
+                    continue;
+                };
+                let entry = Arc::new(Site { action, nth, hits: AtomicU64::new(0) });
+                if reg.insert(site.trim().to_string(), entry).is_none() {
+                    added += 1;
+                }
+            }
+            ACTIVE.fetch_add(added, Ordering::SeqCst);
+        });
+    }
+
+    /// Record a hit on the named site; fires the armed action when this
+    /// is exactly the Nth hit.
+    pub fn hit(site: &str) -> Fired {
+        if ACTIVE.load(Ordering::Relaxed) == 0 && ENV_INIT.is_completed() {
+            return Fired::None;
+        }
+        ensure_env_loaded();
+        let Some(entry) = lock_registry().get(site).cloned() else {
+            return Fired::None;
+        };
+        let count = entry.hits.fetch_add(1, Ordering::SeqCst) + 1;
+        if count != entry.nth {
+            return Fired::None;
+        }
+        match entry.action {
+            Action::Panic => std::panic::panic_any(format!("failpoint '{site}' fired")),
+            Action::Delay(ms) => {
+                std::thread::sleep(std::time::Duration::from_millis(ms));
+                Fired::None
+            }
+            Action::Oom => Fired::Oom,
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fires_on_exactly_the_nth_hit() {
+            let _gate = exclusive();
+            clear();
+            configure("test.site", Action::Oom, 3);
+            assert_eq!(hit("test.site"), Fired::None);
+            assert_eq!(hit("test.site"), Fired::None);
+            assert_eq!(hit("test.site"), Fired::Oom);
+            assert_eq!(hit("test.site"), Fired::None, "fires exactly once");
+            assert_eq!(hit("other.site"), Fired::None, "unarmed sites are silent");
+            clear();
+            assert_eq!(hit("test.site"), Fired::None, "cleared sites are silent");
+        }
+
+        #[test]
+        fn panic_action_unwinds_with_a_string_payload() {
+            let _gate = exclusive();
+            clear();
+            configure("test.panic", Action::Panic, 1);
+            let err = std::panic::catch_unwind(|| hit("test.panic")).unwrap_err();
+            let msg = err.downcast_ref::<String>().expect("string payload");
+            assert_eq!(msg, "failpoint 'test.panic' fired");
+            clear();
+        }
+    }
+}

@@ -35,6 +35,7 @@
 
 mod corpus;
 mod explorer;
+pub mod failpoint;
 mod optimize;
 mod session;
 mod stagnancy;
@@ -53,6 +54,11 @@ pub use optimize::{
     OptimizationReport, OptimizationStep, OptimizeEvent, OptimizePhase, OptimizeStrategy,
     OptimizerConfig,
 };
-pub use session::{CancelToken, ModelRun, ProgressFn, ProgressSnapshot, Report, RunControl, Session};
+pub use session::{
+    CancelToken, ModelRun, ProgressFn, ProgressSnapshot, Report, RunControl, Session,
+};
 pub use stagnancy::{is_stagnant, is_stuck};
-pub use verdict::{AmcConfig, AmcResult, Counterexample, ExploreStats, Interrupt, Verdict};
+pub use verdict::{
+    AmcConfig, AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive,
+    ResourceBudget, StopReason, Verdict,
+};

@@ -112,7 +112,7 @@ pub(crate) fn commit_pass(
                     return Ok(true);
                 }
                 CheckOutcome::Refuted { monotone } => tail_refuted = Some(monotone),
-                CheckOutcome::Interrupted => return Err(Interrupted),
+                CheckOutcome::Interrupted | CheckOutcome::Errored => return Err(Interrupted),
             }
         }
 
@@ -161,7 +161,7 @@ pub(crate) fn commit_pass(
                             }
                         }
                     }
-                    CheckOutcome::Interrupted => return Err(Interrupted),
+                    CheckOutcome::Interrupted | CheckOutcome::Errored => return Err(Interrupted),
                 }
                 break;
             }
@@ -177,7 +177,7 @@ pub(crate) fn commit_pass(
                     break;
                 }
                 CheckOutcome::Refuted { .. } => len = len.div_ceil(2),
-                CheckOutcome::Interrupted => return Err(Interrupted),
+                CheckOutcome::Interrupted | CheckOutcome::Errored => return Err(Interrupted),
             }
         }
     }
@@ -239,10 +239,12 @@ fn refine_site(
                             return Ok(Refine::Accepted { tail_refuted: Some(monotone) });
                         }
                         CheckOutcome::Refuted { .. } => reject(ctx, acc, site, cand, pass),
-                        CheckOutcome::Interrupted => return Err(Interrupted),
+                        CheckOutcome::Interrupted | CheckOutcome::Errored => {
+                            return Err(Interrupted)
+                        }
                     }
                 }
-                CheckOutcome::Interrupted => return Err(Interrupted),
+                CheckOutcome::Interrupted | CheckOutcome::Errored => return Err(Interrupted),
             }
         } else {
             match ctx.check_single(acc, site, cand, ctx.pool_size(), None) {
@@ -251,7 +253,7 @@ fn refine_site(
                     return Ok(Refine::Accepted { tail_refuted: None });
                 }
                 CheckOutcome::Refuted { .. } => reject(ctx, acc, site, cand, pass),
-                CheckOutcome::Interrupted => return Err(Interrupted),
+                CheckOutcome::Interrupted | CheckOutcome::Errored => return Err(Interrupted),
             }
         }
     }

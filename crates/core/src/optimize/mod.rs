@@ -47,8 +47,9 @@ use vsync_lang::{BarrierSummary, ModeRef, Program};
 use vsync_model::MemoryModel;
 
 use crate::explorer::{explore, explore_oracle};
+use crate::failpoint;
 use crate::session::{CancelToken, RunControl};
-use crate::verdict::{AmcConfig, Verdict};
+use crate::verdict::{AmcConfig, EngineError, EnginePhase, Verdict};
 
 use witness::WitnessCache;
 
@@ -88,9 +89,7 @@ impl std::str::FromStr for OptimizeStrategy {
             "sequential" | "seq" => Ok(OptimizeStrategy::Sequential),
             "parallel" | "par" => Ok(OptimizeStrategy::Parallel),
             "adaptive" => Ok(OptimizeStrategy::Adaptive),
-            other => Err(format!(
-                "unknown strategy '{other}' (sequential, parallel, adaptive)"
-            )),
+            other => Err(format!("unknown strategy '{other}' (sequential, parallel, adaptive)")),
         }
     }
 }
@@ -263,10 +262,15 @@ pub struct OptimizationReport {
     /// [`interrupted`](Self::interrupted) set means *unknown*: the run was
     /// cancelled during the initial verification.
     pub verified: bool,
-    /// The run was cut short by its [`OptimizerConfig::cancel`] token or
-    /// the session deadline; the assignment is verified but possibly not
-    /// yet locally maximal.
+    /// The run was cut short by its [`OptimizerConfig::cancel`] token,
+    /// the session deadline, a resource budget or a caught engine panic;
+    /// the assignment is verified but possibly not yet locally maximal.
     pub interrupted: bool,
+    /// The first caught engine panic, when one cut the run short. Every
+    /// relaxation accepted *before* the panic was individually verified
+    /// and is kept; the failing candidate is treated as undecided, never
+    /// as refuted.
+    pub error: Option<EngineError>,
     /// The strategy that produced this report.
     pub strategy: OptimizeStrategy,
     /// Every relaxation attempt that was decided. For the parallel
@@ -322,10 +326,12 @@ impl OptimizationReport {
             self.cache_hits,
             self.elapsed
         );
+        if let Some(e) = &self.error {
+            let _ = writeln!(out, "  engine error: {e}");
+        }
         for s in &self.steps {
             if s.accepted {
-                let _ =
-                    writeln!(out, "  {:<44} {} -> {}", self.site_name(s), s.from, s.to);
+                let _ = writeln!(out, "  {:<44} {} -> {}", self.site_name(s), s.from, s.to);
             }
         }
         out
@@ -398,6 +404,7 @@ pub fn optimize_with(
             program,
             verified: false,
             interrupted: config.is_cancelled(),
+            error: None,
             strategy: OptimizeStrategy::Sequential,
             steps,
             verifications,
@@ -434,12 +441,8 @@ pub fn optimize_with(
                     interrupted = true;
                     break 'passes;
                 }
-                let step = OptimizationStep {
-                    site: i as u32,
-                    from: current,
-                    to: cand,
-                    accepted: ok,
-                };
+                let step =
+                    OptimizationStep { site: i as u32, from: current, to: cand, accepted: ok };
                 steps.push(step);
                 emit(pass, step, &program);
                 if ok {
@@ -459,6 +462,7 @@ pub fn optimize_with(
         program,
         verified: true,
         interrupted,
+        error: None,
         strategy: OptimizeStrategy::Sequential,
         steps,
         verifications,
@@ -486,6 +490,11 @@ pub(crate) enum CheckOutcome {
     },
     /// The run was interrupted before the verdict was decided.
     Interrupted,
+    /// The verification panicked; the panic was caught and recorded in
+    /// [`Shared::error`]. Like [`Interrupted`](CheckOutcome::Interrupted),
+    /// the candidate's status is *unknown* — strategies must treat it as
+    /// undecided (keep prior accepts, stop searching), never as refuted.
+    Errored,
 }
 
 /// Counters and step log shared across the engine's worker threads.
@@ -510,6 +519,9 @@ pub(crate) struct Shared {
     /// Candidates short-circuited by the memo (no exploration, no
     /// witness replay needed).
     pub memo_hits: u64,
+    /// The first caught engine panic (kept first-wins so the report is
+    /// deterministic for a deterministically-injected fault).
+    pub error: Option<EngineError>,
 }
 
 /// Engine context: the candidate oracle plus shared bookkeeping, usable
@@ -549,8 +561,24 @@ impl<'a> Ctx<'a> {
                 fault_seen: false,
                 memo: std::collections::HashSet::new(),
                 memo_hits: 0,
+                error: None,
             }),
         }
+    }
+
+    /// Lock the shared state, recovering from poisoning: a panic inside
+    /// a screening worker is already isolated per probe, so the counters
+    /// a poisoned guard protects are still meaningful.
+    pub(crate) fn shared(&self) -> std::sync::MutexGuard<'_, Shared> {
+        self.shared.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Record a caught engine panic (first one wins) and return
+    /// [`CheckOutcome::Errored`].
+    fn record_error(&self, error: EngineError) -> CheckOutcome {
+        let mut shared = self.shared();
+        shared.error.get_or_insert(error);
+        CheckOutcome::Errored
     }
 
     /// Number of concurrent candidate evaluations the screening pool runs.
@@ -609,17 +637,43 @@ impl<'a> Ctx<'a> {
         token: Option<&CancelToken>,
         skip_primary: bool,
     ) -> CheckOutcome {
+        // One probe = one isolation unit: a panic anywhere in the
+        // witness replay or the oracle explorations quarantines this
+        // candidate (undecided), not the whole optimization run.
+        let probe = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.check_candidate_probe(candidate, workers, token, skip_primary)
+        }));
+        probe.unwrap_or_else(|payload| {
+            let payload = payload
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_owned())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_owned());
+            self.record_error(EngineError { phase: EnginePhase::Optimize, thread: None, payload })
+        })
+    }
+
+    fn check_candidate_probe(
+        &self,
+        candidate: &Program,
+        workers: usize,
+        token: Option<&CancelToken>,
+        skip_primary: bool,
+    ) -> CheckOutcome {
+        let _ = failpoint::hit("optimize.verify");
         let progs = self.candidate_set(candidate);
         if self.cache_enabled {
             // Snapshot under the lock (graph clones are copy-on-write
             // cheap), replay lock-free so concurrent screening workers
             // never serialize on the cache, then re-lock to account the
             // hit.
-            let witnesses = self.shared.lock().unwrap().cache.snapshot();
+            let witnesses = self.shared().cache.snapshot();
             for (id, program, graph) in witnesses {
-                let Some(p) = progs.get(program) else { continue };
+                let Some(p) = progs.get(program) else {
+                    continue;
+                };
                 if witness::witness_refutes(&graph, p, self.model) {
-                    self.shared.lock().unwrap().cache.note_hit(id);
+                    self.shared().cache.note_hit(id);
                     return CheckOutcome::Refuted { monotone: true };
                 }
             }
@@ -628,7 +682,7 @@ impl<'a> Ctx<'a> {
         // actually run (the session-verified primary with no scenarios
         // explores nothing).
         if progs.len() > usize::from(skip_primary) {
-            self.shared.lock().unwrap().verifications += 1;
+            self.shared().verifications += 1;
         }
         let mut amc = self.config.amc.clone();
         amc.workers = workers.max(1);
@@ -641,16 +695,19 @@ impl<'a> Ctx<'a> {
             if skip_primary && idx == 0 {
                 continue;
             }
-            self.shared.lock().unwrap().explorations += 1;
+            self.shared().explorations += 1;
             let out = explore_oracle(p, &amc, &control);
-            self.shared.lock().unwrap().graphs += out.graphs;
+            self.shared().graphs += out.graphs;
+            if let Some(e) = out.error {
+                return self.record_error(e);
+            }
             if out.interrupted {
                 return CheckOutcome::Interrupted;
             }
             if !out.ok {
                 let monotone = out.witness.is_some();
                 {
-                    let mut shared = self.shared.lock().unwrap();
+                    let mut shared = self.shared();
                     shared.fault_seen |= !monotone;
                     if self.cache_enabled {
                         if let Some(g) = out.witness {
@@ -677,7 +734,7 @@ impl<'a> Ctx<'a> {
         token: Option<&CancelToken>,
     ) -> CheckOutcome {
         if self.cache_enabled {
-            let mut shared = self.shared.lock().unwrap();
+            let mut shared = self.shared();
             if shared.memo.contains(&(site, mode)) {
                 shared.memo_hits += 1;
                 return CheckOutcome::Refuted { monotone: true };
@@ -685,7 +742,7 @@ impl<'a> Ctx<'a> {
         }
         let outcome = self.check_candidate(&acc.with_patch(&[(site, mode)]), workers, token);
         if self.cache_enabled && outcome == (CheckOutcome::Refuted { monotone: true }) {
-            self.shared.lock().unwrap().memo.insert((site, mode));
+            self.shared().memo.insert((site, mode));
         }
         outcome
     }
@@ -695,13 +752,13 @@ impl<'a> Ctx<'a> {
     /// later pass re-pays it.
     pub(crate) fn memoize(&self, site: u32, mode: Mode) {
         if self.cache_enabled {
-            self.shared.lock().unwrap().memo.insert((site, mode));
+            self.shared().memo.insert((site, mode));
         }
     }
 
     /// Record a decided step and notify the per-step subscriber.
     pub(crate) fn record(&self, pass: usize, phase: OptimizePhase, step: OptimizationStep) {
-        self.shared.lock().unwrap().steps.push(step);
+        self.shared().steps.push(step);
         if let Some(cb) = &self.config.on_step {
             cb(&OptimizeEvent {
                 pass,
@@ -731,12 +788,15 @@ pub(crate) fn run_engine(
     let before = program.barrier_summary();
 
     let report = |program: Program, verified: bool, interrupted: bool, ctx: &Ctx<'_>| {
-        let shared = ctx.shared.lock().unwrap();
+        let shared = ctx.shared();
         let after = program.barrier_summary();
         OptimizationReport {
             program,
             verified,
-            interrupted,
+            // A caught engine panic leaves the final candidate undecided,
+            // exactly like a cancellation.
+            interrupted: interrupted || shared.error.is_some(),
+            error: shared.error.clone(),
             strategy: config.strategy,
             steps: shared.steps.clone(),
             verifications: shared.verifications,
@@ -762,11 +822,10 @@ pub(crate) fn run_engine(
     // whose candidates all fail for the same monotonicity reason).
     let deferred = config.strategy == OptimizeStrategy::Adaptive;
     if !deferred {
-        match ctx.check_candidate_inner(&program, ctx.pool_size(), None, assume_primary_verified)
-        {
+        match ctx.check_candidate_inner(&program, ctx.pool_size(), None, assume_primary_verified) {
             CheckOutcome::Verified => {}
             CheckOutcome::Refuted { .. } => return report(program, false, false, &ctx),
-            CheckOutcome::Interrupted => {
+            CheckOutcome::Interrupted | CheckOutcome::Errored => {
                 // `verified: false` + `interrupted` means *unknown* —
                 // unless the session already verified the primary and
                 // there was nothing else to check.
@@ -791,10 +850,9 @@ pub(crate) fn run_engine(
     // observed, the budget-limited reference oracle might also have
     // faulted on the baseline itself, so the deferred check must run to
     // keep the strategies' verdicts identical.
-    let unvouched = program.site_modes() == prog.site_modes()
-        || ctx.shared.lock().unwrap().fault_seen;
+    let unvouched = program.site_modes() == prog.site_modes() || ctx.shared().fault_seen;
     if deferred && unvouched {
-        if interrupted {
+        if interrupted || ctx.shared().error.is_some() {
             return report(program, assume_primary_verified && scenarios.is_empty(), true, &ctx);
         }
         match ctx.check_candidate_inner(prog, ctx.pool_size(), None, assume_primary_verified) {
@@ -804,10 +862,10 @@ pub(crate) fn run_engine(
                 // strategy would have stopped before any relaxation —
                 // report the canonical unverified shape (unchanged
                 // program, no steps), discarding any accepts.
-                ctx.shared.lock().unwrap().steps.clear();
+                ctx.shared().steps.clear();
                 return report(prog.clone(), false, false, &ctx);
             }
-            CheckOutcome::Interrupted => {
+            CheckOutcome::Interrupted | CheckOutcome::Errored => {
                 return report(
                     program,
                     assume_primary_verified && scenarios.is_empty(),
@@ -845,7 +903,7 @@ fn run_sequential(ctx: &Ctx<'_>, program: &mut Program) -> bool {
                 let ok = match outcome {
                     CheckOutcome::Verified => true,
                     CheckOutcome::Refuted { .. } => false,
-                    CheckOutcome::Interrupted => {
+                    CheckOutcome::Interrupted | CheckOutcome::Errored => {
                         program.set_mode(ModeRef(i as u32), current);
                         return true;
                     }
@@ -913,11 +971,9 @@ pub fn enumerate_maximal(
     prog: &Program,
     config: &OptimizerConfig,
 ) -> (Vec<String>, Vec<Vec<Mode>>) {
-    let relaxable: Vec<usize> = (0..prog.sites().len())
-        .filter(|&i| prog.sites()[i].relaxable)
-        .collect();
-    let names: Vec<String> =
-        relaxable.iter().map(|&i| prog.sites()[i].name.clone()).collect();
+    let relaxable: Vec<usize> =
+        (0..prog.sites().len()).filter(|&i| prog.sites()[i].relaxable).collect();
+    let names: Vec<String> = relaxable.iter().map(|&i| prog.sites()[i].name.clone()).collect();
     // Candidate modes per site, weakest first.
     let candidates: Vec<Vec<Mode>> = relaxable
         .iter()
@@ -942,8 +998,7 @@ pub fn enumerate_maximal(
         if config.is_cancelled() {
             return (names, minimal_of(&verified));
         }
-        let modes: Vec<Mode> =
-            assignment.iter().zip(&candidates).map(|(&c, cs)| cs[c]).collect();
+        let modes: Vec<Mode> = assignment.iter().zip(&candidates).map(|(&c, cs)| cs[c]).collect();
         for (&site, &mode) in relaxable.iter().zip(&modes) {
             program.set_mode(ModeRef(site as u32), mode);
         }
@@ -1041,11 +1096,9 @@ mod tests {
 
     #[test]
     fn optimizes_mp_to_release_acquire() {
-        for strategy in [
-            OptimizeStrategy::Sequential,
-            OptimizeStrategy::Parallel,
-            OptimizeStrategy::Adaptive,
-        ] {
+        for strategy in
+            [OptimizeStrategy::Sequential, OptimizeStrategy::Parallel, OptimizeStrategy::Adaptive]
+        {
             let report = optimize(&mp_all_sc(), &cfg_with(strategy));
             assert!(report.verified, "{strategy}");
             assert_eq!(report.strategy, strategy);
@@ -1066,22 +1119,16 @@ mod tests {
 
     #[test]
     fn accepted_steps_replay_to_the_final_assignment() {
-        for strategy in [
-            OptimizeStrategy::Sequential,
-            OptimizeStrategy::Parallel,
-            OptimizeStrategy::Adaptive,
-        ] {
+        for strategy in
+            [OptimizeStrategy::Sequential, OptimizeStrategy::Parallel, OptimizeStrategy::Adaptive]
+        {
             let base = mp_all_sc();
             let report = optimize(&base, &cfg_with(strategy));
             let mut replayed = base.clone();
             for step in report.steps.iter().filter(|s| s.accepted) {
                 replayed.set_mode(ModeRef(step.site), step.to);
             }
-            assert_eq!(
-                replayed.site_modes(),
-                report.program.site_modes(),
-                "{strategy}"
-            );
+            assert_eq!(replayed.site_modes(), report.program.site_modes(), "{strategy}");
         }
     }
 

@@ -32,7 +32,7 @@
 //! [`CancelToken::child`]: crate::session::CancelToken::child
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use vsync_graph::Mode;
 use vsync_lang::Program;
@@ -40,6 +40,12 @@ use vsync_lang::Program;
 use crate::session::CancelToken;
 
 use super::{CheckOutcome, Ctx, OptimizationStep, OptimizePhase};
+
+/// Lock with poison recovery: probe panics are already isolated inside
+/// `check_single`, so a poisoned status table is still consistent.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Screening status of one (site, candidate-rank) pair.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,7 +157,7 @@ pub(crate) fn run_pass(ctx: &Ctx<'_>, acc: &mut Program, pass: usize) -> PassRes
             match ctx.check_candidate(&base.with_patch(&patch), ctx.pool_size(), None) {
                 CheckOutcome::Verified => true,
                 CheckOutcome::Refuted { .. } => false,
-                CheckOutcome::Interrupted => {
+                CheckOutcome::Interrupted | CheckOutcome::Errored => {
                     return PassResult { changed: false, interrupted: true }
                 }
             }
@@ -213,7 +219,7 @@ fn fallback(
                         OptimizationStep { site: s.site, from: s.from, to: mode, accepted: false },
                     );
                 }
-                CheckOutcome::Interrupted => {
+                CheckOutcome::Interrupted | CheckOutcome::Errored => {
                     return PassResult { changed, interrupted: true };
                 }
             }
@@ -232,10 +238,8 @@ fn screen(
     tasks: &[(usize, usize)],
     pass: usize,
 ) -> Option<Vec<Vec<TaskStatus>>> {
-    let tokens: Vec<Vec<CancelToken>> = sites
-        .iter()
-        .map(|s| (0..s.cands.len()).map(|_| ctx.task_token()).collect())
-        .collect();
+    let tokens: Vec<Vec<CancelToken>> =
+        sites.iter().map(|s| (0..s.cands.len()).map(|_| ctx.task_token()).collect()).collect();
     let state = Mutex::new(statuses);
     let next = AtomicUsize::new(0);
     let aborted = AtomicBool::new(false);
@@ -244,9 +248,8 @@ fn screen(
     // slots take the remainder): wide pools run single-worker
     // explorations, while a pass with only a couple of leftover
     // candidates still uses the full width.
-    let slot_width = |slot: usize| {
-        (ctx.pool_size() / pool + usize::from(slot < ctx.pool_size() % pool)).max(1)
-    };
+    let slot_width =
+        |slot: usize| (ctx.pool_size() / pool + usize::from(slot < ctx.pool_size() % pool)).max(1);
 
     let cancel_all = || {
         for site_tokens in &tokens {
@@ -262,12 +265,13 @@ fn screen(
                 break;
             }
             let i = next.fetch_add(1, Ordering::Relaxed);
-            let Some(&(slot, rank)) = tasks.get(i) else { break };
+            let Some(&(slot, rank)) = tasks.get(i) else {
+                break;
+            };
             let token = &tokens[slot][rank];
             {
-                let mut st = state.lock().unwrap();
-                if token.is_cancelled_locally()
-                    || st[slot][..rank].contains(&TaskStatus::Verified)
+                let mut st = relock(&state);
+                if token.is_cancelled_locally() || st[slot][..rank].contains(&TaskStatus::Verified)
                 {
                     st[slot][rank] = TaskStatus::Skipped;
                     continue;
@@ -281,13 +285,13 @@ fn screen(
             let s = &sites[slot];
             match ctx.check_single(base, s.site, s.cands[rank], explore_workers, Some(token)) {
                 CheckOutcome::Verified => {
-                    state.lock().unwrap()[slot][rank] = TaskStatus::Verified;
+                    relock(&state)[slot][rank] = TaskStatus::Verified;
                     for loser in &tokens[slot][rank + 1..] {
                         loser.cancel();
                     }
                 }
                 CheckOutcome::Refuted { monotone } => {
-                    state.lock().unwrap()[slot][rank] =
+                    relock(&state)[slot][rank] =
                         if monotone { TaskStatus::Refuted } else { TaskStatus::Rejected };
                     if monotone {
                         ctx.record(
@@ -305,12 +309,20 @@ fn screen(
                 CheckOutcome::Interrupted => {
                     if token.is_cancelled_locally() && !ctx.interrupt_requested() {
                         // A cancelled loser, not a session interrupt.
-                        state.lock().unwrap()[slot][rank] = TaskStatus::Skipped;
+                        relock(&state)[slot][rank] = TaskStatus::Skipped;
                     } else {
                         aborted.store(true, Ordering::Relaxed);
                         cancel_all();
                         break;
                     }
+                }
+                CheckOutcome::Errored => {
+                    // A caught probe panic: the candidate is undecided and
+                    // the error is recorded in the shared state — wind the
+                    // whole pass down like a session interrupt.
+                    aborted.store(true, Ordering::Relaxed);
+                    cancel_all();
+                    break;
                 }
             }
         }
@@ -324,12 +336,18 @@ fn screen(
             })
             .collect();
         for h in handles {
-            h.join().expect("screening worker panicked");
+            // Probe panics are caught inside `check_single`; anything
+            // that still unwinds a worker aborts the pass instead of
+            // tearing down the engine.
+            if h.join().is_err() {
+                aborted.store(true, Ordering::Relaxed);
+                cancel_all();
+            }
         }
     });
 
     if aborted.load(Ordering::Relaxed) {
         return None;
     }
-    Some(state.into_inner().unwrap())
+    Some(state.into_inner().unwrap_or_else(|e| e.into_inner()))
 }

@@ -27,12 +27,15 @@
 //!
 //! [`Session::run`] explores the program once per model in the matrix
 //! (in order, deduplicated), then — if requested — optimizes under each
-//! verified model. Cancellation and deadlines are *cooperative*: every
-//! exploration worker re-checks the token on each popped work item and
-//! the deadline every few dozen items, so an interrupt surfaces as a
-//! [`Verdict::Interrupted`] within microseconds, never mid-graph. The
-//! legacy free functions ([`crate::verify`], [`crate::explore`],
-//! [`crate::optimize`]) remain as thin wrappers over the same engine.
+//! verified model. Cancellation, deadlines and resource budgets are
+//! *cooperative*: every exploration worker re-checks the token on each
+//! popped work item and the deadline every few dozen items, so an
+//! interrupt surfaces as a [`Verdict::Inconclusive`] (with a
+//! [`crate::StopReason`] and partial counters) within microseconds,
+//! never mid-graph. A worker panic is caught per work item and surfaces
+//! as [`Verdict::Error`] with the failing phase. The legacy free
+//! functions ([`crate::verify`], [`crate::explore`], [`crate::optimize`])
+//! remain as thin wrappers over the same engine.
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -78,7 +81,7 @@ impl CancelToken {
 
     /// Fire the token: every run sharing it (and every descendant token)
     /// winds down at its next cancellation point and reports
-    /// [`Verdict::Interrupted`].
+    /// [`Verdict::Inconclusive`] with [`crate::StopReason::Cancelled`].
     pub fn cancel(&self) {
         self.flag.store(true, Ordering::Release);
     }
@@ -204,12 +207,23 @@ impl Report {
         self.models.iter().all(|m| m.verdict.is_verified())
     }
 
-    /// Was any run cut short by cancellation or a deadline?
+    /// Was any run cut short by cancellation, a deadline or a resource
+    /// budget (i.e. is any verdict [`Verdict::Inconclusive`])?
     #[must_use]
     pub fn is_interrupted(&self) -> bool {
         self.models.iter().any(|m| {
-            matches!(m.verdict, Verdict::Interrupted(_))
+            matches!(m.verdict, Verdict::Inconclusive(_))
                 || m.optimization.as_ref().is_some_and(|o| o.interrupted)
+        })
+    }
+
+    /// Did any run die to a caught engine panic (i.e. is any verdict
+    /// [`Verdict::Error`])?
+    #[must_use]
+    pub fn is_errored(&self) -> bool {
+        self.models.iter().any(|m| {
+            matches!(m.verdict, Verdict::Error(_))
+                || m.optimization.as_ref().is_some_and(|o| o.error.is_some())
         })
     }
 
@@ -237,7 +251,8 @@ impl Report {
         let mut out = String::new();
         let _ = writeln!(out, "{}: {} ({:.1?})", self.program, self.summary_word(), self.elapsed);
         for m in &self.models {
-            let _ = writeln!(out, "  {:<4} {} [{}] ({:.1?})", m.model, m.verdict, m.stats, m.elapsed);
+            let _ =
+                writeln!(out, "  {:<4} {} [{}] ({:.1?})", m.model, m.verdict, m.stats, m.elapsed);
             if let Some(o) = &m.optimization {
                 let _ = write!(out, "{}", indent(&o.render(), "  "));
             }
@@ -251,8 +266,10 @@ impl Report {
     fn summary_word(&self) -> &'static str {
         if self.is_verified() {
             "verified"
+        } else if self.is_errored() {
+            "engine error"
         } else if self.is_interrupted() {
-            "interrupted"
+            "inconclusive"
         } else {
             "NOT verified"
         }
@@ -265,20 +282,25 @@ impl Report {
     ///
     /// ```text
     /// {"program", "verified", "interrupted", "elapsed_ms", "models": [
-    ///    {"model", "verdict", "message", "counterexample", "elapsed_ms",
+    ///    {"model", "verdict", "stop_reason", "message", "counterexample",
+    ///     "elapsed_ms",
     ///     "stats": {popped, pushed, duplicates, symmetry_pruned,
     ///               inconsistent, wasteful, revisits, complete_executions,
-    ///               blocked_graphs, events},
-    ///     "optimization": null | {"verified", "interrupted", "strategy",
-    ///        "verifications", "explorations", "explored_graphs",
-    ///        "cache_hits", "elapsed_ms", "before", "after",
-    ///        "steps": [{"site", "from", "to", "accepted"}]}}]}
+    ///               blocked_graphs, events, frontier_dropped},
+    ///     "optimization": null | {"verified", "interrupted", "error",
+    ///        "strategy", "verifications", "explorations",
+    ///        "explored_graphs", "cache_hits", "elapsed_ms", "before",
+    ///        "after", "steps": [{"site", "from", "to", "accepted"}]}}]}
     /// ```
     ///
     /// `verdict` is one of `"verified"`, `"safety"`, `"await_termination"`,
-    /// `"fault"`, `"interrupted"`; `message` carries the failure or
-    /// interrupt description (`null` when verified) and `counterexample`
-    /// the rendered witness graph (`null` unless a violation was found).
+    /// `"fault"`, `"inconclusive"`, `"error"`; `stop_reason` is `null`
+    /// unless the verdict is inconclusive, in which case it is one of
+    /// `"cancelled"`, `"deadline"`, `"max_graphs"`, `"memory_budget"`,
+    /// `"dedup_budget"`; `message` carries the failure, interrupt or
+    /// engine-error description (`null` when verified) and
+    /// `counterexample` the rendered witness graph (`null` unless a
+    /// violation was found).
     #[must_use]
     pub fn to_json(&self) -> String {
         use fmt::Write as _;
@@ -297,9 +319,12 @@ impl Report {
             }
             let _ = write!(
                 out,
-                "{{\"model\": {}, \"verdict\": {}, \"message\": {}, \"counterexample\": {}, \"elapsed_ms\": {:.3}, \"stats\": {}, \"optimization\": {}}}",
+                "{{\"model\": {}, \"verdict\": {}, \"stop_reason\": {}, \"message\": {}, \"counterexample\": {}, \"elapsed_ms\": {:.3}, \"stats\": {}, \"optimization\": {}}}",
                 json_str(&m.model.to_string()),
                 json_str(verdict_kind(&m.verdict)),
+                m.verdict
+                    .stop_reason()
+                    .map_or("null".to_owned(), |r| json_str(r.key())),
                 verdict_message(&m.verdict),
                 m.verdict
                     .counterexample()
@@ -321,7 +346,8 @@ pub(crate) fn verdict_kind(v: &Verdict) -> &'static str {
         Verdict::Safety(_) => "safety",
         Verdict::AwaitTermination(_) => "await_termination",
         Verdict::Fault(_) => "fault",
-        Verdict::Interrupted(_) => "interrupted",
+        Verdict::Inconclusive(_) => "inconclusive",
+        Verdict::Error(_) => "error",
     }
 }
 
@@ -330,7 +356,8 @@ fn verdict_message(v: &Verdict) -> String {
         Verdict::Verified => "null".to_owned(),
         Verdict::Safety(ce) | Verdict::AwaitTermination(ce) => json_str(&ce.message),
         Verdict::Fault(m) => json_str(m),
-        Verdict::Interrupted(i) => json_str(&i.to_string()),
+        Verdict::Inconclusive(i) => json_str(&i.to_string()),
+        Verdict::Error(e) => json_str(&e.to_string()),
     }
 }
 
@@ -338,7 +365,8 @@ fn stats_json(s: &ExploreStats) -> String {
     format!(
         "{{\"popped\": {}, \"pushed\": {}, \"duplicates\": {}, \"symmetry_pruned\": {}, \
          \"inconsistent\": {}, \"wasteful\": {}, \"revisits\": {}, \
-         \"complete_executions\": {}, \"blocked_graphs\": {}, \"events\": {}}}",
+         \"complete_executions\": {}, \"blocked_graphs\": {}, \"events\": {}, \
+         \"frontier_dropped\": {}}}",
         s.popped,
         s.pushed,
         s.duplicates,
@@ -348,7 +376,8 @@ fn stats_json(s: &ExploreStats) -> String {
         s.revisits,
         s.complete_executions,
         s.blocked_graphs,
-        s.events
+        s.events,
+        s.frontier_dropped
     )
 }
 
@@ -364,11 +393,12 @@ fn optimization_json(o: &OptimizationReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "{{\"verified\": {}, \"interrupted\": {}, \"strategy\": {}, \"verifications\": {}, \
-         \"explorations\": {}, \"explored_graphs\": {}, \"cache_hits\": {}, \
-         \"elapsed_ms\": {:.3}, \"before\": {}, \"after\": {}, \"steps\": [",
+        "{{\"verified\": {}, \"interrupted\": {}, \"error\": {}, \"strategy\": {}, \
+         \"verifications\": {}, \"explorations\": {}, \"explored_graphs\": {}, \
+         \"cache_hits\": {}, \"elapsed_ms\": {:.3}, \"before\": {}, \"after\": {}, \"steps\": [",
         o.verified,
         o.interrupted,
+        o.error.as_ref().map_or("null".to_owned(), |e| json_str(&e.to_string())),
         json_str(&o.strategy.to_string()),
         o.verifications,
         o.explorations,
@@ -509,10 +539,9 @@ impl Session {
     pub fn from_path(path: impl AsRef<std::path::Path>) -> Result<Session, crate::SourceError> {
         let path = path.as_ref();
         let label = path.display().to_string();
-        let source = std::fs::read_to_string(path)
-            .map_err(|e| crate::SourceError::Io(label.clone(), e))?;
-        Session::from_source(&source)
-            .map_err(|d| crate::SourceError::Parse(d.with_file(label)))
+        let source =
+            std::fs::read_to_string(path).map_err(|e| crate::SourceError::Io(label.clone(), e))?;
+        Session::from_source(&source).map_err(|d| crate::SourceError::Parse(d.with_file(label)))
     }
 
     /// Check against a single memory model.
@@ -564,17 +593,37 @@ impl Session {
 
     /// Wall-clock budget for the whole session (all models and the
     /// optimization phase together). When it expires, the current
-    /// exploration returns [`Verdict::Interrupted`] and the remaining
-    /// matrix entries are reported as interrupted without running.
+    /// exploration returns [`Verdict::Inconclusive`] with
+    /// [`crate::StopReason::DeadlineExceeded`] and the remaining matrix
+    /// entries are reported as inconclusive without running.
     pub fn deadline(mut self, budget: Duration) -> Session {
         self.deadline = Some(budget);
         self
     }
 
     /// Hard cap on popped work items per exploration (0 = unlimited);
-    /// exceeding it is a [`Verdict::Fault`].
+    /// exceeding it yields [`Verdict::Inconclusive`] with
+    /// [`crate::StopReason::MaxGraphs`] and partial counters.
     pub fn max_graphs(mut self, max_graphs: u64) -> Session {
         self.config.max_graphs = max_graphs;
+        self
+    }
+
+    /// Approximate heap budget for one exploration, in bytes (0 =
+    /// unlimited). Covers the live work frontier and the dedup table;
+    /// exhaustion degrades the run to [`Verdict::Inconclusive`] with
+    /// [`crate::StopReason::MemoryBudget`] instead of aborting the
+    /// process.
+    pub fn max_memory_bytes(mut self, bytes: u64) -> Session {
+        self.config.budget.max_memory_bytes = bytes;
+        self
+    }
+
+    /// Hard cap on dedup-table entries per exploration (0 = unlimited);
+    /// exhaustion degrades the run to [`Verdict::Inconclusive`] with
+    /// [`crate::StopReason::DedupBudget`].
+    pub fn max_dedup_entries(mut self, entries: u64) -> Session {
+        self.config.budget.max_dedup_entries = entries;
         self
     }
 
@@ -723,7 +772,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::verdict::Interrupt;
+    use crate::verdict::{Inconclusive, StopReason};
     use vsync_graph::Mode;
     use vsync_lang::{ProgramBuilder, Reg};
 
@@ -740,9 +789,8 @@ mod tests {
 
     #[test]
     fn session_matrix_dedups_and_orders() {
-        let report = Session::new(handshake())
-            .models([ModelKind::Tso, ModelKind::Sc, ModelKind::Tso])
-            .run();
+        let report =
+            Session::new(handshake()).models([ModelKind::Tso, ModelKind::Sc, ModelKind::Tso]).run();
         let kinds: Vec<ModelKind> = report.models.iter().map(|m| m.model).collect();
         assert_eq!(kinds, vec![ModelKind::Tso, ModelKind::Sc]);
         assert!(report.is_verified());
@@ -750,10 +798,7 @@ mod tests {
         assert!(report.for_model(ModelKind::Sc).is_some());
         assert!(report.for_model(ModelKind::Vmm).is_none());
         let merged = report.merged_stats();
-        assert_eq!(
-            merged.popped,
-            report.models.iter().map(|m| m.stats.popped).sum::<u64>()
-        );
+        assert_eq!(merged.popped, report.models.iter().map(|m| m.stats.popped).sum::<u64>());
     }
 
     #[test]
@@ -764,7 +809,7 @@ mod tests {
         assert!(report.is_interrupted());
         assert!(matches!(
             report.models[0].verdict,
-            Verdict::Interrupted(Interrupt::Cancelled)
+            Verdict::Inconclusive(Inconclusive { reason: StopReason::Cancelled, .. })
         ));
         // No work item was processed.
         assert_eq!(report.models[0].stats.popped, 0);
@@ -772,9 +817,7 @@ mod tests {
 
     #[test]
     fn empty_model_matrix_is_refused() {
-        let report = Session::new(handshake())
-            .models(std::iter::empty::<ModelKind>())
-            .run();
+        let report = Session::new(handshake()).models(std::iter::empty::<ModelKind>()).run();
         assert_eq!(report.models.len(), 1, "default matrix kept");
         assert_eq!(report.models[0].model, ModelKind::Vmm);
     }

@@ -5,6 +5,30 @@ use std::fmt;
 use vsync_graph::ExecutionGraph;
 use vsync_model::{CheckerKind, ModelKind};
 
+/// Resource ceilings for a single exploration, with graceful degradation:
+/// exhausting a budget downgrades the run to
+/// [`Verdict::Inconclusive`] carrying partial stats instead of aborting
+/// the process. A value of `0` means unlimited.
+///
+/// Memory is tracked by byte-accounting on the two unbounded structures:
+/// the frontier of queued execution graphs (estimated via
+/// [`ExecutionGraph::approx_heap_bytes`]) and the sharded dedup set
+/// (a fixed per-entry cost).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Approximate heap ceiling in bytes for frontier + dedup (0 = unlimited).
+    pub max_memory_bytes: u64,
+    /// Ceiling on dedup-set entries across all shards (0 = unlimited).
+    pub max_dedup_entries: u64,
+}
+
+impl ResourceBudget {
+    /// Is any ceiling configured?
+    pub fn is_limited(&self) -> bool {
+        self.max_memory_bytes != 0 || self.max_dedup_entries != 0
+    }
+}
+
 /// Configuration of an AMC run.
 #[derive(Debug, Clone)]
 pub struct AmcConfig {
@@ -12,7 +36,8 @@ pub struct AmcConfig {
     pub model: ModelKind,
     /// Hard cap on events per thread (Bounded-Length safety net).
     pub max_events_per_thread: usize,
-    /// Hard cap on popped work items (0 = unlimited).
+    /// Hard cap on popped work items (0 = unlimited). Exceeding it stops
+    /// the run with [`Verdict::Inconclusive`] ([`StopReason::MaxGraphs`]).
     pub max_graphs: u64,
     /// Per-thread replay step budget.
     pub step_budget: usize,
@@ -42,6 +67,9 @@ pub struct AmcConfig {
     /// Consistency-check implementation: the closure-free fast path
     /// (default) or the naive closure-based reference formulation.
     pub checker: CheckerKind,
+    /// Memory / dedup ceilings with graceful degradation (default:
+    /// unlimited).
+    pub budget: ResourceBudget,
 }
 
 impl Default for AmcConfig {
@@ -56,6 +84,7 @@ impl Default for AmcConfig {
             collect_executions: false,
             workers: 1,
             checker: CheckerKind::Fast,
+            budget: ResourceBudget::default(),
         }
     }
 }
@@ -85,6 +114,20 @@ impl AmcConfig {
     #[must_use = "builder methods return the modified config"]
     pub fn with_max_graphs(mut self, max_graphs: u64) -> Self {
         self.max_graphs = max_graphs;
+        self
+    }
+
+    /// Builder-style: approximate heap ceiling in bytes (0 = unlimited).
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_max_memory_bytes(mut self, bytes: u64) -> Self {
+        self.budget.max_memory_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: dedup-entry ceiling (0 = unlimited).
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_max_dedup_entries(mut self, entries: u64) -> Self {
+        self.budget.max_dedup_entries = entries;
         self
     }
 
@@ -147,6 +190,9 @@ pub struct ExploreStats {
     pub blocked_graphs: u64,
     /// Total events across all popped graphs (throughput accounting).
     pub events: u64,
+    /// Frontier work items abandoned unexplored when a budget or cap
+    /// stopped the run early (always 0 for completed runs).
+    pub frontier_dropped: u64,
 }
 
 impl ExploreStats {
@@ -162,6 +208,7 @@ impl ExploreStats {
         self.complete_executions += other.complete_executions;
         self.blocked_graphs += other.blocked_graphs;
         self.events += other.events;
+        self.frontier_dropped += other.frontier_dropped;
     }
 }
 
@@ -180,7 +227,11 @@ impl fmt::Display for ExploreStats {
             self.wasteful,
             self.revisits,
             self.blocked_graphs
-        )
+        )?;
+        if self.frontier_dropped > 0 {
+            write!(f, " [{} frontier items dropped]", self.frontier_dropped)?;
+        }
+        Ok(())
     }
 }
 
@@ -201,21 +252,141 @@ impl fmt::Display for Counterexample {
     }
 }
 
-/// Why a run stopped before reaching a real verdict.
+/// Why a run stopped before the search space was exhausted. Unifies the
+/// external interruptions (cancellation, deadline) with the internal
+/// exploration caps (work-item cap, memory / dedup budgets): all of them
+/// produce [`Verdict::Inconclusive`] with the same partial-stats shape.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Interrupt {
+pub enum StopReason {
     /// A shared [`crate::CancelToken`] was fired.
     Cancelled,
     /// The session's wall-clock deadline expired.
     DeadlineExceeded,
+    /// [`AmcConfig::max_graphs`] popped work items were exceeded.
+    MaxGraphs,
+    /// The [`ResourceBudget::max_memory_bytes`] ceiling was reached.
+    MemoryBudget,
+    /// The [`ResourceBudget::max_dedup_entries`] ceiling was reached.
+    DedupBudget,
 }
 
-impl fmt::Display for Interrupt {
+impl StopReason {
+    /// Stable machine-readable identifier (used in JSON reports).
+    pub fn key(&self) -> &'static str {
+        match self {
+            StopReason::Cancelled => "cancelled",
+            StopReason::DeadlineExceeded => "deadline",
+            StopReason::MaxGraphs => "max_graphs",
+            StopReason::MemoryBudget => "memory_budget",
+            StopReason::DedupBudget => "dedup_budget",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Interrupt::Cancelled => f.write_str("cancelled"),
-            Interrupt::DeadlineExceeded => f.write_str("deadline exceeded"),
+            StopReason::Cancelled => f.write_str("cancelled"),
+            StopReason::DeadlineExceeded => f.write_str("deadline exceeded"),
+            StopReason::MaxGraphs => f.write_str("work-item cap exceeded"),
+            StopReason::MemoryBudget => f.write_str("memory budget exhausted"),
+            StopReason::DedupBudget => f.write_str("dedup budget exhausted"),
         }
+    }
+}
+
+/// Partial-search payload of [`Verdict::Inconclusive`]: why the run
+/// stopped and how much of the space was covered before it did. A
+/// degraded run is *sound but incomplete* — it never claims `Verified`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inconclusive {
+    /// What cut the run short.
+    pub reason: StopReason,
+    /// Work items fully processed before the stop.
+    pub explored: u64,
+    /// Queued work items abandoned unexplored at the stop.
+    pub frontier_dropped: u64,
+}
+
+impl fmt::Display for Inconclusive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} after {} explored graphs ({} frontier items dropped)",
+            self.reason, self.explored, self.frontier_dropped
+        )
+    }
+}
+
+/// Engine phase in which a caught panic occurred (carried by
+/// [`EngineError`] so fault reports localize the failure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnginePhase {
+    /// Replaying a program prefix over an execution graph.
+    Replay,
+    /// Probing / inserting into the sharded dedup set.
+    Dedup,
+    /// Running the memory-model consistency check.
+    Consistency,
+    /// Extending a graph with the next event (rf / mo / revisit branching).
+    Extend,
+    /// Evaluating final-state checks on a complete execution.
+    FinalCheck,
+    /// The stagnancy analysis on a blocked graph.
+    Stagnancy,
+    /// The exploration driver outside any per-graph stage.
+    Driver,
+    /// An optimizer probe (candidate verification / witness replay).
+    Optimize,
+    /// Corpus-runner bookkeeping around a file check.
+    Corpus,
+}
+
+impl EnginePhase {
+    /// Stable machine-readable identifier (used in JSON reports).
+    pub fn key(&self) -> &'static str {
+        match self {
+            EnginePhase::Replay => "replay",
+            EnginePhase::Dedup => "dedup",
+            EnginePhase::Consistency => "consistency",
+            EnginePhase::Extend => "extend",
+            EnginePhase::FinalCheck => "final_check",
+            EnginePhase::Stagnancy => "stagnancy",
+            EnginePhase::Driver => "driver",
+            EnginePhase::Optimize => "optimize",
+            EnginePhase::Corpus => "corpus",
+        }
+    }
+}
+
+impl fmt::Display for EnginePhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+/// A structured record of a panic caught inside the engine. The run that
+/// produced it terminates with [`Verdict::Error`] instead of aborting the
+/// process; sibling workers drain the abandoned queue share and exit
+/// cleanly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineError {
+    /// The stage the panicking code was executing.
+    pub phase: EnginePhase,
+    /// Index of the worker thread that panicked (`None` for the
+    /// sequential driver or phases without a worker identity).
+    pub thread: Option<usize>,
+    /// The panic payload, downcast to a string where possible.
+    pub payload: String,
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "panic in {} phase", self.phase)?;
+        if let Some(t) = self.thread {
+            write!(f, " (worker {t})")?;
+        }
+        write!(f, ": {}", self.payload)
     }
 }
 
@@ -230,11 +401,16 @@ pub enum Verdict {
     /// An await-termination violation (paper Def. 1): a stagnant graph.
     AwaitTermination(Counterexample),
     /// The program broke a modeling obligation (Bounded-Length /
-    /// Bounded-Effect principles) or an exploration budget.
+    /// Bounded-Effect principles).
     Fault(String),
-    /// The run was cut short — by a [`crate::CancelToken`] or a deadline —
-    /// before exploration finished. Not a statement about the program.
-    Interrupted(Interrupt),
+    /// The run was cut short — by cancellation, a deadline, or a resource
+    /// budget — before exploration finished. Not a statement about the
+    /// program: the explored prefix contained no violation, but the rest
+    /// of the space was never searched.
+    Inconclusive(Inconclusive),
+    /// The engine itself failed: a panic was caught inside a worker or
+    /// probe. The run terminated cleanly but its result means nothing.
+    Error(EngineError),
 }
 
 impl Verdict {
@@ -250,6 +426,22 @@ impl Verdict {
             _ => None,
         }
     }
+
+    /// The stop reason, for inconclusive verdicts.
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        match self {
+            Verdict::Inconclusive(i) => Some(i.reason),
+            _ => None,
+        }
+    }
+
+    /// The caught engine failure, for error verdicts.
+    pub fn engine_error(&self) -> Option<&EngineError> {
+        match self {
+            Verdict::Error(e) => Some(e),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for Verdict {
@@ -261,7 +453,8 @@ impl fmt::Display for Verdict {
                 write!(f, "await-termination violation: {}", c.message)
             }
             Verdict::Fault(m) => write!(f, "fault: {m}"),
-            Verdict::Interrupted(i) => write!(f, "interrupted: {i}"),
+            Verdict::Inconclusive(i) => write!(f, "inconclusive: {i}"),
+            Verdict::Error(e) => write!(f, "engine error: {e}"),
         }
     }
 }
@@ -297,9 +490,13 @@ mod tests {
         assert!(c.dedup);
         assert!(c.symmetry);
         assert!(!c.collect_executions);
+        assert!(!c.budget.is_limited());
         assert!(AmcConfig::default().collecting().collect_executions);
         assert!(!AmcConfig::default().without_symmetry().symmetry);
         assert!(AmcConfig::default().with_symmetry(false).with_symmetry(true).symmetry);
+        let b = AmcConfig::default().with_max_memory_bytes(1 << 20).with_max_dedup_entries(7);
+        assert_eq!(b.budget, ResourceBudget { max_memory_bytes: 1 << 20, max_dedup_entries: 7 });
+        assert!(b.budget.is_limited());
     }
 
     #[test]
@@ -317,10 +514,53 @@ mod tests {
     }
 
     #[test]
+    fn inconclusive_and_error_verdicts_carry_structured_payloads() {
+        let v = Verdict::Inconclusive(Inconclusive {
+            reason: StopReason::MemoryBudget,
+            explored: 42,
+            frontier_dropped: 7,
+        });
+        assert!(!v.is_verified());
+        assert_eq!(v.stop_reason(), Some(StopReason::MemoryBudget));
+        let d = v.to_string();
+        assert!(d.contains("inconclusive"), "{d}");
+        assert!(d.contains("memory budget"), "{d}");
+        assert!(d.contains("42 explored"), "{d}");
+
+        let e = Verdict::Error(EngineError {
+            phase: EnginePhase::Replay,
+            thread: Some(3),
+            payload: "boom".into(),
+        });
+        assert!(!e.is_verified());
+        assert_eq!(e.engine_error().unwrap().phase, EnginePhase::Replay);
+        let d = e.to_string();
+        assert!(d.contains("engine error"), "{d}");
+        assert!(d.contains("replay"), "{d}");
+        assert!(d.contains("worker 3"), "{d}");
+    }
+
+    #[test]
+    fn stop_reason_keys_are_stable() {
+        for (r, k) in [
+            (StopReason::Cancelled, "cancelled"),
+            (StopReason::DeadlineExceeded, "deadline"),
+            (StopReason::MaxGraphs, "max_graphs"),
+            (StopReason::MemoryBudget, "memory_budget"),
+            (StopReason::DedupBudget, "dedup_budget"),
+        ] {
+            assert_eq!(r.key(), k);
+        }
+    }
+
+    #[test]
     fn stats_display_mentions_counters() {
         let s = ExploreStats { popped: 3, complete_executions: 2, ..Default::default() };
         let d = s.to_string();
         assert!(d.contains("2 executions"));
         assert!(d.contains("3 popped"));
+        assert!(!d.contains("dropped"));
+        let s = ExploreStats { frontier_dropped: 5, ..s };
+        assert!(s.to_string().contains("5 frontier items dropped"));
     }
 }

@@ -247,6 +247,24 @@ impl Parser {
                 return Err(self.diag("final-state checks apply to memory locations, not registers", span));
             }
             let test = self.test()?;
+            // Final checks are evaluated on the final *memory* state alone —
+            // thread registers are gone — so the comparison operands must be
+            // immediates. Rejecting registers here gives a span; lowering has
+            // no better one.
+            if let OperandAst::Reg(_, span) = test.rhs {
+                return Err(self.diag(
+                    "final-state checks compare memory against immediates; \
+                     registers have no value in the final state",
+                    span,
+                ));
+            }
+            if let Some(OperandAst::Reg(_, span)) = test.mask {
+                return Err(self.diag(
+                    "final-state check masks must be immediates; \
+                     registers have no value in the final state",
+                    span,
+                ));
+            }
             let msg = if self.eat(&Tok::Colon) {
                 Some(self.expect_string("the failure message")?.0)
             } else {

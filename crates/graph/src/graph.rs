@@ -62,6 +62,23 @@ impl ExecutionGraph {
         self.threads[thread as usize].len()
     }
 
+    /// Approximate heap footprint of this graph in bytes, for resource
+    /// budgeting. Counts every thread's event list at full size even
+    /// though copy-on-write clones share unmodified threads, so summing
+    /// over a frontier of sibling graphs over-estimates — budgets degrade
+    /// early rather than late. The shared init table is not counted.
+    pub fn approx_heap_bytes(&self) -> usize {
+        let events: usize = self.threads.iter().map(|t| t.len()).sum();
+        let mo_entries: usize = self.mo.values().map(Vec::len).sum();
+        // Rough BTreeMap node overhead per mo location.
+        const MO_NODE_BYTES: usize = 48;
+        std::mem::size_of::<Self>()
+            + self.threads.len() * std::mem::size_of::<Arc<Vec<Event>>>()
+            + events * std::mem::size_of::<Event>()
+            + mo_entries * std::mem::size_of::<EventId>()
+            + self.mo.len() * MO_NODE_BYTES
+    }
+
     /// The events of one thread in program order.
     pub fn thread_events(&self, thread: ThreadId) -> &[Event] {
         &self.threads[thread as usize]

@@ -125,6 +125,14 @@ pub enum ProgramError {
         /// The invalid mode.
         mode: Mode,
     },
+    /// A final-state check uses a register operand. Final checks are
+    /// evaluated on the final memory state alone — there is no thread
+    /// whose register file could supply a value — so both the comparison
+    /// operand and the optional mask must be immediates.
+    FinalCheckOperand {
+        /// The failing check's message/label.
+        check: String,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -141,6 +149,13 @@ impl fmt::Display for ProgramError {
             }
             ProgramError::InvalidMode { site, mode } => {
                 write!(f, "site {site}: mode {mode} invalid for its kind")
+            }
+            ProgramError::FinalCheckOperand { check } => {
+                write!(
+                    f,
+                    "final-state check '{check}' uses a register operand; \
+                     final checks must use immediate operands"
+                )
             }
         }
     }
@@ -493,6 +508,14 @@ impl Program {
                 return Err(ProgramError::InvalidMode { site: s.name.clone(), mode: s.mode });
             }
         }
+        // Final checks are evaluated without thread state, so register
+        // operands are meaningless there (unlike in ordinary tests).
+        for c in &self.final_checks {
+            let imm = |o: &Operand| matches!(o, Operand::Imm(_));
+            if !imm(&c.test.rhs) || c.test.mask.as_ref().map(|m| !imm(m)).unwrap_or(false) {
+                return Err(ProgramError::FinalCheckOperand { check: c.msg.clone() });
+            }
+        }
         Ok(())
     }
 
@@ -579,6 +602,29 @@ mod tests {
     fn validate_rejects_bad_mode_for_kind() {
         let p = one_site_program(Mode::Rel, SiteKind::Load);
         assert!(matches!(p.validate(), Err(ProgramError::InvalidMode { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_register_operands_in_final_checks() {
+        use crate::insn::{Cmp, Operand, Test};
+        let bad = |test: Test| {
+            Program::from_parts(
+                "p".into(),
+                vec![vec![Instr::Nop]],
+                vec![],
+                BTreeMap::new(),
+                vec![FinalCheck { loc: 1, test, msg: "bad".into() }],
+            )
+        };
+        let reg_rhs = Test { mask: None, cmp: Cmp::Eq, rhs: Operand::Reg(Reg(0)) };
+        let e = bad(reg_rhs).validate().unwrap_err();
+        assert!(matches!(&e, ProgramError::FinalCheckOperand { check } if check == "bad"));
+        assert!(e.to_string().contains("immediate operands"), "{e}");
+        let reg_mask =
+            Test { mask: Some(Operand::Reg(Reg(1))), cmp: Cmp::Eq, rhs: Operand::Imm(0) };
+        assert!(matches!(bad(reg_mask).validate(), Err(ProgramError::FinalCheckOperand { .. })));
+        let imm = Test { mask: Some(Operand::Imm(3)), cmp: Cmp::Eq, rhs: Operand::Imm(1) };
+        assert!(bad(imm).validate().is_ok());
     }
 
     #[test]

@@ -41,7 +41,12 @@ options:
   --models A,B     comma-separated model matrix (overrides --model)
   --workers N      worker threads: sizes each exploration and the
                    optimizer's candidate-screening pool (default 1)
-  --deadline-ms T  wall-clock budget; expiry reports `interrupted`
+  --deadline-ms T  wall-clock budget; expiry reports `inconclusive`
+  --max-memory-mb N  approximate heap budget per exploration (frontier +
+                   dedup table); exhaustion reports `inconclusive` with
+                   partial counters instead of aborting (default: unlimited)
+  --max-dedup N    cap on dedup-table entries per exploration; exhaustion
+                   reports `inconclusive` (default: unlimited)
   --no-symmetry    disable thread-symmetry reduction: explore every
                    relabeled twin of template-identical client threads
                    distinctly (naive reference counts; default prunes
@@ -54,7 +59,15 @@ options:
   --passes N       (optimize) cap optimization passes (default: fixpoint)
   --steps          (optimize) stream per-step relaxation events to stderr
   --enumerate      (optimize) list all maximally-relaxed assignments
-  --dot            (verify/bug) print counterexamples as Graphviz";
+  --dot            (verify/bug) print counterexamples as Graphviz
+
+exit codes:
+  0  verified / every expectation met
+  1  violation found or expectation mismatch
+  2  inconclusive: cancelled, deadline expired, or a resource budget
+     (--max-memory-mb / --max-dedup / max-graphs) was exhausted
+  3  engine error: a worker panicked (the panic was caught and reported)
+     or a corpus file was quarantined";
 
 struct Options {
     threads: usize,
@@ -66,6 +79,8 @@ struct Options {
     workers: usize,
     jobs: usize,
     deadline: Option<Duration>,
+    max_memory_mb: u64,
+    max_dedup: u64,
     json: bool,
     progress: bool,
     symmetry: bool,
@@ -87,6 +102,8 @@ impl Options {
             workers: 1,
             jobs: std::thread::available_parallelism().map_or(1, |n| n.get().min(8)),
             deadline: None,
+            max_memory_mb: 0,
+            max_dedup: 0,
             json: false,
             progress: false,
             symmetry: true,
@@ -101,16 +118,12 @@ impl Options {
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--threads" => {
-                    o.threads = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("--threads needs a number")?
+                    o.threads =
+                        it.next().and_then(|v| v.parse().ok()).ok_or("--threads needs a number")?
                 }
                 "--acquires" => {
-                    o.acquires = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("--acquires needs a number")?
+                    o.acquires =
+                        it.next().and_then(|v| v.parse().ok()).ok_or("--acquires needs a number")?
                 }
                 "--model" => {
                     let m = it.next().ok_or("--model needs sc|tso|vmm")?;
@@ -119,21 +132,16 @@ impl Options {
                 }
                 "--models" => {
                     let ms = it.next().ok_or("--models needs a comma-separated list")?;
-                    o.models =
-                        ms.split(',').map(str::parse).collect::<Result<Vec<_>, _>>()?;
+                    o.models = ms.split(',').map(str::parse).collect::<Result<Vec<_>, _>>()?;
                     o.models_set = true;
                 }
                 "--jobs" => {
-                    o.jobs = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("--jobs needs a number")?
+                    o.jobs =
+                        it.next().and_then(|v| v.parse().ok()).ok_or("--jobs needs a number")?
                 }
                 "--workers" => {
-                    o.workers = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("--workers needs a number")?
+                    o.workers =
+                        it.next().and_then(|v| v.parse().ok()).ok_or("--workers needs a number")?
                 }
                 "--deadline-ms" => {
                     let ms: u64 = it
@@ -141,6 +149,18 @@ impl Options {
                         .and_then(|v| v.parse().ok())
                         .ok_or("--deadline-ms needs a number")?;
                     o.deadline = Some(Duration::from_millis(ms));
+                }
+                "--max-memory-mb" => {
+                    o.max_memory_mb = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-memory-mb needs a number")?
+                }
+                "--max-dedup" => {
+                    o.max_dedup = it
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-dedup needs a number")?
                 }
                 "--no-symmetry" => o.symmetry = false,
                 "--json" => o.json = true,
@@ -150,10 +170,8 @@ impl Options {
                     o.strategy = s.parse()?;
                 }
                 "--passes" => {
-                    o.passes = it
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or("--passes needs a number")?
+                    o.passes =
+                        it.next().and_then(|v| v.parse().ok()).ok_or("--passes needs a number")?
                 }
                 "--steps" => o.steps = true,
                 "--enumerate" => o.enumerate = true,
@@ -174,9 +192,14 @@ impl Options {
             no_symmetry: !self.symmetry,
             deadline: self.deadline,
             cancel: CancelToken::new(),
+            max_memory_bytes: self.max_memory_mb * 1024 * 1024,
+            max_dedup_entries: self.max_dedup,
             progress: self.progress.then(|| {
                 Arc::new(|p: &ProgressSnapshot| {
-                    eprintln!("[{}] {:.1?}: {} ({} workers)", p.model, p.elapsed, p.stats, p.workers);
+                    eprintln!(
+                        "[{}] {:.1?}: {} ({} workers)",
+                        p.model, p.elapsed, p.stats, p.workers
+                    );
                 }) as Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>
             }),
         }
@@ -187,19 +210,46 @@ impl Options {
         let mut s = Session::new(program)
             .models(self.models.iter().copied())
             .workers(self.workers)
-            .symmetry(self.symmetry);
+            .symmetry(self.symmetry)
+            .max_memory_bytes(self.max_memory_mb * 1024 * 1024)
+            .max_dedup_entries(self.max_dedup);
         if let Some(d) = self.deadline {
             s = s.deadline(d);
         }
         if self.progress {
             s = s.on_progress(|p| {
-                eprintln!(
-                    "[{}] {:.1?}: {} ({} workers)",
-                    p.model, p.elapsed, p.stats, p.workers
-                );
+                eprintln!("[{}] {:.1?}: {} ({} workers)", p.model, p.elapsed, p.stats, p.workers);
             });
         }
         s
+    }
+}
+
+/// Exit-code taxonomy (documented in `--help`): 0 verified, 1 violation
+/// or mismatch, 2 inconclusive (cancel/deadline/budget), 3 engine error.
+fn session_exit_code(r: &Report) -> ExitCode {
+    if r.is_verified() {
+        ExitCode::SUCCESS
+    } else if r.is_errored() {
+        ExitCode::from(3)
+    } else if r.is_interrupted() {
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The corpus analogue of [`session_exit_code`]: quarantined files and
+/// engine errors dominate, then budget-starved (inconclusive) files.
+fn corpus_exit_code(r: &vsync::core::CorpusReport) -> ExitCode {
+    if r.errored() {
+        ExitCode::from(3)
+    } else if r.passed() {
+        ExitCode::SUCCESS
+    } else if r.files.iter().any(|f| f.interrupted()) {
+        ExitCode::from(2)
+    } else {
+        ExitCode::FAILURE
     }
 }
 
@@ -215,11 +265,7 @@ fn report(r: &Report, o: &Options) -> ExitCode {
             }
         }
     }
-    if r.is_verified() {
-        ExitCode::SUCCESS
-    } else {
-        ExitCode::FAILURE
-    }
+    session_exit_code(r)
 }
 
 fn litmus(name: &str) -> Result<Program, String> {
@@ -277,7 +323,9 @@ fn run() -> Result<ExitCode, String> {
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
-            println!("usage: vsync <locks|verify|optimize|bug|litmus|check|corpus|fmt> ... (see --help)");
+            println!(
+                "usage: vsync <locks|verify|optimize|bug|litmus|check|corpus|fmt> ... (see --help)"
+            );
             return Ok(ExitCode::SUCCESS);
         }
     };
@@ -302,16 +350,16 @@ fn run() -> Result<ExitCode, String> {
         "verify" => {
             let (name, rest) = rest.split_first().ok_or("verify needs a lock name")?;
             let o = Options::parse(rest)?;
-            let entry =
-                registry::entry(name).ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
+            let entry = registry::entry(name)
+                .ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
             let r = o.session(entry.client(o.threads, o.acquires)).run();
             Ok(report(&r, &o))
         }
         "optimize" => {
             let (name, rest) = rest.split_first().ok_or("optimize needs a lock name")?;
             let o = Options::parse(rest)?;
-            let entry =
-                registry::entry(name).ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
+            let entry = registry::entry(name)
+                .ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
             let p = entry.client(o.threads, o.acquires).with_all_sc();
             if o.enumerate {
                 if o.deadline.is_some() || o.json || o.progress || o.models.len() > 1 {
@@ -335,9 +383,8 @@ fn run() -> Result<ExitCode, String> {
                 }
                 Ok(ExitCode::SUCCESS)
             } else {
-                let ocfg = OptimizerConfig::default()
-                    .with_strategy(o.strategy)
-                    .with_max_passes(o.passes);
+                let ocfg =
+                    OptimizerConfig::default().with_strategy(o.strategy).with_max_passes(o.passes);
                 let mut s = o.session(p).optimize(ocfg);
                 if o.steps {
                     s = s.on_optimize_step(|e| {
@@ -358,7 +405,7 @@ fn run() -> Result<ExitCode, String> {
                 } else {
                     print!("{}", r.render());
                 }
-                Ok(if r.is_verified() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+                Ok(session_exit_code(&r))
             }
         }
         "bug" => {
@@ -382,7 +429,7 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 print!("{}", r.render_table());
             }
-            Ok(if r.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(corpus_exit_code(&r))
         }
         "corpus" => {
             let (dir, rest) = rest.split_first().ok_or("corpus needs a directory")?;
@@ -397,7 +444,7 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 print!("{}", r.render_table());
             }
-            Ok(if r.passed() { ExitCode::SUCCESS } else { ExitCode::FAILURE })
+            Ok(corpus_exit_code(&r))
         }
         "fmt" => {
             let mut check = false;

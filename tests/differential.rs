@@ -251,7 +251,8 @@ fn study_case_verdicts_stable_across_configurations() {
         Verdict::Safety(_) => "safety",
         Verdict::AwaitTermination(_) => "await-termination",
         Verdict::Fault(_) => "fault",
-        Verdict::Interrupted(_) => "interrupted",
+        Verdict::Inconclusive(_) => "inconclusive",
+        Verdict::Error(_) => "error",
     };
     for (name, p) in [("dpdk", dpdk_scenario(false)), ("huawei", huawei_scenario(false))] {
         let base = explore(&p, &AmcConfig::default());

@@ -128,6 +128,28 @@ fn bare_register_as_address() {
 }
 
 #[test]
+fn register_rhs_in_final_check() {
+    golden(
+        "litmus \"t\"\nthread {\n  store.rlx x, 1\n}\nfinal {\n  x == r1\n}\n",
+        "error: final-state checks compare memory against immediates; registers have no value in the final state\n\
+         \x20--> test.litmus:6:8\n\
+         \x20  6 |   x == r1\n\
+         \x20    |        ^^\n",
+    );
+}
+
+#[test]
+fn register_mask_in_final_check() {
+    golden(
+        "litmus \"t\"\nthread {\n  store.rlx x, 1\n}\nfinal {\n  x & r2 == 1\n}\n",
+        "error: final-state check masks must be immediates; registers have no value in the final state\n\
+         \x20--> test.litmus:6:7\n\
+         \x20  6 |   x & r2 == 1\n\
+         \x20    |       ^^\n",
+    );
+}
+
+#[test]
 fn diagnostic_display_matches_render() {
     let d = vsync::dsl::compile("litmus \"t\"\nthread {\n  jmp out\n}\n").unwrap_err();
     assert_eq!(d.to_string(), d.render().trim_end());

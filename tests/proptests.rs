@@ -307,6 +307,18 @@ mod dsl_gen {
         }
     }
 
+    /// Final-state checks are evaluated against memory alone, so their
+    /// operands must be immediates (`Program::validate` rejects registers).
+    fn final_test(rng: &mut Rng) -> Test {
+        use vsync::lang::Cmp;
+        let cmp = [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge][rng.below(6) as usize];
+        Test {
+            mask: (rng.below(3) == 0).then(|| Operand::Imm(1 + rng.below(3))),
+            cmp,
+            rhs: Operand::Imm(rng.below(4)),
+        }
+    }
+
     fn msg(rng: &mut Rng) -> &'static str {
         ["", "boom", "line\nbreak", "with \"quotes\" and \\slashes\\", "tab\there"]
             [rng.below(5) as usize]
@@ -437,7 +449,7 @@ mod dsl_gen {
             }
         }
         for _ in 0..rng.below(3) {
-            pb.final_check(0x10 + 0x10 * rng.below(3), test(rng), msg(rng));
+            pb.final_check(0x10 + 0x10 * rng.below(3), final_test(rng), msg(rng));
         }
         pb.build().expect("generated program is well-formed")
     }

@@ -7,8 +7,8 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use vsync::core::{
-    verify, AmcConfig, CancelToken, Interrupt, OptimizationReport, OptimizationStep,
-    OptimizerConfig, Report, Session, Verdict,
+    verify, AmcConfig, CancelToken, Inconclusive, OptimizationReport, OptimizationStep,
+    OptimizerConfig, Report, Session, StopReason, Verdict,
 };
 use vsync::core::{ExploreStats, ModelRun};
 use vsync::locks::SessionExt as _;
@@ -19,14 +19,12 @@ use vsync::model::ModelKind;
 /// equivalent sequence of legacy `verify` calls.
 #[test]
 fn qspinlock_matrix_matches_legacy_verify_sequence() {
-    let report =
-        Session::lock("qspinlock", 3, 1).models(ModelKind::all()).workers(8).run();
+    let report = Session::lock("qspinlock", 3, 1).models(ModelKind::all()).workers(8).run();
     assert_eq!(report.models.len(), 3);
     assert_eq!(report.program, "qspinlock");
     let client = vsync::locks::registry::entry("qspinlock").unwrap().client(3, 1);
     for run in &report.models {
-        let legacy =
-            verify(&client, &AmcConfig::with_model(run.model).with_workers(8));
+        let legacy = verify(&client, &AmcConfig::with_model(run.model).with_workers(8));
         assert_eq!(
             std::mem::discriminant(&run.verdict),
             std::mem::discriminant(&legacy),
@@ -50,7 +48,10 @@ fn prefired_cancel_token_is_deterministic_across_worker_counts() {
         let report = session.run();
         let run = &report.models[0];
         assert!(
-            matches!(run.verdict, Verdict::Interrupted(Interrupt::Cancelled)),
+            matches!(
+                run.verdict,
+                Verdict::Inconclusive(Inconclusive { reason: StopReason::Cancelled, .. })
+            ),
             "workers={workers}: {}",
             run.verdict
         );
@@ -65,14 +66,15 @@ fn prefired_cancel_token_is_deterministic_across_worker_counts() {
 #[test]
 fn midrun_cancel_interrupts_for_all_worker_counts() {
     for workers in [1, 2, 8] {
-        let session = Session::lock("mcs", 3, 1)
-            .workers(workers)
-            .progress_interval(Duration::ZERO);
+        let session = Session::lock("mcs", 3, 1).workers(workers).progress_interval(Duration::ZERO);
         let token = session.cancel_token();
         let report = session.on_progress(move |_| token.cancel()).run();
         let run = &report.models[0];
         assert!(
-            matches!(run.verdict, Verdict::Interrupted(Interrupt::Cancelled)),
+            matches!(
+                run.verdict,
+                Verdict::Inconclusive(Inconclusive { reason: StopReason::Cancelled, .. })
+            ),
             "workers={workers}: {}",
             run.verdict
         );
@@ -86,13 +88,14 @@ fn midrun_cancel_interrupts_for_all_worker_counts() {
 #[test]
 fn zero_deadline_never_hangs() {
     for workers in [1, 2, 8] {
-        let report = Session::lock("qspinlock", 3, 1)
-            .workers(workers)
-            .deadline(Duration::ZERO)
-            .run();
+        let report =
+            Session::lock("qspinlock", 3, 1).workers(workers).deadline(Duration::ZERO).run();
         let run = &report.models[0];
         assert!(
-            matches!(run.verdict, Verdict::Interrupted(Interrupt::DeadlineExceeded)),
+            matches!(
+                run.verdict,
+                Verdict::Inconclusive(Inconclusive { reason: StopReason::DeadlineExceeded, .. })
+            ),
             "workers={workers}: {}",
             run.verdict
         );
@@ -104,14 +107,15 @@ fn zero_deadline_never_hangs() {
 /// reported interrupted too (nothing silently runs to completion).
 #[test]
 fn expired_deadline_covers_remaining_matrix_entries() {
-    let report = Session::lock("ttas", 2, 1)
-        .models(ModelKind::all())
-        .deadline(Duration::ZERO)
-        .run();
+    let report =
+        Session::lock("ttas", 2, 1).models(ModelKind::all()).deadline(Duration::ZERO).run();
     assert_eq!(report.models.len(), 3);
     for run in &report.models {
         assert!(
-            matches!(run.verdict, Verdict::Interrupted(Interrupt::DeadlineExceeded)),
+            matches!(
+                run.verdict,
+                Verdict::Inconclusive(Inconclusive { reason: StopReason::DeadlineExceeded, .. })
+            ),
             "{}: {}",
             run.model,
             run.verdict
@@ -165,9 +169,8 @@ fn cancel_during_optimization_is_reported() {
     // deterministically before its first relaxation attempt.
     let token = CancelToken::new();
     token.cancel();
-    let report = Session::lock("ttas", 2, 1)
-        .optimize(OptimizerConfig::default().with_cancel(token))
-        .run();
+    let report =
+        Session::lock("ttas", 2, 1).optimize(OptimizerConfig::default().with_cancel(token)).run();
     assert!(report.is_interrupted(), "{}", report.to_json());
     let opt = report.models[0].optimization.as_ref().expect("optimizer ran");
     assert!(opt.interrupted);
@@ -182,10 +185,7 @@ fn session_json_is_parseable_and_stable() {
     let report = Session::lock("ttas", 2, 1).models(ModelKind::all()).run();
     let json = report.to_json();
     let v = vsync_bench::json::parse(&json).expect("valid JSON");
-    assert_eq!(
-        v.keys(),
-        vec!["program", "verified", "interrupted", "elapsed_ms", "models"]
-    );
+    assert_eq!(v.keys(), vec!["program", "verified", "interrupted", "elapsed_ms", "models"]);
     assert_eq!(v.get("program").unwrap().as_str(), Some("ttas"));
     assert_eq!(v.get("verified").unwrap().as_bool(), Some(true));
     let models = v.get("models").unwrap().items();
@@ -196,6 +196,7 @@ fn session_json_is_parseable_and_stable() {
             vec![
                 "model",
                 "verdict",
+                "stop_reason",
                 "message",
                 "counterexample",
                 "elapsed_ms",
@@ -216,7 +217,8 @@ fn session_json_is_parseable_and_stable() {
                 "revisits",
                 "complete_executions",
                 "blocked_graphs",
-                "events"
+                "events",
+                "frontier_dropped"
             ]
         );
     }
@@ -255,6 +257,7 @@ fn report_json_golden() {
                     program: program.clone(),
                     verified: true,
                     interrupted: false,
+                    error: None,
                     strategy: vsync::core::OptimizeStrategy::Adaptive,
                     steps: vec![OptimizationStep {
                         site: 0,
@@ -284,12 +287,13 @@ fn report_json_golden() {
     let expected = concat!(
         "{\"program\": \"golden \\\"lock\\\"\", \"verified\": false, ",
         "\"interrupted\": false, \"elapsed_ms\": 1.500, \"models\": [",
-        "{\"model\": \"SC\", \"verdict\": \"verified\", \"message\": null, ",
+        "{\"model\": \"SC\", \"verdict\": \"verified\", \"stop_reason\": null, \"message\": null, ",
         "\"counterexample\": null, \"elapsed_ms\": 1.000, ",
         "\"stats\": {\"popped\": 7, \"pushed\": 6, \"duplicates\": 0, ",
         "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
-        "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40}, ",
-        "\"optimization\": {\"verified\": true, \"interrupted\": false, ",
+        "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40, ",
+        "\"frontier_dropped\": 0}, ",
+        "\"optimization\": {\"verified\": true, \"interrupted\": false, \"error\": null, ",
         "\"strategy\": \"adaptive\", \"verifications\": 3, ",
         "\"explorations\": 2, \"explored_graphs\": 40, \"cache_hits\": 1, ",
         "\"elapsed_ms\": 0.250, ",
@@ -297,11 +301,13 @@ fn report_json_golden() {
         "\"after\": {\"rlx\": 0, \"acq\": 0, \"rel\": 0, \"acq_rel\": 0, \"sc\": 1}, ",
         "\"steps\": [{\"site\": \"site.a\", \"from\": \"sc\", \"to\": \"rlx\", ",
         "\"accepted\": true}]}}, ",
-        "{\"model\": \"VMM\", \"verdict\": \"fault\", \"message\": \"budget\\nblown\", ",
+        "{\"model\": \"VMM\", \"verdict\": \"fault\", \"stop_reason\": null, ",
+        "\"message\": \"budget\\nblown\", ",
         "\"counterexample\": null, \"elapsed_ms\": 0.500, ",
         "\"stats\": {\"popped\": 0, \"pushed\": 0, \"duplicates\": 0, ",
         "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
-        "\"complete_executions\": 0, \"blocked_graphs\": 0, \"events\": 0}, ",
+        "\"complete_executions\": 0, \"blocked_graphs\": 0, \"events\": 0, ",
+        "\"frontier_dropped\": 0}, ",
         "\"optimization\": null}]}",
     );
     assert_eq!(report.to_json(), expected);
@@ -324,14 +330,18 @@ fn json_carries_counterexamples_for_violations() {
     assert!(!ce.is_empty());
 }
 
-/// The session honors `max_graphs` budgets like the legacy config did.
+/// The session honors `max_graphs` budgets: the run degrades to an
+/// inconclusive verdict whose stop reason survives into the JSON.
 #[test]
-fn max_graphs_budget_faults() {
+fn max_graphs_budget_is_inconclusive() {
     let report = Session::lock("ttas", 2, 1).max_graphs(2).run();
-    assert!(matches!(report.models[0].verdict, Verdict::Fault(_)));
+    assert!(matches!(
+        report.models[0].verdict,
+        Verdict::Inconclusive(Inconclusive { reason: StopReason::MaxGraphs, .. })
+    ));
+    assert!(report.is_interrupted());
     let v = vsync_bench::json::parse(&report.to_json()).unwrap();
-    assert_eq!(
-        v.get("models").unwrap().items()[0].get("verdict").unwrap().as_str(),
-        Some("fault")
-    );
+    let m = &v.get("models").unwrap().items()[0];
+    assert_eq!(m.get("verdict").unwrap().as_str(), Some("inconclusive"));
+    assert_eq!(m.get("stop_reason").unwrap().as_str(), Some("max_graphs"));
 }

@@ -199,7 +199,8 @@ fn kind_of(v: &Verdict) -> &'static str {
         Verdict::Safety(_) => "safety",
         Verdict::AwaitTermination(_) => "await-termination",
         Verdict::Fault(_) => "fault",
-        Verdict::Interrupted(_) => "interrupted",
+        Verdict::Inconclusive(_) => "inconclusive",
+        Verdict::Error(_) => "error",
     }
 }
 
