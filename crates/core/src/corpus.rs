@@ -558,14 +558,17 @@ fn check_file(
 ///
 /// # Errors
 ///
-/// Propagates directory-listing errors; unreadable or unparsable
-/// individual files become failing [`FileReport`]s instead, and a file
-/// whose check panics is quarantined ([`FileOutcome::Quarantined`])
-/// without affecting any other file.
-pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> io::Result<CorpusReport> {
+/// A missing or unlistable `root` is a [`SourceError::Io`] carrying the
+/// path — the caller gets a structured diagnostic, not a bare
+/// [`io::Error`]. Unreadable or unparsable *individual* files become
+/// failing [`FileReport`]s instead, and a file whose check panics is
+/// quarantined ([`FileOutcome::Quarantined`]) without affecting any
+/// other file.
+pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusReport, SourceError> {
     let started = Instant::now();
     let deadline_at = opts.deadline.map(|d| started + d);
-    let files = collect_litmus_files(root)?;
+    let files = collect_litmus_files(root)
+        .map_err(|e| SourceError::Io(root.display().to_string(), e))?;
     let jobs = opts.jobs.max(1).min(files.len().max(1));
     let reports: Vec<Mutex<Option<FileReport>>> = files.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
@@ -642,6 +645,20 @@ mod tests {
         let opts = CorpusOptions { no_symmetry: true, ..Default::default() };
         let r = check_source("mp.litmus", &src, &opts, None);
         assert!(r.passed(), "counts are not judged without symmetry reduction");
+    }
+
+    #[test]
+    fn missing_root_is_a_structured_io_error() {
+        let err = run_corpus(
+            std::path::Path::new("/nonexistent/dir/mp.litmus"),
+            &CorpusOptions::default(),
+        )
+        .expect_err("a missing root must not produce a report");
+        let crate::SourceError::Io(path, _) = &err else {
+            panic!("expected SourceError::Io, got {err}");
+        };
+        assert_eq!(path, "/nonexistent/dir/mp.litmus");
+        assert!(err.to_string().contains("cannot read /nonexistent/dir/mp.litmus"), "{err}");
     }
 
     #[test]

@@ -788,6 +788,17 @@ mod tests {
     }
 
     #[test]
+    fn from_path_on_missing_file_names_the_path() {
+        let err = Session::from_path("/nonexistent/dir/mp.litmus")
+            .expect_err("a missing file must be a structured error");
+        let crate::SourceError::Io(path, _) = &err else {
+            panic!("expected SourceError::Io, got {err}");
+        };
+        assert_eq!(path, "/nonexistent/dir/mp.litmus");
+        assert!(err.to_string().contains("cannot read /nonexistent/dir/mp.litmus"), "{err}");
+    }
+
+    #[test]
     fn session_matrix_dedups_and_orders() {
         let report =
             Session::new(handshake()).models([ModelKind::Tso, ModelKind::Sc, ModelKind::Tso]).run();

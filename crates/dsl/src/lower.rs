@@ -121,6 +121,7 @@ pub fn lower(file: &SourceFile) -> Result<LitmusTest, Diagnostic> {
             }
             templated |= n >= 2;
             let labels = validate_labels(file, stmts)?;
+            validate_awaits(file, stmts)?;
             for _ in 0..n {
                 pb.thread(|t| emit_thread(t, stmts, &labels, &locs));
             }
@@ -389,6 +390,51 @@ fn validate_sites(file: &SourceFile) -> Result<(), Diagnostic> {
                     }
                 }
             }
+        }
+    }
+    Ok(())
+}
+
+/// Spanned mirror of `Program::validate`'s await-operand rule: an await
+/// whose exit condition, RMW/CAS operand, or register-indirect address
+/// reads a register that no statement in the thread assigns would compare
+/// against a constant zero forever — reject it at the source level, with
+/// the offending operand's span, instead of as an opaque builder error.
+fn validate_awaits(file: &SourceFile, stmts: &[Stmt]) -> Result<(), Diagnostic> {
+    let mut written = [false; 256];
+    for s in stmts {
+        if let StmtKind::Assign { dst: (d, _), .. } = &s.kind {
+            written[*d as usize] = true;
+        }
+    }
+    let check_op = |o: &OperandAst| match o {
+        OperandAst::Reg(r, span) if !written[*r as usize] => Some((*r, *span)),
+        _ => None,
+    };
+    let check_addr = |a: &AddrAst| match a {
+        AddrAst::Reg { reg, span, .. } if !written[*reg as usize] => Some((*reg, *span)),
+        _ => None,
+    };
+    let check_test = |t: &TestAst| t.mask.as_ref().and_then(check_op).or_else(|| check_op(&t.rhs));
+    for s in stmts {
+        let StmtKind::Assign { rhs, .. } = &s.kind else { continue };
+        let bad = match rhs {
+            RhsAst::AwaitLoad { addr, until, .. } => {
+                check_addr(addr).or_else(|| check_test(until))
+            }
+            RhsAst::AwaitRmw { addr, operand, until, .. } => check_addr(addr)
+                .or_else(|| check_op(operand))
+                .or_else(|| check_test(until)),
+            RhsAst::AwaitCas { addr, expected, new, .. } => check_addr(addr)
+                .or_else(|| check_op(expected))
+                .or_else(|| check_op(new)),
+            _ => None,
+        };
+        if let Some((reg, span)) = bad {
+            return Err(file.diag(
+                format!("await reads register r{reg}, which no statement in this thread assigns"),
+                span,
+            ));
         }
     }
     Ok(())
@@ -767,6 +813,20 @@ mod tests {
         assert!(e.message.contains("thread 1 is missing"), "{e}");
         let e = compile("litmus x thread { nop } symmetry { 0 0 }").unwrap_err();
         assert!(e.message.contains("two symmetry groups"), "{e}");
+    }
+
+    #[test]
+    fn rejects_await_reading_unassigned_register() {
+        let e = compile("litmus x thread { r0 = await_eq.acq flag, r5 }").unwrap_err();
+        assert!(e.message.contains("register r5"), "{e}");
+        assert!(e.message.contains("assigns"), "{e}");
+        // Assigning the register anywhere in the thread is enough.
+        compile("litmus x thread { r5 = mov 1  r0 = await_eq.acq flag, r5 }").unwrap();
+        // The rule applies to masks, RMW operands and CAS operands too.
+        let e = compile("litmus x thread { r0 = await_load.acq w until & r9 == 0 }").unwrap_err();
+        assert!(e.message.contains("register r9"), "{e}");
+        let e = compile("litmus x thread { r0 = await_cas.acq l, r3, 1 }").unwrap_err();
+        assert!(e.message.contains("register r3"), "{e}");
     }
 
     #[test]

@@ -36,6 +36,7 @@ mod builder;
 mod insn;
 mod program;
 mod replay;
+pub mod trace;
 
 pub use builder::{Fixed, IntoSite, Label, ProgramBuilder, ThreadBuilder};
 pub use insn::{

@@ -133,6 +133,20 @@ pub enum ProgramError {
         /// The failing check's message/label.
         check: String,
     },
+    /// An `Await` reads a register that no instruction in its thread ever
+    /// writes. Such a register holds its zero initial value on every
+    /// iteration, so the exit condition (or RMW/CAS operand) cannot depend
+    /// on prior computation — almost certainly a program-construction bug.
+    /// It is rejected here instead of surfacing as a confusing verdict at
+    /// explore time.
+    AwaitOperandUnwritten {
+        /// Offending thread.
+        thread: u32,
+        /// Offending instruction index.
+        pc: usize,
+        /// The never-written register the await reads.
+        reg: u8,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -155,6 +169,13 @@ impl fmt::Display for ProgramError {
                     f,
                     "final-state check '{check}' uses a register operand; \
                      final checks must use immediate operands"
+                )
+            }
+            ProgramError::AwaitOperandUnwritten { thread, pc, reg } => {
+                write!(
+                    f,
+                    "thread {thread} pc {pc}: await reads register r{reg}, \
+                     which no instruction in this thread writes"
                 )
             }
         }
@@ -503,6 +524,64 @@ impl Program {
                 }
             }
         }
+        // Awaits must be computable: every register an await reads (exit
+        // condition, RMW/CAS operands, register-indirect address) has to be
+        // written by some instruction of the same thread. The check is
+        // position-independent on purpose — with jumps, a register written
+        // only after the await can still feed it on a later loop iteration.
+        for (t, code) in self.threads.iter().enumerate() {
+            let mut written = [false; NUM_REGS];
+            for i in code {
+                let dst = match i {
+                    Instr::Load { dst, .. }
+                    | Instr::Rmw { dst, .. }
+                    | Instr::Cas { dst, .. }
+                    | Instr::AwaitLoad { dst, .. }
+                    | Instr::AwaitRmw { dst, .. }
+                    | Instr::AwaitCas { dst, .. }
+                    | Instr::Mov { dst, .. }
+                    | Instr::Op { dst, .. } => Some(*dst),
+                    _ => None,
+                };
+                if let Some(Reg(r)) = dst {
+                    written[r as usize] = true;
+                }
+            }
+            let op_reg = |o: &Operand| match o {
+                Operand::Reg(r) => Some(*r),
+                Operand::Imm(_) => None,
+            };
+            let addr_reg = |a: &Addr| match a {
+                Addr::Imm(_) => None,
+                Addr::Reg(r) | Addr::RegOff(r, _) => Some(*r),
+            };
+            for (pc, i) in code.iter().enumerate() {
+                let reads: Vec<Option<Reg>> = match i {
+                    Instr::AwaitLoad { addr, until, .. } => vec![
+                        addr_reg(addr),
+                        op_reg(&until.rhs),
+                        until.mask.as_ref().and_then(&op_reg),
+                    ],
+                    Instr::AwaitRmw { addr, until, operand, .. } => vec![
+                        addr_reg(addr),
+                        op_reg(&until.rhs),
+                        until.mask.as_ref().and_then(&op_reg),
+                        op_reg(operand),
+                    ],
+                    Instr::AwaitCas { addr, expected, new, .. } => {
+                        vec![addr_reg(addr), op_reg(expected), op_reg(new)]
+                    }
+                    _ => vec![],
+                };
+                if let Some(r) = reads.into_iter().flatten().find(|r| !written[r.0 as usize]) {
+                    return Err(ProgramError::AwaitOperandUnwritten {
+                        thread: t as u32,
+                        pc,
+                        reg: r.0,
+                    });
+                }
+            }
+        }
         for s in &self.sites {
             if !s.kind.valid_modes().contains(&s.mode) {
                 return Err(ProgramError::InvalidMode { site: s.name.clone(), mode: s.mode });
@@ -625,6 +704,44 @@ mod tests {
         assert!(matches!(bad(reg_mask).validate(), Err(ProgramError::FinalCheckOperand { .. })));
         let imm = Test { mask: Some(Operand::Imm(3)), cmp: Cmp::Eq, rhs: Operand::Imm(1) };
         assert!(bad(imm).validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_await_reading_unwritten_register() {
+        use crate::insn::{Operand, Test};
+        // Thread 0 awaits until the location equals r7, but nothing ever
+        // writes r7 — the exit condition silently compares against zero.
+        let p = Program::from_parts(
+            "p".into(),
+            vec![vec![Instr::AwaitLoad {
+                dst: Reg(0),
+                addr: Addr::Imm(1),
+                until: Test::eq(Operand::Reg(Reg(7))),
+                mode: ModeRef(0),
+            }]],
+            vec![BarrierSite {
+                name: "s".into(),
+                kind: SiteKind::Load,
+                mode: Mode::Acq,
+                relaxable: true,
+                thread: 0,
+                pc: 0,
+            }],
+            BTreeMap::new(),
+            vec![],
+        );
+        let e = p.validate().unwrap_err();
+        assert_eq!(e, ProgramError::AwaitOperandUnwritten { thread: 0, pc: 0, reg: 7 });
+        assert!(e.to_string().contains("r7"), "{e}");
+        // Writing the register anywhere in the thread (even after the
+        // await) satisfies the check.
+        let code = vec![
+            p.thread_code(0)[0].clone(),
+            Instr::Mov { dst: Reg(7), src: Operand::Imm(1) },
+        ];
+        let ok =
+            Program::from_parts("p".into(), vec![code], p.sites().to_vec(), BTreeMap::new(), vec![]);
+        assert!(ok.validate().is_ok());
     }
 
     #[test]

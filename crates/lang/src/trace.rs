@@ -1,0 +1,974 @@
+//! Lowering recorded shared-memory traces into [`Program`]s.
+//!
+//! This is the language half of the `vsync-shim` instrumented runtime: the
+//! shim records what real Rust code *did* under a deterministic scheduler —
+//! a [`Trace`] of loads, stores, RMWs, CASes and fences per thread — and
+//! this module reconstructs a checkable program from it:
+//!
+//! * **spin → await**: a run of consecutive identical polls that the
+//!   recorder tagged as spinning collapses into a single native `Await`
+//!   instruction (paper §2.1), so `while x.load() != v {}` becomes
+//!   `await_load(x) until == v` instead of an unbounded unrolled loop;
+//! * **template → partition**: threads recorded from the same closure
+//!   template are *unified* — their per-thread op sequences are aligned
+//!   position by position and emitted as identical code, which
+//!   [`ProgramBuilder::build`] then detects and declares as the program's
+//!   thread-symmetry partition;
+//! * **value provenance**: recorded traces are data: a stored value of `2`
+//!   does not say *why* it was `2`. Lowering recovers register dataflow
+//!   with a cross-thread uniform-delta rule — an input value is considered
+//!   register-derived iff every unified thread's value sits at the *same*
+//!   offset from the same earlier read — so a ticket lock's
+//!   `owner.store(owner.load() + 1)` lowers to `store(owner, r + 1)`, not
+//!   to the constants each thread happened to write during recording.
+//!
+//! The soundness caveats of checking recorded traces (bounded iteration,
+//! data-independence) are documented in `DESIGN.md` §11.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use vsync_graph::{Loc, Mode, Value};
+
+use crate::builder::{Fixed, ProgramBuilder, ThreadBuilder};
+use crate::insn::{Operand, Reg, RmwOp, Test};
+use crate::program::{Program, ProgramError, SiteKind};
+
+/// One recorded shared-memory operation, with the concrete values observed
+/// during the recording run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceOp {
+    /// A load that read `value`.
+    Load {
+        /// Accessed location.
+        loc: Loc,
+        /// Memory order used.
+        mode: Mode,
+        /// The value read.
+        value: Value,
+    },
+    /// A store of `value`.
+    Store {
+        /// Accessed location.
+        loc: Loc,
+        /// Memory order used.
+        mode: Mode,
+        /// The value written.
+        value: Value,
+    },
+    /// A read-modify-write that read `old` (and wrote `op.apply(old, operand)`).
+    Rmw {
+        /// Accessed location.
+        loc: Loc,
+        /// Memory order used.
+        mode: Mode,
+        /// The RMW operation.
+        op: RmwOp,
+        /// The operand value.
+        operand: Value,
+        /// The value read (before modification).
+        old: Value,
+    },
+    /// A compare-and-swap that read `old`; it succeeded iff `old == expected`.
+    Cas {
+        /// Accessed location.
+        loc: Loc,
+        /// Memory order used.
+        mode: Mode,
+        /// The expected value.
+        expected: Value,
+        /// The replacement value.
+        new: Value,
+        /// The value read.
+        old: Value,
+    },
+    /// A memory fence.
+    Fence {
+        /// Fence order.
+        mode: Mode,
+    },
+}
+
+impl TraceOp {
+    fn loc(&self) -> Option<Loc> {
+        match self {
+            TraceOp::Load { loc, .. }
+            | TraceOp::Store { loc, .. }
+            | TraceOp::Rmw { loc, .. }
+            | TraceOp::Cas { loc, .. } => Some(*loc),
+            TraceOp::Fence { .. } => None,
+        }
+    }
+
+    fn site_kind(&self) -> SiteKind {
+        match self {
+            TraceOp::Load { .. } => SiteKind::Load,
+            TraceOp::Store { .. } => SiteKind::Store,
+            TraceOp::Rmw { .. } | TraceOp::Cas { .. } => SiteKind::Rmw,
+            TraceOp::Fence { .. } => SiteKind::Fence,
+        }
+    }
+
+    fn mode(&self) -> Mode {
+        match self {
+            TraceOp::Load { mode, .. }
+            | TraceOp::Store { mode, .. }
+            | TraceOp::Rmw { mode, .. }
+            | TraceOp::Cas { mode, .. }
+            | TraceOp::Fence { mode } => *mode,
+        }
+    }
+}
+
+/// One entry of a thread's recorded trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// The operation and its observed values.
+    pub op: TraceOp,
+    /// Source-level barrier-site annotation, if the op ran inside a
+    /// `shim::site("name", ..)` scope. Annotated ops lower to *named,
+    /// relaxable* barrier sites (shared across threads by name — the
+    /// optimizer's targets); unannotated ops lower to auto-named
+    /// non-relaxable sites, like hand-built client code.
+    pub site: Option<String>,
+    /// Tagged by the recorder when this entry is part of a detected
+    /// polling loop (including the final, condition-satisfying poll).
+    pub spin: bool,
+}
+
+/// The recorded trace of one thread.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadTrace {
+    /// Recorded operations, in program order.
+    pub ops: Vec<TraceEntry>,
+    /// Template class: threads recorded from the same source closure carry
+    /// the same id and are unified during lowering. `None` = singleton.
+    pub template: Option<u32>,
+}
+
+/// A complete recorded run: initial memory, per-thread op sequences, and
+/// deferred final-state checks.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Initial value of every registered location.
+    pub init: BTreeMap<Loc, Value>,
+    /// Per-thread traces, in spawn order.
+    pub threads: Vec<ThreadTrace>,
+    /// Final-state equality checks: `(loc, expected value, message)`.
+    pub final_checks: Vec<(Loc, Value, String)>,
+}
+
+impl Trace {
+    /// Drop all template declarations, turning every thread into a
+    /// singleton. Used as a fallback when template unification fails
+    /// (threads of one template genuinely diverged, e.g. by branching on
+    /// their thread index): lowering still succeeds, but without the
+    /// declared symmetry partition and without cross-thread value
+    /// provenance.
+    pub fn clear_templates(&mut self) {
+        for t in &mut self.threads {
+            t.template = None;
+        }
+    }
+
+    /// Total number of recorded operations across all threads.
+    pub fn num_ops(&self) -> usize {
+        self.threads.iter().map(|t| t.ops.len()).sum()
+    }
+}
+
+/// Errors detected while lowering a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Threads declared as instances of one template could not be aligned:
+    /// their collapsed op sequences differ in length or shape at some
+    /// position. Retry after [`Trace::clear_templates`] to lower them as
+    /// independent threads (losing symmetry, keeping soundness).
+    TemplateMismatch {
+        /// The template class id.
+        class: u32,
+        /// The two thread indices that failed to align.
+        threads: (usize, usize),
+        /// Aligned op position at which they diverge (`None` = lengths differ).
+        position: Option<usize>,
+    },
+    /// A spin-tagged run of polls never reached a condition-satisfying
+    /// final poll — the recording ended mid-spin.
+    UnterminatedSpin {
+        /// Offending thread.
+        thread: usize,
+        /// Index of the first entry of the run.
+        entry: usize,
+    },
+    /// An input value (store source, RMW operand, CAS operand, or await
+    /// exit condition) could not be expressed: the unified threads' values
+    /// differ but sit at no uniform offset from any earlier read.
+    ValueProvenance {
+        /// Offending thread.
+        thread: usize,
+        /// Aligned op position.
+        position: usize,
+    },
+    /// One thread performs more value-producing operations than the
+    /// register file can hold.
+    TooManyValues {
+        /// Offending thread.
+        thread: usize,
+    },
+    /// A site annotation name is used with conflicting kinds or modes —
+    /// named sites are shared, so every use must agree.
+    SiteConflict {
+        /// The conflicting annotation name.
+        name: String,
+    },
+    /// The assembled program failed validation.
+    Program(ProgramError),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::TemplateMismatch { class, threads, position } => match position {
+                Some(p) => write!(
+                    f,
+                    "template {class}: threads {} and {} diverge at op {p}; \
+                     clear templates to lower them independently",
+                    threads.0, threads.1
+                ),
+                None => write!(
+                    f,
+                    "template {class}: threads {} and {} recorded different op counts; \
+                     clear templates to lower them independently",
+                    threads.0, threads.1
+                ),
+            },
+            TraceError::UnterminatedSpin { thread, entry } => {
+                write!(f, "thread {thread}: spin starting at op {entry} never completed")
+            }
+            TraceError::ValueProvenance { thread, position } => write!(
+                f,
+                "thread {thread} op {position}: value has no uniform register provenance \
+                 across the template's threads"
+            ),
+            TraceError::TooManyValues { thread } => {
+                write!(f, "thread {thread}: too many value-producing operations for the register file")
+            }
+            TraceError::SiteConflict { name } => {
+                write!(f, "site annotation '{name}' used with conflicting kinds or modes")
+            }
+            TraceError::Program(e) => write!(f, "lowered program is malformed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<ProgramError> for TraceError {
+    fn from(e: ProgramError) -> Self {
+        TraceError::Program(e)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage 1: collapse spin runs into macro-ops.
+// ---------------------------------------------------------------------------
+
+/// A thread's trace after spin-collapse: one macro-op per source-level
+/// operation, with awaits folded back into single ops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MacroOp {
+    op: TraceOp,
+    site: Option<String>,
+    /// The op was a polling loop (collapsed from `iters` recorded polls);
+    /// its `TraceOp` carries the *exit* values (final poll).
+    awaited: bool,
+    iters: usize,
+}
+
+/// Shape of a collapsible poll: everything except the observed values.
+#[derive(PartialEq, Eq)]
+enum PollShape<'a> {
+    Load(Loc, Mode, &'a Option<String>),
+    Rmw(Loc, Mode, RmwOp, Value, &'a Option<String>),
+    Cas(Loc, Mode, Value, Value, &'a Option<String>),
+}
+
+fn poll_shape(e: &TraceEntry) -> Option<PollShape<'_>> {
+    match &e.op {
+        TraceOp::Load { loc, mode, .. } => Some(PollShape::Load(*loc, *mode, &e.site)),
+        TraceOp::Rmw { loc, mode, op, operand, .. } => {
+            Some(PollShape::Rmw(*loc, *mode, *op, *operand, &e.site))
+        }
+        TraceOp::Cas { loc, mode, expected, new, .. } => {
+            Some(PollShape::Cas(*loc, *mode, *expected, *new, &e.site))
+        }
+        TraceOp::Store { .. } | TraceOp::Fence { .. } => None,
+    }
+}
+
+/// Is `e` a poll that *fails* its loop condition? (A spin run must end
+/// with a non-failing poll: a CAS that succeeded, or a load/RMW that read
+/// something other than the stuck value.)
+fn poll_failed(e: &TraceEntry, stuck: Value) -> bool {
+    match &e.op {
+        TraceOp::Load { value, .. } => *value == stuck,
+        TraceOp::Rmw { old, .. } => *old == stuck,
+        TraceOp::Cas { expected, old, .. } => *old != *expected,
+        _ => false,
+    }
+}
+
+fn entry_read_value(e: &TraceEntry) -> Value {
+    match &e.op {
+        TraceOp::Load { value, .. } => *value,
+        TraceOp::Rmw { old, .. } | TraceOp::Cas { old, .. } => *old,
+        _ => 0,
+    }
+}
+
+fn collapse(thread: usize, ops: &[TraceEntry]) -> Result<Vec<MacroOp>, TraceError> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < ops.len() {
+        let e = &ops[i];
+        if !e.spin {
+            out.push(MacroOp { op: e.op.clone(), site: e.site.clone(), awaited: false, iters: 1 });
+            i += 1;
+            continue;
+        }
+        // Maximal run of same-shape, spin-tagged entries.
+        let shape = poll_shape(e)
+            .ok_or(TraceError::UnterminatedSpin { thread, entry: i })?;
+        let mut j = i;
+        while j + 1 < ops.len()
+            && ops[j + 1].spin
+            && poll_shape(&ops[j + 1]).map(|s| s == shape).unwrap_or(false)
+        {
+            j += 1;
+        }
+        let stuck = entry_read_value(e);
+        if poll_failed(&ops[j], stuck) {
+            return Err(TraceError::UnterminatedSpin { thread, entry: i });
+        }
+        out.push(MacroOp {
+            op: ops[j].op.clone(), // exit poll carries the exit values
+            site: e.site.clone(),
+            awaited: true,
+            iters: j - i + 1,
+        });
+        i = j + 1;
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 2: template unification.
+// ---------------------------------------------------------------------------
+
+/// Do two macro-ops of aligned template threads share a shape? Values may
+/// differ (resolved later by provenance); everything structural must agree.
+fn unifiable(a: &MacroOp, b: &MacroOp) -> bool {
+    a.site == b.site
+        && a.op.mode() == b.op.mode()
+        && a.op.loc() == b.op.loc()
+        && match (&a.op, &b.op) {
+            (TraceOp::Load { .. }, TraceOp::Load { .. }) => true,
+            (TraceOp::Store { .. }, TraceOp::Store { .. }) => true,
+            (TraceOp::Rmw { op: oa, .. }, TraceOp::Rmw { op: ob, .. }) => oa == ob,
+            (TraceOp::Cas { .. }, TraceOp::Cas { .. }) => true,
+            (TraceOp::Fence { .. }, TraceOp::Fence { .. }) => true,
+            _ => false,
+        }
+}
+
+/// One group of threads lowered to identical code: either a unified
+/// template class or a singleton.
+struct Group {
+    /// Member thread indices, in trace order.
+    members: Vec<usize>,
+    /// Aligned macro-ops, one row per member.
+    rows: Vec<Vec<MacroOp>>,
+}
+
+fn group_threads(trace: &Trace) -> Result<Vec<Group>, TraceError> {
+    let mut groups: Vec<Group> = Vec::new();
+    let mut by_class: BTreeMap<u32, usize> = BTreeMap::new();
+    for (tid, t) in trace.threads.iter().enumerate() {
+        let row = collapse(tid, &t.ops)?;
+        match t.template {
+            None => groups.push(Group { members: vec![tid], rows: vec![row] }),
+            Some(class) => match by_class.get(&class) {
+                None => {
+                    by_class.insert(class, groups.len());
+                    groups.push(Group { members: vec![tid], rows: vec![row] });
+                }
+                Some(&gi) => {
+                    let g = &mut groups[gi];
+                    let first = (g.members[0], &g.rows[0]);
+                    if first.1.len() != row.len() {
+                        return Err(TraceError::TemplateMismatch {
+                            class,
+                            threads: (first.0, tid),
+                            position: None,
+                        });
+                    }
+                    if let Some(p) =
+                        first.1.iter().zip(&row).position(|(a, b)| !unifiable(a, b))
+                    {
+                        return Err(TraceError::TemplateMismatch {
+                            class,
+                            threads: (first.0, tid),
+                            position: Some(p),
+                        });
+                    }
+                    g.members.push(tid);
+                    g.rows.push(row);
+                }
+            },
+        }
+    }
+    // A promoted await must be an *await* for every member: a plain CAS
+    // that failed cannot pose as the successful exit of an await-CAS.
+    for g in &groups {
+        let len = g.rows[0].len();
+        for p in 0..len {
+            let awaited = g.rows.iter().any(|r| r[p].awaited);
+            if !awaited {
+                continue;
+            }
+            for (m, row) in g.rows.iter().enumerate() {
+                if let TraceOp::Cas { expected, old, .. } = &row[p].op {
+                    if old != expected {
+                        return Err(TraceError::TemplateMismatch {
+                            class: trace.threads[g.members[m]].template.unwrap_or(0),
+                            threads: (g.members[0], g.members[m]),
+                            position: Some(p),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(groups)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 3: value provenance + emission planning.
+// ---------------------------------------------------------------------------
+
+/// How an input value is expressed in the lowered code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Src {
+    Imm(Value),
+    Reg(Reg),
+    /// `base + delta` (wrapping), via a scratch `Op` before the instruction.
+    Derived(Reg, Value),
+}
+
+/// An earlier value-producing op: the register it wrote and the value each
+/// group member observed.
+struct Producer {
+    reg: Reg,
+    loc: Option<Loc>,
+    values: Vec<Value>,
+}
+
+/// Largest |delta| the *singleton* same-location heuristic accepts. With a
+/// single thread there is no cross-thread evidence, so only small
+/// increments over the most recent read of the same location (the
+/// `store(c, load(c) + 1)` idiom) are treated as register-derived;
+/// everything else stays an immediate.
+const SINGLETON_MAX_DELTA: u64 = 8;
+
+fn resolve(
+    vals: &[Value],
+    producers: &[Producer],
+    loc: Option<Loc>,
+    thread: usize,
+    position: usize,
+) -> Result<Src, TraceError> {
+    let n = vals.len();
+    if n >= 2 {
+        if vals.iter().all(|v| *v == vals[0]) {
+            return Ok(Src::Imm(vals[0]));
+        }
+        for p in producers.iter().rev() {
+            let delta = vals[0].wrapping_sub(p.values[0]);
+            if (1..n).all(|i| vals[i].wrapping_sub(p.values[i]) == delta) {
+                return Ok(if delta == 0 { Src::Reg(p.reg) } else { Src::Derived(p.reg, delta) });
+            }
+        }
+        Err(TraceError::ValueProvenance { thread, position })
+    } else {
+        // Singleton: same-location small-increment heuristic only.
+        if let Some(loc) = loc {
+            if let Some(p) = producers.iter().rev().find(|p| p.loc == Some(loc)) {
+                let delta = vals[0].wrapping_sub(p.values[0]);
+                if delta != 0 && (delta <= SINGLETON_MAX_DELTA || delta.wrapping_neg() <= SINGLETON_MAX_DELTA)
+                {
+                    return Ok(Src::Derived(p.reg, delta));
+                }
+            }
+        }
+        Ok(Src::Imm(vals[0]))
+    }
+}
+
+/// Highest register index usable for producer values; the top registers
+/// are reserved as scratch for `Derived` operands.
+const SCRATCH0: u8 = (crate::insn::NUM_REGS - 1) as u8;
+const SCRATCH1: u8 = (crate::insn::NUM_REGS - 2) as u8;
+const MAX_PRODUCERS: usize = crate::insn::NUM_REGS - 2;
+
+/// A planned instruction: one per macro-op, identical for every member of
+/// the group.
+struct Planned {
+    op: PlannedOp,
+    site: Option<String>,
+    mode: Mode,
+}
+
+enum PlannedOp {
+    Load { dst: Reg, loc: Loc },
+    AwaitLoad { dst: Reg, loc: Loc, until: Src },
+    Store { loc: Loc, src: Src },
+    Rmw { dst: Reg, loc: Loc, op: RmwOp, operand: Src },
+    AwaitRmw { dst: Reg, loc: Loc, op: RmwOp, operand: Src, until: Src },
+    Cas { dst: Reg, loc: Loc, expected: Src, new: Src },
+    AwaitCas { dst: Reg, loc: Loc, expected: Src, new: Src },
+    Fence,
+}
+
+fn plan_group(g: &Group) -> Result<Vec<Planned>, TraceError> {
+    let thread = g.members[0];
+    let mut producers: Vec<Producer> = Vec::new();
+    let mut plan = Vec::new();
+    let len = g.rows[0].len();
+    for p in 0..len {
+        let awaited = g.rows.iter().any(|r| r[p].awaited);
+        let first = &g.rows[0][p];
+        let mode = first.op.mode();
+        let site = first.site.clone();
+        let column = |f: &dyn Fn(&TraceOp) -> Value| -> Vec<Value> {
+            g.rows.iter().map(|r| f(&r[p].op)).collect()
+        };
+        let alloc = |producers: &mut Vec<Producer>, loc: Option<Loc>, values: Vec<Value>| {
+            if producers.len() >= MAX_PRODUCERS {
+                return Err(TraceError::TooManyValues { thread });
+            }
+            let reg = Reg(producers.len() as u8);
+            producers.push(Producer { reg, loc, values });
+            Ok(reg)
+        };
+        let op = match &first.op {
+            TraceOp::Load { loc, .. } => {
+                let exits = column(&|o| match o {
+                    TraceOp::Load { value, .. } => *value,
+                    _ => unreachable!(),
+                });
+                let until = if awaited {
+                    Some(resolve(&exits, &producers, None, thread, p)?)
+                } else {
+                    None
+                };
+                let dst = alloc(&mut producers, Some(*loc), exits)?;
+                match until {
+                    Some(until) => PlannedOp::AwaitLoad { dst, loc: *loc, until },
+                    None => PlannedOp::Load { dst, loc: *loc },
+                }
+            }
+            TraceOp::Store { loc, .. } => {
+                let vals = column(&|o| match o {
+                    TraceOp::Store { value, .. } => *value,
+                    _ => unreachable!(),
+                });
+                let src = resolve(&vals, &producers, Some(*loc), thread, p)?;
+                PlannedOp::Store { loc: *loc, src }
+            }
+            TraceOp::Rmw { loc, op, .. } => {
+                let operands = column(&|o| match o {
+                    TraceOp::Rmw { operand, .. } => *operand,
+                    _ => unreachable!(),
+                });
+                let olds = column(&|o| match o {
+                    TraceOp::Rmw { old, .. } => *old,
+                    _ => unreachable!(),
+                });
+                let operand = resolve(&operands, &producers, None, thread, p)?;
+                let until = if awaited {
+                    Some(resolve(&olds, &producers, None, thread, p)?)
+                } else {
+                    None
+                };
+                let dst = alloc(&mut producers, Some(*loc), olds)?;
+                match until {
+                    Some(until) => PlannedOp::AwaitRmw { dst, loc: *loc, op: *op, operand, until },
+                    None => PlannedOp::Rmw { dst, loc: *loc, op: *op, operand },
+                }
+            }
+            TraceOp::Cas { loc, .. } => {
+                let expecteds = column(&|o| match o {
+                    TraceOp::Cas { expected, .. } => *expected,
+                    _ => unreachable!(),
+                });
+                let news = column(&|o| match o {
+                    TraceOp::Cas { new, .. } => *new,
+                    _ => unreachable!(),
+                });
+                let olds = column(&|o| match o {
+                    TraceOp::Cas { old, .. } => *old,
+                    _ => unreachable!(),
+                });
+                let expected = resolve(&expecteds, &producers, None, thread, p)?;
+                let new = resolve(&news, &producers, None, thread, p)?;
+                let dst = alloc(&mut producers, Some(*loc), olds)?;
+                if awaited {
+                    PlannedOp::AwaitCas { dst, loc: *loc, expected, new }
+                } else {
+                    PlannedOp::Cas { dst, loc: *loc, expected, new }
+                }
+            }
+            TraceOp::Fence { .. } => PlannedOp::Fence,
+        };
+        plan.push(Planned { op, site, mode });
+    }
+    Ok(plan)
+}
+
+// ---------------------------------------------------------------------------
+// Stage 4: emission.
+// ---------------------------------------------------------------------------
+
+/// Materialize a [`Src`]: `Derived` operands emit a scratch `Op` first.
+fn emit_src(t: &mut ThreadBuilder, s: Src, scratch: Reg) -> Operand {
+    match s {
+        Src::Imm(v) => Operand::Imm(v),
+        Src::Reg(r) => Operand::Reg(r),
+        Src::Derived(base, delta) => {
+            t.add(scratch, base, delta);
+            Operand::Reg(scratch)
+        }
+    }
+}
+
+fn emit(t: &mut ThreadBuilder, plan: &[Planned]) {
+    for p in plan {
+        // Annotated ops become named relaxable sites (shared across the
+        // template's threads); unannotated ops are pinned like hand-built
+        // client code.
+        macro_rules! with_site {
+            ($f:expr) => {
+                match &p.site {
+                    Some(name) => $f((name.as_str(), p.mode)),
+                    None => $f(Fixed(p.mode)),
+                }
+            };
+        }
+        match &p.op {
+            PlannedOp::Load { dst, loc } => {
+                with_site!(|s| { t.load(*dst, *loc, s); });
+            }
+            PlannedOp::AwaitLoad { dst, loc, until } => {
+                let rhs = emit_src(t, *until, Reg(SCRATCH0));
+                with_site!(|s| { t.await_load(*dst, *loc, Test::eq(rhs), s); });
+            }
+            PlannedOp::Store { loc, src } => {
+                let v = emit_src(t, *src, Reg(SCRATCH0));
+                with_site!(|s| { t.store(*loc, v, s); });
+            }
+            PlannedOp::Rmw { dst, loc, op, operand } => {
+                let v = emit_src(t, *operand, Reg(SCRATCH0));
+                with_site!(|s| { t.rmw(*dst, *loc, *op, v, s); });
+            }
+            PlannedOp::AwaitRmw { dst, loc, op, operand, until } => {
+                let v = emit_src(t, *operand, Reg(SCRATCH0));
+                let rhs = emit_src(t, *until, Reg(SCRATCH1));
+                with_site!(|s| { t.await_rmw(*dst, *loc, Test::eq(rhs), *op, v, s); });
+            }
+            PlannedOp::Cas { dst, loc, expected, new } => {
+                let e = emit_src(t, *expected, Reg(SCRATCH0));
+                let n = emit_src(t, *new, Reg(SCRATCH1));
+                with_site!(|s| { t.cas(*dst, *loc, e, n, s); });
+            }
+            PlannedOp::AwaitCas { dst, loc, expected, new } => {
+                let e = emit_src(t, *expected, Reg(SCRATCH0));
+                let n = emit_src(t, *new, Reg(SCRATCH1));
+                with_site!(|s| { t.await_cas(*dst, *loc, e, n, s); });
+            }
+            PlannedOp::Fence => {
+                with_site!(|s| { t.fence(s); });
+            }
+        }
+    }
+}
+
+/// Every use of a named annotation must agree on kind and mode — named
+/// sites are shared, and the builder treats disagreement as a caller bug
+/// (panic). Check up front and fail with a [`TraceError`] instead.
+fn check_site_consistency(trace: &Trace) -> Result<(), TraceError> {
+    let mut seen: BTreeMap<&str, (SiteKind, Mode)> = BTreeMap::new();
+    for t in &trace.threads {
+        for e in &t.ops {
+            if let Some(name) = &e.site {
+                let sig = (e.op.site_kind(), e.op.mode());
+                match seen.get(name.as_str()) {
+                    None => {
+                        seen.insert(name, sig);
+                    }
+                    Some(prev) if *prev == sig => {}
+                    Some(_) => return Err(TraceError::SiteConflict { name: name.clone() }),
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Lower a recorded [`Trace`] into a checkable [`Program`].
+///
+/// Spin-tagged poll runs collapse into native `Await` instructions;
+/// threads of one template are unified into identical code (so the
+/// builder's symmetry detection declares them interchangeable); input
+/// values are re-derived from earlier reads where the cross-thread
+/// evidence supports it, and stay immediates otherwise.
+///
+/// # Errors
+///
+/// See [`TraceError`]. On [`TraceError::TemplateMismatch`], callers may
+/// [`Trace::clear_templates`] and retry to lower the threads independently.
+pub fn lower(trace: &Trace) -> Result<Program, TraceError> {
+    check_site_consistency(trace)?;
+    let groups = group_threads(trace)?;
+    let mut plans: Vec<Option<&[Planned]>> = vec![None; trace.threads.len()];
+    let mut storage: Vec<Vec<Planned>> = Vec::with_capacity(groups.len());
+    for g in &groups {
+        storage.push(plan_group(g)?);
+    }
+    for (g, plan) in groups.iter().zip(&storage) {
+        for &m in &g.members {
+            plans[m] = Some(plan);
+        }
+    }
+    let mut pb = ProgramBuilder::new(&trace.name);
+    for (&loc, &v) in &trace.init {
+        pb.init(loc, v);
+    }
+    for (loc, v, msg) in &trace.final_checks {
+        pb.final_check(*loc, Test::eq(*v), msg);
+    }
+    for plan in plans {
+        let plan = plan.expect("every thread belongs to a group");
+        pb.thread(|t| emit(t, plan));
+    }
+    Ok(pb.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Instr;
+
+    const LOCK: Loc = 0x10;
+    const COUNTER: Loc = 0x20;
+
+    fn entry(op: TraceOp, spin: bool) -> TraceEntry {
+        TraceEntry { op, site: None, spin }
+    }
+
+    fn load(loc: Loc, value: Value, spin: bool) -> TraceEntry {
+        entry(TraceOp::Load { loc, mode: Mode::Acq, value }, spin)
+    }
+
+    #[test]
+    fn spin_run_collapses_to_await_load() {
+        // while lock.load() != 0 {} recorded as polls 1,1,0.
+        let t = ThreadTrace {
+            ops: vec![load(LOCK, 1, true), load(LOCK, 1, true), load(LOCK, 0, true)],
+            template: None,
+        };
+        let trace = Trace { name: "spin".into(), threads: vec![t], ..Default::default() };
+        let p = lower(&trace).unwrap();
+        assert_eq!(p.thread_code(0).len(), 1);
+        assert!(matches!(p.thread_code(0)[0], Instr::AwaitLoad { .. }));
+    }
+
+    #[test]
+    fn unterminated_spin_is_rejected() {
+        let t = ThreadTrace { ops: vec![load(LOCK, 1, true), load(LOCK, 1, true)], template: None };
+        let trace = Trace { name: "stuck".into(), threads: vec![t], ..Default::default() };
+        assert!(matches!(lower(&trace), Err(TraceError::UnterminatedSpin { thread: 0, entry: 0 })));
+    }
+
+    #[test]
+    fn plain_loads_do_not_collapse() {
+        let t = ThreadTrace {
+            ops: vec![load(LOCK, 1, false), load(LOCK, 1, false)],
+            template: None,
+        };
+        let trace = Trace { name: "two-loads".into(), threads: vec![t], ..Default::default() };
+        let p = lower(&trace).unwrap();
+        assert_eq!(p.thread_code(0).len(), 2);
+    }
+
+    #[test]
+    fn template_promotes_fast_path_to_await() {
+        // Thread 0 acquired a CAS lock first try; thread 1 spun. Both must
+        // lower to await_cas, and the builder must declare them symmetric.
+        let cas = |old: Value, spin: bool| {
+            entry(TraceOp::Cas { loc: LOCK, mode: Mode::Acq, expected: 0, new: 1, old }, spin)
+        };
+        let t0 = ThreadTrace { ops: vec![cas(0, false)], template: Some(0) };
+        let t1 = ThreadTrace { ops: vec![cas(1, true), cas(1, true), cas(0, true)], template: Some(0) };
+        let trace = Trace { name: "cas".into(), threads: vec![t0, t1], ..Default::default() };
+        let p = lower(&trace).unwrap();
+        for t in 0..2 {
+            assert_eq!(p.thread_code(t).len(), 1, "thread {t}");
+            assert!(matches!(p.thread_code(t)[0], Instr::AwaitCas { .. }));
+        }
+        assert!(p.symmetry_partition().same_class(0, 1));
+    }
+
+    #[test]
+    fn cross_thread_delta_recovers_register_dataflow() {
+        // Ticket-style: r = fetch_add(tickets, 1); await owner == r.
+        // Thread 0 drew 0, thread 1 drew 1: the awaited value tracks the
+        // ticket exactly, so the exit condition must be the register, not
+        // the constants 0/1.
+        let tickets: Loc = 0x30;
+        let fai = |old: Value| {
+            entry(TraceOp::Rmw { loc: tickets, mode: Mode::Rlx, op: RmwOp::Add, operand: 1, old }, false)
+        };
+        let t0 = ThreadTrace { ops: vec![fai(0), load(LOCK, 0, false)], template: Some(0) };
+        let t1 = ThreadTrace {
+            ops: vec![fai(1), load(LOCK, 0, true), load(LOCK, 0, true), load(LOCK, 1, true)],
+            template: Some(0),
+        };
+        let trace = Trace { name: "ticket".into(), threads: vec![t0, t1], ..Default::default() };
+        let p = lower(&trace).unwrap();
+        for t in 0..2 {
+            match &p.thread_code(t)[1] {
+                Instr::AwaitLoad { until, .. } => {
+                    assert_eq!(until.rhs, Operand::Reg(Reg(0)), "thread {t} awaits its ticket")
+                }
+                other => panic!("thread {t}: expected await, got {other:?}"),
+            }
+        }
+        assert!(p.symmetry_partition().same_class(0, 1));
+    }
+
+    #[test]
+    fn cross_thread_delta_recovers_increment_stores() {
+        // CS body: r = load(counter); store(counter, r + 1). Thread 0 saw
+        // 0→1, thread 1 saw 1→2: uniform delta 1 over the load.
+        let t = |seen: Value| ThreadTrace {
+            ops: vec![
+                entry(TraceOp::Load { loc: COUNTER, mode: Mode::Rlx, value: seen }, false),
+                entry(TraceOp::Store { loc: COUNTER, mode: Mode::Rlx, value: seen + 1 }, false),
+            ],
+            template: Some(0),
+        };
+        let trace = Trace { name: "incr".into(), threads: vec![t(0), t(1)], ..Default::default() };
+        let p = lower(&trace).unwrap();
+        let code = p.thread_code(0);
+        assert_eq!(code.len(), 3, "load, scratch add, store");
+        assert!(matches!(code[1], Instr::Op { .. }));
+        match &code[2] {
+            Instr::Store { src, .. } => assert_eq!(*src, Operand::Reg(Reg(SCRATCH0))),
+            other => panic!("expected store, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_increment_uses_same_loc_heuristic() {
+        let t = ThreadTrace {
+            ops: vec![
+                entry(TraceOp::Load { loc: COUNTER, mode: Mode::Rlx, value: 5 }, false),
+                entry(TraceOp::Store { loc: COUNTER, mode: Mode::Rlx, value: 6 }, false),
+            ],
+            template: None,
+        };
+        let mut trace = Trace { name: "one".into(), threads: vec![t], ..Default::default() };
+        trace.init.insert(COUNTER, 5);
+        let p = lower(&trace).unwrap();
+        assert!(matches!(p.thread_code(0)[1], Instr::Op { .. }), "derived, not Imm(6)");
+    }
+
+    #[test]
+    fn template_mismatch_reports_threads_and_falls_back() {
+        let t0 = ThreadTrace { ops: vec![load(LOCK, 0, false)], template: Some(3) };
+        let t1 = ThreadTrace {
+            ops: vec![entry(TraceOp::Store { loc: LOCK, mode: Mode::Rel, value: 1 }, false)],
+            template: Some(3),
+        };
+        let mut trace = Trace { name: "diverge".into(), threads: vec![t0, t1], ..Default::default() };
+        match lower(&trace) {
+            Err(TraceError::TemplateMismatch { class: 3, threads: (0, 1), position: Some(0) }) => {}
+            other => panic!("expected mismatch, got {other:?}"),
+        }
+        trace.clear_templates();
+        let p = lower(&trace).unwrap();
+        assert_eq!(p.num_threads(), 2);
+    }
+
+    #[test]
+    fn annotations_become_named_relaxable_sites() {
+        let mut e = load(LOCK, 0, false);
+        e.site = Some("lock.poll".into());
+        let trace = Trace {
+            name: "sites".into(),
+            threads: vec![
+                ThreadTrace { ops: vec![e.clone()], template: Some(0) },
+                ThreadTrace { ops: vec![e], template: Some(0) },
+            ],
+            ..Default::default()
+        };
+        let p = lower(&trace).unwrap();
+        let named: Vec<_> = p.sites().iter().filter(|s| s.name == "lock.poll").collect();
+        assert_eq!(named.len(), 1, "shared across threads");
+        assert!(named[0].relaxable);
+    }
+
+    #[test]
+    fn unannotated_ops_are_fixed() {
+        let trace = Trace {
+            name: "fixed".into(),
+            threads: vec![ThreadTrace { ops: vec![load(LOCK, 0, false)], template: None }],
+            ..Default::default()
+        };
+        let p = lower(&trace).unwrap();
+        assert!(!p.sites()[0].relaxable);
+    }
+
+    #[test]
+    fn site_kind_conflicts_are_rejected() {
+        let mut a = load(LOCK, 0, false);
+        a.site = Some("s".into());
+        let mut b = entry(TraceOp::Store { loc: LOCK, mode: Mode::Acq, value: 1 }, false);
+        b.site = Some("s".into());
+        let trace = Trace {
+            name: "conflict".into(),
+            threads: vec![ThreadTrace { ops: vec![a, b], template: None }],
+            ..Default::default()
+        };
+        assert!(matches!(lower(&trace), Err(TraceError::SiteConflict { .. })));
+    }
+
+    #[test]
+    fn init_and_final_checks_flow_through() {
+        let mut trace = Trace {
+            name: "fc".into(),
+            threads: vec![ThreadTrace {
+                ops: vec![entry(TraceOp::Store { loc: COUNTER, mode: Mode::Rlx, value: 7 }, false)],
+                template: None,
+            }],
+            ..Default::default()
+        };
+        trace.init.insert(COUNTER, 3);
+        trace.final_checks.push((COUNTER, 7, "stored".into()));
+        let p = lower(&trace).unwrap();
+        assert_eq!(p.init().get(&COUNTER), Some(&3));
+        assert_eq!(p.final_checks().len(), 1);
+    }
+}

@@ -30,7 +30,7 @@ pub use qspinlock::{
     PENDING_VAL, TAIL_SHIFT,
 };
 pub use rwlock::{rwlock_reader_scenario, RwLock, WRITER};
-pub use simple::{CasLock, Semaphore, TicketLock, TtasLock};
+pub use simple::{CasLock, Semaphore, TasLock, TicketLock, TtasLock};
 
 /// The catalog of verifiable lock models with their default (published)
 /// barrier assignments — every [`crate::registry`] entry, built, in

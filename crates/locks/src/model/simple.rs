@@ -39,6 +39,47 @@ impl LockModel for CasLock {
     }
 }
 
+/// The plain test-and-set lock: `await(xchg(&l, 1) == 0)`.
+///
+/// The acquire is a single awaited exchange — the shape `vsync-shim`
+/// recovers from recording `while lock.swap(1, Acquire) != 0 {}`, so this
+/// entry doubles as the registry twin of the shim's TAS spinlock
+/// (site names included).
+#[derive(Debug, Clone, Copy)]
+pub struct TasLock {
+    /// Barrier mode of the acquiring exchange.
+    pub acquire_mode: Mode,
+    /// Barrier mode of the releasing store.
+    pub release_mode: Mode,
+}
+
+impl Default for TasLock {
+    fn default() -> Self {
+        TasLock { acquire_mode: Mode::Acq, release_mode: Mode::Rel }
+    }
+}
+
+impl LockModel for TasLock {
+    fn name(&self) -> &'static str {
+        "taslock"
+    }
+
+    fn emit_acquire(&self, t: &mut ThreadBuilder) {
+        t.await_rmw(
+            Reg(0),
+            LOCK,
+            Test::eq(0u64),
+            RmwOp::Xchg,
+            1u64,
+            ("tas.acquire.xchg", self.acquire_mode),
+        );
+    }
+
+    fn emit_release(&self, t: &mut ThreadBuilder) {
+        t.store(LOCK, 0u64, ("tas.release.store", self.release_mode));
+    }
+}
+
 /// The TTAS lock of the paper's Fig. 3:
 ///
 /// ```c
@@ -206,6 +247,22 @@ mod tests {
         let lock = CasLock { acquire_mode: Mode::Rlx, release_mode: Mode::Rlx };
         let p = mutex_client(&lock, 2, 1);
         assert!(verify(&p, &AmcConfig::with_model(ModelKind::Sc)).is_verified());
+    }
+
+    #[test]
+    fn taslock_all_models_verify() {
+        for model in ModelKind::all() {
+            let p = mutex_client(&TasLock::default(), 2, 1);
+            let v = verify(&p, &AmcConfig::with_model(model));
+            assert!(v.is_verified(), "{model}: {v}");
+        }
+    }
+
+    #[test]
+    fn taslock_relaxed_release_fails() {
+        let lock = TasLock { release_mode: Mode::Rlx, ..TasLock::default() };
+        let p = mutex_client(&lock, 2, 1);
+        assert!(matches!(verify(&p, &vmm()), Verdict::Safety(_)));
     }
 
     #[test]

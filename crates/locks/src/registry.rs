@@ -24,8 +24,8 @@ use vsync_lang::Program;
 
 use crate::model::{
     mutex_client, ArrayLock, CasLock, CertikosMcs, ClhLock, DpdkMcsLock, FutexMutex,
-    HuaweiMcsLock, LockModel, McsLock, Qspinlock, RecursiveLock, RwLock, Semaphore, TicketLock,
-    TtasLock, TwaLock,
+    HuaweiMcsLock, LockModel, McsLock, Qspinlock, RecursiveLock, RwLock, Semaphore, TasLock,
+    TicketLock, TtasLock, TwaLock,
 };
 
 /// One registry row: the canonical name, catalog metadata and a
@@ -89,8 +89,14 @@ macro_rules! entry {
     };
 }
 
-static CATALOG: [LockEntry; 15] = [
+static CATALOG: [LockEntry; 16] = [
     entry!("caslock", "flat", "compare-and-swap test-and-set lock", CasLock::default()),
+    entry!(
+        "taslock",
+        "flat",
+        "test-and-set lock (awaited xchg; vsync-shim's TAS twin)",
+        TasLock::default()
+    ),
     entry!("ttas", "flat", "test-and-test-and-set lock (paper Fig. 3)", TtasLock::default()),
     entry!(
         "ticketlock",

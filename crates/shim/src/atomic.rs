@@ -1,0 +1,280 @@
+//! Drop-in instrumented atomic types.
+//!
+//! Each type mirrors its `std::sync::atomic` namesake with per-call
+//! [`Ordering`]. Inside a recording session (`shim::model` /
+//! [`crate::Model::record`]) every operation is serialized by the
+//! recording scheduler and appended to the session trace; outside a
+//! session the types fall back to a plain `std` atomic, so instrumented
+//! code keeps working in ordinary tests and binaries.
+//!
+//! Two documented deviations from `std`:
+//!
+//! * model values are 64-bit — `AtomicU32` arithmetic wraps at 2^64, not
+//!   2^32, in both the fallback and the checked model (keep counters small);
+//! * [`fence`] accepts `Ordering::Relaxed` as a no-op instead of
+//!   panicking (a relaxed fence is meaningful to the model's site table).
+
+use std::sync::atomic::AtomicU64;
+pub use std::sync::atomic::Ordering;
+
+use vsync_graph::Mode;
+use vsync_lang::RmwOp;
+
+use crate::runtime::{self, OpKind};
+
+fn mode(o: Ordering) -> Mode {
+    match o {
+        Ordering::Relaxed => Mode::Rlx,
+        Ordering::Acquire => Mode::Acq,
+        Ordering::Release => Mode::Rel,
+        Ordering::AcqRel => Mode::AcqRel,
+        _ => Mode::Sc,
+    }
+}
+
+/// The untyped core of every shim atomic: a stable identity plus a shadow
+/// `std` atomic that carries the value outside recording sessions (and
+/// supplies the initial value when the atomic is first touched inside
+/// one).
+#[derive(Debug)]
+pub(crate) struct RawAtomic {
+    id: u64,
+    shadow: AtomicU64,
+}
+
+impl RawAtomic {
+    pub(crate) fn new(v: u64) -> RawAtomic {
+        RawAtomic { id: runtime::fresh_atomic_id(), shadow: AtomicU64::new(v) }
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    pub(crate) fn init(&self) -> u64 {
+        self.shadow.load(Ordering::Relaxed)
+    }
+
+    fn record(&self, kind: &OpKind) -> Option<u64> {
+        let (sched, tid) = runtime::context()?;
+        Some(sched.perform(tid, self.id, self.init(), kind))
+    }
+
+    pub(crate) fn load(&self, o: Ordering) -> u64 {
+        self.record(&OpKind::Load { mode: mode(o) })
+            .unwrap_or_else(|| self.shadow.load(o))
+    }
+
+    pub(crate) fn store(&self, v: u64, o: Ordering) {
+        if self.record(&OpKind::Store { mode: mode(o), value: v }).is_none() {
+            self.shadow.store(v, o);
+        }
+    }
+
+    pub(crate) fn rmw(&self, op: RmwOp, operand: u64, o: Ordering) -> u64 {
+        self.record(&OpKind::Rmw { mode: mode(o), op, operand })
+            .unwrap_or_else(|| match op {
+                RmwOp::Xchg => self.shadow.swap(operand, o),
+                RmwOp::Add => self.shadow.fetch_add(operand, o),
+                RmwOp::Sub => self.shadow.fetch_sub(operand, o),
+                RmwOp::Or => self.shadow.fetch_or(operand, o),
+                RmwOp::And => self.shadow.fetch_and(operand, o),
+                RmwOp::Xor => self.shadow.fetch_xor(operand, o),
+            })
+    }
+
+    /// Returns the observed old value; success iff it equals `expected`.
+    pub(crate) fn cas(&self, expected: u64, new: u64, success: Ordering) -> u64 {
+        self.record(&OpKind::Cas { mode: mode(success), expected, new })
+            .unwrap_or_else(|| {
+                match self.shadow.compare_exchange(expected, new, success, Ordering::Relaxed) {
+                    Ok(old) | Err(old) => old,
+                }
+            })
+    }
+}
+
+/// Issue a memory fence with the given ordering.
+///
+/// Unlike [`std::sync::atomic::fence`], `Ordering::Relaxed` is accepted
+/// (recorded as a relaxed fence site; a no-op outside a session).
+pub fn fence(o: Ordering) {
+    if let Some((sched, tid)) = runtime::context() {
+        sched.fence(tid, mode(o));
+    } else if o != Ordering::Relaxed {
+        std::sync::atomic::fence(o);
+    }
+}
+
+/// An atomic whose final value can be asserted with
+/// [`crate::Model::final_eq`].
+pub trait Observable {
+    /// The user-facing value type.
+    type Value;
+    /// Encode a value into the model's 64-bit value domain.
+    fn encode(v: Self::Value) -> u64;
+    #[doc(hidden)]
+    fn raw(&self) -> (u64, u64);
+}
+
+macro_rules! shim_atomic {
+    ($(#[$doc:meta])* $name:ident, $ty:ty, $enc:expr, $dec:expr) => {
+        $(#[$doc])*
+        #[derive(Debug)]
+        pub struct $name {
+            raw: RawAtomic,
+        }
+
+        impl $name {
+            /// Create a new atomic with the given initial value.
+            ///
+            /// Unlike `std`, this is not `const`: each shim atomic draws a
+            /// process-unique identity at construction.
+            pub fn new(v: $ty) -> $name {
+                $name { raw: RawAtomic::new($enc(v)) }
+            }
+
+            /// Atomically load the value.
+            pub fn load(&self, order: Ordering) -> $ty {
+                $dec(self.raw.load(order))
+            }
+
+            /// Atomically store `v`.
+            pub fn store(&self, v: $ty, order: Ordering) {
+                self.raw.store($enc(v), order);
+            }
+
+            /// Atomically replace the value with `v`, returning the old
+            /// value.
+            pub fn swap(&self, v: $ty, order: Ordering) -> $ty {
+                $dec(self.raw.rmw(RmwOp::Xchg, $enc(v), order))
+            }
+
+            /// Atomically replace the value with `new` if it equals
+            /// `current`; `Ok`/`Err` carry the previous value as in `std`.
+            /// The failure ordering only needs to be no stronger than
+            /// `success`; the recorded site uses the success ordering.
+            pub fn compare_exchange(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                let old = self.raw.cas($enc(current), $enc(new), success);
+                if old == $enc(current) { Ok($dec(old)) } else { Err($dec(old)) }
+            }
+
+            /// [`Self::compare_exchange`]; the shim never fails spuriously.
+            pub fn compare_exchange_weak(
+                &self,
+                current: $ty,
+                new: $ty,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$ty, $ty> {
+                self.compare_exchange(current, new, success, failure)
+            }
+
+            // Only some instantiations need the identity (e.g. the
+            // `Mutex` lock word names its per-instance sites with it).
+            #[allow(dead_code)]
+            pub(crate) fn raw_id(&self) -> u64 {
+                self.raw.id()
+            }
+        }
+
+        impl Default for $name {
+            /// The zero-initialized atomic.
+            fn default() -> $name {
+                $name::new(<$ty>::default())
+            }
+        }
+
+        impl Observable for $name {
+            type Value = $ty;
+            fn encode(v: $ty) -> u64 {
+                $enc(v)
+            }
+            fn raw(&self) -> (u64, u64) {
+                (self.raw.id(), self.raw.init())
+            }
+        }
+    };
+}
+
+macro_rules! shim_atomic_arith {
+    ($name:ident, $ty:ty, $enc:expr, $dec:expr) => {
+        impl $name {
+            /// Atomically add, returning the previous value (wraps at
+            /// 2^64 — the model's value width — not the type's).
+            pub fn fetch_add(&self, v: $ty, order: Ordering) -> $ty {
+                $dec(self.raw.rmw(RmwOp::Add, $enc(v), order))
+            }
+
+            /// Atomically subtract, returning the previous value (wraps
+            /// at 2^64).
+            pub fn fetch_sub(&self, v: $ty, order: Ordering) -> $ty {
+                $dec(self.raw.rmw(RmwOp::Sub, $enc(v), order))
+            }
+
+            /// Atomically bitwise-or, returning the previous value.
+            pub fn fetch_or(&self, v: $ty, order: Ordering) -> $ty {
+                $dec(self.raw.rmw(RmwOp::Or, $enc(v), order))
+            }
+
+            /// Atomically bitwise-and, returning the previous value.
+            pub fn fetch_and(&self, v: $ty, order: Ordering) -> $ty {
+                $dec(self.raw.rmw(RmwOp::And, $enc(v), order))
+            }
+
+            /// Atomically bitwise-xor, returning the previous value.
+            pub fn fetch_xor(&self, v: $ty, order: Ordering) -> $ty {
+                $dec(self.raw.rmw(RmwOp::Xor, $enc(v), order))
+            }
+        }
+    };
+}
+
+shim_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicU32`].
+    AtomicU32,
+    u32,
+    (|v: u32| v as u64),
+    (|v: u64| v as u32)
+);
+shim_atomic_arith!(AtomicU32, u32, (|v: u32| v as u64), (|v: u64| v as u32));
+
+shim_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicUsize`].
+    AtomicUsize,
+    usize,
+    (|v: usize| v as u64),
+    (|v: u64| v as usize)
+);
+shim_atomic_arith!(AtomicUsize, usize, (|v: usize| v as u64), (|v: u64| v as usize));
+
+shim_atomic!(
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    AtomicBool,
+    bool,
+    (|v: bool| v as u64),
+    (|v: u64| v != 0)
+);
+
+impl AtomicBool {
+    /// Atomically bitwise-and, returning the previous value.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        self.raw.rmw(RmwOp::And, v as u64, order) != 0
+    }
+
+    /// Atomically bitwise-or, returning the previous value.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        self.raw.rmw(RmwOp::Or, v as u64, order) != 0
+    }
+
+    /// Atomically bitwise-xor, returning the previous value.
+    pub fn fetch_xor(&self, v: bool, order: Ordering) -> bool {
+        self.raw.rmw(RmwOp::Xor, v as u64, order) != 0
+    }
+}

@@ -1,0 +1,504 @@
+//! # vsync-shim
+//!
+//! A loom-style instrumented runtime that checks *real Rust code*: swap
+//! `std::sync::atomic` for [`atomic`], run the threads once under a
+//! deterministic recording scheduler ([`Model::record`]), and the
+//! recorded trace is lowered into a `vsync_lang::Program` — spin loops
+//! become native `Await` instructions, template-identical threads become
+//! the declared symmetry partition — which AMC then explores exhaustively
+//! under every memory model, and whose annotated barrier sites the
+//! optimizer can relax.
+//!
+//! ```
+//! use vsync_core::Session;
+//! use vsync_shim::atomic::{AtomicU32, Ordering};
+//! use vsync_shim::{site, Model, SessionExt as _};
+//!
+//! let lock = AtomicU32::new(0);
+//! let counter = AtomicU32::new(0);
+//! let rec = Model::new("tas-demo")
+//!     .template(2, |_| {
+//!         site("acquire", || while lock.swap(1, Ordering::Acquire) != 0 {});
+//!         let c = counter.load(Ordering::Relaxed);
+//!         counter.store(c + 1, Ordering::Relaxed);
+//!         site("release", || lock.store(0, Ordering::Release));
+//!     })
+//!     .final_eq(&counter, 2, "no lost increment")
+//!     .record()
+//!     .expect("recording succeeds");
+//! assert!(Session::from_shim(&rec).run().is_verified());
+//! ```
+//!
+//! ## Soundness caveats
+//!
+//! The recording observes **one** execution; lowering generalizes it.
+//! The guarantees and their limits (bounded iteration, data-independence,
+//! pure exit conditions, spin-detection heuristics) are documented in
+//! `DESIGN.md` §11 — read it before trusting a verdict on new code.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use vsync_lang::trace::{self, Trace, TraceError};
+use vsync_lang::Program;
+
+pub mod atomic;
+pub mod locks;
+mod runtime;
+mod sync;
+
+pub use runtime::site;
+pub use sync::{Mutex, MutexGuard};
+
+use atomic::Observable;
+
+/// Default recording step budget: instrumented operations (including
+/// blocked re-polls) across all threads before the recording aborts.
+pub const DEFAULT_STEP_BUDGET: u64 = 1 << 20;
+
+/// Errors of [`Model::record`].
+#[derive(Debug)]
+pub enum ShimError {
+    /// Every unfinished thread is blocked on a spin whose location nobody
+    /// left runnable can change; `(thread, watched location)` pairs.
+    Deadlock {
+        /// The blocked threads and the locations they watch.
+        blocked: Vec<(usize, u64)>,
+    },
+    /// The recording exceeded its step budget (see
+    /// [`Model::step_budget`]).
+    StepBudget {
+        /// The exhausted budget.
+        limit: u64,
+    },
+    /// A recorded thread panicked with a non-shim payload.
+    UserPanic {
+        /// Index of the panicking thread.
+        thread: usize,
+        /// The panic message, if it was a string.
+        message: String,
+    },
+    /// `Model::record` was called from inside a recorded closure.
+    Nested,
+    /// The recorded trace could not be lowered into a program.
+    Lower(TraceError),
+}
+
+impl fmt::Display for ShimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShimError::Deadlock { blocked } => {
+                write!(f, "recording deadlocked: ")?;
+                for (i, (t, loc)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "thread {t} spins on {loc:#x}")?;
+                }
+                write!(f, " and no runnable thread can write the watched location(s)")
+            }
+            ShimError::StepBudget { limit } => {
+                write!(f, "recording exceeded its step budget of {limit} operations")
+            }
+            ShimError::UserPanic { thread, message } => {
+                write!(f, "recorded thread {thread} panicked: {message}")
+            }
+            ShimError::Nested => {
+                write!(f, "Model::record called from inside a recorded closure")
+            }
+            ShimError::Lower(e) => write!(f, "cannot lower the recorded trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ShimError {}
+
+impl From<TraceError> for ShimError {
+    fn from(e: TraceError) -> ShimError {
+        ShimError::Lower(e)
+    }
+}
+
+/// A declared concurrent workload: named, with threads added via
+/// [`Model::template`] / [`Model::thread`] and final-state expectations
+/// via [`Model::final_eq`]; [`Model::record`] runs it once under the
+/// recording scheduler.
+pub struct Model<'env> {
+    name: String,
+    jobs: Vec<(runtime::Job<'env>, Option<u32>)>,
+    next_template: u32,
+    finals: Vec<(u64, u64, u64, String)>,
+    budget: u64,
+}
+
+impl<'env> Model<'env> {
+    /// A new, empty model; `name` becomes the lowered program's name.
+    pub fn new(name: &str) -> Model<'env> {
+        Model {
+            name: name.to_owned(),
+            jobs: Vec::new(),
+            next_template: 0,
+            finals: Vec::new(),
+            budget: DEFAULT_STEP_BUDGET,
+        }
+    }
+
+    /// Add `n` threads running the same closure (called with its member
+    /// index `0..n`). Declaring threads as one template is what lets the
+    /// lowering unify them into identical code — and the checker prune
+    /// their relabeled twin executions via thread symmetry. The closure
+    /// must treat all members identically up to the values they observe;
+    /// branching on the index diverges the traces and falls back to
+    /// independent lowering.
+    #[must_use]
+    pub fn template(
+        mut self,
+        n: usize,
+        f: impl Fn(usize) + Send + Sync + 'env,
+    ) -> Model<'env> {
+        let f: Arc<dyn Fn(usize) + Send + Sync + 'env> = Arc::new(f);
+        let class = self.next_template;
+        self.next_template += 1;
+        for index in 0..n {
+            self.jobs
+                .push((runtime::Job::Member { f: Arc::clone(&f), index }, Some(class)));
+        }
+        self
+    }
+
+    /// Add a single thread with its own closure (no symmetry declared).
+    #[must_use]
+    pub fn thread(mut self, f: impl FnOnce() + Send + 'env) -> Model<'env> {
+        self.jobs.push((runtime::Job::Single(Box::new(f)), None));
+        self
+    }
+
+    /// Expect `atomic` to hold `expected` in every final state; checked by
+    /// the model checker across **all** executions, not just the recorded
+    /// one.
+    #[must_use]
+    pub fn final_eq<A: Observable>(
+        mut self,
+        atomic: &A,
+        expected: A::Value,
+        message: &str,
+    ) -> Model<'env> {
+        let (id, init) = atomic.raw();
+        self.finals.push((id, init, A::encode(expected), message.to_owned()));
+        self
+    }
+
+    /// Override the recording step budget (default
+    /// [`DEFAULT_STEP_BUDGET`]).
+    #[must_use]
+    pub fn step_budget(mut self, budget: u64) -> Model<'env> {
+        self.budget = budget;
+        self
+    }
+
+    /// Run the workload once under the deterministic recording scheduler
+    /// and lower the trace into a checkable program.
+    ///
+    /// If template threads genuinely diverged (the closure branched on its
+    /// index), lowering retries with templates cleared — the program is
+    /// still sound, but loses the declared symmetry partition; the
+    /// fallback is visible as [`Recording::symmetry_fallback`].
+    ///
+    /// # Errors
+    ///
+    /// See [`ShimError`].
+    pub fn record(self) -> Result<Recording, ShimError> {
+        let mut trace = runtime::run(&self.name, self.jobs, &self.finals, self.budget)?;
+        let (program, symmetry_fallback) = match trace::lower(&trace) {
+            Ok(p) => (p, false),
+            Err(TraceError::TemplateMismatch { .. }) => {
+                trace.clear_templates();
+                (trace::lower(&trace)?, true)
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut annotated: Vec<String> = trace
+            .threads
+            .iter()
+            .flat_map(|t| t.ops.iter().filter_map(|e| e.site.clone()))
+            .collect();
+        annotated.sort();
+        annotated.dedup();
+        Ok(Recording { trace, program, annotated, symmetry_fallback })
+    }
+}
+
+impl fmt::Debug for Model<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Model")
+            .field("name", &self.name)
+            .field("threads", &self.jobs.len())
+            .finish()
+    }
+}
+
+/// Record an `n`-thread symmetric workload in one call:
+/// `Model::new(name).template(n, f).record()`.
+///
+/// # Errors
+///
+/// See [`ShimError`].
+pub fn model<'env>(
+    name: &str,
+    n: usize,
+    f: impl Fn(usize) + Send + Sync + 'env,
+) -> Result<Recording, ShimError> {
+    Model::new(name).template(n, f).record()
+}
+
+/// The result of a successful [`Model::record`]: the raw trace, the
+/// lowered program, and the barrier-site annotations that survived into
+/// the program's relaxable site table.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// The recorded per-thread trace (initial memory, op sequences,
+    /// final checks) the program was lowered from.
+    pub trace: Trace,
+    program: Program,
+    annotated: Vec<String>,
+    /// Template unification failed and the threads were lowered
+    /// independently: the program carries no declared symmetry partition.
+    pub symmetry_fallback: bool,
+}
+
+impl Recording {
+    /// The lowered, checkable program.
+    #[must_use]
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The distinct `shim::site` names seen during recording, sorted.
+    /// These are exactly the program's *relaxable* barrier sites, so an
+    /// optimizer report's per-site modes map 1:1 back onto the annotated
+    /// source scopes.
+    #[must_use]
+    pub fn annotated_sites(&self) -> &[String] {
+        &self.annotated
+    }
+}
+
+/// Recording-powered constructor for [`vsync_core::Session`]: bring this
+/// trait into scope and `Session::from_shim(&recording)` builds a session
+/// over the lowered program.
+pub trait SessionExt: Sized {
+    /// A session over the recording's lowered program.
+    fn from_shim(recording: &Recording) -> Self;
+}
+
+impl SessionExt for vsync_core::Session {
+    fn from_shim(recording: &Recording) -> vsync_core::Session {
+        vsync_core::Session::new(recording.program().clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::{AtomicBool, AtomicU32, Ordering};
+    use crate::locks::{mutex_client, CasSpinlock, TasSpinlock, TicketSpinlock};
+    use vsync_core::Session;
+    use vsync_lang::trace::TraceOp;
+    use vsync_lang::Instr;
+
+    #[test]
+    fn tas_client_lowers_with_symmetry_and_verifies() {
+        let rec = mutex_client::<TasSpinlock>(2, 1).expect("recording");
+        assert!(!rec.symmetry_fallback);
+        assert_eq!(rec.annotated_sites(), ["tas.acquire.xchg", "tas.release.store"]);
+        let p = rec.program();
+        assert_eq!(p.num_threads(), 2);
+        assert!(p.declared_symmetry().is_some());
+        // The contended acquire collapsed into a native await on every
+        // template member (group promotion covers the uncontended winner).
+        for t in 0..2 {
+            assert!(
+                p.thread_code(t).iter().any(|i| matches!(i, Instr::AwaitRmw { .. })),
+                "thread {t} lost its await"
+            );
+        }
+        let report = Session::from_shim(&rec).run();
+        assert!(report.is_verified());
+    }
+
+    #[test]
+    fn cas_client_awaits_and_verifies() {
+        let rec = mutex_client::<CasSpinlock>(2, 1).expect("recording");
+        assert!(!rec.symmetry_fallback);
+        let p = rec.program();
+        assert!(p.thread_code(0).iter().any(|i| matches!(i, Instr::AwaitCas { .. })));
+        assert!(Session::from_shim(&rec).run().is_verified());
+    }
+
+    #[test]
+    fn ticket_client_awaits_and_verifies() {
+        let rec = mutex_client::<TicketSpinlock>(2, 1).expect("recording");
+        assert!(!rec.symmetry_fallback);
+        let p = rec.program();
+        assert!(p.thread_code(0).iter().any(|i| matches!(i, Instr::AwaitLoad { .. })));
+        assert!(Session::from_shim(&rec).run().is_verified());
+    }
+
+    #[test]
+    fn annotated_sites_match_relaxable_site_table() {
+        let rec = mutex_client::<TasSpinlock>(2, 1).expect("recording");
+        let p = rec.program();
+        let mut relaxable: Vec<String> = p
+            .relaxable_sites()
+            .into_iter()
+            .map(|s| p.sites()[s as usize].name.clone())
+            .collect();
+        relaxable.sort();
+        relaxable.dedup();
+        assert_eq!(relaxable, rec.annotated_sites());
+    }
+
+    #[test]
+    fn deadlock_on_a_spin_nobody_resolves() {
+        let flag = AtomicBool::new(false);
+        let err = model("stuck", 1, |_| {
+            while !flag.load(Ordering::Acquire) {}
+        })
+        .expect_err("must deadlock");
+        match err {
+            ShimError::Deadlock { blocked } => {
+                assert_eq!(blocked.len(), 1);
+                assert_eq!(blocked[0].0, 0);
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn step_budget_is_enforced() {
+        let x = AtomicU32::new(0);
+        let err = Model::new("busy")
+            .thread(|| {
+                for i in 0..100 {
+                    x.store(i, Ordering::Relaxed);
+                }
+            })
+            .step_budget(5)
+            .record()
+            .expect_err("must exhaust the budget");
+        assert!(matches!(err, ShimError::StepBudget { limit: 5 }), "{err}");
+    }
+
+    #[test]
+    fn user_panic_is_reported_with_its_message() {
+        let err = Model::new("boom")
+            .thread(|| panic!("the roof is on fire"))
+            .record()
+            .expect_err("must report the panic");
+        match err {
+            ShimError::UserPanic { thread, message } => {
+                assert_eq!(thread, 0);
+                assert!(message.contains("the roof is on fire"), "{message}");
+            }
+            other => panic!("expected UserPanic, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_recording_is_rejected() {
+        let saw_nested = std::sync::Mutex::new(false);
+        let rec = Model::new("outer")
+            .thread(|| {
+                let inner = model("inner", 1, |_| {});
+                *saw_nested.lock().unwrap() = matches!(inner, Err(ShimError::Nested));
+            })
+            .record()
+            .expect("outer recording survives");
+        assert!(*saw_nested.lock().unwrap());
+        assert_eq!(rec.program().num_threads(), 1);
+    }
+
+    #[test]
+    fn diverging_template_falls_back_without_symmetry() {
+        let x = AtomicU32::new(0);
+        let rec = model("diverge", 2, |i| {
+            x.load(Ordering::Relaxed);
+            if i == 1 {
+                x.store(1, Ordering::Relaxed);
+            }
+        })
+        .expect("fallback lowering succeeds");
+        assert!(rec.symmetry_fallback);
+        assert!(!rec.program().symmetry_partition().same_class(0, 1));
+        assert!(rec.program().thread_code(1).len() > rec.program().thread_code(0).len());
+    }
+
+    #[test]
+    fn fences_are_recorded() {
+        let rec = Model::new("fenced")
+            .thread(|| crate::atomic::fence(Ordering::SeqCst))
+            .record()
+            .expect("recording");
+        assert!(rec.trace.threads[0]
+            .ops
+            .iter()
+            .any(|e| matches!(e.op, TraceOp::Fence { .. })));
+    }
+
+    #[test]
+    fn shim_mutex_verifies_and_mutates_for_real() {
+        // The critical section must span >= 2 instrumented ops so the
+        // loser's spin is observed (see DESIGN.md §11 on uncontended
+        // acquires); the shadow counter also gives the checker a
+        // final-state claim that only holds if the mutex excludes.
+        let m = Mutex::new(0u32);
+        let obs = AtomicU32::new(0);
+        let rec = Model::new("mutex")
+            .template(2, |_| {
+                let mut g = m.lock();
+                *g += 1;
+                let v = obs.load(Ordering::Relaxed);
+                obs.store(v + 1, Ordering::Relaxed);
+            })
+            .final_eq(&obs, 2, "mutex protects the counter")
+            .record()
+            .expect("recording");
+        assert!(!rec.symmetry_fallback);
+        assert!(Session::from_shim(&rec).run().is_verified());
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
+    fn final_eq_violation_is_caught_by_the_checker() {
+        // Unlocked increments race; the recorded interleaving happens to be
+        // serial, but the checker explores the others and must refute the
+        // final-state claim.
+        let c = AtomicU32::new(0);
+        let rec = Model::new("racy")
+            .template(2, |_| {
+                let v = c.load(Ordering::Relaxed);
+                c.store(v + 1, Ordering::Relaxed);
+            })
+            .final_eq(&c, 4, "both increments land")
+            .record()
+            .expect("recording");
+        let report = Session::from_shim(&rec).run();
+        assert!(!report.is_verified());
+    }
+
+    #[test]
+    fn atomics_fall_back_to_std_outside_a_session() {
+        let x = AtomicU32::new(7);
+        assert_eq!(x.load(Ordering::SeqCst), 7);
+        assert_eq!(x.fetch_add(3, Ordering::AcqRel), 7);
+        assert_eq!(x.swap(1, Ordering::SeqCst), 10);
+        assert_eq!(x.compare_exchange(1, 5, Ordering::SeqCst, Ordering::Relaxed), Ok(1));
+        assert_eq!(x.compare_exchange(9, 0, Ordering::SeqCst, Ordering::Relaxed), Err(5));
+        crate::atomic::fence(Ordering::Relaxed); // accepted, unlike std
+        let b = AtomicBool::default();
+        assert!(!b.fetch_or(true, Ordering::SeqCst));
+        assert!(b.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,123 @@
+//! Real Rust spinlocks over shim atomics, with registry twins.
+//!
+//! Each lock here is ordinary code — the loops are real `while` loops over
+//! [`crate::atomic`] types — annotated with the *same barrier-site names*
+//! as its hand-built `vsync-locks` registry twin. Recording its generic
+//! mutual-exclusion client with [`mutex_client`] therefore lowers to a
+//! program that is event-for-event isomorphic to the twin's, which the
+//! differential suite exploits: verdicts, execution counts and optimized
+//! barrier assignments must all agree.
+
+use crate::atomic::{AtomicU32, Ordering};
+use crate::{site, Model, Recording, ShimError};
+
+/// A spinlock expressed with shim atomics, paired with the name of its
+/// hand-built `vsync-locks` registry twin.
+pub trait ShimLock: Default + Sync {
+    /// Registry name of the equivalent hand-built lock model.
+    const REGISTRY_TWIN: &'static str;
+
+    /// Acquire the lock.
+    fn lock(&self);
+
+    /// Release the lock.
+    fn unlock(&self);
+}
+
+/// Test-and-set spinlock: `while lock.swap(1, Acquire) != 0 {}`.
+/// Registry twin: `taslock`.
+#[derive(Debug, Default)]
+pub struct TasSpinlock {
+    locked: AtomicU32,
+}
+
+impl ShimLock for TasSpinlock {
+    const REGISTRY_TWIN: &'static str = "taslock";
+
+    fn lock(&self) {
+        site("tas.acquire.xchg", || while self.locked.swap(1, Ordering::Acquire) != 0 {});
+    }
+
+    fn unlock(&self) {
+        site("tas.release.store", || self.locked.store(0, Ordering::Release));
+    }
+}
+
+/// Compare-and-swap spinlock: retry `compare_exchange(0, 1, Acquire)`.
+/// Registry twin: `caslock`.
+#[derive(Debug, Default)]
+pub struct CasSpinlock {
+    locked: AtomicU32,
+}
+
+impl ShimLock for CasSpinlock {
+    const REGISTRY_TWIN: &'static str = "caslock";
+
+    fn lock(&self) {
+        site("caslock.acquire.cas", || {
+            while self
+                .locked
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {}
+        });
+    }
+
+    fn unlock(&self) {
+        site("caslock.release.store", || self.locked.store(0, Ordering::Release));
+    }
+}
+
+/// FIFO ticket lock: draw a ticket with `fetch_add`, spin until `owner`
+/// reaches it. Registry twin: `ticketlock`.
+#[derive(Debug, Default)]
+pub struct TicketSpinlock {
+    next: AtomicU32,
+    owner: AtomicU32,
+}
+
+impl ShimLock for TicketSpinlock {
+    const REGISTRY_TWIN: &'static str = "ticketlock";
+
+    fn lock(&self) {
+        let my = site("ticket.acquire.fai", || self.next.fetch_add(1, Ordering::Relaxed));
+        site("ticket.acquire.await", || while self.owner.load(Ordering::Acquire) != my {});
+    }
+
+    fn unlock(&self) {
+        // Only the owner writes `owner`: a plain load/store pair suffices.
+        let cur = site("ticket.release.load", || self.owner.load(Ordering::Relaxed));
+        site("ticket.release.store", || self.owner.store(cur + 1, Ordering::Release));
+    }
+}
+
+/// Record the paper's generic mutual-exclusion client over a shim lock:
+/// `threads` template-identical threads each acquire, increment a shared
+/// counter with relaxed accesses, and release, `acquires` times; the
+/// final-state check demands no increment is lost.
+///
+/// This is the shim analogue of `vsync_locks::mutex_client`, built from
+/// *real code* instead of a thread builder.
+///
+/// # Errors
+///
+/// Any [`ShimError`] of the underlying recording.
+pub fn mutex_client<L: ShimLock>(threads: usize, acquires: usize) -> Result<Recording, ShimError> {
+    let lock = L::default();
+    let counter = AtomicU32::new(0);
+    Model::new(L::REGISTRY_TWIN)
+        .template(threads, |_| {
+            for _ in 0..acquires {
+                lock.lock();
+                let c = counter.load(Ordering::Relaxed);
+                counter.store(c + 1, Ordering::Relaxed);
+                lock.unlock();
+            }
+        })
+        .final_eq(
+            &counter,
+            (threads * acquires) as u32,
+            "no increment lost in the critical section",
+        )
+        .record()
+}

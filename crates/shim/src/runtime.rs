@@ -1,0 +1,431 @@
+//! The recording scheduler: a cooperative, token-passing round-robin
+//! executor that serializes every instrumented shared-memory access,
+//! detects polling loops, and assembles the per-thread [`Trace`] that
+//! `vsync_lang::trace::lower` turns into a checkable program.
+//!
+//! ## Scheduling discipline
+//!
+//! Exactly one thread holds the *token* at any time; only the holder may
+//! perform an instrumented operation. After each operation the token
+//! passes to the next runnable thread in round-robin order, and a thread's
+//! termination is itself a token-synchronized step — so the recorded
+//! interleaving is a deterministic function of the program alone.
+//!
+//! ## Spin detection
+//!
+//! A *pure poll* is an operation with no memory effect: any load, a
+//! value-preserving RMW (`swap(1)` on a locked lock), or a failing CAS.
+//! When a thread performs a pure poll whose op **and** observed values are
+//! identical to its immediately preceding trace entry, the recorder infers
+//! a polling loop: both entries are tagged as spinning and the thread
+//! blocks, watching the polled location. Any write that changes the
+//! location's value re-enables the thread; the re-executed poll is
+//! recorded with the spin tag as the loop's continuation. A run of
+//! spin-tagged identical polls later collapses into a single native
+//! `Await` instruction.
+//!
+//! If every live thread is blocked, recording aborts with
+//! [`ShimError::Deadlock`] naming the watched locations.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::AtomicU64;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+use vsync_graph::Mode;
+use vsync_lang::trace::{Trace, TraceEntry, TraceOp, ThreadTrace};
+use vsync_lang::RmwOp;
+
+use crate::ShimError;
+
+/// Location handed to the first registered atomic; later ones step by 8.
+const LOC_BASE: u64 = 0x10;
+/// Address stride between registered atomics.
+const LOC_STEP: u64 = 0x8;
+
+/// Panic payload used to unwind user closures when recording aborts.
+struct ShimAbort;
+
+/// Serializes recording sessions process-wide: one `Model::record` at a
+/// time keeps cross-test interleavings trivially independent.
+static SESSION_SERIAL: Mutex<()> = Mutex::new(());
+
+/// Global id source for instrumented atomics.
+static NEXT_ATOMIC_ID: AtomicU64 = AtomicU64::new(1);
+
+pub(crate) fn fresh_atomic_id() -> u64 {
+    NEXT_ATOMIC_ID.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+}
+
+thread_local! {
+    /// The recording session this thread performs operations under, if any.
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+    /// Stack of active `shim::site` annotation scopes.
+    static SITES: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Run `f` with every instrumented operation annotated as barrier site
+/// `name` (innermost scope wins). Annotated operations lower to *named,
+/// relaxable* barrier sites — the optimizer's targets — shared across
+/// threads by name; unannotated operations stay pinned at their recorded
+/// mode.
+pub fn site<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    SITES.with(|s| s.borrow_mut().push(name.to_owned()));
+    struct Pop;
+    impl Drop for Pop {
+        fn drop(&mut self) {
+            SITES.with(|s| {
+                s.borrow_mut().pop();
+            });
+        }
+    }
+    let _pop = Pop;
+    f()
+}
+
+fn current_site() -> Option<String> {
+    SITES.with(|s| s.borrow().last().cloned())
+}
+
+pub(crate) fn context() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+pub(crate) fn in_session() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+/// One instrumented operation, as issued by a shim atomic.
+pub(crate) enum OpKind {
+    Load { mode: Mode },
+    Store { mode: Mode, value: u64 },
+    Rmw { mode: Mode, op: RmwOp, operand: u64 },
+    Cas { mode: Mode, expected: u64, new: u64 },
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Runnable,
+    Blocked { loc: u64, seen: u64 },
+    Done,
+}
+
+struct ThreadRec {
+    status: Status,
+    trace: Vec<TraceEntry>,
+    template: Option<u32>,
+}
+
+struct Inner {
+    memory: BTreeMap<u64, u64>,
+    /// Atomic id → assigned location, in first-access order.
+    locs: BTreeMap<u64, u64>,
+    next_loc: u64,
+    init: BTreeMap<u64, u64>,
+    threads: Vec<ThreadRec>,
+    /// Token holder (`usize::MAX` once every thread is done).
+    current: usize,
+    steps: u64,
+    budget: u64,
+    abort: Option<ShimError>,
+}
+
+pub(crate) struct Scheduler {
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// A worker's body: a one-off closure or one member of an n-thread
+/// template (called with its member index).
+pub(crate) enum Job<'env> {
+    Single(Box<dyn FnOnce() + Send + 'env>),
+    Member { f: Arc<dyn Fn(usize) + Send + Sync + 'env>, index: usize },
+}
+
+impl Scheduler {
+    fn new(templates: Vec<Option<u32>>, budget: u64) -> Scheduler {
+        Scheduler {
+            inner: Mutex::new(Inner {
+                memory: BTreeMap::new(),
+                locs: BTreeMap::new(),
+                next_loc: LOC_BASE,
+                init: BTreeMap::new(),
+                threads: templates
+                    .into_iter()
+                    .map(|template| ThreadRec {
+                        status: Status::Runnable,
+                        trace: Vec::new(),
+                        template,
+                    })
+                    .collect(),
+                current: 0,
+                steps: 0,
+                budget,
+                abort: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Unwind the calling user closure; the abort reason is already set.
+    fn unwind(g: MutexGuard<'_, Inner>) -> ! {
+        drop(g);
+        panic::panic_any(ShimAbort);
+    }
+
+    /// Wait until this thread holds the token and is runnable.
+    fn wait_for_token<'a>(
+        &'a self,
+        mut g: MutexGuard<'a, Inner>,
+        tid: usize,
+    ) -> MutexGuard<'a, Inner> {
+        loop {
+            if g.abort.is_some() {
+                Self::unwind(g);
+            }
+            if g.current == tid && g.threads[tid].status == Status::Runnable {
+                return g;
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Pass the token to the next runnable thread after `from` (round
+    /// robin; `from` itself is eligible again last). With nobody runnable,
+    /// a blocked thread means deadlock; all-done parks the token.
+    fn advance(&self, g: &mut Inner, from: usize) {
+        let n = g.threads.len();
+        for k in 1..=n {
+            let j = (from + k) % n;
+            if g.threads[j].status == Status::Runnable {
+                g.current = j;
+                self.cv.notify_all();
+                return;
+            }
+        }
+        let blocked: Vec<(usize, u64)> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| match t.status {
+                Status::Blocked { loc, .. } => Some((i, loc)),
+                _ => None,
+            })
+            .collect();
+        if !blocked.is_empty() {
+            g.abort = Some(ShimError::Deadlock { blocked });
+        }
+        g.current = usize::MAX;
+        self.cv.notify_all();
+    }
+
+    fn loc_of(g: &mut Inner, atomic: u64, init: u64) -> u64 {
+        if let Some(&l) = g.locs.get(&atomic) {
+            return l;
+        }
+        let l = g.next_loc;
+        g.next_loc += LOC_STEP;
+        g.locs.insert(atomic, l);
+        g.memory.insert(l, init);
+        g.init.insert(l, init);
+        l
+    }
+
+    fn charge_step<'a>(&'a self, mut g: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
+        g.steps += 1;
+        if g.steps > g.budget {
+            let limit = g.budget;
+            g.abort = Some(ShimError::StepBudget { limit });
+            self.cv.notify_all();
+            Self::unwind(g);
+        }
+        g
+    }
+
+    /// Record a fence on thread `tid`.
+    pub(crate) fn fence(&self, tid: usize, mode: Mode) {
+        let g = self.lock();
+        let mut g = self.charge_step(self.wait_for_token(g, tid));
+        let site = current_site();
+        g.threads[tid].trace.push(TraceEntry {
+            op: TraceOp::Fence { mode },
+            site,
+            spin: false,
+        });
+        self.advance(&mut g, tid);
+    }
+
+    /// Execute one instrumented memory operation on thread `tid` against
+    /// the atomic with id `atomic` (registered with value `init` on first
+    /// access). Returns the observed value: the value read for loads,
+    /// RMWs and CASes, `0` for stores.
+    pub(crate) fn perform(&self, tid: usize, atomic: u64, init: u64, kind: &OpKind) -> u64 {
+        let g = self.lock();
+        let mut g = self.wait_for_token(g, tid);
+        let loc = Self::loc_of(&mut g, atomic, init);
+        let site = current_site();
+        // Set once this call has blocked and been re-enabled: the re-poll
+        // is the continuation (and possibly the exit) of the spin.
+        let mut woken = false;
+        loop {
+            g = self.charge_step(g);
+            let cur = *g.memory.get(&loc).expect("registered location");
+            let (op, write, ret) = match *kind {
+                OpKind::Load { mode } => (TraceOp::Load { loc, mode, value: cur }, None, cur),
+                OpKind::Store { mode, value } => {
+                    (TraceOp::Store { loc, mode, value }, Some(value), 0)
+                }
+                OpKind::Rmw { mode, op, operand } => (
+                    TraceOp::Rmw { loc, mode, op, operand, old: cur },
+                    Some(op.apply(cur, operand)),
+                    cur,
+                ),
+                OpKind::Cas { mode, expected, new } => (
+                    TraceOp::Cas { loc, mode, expected, new, old: cur },
+                    (cur == expected).then_some(new),
+                    cur,
+                ),
+            };
+            // A pure poll: no memory effect (failing CAS, value-preserving
+            // RMW, or any load).
+            let pure = match kind {
+                OpKind::Load { .. } => true,
+                OpKind::Store { .. } => false,
+                OpKind::Rmw { .. } => write == Some(cur),
+                OpKind::Cas { .. } => write.is_none(),
+            };
+            let t = &mut g.threads[tid];
+            let repeats = t
+                .trace
+                .last()
+                .is_some_and(|last| last.op == op && last.site == site);
+            if pure && !woken && repeats {
+                // Second identical pure poll in a row: assume a polling
+                // loop, retro-tag both entries and block until the
+                // location's value changes.
+                t.trace.last_mut().expect("just matched").spin = true;
+                t.trace.push(TraceEntry { op, site: site.clone(), spin: true });
+                t.status = Status::Blocked { loc, seen: cur };
+                self.advance(&mut g, tid);
+                g = self.wait_for_token(g, tid);
+                woken = true;
+                continue;
+            }
+            if let Some(nv) = write {
+                if nv != cur {
+                    g.memory.insert(loc, nv);
+                    for th in &mut g.threads {
+                        if let Status::Blocked { loc: l, seen } = th.status {
+                            if l == loc && seen != nv {
+                                th.status = Status::Runnable;
+                            }
+                        }
+                    }
+                }
+            }
+            g.threads[tid].trace.push(TraceEntry { op, site, spin: woken });
+            self.advance(&mut g, tid);
+            return ret;
+        }
+    }
+
+    /// A worker's exit protocol. Normal completion waits for the token so
+    /// that termination is a deterministic scheduling step; a non-shim
+    /// panic aborts the whole recording.
+    fn finish(&self, tid: usize, outcome: Result<(), Box<dyn std::any::Any + Send>>) {
+        let mut g = self.lock();
+        match outcome {
+            Ok(()) => {
+                while g.abort.is_none()
+                    && !(g.current == tid && g.threads[tid].status == Status::Runnable)
+                {
+                    g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            Err(payload) => {
+                if !payload.is::<ShimAbort>() && g.abort.is_none() {
+                    g.abort = Some(ShimError::UserPanic {
+                        thread: tid,
+                        message: panic_message(&payload),
+                    });
+                }
+            }
+        }
+        g.threads[tid].status = Status::Done;
+        if g.abort.is_some() {
+            self.cv.notify_all();
+        } else {
+            self.advance(&mut g, tid);
+        }
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Run `jobs` to completion under the recording scheduler and assemble
+/// the trace. `finals` are `(atomic id, init, expected, message)` final
+/// state checks, resolved against the location map after the run.
+pub(crate) fn run(
+    name: &str,
+    jobs: Vec<(Job<'_>, Option<u32>)>,
+    finals: &[(u64, u64, u64, String)],
+    budget: u64,
+) -> Result<Trace, ShimError> {
+    if in_session() {
+        return Err(ShimError::Nested);
+    }
+    let _serial = SESSION_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
+    let templates: Vec<Option<u32>> = jobs.iter().map(|(_, t)| *t).collect();
+    let sched = Arc::new(Scheduler::new(templates, budget));
+    std::thread::scope(|s| {
+        for (tid, (job, _)) in jobs.into_iter().enumerate() {
+            let sched = Arc::clone(&sched);
+            s.spawn(move || {
+                CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), tid)));
+                let outcome = panic::catch_unwind(AssertUnwindSafe(|| match job {
+                    Job::Single(f) => f(),
+                    Job::Member { f, index } => f(index),
+                }));
+                CTX.with(|c| *c.borrow_mut() = None);
+                sched.finish(tid, outcome);
+            });
+        }
+    });
+    let mut inner = Arc::into_inner(sched)
+        .expect("all workers joined")
+        .inner
+        .into_inner()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(e) = inner.abort.take() {
+        return Err(e);
+    }
+    let mut trace = Trace {
+        name: name.to_owned(),
+        init: BTreeMap::new(),
+        threads: inner
+            .threads
+            .iter()
+            .map(|t| ThreadTrace { ops: t.trace.clone(), template: t.template })
+            .collect(),
+        final_checks: Vec::new(),
+    };
+    for (atomic, init, expected, msg) in finals {
+        let loc = Scheduler::loc_of(&mut inner, *atomic, *init);
+        trace.final_checks.push((loc, *expected, msg.clone()));
+    }
+    trace.init = inner.init.iter().map(|(&l, &v)| (l, v)).collect();
+    Ok(trace)
+}

@@ -1,0 +1,78 @@
+//! An instrumented [`Mutex`] built from a shim test-and-set spinlock.
+
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+
+use crate::atomic::{AtomicU32, Ordering};
+use crate::runtime::site;
+
+/// A drop-in mutual-exclusion lock whose acquire/release are instrumented
+/// shim operations: under `shim::model` the lock word becomes a model
+/// location and the spin becomes a native `Await`, so data protected by
+/// the mutex is checked for lost updates like any other recorded state.
+///
+/// The implementation is a test-and-set spinlock (`swap(1, Acquire)` until
+/// it returns 0; `store(0, Release)` to unlock). Both operations carry
+/// per-instance barrier-site annotations (`mutex<id>.acquire.xchg` /
+/// `mutex<id>.release.store`), so the optimizer can relax each mutex
+/// independently.
+///
+/// Unlike `std::sync::Mutex`, [`Mutex::lock`] cannot fail and there is no
+/// poisoning.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    word: AtomicU32,
+    value: UnsafeCell<T>,
+}
+
+// Safety: access to `value` is serialized by the `word` spinlock, exactly
+// like `std::sync::Mutex`.
+unsafe impl<T: Send> Send for Mutex<T> {}
+unsafe impl<T: Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Create a new unlocked mutex holding `value`.
+    pub fn new(value: T) -> Mutex<T> {
+        Mutex { word: AtomicU32::new(0), value: UnsafeCell::new(value) }
+    }
+
+    /// Acquire the lock, spinning until it is free.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let name = format!("mutex{}.acquire.xchg", self.word.raw_id());
+        site(&name, || while self.word.swap(1, Ordering::Acquire) != 0 {});
+        MutexGuard { mutex: self }
+    }
+
+    /// Consume the mutex and return the protected value.
+    pub fn into_inner(self) -> T {
+        self.value.into_inner()
+    }
+}
+
+/// RAII guard of [`Mutex::lock`]; releases the lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T> {
+    mutex: &'a Mutex<T>,
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // Safety: the guard holds the lock.
+        unsafe { &*self.mutex.value.get() }
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // Safety: the guard holds the lock exclusively.
+        unsafe { &mut *self.mutex.value.get() }
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let name = format!("mutex{}.release.store", self.mutex.word.raw_id());
+        site(&name, || self.mutex.word.store(0, Ordering::Release));
+    }
+}

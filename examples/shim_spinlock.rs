@@ -1,0 +1,109 @@
+//! Real Rust spinlocks checked through the shim: record TAS, CAS and
+//! ticket locks — ordinary `while` loops over `shim::atomic` types — and
+//! differentially compare each against its hand-built registry twin:
+//! same verdicts, same canonical execution counts, same optimized
+//! barrier assignment, mapped back to the annotated source sites.
+//!
+//! ```sh
+//! cargo run --release --example shim_spinlock
+//! ```
+//!
+//! Exits nonzero on any shim/registry divergence, so CI can run it as a
+//! smoke test.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use vsync::core::{OptimizerConfig, Session};
+use vsync::locks::registry;
+use vsync::model::ModelKind;
+use vsync::shim::locks::{mutex_client, CasSpinlock, ShimLock, TasSpinlock, TicketSpinlock};
+use vsync::shim::SessionExt as _;
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+/// Record the shim lock's mutual-exclusion client, run both it and the
+/// registry twin's through the full model matrix, and demand identical
+/// verdicts and canonical execution counts.
+fn differential<L: ShimLock>(threads: usize, acquires: usize) -> Result<(), String> {
+    let rec = mutex_client::<L>(threads, acquires)
+        .map_err(|e| format!("{}: recording failed: {e}", L::REGISTRY_TWIN))?;
+    if rec.symmetry_fallback {
+        return Err(format!("{}: lost the symmetry partition", L::REGISTRY_TWIN));
+    }
+    let twin = registry::entry(L::REGISTRY_TWIN)
+        .ok_or_else(|| format!("{}: no registry twin", L::REGISTRY_TWIN))?
+        .client(threads, acquires);
+
+    let shim_report =
+        Session::from_shim(&rec).models(ModelKind::all()).deadline(DEADLINE).run();
+    let twin_report = Session::new(twin).models(ModelKind::all()).deadline(DEADLINE).run();
+
+    println!("{} ({threads} threads, {acquires} acquires):", L::REGISTRY_TWIN);
+    for (s, t) in shim_report.models.iter().zip(&twin_report.models) {
+        let (sv, tv) = (s.verdict.to_string(), t.verdict.to_string());
+        let (se, te) = (s.stats.complete_executions, t.stats.complete_executions);
+        println!("  {:>4}: shim {sv} ({se} executions) | registry {tv} ({te} executions)", s.model);
+        if sv != tv {
+            return Err(format!("{}: verdicts diverge under {}", L::REGISTRY_TWIN, s.model));
+        }
+        if se != te {
+            return Err(format!(
+                "{}: execution counts diverge under {} ({se} vs {te})",
+                L::REGISTRY_TWIN, s.model
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Optimize the recorded TAS client from its annotated (Acquire/Release)
+/// barriers and print the assignment mapped back to the source sites.
+fn optimize_tas() -> Result<(), String> {
+    let rec = mutex_client::<TasSpinlock>(2, 1).map_err(|e| format!("recording failed: {e}"))?;
+    let report = Session::from_shim(&rec)
+        .model(ModelKind::Vmm)
+        .deadline(DEADLINE)
+        .optimize(OptimizerConfig::default())
+        .run();
+    let opt = report.models[0]
+        .optimization
+        .as_ref()
+        .ok_or("TAS client did not verify, so nothing was optimized")?;
+    println!("\noptimizer on the recorded TAS client: {} -> {}", opt.before, opt.after);
+    for name in rec.annotated_sites() {
+        // Every annotated source site survives into the optimized
+        // program's site table under its own name — that is the map-back.
+        let modes: Vec<String> = opt
+            .program
+            .sites()
+            .iter()
+            .filter(|s| &s.name == name)
+            .map(|s| s.mode.to_string())
+            .collect();
+        if modes.is_empty() {
+            return Err(format!("annotated site {name} lost by the optimizer"));
+        }
+        println!("  site {name:<20} -> {}", modes.join(", "));
+    }
+    Ok(())
+}
+
+type Check = fn() -> Result<(), String>;
+
+fn main() -> ExitCode {
+    let checks: [(&str, Check); 4] = [
+        ("tas", || differential::<TasSpinlock>(2, 1)),
+        ("cas", || differential::<CasSpinlock>(2, 1)),
+        ("ticket", || differential::<TicketSpinlock>(2, 1)),
+        ("optimize", optimize_tas),
+    ];
+    for (what, check) in checks {
+        if let Err(e) = check() {
+            eprintln!("FAIL {what}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("\nall shim locks agree with their registry twins");
+    ExitCode::SUCCESS
+}

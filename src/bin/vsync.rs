@@ -64,8 +64,9 @@ options:
 exit codes:
   0  verified / every expectation met
   1  violation found or expectation mismatch
-  2  inconclusive: cancelled, deadline expired, or a resource budget
-     (--max-memory-mb / --max-dedup / max-graphs) was exhausted
+  2  inconclusive: cancelled, deadline expired, a resource budget
+     (--max-memory-mb / --max-dedup / max-graphs) was exhausted, or the
+     input file/directory was missing or unreadable
   3  engine error: a worker panicked (the panic was caught and reported)
      or a corpus file was quarantined";
 
@@ -237,6 +238,15 @@ fn session_exit_code(r: &Report) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// A missing or unreadable input is an environment problem, not a
+/// verification verdict: report the structured diagnostic (which names
+/// the offending path) and exit 2 (inconclusive) — distinct from
+/// expectation mismatches (1) and engine errors (3).
+fn unreadable_input(e: &vsync::core::SourceError) -> ExitCode {
+    eprintln!("error: {e}");
+    ExitCode::from(2)
 }
 
 /// The corpus analogue of [`session_exit_code`]: quarantined files and
@@ -422,8 +432,10 @@ fn run() -> Result<ExitCode, String> {
         "check" => {
             let (file, rest) = rest.split_first().ok_or("check needs a .litmus file")?;
             let o = Options::parse(rest)?;
-            let r = run_corpus(Path::new(file), &o.corpus_options())
-                .map_err(|e| format!("cannot read {file}: {e}"))?;
+            let r = match run_corpus(Path::new(file), &o.corpus_options()) {
+                Ok(r) => r,
+                Err(e) => return Ok(unreadable_input(&e)),
+            };
             if o.json {
                 println!("{}", r.to_json());
             } else {
@@ -434,8 +446,10 @@ fn run() -> Result<ExitCode, String> {
         "corpus" => {
             let (dir, rest) = rest.split_first().ok_or("corpus needs a directory")?;
             let o = Options::parse(rest)?;
-            let r = run_corpus(Path::new(dir), &o.corpus_options())
-                .map_err(|e| format!("cannot read {dir}: {e}"))?;
+            let r = match run_corpus(Path::new(dir), &o.corpus_options()) {
+                Ok(r) => r,
+                Err(e) => return Ok(unreadable_input(&e)),
+            };
             if r.files.is_empty() {
                 return Err(format!("no .litmus files under {dir}"));
             }

@@ -18,6 +18,10 @@
 //! * [`locks`] — the verified lock catalog (incl. the paper's three study
 //!   cases), its name-based [`locks::registry`], and the 18 runtime locks
 //!   of the evaluation;
+//! * [`shim`] — the loom-style instrumented runtime: drop-in
+//!   `shim::atomic` types and `shim::Mutex` record *real Rust code* under
+//!   a deterministic scheduler and lower the trace into a checkable
+//!   program ([`shim::SessionExt::from_shim`]);
 //! * [`sim`] — the deterministic virtual-time multicore simulator behind
 //!   the performance evaluation.
 //!
@@ -61,6 +65,32 @@
 //! assert!(report.is_verified());
 //! assert_eq!(report.models.len(), 2);
 //! ```
+//!
+//! And real Rust code — ordinary `while` loops over instrumented atomics
+//! — is checked by recording it through the [`shim`]:
+//!
+//! ```
+//! use vsync::core::Session;
+//! use vsync::shim::atomic::{AtomicU32, Ordering};
+//! use vsync::shim::{site, Model, SessionExt as _};
+//!
+//! let lock = AtomicU32::new(0);
+//! let counter = AtomicU32::new(0);
+//! let rec = Model::new("tas-spinlock")
+//!     .template(2, |_| {
+//!         // A real test-and-set acquire; the annotated spin lowers to a
+//!         // native await at a relaxable barrier site.
+//!         site("acquire", || while lock.swap(1, Ordering::Acquire) != 0 {});
+//!         let c = counter.load(Ordering::Relaxed);
+//!         counter.store(c + 1, Ordering::Relaxed);
+//!         site("release", || lock.store(0, Ordering::Release));
+//!     })
+//!     .final_eq(&counter, 2, "no increment is lost")
+//!     .record()
+//!     .expect("records and lowers");
+//! assert_eq!(rec.annotated_sites(), ["acquire", "release"]);
+//! assert!(Session::from_shim(&rec).run().is_verified());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -70,4 +100,5 @@ pub use vsync_graph as graph;
 pub use vsync_lang as lang;
 pub use vsync_locks as locks;
 pub use vsync_model as model;
+pub use vsync_shim as shim;
 pub use vsync_sim as sim;

@@ -307,6 +307,43 @@ mod dsl_gen {
         }
     }
 
+    /// Registers an await may read. `Program::validate` rejects awaits
+    /// whose operands read never-written registers, so await-feeding
+    /// operands draw only from this small pool, and every generated
+    /// thread `mov`-initializes the whole pool up front.
+    const AWAIT_POOL: u8 = 4;
+
+    fn await_reg(rng: &mut Rng) -> Reg {
+        Reg(rng.below(AWAIT_POOL as u64) as u8)
+    }
+
+    fn await_operand(rng: &mut Rng) -> Operand {
+        if rng.below(2) == 0 {
+            Operand::Reg(await_reg(rng))
+        } else {
+            Operand::Imm(rng.below(4))
+        }
+    }
+
+    fn await_addr(rng: &mut Rng) -> Addr {
+        match rng.below(4) {
+            0 => Addr::Imm(0x10 + 0x10 * rng.below(3)),
+            1 => Addr::Imm(0x1000),
+            2 => Addr::Reg(await_reg(rng)),
+            _ => Addr::RegOff(await_reg(rng), 8 * rng.below(3)),
+        }
+    }
+
+    fn await_test(rng: &mut Rng) -> Test {
+        use vsync::lang::Cmp;
+        let cmp = [Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge][rng.below(6) as usize];
+        Test {
+            mask: (rng.below(3) == 0).then(|| await_operand(rng)),
+            cmp,
+            rhs: await_operand(rng),
+        }
+    }
+
     /// Final-state checks are evaluated against memory alone, so their
     /// operands must be immediates (`Program::validate` rejects registers).
     fn final_test(rng: &mut Rng) -> Test {
@@ -370,12 +407,12 @@ mod dsl_gen {
                 0 => t.fence(mode_any(rng)),
                 _ => t.fence(("pool.fence", pool.fence_mode)),
             },
-            5 => t.await_load(dst, addr(rng), test(rng), mode_for_load(rng)),
+            5 => t.await_load(dst, await_addr(rng), await_test(rng), mode_for_load(rng)),
             6 => {
                 let op = [RmwOp::Xchg, RmwOp::Add, RmwOp::Or][rng.below(3) as usize];
-                t.await_rmw(dst, addr(rng), test(rng), op, operand(rng), mode_any(rng))
+                t.await_rmw(dst, await_addr(rng), await_test(rng), op, await_operand(rng), mode_any(rng))
             }
-            7 => t.await_cas(dst, addr(rng), operand(rng), operand(rng), mode_any(rng)),
+            7 => t.await_cas(dst, await_addr(rng), await_operand(rng), await_operand(rng), mode_any(rng)),
             8 => t.mov(dst, operand(rng)),
             9 => {
                 let op = [AluOp::Add, AluOp::Sub, AluOp::And, AluOp::Or, AluOp::Xor, AluOp::Shl, AluOp::Shr]
@@ -388,6 +425,10 @@ mod dsl_gen {
     }
 
     fn emit_thread(t: &mut ThreadBuilder, rng: &mut Rng, pool: SitePool) {
+        // Seed the await register pool so awaits always read written regs.
+        for r in 0..AWAIT_POOL {
+            t.mov(Reg(r), rng.below(4));
+        }
         let segments = 1 + rng.below(4);
         for _ in 0..segments {
             match rng.below(4) {

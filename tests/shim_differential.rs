@@ -1,0 +1,141 @@
+//! Differential suite: every shim spinlock, recorded from real Rust
+//! code, must be indistinguishable from its hand-built registry twin —
+//! identical verdicts and canonical-orbit counts across worker counts,
+//! the whole model matrix, and symmetry on/off — and the optimizer must
+//! land on the same barrier assignment, reported against the annotated
+//! source sites.
+
+use std::time::Duration;
+
+use vsync::core::{OptimizerConfig, Session};
+use vsync::locks::registry;
+use vsync::model::ModelKind;
+use vsync::shim::locks::{mutex_client, CasSpinlock, ShimLock, TasSpinlock, TicketSpinlock};
+use vsync::shim::SessionExt as _;
+
+const DEADLINE: Duration = Duration::from_secs(120);
+
+/// Shim recording vs registry twin over the full configuration matrix:
+/// workers x models x symmetry.
+fn assert_twin<L: ShimLock>(threads: usize, acquires: usize) {
+    let rec = mutex_client::<L>(threads, acquires).expect("recording succeeds");
+    assert!(!rec.symmetry_fallback, "{}: template unification failed", L::REGISTRY_TWIN);
+    let twin = registry::entry(L::REGISTRY_TWIN).expect("twin registered");
+
+    for workers in [1usize, 2, 8] {
+        for symmetry in [true, false] {
+            let shim_report = Session::from_shim(&rec)
+                .models(ModelKind::all())
+                .workers(workers)
+                .symmetry(symmetry)
+                .deadline(DEADLINE)
+                .run();
+            let twin_report = Session::new(twin.client(threads, acquires))
+                .models(ModelKind::all())
+                .workers(workers)
+                .symmetry(symmetry)
+                .deadline(DEADLINE)
+                .run();
+            assert_eq!(shim_report.models.len(), twin_report.models.len());
+            for (s, t) in shim_report.models.iter().zip(&twin_report.models) {
+                let ctx = format!(
+                    "{} {}t/{}a, {} workers, symmetry={symmetry}, {}",
+                    L::REGISTRY_TWIN, threads, acquires, workers, s.model
+                );
+                assert_eq!(s.verdict.to_string(), t.verdict.to_string(), "verdict: {ctx}");
+                assert_eq!(
+                    s.stats.complete_executions, t.stats.complete_executions,
+                    "canonical orbit count: {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tas_matches_its_registry_twin() {
+    assert_twin::<TasSpinlock>(2, 1);
+}
+
+#[test]
+fn tas_three_threads_matches_its_registry_twin() {
+    assert_twin::<TasSpinlock>(3, 1);
+}
+
+#[test]
+fn cas_matches_its_registry_twin() {
+    assert_twin::<CasSpinlock>(2, 1);
+}
+
+#[test]
+fn ticket_matches_its_registry_twin() {
+    assert_twin::<TicketSpinlock>(2, 1);
+}
+
+#[test]
+fn ticket_repeated_acquires_match_the_registry_twin() {
+    assert_twin::<TicketSpinlock>(2, 2);
+}
+
+/// The optimizer relaxes exactly the annotated source sites, and lands on
+/// the same per-site modes as on the hand-built twin.
+fn assert_optimizer_maps_back<L: ShimLock>() {
+    let rec = mutex_client::<L>(2, 1).expect("recording succeeds");
+
+    // The program's relaxable site table is exactly the annotated sites.
+    let p = rec.program();
+    let mut relaxable: Vec<&str> =
+        p.relaxable_sites().iter().map(|&s| p.sites()[s as usize].name.as_str()).collect();
+    relaxable.sort_unstable();
+    relaxable.dedup();
+    assert_eq!(relaxable, rec.annotated_sites());
+
+    let optimized = |session: Session| -> Vec<(String, String)> {
+        let report = session
+            .model(ModelKind::Vmm)
+            .deadline(DEADLINE)
+            .optimize(OptimizerConfig::default())
+            .run();
+        let opt = report.models[0].optimization.as_ref().expect("verified, so optimized");
+        assert!(opt.verified);
+        let mut modes: Vec<(String, String)> = opt
+            .program
+            .sites()
+            .iter()
+            .filter(|s| s.relaxable)
+            .map(|s| (s.name.clone(), s.mode.to_string()))
+            .collect();
+        modes.sort();
+        modes.dedup();
+        modes
+    };
+
+    let shim_modes = optimized(Session::from_shim(&rec));
+    let twin =
+        registry::entry(L::REGISTRY_TWIN).expect("twin registered").client(2, 1);
+    let twin_modes = optimized(Session::new(twin));
+    assert_eq!(shim_modes, twin_modes, "{}: optimized assignments diverge", L::REGISTRY_TWIN);
+
+    // Map-back: each optimized mode is keyed by an annotated source site.
+    for (name, _) in &shim_modes {
+        assert!(
+            rec.annotated_sites().contains(name),
+            "optimized site {name} does not map back to an annotation"
+        );
+    }
+}
+
+#[test]
+fn tas_optimizer_maps_back_to_annotated_sites() {
+    assert_optimizer_maps_back::<TasSpinlock>();
+}
+
+#[test]
+fn ticket_optimizer_maps_back_to_annotated_sites() {
+    assert_optimizer_maps_back::<TicketSpinlock>();
+}
+
+#[test]
+fn cas_optimizer_maps_back_to_annotated_sites() {
+    assert_optimizer_maps_back::<CasSpinlock>();
+}
