@@ -14,6 +14,11 @@
 //! `BENCH_explore.json` (validated by the in-repo JSON parser) so the
 //! perf trajectory is tracked across PRs.
 //!
+//! Each row additionally runs the enumerate-and-dedup reference search
+//! (untimed, 1 sample) and records how many graphs each strategy
+//! *constructed*: `reduction = enumerate_graphs / constructed_graphs` is
+//! the per-row stateless-optimality claim of the revisit search.
+//!
 //! ```sh
 //! cargo run --release -p vsync-bench --bin explore_perf
 //! ```
@@ -24,7 +29,7 @@
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
-use vsync_core::{Report, Session};
+use vsync_core::{Report, SearchMode, Session};
 use vsync_model::{CheckerKind, ModelKind};
 
 struct Row {
@@ -32,6 +37,10 @@ struct Row {
     graphs: u64,
     events: u64,
     executions: u64,
+    constructed: u64,
+    duplicates: u64,
+    revisits: u64,
+    enumerate_graphs: u64,
     baseline: Duration,
     fast1: Duration,
     fast_n: Duration,
@@ -84,14 +93,21 @@ fn main() {
             median_time(samples, || session().checker(CheckerKind::Reference).run());
         let (fast1, r_fast) = median_time(samples, || session().run());
         let (fast_n, r_par) = median_time(samples, || session().workers(workers).run());
+        // The enumerate-and-dedup reference search: untimed, one sample;
+        // its constructed count is the revisit reduction's denominator.
+        let r_enum = session().search(SearchMode::Enumerate).run();
         assert!(
-            r_base.is_verified() && r_fast.is_verified() && r_par.is_verified(),
+            r_base.is_verified()
+                && r_fast.is_verified()
+                && r_par.is_verified()
+                && r_enum.is_verified(),
             "{label}: catalog lock failed to verify"
         );
-        let (sb, sf, sp) = (
+        let (sb, sf, sp, se) = (
             r_base.models[0].stats,
             r_fast.models[0].stats,
             r_par.models[0].stats,
+            r_enum.models[0].stats,
         );
         assert_eq!(
             sb.complete_executions, sf.complete_executions,
@@ -101,15 +117,23 @@ fn main() {
             sf.complete_executions, sp.complete_executions,
             "{label}: sequential/parallel execution counts diverge"
         );
+        assert_eq!(
+            sf.complete_executions, se.complete_executions,
+            "{label}: revisit/enumerate execution counts diverge"
+        );
         eprintln!(
-            "  {label:<14} baseline {baseline:>9.2?}  fast-1 {fast1:>9.2?}  fast-{workers} {fast_n:>9.2?}  ({} graphs)",
-            sf.popped
+            "  {label:<14} baseline {baseline:>9.2?}  fast-1 {fast1:>9.2?}  fast-{workers} {fast_n:>9.2?}  ({} constructed, {} enumerated)",
+            sf.constructed, se.constructed
         );
         rows.push(Row {
             name: label.to_owned(),
             graphs: sf.popped,
             events: sf.events,
             executions: sf.complete_executions,
+            constructed: sf.constructed,
+            duplicates: sf.duplicates,
+            revisits: sf.revisits,
+            enumerate_graphs: se.constructed,
             baseline,
             fast1,
             fast_n,
@@ -123,25 +147,41 @@ fn main() {
     let total_graphs: u64 = rows.iter().map(|r| r.graphs).sum();
     let total_events: u64 = rows.iter().map(|r| r.events).sum();
 
+    let total_constructed: u64 = rows.iter().map(|r| r.constructed).sum();
+    let total_enumerated: u64 = rows.iter().map(|r| r.enumerate_graphs).sum();
+    let reduction =
+        |constructed: u64, enumerated: u64| enumerated as f64 / (constructed as f64).max(1.0);
+
     println!(
-        "{:<14} {:>10} {:>12} {:>11} {:>11} {:>11} {:>9}",
-        "lock", "graphs", "events", "baseline", "fast-1", "fast-N", "speedup"
+        "{:<14} {:>11} {:>11} {:>10} {:>11} {:>11} {:>11} {:>9} {:>9}",
+        "lock", "constructed", "enumerated", "events", "baseline", "fast-1", "fast-N", "speedup",
+        "reduction"
     );
     for r in &rows {
         println!(
-            "{:<14} {:>10} {:>12} {:>11.2?} {:>11.2?} {:>11.2?} {:>8.2}x",
+            "{:<14} {:>11} {:>11} {:>10} {:>11.2?} {:>11.2?} {:>11.2?} {:>8.2}x {:>8.2}x",
             r.name,
-            r.graphs,
+            r.constructed,
+            r.enumerate_graphs,
             r.events,
             r.baseline,
             r.fast1,
             r.fast_n,
-            r.baseline.as_secs_f64() / r.fast1.as_secs_f64().max(1e-9)
+            r.baseline.as_secs_f64() / r.fast1.as_secs_f64().max(1e-9),
+            reduction(r.constructed, r.enumerate_graphs),
         );
     }
     println!(
-        "{:<14} {:>10} {:>12} {:>11.2?} {:>11.2?} {:>11.2?} {:>8.2}x",
-        "TOTAL", total_graphs, total_events, tb, t1, tn, speedup1
+        "{:<14} {:>11} {:>11} {:>10} {:>11.2?} {:>11.2?} {:>11.2?} {:>8.2}x {:>8.2}x",
+        "TOTAL",
+        total_constructed,
+        total_enumerated,
+        total_events,
+        tb,
+        t1,
+        tn,
+        speedup1,
+        reduction(total_constructed, total_enumerated),
     );
     println!(
         "fast-1: {:.0} graphs/s, {:.0} events/s | fast-{workers}: {:.0} graphs/s | speedup vs baseline: {speedup1:.2}x (1 worker), {speedup_n:.2}x ({workers} workers)",
@@ -162,12 +202,19 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"name\": \"{}\", \"graphs\": {}, \"events\": {}, \"complete_executions\": {}, \
+             \"constructed_graphs\": {}, \"duplicates\": {}, \"revisits\": {}, \
+             \"enumerate_graphs\": {}, \"reduction\": {:.3}, \
              \"baseline_ms\": {:.3}, \"fast1_ms\": {:.3}, \"fastN_ms\": {:.3}, \
              \"graphs_per_sec_fast1\": {:.1}, \"events_per_sec_fast1\": {:.1}, \"speedup_fast1\": {:.3}}}{comma}",
             r.name,
             r.graphs,
             r.events,
             r.executions,
+            r.constructed,
+            r.duplicates,
+            r.revisits,
+            r.enumerate_graphs,
+            reduction(r.constructed, r.enumerate_graphs),
             r.baseline.as_secs_f64() * 1e3,
             r.fast1.as_secs_f64() * 1e3,
             r.fast_n.as_secs_f64() * 1e3,
@@ -180,9 +227,12 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"total\": {{\"graphs\": {total_graphs}, \"events\": {total_events}, \
+         \"constructed_graphs\": {total_constructed}, \
+         \"enumerate_graphs\": {total_enumerated}, \"reduction\": {:.3}, \
          \"baseline_ms\": {:.3}, \"fast1_ms\": {:.3}, \"fastN_ms\": {:.3}, \
          \"graphs_per_sec_fast1\": {:.1}, \"events_per_sec_fast1\": {:.1}, \
          \"speedup_fast1\": {speedup1:.3}, \"speedup_fastN\": {speedup_n:.3}}}",
+        reduction(total_constructed, total_enumerated),
         tb.as_secs_f64() * 1e3,
         t1.as_secs_f64() * 1e3,
         tn.as_secs_f64() * 1e3,

@@ -34,7 +34,7 @@ use vsync_dsl::{Diagnostic, Expectation, ExpectedVerdict, LitmusTest, Span};
 use vsync_model::ModelKind;
 
 use crate::session::{json_str, verdict_kind, ProgressFn, Session};
-use crate::verdict::{EngineError, EnginePhase, Verdict};
+use crate::verdict::{EngineError, EnginePhase, SearchMode, Verdict};
 use crate::{failpoint, CancelToken};
 
 /// Failure to load a litmus file: I/O or parse.
@@ -81,6 +81,9 @@ pub struct CorpusOptions {
     pub max_memory_bytes: u64,
     /// Per-exploration dedup-table entry cap (0 = unlimited).
     pub max_dedup_entries: u64,
+    /// Exploration search strategy (CLI `--search`; verdicts and counts
+    /// are strategy-independent).
+    pub search: SearchMode,
 }
 
 impl fmt::Debug for CorpusOptions {
@@ -90,6 +93,7 @@ impl fmt::Debug for CorpusOptions {
             .field("workers", &self.workers)
             .field("jobs", &self.jobs)
             .field("no_symmetry", &self.no_symmetry)
+            .field("search", &self.search)
             .field("deadline", &self.deadline)
             .finish()
     }
@@ -409,6 +413,7 @@ pub fn check_test(
         .models(models.iter().copied())
         .workers(opts.workers.max(1))
         .symmetry(!opts.no_symmetry)
+        .search(opts.search)
         .max_memory_bytes(opts.max_memory_bytes)
         .max_dedup_entries(opts.max_dedup_entries)
         .with_cancel(opts.cancel.clone());

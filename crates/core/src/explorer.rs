@@ -66,7 +66,7 @@ use crate::session::{ProgressSnapshot, RunControl};
 use crate::stagnancy::is_stagnant;
 use crate::verdict::{
     AmcConfig, AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive,
-    ResourceBudget, StopReason, Verdict,
+    ResourceBudget, SearchMode, StopReason, Verdict,
 };
 
 /// Lock acquisition with explicit poison recovery: every mutex in the
@@ -75,12 +75,12 @@ use crate::verdict::{
 /// impossible to observe — the panic either happens outside any guard or
 /// inside `catch_unwind`-wrapped processing that never holds one. A
 /// poisoned flag therefore carries no information and must not cascade.
-fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// Render a caught panic payload for an [`EngineError`].
-fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+pub(crate) fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -128,10 +128,11 @@ pub fn explore_with(prog: &Program, config: &AmcConfig, control: &RunControl) ->
         .filter(|p| !p.is_trivial());
     let engine =
         Engine { prog, config, model: config.model.checker(config.checker), control, partition };
-    if config.workers > 1 {
-        engine.run_parallel(config.workers)
-    } else {
-        engine.run_sequential()
+    match (config.search, config.workers > 1) {
+        (SearchMode::Revisit, false) => engine.run_revisit_sequential(),
+        (SearchMode::Revisit, true) => engine.run_revisit_parallel(config.workers),
+        (SearchMode::Enumerate, false) => engine.run_sequential(),
+        (SearchMode::Enumerate, true) => engine.run_parallel(config.workers),
     }
 }
 
@@ -251,7 +252,7 @@ pub fn count_executions_with(
 /// Pass-through hasher for the dedup set: the keys are already 128-bit
 /// content hashes, so running them through SipHash again is pure waste.
 #[derive(Default)]
-struct IdentityHasher(u64);
+pub(crate) struct IdentityHasher(u64);
 
 impl Hasher for IdentityHasher {
     fn finish(&self) -> u64 {
@@ -270,33 +271,34 @@ impl Hasher for IdentityHasher {
     }
 }
 
-type SeenSet = HashSet<u128, BuildHasherDefault<IdentityHasher>>;
+pub(crate) type SeenSet = HashSet<u128, BuildHasherDefault<IdentityHasher>>;
 
 /// The scheduler-independent part of the explorer: how one work item is
-/// processed. Shared by the sequential and parallel drivers.
-struct Engine<'p> {
-    prog: &'p Program,
-    config: &'p AmcConfig,
-    model: &'static dyn MemoryModel,
-    control: &'p RunControl,
+/// processed. Shared by the sequential and parallel drivers of both search
+/// modes (the revisit-driven drivers live in [`crate::revisit`]).
+pub(crate) struct Engine<'p> {
+    pub(crate) prog: &'p Program,
+    pub(crate) config: &'p AmcConfig,
+    pub(crate) model: &'static dyn MemoryModel,
+    pub(crate) control: &'p RunControl,
     /// Non-trivial thread-symmetry partition, when symmetry-aware dedup
     /// is enabled for this run. Each worker derives its own
     /// [`Canonicalizer`] (scratch buffers) from it.
-    partition: Option<vsync_graph::ThreadPartition>,
+    pub(crate) partition: Option<vsync_graph::ThreadPartition>,
 }
 
 /// Items between deadline/progress checks. The cancel flag is read on
 /// every item (one relaxed-ish atomic load); `Instant::now()` and the
 /// progress machinery only every `CHECK_PERIOD` items so they stay out of
 /// the hot path.
-const CHECK_PERIOD: u64 = 64;
+pub(crate) const CHECK_PERIOD: u64 = 64;
 
 /// Per-worker cadence state for the cooperative control checks.
 ///
 /// In parallel runs `gate` points at a shared last-emission timestamp so
 /// only one worker emits a snapshot per interval; sequential runs keep a
 /// local timestamp.
-struct Pacer<'c> {
+pub(crate) struct Pacer<'c> {
     control: &'c RunControl,
     started: Instant,
     last_emit: Instant,
@@ -306,7 +308,11 @@ struct Pacer<'c> {
 }
 
 impl<'c> Pacer<'c> {
-    fn new(control: &'c RunControl, workers: usize, gate: Option<&'c Mutex<Instant>>) -> Self {
+    pub(crate) fn new(
+        control: &'c RunControl,
+        workers: usize,
+        gate: Option<&'c Mutex<Instant>>,
+    ) -> Self {
         let now = Instant::now();
         Pacer { control, started: now, last_emit: now, gate, count: 0, workers }
     }
@@ -314,7 +320,7 @@ impl<'c> Pacer<'c> {
     /// One cancellation point. Returns the stop reason that should end
     /// the run, if any; otherwise possibly emits a progress snapshot
     /// built from `stats` (already merged across workers by the caller).
-    fn poll(&mut self, stats: impl FnOnce() -> ExploreStats) -> Option<StopReason> {
+    pub(crate) fn poll(&mut self, stats: impl FnOnce() -> ExploreStats) -> Option<StopReason> {
         if self.control.cancel.is_cancelled() {
             return Some(StopReason::Cancelled);
         }
@@ -373,9 +379,10 @@ impl<'c> Pacer<'c> {
 /// Atomic accumulation of per-worker [`ExploreStats`], so parallel
 /// progress snapshots can merge counters without stopping anyone.
 #[derive(Default)]
-struct SharedStats {
+pub(crate) struct SharedStats {
     popped: AtomicU64,
     pushed: AtomicU64,
+    constructed: AtomicU64,
     duplicates: AtomicU64,
     symmetry_pruned: AtomicU64,
     inconsistent: AtomicU64,
@@ -387,9 +394,10 @@ struct SharedStats {
 }
 
 impl SharedStats {
-    fn add(&self, s: &ExploreStats) {
+    pub(crate) fn add(&self, s: &ExploreStats) {
         self.popped.fetch_add(s.popped, Ordering::Relaxed);
         self.pushed.fetch_add(s.pushed, Ordering::Relaxed);
+        self.constructed.fetch_add(s.constructed, Ordering::Relaxed);
         self.duplicates.fetch_add(s.duplicates, Ordering::Relaxed);
         self.symmetry_pruned.fetch_add(s.symmetry_pruned, Ordering::Relaxed);
         self.inconsistent.fetch_add(s.inconsistent, Ordering::Relaxed);
@@ -400,10 +408,11 @@ impl SharedStats {
         self.events.fetch_add(s.events, Ordering::Relaxed);
     }
 
-    fn snapshot(&self) -> ExploreStats {
+    pub(crate) fn snapshot(&self) -> ExploreStats {
         ExploreStats {
             popped: self.popped.load(Ordering::Relaxed),
             pushed: self.pushed.load(Ordering::Relaxed),
+            constructed: self.constructed.load(Ordering::Relaxed),
             duplicates: self.duplicates.load(Ordering::Relaxed),
             symmetry_pruned: self.symmetry_pruned.load(Ordering::Relaxed),
             inconsistent: self.inconsistent.load(Ordering::Relaxed),
@@ -418,10 +427,11 @@ impl SharedStats {
 }
 
 /// Field-wise `a - b`; `b` is always an earlier copy of `a`.
-fn stats_delta(a: &ExploreStats, b: &ExploreStats) -> ExploreStats {
+pub(crate) fn stats_delta(a: &ExploreStats, b: &ExploreStats) -> ExploreStats {
     ExploreStats {
         popped: a.popped - b.popped,
         pushed: a.pushed - b.pushed,
+        constructed: a.constructed - b.constructed,
         duplicates: a.duplicates - b.duplicates,
         symmetry_pruned: a.symmetry_pruned - b.symmetry_pruned,
         inconsistent: a.inconsistent - b.inconsistent,
@@ -443,7 +453,7 @@ const DEDUP_ENTRY_BYTES: u64 = 48;
 /// entry counts. Byte accounting is skipped entirely when no memory
 /// ceiling is set, so unlimited runs never call
 /// [`ExecutionGraph::approx_heap_bytes`].
-struct BudgetTracker {
+pub(crate) struct BudgetTracker {
     max_bytes: u64,
     max_entries: u64,
     bytes: AtomicU64,
@@ -455,7 +465,7 @@ struct BudgetTracker {
 }
 
 impl BudgetTracker {
-    fn new(b: &ResourceBudget) -> Self {
+    pub(crate) fn new(b: &ResourceBudget) -> Self {
         BudgetTracker {
             max_bytes: b.max_memory_bytes,
             max_entries: b.max_dedup_entries,
@@ -465,19 +475,19 @@ impl BudgetTracker {
         }
     }
 
-    fn charge(&self, g: &ExecutionGraph) {
+    pub(crate) fn charge(&self, g: &ExecutionGraph) {
         if self.max_bytes != 0 {
             self.bytes.fetch_add(g.approx_heap_bytes() as u64, Ordering::Relaxed);
         }
     }
 
-    fn release(&self, g: &ExecutionGraph) {
+    pub(crate) fn release(&self, g: &ExecutionGraph) {
         if self.max_bytes != 0 {
             self.bytes.fetch_sub(g.approx_heap_bytes() as u64, Ordering::Relaxed);
         }
     }
 
-    fn note_dedup_entry(&self) {
+    pub(crate) fn note_dedup_entry(&self) {
         if self.max_bytes != 0 {
             self.bytes.fetch_add(DEDUP_ENTRY_BYTES, Ordering::Relaxed);
         }
@@ -487,7 +497,7 @@ impl BudgetTracker {
     }
 
     /// Record a synthetic allocation failure (failpoint `oom` action).
-    fn force(&self, reason: StopReason) {
+    pub(crate) fn force(&self, reason: StopReason) {
         let code = match reason {
             StopReason::DedupBudget => 2,
             _ => 1,
@@ -495,7 +505,7 @@ impl BudgetTracker {
         self.forced.store(code, Ordering::Relaxed);
     }
 
-    fn exceeded(&self) -> Option<StopReason> {
+    pub(crate) fn exceeded(&self) -> Option<StopReason> {
         match self.forced.load(Ordering::Relaxed) {
             1 => return Some(StopReason::MemoryBudget),
             2 => return Some(StopReason::DedupBudget),
@@ -512,7 +522,7 @@ impl BudgetTracker {
 }
 
 /// Assemble the degraded result for a budget- or interrupt-stopped run.
-fn degraded(
+pub(crate) fn degraded(
     reason: StopReason,
     mut stats: ExploreStats,
     explored: u64,
@@ -558,7 +568,7 @@ impl Step<'_> {
 }
 
 impl<'p> Engine<'p> {
-    fn initial_graph(&self) -> ExecutionGraph {
+    pub(crate) fn initial_graph(&self) -> ExecutionGraph {
         ExecutionGraph::new(self.prog.num_threads(), self.prog.init().clone())
     }
 
@@ -850,6 +860,7 @@ impl<'p> Engine<'p> {
         let budget = BudgetTracker::new(&self.config.budget);
         let initial = self.initial_graph();
         budget.charge(&initial);
+        stats.constructed = 1; // the initial graph
         let mut stack = vec![initial];
         let mut children: Vec<ExecutionGraph> = Vec::new();
         let mut pacer = Pacer::new(self.control, 1, None);
@@ -1077,6 +1088,7 @@ impl<'p> Engine<'p> {
             stats.merge(&s);
             executions.append(&mut e);
         }
+        stats.constructed += 1; // the initial graph, built by the driver
         let verdict = queue.into_verdict();
         if let Verdict::Inconclusive(i) = &verdict {
             stats.frontier_dropped = i.frontier_dropped;
@@ -1087,6 +1099,9 @@ impl<'p> Engine<'p> {
 
 fn push(step: &mut Step<'_>, g: ExecutionGraph) {
     step.stats.pushed += 1;
+    // The enumerate engine materializes every candidate it pushes; the
+    // dedup set discards duplicates only after construction.
+    step.stats.constructed += 1;
     step.out.push(g);
 }
 
@@ -1095,7 +1110,7 @@ fn push(step: &mut Step<'_>, g: ExecutionGraph) {
 /// `pending` counts items that are queued *or* currently being processed:
 /// exploration is complete exactly when it reaches zero. Verdict-bearing
 /// items set `stop`, draining all workers promptly.
-struct WorkQueue {
+pub(crate) struct WorkQueue {
     state: Mutex<QueueState>,
     cond: Condvar,
 }
@@ -1109,7 +1124,7 @@ struct QueueState {
 }
 
 impl WorkQueue {
-    fn new(initial: ExecutionGraph) -> Self {
+    pub(crate) fn new(initial: ExecutionGraph) -> Self {
         WorkQueue {
             state: Mutex::new(QueueState {
                 items: vec![initial],
@@ -1124,7 +1139,7 @@ impl WorkQueue {
 
     /// Pop a work item, sleeping while the queue is empty but siblings are
     /// still in flight. `None` means the exploration is over.
-    fn pop(&self) -> Option<(ExecutionGraph, u64)> {
+    pub(crate) fn pop(&self) -> Option<(ExecutionGraph, u64)> {
         let mut q = relock(&self.state);
         loop {
             if q.stop {
@@ -1143,7 +1158,7 @@ impl WorkQueue {
 
     /// Total popped items and current frontier length — the `explored` /
     /// `frontier_dropped` pair of a degraded stop.
-    fn snapshot(&self) -> (u64, u64) {
+    pub(crate) fn snapshot(&self) -> (u64, u64) {
         let q = relock(&self.state);
         (q.popped, q.items.len() as u64)
     }
@@ -1164,6 +1179,37 @@ impl WorkQueue {
         }
     }
 
+    /// Inject children *mid-item*, without ending the popped item's
+    /// accounting — the revisit driver hands alternates and revisit
+    /// children to peers at every chain step while it keeps extending the
+    /// chain in place.
+    pub(crate) fn push_children(&self, children: &mut Vec<ExecutionGraph>) {
+        if children.is_empty() {
+            return;
+        }
+        let n = children.len();
+        let mut q = relock(&self.state);
+        q.items.append(children);
+        q.pending += n;
+        if q.stop {
+            self.cond.notify_all();
+        } else {
+            for _ in 0..n {
+                self.cond.notify_one();
+            }
+        }
+    }
+
+    /// Account the end of one popped item whose children were already
+    /// injected via [`WorkQueue::push_children`].
+    pub(crate) fn finish_item(&self) {
+        let mut q = relock(&self.state);
+        q.pending -= 1;
+        if q.pending == 0 || q.stop {
+            self.cond.notify_all();
+        }
+    }
+
     /// Record a terminal verdict and stop all workers. First verdict
     /// wins within a severity class, but a more definitive verdict found
     /// by a still-running worker upgrades a weaker one already recorded:
@@ -1171,7 +1217,7 @@ impl WorkQueue {
     /// stops — a cancellation must not discard a counterexample a peer
     /// already holds in hand, and a budget stop must not mask a caught
     /// panic.
-    fn finish(&self, v: Verdict) {
+    pub(crate) fn finish(&self, v: Verdict) {
         fn rank(v: &Verdict) -> u8 {
             match v {
                 Verdict::Inconclusive(_) => 0,
@@ -1192,13 +1238,13 @@ impl WorkQueue {
     }
 
     /// Stop all workers without recording a verdict (panic unwind path).
-    fn abort(&self) {
+    pub(crate) fn abort(&self) {
         let mut q = relock(&self.state);
         q.stop = true;
         self.cond.notify_all();
     }
 
-    fn into_verdict(self) -> Verdict {
+    pub(crate) fn into_verdict(self) -> Verdict {
         self.state
             .into_inner()
             .unwrap_or_else(|e| e.into_inner())
@@ -1211,7 +1257,7 @@ impl WorkQueue {
 /// observe, from per-location coherence with the thread's own earlier
 /// accesses (CoRR/CoWR). Purely an optimization: the model check would
 /// reject anything below this anyway.
-fn min_source_pos(g: &ExecutionGraph, t: ThreadId, loc: Loc) -> usize {
+pub(crate) fn min_source_pos(g: &ExecutionGraph, t: ThreadId, loc: Loc) -> usize {
     let evs = g.thread_events(t);
     for (i, ev) in evs.iter().enumerate().rev() {
         match &ev.kind {

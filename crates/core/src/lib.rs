@@ -37,6 +37,7 @@ mod corpus;
 mod explorer;
 pub mod failpoint;
 mod optimize;
+mod revisit;
 mod session;
 mod stagnancy;
 mod verdict;
@@ -60,5 +61,5 @@ pub use session::{
 pub use stagnancy::{is_stagnant, is_stuck};
 pub use verdict::{
     AmcConfig, AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive,
-    ResourceBudget, StopReason, Verdict,
+    ResourceBudget, SearchMode, StopReason, Verdict,
 };

@@ -47,7 +47,7 @@ use vsync_model::{CheckerKind, ModelKind};
 
 use crate::explorer::explore_with;
 use crate::optimize::{run_engine, OptimizationReport, OptimizeEvent, OptimizerConfig, StepFn};
-use crate::verdict::{AmcConfig, ExploreStats, Verdict};
+use crate::verdict::{AmcConfig, ExploreStats, SearchMode, Verdict};
 
 /// A shareable, thread-safe cancellation flag.
 ///
@@ -284,9 +284,10 @@ impl Report {
     /// {"program", "verified", "interrupted", "elapsed_ms", "models": [
     ///    {"model", "verdict", "stop_reason", "message", "counterexample",
     ///     "elapsed_ms",
-    ///     "stats": {popped, pushed, duplicates, symmetry_pruned,
-    ///               inconsistent, wasteful, revisits, complete_executions,
-    ///               blocked_graphs, events, frontier_dropped},
+    ///     "stats": {popped, pushed, constructed, duplicates,
+    ///               symmetry_pruned, inconsistent, wasteful, revisits,
+    ///               complete_executions, blocked_graphs, events,
+    ///               frontier_dropped},
     ///     "optimization": null | {"verified", "interrupted", "error",
     ///        "strategy", "verifications", "explorations",
     ///        "explored_graphs", "cache_hits", "elapsed_ms", "before",
@@ -363,12 +364,14 @@ fn verdict_message(v: &Verdict) -> String {
 
 fn stats_json(s: &ExploreStats) -> String {
     format!(
-        "{{\"popped\": {}, \"pushed\": {}, \"duplicates\": {}, \"symmetry_pruned\": {}, \
+        "{{\"popped\": {}, \"pushed\": {}, \"constructed\": {}, \"duplicates\": {}, \
+         \"symmetry_pruned\": {}, \
          \"inconsistent\": {}, \"wasteful\": {}, \"revisits\": {}, \
          \"complete_executions\": {}, \"blocked_graphs\": {}, \"events\": {}, \
          \"frontier_dropped\": {}}}",
         s.popped,
         s.pushed,
+        s.constructed,
         s.duplicates,
         s.symmetry_pruned,
         s.inconsistent,
@@ -576,6 +579,17 @@ impl Session {
     /// Select the consistency-checker implementation.
     pub fn checker(mut self, checker: CheckerKind) -> Session {
         self.config.checker = checker;
+        self
+    }
+
+    /// Select the exploration search strategy (default
+    /// [`SearchMode::Revisit`]): the revisit-driven search constructs each
+    /// porf-consistent graph at most once; [`SearchMode::Enumerate`] is
+    /// the frontier-enumeration reference algorithm (the CLI's
+    /// `--search enumerate`). Verdicts and complete-execution counts are
+    /// strategy-independent.
+    pub fn search(mut self, search: SearchMode) -> Session {
+        self.config.search = search;
         self
     }
 

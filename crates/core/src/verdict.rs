@@ -29,6 +29,52 @@ impl ResourceBudget {
     }
 }
 
+/// Which search discipline drives the exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum SearchMode {
+    /// Revisit-driven reads-from search (default): work items are chain
+    /// roots explored depth-first by in-place extension; alternative
+    /// reads-from / mo choices and backward revisits are materialized at
+    /// most once, gated by a hash-before-materialize probe. Each
+    /// porf-consistent graph is constructed at most once per orbit.
+    #[default]
+    Revisit,
+    /// The naive enumerate-and-dedup frontier search: every candidate
+    /// extension becomes its own work item and the global canonical-hash
+    /// set filters duplicates after construction. Retained as the
+    /// differential reference oracle (like the closure-based reference
+    /// checker), selected with `--search enumerate`.
+    Enumerate,
+}
+
+impl SearchMode {
+    /// Stable machine-readable identifier (used in JSON reports / CLI).
+    pub fn key(&self) -> &'static str {
+        match self {
+            SearchMode::Revisit => "revisit",
+            SearchMode::Enumerate => "enumerate",
+        }
+    }
+}
+
+impl fmt::Display for SearchMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.key())
+    }
+}
+
+impl std::str::FromStr for SearchMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<SearchMode, String> {
+        match s {
+            "revisit" => Ok(SearchMode::Revisit),
+            "enumerate" => Ok(SearchMode::Enumerate),
+            other => Err(format!("unknown search mode `{other}` (revisit|enumerate)")),
+        }
+    }
+}
+
 /// Configuration of an AMC run.
 #[derive(Debug, Clone)]
 pub struct AmcConfig {
@@ -67,6 +113,9 @@ pub struct AmcConfig {
     /// Consistency-check implementation: the closure-free fast path
     /// (default) or the naive closure-based reference formulation.
     pub checker: CheckerKind,
+    /// Search discipline: the revisit-driven reads-from search (default)
+    /// or the naive enumerate-and-dedup frontier (the reference oracle).
+    pub search: SearchMode,
     /// Memory / dedup ceilings with graceful degradation (default:
     /// unlimited).
     pub budget: ResourceBudget,
@@ -84,6 +133,7 @@ impl Default for AmcConfig {
             collect_executions: false,
             workers: 1,
             checker: CheckerKind::Fast,
+            search: SearchMode::default(),
             budget: ResourceBudget::default(),
         }
     }
@@ -159,15 +209,39 @@ impl AmcConfig {
         self.checker = checker;
         self
     }
+
+    /// Builder-style: use the naive enumerate-and-dedup search (the
+    /// differential reference oracle for the revisit-driven search).
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_reference_search(mut self) -> Self {
+        self.search = SearchMode::Enumerate;
+        self
+    }
+
+    /// Builder-style: select a search discipline.
+    #[must_use = "builder methods return the modified config"]
+    pub fn with_search(mut self, search: SearchMode) -> Self {
+        self.search = search;
+        self
+    }
 }
 
 /// Counters describing an exploration (paper Fig. 6's search).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExploreStats {
-    /// Work items popped from the stack.
+    /// Work items popped from the stack. Under [`SearchMode::Revisit`]
+    /// one popped chain root accounts for every in-place extension step of
+    /// its chain, so `popped` stays the unit of "graphs processed"
+    /// (replays performed) in both search modes.
     pub popped: u64,
     /// Work items pushed.
     pub pushed: u64,
+    /// Execution graphs materialized in memory (the initial graph plus
+    /// every cloned branch alternate / revisit child). Under
+    /// [`SearchMode::Enumerate`] this equals `pushed + 1`; the
+    /// revisit-driven search keeps it close to the number of *distinct*
+    /// consistent graphs — the headline metric of the rearchitecture.
+    pub constructed: u64,
     /// Items skipped as duplicates (content hash already seen).
     pub duplicates: u64,
     /// Items pruned by thread-symmetry reduction: the item was not its
@@ -200,6 +274,7 @@ impl ExploreStats {
     pub fn merge(&mut self, other: &ExploreStats) {
         self.popped += other.popped;
         self.pushed += other.pushed;
+        self.constructed += other.constructed;
         self.duplicates += other.duplicates;
         self.symmetry_pruned += other.symmetry_pruned;
         self.inconsistent += other.inconsistent;
@@ -216,11 +291,12 @@ impl fmt::Display for ExploreStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} executions ({} popped, {} pushed, {} dups, {} sym-pruned, \
+            "{} executions ({} popped, {} pushed, {} constructed, {} dups, {} sym-pruned, \
              {} inconsistent, {} wasteful, {} revisits, {} blocked)",
             self.complete_executions,
             self.popped,
             self.pushed,
+            self.constructed,
             self.duplicates,
             self.symmetry_pruned,
             self.inconsistent,

@@ -222,6 +222,221 @@ fn encode_relabeled(g: &ExecutionGraph, perm: Option<(&[ThreadId], &[ThreadId])>
     }
 }
 
+/// A filtered view of a graph — the revisit engine's
+/// hash-before-materialize probe target.
+///
+/// Describes the graph that *would* result from restricting `g` to
+/// per-thread program-order prefixes (`keep_lens`; `None` keeps
+/// everything) and re-pointing at most one read's reads-from edge
+/// (`rf_override`), without building that graph. The encoding is
+/// **flag-blind**: the derived `rmw` / `awaiting` read flags are excluded,
+/// because the one read a revisit re-points carries stale flags until the
+/// next replay repairs them. The flags are pure functions of the program,
+/// the event structure and the rf edge, so among the executions of a
+/// single program flag-blind equality coincides with full content
+/// equality — but hashes from this encoding live in a different universe
+/// than [`content_hash`] and must never be mixed with it.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphView<'a> {
+    g: &'a ExecutionGraph,
+    keep_lens: Option<&'a [u32]>,
+    rf_override: Option<(EventId, EventId)>,
+}
+
+impl<'a> GraphView<'a> {
+    /// View the whole graph as-is.
+    #[must_use]
+    pub fn full(g: &'a ExecutionGraph) -> Self {
+        GraphView { g, keep_lens: None, rf_override: None }
+    }
+
+    /// View the whole graph with `read`'s source re-pointed to `write`
+    /// (the shape of a blocked-await resolution revisit).
+    #[must_use]
+    pub fn with_rf(g: &'a ExecutionGraph, read: EventId, write: EventId) -> Self {
+        GraphView { g, keep_lens: None, rf_override: Some((read, write)) }
+    }
+
+    /// View the restriction of `g` to the per-thread prefixes `keep_lens`
+    /// (as from [`crate::EventSet::prefix_lens`] of a porf-closed keep
+    /// set), with `read`'s source re-pointed to `write` (the shape of a
+    /// backward revisit). Both `read` and `write` must survive the cut.
+    #[must_use]
+    pub fn restricted(
+        g: &'a ExecutionGraph,
+        keep_lens: &'a [u32],
+        read: EventId,
+        write: EventId,
+    ) -> Self {
+        GraphView { g, keep_lens: Some(keep_lens), rf_override: Some((read, write)) }
+    }
+
+    fn kept(&self, id: EventId) -> bool {
+        match (self.keep_lens, id) {
+            (Some(lens), EventId::Event { thread, index }) => index < lens[thread as usize],
+            _ => true,
+        }
+    }
+}
+
+/// Serialize a [`GraphView`] as if its threads were relabeled by `perm`
+/// (same convention as `encode_relabeled`). The byte layout mirrors
+/// [`canonical_bytes`] except that read events carry no flags byte, so a
+/// view encoding never collides with a flag-aware encoding by layout
+/// accident alone — they are compared only among themselves.
+fn encode_view_relabeled(
+    v: &GraphView<'_>,
+    perm: Option<(&[ThreadId], &[ThreadId])>,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    let g = v.g;
+    let map_id = |id: EventId| match (perm, id) {
+        (Some((fwd, _)), EventId::Event { thread, index }) => {
+            EventId::Event { thread: fwd[thread as usize], index }
+        }
+        _ => id,
+    };
+    for (&loc, &val) in g.init_table() {
+        push_u64(out, loc);
+        push_u64(out, val);
+    }
+    out.push(0xfe);
+    for t in 0..g.num_threads() as ThreadId {
+        out.push(0xfd);
+        let source = match perm {
+            Some((_, inv)) => inv[t as usize],
+            None => t,
+        };
+        let evs = g.thread_events(source);
+        let cut = match v.keep_lens {
+            Some(lens) => (lens[source as usize] as usize).min(evs.len()),
+            None => evs.len(),
+        };
+        for (i, ev) in evs[..cut].iter().enumerate() {
+            match &ev.kind {
+                EventKind::Read { loc, mode, rf, .. } => {
+                    let id = EventId::new(source, i as u32);
+                    let rf = match v.rf_override {
+                        Some((read, write)) if read == id => RfSource::Write(write),
+                        _ => *rf,
+                    };
+                    out.push(1);
+                    push_u64(out, *loc);
+                    out.push(mode.tag());
+                    match rf {
+                        RfSource::Bottom => out.push(0),
+                        RfSource::Write(w) => {
+                            out.push(1);
+                            push_event_id(out, map_id(w));
+                        }
+                    }
+                }
+                EventKind::Write { loc, val, mode, rmw } => {
+                    out.push(2);
+                    push_u64(out, *loc);
+                    push_u64(out, *val);
+                    out.push(mode.tag());
+                    out.push(*rmw as u8);
+                }
+                EventKind::Fence { mode } => {
+                    out.push(3);
+                    out.push(mode.tag());
+                }
+                EventKind::Error { msg } => {
+                    out.push(4);
+                    push_u64(out, msg.len() as u64);
+                    out.extend_from_slice(msg.as_bytes());
+                }
+            }
+        }
+    }
+    out.push(0xfc);
+    for loc in g.written_locs().collect::<Vec<_>>() {
+        let mut any = false;
+        for &w in g.mo(loc) {
+            if !v.kept(w) {
+                continue;
+            }
+            if !any {
+                push_u64(out, loc);
+                any = true;
+            }
+            push_event_id(out, map_id(w));
+        }
+        // A location whose every write is cut vanishes, exactly as in
+        // `ExecutionGraph::restrict`: the encoding of a view equals the
+        // encoding of the materialized restriction.
+        if any {
+            out.push(0xfb);
+        }
+    }
+}
+
+/// Reusable hashing state for [`GraphView`]s — the revisit engine's
+/// counterpart of [`Canonicalizer`]. Holds the partition's non-identity
+/// relabelings (none ⇒ plain content hashing) and scratch buffers; one
+/// instance per explorer worker.
+#[derive(Debug)]
+pub struct ExploreEncoder {
+    perms: Vec<(Vec<ThreadId>, Vec<ThreadId>)>,
+    best: Vec<u8>,
+    cur: Vec<u8>,
+    chosen: Option<usize>,
+}
+
+impl ExploreEncoder {
+    /// Build the encoder; `None` (or a trivial partition) hashes views
+    /// as-is, a partition hashes them modulo its thread relabelings.
+    #[must_use]
+    pub fn new(partition: Option<&ThreadPartition>) -> Self {
+        let perms = match partition {
+            None => Vec::new(),
+            Some(p) => {
+                let limited = p.clone().limited(MAX_SYMMETRY_PERMUTATIONS);
+                limited
+                    .permutations()
+                    .into_iter()
+                    .filter(|perm| perm.iter().enumerate().any(|(t, &l)| l != t as ThreadId))
+                    .map(|fwd| {
+                        let mut inv = vec![0 as ThreadId; fwd.len()];
+                        for (t, &l) in fwd.iter().enumerate() {
+                            inv[l as usize] = t as ThreadId;
+                        }
+                        (fwd, inv)
+                    })
+                    .collect()
+            }
+        };
+        ExploreEncoder { perms, best: Vec::new(), cur: Vec::new(), chosen: None }
+    }
+
+    /// Flag-blind (orbit-canonical, if a partition is active) hash of a
+    /// view, plus whether a non-identity relabeling produced the canonical
+    /// form ([`ExploreEncoder::chosen_perm`] then reports which).
+    pub fn hash_view(&mut self, v: &GraphView<'_>) -> (u128, bool) {
+        let (best, cur) = (&mut self.best, &mut self.cur);
+        encode_view_relabeled(v, None, best);
+        self.chosen = None;
+        for (i, (fwd, inv)) in self.perms.iter().enumerate() {
+            encode_view_relabeled(v, Some((fwd, inv)), cur);
+            if cur.as_slice() < best.as_slice() {
+                std::mem::swap(best, cur);
+                self.chosen = Some(i);
+            }
+        }
+        (hash128(&self.best), self.chosen.is_some())
+    }
+
+    /// The relabeling (`perm[original] = new`) that produced the last
+    /// canonical form, or `None` if the view already was the orbit
+    /// representative.
+    #[must_use]
+    pub fn chosen_perm(&self) -> Option<&[ThreadId]> {
+        self.chosen.map(|i| self.perms[i].0.as_slice())
+    }
+}
+
 /// Reusable canonicalization state for one [`ThreadPartition`]: the
 /// allowed non-identity thread relabelings (with inverses) and two scratch
 /// encoding buffers. One instance per explorer worker; feeding it graphs
@@ -569,6 +784,97 @@ mod tests {
         };
         let sym = crate::ThreadPartition::from_class_ids(&[0, 0]);
         assert_ne!(canonical_hash_modulo(&mk(1), &sym), canonical_hash_modulo(&mk(2), &sym));
+    }
+
+    fn view_hash(v: &GraphView<'_>) -> u128 {
+        ExploreEncoder::new(None).hash_view(v).0
+    }
+
+    #[test]
+    fn view_hash_is_flag_blind_but_rf_sensitive() {
+        let mk = |rmw: bool, awaiting: bool| {
+            let mut g = ExecutionGraph::new(2, BTreeMap::new());
+            let w = g.push_event(0, EventKind::Write { loc: 0x10, val: 1, mode: Mode::Rel, rmw: false });
+            g.insert_mo(0x10, w, 0);
+            g.push_event(
+                1,
+                EventKind::Read { loc: 0x10, mode: Mode::Acq, rf: RfSource::Write(w), rmw, awaiting },
+            );
+            g
+        };
+        let (plain, stale) = (mk(false, false), mk(true, true));
+        // The flag-aware content hash separates stale and repaired flags…
+        assert_ne!(content_hash(&plain), content_hash(&stale));
+        // …the view hash deliberately merges them…
+        assert_eq!(view_hash(&GraphView::full(&plain)), view_hash(&GraphView::full(&stale)));
+        // …while still separating genuinely different rf edges.
+        let mut other = mk(false, false);
+        other.set_rf(EventId::new(1, 0), RfSource::Write(EventId::Init(0x10)));
+        assert_ne!(view_hash(&GraphView::full(&plain)), view_hash(&GraphView::full(&other)));
+        assert_eq!(
+            view_hash(&GraphView::with_rf(&other, EventId::new(1, 0), EventId::new(0, 0))),
+            view_hash(&GraphView::full(&plain)),
+            "an rf override hashes like the graph with that edge applied"
+        );
+    }
+
+    #[test]
+    fn restricted_view_hash_matches_materialized_restriction() {
+        // T0: W(x,1) W(x,2); T1: R(x)<-W(x,2) W(y,1); T1's read gets
+        // revisited to W(x,1) with T0 cut to [W(x,1)] and T1 cut to [R].
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let w1 = g.push_event(0, EventKind::Write { loc: 0x10, val: 1, mode: Mode::Rlx, rmw: false });
+        g.insert_mo(0x10, w1, 0);
+        let w2 = g.push_event(0, EventKind::Write { loc: 0x10, val: 2, mode: Mode::Rlx, rmw: false });
+        g.insert_mo(0x10, w2, 1);
+        let r = g.push_event(
+            1,
+            EventKind::Read { loc: 0x10, mode: Mode::Rlx, rf: RfSource::Write(w2), rmw: true, awaiting: false },
+        );
+        let wy = g.push_event(1, EventKind::Write { loc: 0x20, val: 1, mode: Mode::Rlx, rmw: false });
+        g.insert_mo(0x20, wy, 0);
+
+        // The engine's keep set: porf-prefix of the write ∪ porf-prefix of
+        // the read (which always contains the read's old source).
+        let mut keep = g.porf_prefix_set([w1]);
+        keep.union_with(&g.porf_prefix_set([r]));
+        let keep_lens = keep.prefix_lens();
+        assert_eq!(keep_lens, vec![2, 1], "wy is cut, both x-writes survive");
+        let view = GraphView::restricted(&g, &keep_lens, r, w1);
+        // Materialize the same child the long way.
+        let mut child = g.restrict_set(&keep);
+        child.set_rf(r, RfSource::Write(w1));
+        assert_eq!(view_hash(&view), view_hash(&GraphView::full(&child)));
+        // 0x20 lost its only write: the child must not encode a stale
+        // empty mo entry for it.
+        assert_eq!(child.written_locs().count(), 1);
+        // Repairing the revisited read's stale rmw flag must not move the
+        // hash — that is the whole point of flag-blindness.
+        child.set_read_flags(r, false, false);
+        assert_eq!(view_hash(&view), view_hash(&GraphView::full(&child)));
+    }
+
+    #[test]
+    fn explore_encoder_canonicalizes_twins_like_canonicalizer() {
+        let (a, b) = twin_pair();
+        let sym = crate::ThreadPartition::from_class_ids(&[0, 0]);
+        let mut enc = ExploreEncoder::new(Some(&sym));
+        let (ha, a_perm) = enc.hash_view(&GraphView::full(&a));
+        let (hb, b_perm) = enc.hash_view(&GraphView::full(&b));
+        assert_eq!(ha, hb, "twins share the orbit hash");
+        assert_ne!(a_perm, b_perm, "exactly one twin is the representative");
+        let loser = if a_perm { &a } else { &b };
+        let mut enc2 = ExploreEncoder::new(Some(&sym));
+        let _ = enc2.hash_view(&GraphView::full(loser));
+        let perm = enc2.chosen_perm().expect("non-identity relabeling chosen").to_vec();
+        let canon = loser.permute_threads(&perm);
+        let (hc, again) = enc2.hash_view(&GraphView::full(&canon));
+        assert_eq!(hc, ha);
+        assert!(!again, "the representative is already canonical");
+        // Without a partition the twins stay distinct.
+        let mut plain = ExploreEncoder::new(None);
+        assert_ne!(plain.hash_view(&GraphView::full(&a)).0, plain.hash_view(&GraphView::full(&b)).0);
+        assert!(plain.chosen_perm().is_none());
     }
 
     #[test]

@@ -156,6 +156,44 @@ impl ExecutionGraph {
         EventId::new(thread, index)
     }
 
+    /// Remove the most recently pushed event of `thread` and return its
+    /// kind, rolling back the exploration timestamp.
+    ///
+    /// This is the undo half of the revisit engine's speculative
+    /// consistency pre-check (`push_event` → check → `pop_event`); it is
+    /// only valid while the popped event is the globally newest one, so
+    /// the timestamp counter rewinds exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the thread is empty or its last event is not the
+    /// globally newest (its `ts` must be `next_ts - 1`).
+    pub fn pop_event(&mut self, thread: ThreadId) -> EventKind {
+        let evs = Arc::make_mut(&mut self.threads[thread as usize]);
+        let ev = evs.pop().expect("pop_event on empty thread");
+        assert_eq!(ev.ts + 1, self.next_ts, "pop_event must undo the newest push");
+        self.next_ts -= 1;
+        ev.kind
+    }
+
+    /// Remove a write from the modification order of `loc` at `pos` — the
+    /// undo of [`ExecutionGraph::insert_mo`]. A location whose last write
+    /// is removed disappears from [`ExecutionGraph::written_locs`], as if
+    /// it had never been written.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loc` has no modification order or `pos` is out of
+    /// bounds.
+    pub fn remove_mo(&mut self, loc: Loc, pos: usize) -> EventId {
+        let list = self.mo.get_mut(&loc).expect("remove_mo on unwritten location");
+        let id = list.remove(pos);
+        if list.is_empty() {
+            self.mo.remove(&loc);
+        }
+        id
+    }
+
     /// Insert a write event into the modification order of its location at
     /// `pos` (0 = immediately after the init write).
     ///
@@ -583,6 +621,23 @@ impl EventSet {
         self.bits.iter().all(|&w| w == 0)
     }
 
+    /// Per-thread kept-prefix lengths of a po-prefix-closed set: entry `t`
+    /// is the number of kept events of thread `t`. Because a prefix-closed
+    /// set keeps a contiguous program-order prefix of every thread, the
+    /// popcount of a thread's bit range *is* its cut position — this is
+    /// how the revisit engine describes a restriction without building the
+    /// restricted graph.
+    pub fn prefix_lens(&self) -> Vec<u32> {
+        (0..self.offsets.len() - 1)
+            .map(|t| {
+                let (lo, hi) = (self.offsets[t] as usize, self.offsets[t + 1] as usize);
+                (lo..hi)
+                    .filter(|b| self.bits[b / 64] & (1u64 << (b % 64)) != 0)
+                    .count() as u32
+            })
+            .collect()
+    }
+
     /// Iterate the members as [`EventId`]s (`g` must be the graph the set
     /// was created from, or one with the same per-thread lengths).
     pub fn iter<'a>(&'a self, g: &'a ExecutionGraph) -> impl Iterator<Item = EventId> + 'a {
@@ -738,6 +793,44 @@ mod tests {
         assert_eq!(back, g);
         // Identity is a no-op.
         assert_eq!(g.permute_threads(&[0, 1]), g);
+    }
+
+    #[test]
+    fn pop_event_and_remove_mo_undo_a_speculative_extension() {
+        let mut g = two_thread_graph();
+        let snapshot = g.clone();
+        let w = g.push_event(1, write_kind(0x30, 9));
+        g.insert_mo(0x30, w, 0);
+        assert_eq!(g.written_locs().count(), 2);
+        g.remove_mo(0x30, 0);
+        let kind = g.pop_event(1);
+        assert!(matches!(kind, EventKind::Write { loc: 0x30, val: 9, .. }));
+        // Full undo: content *and* timestamps match, so a re-push gets the
+        // same ts the speculative push had.
+        assert_eq!(g, snapshot);
+        // A location whose only write is removed vanishes entirely.
+        assert_eq!(g.written_locs().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "newest push")]
+    fn pop_event_rejects_non_newest() {
+        let mut g = two_thread_graph(); // T1's read is newer than T0's write
+        let _ = g.pop_event(0);
+    }
+
+    #[test]
+    fn prefix_lens_count_kept_prefixes() {
+        let mut g = ExecutionGraph::new(2, BTreeMap::new());
+        let w0 = g.push_event(0, write_kind(0x10, 1));
+        g.insert_mo(0x10, w0, 0);
+        let _w1 = g.push_event(0, write_kind(0x10, 2));
+        let r = g.push_event(1, read_kind(0x10, RfSource::Write(w0)));
+        let keep = g.porf_prefix_set([r]);
+        assert_eq!(keep.prefix_lens(), vec![1, 1]);
+        let all = g.porf_prefix_set([EventId::new(0, 1), r]);
+        assert_eq!(all.prefix_lens(), vec![2, 1]);
+        assert_eq!(EventSet::new(&g).prefix_lens(), vec![0, 0]);
     }
 
     #[test]

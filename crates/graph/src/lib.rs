@@ -48,7 +48,7 @@ pub use dense::{iter_set_bits, EventIndex, Relation};
 pub use dot::{to_dot, to_text};
 pub use encode::{
     canonical_bytes, canonical_bytes_into, canonical_bytes_modulo, canonical_hash_modulo,
-    content_hash, fnv128, hash128, Canonicalizer,
+    content_hash, fnv128, hash128, Canonicalizer, ExploreEncoder, GraphView,
 };
 pub use event::{Event, EventId, EventKind, Loc, Mode, RfSource, ThreadId, Value};
 pub use graph::{EventSet, ExecutionGraph};

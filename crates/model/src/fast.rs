@@ -60,6 +60,22 @@ pub struct AxiomContext<'g> {
     rmw_pairs: Vec<(usize, usize)>,
 }
 
+/// Graphs with at most this many non-init events are cheaper through the
+/// closure-based reference formulation: building the per-graph
+/// [`AxiomContext`] (dense index, mo positions, per-location masks) costs
+/// more than the tiny Floyd–Warshall closures it avoids. Measured on the
+/// lock catalog: the caslock 2-thread client (~6 events per graph) ran
+/// slower through the fast path than through the baseline checker until
+/// `is_consistent` learned to delegate below this threshold.
+pub const SMALL_GRAPH_EVENTS: usize = 20;
+
+/// Should a model's `is_consistent` delegate to its reference
+/// formulation for this graph? (See [`SMALL_GRAPH_EVENTS`].)
+#[inline]
+pub(crate) fn below_fast_path_threshold(g: &ExecutionGraph) -> bool {
+    g.num_events() <= SMALL_GRAPH_EVENTS
+}
+
 impl<'g> AxiomContext<'g> {
     /// Build the context: one pass over the graph.
     pub fn new(g: &'g ExecutionGraph) -> Self {

@@ -25,6 +25,9 @@ impl MemoryModel for Sc {
     }
 
     fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        if crate::fast::below_fast_path_threshold(g) {
+            return self.is_consistent_reference(g);
+        }
         let cx = AxiomContext::new(g);
         cx.atomicity_holds() && cx.sc_order().is_acyclic()
     }

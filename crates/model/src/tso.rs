@@ -51,6 +51,9 @@ impl MemoryModel for Tso {
     }
 
     fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        if crate::fast::below_fast_path_threshold(g) {
+            return self.is_consistent_reference(g);
+        }
         let cx = AxiomContext::new(g);
         if !cx.atomicity_holds() || !cx.per_loc_coherent() {
             return false;

@@ -33,6 +33,9 @@ impl MemoryModel for Vmm {
     }
 
     fn is_consistent(&self, g: &ExecutionGraph) -> bool {
+        if crate::fast::below_fast_path_threshold(g) {
+            return self.is_consistent_reference(g);
+        }
         let cx = AxiomContext::new(g);
         // Cheap structural axioms first.
         if !cx.atomicity_holds() || !cx.per_loc_coherent() {

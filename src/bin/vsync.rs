@@ -9,7 +9,7 @@ use std::time::Duration;
 
 use vsync::core::{
     collect_litmus_files, enumerate_maximal, run_corpus, AmcConfig, CancelToken, CorpusOptions,
-    OptimizeStrategy, OptimizerConfig, ProgressSnapshot, Report, Session,
+    OptimizeStrategy, OptimizerConfig, ProgressSnapshot, Report, SearchMode, Session,
 };
 use vsync::graph::{to_dot, Mode};
 use vsync::lang::{Program, ProgramBuilder, Reg};
@@ -51,6 +51,10 @@ options:
                    relabeled twin of template-identical client threads
                    distinctly (naive reference counts; default prunes
                    them, reported as `sym-pruned`)
+  --search S       revisit | enumerate (default revisit): revisit is the
+                   stateless-optimal reads-from search constructing each
+                   consistent graph at most once; enumerate is the naive
+                   enumerate-and-dedup reference oracle
   --json           (verify/optimize/bug/check/corpus) print the report as JSON
   --progress       (verify/bug/check/corpus) stream progress snapshots to stderr
   --jobs J         (corpus) files checked concurrently (default: cores, max 8)
@@ -85,6 +89,7 @@ struct Options {
     json: bool,
     progress: bool,
     symmetry: bool,
+    search: SearchMode,
     strategy: OptimizeStrategy,
     passes: usize,
     steps: bool,
@@ -108,6 +113,7 @@ impl Options {
             json: false,
             progress: false,
             symmetry: true,
+            search: SearchMode::default(),
             strategy: OptimizeStrategy::default(),
             passes: 0,
             steps: false,
@@ -164,6 +170,10 @@ impl Options {
                         .ok_or("--max-dedup needs a number")?
                 }
                 "--no-symmetry" => o.symmetry = false,
+                "--search" => {
+                    let s = it.next().ok_or("--search needs revisit|enumerate")?;
+                    o.search = s.parse()?;
+                }
                 "--json" => o.json = true,
                 "--progress" => o.progress = true,
                 "--strategy" => {
@@ -195,6 +205,7 @@ impl Options {
             cancel: CancelToken::new(),
             max_memory_bytes: self.max_memory_mb * 1024 * 1024,
             max_dedup_entries: self.max_dedup,
+            search: self.search,
             progress: self.progress.then(|| {
                 Arc::new(|p: &ProgressSnapshot| {
                     eprintln!(
@@ -212,6 +223,7 @@ impl Options {
             .models(self.models.iter().copied())
             .workers(self.workers)
             .symmetry(self.symmetry)
+            .search(self.search)
             .max_memory_bytes(self.max_memory_mb * 1024 * 1024)
             .max_dedup_entries(self.max_dedup);
         if let Some(d) = self.deadline {

@@ -7,7 +7,12 @@
 //! * `count_executions` must be identical for `workers ∈ {1, 2, 8}` and
 //!   for fast vs. reference checking across the lock catalog;
 //! * bug-finding scenarios must report the same verdict kind under every
-//!   configuration.
+//!   configuration;
+//! * the revisit-driven search must agree with the retained
+//!   enumerate-and-dedup reference search on randomized programs —
+//!   verdicts and canonical-orbit complete-execution counts across
+//!   worker counts and symmetry settings — and reproduce the identical
+//!   violation messages on the broken study cases.
 //!
 //! The generator is a deterministic SplitMix64 stream; failures print the
 //! offending seed and graph.
@@ -276,5 +281,134 @@ fn fixed_study_cases_verify_in_parallel() {
             let r = explore(&p, &AmcConfig::default().with_workers(workers));
             assert!(r.is_verified(), "{name} workers={workers}: {}", r.verdict);
         }
+    }
+}
+
+/// One tiny random straight-line program: 1–2 threads, 1–3 operations
+/// each over two locations (kept small so the enumerate reference stays
+/// fast in debug builds).
+fn random_program(rng: &mut Rng) -> vsync::lang::Program {
+    use vsync::lang::{ProgramBuilder, Reg};
+    let mut pb = ProgramBuilder::new("random");
+    for _ in 0..1 + rng.below(2) {
+        let ops: Vec<u64> = (0..1 + rng.below(3)).map(|_| rng.next()).collect();
+        pb.thread(move |t| {
+            for (i, op) in ops.iter().enumerate() {
+                let loc = LOCS[(op >> 8) as usize % LOCS.len()];
+                let val = 1 + (op >> 16) % 3;
+                let r = Reg((i % 8) as u8);
+                match op % 5 {
+                    0 => t.load(r, loc, mode(&mut Rng(*op), 0)),
+                    1 => t.store(loc, val, mode(&mut Rng(*op), 1)),
+                    2 => t.fetch_add(r, loc, val, mode(&mut Rng(*op), 2)),
+                    3 => t.cas(r, loc, (op >> 24) % 2, val, mode(&mut Rng(*op), 2)),
+                    _ => t.fence(mode(&mut Rng(*op), 2)),
+                };
+            }
+        });
+    }
+    pb.build().expect("generated program is well-formed")
+}
+
+/// The revisit-driven search agrees with the enumerate-and-dedup
+/// reference search on 600 random programs: identical verdicts,
+/// complete-execution counts (canonical-orbit counts under symmetry,
+/// naive counts without) and blocked-graph counts. Each seed cycles
+/// through the model matrix, the revisit worker counts {1, 2, 8} and
+/// both symmetry settings; the enumerate oracle always runs
+/// sequentially, so this also rechecks worker-count independence.
+#[test]
+fn revisit_agrees_with_enumerate_on_random_programs() {
+    for seed in 0..600u64 {
+        let mut rng = Rng(seed.wrapping_mul(0x5851f42d4c957f2d).wrapping_add(0x9e3779b97f4a7c15));
+        let p = random_program(&mut rng);
+        let model = ModelKind::all()[seed as usize % 3];
+        let workers = [1usize, 2, 8][(seed / 3) as usize % 3];
+        let symmetry = seed % 2 == 0;
+        let cfg = AmcConfig::with_model(model).with_symmetry(symmetry);
+        let reference = explore(&p, &cfg.clone().with_reference_search());
+        let revisit = explore(&p, &cfg.with_workers(workers));
+        let tag = format!("seed {seed} ({model}, workers={workers}, symmetry={symmetry})");
+        assert_eq!(
+            std::mem::discriminant(&revisit.verdict),
+            std::mem::discriminant(&reference.verdict),
+            "{tag}: {} vs {}",
+            revisit.verdict,
+            reference.verdict
+        );
+        assert_eq!(
+            revisit.stats.complete_executions, reference.stats.complete_executions,
+            "{tag}: complete executions"
+        );
+        assert_eq!(
+            revisit.stats.blocked_graphs, reference.stats.blocked_graphs,
+            "{tag}: blocked graphs"
+        );
+    }
+}
+
+/// Both searches find the *identical* violation message on the broken
+/// study cases, for every worker count and symmetry setting: the safety
+/// counterexample (and its rendered assertion message) is not an artifact
+/// of the search order.
+#[test]
+fn revisit_matches_enumerate_violation_messages_on_study_cases() {
+    use vsync::core::Verdict;
+    use vsync::locks::model::{dpdk_scenario, huawei_scenario};
+    let msg_of = |name: &str, v: &Verdict| match v {
+        Verdict::Safety(ce) | Verdict::AwaitTermination(ce) => ce.message.clone(),
+        v => panic!("{name}: broken study case must violate, got {v}"),
+    };
+    for (name, p) in [("dpdk", dpdk_scenario(false)), ("huawei", huawei_scenario(false))] {
+        for symmetry in [true, false] {
+            let cfg = AmcConfig::default().with_symmetry(symmetry);
+            let reference = explore(&p, &cfg.clone().with_reference_search());
+            let expected = msg_of(name, &reference.verdict);
+            for workers in [1usize, 2, 8] {
+                let r = explore(&p, &cfg.clone().with_workers(workers));
+                assert_eq!(
+                    msg_of(name, &r.verdict),
+                    expected,
+                    "{name}: workers={workers} symmetry={symmetry}"
+                );
+            }
+        }
+    }
+}
+
+/// A pre-fired cancel token and an already-expired deadline interrupt
+/// the revisit search promptly, sequentially and in parallel — the
+/// engine polls its controls between chain steps, not just between work
+/// items, so a long revisit chain cannot delay the stop.
+#[test]
+fn prefired_interrupts_stop_the_revisit_search_promptly() {
+    use std::time::Instant;
+    use vsync::core::{explore_with, CancelToken, RunControl, StopReason, Verdict};
+    use vsync::locks::model::{mutex_client, McsLock};
+    // Big enough that an uninterrupted debug run takes seconds: a hang
+    // here would mean the interrupt was only honored between chains.
+    let p = mutex_client(&McsLock::default(), 3, 1);
+    for workers in [1usize, 2, 8] {
+        let fired = CancelToken::new();
+        fired.cancel();
+        let t0 = Instant::now();
+        let r = explore_with(&p, &AmcConfig::default().with_workers(workers), &RunControl::with_cancel(fired));
+        let Verdict::Inconclusive(i) = &r.verdict else {
+            panic!("workers={workers}: expected inconclusive, got {}", r.verdict)
+        };
+        assert_eq!(i.reason, StopReason::Cancelled, "workers={workers}");
+        assert!(t0.elapsed().as_secs() < 5, "workers={workers}: cancel was not prompt");
+
+        let t0 = Instant::now();
+        let r = explore_with(
+            &p,
+            &AmcConfig::default().with_workers(workers),
+            &RunControl::with_deadline(Instant::now()),
+        );
+        let Verdict::Inconclusive(i) = &r.verdict else {
+            panic!("workers={workers}: expected inconclusive, got {}", r.verdict)
+        };
+        assert_eq!(i.reason, StopReason::DeadlineExceeded, "workers={workers}");
+        assert!(t0.elapsed().as_secs() < 5, "workers={workers}: deadline was not prompt");
     }
 }

@@ -57,6 +57,7 @@ fn injected_panics_yield_identical_errors_across_configurations() {
         ("explore.dedup", EnginePhase::Dedup),
         ("explore.consistency", EnginePhase::Consistency),
         ("explore.extend", EnginePhase::Extend),
+        ("explore.revisit", EnginePhase::Extend),
         ("explore.final", EnginePhase::FinalCheck),
         ("explore.stagnancy", EnginePhase::Stagnancy),
     ];

@@ -159,7 +159,11 @@ fn rwlock_reader_writer_barriers() {
 fn stats_are_coherent() {
     let p = mutex_client(&TtasLock::default(), 2, 1);
     let r = explore(&p, &vmm());
-    assert!(r.stats.popped <= r.stats.pushed + 1, "{}", r.stats);
+    // Every admitted work item is constructed exactly once (the +1 is the
+    // initial graph), and the revisit engine's chains take at least one
+    // step per admitted root.
+    assert_eq!(r.stats.constructed, r.stats.pushed + 1, "{}", r.stats);
+    assert!(r.stats.popped >= r.stats.constructed, "{}", r.stats);
     assert_eq!(
         r.executions.len(),
         0,

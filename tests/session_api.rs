@@ -210,6 +210,7 @@ fn session_json_is_parseable_and_stable() {
             vec![
                 "popped",
                 "pushed",
+                "constructed",
                 "duplicates",
                 "symmetry_pruned",
                 "inconsistent",
@@ -247,6 +248,7 @@ fn report_json_golden() {
                 stats: ExploreStats {
                     popped: 7,
                     pushed: 6,
+                    constructed: 7,
                     complete_executions: 2,
                     events: 40,
                     ..Default::default()
@@ -289,7 +291,7 @@ fn report_json_golden() {
         "\"interrupted\": false, \"elapsed_ms\": 1.500, \"models\": [",
         "{\"model\": \"SC\", \"verdict\": \"verified\", \"stop_reason\": null, \"message\": null, ",
         "\"counterexample\": null, \"elapsed_ms\": 1.000, ",
-        "\"stats\": {\"popped\": 7, \"pushed\": 6, \"duplicates\": 0, ",
+        "\"stats\": {\"popped\": 7, \"pushed\": 6, \"constructed\": 7, \"duplicates\": 0, ",
         "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40, ",
         "\"frontier_dropped\": 0}, ",
@@ -304,7 +306,7 @@ fn report_json_golden() {
         "{\"model\": \"VMM\", \"verdict\": \"fault\", \"stop_reason\": null, ",
         "\"message\": \"budget\\nblown\", ",
         "\"counterexample\": null, \"elapsed_ms\": 0.500, ",
-        "\"stats\": {\"popped\": 0, \"pushed\": 0, \"duplicates\": 0, ",
+        "\"stats\": {\"popped\": 0, \"pushed\": 0, \"constructed\": 0, \"duplicates\": 0, ",
         "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 0, \"blocked_graphs\": 0, \"events\": 0, ",
         "\"frontier_dropped\": 0}, ",

@@ -242,8 +242,16 @@ fn full_registry_differential_across_models_and_workers() {
                 );
                 assert_eq!(off.stats.symmetry_pruned, 0, "{tag}");
                 if symmetric {
+                    // The reduction's guaranteed observable is the orbit
+                    // count collapsing below the per-twin count; a
+                    // non-canonical dedup miss (`symmetry_pruned`) is
+                    // only a side signal, and the revisit engine probes
+                    // few enough graphs that a small client's twin
+                    // misses can all land on canonical labelings.
+                    let collapsed = on.verdict.is_verified()
+                        && on.stats.complete_executions < off.stats.complete_executions;
                     assert!(
-                        on.stats.symmetry_pruned > 0,
+                        on.stats.symmetry_pruned > 0 || collapsed,
                         "{tag}: symmetric client pruned nothing"
                     );
                 } else {
