@@ -33,7 +33,8 @@ use std::time::{Duration, Instant};
 use vsync_dsl::{Diagnostic, Expectation, ExpectedVerdict, LitmusTest, Span};
 use vsync_model::ModelKind;
 
-use crate::session::{json_str, verdict_kind, ProgressFn, Session};
+use crate::session::{json_str, phases_json, verdict_kind, ProgressFn, Session};
+use crate::telemetry::{EventBus, EventFn, EventKind, PhaseProfile};
 use crate::verdict::{EngineError, EnginePhase, SearchMode, Verdict};
 use crate::{failpoint, CancelToken};
 
@@ -84,6 +85,15 @@ pub struct CorpusOptions {
     /// Exploration search strategy (CLI `--search`; verdicts and counts
     /// are strategy-independent).
     pub search: SearchMode,
+    /// Telemetry sink forwarded to every session (CLI `--trace`). One
+    /// [`run_corpus`] run shares a single event bus — one sequence
+    /// counter and clock — across all files; corpus-level
+    /// [`EventKind::CorpusFile`] / [`EventKind::Quarantine`] events flow
+    /// through the same stream.
+    pub on_event: Option<EventFn>,
+    /// Per-phase wall-clock profiling for every session (forced on when
+    /// `on_event` is set).
+    pub profile: bool,
 }
 
 impl fmt::Debug for CorpusOptions {
@@ -95,6 +105,8 @@ impl fmt::Debug for CorpusOptions {
             .field("no_symmetry", &self.no_symmetry)
             .field("search", &self.search)
             .field("deadline", &self.deadline)
+            .field("on_event", &self.on_event.is_some())
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -114,6 +126,9 @@ pub struct ModelOutcome {
     pub symmetry_pruned: u64,
     /// Exploration wall-clock time.
     pub elapsed: Duration,
+    /// Per-phase wall-clock attribution (all-zero unless
+    /// [`CorpusOptions::profile`] or [`CorpusOptions::on_event`] was set).
+    pub phases: PhaseProfile,
     /// Did the outcome meet the expectation (see the module docs)?
     pub ok: bool,
 }
@@ -279,7 +294,8 @@ impl CorpusReport {
     ///    {"path", "program", "passed", "quarantined", "error",
     ///     "models": [{"model", "expected", "expected_executions",
     ///                 "verdict", "message", "executions",
-    ///                 "symmetry_pruned", "ok", "elapsed_ms"}]}]}
+    ///                 "symmetry_pruned", "ok", "elapsed_ms",
+    ///                 "phases": {"<phase>": {count, total_ms, max_ms}}}]}]}
     /// ```
     ///
     /// The top-level `quarantined` array lists the paths whose check
@@ -330,7 +346,8 @@ impl CorpusReport {
                         out,
                         "{{\"model\": {}, \"expected\": {}, \"expected_executions\": {}, \
                          \"verdict\": {}, \"message\": {}, \"executions\": {}, \
-                         \"symmetry_pruned\": {}, \"ok\": {}, \"elapsed_ms\": {:.3}}}",
+                         \"symmetry_pruned\": {}, \"ok\": {}, \"elapsed_ms\": {:.3}, \
+                         \"phases\": {}}}",
                         json_str(&m.model.to_string()),
                         m.expected.map_or("null".to_owned(), |e| json_str(e.verdict.name())),
                         m.expected
@@ -344,7 +361,8 @@ impl CorpusReport {
                         m.executions,
                         m.symmetry_pruned,
                         m.ok,
-                        m.elapsed.as_secs_f64() * 1e3
+                        m.elapsed.as_secs_f64() * 1e3,
+                        phases_json(&m.phases)
                     );
                 }
             }
@@ -408,6 +426,18 @@ pub fn check_test(
     opts: &CorpusOptions,
     deadline_at: Option<Instant>,
 ) -> Vec<ModelOutcome> {
+    let bus = opts.on_event.clone().map(|sink| Arc::new(EventBus::new(sink)));
+    check_test_with_bus(test, opts, deadline_at, bus.as_ref())
+}
+
+/// [`check_test`] with a caller-owned event bus, so [`run_corpus`] can
+/// share one sequence counter and clock across every file's session.
+fn check_test_with_bus(
+    test: &LitmusTest,
+    opts: &CorpusOptions,
+    deadline_at: Option<Instant>,
+    bus: Option<&Arc<EventBus>>,
+) -> Vec<ModelOutcome> {
     let models = matrix(test, opts);
     let mut session = Session::new(test.program.clone())
         .models(models.iter().copied())
@@ -416,7 +446,11 @@ pub fn check_test(
         .search(opts.search)
         .max_memory_bytes(opts.max_memory_bytes)
         .max_dedup_entries(opts.max_dedup_entries)
+        .profile(opts.profile)
         .with_cancel(opts.cancel.clone());
+    if let Some(bus) = bus {
+        session = session.with_event_bus(Arc::clone(bus));
+    }
     if let Some(at) = deadline_at {
         session = session.deadline(at.saturating_duration_since(Instant::now()));
     }
@@ -443,6 +477,7 @@ pub fn check_test(
                 executions: run.stats.complete_executions,
                 symmetry_pruned: run.stats.symmetry_pruned,
                 elapsed: run.elapsed,
+                phases: run.stats.phases,
                 ok,
             }
         })
@@ -458,6 +493,17 @@ pub fn check_source(
     opts: &CorpusOptions,
     deadline_at: Option<Instant>,
 ) -> FileReport {
+    let bus = opts.on_event.clone().map(|sink| Arc::new(EventBus::new(sink)));
+    check_source_with_bus(path, source, opts, deadline_at, bus.as_ref())
+}
+
+fn check_source_with_bus(
+    path: &str,
+    source: &str,
+    opts: &CorpusOptions,
+    deadline_at: Option<Instant>,
+    bus: Option<&Arc<EventBus>>,
+) -> FileReport {
     match vsync_dsl::compile(source) {
         Err(d) => FileReport {
             path: path.to_owned(),
@@ -467,7 +513,7 @@ pub fn check_source(
         Ok(test) => FileReport {
             path: path.to_owned(),
             program: test.name.clone(),
-            outcome: FileOutcome::Checked(check_test(&test, opts, deadline_at)),
+            outcome: FileOutcome::Checked(check_test_with_bus(&test, opts, deadline_at, bus)),
         },
     }
 }
@@ -506,10 +552,11 @@ fn check_source_guarded(
     source: &str,
     opts: &CorpusOptions,
     deadline_at: Option<Instant>,
+    bus: Option<&Arc<EventBus>>,
 ) -> FileReport {
     let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         let _ = failpoint::hit("corpus.check");
-        check_source(label, source, opts, deadline_at)
+        check_source_with_bus(label, source, opts, deadline_at, bus)
     }));
     attempt.unwrap_or_else(|payload| {
         let payload = payload
@@ -540,8 +587,9 @@ fn check_file(
     source: &str,
     opts: &CorpusOptions,
     deadline_at: Option<Instant>,
+    bus: Option<&Arc<EventBus>>,
 ) -> FileReport {
-    let first = check_source_guarded(label, source, opts, deadline_at);
+    let first = check_source_guarded(label, source, opts, deadline_at, bus);
     let deadline_left = match deadline_at {
         Some(at) => Instant::now() < at,
         None => true,
@@ -553,7 +601,7 @@ fn check_file(
     // files without consulting a clock or an RNG.
     let backoff = Duration::from_millis(25 + (index as u64 % 8) * 5);
     std::thread::sleep(backoff);
-    check_source_guarded(label, source, opts, deadline_at)
+    check_source_guarded(label, source, opts, deadline_at, bus)
 }
 
 /// Run every `.litmus` file under `root`: `opts.jobs` files checked
@@ -577,6 +625,9 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusReport, Sou
     let jobs = opts.jobs.max(1).min(files.len().max(1));
     let reports: Vec<Mutex<Option<FileReport>>> = files.iter().map(|_| Mutex::new(None)).collect();
     let next = AtomicUsize::new(0);
+    // One bus for the whole corpus: every per-file session shares its
+    // sequence counter and clock, so the stream is a single timeline.
+    let bus = opts.on_event.clone().map(|sink| Arc::new(EventBus::new(sink)));
     std::thread::scope(|scope| {
         for _ in 0..jobs {
             scope.spawn(|| loop {
@@ -584,7 +635,7 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusReport, Sou
                 let Some(path) = files.get(i) else { break };
                 let label = path.display().to_string();
                 let report = match std::fs::read_to_string(path) {
-                    Ok(src) => check_file(i, &label, &src, opts, deadline_at),
+                    Ok(src) => check_file(i, &label, &src, opts, deadline_at, bus.as_ref()),
                     Err(e) => FileReport {
                         path: label.clone(),
                         program: String::new(),
@@ -598,6 +649,12 @@ pub fn run_corpus(root: &Path, opts: &CorpusOptions) -> Result<CorpusReport, Sou
                         ),
                     },
                 };
+                if let Some(bus) = &bus {
+                    if matches!(report.outcome, FileOutcome::Quarantined(_)) {
+                        bus.emit(EventKind::Quarantine { path: label.clone() });
+                    }
+                    bus.emit(EventKind::CorpusFile { path: label.clone(), passed: report.passed() });
+                }
                 *reports[i].lock().unwrap_or_else(|e| e.into_inner()) = Some(report);
             });
         }

@@ -47,7 +47,6 @@
 //! hence the verdict and `complete_executions` — is identical for every
 //! worker count. `workers == 1` runs the exact sequential LIFO algorithm.
 
-use std::cell::Cell;
 use std::collections::HashSet;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -64,6 +63,7 @@ use vsync_model::MemoryModel;
 use crate::failpoint;
 use crate::session::{ProgressSnapshot, RunControl};
 use crate::stagnancy::is_stagnant;
+use crate::telemetry::{PhaseProfile, PhaseTracker};
 use crate::verdict::{
     AmcConfig, AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive,
     ResourceBudget, SearchMode, StopReason, Verdict,
@@ -305,6 +305,13 @@ pub(crate) struct Pacer<'c> {
     gate: Option<&'c Mutex<Instant>>,
     count: u64,
     workers: usize,
+    /// This worker's index (0 for sequential drivers), stamped onto
+    /// telemetry events so multi-worker streams can be demultiplexed.
+    worker: usize,
+    /// Local stats as of the last telemetry drain.
+    last_local: ExploreStats,
+    /// Phase profile as of the last telemetry drain.
+    last_profile: PhaseProfile,
 }
 
 impl<'c> Pacer<'c> {
@@ -312,15 +319,34 @@ impl<'c> Pacer<'c> {
         control: &'c RunControl,
         workers: usize,
         gate: Option<&'c Mutex<Instant>>,
+        worker: usize,
     ) -> Self {
         let now = Instant::now();
-        Pacer { control, started: now, last_emit: now, gate, count: 0, workers }
+        Pacer {
+            control,
+            started: now,
+            last_emit: now,
+            gate,
+            count: 0,
+            workers,
+            worker,
+            last_local: ExploreStats::default(),
+            last_profile: PhaseProfile::default(),
+        }
     }
 
     /// One cancellation point. Returns the stop reason that should end
-    /// the run, if any; otherwise possibly emits a progress snapshot
-    /// built from `stats` (already merged across workers by the caller).
-    pub(crate) fn poll(&mut self, stats: impl FnOnce() -> ExploreStats) -> Option<StopReason> {
+    /// the run, if any; otherwise drains this worker's telemetry onto the
+    /// event bus (when one is attached) and possibly emits a progress
+    /// snapshot built from `stats` (already merged across workers by the
+    /// caller). `local` is *this worker's* cumulative counters, so stats
+    /// deltas are per-worker and deterministic at `workers == 1`.
+    pub(crate) fn poll(
+        &mut self,
+        tracker: &PhaseTracker,
+        local: &ExploreStats,
+        stats: impl FnOnce() -> ExploreStats,
+    ) -> Option<StopReason> {
         if self.control.cancel.is_cancelled() {
             return Some(StopReason::Cancelled);
         }
@@ -333,6 +359,28 @@ impl<'c> Pacer<'c> {
             if now >= d {
                 return Some(StopReason::DeadlineExceeded);
             }
+        }
+        if let Some(bus) = &self.control.events {
+            // `snapshot` (not `take_profile`): the tracker's cumulative
+            // profile must survive for the driver's final merge into the
+            // run's stats; the bus only sees the since-last-drain slice.
+            let delta = stats_delta(local, &self.last_local);
+            if delta != ExploreStats::default() {
+                bus.emit(crate::telemetry::EventKind::StatsDelta {
+                    worker: self.worker,
+                    stats: delta,
+                });
+            }
+            self.last_local = *local;
+            let profile = tracker.snapshot();
+            let slice = profile.minus(&self.last_profile);
+            if !slice.is_empty() {
+                bus.emit(crate::telemetry::EventKind::PhaseSlice {
+                    worker: self.worker,
+                    phases: slice,
+                });
+            }
+            self.last_profile = profile;
         }
         if let Some(cb) = &self.control.progress {
             let due = match self.gate {
@@ -391,6 +439,7 @@ pub(crate) struct SharedStats {
     complete_executions: AtomicU64,
     blocked_graphs: AtomicU64,
     events: AtomicU64,
+    probes: AtomicU64,
 }
 
 impl SharedStats {
@@ -406,6 +455,7 @@ impl SharedStats {
         self.complete_executions.fetch_add(s.complete_executions, Ordering::Relaxed);
         self.blocked_graphs.fetch_add(s.blocked_graphs, Ordering::Relaxed);
         self.events.fetch_add(s.events, Ordering::Relaxed);
+        self.probes.fetch_add(s.probes, Ordering::Relaxed);
     }
 
     pub(crate) fn snapshot(&self) -> ExploreStats {
@@ -422,6 +472,10 @@ impl SharedStats {
             blocked_graphs: self.blocked_graphs.load(Ordering::Relaxed),
             events: self.events.load(Ordering::Relaxed),
             frontier_dropped: 0,
+            probes: self.probes.load(Ordering::Relaxed),
+            // Phase profiles stay worker-local (merged once at the end);
+            // progress snapshots carry counters only.
+            phases: PhaseProfile::default(),
         }
     }
 }
@@ -441,6 +495,8 @@ pub(crate) fn stats_delta(a: &ExploreStats, b: &ExploreStats) -> ExploreStats {
         blocked_graphs: a.blocked_graphs - b.blocked_graphs,
         events: a.events - b.events,
         frontier_dropped: a.frontier_dropped - b.frontier_dropped,
+        probes: a.probes - b.probes,
+        phases: a.phases.minus(&b.phases),
     }
 }
 
@@ -551,8 +607,9 @@ struct Step<'s> {
     budget: &'s BudgetTracker,
     /// Engine phase the worker is currently executing, kept up to date by
     /// [`Engine::process`] so the driver's `catch_unwind` can attribute a
-    /// caught panic ([`EngineError::phase`]).
-    phase: &'s Cell<EnginePhase>,
+    /// caught panic ([`EngineError::phase`]) and, when profiling is on,
+    /// each phase's wall clock accrues to the run's [`PhaseProfile`].
+    phase: &'s PhaseTracker,
 }
 
 impl Step<'_> {
@@ -601,6 +658,12 @@ impl<'p> Engine<'p> {
             let (hash, permuted) = match canon {
                 Some(c) => c.canonical_hash(&g),
                 None => (content_hash(&g), false),
+            };
+            // Drain the canonicalizer's permutation-probe count right at
+            // the hash site; a plain content hash is one probe.
+            step.stats.probes += match canon {
+                Some(c) => c.take_probes(),
+                None => 1,
             };
             if !seen(hash) {
                 // An orbit twin (or the very content) was already admitted
@@ -854,6 +917,16 @@ impl<'p> Engine<'p> {
     /// under `catch_unwind`, so a panic anywhere in the engine degrades
     /// to [`Verdict::Error`] instead of unwinding out of the library.
     fn run_sequential(&self) -> AmcResult {
+        let phase = PhaseTracker::new(self.control.profile);
+        let mut r = self.run_sequential_inner(&phase);
+        r.stats.phases.merge(&phase.take_profile());
+        r
+    }
+
+    /// [`Engine::run_sequential`]'s body; the wrapper owns the
+    /// [`PhaseTracker`] so the accumulated profile lands in the result's
+    /// stats no matter which of the return paths is taken.
+    fn run_sequential_inner(&self, phase: &PhaseTracker) -> AmcResult {
         let mut stats = ExploreStats::default();
         let mut executions = Vec::new();
         let mut seen: SeenSet = SeenSet::default();
@@ -863,11 +936,10 @@ impl<'p> Engine<'p> {
         stats.constructed = 1; // the initial graph
         let mut stack = vec![initial];
         let mut children: Vec<ExecutionGraph> = Vec::new();
-        let mut pacer = Pacer::new(self.control, 1, None);
+        let mut pacer = Pacer::new(self.control, 1, None, 0);
         let mut canon = self.partition.as_ref().map(Canonicalizer::new);
-        let phase = Cell::new(EnginePhase::Driver);
         while let Some(g) = stack.pop() {
-            if let Some(r) = pacer.poll(|| stats) {
+            if let Some(r) = pacer.poll(phase, &stats, || stats) {
                 return degraded(r, stats, stats.popped, stack.len() as u64, executions);
             }
             stats.popped += 1;
@@ -886,7 +958,7 @@ impl<'p> Engine<'p> {
                     out: &mut children,
                     executions: &mut executions,
                     budget: &budget,
-                    phase: &phase,
+                    phase,
                 };
                 let mut probe = |h: u128| {
                     let fresh = seen.insert(h);
@@ -960,11 +1032,11 @@ impl<'p> Engine<'p> {
             let mut stats = ExploreStats::default();
             let mut executions = Vec::new();
             let mut children: Vec<ExecutionGraph> = Vec::new();
-            let mut pacer = Pacer::new(self.control, workers, Some(&gate));
+            let mut pacer = Pacer::new(self.control, workers, Some(&gate), index);
             let mut canon = self.partition.as_ref().map(Canonicalizer::new);
             let mut flushed = ExploreStats::default();
             let mut since_flush = 0u64;
-            let phase = Cell::new(EnginePhase::Driver);
+            let phase = PhaseTracker::new(self.control.profile);
             loop {
                 // Batch-flush local counters so progress snapshots (built
                 // from `shared` by whichever worker emits) trail the true
@@ -978,7 +1050,7 @@ impl<'p> Engine<'p> {
                 // Cancellation point *before* popping: a token fired ahead
                 // of the run interrupts every worker deterministically,
                 // with zero items processed.
-                if let Some(r) = pacer.poll(|| shared.snapshot()) {
+                if let Some(r) = pacer.poll(&phase, &stats, || shared.snapshot()) {
                     let (explored, dropped) = queue.snapshot();
                     queue.finish(Verdict::Inconclusive(Inconclusive {
                         reason: r,
@@ -1058,6 +1130,7 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
+            stats.phases.merge(&phase.take_profile());
             (stats, executions)
         };
 

@@ -40,6 +40,7 @@ mod optimize;
 mod revisit;
 mod session;
 mod stagnancy;
+pub mod telemetry;
 mod verdict;
 
 pub use corpus::{
@@ -59,6 +60,9 @@ pub use session::{
     CancelToken, ModelRun, ProgressFn, ProgressSnapshot, Report, RunControl, Session,
 };
 pub use stagnancy::{is_stagnant, is_stuck};
+pub use telemetry::{
+    render_metrics, EngineEvent, EventFn, EventKind, PhaseProfile, PhaseStat, TraceWriter,
+};
 pub use verdict::{
     AmcConfig, AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive,
     ResourceBudget, SearchMode, StopReason, Verdict,

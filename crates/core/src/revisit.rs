@@ -52,7 +52,6 @@
 //! [`ExploreStats::constructed`]: crate::verdict::ExploreStats::constructed
 //! [`ExploreEncoder`]: vsync_graph::ExploreEncoder
 
-use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -69,6 +68,7 @@ use crate::explorer::{
 };
 use crate::failpoint;
 use crate::stagnancy::is_stagnant;
+use crate::telemetry::PhaseTracker;
 use crate::verdict::{
     AmcResult, Counterexample, EngineError, EnginePhase, ExploreStats, Inconclusive, StopReason,
     Verdict,
@@ -104,9 +104,9 @@ struct ChainCtx<'s> {
     /// The run's budget tracker, so failpoint-injected allocation
     /// failures can force exhaustion from any stage.
     budget: &'s BudgetTracker,
-    /// Engine phase for panic attribution, exactly as in the enumerate
-    /// drivers.
-    phase: &'s Cell<EnginePhase>,
+    /// Engine phase for panic attribution and (when profiling is on)
+    /// wall-clock accrual, exactly as in the enumerate drivers.
+    phase: &'s PhaseTracker,
     /// Per-worker symmetry-aware view hasher.
     enc: &'s mut ExploreEncoder,
     dedup: bool,
@@ -221,9 +221,13 @@ impl<'p> Engine<'p> {
         leaves: &mut Probe<'_>,
     ) -> ChainEnd {
         if ctx.dedup {
-            ctx.phase.set(EnginePhase::Dedup);
+            // Leaf counting is a view probe, like admission — `Probe`, not
+            // `Dedup`, so revisit-engine hash work is attributed to the
+            // hash-before-materialize scheme that motivates it.
+            ctx.phase.set(EnginePhase::Probe);
             ctx.failpoint("explore.dedup");
             let (h, permuted) = ctx.enc.hash_view(&GraphView::full(&g));
+            ctx.stats.probes += ctx.enc.take_probes();
             if !leaves(h) {
                 // Distinct chains can converge on the same terminal
                 // content; only the first arrival is counted/checked.
@@ -465,7 +469,7 @@ impl<'p> Engine<'p> {
         ctx: &mut ChainCtx<'_>,
         visited: &mut Probe<'_>,
     ) {
-        ctx.phase.set(EnginePhase::Extend);
+        ctx.phase.set(EnginePhase::Revisit);
         ctx.failpoint("explore.revisit");
         let prefix_w = g.porf_prefix_set([wid]);
         for (r, rloc, rf) in g.reads().collect::<Vec<_>>() {
@@ -535,16 +539,21 @@ impl<'p> Engine<'p> {
             ctx.out.push(materialize());
             return;
         }
-        ctx.phase.set(EnginePhase::Dedup);
+        // Restore the caller's phase on the way out: admit is called from
+        // both the Extend scans and the Revisit generator, and the hash
+        // probe itself is what `Probe` attributes.
+        let caller_phase = ctx.phase.get();
+        ctx.phase.set(EnginePhase::Probe);
         ctx.failpoint("explore.dedup");
         let (h, permuted) = ctx.enc.hash_view(view);
+        ctx.stats.probes += ctx.enc.take_probes();
         if !visited(h) {
             if permuted {
                 ctx.stats.symmetry_pruned += 1;
             } else {
                 ctx.stats.duplicates += 1;
             }
-            ctx.phase.set(EnginePhase::Extend);
+            ctx.phase.set(caller_phase);
             return;
         }
         let mut child = materialize();
@@ -559,7 +568,7 @@ impl<'p> Engine<'p> {
         ctx.stats.pushed += 1;
         ctx.stats.constructed += 1;
         ctx.out.push(child);
-        ctx.phase.set(EnginePhase::Extend);
+        ctx.phase.set(caller_phase);
     }
 
     /// The sequential revisit driver: a LIFO stack of chain roots. Each
@@ -567,6 +576,16 @@ impl<'p> Engine<'p> {
     /// degrades to [`Verdict::Error`] instead of unwinding out of the
     /// library.
     pub(crate) fn run_revisit_sequential(&self) -> AmcResult {
+        let phase = PhaseTracker::new(self.control.profile);
+        let mut r = self.run_revisit_sequential_inner(&phase);
+        r.stats.phases.merge(&phase.take_profile());
+        r
+    }
+
+    /// [`Engine::run_revisit_sequential`]'s body; the wrapper owns the
+    /// [`PhaseTracker`] so the accumulated profile lands in the result's
+    /// stats no matter which of the return paths is taken.
+    fn run_revisit_sequential_inner(&self, phase: &PhaseTracker) -> AmcResult {
         let mut stats = ExploreStats::default();
         let mut executions: Vec<ExecutionGraph> = Vec::new();
         let mut visited: SeenSet = SeenSet::default();
@@ -577,9 +596,8 @@ impl<'p> Engine<'p> {
         budget.charge(&initial);
         let mut stack = vec![initial];
         let mut children: Vec<ExecutionGraph> = Vec::new();
-        let mut pacer = Pacer::new(self.control, 1, None);
+        let mut pacer = Pacer::new(self.control, 1, None, 0);
         let mut enc = ExploreEncoder::new(self.partition.as_ref());
-        let phase = Cell::new(EnginePhase::Driver);
         let max_graphs = self.config.max_graphs;
         while let Some(g) = stack.pop() {
             budget.release(&g);
@@ -590,7 +608,7 @@ impl<'p> Engine<'p> {
                     out: &mut children,
                     executions: &mut executions,
                     budget: &budget,
-                    phase: &phase,
+                    phase,
                     enc: &mut enc,
                     dedup: self.config.dedup,
                 };
@@ -619,7 +637,7 @@ impl<'p> Engine<'p> {
                     if let Some(reason) = budget.exceeded() {
                         return Some(reason);
                     }
-                    if let Some(r) = pacer.poll(|| *stats) {
+                    if let Some(r) = pacer.poll(phase, stats, || *stats) {
                         return Some(r);
                     }
                     stats.popped += 1;
@@ -702,16 +720,16 @@ impl<'p> Engine<'p> {
             let mut stats = ExploreStats::default();
             let mut executions = Vec::new();
             let mut children: Vec<ExecutionGraph> = Vec::new();
-            let mut pacer = Pacer::new(self.control, workers, Some(&gate));
+            let mut pacer = Pacer::new(self.control, workers, Some(&gate), index);
             let mut enc = ExploreEncoder::new(self.partition.as_ref());
             let mut flushed = ExploreStats::default();
             let mut since_flush = 0u64;
-            let phase = Cell::new(EnginePhase::Driver);
+            let phase = PhaseTracker::new(self.control.profile);
             loop {
                 // Cancellation point before popping: a token fired ahead
                 // of the run interrupts every worker deterministically,
                 // with zero steps processed.
-                if let Some(r) = pacer.poll(|| shared.snapshot()) {
+                if let Some(r) = pacer.poll(&phase, &stats, || shared.snapshot()) {
                     let (_, dropped) = queue.snapshot();
                     queue.finish(Verdict::Inconclusive(Inconclusive {
                         reason: r,
@@ -777,7 +795,7 @@ impl<'p> Engine<'p> {
                         if self.config.max_graphs != 0 && total > self.config.max_graphs {
                             return Some(StopReason::MaxGraphs);
                         }
-                        if let Some(r) = pacer.poll(|| shared.snapshot()) {
+                        if let Some(r) = pacer.poll(&phase, stats, || shared.snapshot()) {
                             return Some(r);
                         }
                         if failpoint::hit("explore.pop").is_oom() {
@@ -832,6 +850,7 @@ impl<'p> Engine<'p> {
                     }
                 }
             }
+            stats.phases.merge(&phase.take_profile());
             (stats, executions)
         };
 

@@ -47,7 +47,8 @@ use vsync_model::{CheckerKind, ModelKind};
 
 use crate::explorer::explore_with;
 use crate::optimize::{run_engine, OptimizationReport, OptimizeEvent, OptimizerConfig, StepFn};
-use crate::verdict::{AmcConfig, ExploreStats, SearchMode, Verdict};
+use crate::telemetry::{EngineEvent, EventBus, EventFn, EventKind, PhaseProfile};
+use crate::verdict::{AmcConfig, EnginePhase, ExploreStats, SearchMode, Verdict};
 
 /// A shareable, thread-safe cancellation flag.
 ///
@@ -141,6 +142,12 @@ pub struct RunControl {
     pub(crate) progress_interval: Duration,
     /// Model label stamped onto snapshots.
     pub(crate) model: ModelKind,
+    /// The session's telemetry bus, when an event sink is attached
+    /// (optimizer oracles and corpus files inherit it via `..clone()`).
+    pub(crate) events: Option<Arc<EventBus>>,
+    /// Per-phase wall-clock profiling on/off (forced on while `events`
+    /// is attached, so phase slices can flow onto the bus).
+    pub(crate) profile: bool,
 }
 
 impl fmt::Debug for RunControl {
@@ -150,6 +157,8 @@ impl fmt::Debug for RunControl {
             .field("deadline", &self.deadline)
             .field("progress", &self.progress.is_some())
             .field("progress_interval", &self.progress_interval)
+            .field("events", &self.events.is_some())
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -287,7 +296,8 @@ impl Report {
     ///     "stats": {popped, pushed, constructed, duplicates,
     ///               symmetry_pruned, inconsistent, wasteful, revisits,
     ///               complete_executions, blocked_graphs, events,
-    ///               frontier_dropped},
+    ///               frontier_dropped, probes,
+    ///               "phases": {"<phase>": {count, total_ms, max_ms}}},
     ///     "optimization": null | {"verified", "interrupted", "error",
     ///        "strategy", "verifications", "explorations",
     ///        "explored_graphs", "cache_hits", "elapsed_ms", "before",
@@ -368,7 +378,7 @@ fn stats_json(s: &ExploreStats) -> String {
          \"symmetry_pruned\": {}, \
          \"inconsistent\": {}, \"wasteful\": {}, \"revisits\": {}, \
          \"complete_executions\": {}, \"blocked_graphs\": {}, \"events\": {}, \
-         \"frontier_dropped\": {}}}",
+         \"frontier_dropped\": {}, \"probes\": {}, \"phases\": {}}}",
         s.popped,
         s.pushed,
         s.constructed,
@@ -380,8 +390,34 @@ fn stats_json(s: &ExploreStats) -> String {
         s.complete_executions,
         s.blocked_graphs,
         s.events,
-        s.frontier_dropped
+        s.frontier_dropped,
+        s.probes,
+        phases_json(&s.phases)
     )
+}
+
+/// Serialize a [`PhaseProfile`]: one member per phase with recorded
+/// spans, in [`EnginePhase::ALL`](crate::EnginePhase::ALL) order.
+/// Profiling-off runs (the default) serialize as `{}`, keeping the
+/// schema deterministic.
+pub(crate) fn phases_json(p: &PhaseProfile) -> String {
+    use fmt::Write as _;
+    let mut out = String::from("{");
+    for (phase, s) in p.iter().filter(|(_, s)| s.count > 0) {
+        if out.len() > 1 {
+            out.push_str(", ");
+        }
+        let _ = write!(
+            out,
+            "\"{}\": {{\"count\": {}, \"total_ms\": {:.3}, \"max_ms\": {:.3}}}",
+            phase.key(),
+            s.count,
+            s.total_ns as f64 / 1e6,
+            s.max_ns as f64 / 1e6
+        );
+    }
+    out.push('}');
+    out
 }
 
 fn summary_json(s: &vsync_lang::BarrierSummary) -> String {
@@ -469,6 +505,11 @@ pub struct Session {
     optimizer: Option<OptimizerConfig>,
     optimize_scenarios: Vec<Program>,
     optimize_steps: Option<StepFn>,
+    events: Option<EventFn>,
+    /// A pre-built bus injected by the corpus runner so many sessions
+    /// share one sequence counter and clock (wins over `events`).
+    shared_bus: Option<Arc<EventBus>>,
+    profile: bool,
 }
 
 impl fmt::Debug for Session {
@@ -479,6 +520,8 @@ impl fmt::Debug for Session {
             .field("config", &self.config)
             .field("deadline", &self.deadline)
             .field("optimize", &self.optimizer.is_some())
+            .field("events", &(self.events.is_some() || self.shared_bus.is_some()))
+            .field("profile", &self.profile)
             .finish()
     }
 }
@@ -499,6 +542,9 @@ impl Session {
             optimizer: None,
             optimize_scenarios: Vec::new(),
             optimize_steps: None,
+            events: None,
+            shared_bus: None,
+            profile: false,
         }
     }
 
@@ -718,40 +764,122 @@ impl Session {
         self
     }
 
+    /// Subscribe to the session's typed telemetry stream: every
+    /// [`EngineEvent`] — lifecycle, per-worker stats deltas and phase
+    /// slices, optimizer steps, budget warnings, faults — in one
+    /// sequence-numbered channel. Attaching a sink also enables
+    /// per-phase profiling (as [`Session::profile`]). The callback runs
+    /// on whichever engine thread emits; with one exploration worker the
+    /// stream is fully deterministic (see DESIGN.md §13).
+    pub fn on_event(
+        mut self,
+        callback: impl Fn(&EngineEvent) + Send + Sync + 'static,
+    ) -> Session {
+        self.events = Some(Arc::new(callback));
+        self
+    }
+
+    /// Enable per-phase wall-clock profiling: both exploration drivers
+    /// time their engine phases into the run's
+    /// [`ExploreStats::phases`] [`PhaseProfile`] (surfaced in
+    /// [`Report::to_json`] and [`render_metrics`](crate::render_metrics)).
+    /// Off by default — the disabled path is a single branch per phase
+    /// transition, gated ≤ 3% overhead in CI.
+    pub fn profile(mut self, on: bool) -> Session {
+        self.profile = on;
+        self
+    }
+
+    /// Share a pre-built [`EventBus`] (corpus runner): many sessions, one
+    /// sequence counter and clock.
+    pub(crate) fn with_event_bus(mut self, bus: Arc<EventBus>) -> Session {
+        self.shared_bus = Some(bus);
+        self
+    }
+
     /// Run the pipeline: explore each model in the matrix, optimize the
     /// verified ones if requested, and assemble the [`Report`].
     pub fn run(self) -> Report {
         let started = Instant::now();
+        let bus = self
+            .shared_bus
+            .clone()
+            .or_else(|| self.events.clone().map(|sink| Arc::new(EventBus::new(sink))));
         let control = RunControl {
             cancel: self.cancel.clone(),
             deadline: self.deadline.map(|d| started + d),
             progress: self.progress.clone(),
             progress_interval: self.progress_interval,
             model: self.config.model,
+            events: bus.clone(),
+            // Phase slices only flow when the tracker records, so an
+            // attached sink forces profiling on.
+            profile: self.profile || bus.is_some(),
         };
+        if let Some(bus) = &bus {
+            bus.emit(EventKind::SessionStart {
+                program: self.program.name().to_owned(),
+                models: self.models.len(),
+            });
+        }
         let mut runs = Vec::new();
         for &model in &self.models {
             let mut config = self.config.clone();
             config.model = model;
             let control = RunControl { model, ..control.clone() };
+            if let Some(bus) = &bus {
+                bus.emit(EventKind::ExploreStart { model, workers: config.workers.max(1) });
+            }
             let t0 = Instant::now();
             let result = explore_with(&self.program, &config, &control);
+            if let Some(bus) = &bus {
+                bus.emit(EventKind::ExploreFinish { model, verdict: verdict_kind(&result.verdict) });
+                match &result.verdict {
+                    Verdict::Inconclusive(i) => {
+                        bus.emit(EventKind::BudgetWarning { model, reason: i.reason.key() });
+                    }
+                    Verdict::Error(e) => {
+                        bus.emit(EventKind::EngineFault {
+                            model,
+                            phase: e.phase,
+                            payload: e.payload.clone(),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            let mut stats = result.stats;
             let optimization = match (&self.optimizer, &result.verdict) {
                 (Some(ocfg), Verdict::Verified) => {
-                    Some(self.run_optimizer(model, &config, ocfg, &control))
+                    let opt = self.run_optimizer(model, &config, ocfg, &control);
+                    // Attribute the optimizer's wall clock as one
+                    // `Optimize` span so the per-phase profile covers the
+                    // whole model run, not just the exploration.
+                    if control.profile {
+                        stats.phases.record(EnginePhase::Optimize, opt.elapsed);
+                    }
+                    Some(opt)
                 }
                 _ => None,
             };
             runs.push(ModelRun {
                 model,
                 verdict: result.verdict,
-                stats: result.stats,
+                stats,
                 elapsed: t0.elapsed(),
                 executions: result.executions,
                 optimization,
             });
         }
-        Report { program: self.program.name().to_owned(), models: runs, elapsed: started.elapsed() }
+        let report = Report {
+            program: self.program.name().to_owned(),
+            models: runs,
+            elapsed: started.elapsed(),
+        };
+        if let Some(bus) = &bus {
+            bus.emit(EventKind::SessionFinish { verified: report.is_verified() });
+        }
+        report
     }
 
     /// One optimization run under `model`, sharing the session's
@@ -777,6 +905,23 @@ impl Session {
         config.amc = amc.clone();
         if config.on_step.is_none() {
             config.on_step = self.optimize_steps.clone();
+        }
+        if let Some(bus) = control.events.clone() {
+            // Forward every optimizer step onto the event bus, still
+            // honoring any user callback.
+            let prev = config.on_step.take();
+            config.on_step = Some(Arc::new(move |e: &OptimizeEvent<'_>| {
+                bus.emit(EventKind::OptimizeStep {
+                    pass: e.pass,
+                    site: e.site.to_owned(),
+                    from: e.step.from,
+                    to: e.step.to,
+                    accepted: e.step.accepted,
+                });
+                if let Some(prev) = &prev {
+                    prev(e);
+                }
+            }));
         }
         let oracle_control = RunControl { progress: None, model, ..control.clone() };
         run_engine(&self.program, &self.optimize_scenarios, &config, oracle_control, true)

@@ -1,0 +1,789 @@
+//! Unified engine telemetry: per-phase wall-clock profiling, the typed
+//! event bus, and the exporters (Chrome-trace writer, metrics table).
+//!
+//! Three previously disjoint channels — `ExploreStats` progress
+//! snapshots, optimizer `OptimizationStep`s, and ad-hoc bench timing —
+//! flow through one typed stream of [`EngineEvent`]s with monotonic
+//! sequence numbers, stamped against a single session clock. The layer
+//! is near-zero-cost when disabled: drivers consult one `bool`
+//! (`RunControl::profile`) per phase transition and one `Option` per
+//! pacer drain; with both off no telemetry code allocates or takes a
+//! lock (see DESIGN.md §13 for the overhead model and the CI gate).
+//!
+//! * [`PhaseProfile`] / [`PhaseStat`] — per-[`EnginePhase`] total/count/
+//!   max aggregates, surfaced in `ExploreStats`, `Report::to_json` and
+//!   corpus JSON;
+//! * `PhaseTracker` — the per-worker scoped timer both exploration
+//!   drivers thread through their hot loops (a drop-in for the old
+//!   `Cell<EnginePhase>` panic-attribution cell);
+//! * `EventBus` (crate-private) / [`EngineEvent`] / [`EventKind`] — the typed bus
+//!   behind `Session::on_event`, drained at the existing pacer cadence
+//!   so per-worker buffers never add hot-loop synchronization;
+//! * [`TraceWriter`] — a Perfetto-loadable Chrome-trace JSON writer
+//!   (one event object per line);
+//! * [`render_metrics`] — the human `--metrics` summary table.
+
+use std::cell::{Cell, RefCell};
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use vsync_graph::Mode;
+use vsync_model::ModelKind;
+
+use crate::verdict::{EnginePhase, ExploreStats};
+
+// ---------------------------------------------------------------------
+// Phase profiling
+// ---------------------------------------------------------------------
+
+/// Wall-clock aggregate for one [`EnginePhase`]: total time spent,
+/// number of spans, and the longest single span.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Total nanoseconds attributed to the phase.
+    pub total_ns: u64,
+    /// Number of spans (phase entries) recorded.
+    pub count: u64,
+    /// Longest single span, in nanoseconds.
+    pub max_ns: u64,
+}
+
+impl PhaseStat {
+    /// Total time as a [`Duration`].
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.total_ns)
+    }
+
+    /// Longest single span as a [`Duration`].
+    #[must_use]
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+}
+
+/// Per-phase wall-clock attribution for one run (or one pacer slice):
+/// a [`PhaseStat`] per [`EnginePhase`], indexed by
+/// [`EnginePhase::index`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    spans: [PhaseStat; EnginePhase::COUNT],
+}
+
+impl PhaseProfile {
+    /// The aggregate for one phase.
+    #[must_use]
+    pub fn get(&self, phase: EnginePhase) -> PhaseStat {
+        self.spans[phase.index()]
+    }
+
+    /// Attribute one span of `elapsed` to `phase`.
+    pub fn record(&mut self, phase: EnginePhase, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let s = &mut self.spans[phase.index()];
+        s.total_ns = s.total_ns.saturating_add(ns);
+        s.count += 1;
+        s.max_ns = s.max_ns.max(ns);
+    }
+
+    /// Count one entry into `phase`. Entries and elapsed time are
+    /// tracked separately by [`PhaseTracker`]: the entry is counted when
+    /// the span opens, the time when it closes (or is rolled into a
+    /// snapshot) — so neither mid-span snapshots nor a span still open
+    /// at drain time can skew `count`. The count invariants (e.g. one
+    /// `FinalCheck` entry per complete execution) depend on this.
+    fn enter(&mut self, phase: EnginePhase) {
+        self.spans[phase.index()].count += 1;
+    }
+
+    /// Attribute `elapsed` to `phase` without counting an entry — the
+    /// closing half of [`PhaseProfile::enter`], also used to roll the
+    /// still-open span into a snapshot. `max_ns` tracks the largest
+    /// closed chunk (a span split across snapshots reports its largest
+    /// fragment).
+    fn extend(&mut self, phase: EnginePhase, elapsed: Duration) {
+        let ns = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        let s = &mut self.spans[phase.index()];
+        s.total_ns = s.total_ns.saturating_add(ns);
+        s.max_ns = s.max_ns.max(ns);
+    }
+
+    /// Accumulate another profile (totals and counts add, maxima take
+    /// the max) — used to merge per-worker profiles.
+    pub fn merge(&mut self, other: &PhaseProfile) {
+        for (s, o) in self.spans.iter_mut().zip(&other.spans) {
+            s.total_ns = s.total_ns.saturating_add(o.total_ns);
+            s.count += o.count;
+            s.max_ns = s.max_ns.max(o.max_ns);
+        }
+    }
+
+    /// Per-phase `self - earlier` (totals and counts subtract,
+    /// saturating; `max_ns` keeps `self`'s running maximum, so a slice's
+    /// max is "max so far", not "max within the slice").
+    #[must_use]
+    pub fn minus(&self, earlier: &PhaseProfile) -> PhaseProfile {
+        let mut out = *self;
+        for (s, e) in out.spans.iter_mut().zip(&earlier.spans) {
+            s.total_ns = s.total_ns.saturating_sub(e.total_ns);
+            s.count = s.count.saturating_sub(e.count);
+        }
+        out
+    }
+
+    /// True when no span has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.spans.iter().all(|s| s.count == 0)
+    }
+
+    /// Sum of all per-phase totals.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        Duration::from_nanos(self.spans.iter().map(|s| s.total_ns).sum())
+    }
+
+    /// Iterate `(phase, stat)` pairs in [`EnginePhase::ALL`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (EnginePhase, PhaseStat)> + '_ {
+        EnginePhase::ALL.iter().map(|&p| (p, self.spans[p.index()]))
+    }
+}
+
+/// The per-worker scoped phase timer. A drop-in replacement for the
+/// `Cell<EnginePhase>` the drivers previously used for panic
+/// attribution: [`PhaseTracker::set`]/[`PhaseTracker::get`] keep the
+/// same call-site shape, and additionally attribute the elapsed
+/// wall-clock of the span being left — but only when profiling is
+/// enabled; disabled, `set` is one branch and a plain `Cell` store, and
+/// no `Instant::now()` is ever taken.
+pub(crate) struct PhaseTracker {
+    current: Cell<EnginePhase>,
+    since: Cell<Instant>,
+    enabled: bool,
+    profile: RefCell<PhaseProfile>,
+}
+
+impl PhaseTracker {
+    pub(crate) fn new(enabled: bool) -> PhaseTracker {
+        let mut profile = PhaseProfile::default();
+        if enabled {
+            // The tracker opens in `Driver`; count that first entry here
+            // since no `set` transition will.
+            profile.enter(EnginePhase::Driver);
+        }
+        PhaseTracker {
+            current: Cell::new(EnginePhase::Driver),
+            since: Cell::new(Instant::now()),
+            enabled,
+            profile: RefCell::new(profile),
+        }
+    }
+
+    /// Enter `phase`, closing (and, when enabled, timing) the current
+    /// span. Re-entering the running phase is a no-op — the span simply
+    /// continues — which keeps redundant sets (e.g. `admit` called from
+    /// a context already attributing to `Probe`) off the clock.
+    pub(crate) fn set(&self, phase: EnginePhase) {
+        if self.enabled {
+            let prev = self.current.get();
+            if prev == phase {
+                return;
+            }
+            let now = Instant::now();
+            let mut p = self.profile.borrow_mut();
+            p.extend(prev, now.duration_since(self.since.get()));
+            p.enter(phase);
+            self.since.set(now);
+        }
+        self.current.set(phase);
+    }
+
+    /// The phase currently executing (panic attribution).
+    pub(crate) fn get(&self) -> EnginePhase {
+        self.current.get()
+    }
+
+    /// The profile so far, with the open span's elapsed time rolled in
+    /// (and the span restarted — its entry is counted when it closes).
+    pub(crate) fn snapshot(&self) -> PhaseProfile {
+        if self.enabled {
+            let now = Instant::now();
+            self.profile
+                .borrow_mut()
+                .extend(self.current.get(), now.duration_since(self.since.get()));
+            self.since.set(now);
+        }
+        *self.profile.borrow()
+    }
+
+    /// Drain: the profile so far (open span rolled in), resetting the
+    /// accumulator.
+    pub(crate) fn take_profile(&self) -> PhaseProfile {
+        let p = self.snapshot();
+        *self.profile.borrow_mut() = PhaseProfile::default();
+        p
+    }
+}
+
+// ---------------------------------------------------------------------
+// The typed event bus
+// ---------------------------------------------------------------------
+
+/// An event sink: called synchronously from whichever thread emits.
+pub type EventFn = Arc<dyn Fn(&EngineEvent) + Send + Sync>;
+
+/// One telemetry event: a monotonic sequence number, a timestamp
+/// relative to the owning bus's epoch, and the typed payload.
+///
+/// Sequence numbers are allocated atomically at emission, so a
+/// single-worker run's stream is fully deterministic (same program,
+/// same config ⇒ same sequence of [`EventKind`]s); with multiple
+/// workers the interleaving of `StatsDelta`/`PhaseSlice` events is
+/// racy by nature, but `seq` still totally orders the stream.
+#[derive(Debug, Clone)]
+pub struct EngineEvent {
+    /// Monotonic sequence number (0-based, gap-free per bus).
+    pub seq: u64,
+    /// Time since the bus was created (the session clock).
+    pub ts: Duration,
+    /// The typed payload.
+    pub kind: EventKind,
+}
+
+/// The event taxonomy (DESIGN.md §13 documents nesting rules).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// A session run started.
+    SessionStart {
+        /// Program name.
+        program: String,
+        /// Number of models in the matrix.
+        models: usize,
+    },
+    /// The session run finished.
+    SessionFinish {
+        /// Did every model verify?
+        verified: bool,
+    },
+    /// One model's exploration started.
+    ExploreStart {
+        /// The model being explored.
+        model: ModelKind,
+        /// Worker threads for this exploration.
+        workers: usize,
+    },
+    /// One model's exploration finished.
+    ExploreFinish {
+        /// The model explored.
+        model: ModelKind,
+        /// Stable verdict kind key (`"verified"`, `"safety"`, ...).
+        verdict: &'static str,
+    },
+    /// Per-worker counter delta since that worker's previous delta
+    /// (drained at pacer cadence; `stats.phases` is always empty here —
+    /// phase time arrives as [`EventKind::PhaseSlice`]).
+    StatsDelta {
+        /// Emitting worker index.
+        worker: usize,
+        /// Counters accumulated since the last delta from this worker.
+        stats: ExploreStats,
+    },
+    /// Per-worker phase-time slice since that worker's previous slice.
+    PhaseSlice {
+        /// Emitting worker index.
+        worker: usize,
+        /// Phase time accumulated since the last slice from this worker.
+        phases: PhaseProfile,
+    },
+    /// One optimizer relaxation step (accepted or rejected).
+    OptimizeStep {
+        /// Optimizer pass number.
+        pass: usize,
+        /// Barrier-site name.
+        site: String,
+        /// Mode before the step.
+        from: Mode,
+        /// Mode the step tried.
+        to: Mode,
+        /// Did the relaxation verify?
+        accepted: bool,
+    },
+    /// A run degraded to `Inconclusive` (budget / deadline / cancel).
+    BudgetWarning {
+        /// The model whose run degraded.
+        model: ModelKind,
+        /// Stable [`StopReason`](crate::StopReason) key.
+        reason: &'static str,
+    },
+    /// A caught engine panic surfaced as `Verdict::Error`.
+    EngineFault {
+        /// The model whose run errored.
+        model: ModelKind,
+        /// Phase the panicking code was executing.
+        phase: EnginePhase,
+        /// The panic payload.
+        payload: String,
+    },
+    /// The corpus runner quarantined a file after a caught panic.
+    Quarantine {
+        /// Path of the quarantined file.
+        path: String,
+    },
+    /// The corpus runner finished judging one file.
+    CorpusFile {
+        /// Path of the file.
+        path: String,
+        /// Did every expectation hold?
+        passed: bool,
+    },
+}
+
+impl EventKind {
+    /// Stable machine-readable identifier for the event kind.
+    #[must_use]
+    pub fn key(&self) -> &'static str {
+        match self {
+            EventKind::SessionStart { .. } => "session_start",
+            EventKind::SessionFinish { .. } => "session_finish",
+            EventKind::ExploreStart { .. } => "explore_start",
+            EventKind::ExploreFinish { .. } => "explore_finish",
+            EventKind::StatsDelta { .. } => "stats_delta",
+            EventKind::PhaseSlice { .. } => "phase_slice",
+            EventKind::OptimizeStep { .. } => "optimize_step",
+            EventKind::BudgetWarning { .. } => "budget_warning",
+            EventKind::EngineFault { .. } => "engine_fault",
+            EventKind::Quarantine { .. } => "quarantine",
+            EventKind::CorpusFile { .. } => "corpus_file",
+        }
+    }
+}
+
+/// The session-wide event bus: one sink, one clock, one atomic
+/// sequence counter. Cloned (via `Arc`) into every `RunControl`, so
+/// the optimizer's oracle explorations and every corpus file share the
+/// same stream.
+pub(crate) struct EventBus {
+    sink: EventFn,
+    seq: AtomicU64,
+    started: Instant,
+}
+
+impl EventBus {
+    pub(crate) fn new(sink: EventFn) -> EventBus {
+        EventBus { sink, seq: AtomicU64::new(0), started: Instant::now() }
+    }
+
+    /// Stamp and deliver one event.
+    pub(crate) fn emit(&self, kind: EventKind) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let ev = EngineEvent { seq, ts: self.started.elapsed(), kind };
+        (self.sink)(&ev);
+    }
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus").field("seq", &self.seq.load(Ordering::Relaxed)).finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace exporter
+// ---------------------------------------------------------------------
+
+/// Writes an [`EngineEvent`] stream as a Chrome-trace JSON array —
+/// loadable by Perfetto / `chrome://tracing` — with one event object
+/// per line. [`TraceWriter::finish`] closes the array; a truncated
+/// (unfinished) file is still loadable by Perfetto, which tolerates a
+/// missing `]`.
+///
+/// Mapping: explorations and the session become `B`/`E` duration pairs
+/// on tid 0; [`EventKind::PhaseSlice`]s are laid out as back-to-back
+/// `X` complete spans on the worker's tid (a per-tid cursor keeps
+/// slices non-overlapping — within a slice the per-phase ordering is
+/// synthetic, the durations are real); [`EventKind::StatsDelta`]s
+/// accumulate into `C` counter samples; everything else is an instant.
+pub struct TraceWriter {
+    inner: Mutex<TraceInner>,
+}
+
+struct TraceInner {
+    out: BufWriter<File>,
+    /// Has any event line been written yet (for comma placement)?
+    first: bool,
+    /// Per-tid layout cursor (ns since epoch) for phase-slice spans.
+    cursors: Vec<u64>,
+    /// Per-worker accumulated counter totals (counter samples are
+    /// cumulative in the Chrome-trace model).
+    totals: Vec<ExploreStats>,
+    /// tids already given a `thread_name` metadata record.
+    named: Vec<bool>,
+    finished: bool,
+}
+
+impl TraceWriter {
+    /// Create (truncating) the trace file and write the array opener
+    /// plus process metadata.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error creating or writing the file.
+    pub fn create(path: &Path) -> io::Result<TraceWriter> {
+        let mut out = BufWriter::new(File::create(path)?);
+        out.write_all(b"[\n")?;
+        let w = TraceWriter {
+            inner: Mutex::new(TraceInner {
+                out,
+                first: true,
+                cursors: Vec::new(),
+                totals: Vec::new(),
+                named: Vec::new(),
+                finished: false,
+            }),
+        };
+        w.with_inner(|inner| {
+            Self::line(
+                inner,
+                "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": 0, \
+                 \"args\": {\"name\": \"vsync\"}}",
+            );
+        });
+        Ok(w)
+    }
+
+    /// An [`EventFn`] feeding this writer (pass to `Session::on_event`).
+    #[must_use]
+    pub fn sink(self: &Arc<Self>) -> EventFn {
+        let w = Arc::clone(self);
+        Arc::new(move |ev| w.handle(ev))
+    }
+
+    fn with_inner(&self, f: impl FnOnce(&mut TraceInner)) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if !inner.finished {
+            f(&mut inner);
+        }
+    }
+
+    fn line(inner: &mut TraceInner, s: &str) {
+        // Trace output is best-effort: an exporter I/O error must never
+        // fail the verification run it is observing.
+        let sep: &[u8] = if inner.first { b"" } else { b",\n" };
+        inner.first = false;
+        let _ = inner.out.write_all(sep);
+        let _ = inner.out.write_all(s.as_bytes());
+    }
+
+    /// Name a worker tid lazily (Perfetto track labels).
+    fn ensure_tid(inner: &mut TraceInner, tid: usize, label: &str) {
+        if inner.named.len() <= tid {
+            inner.named.resize(tid + 1, false);
+        }
+        if !inner.named[tid] {
+            inner.named[tid] = true;
+            let s = format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"{label}\"}}}}"
+            );
+            Self::line(inner, &s);
+        }
+    }
+
+    fn instant(inner: &mut TraceInner, name: &str, ts_us: u128, args: &str) {
+        let s = format!(
+            "{{\"name\": \"{name}\", \"ph\": \"i\", \"ts\": {ts_us}, \"pid\": 1, \"tid\": 0, \
+             \"s\": \"g\", \"cat\": \"engine\", \"args\": {args}}}"
+        );
+        Self::line(inner, &s);
+    }
+
+    fn handle(&self, ev: &EngineEvent) {
+        let ts_us = ev.ts.as_micros();
+        self.with_inner(|inner| match &ev.kind {
+            EventKind::SessionStart { program, models } => {
+                Self::ensure_tid(inner, 0, "session");
+                let s = format!(
+                    "{{\"name\": \"session\", \"ph\": \"B\", \"ts\": {ts_us}, \"pid\": 1, \
+                     \"tid\": 0, \"cat\": \"session\", \"args\": {{\"program\": {}, \
+                     \"models\": {models}}}}}",
+                    json_str(program)
+                );
+                Self::line(inner, &s);
+            }
+            EventKind::SessionFinish { verified } => {
+                let s = format!(
+                    "{{\"name\": \"session\", \"ph\": \"E\", \"ts\": {ts_us}, \"pid\": 1, \
+                     \"tid\": 0, \"cat\": \"session\", \"args\": {{\"verified\": {verified}}}}}"
+                );
+                Self::line(inner, &s);
+            }
+            EventKind::ExploreStart { model, workers } => {
+                let s = format!(
+                    "{{\"name\": \"explore {model}\", \"ph\": \"B\", \"ts\": {ts_us}, \
+                     \"pid\": 1, \"tid\": 0, \"cat\": \"explore\", \
+                     \"args\": {{\"workers\": {workers}}}}}"
+                );
+                Self::line(inner, &s);
+            }
+            EventKind::ExploreFinish { model, verdict } => {
+                let s = format!(
+                    "{{\"name\": \"explore {model}\", \"ph\": \"E\", \"ts\": {ts_us}, \
+                     \"pid\": 1, \"tid\": 0, \"cat\": \"explore\", \
+                     \"args\": {{\"verdict\": \"{verdict}\"}}}}"
+                );
+                Self::line(inner, &s);
+            }
+            EventKind::StatsDelta { worker, stats } => {
+                let tid = worker + 1;
+                Self::ensure_tid(inner, tid, &format!("worker {worker}"));
+                if inner.totals.len() <= *worker {
+                    inner.totals.resize(worker + 1, ExploreStats::default());
+                }
+                inner.totals[*worker].merge(stats);
+                let t = &inner.totals[*worker];
+                let s = format!(
+                    "{{\"name\": \"stats\", \"ph\": \"C\", \"ts\": {ts_us}, \"pid\": 1, \
+                     \"tid\": {tid}, \"args\": {{\"constructed\": {}, \
+                     \"complete_executions\": {}, \"duplicates\": {}, \"probes\": {}}}}}",
+                    t.constructed, t.complete_executions, t.duplicates, t.probes
+                );
+                Self::line(inner, &s);
+            }
+            EventKind::PhaseSlice { worker, phases } => {
+                let tid = worker + 1;
+                Self::ensure_tid(inner, tid, &format!("worker {worker}"));
+                if inner.cursors.len() <= *worker {
+                    inner.cursors.resize(worker + 1, 0);
+                }
+                // Lay the slice's per-phase spans back-to-back, ending at
+                // the drain timestamp (so slices read as contiguous work
+                // leading up to each drain).
+                let total_ns: u64 = phases.iter().map(|(_, s)| s.total_ns).sum();
+                let end_ns = u64::try_from(ev.ts.as_nanos()).unwrap_or(u64::MAX);
+                let mut cur = inner.cursors[*worker].max(end_ns.saturating_sub(total_ns));
+                for (phase, stat) in phases.iter().filter(|(_, s)| s.count > 0) {
+                    let s = format!(
+                        "{{\"name\": \"{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \
+                         \"pid\": 1, \"tid\": {tid}, \"cat\": \"phase\", \
+                         \"args\": {{\"count\": {}}}}}",
+                        phase.key(),
+                        cur / 1_000,
+                        (stat.total_ns / 1_000).max(1),
+                        stat.count
+                    );
+                    Self::line(inner, &s);
+                    cur += stat.total_ns;
+                }
+                inner.cursors[*worker] = cur;
+            }
+            EventKind::OptimizeStep { pass, site, from, to, accepted } => {
+                let args = format!(
+                    "{{\"pass\": {pass}, \"site\": {}, \"from\": \"{from}\", \
+                     \"to\": \"{to}\", \"accepted\": {accepted}}}",
+                    json_str(site)
+                );
+                Self::instant(inner, "optimize_step", ts_us, &args);
+            }
+            EventKind::BudgetWarning { model, reason } => {
+                let args = format!("{{\"model\": \"{model}\", \"reason\": \"{reason}\"}}");
+                Self::instant(inner, "budget_warning", ts_us, &args);
+            }
+            EventKind::EngineFault { model, phase, payload } => {
+                let args = format!(
+                    "{{\"model\": \"{model}\", \"phase\": \"{phase}\", \"payload\": {}}}",
+                    json_str(payload)
+                );
+                Self::instant(inner, "engine_fault", ts_us, &args);
+            }
+            EventKind::Quarantine { path } => {
+                let args = format!("{{\"path\": {}}}", json_str(path));
+                Self::instant(inner, "quarantine", ts_us, &args);
+            }
+            EventKind::CorpusFile { path, passed } => {
+                let args = format!("{{\"path\": {}, \"passed\": {passed}}}", json_str(path));
+                Self::instant(inner, "corpus_file", ts_us, &args);
+            }
+        });
+    }
+
+    /// Close the JSON array and flush.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error flushing the file.
+    pub fn finish(&self) -> io::Result<()> {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        if inner.finished {
+            return Ok(());
+        }
+        inner.finished = true;
+        inner.out.write_all(b"\n]\n")?;
+        inner.out.flush()
+    }
+}
+
+/// Minimal JSON string escaping (the repo has no serde).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Metrics table
+// ---------------------------------------------------------------------
+
+fn fmt_ms(d: Duration) -> String {
+    format!("{:.3}", d.as_secs_f64() * 1e3)
+}
+
+/// Render the human `--metrics` summary: one row per phase with any
+/// recorded spans (count, total, mean, max, share of `wall`), plus the
+/// unattributed remainder. Printed to stderr by the CLI so `--json`
+/// stdout stays machine-parseable.
+#[must_use]
+pub fn render_metrics(profile: &PhaseProfile, wall: Duration) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>10} {:>10} {:>7}",
+        "phase", "count", "total_ms", "mean_us", "max_us", "share"
+    );
+    let wall_ns = u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX).max(1);
+    for (phase, s) in profile.iter().filter(|(_, s)| s.count > 0) {
+        let _ = writeln!(
+            out,
+            "{:<12} {:>10} {:>12} {:>10.1} {:>10.1} {:>6.1}%",
+            phase.key(),
+            s.count,
+            fmt_ms(s.total()),
+            s.total_ns as f64 / s.count as f64 / 1e3,
+            s.max_ns as f64 / 1e3,
+            s.total_ns as f64 * 100.0 / wall_ns as f64
+        );
+    }
+    let attributed = profile.total();
+    let other = wall.saturating_sub(attributed);
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>10} {:>10} {:>6.1}%",
+        "(other)",
+        "-",
+        fmt_ms(other),
+        "-",
+        "-",
+        other.as_nanos() as f64 * 100.0 / wall_ns as f64
+    );
+    let _ = writeln!(
+        out,
+        "{:<12} {:>10} {:>12} {:>10} {:>10} {:>7}",
+        "wall",
+        "-",
+        fmt_ms(wall),
+        "-",
+        "-",
+        "-"
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_record_merge_minus() {
+        let mut a = PhaseProfile::default();
+        assert!(a.is_empty());
+        a.record(EnginePhase::Replay, Duration::from_micros(5));
+        a.record(EnginePhase::Replay, Duration::from_micros(3));
+        a.record(EnginePhase::Extend, Duration::from_micros(10));
+        assert!(!a.is_empty());
+        let r = a.get(EnginePhase::Replay);
+        assert_eq!(r.count, 2);
+        assert_eq!(r.total_ns, 8_000);
+        assert_eq!(r.max_ns, 5_000);
+        assert_eq!(a.total(), Duration::from_micros(18));
+
+        let mut b = PhaseProfile::default();
+        b.record(EnginePhase::Replay, Duration::from_micros(7));
+        b.merge(&a);
+        let r = b.get(EnginePhase::Replay);
+        assert_eq!(r.count, 3);
+        assert_eq!(r.total_ns, 15_000);
+        assert_eq!(r.max_ns, 7_000);
+
+        let d = b.minus(&a);
+        assert_eq!(d.get(EnginePhase::Replay).count, 1);
+        assert_eq!(d.get(EnginePhase::Replay).total_ns, 7_000);
+        assert_eq!(d.get(EnginePhase::Extend).count, 0);
+    }
+
+    #[test]
+    fn tracker_attributes_only_when_enabled() {
+        let off = PhaseTracker::new(false);
+        off.set(EnginePhase::Replay);
+        off.set(EnginePhase::Extend);
+        assert_eq!(off.get(), EnginePhase::Extend);
+        assert!(off.take_profile().is_empty());
+
+        let on = PhaseTracker::new(true);
+        on.set(EnginePhase::Replay);
+        std::thread::sleep(Duration::from_millis(1));
+        on.set(EnginePhase::Extend);
+        let p = on.take_profile();
+        assert!(p.get(EnginePhase::Replay).total_ns >= 1_000_000);
+        // The initial Driver span and the open Extend span both closed.
+        assert!(p.get(EnginePhase::Driver).count >= 1);
+        assert!(p.get(EnginePhase::Extend).count >= 1);
+        // Draining resets.
+        assert!(on.take_profile().get(EnginePhase::Replay).count <= 1);
+    }
+
+    #[test]
+    fn bus_sequences_are_monotonic_and_gap_free() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let sink: EventFn = {
+            let seen = Arc::clone(&seen);
+            Arc::new(move |ev: &EngineEvent| {
+                seen.lock().unwrap().push(ev.seq);
+            })
+        };
+        let bus = EventBus::new(sink);
+        for _ in 0..5 {
+            bus.emit(EventKind::SessionFinish { verified: true });
+        }
+        assert_eq!(*seen.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn metrics_table_mentions_recorded_phases() {
+        let mut p = PhaseProfile::default();
+        p.record(EnginePhase::Consistency, Duration::from_millis(2));
+        let table = render_metrics(&p, Duration::from_millis(10));
+        assert!(table.contains("consistency"));
+        assert!(table.contains("(other)"));
+        assert!(table.contains("wall"));
+        assert!(!table.contains("replay"), "phases without spans are omitted");
+    }
+}

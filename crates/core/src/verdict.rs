@@ -267,6 +267,15 @@ pub struct ExploreStats {
     /// Frontier work items abandoned unexplored when a budget or cap
     /// stopped the run early (always 0 for completed runs).
     pub frontier_dropped: u64,
+    /// Dedup-set probes: canonical/content hashes computed by the
+    /// enumerate search plus hash-before-materialize view encodings by
+    /// the revisit search (each probe is one full graph/view encoding).
+    pub probes: u64,
+    /// Per-phase wall-clock attribution (total/count/max per
+    /// [`EnginePhase`]). Empty unless the run had profiling enabled
+    /// ([`Session::profile`](crate::Session::profile) or an attached
+    /// event sink).
+    pub phases: crate::telemetry::PhaseProfile,
 }
 
 impl ExploreStats {
@@ -284,6 +293,8 @@ impl ExploreStats {
         self.blocked_graphs += other.blocked_graphs;
         self.events += other.events;
         self.frontier_dropped += other.frontier_dropped;
+        self.probes += other.probes;
+        self.phases.merge(&other.phases);
     }
 }
 
@@ -400,12 +411,19 @@ impl fmt::Display for Inconclusive {
 pub enum EnginePhase {
     /// Replaying a program prefix over an execution graph.
     Replay,
-    /// Probing / inserting into the sharded dedup set.
+    /// Probing / inserting into the sharded dedup set
+    /// ([`SearchMode::Enumerate`]'s content/canonical hashing).
     Dedup,
+    /// The revisit engine's hash-before-materialize probe: encoding a
+    /// [`GraphView`](vsync_graph::GraphView) and consulting the
+    /// `visited`/`leaves` seen-sets *before* any graph is built.
+    Probe,
     /// Running the memory-model consistency check.
     Consistency,
-    /// Extending a graph with the next event (rf / mo / revisit branching).
+    /// Extending a graph with the next event (rf / mo branching).
     Extend,
+    /// Generating backward revisits for a newly placed write.
+    Revisit,
     /// Evaluating final-state checks on a complete execution.
     FinalCheck,
     /// The stagnancy analysis on a blocked graph.
@@ -419,13 +437,41 @@ pub enum EnginePhase {
 }
 
 impl EnginePhase {
+    /// Number of phases (the length of [`EnginePhase::ALL`]).
+    pub const COUNT: usize = 11;
+
+    /// Every phase, in declaration order — the index of a phase in this
+    /// array is [`EnginePhase::index`], the layout key of
+    /// [`PhaseProfile`](crate::telemetry::PhaseProfile).
+    pub const ALL: [EnginePhase; EnginePhase::COUNT] = [
+        EnginePhase::Replay,
+        EnginePhase::Dedup,
+        EnginePhase::Probe,
+        EnginePhase::Consistency,
+        EnginePhase::Extend,
+        EnginePhase::Revisit,
+        EnginePhase::FinalCheck,
+        EnginePhase::Stagnancy,
+        EnginePhase::Driver,
+        EnginePhase::Optimize,
+        EnginePhase::Corpus,
+    ];
+
+    /// Dense index of this phase in [`EnginePhase::ALL`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// Stable machine-readable identifier (used in JSON reports).
     pub fn key(&self) -> &'static str {
         match self {
             EnginePhase::Replay => "replay",
             EnginePhase::Dedup => "dedup",
+            EnginePhase::Probe => "probe",
             EnginePhase::Consistency => "consistency",
             EnginePhase::Extend => "extend",
+            EnginePhase::Revisit => "revisit",
             EnginePhase::FinalCheck => "final_check",
             EnginePhase::Stagnancy => "stagnancy",
             EnginePhase::Driver => "driver",

@@ -383,6 +383,9 @@ pub struct ExploreEncoder {
     best: Vec<u8>,
     cur: Vec<u8>,
     chosen: Option<usize>,
+    /// Encodings performed since the last [`ExploreEncoder::take_probes`]
+    /// (each hash costs `1 + |perms|`).
+    probes: u64,
 }
 
 impl ExploreEncoder {
@@ -408,7 +411,7 @@ impl ExploreEncoder {
                     .collect()
             }
         };
-        ExploreEncoder { perms, best: Vec::new(), cur: Vec::new(), chosen: None }
+        ExploreEncoder { perms, best: Vec::new(), cur: Vec::new(), chosen: None, probes: 0 }
     }
 
     /// Flag-blind (orbit-canonical, if a partition is active) hash of a
@@ -417,6 +420,7 @@ impl ExploreEncoder {
     pub fn hash_view(&mut self, v: &GraphView<'_>) -> (u128, bool) {
         let (best, cur) = (&mut self.best, &mut self.cur);
         encode_view_relabeled(v, None, best);
+        self.probes += 1 + self.perms.len() as u64;
         self.chosen = None;
         for (i, (fwd, inv)) in self.perms.iter().enumerate() {
             encode_view_relabeled(v, Some((fwd, inv)), cur);
@@ -426,6 +430,13 @@ impl ExploreEncoder {
             }
         }
         (hash128(&self.best), self.chosen.is_some())
+    }
+
+    /// Drain the encoding-work counter: total view serializations since
+    /// the last call (the symmetry-dedup cost telemetry reports as
+    /// `probes`).
+    pub fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
     }
 
     /// The relabeling (`perm[original] = new`) that produced the last
@@ -450,6 +461,9 @@ pub struct Canonicalizer {
     /// Index into `perms` of the minimizing relabeling of the last
     /// [`Canonicalizer::canonicalize`] call (`None` = identity won).
     chosen: Option<usize>,
+    /// Encodings performed since the last [`Canonicalizer::take_probes`]
+    /// (each canonicalization costs `1 + |perms|`).
+    probes: u64,
 }
 
 impl Canonicalizer {
@@ -471,7 +485,7 @@ impl Canonicalizer {
                 (fwd, inv)
             })
             .collect();
-        Canonicalizer { perms, best: Vec::new(), cur: Vec::new(), chosen: None }
+        Canonicalizer { perms, best: Vec::new(), cur: Vec::new(), chosen: None, probes: 0 }
     }
 
     /// Does the partition allow any relabeling at all?
@@ -489,6 +503,7 @@ impl Canonicalizer {
         // Swap-based double buffering: `best` holds the minimum so far.
         let (best, cur) = (&mut self.best, &mut self.cur);
         encode_relabeled(g, None, best);
+        self.probes += 1 + self.perms.len() as u64;
         self.chosen = None;
         for (i, (fwd, inv)) in self.perms.iter().enumerate() {
             encode_relabeled(g, Some((fwd, inv)), cur);
@@ -514,6 +529,13 @@ impl Canonicalizer {
     #[must_use]
     pub fn chosen_perm(&self) -> Option<&[ThreadId]> {
         self.chosen.map(|i| self.perms[i].0.as_slice())
+    }
+
+    /// Drain the encoding-work counter: total graph serializations since
+    /// the last call (the symmetry-dedup cost telemetry reports as
+    /// `probes`).
+    pub fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
     }
 }
 

@@ -73,7 +73,46 @@ pub const SMALL_GRAPH_EVENTS: usize = 20;
 /// formulation for this graph? (See [`SMALL_GRAPH_EVENTS`].)
 #[inline]
 pub(crate) fn below_fast_path_threshold(g: &ExecutionGraph) -> bool {
-    g.num_events() <= SMALL_GRAPH_EVENTS
+    let below = g.num_events() <= SMALL_GRAPH_EVENTS;
+    if attribution::ENABLED.load(std::sync::atomic::Ordering::Relaxed) {
+        attribution::count(below);
+    }
+    below
+}
+
+/// Opt-in counters attributing consistency checks to the fast path vs the
+/// closure-based reference checker ([`SMALL_GRAPH_EVENTS`] delegation).
+///
+/// Process-global by necessity — `is_consistent` takes no context — so the
+/// counters are only meaningful when one session runs at a time (the CLI's
+/// `--metrics`, which snapshots a delta around its single session). Off by
+/// default: one relaxed load per check when disabled.
+pub mod attribution {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    pub(super) static ENABLED: AtomicBool = AtomicBool::new(false);
+    static REFERENCE: AtomicU64 = AtomicU64::new(0);
+    static FAST: AtomicU64 = AtomicU64::new(0);
+
+    pub(super) fn count(below_threshold: bool) {
+        if below_threshold {
+            REFERENCE.fetch_add(1, Ordering::Relaxed);
+        } else {
+            FAST.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Turn the process-global counters on or off.
+    pub fn set_checker_attribution(on: bool) {
+        ENABLED.store(on, Ordering::Relaxed);
+    }
+
+    /// Current `(fast_path, reference_checker)` consistency-check counts.
+    /// Snapshot before and after a run and subtract to scope a delta.
+    #[must_use]
+    pub fn checker_attribution() -> (u64, u64) {
+        (FAST.load(Ordering::Relaxed), REFERENCE.load(Ordering::Relaxed))
+    }
 }
 
 impl<'g> AxiomContext<'g> {

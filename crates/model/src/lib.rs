@@ -32,6 +32,7 @@ mod sc;
 mod tso;
 mod vmm;
 
+pub use fast::attribution::{checker_attribution, set_checker_attribution};
 pub use fast::AxiomContext;
 pub use sc::Sc;
 pub use tso::Tso;

@@ -131,6 +131,7 @@ pub struct Model<'env> {
     next_template: u32,
     finals: Vec<(u64, u64, u64, String)>,
     budget: u64,
+    on_step: Option<Arc<dyn Fn(u64, usize) + Send + Sync>>,
 }
 
 impl<'env> Model<'env> {
@@ -142,6 +143,7 @@ impl<'env> Model<'env> {
             next_template: 0,
             finals: Vec::new(),
             budget: DEFAULT_STEP_BUDGET,
+            on_step: None,
         }
     }
 
@@ -198,6 +200,20 @@ impl<'env> Model<'env> {
         self
     }
 
+    /// Observe each recording-scheduler step as it is charged: the
+    /// callback receives `(step, thread)` — the running total of charged
+    /// steps and the index of the thread holding the token. Called with
+    /// the scheduler lock held, so keep it cheap; `'static` because the
+    /// runtime's thread-local context outlives this builder's borrows.
+    #[must_use]
+    pub fn on_step(
+        mut self,
+        callback: impl Fn(u64, usize) + Send + Sync + 'static,
+    ) -> Model<'env> {
+        self.on_step = Some(Arc::new(callback));
+        self
+    }
+
     /// Run the workload once under the deterministic recording scheduler
     /// and lower the trace into a checkable program.
     ///
@@ -210,7 +226,8 @@ impl<'env> Model<'env> {
     ///
     /// See [`ShimError`].
     pub fn record(self) -> Result<Recording, ShimError> {
-        let mut trace = runtime::run(&self.name, self.jobs, &self.finals, self.budget)?;
+        let mut trace =
+            runtime::run(&self.name, self.jobs, &self.finals, self.budget, self.on_step)?;
         let (program, symmetry_fallback) = match trace::lower(&trace) {
             Ok(p) => (p, false),
             Err(TraceError::TemplateMismatch { .. }) => {
@@ -235,6 +252,7 @@ impl fmt::Debug for Model<'_> {
         f.debug_struct("Model")
             .field("name", &self.name)
             .field("threads", &self.jobs.len())
+            .field("on_step", &self.on_step.is_some())
             .finish()
     }
 }

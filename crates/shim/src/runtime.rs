@@ -134,6 +134,10 @@ struct Inner {
 pub(crate) struct Scheduler {
     inner: Mutex<Inner>,
     cv: Condvar,
+    /// Telemetry hook: called with `(step, thread)` after each scheduler
+    /// step is charged. `'static` because the `CTX` thread-local keeps the
+    /// scheduler alive past the borrow-checker's view of the session.
+    on_step: Option<Arc<dyn Fn(u64, usize) + Send + Sync>>,
 }
 
 /// A worker's body: a one-off closure or one member of an n-thread
@@ -144,8 +148,13 @@ pub(crate) enum Job<'env> {
 }
 
 impl Scheduler {
-    fn new(templates: Vec<Option<u32>>, budget: u64) -> Scheduler {
+    fn new(
+        templates: Vec<Option<u32>>,
+        budget: u64,
+        on_step: Option<Arc<dyn Fn(u64, usize) + Send + Sync>>,
+    ) -> Scheduler {
         Scheduler {
+            on_step,
             inner: Mutex::new(Inner {
                 memory: BTreeMap::new(),
                 locs: BTreeMap::new(),
@@ -238,6 +247,9 @@ impl Scheduler {
 
     fn charge_step<'a>(&'a self, mut g: MutexGuard<'a, Inner>) -> MutexGuard<'a, Inner> {
         g.steps += 1;
+        if let Some(cb) = &self.on_step {
+            cb(g.steps, g.current);
+        }
         if g.steps > g.budget {
             let limit = g.budget;
             g.abort = Some(ShimError::StepBudget { limit });
@@ -383,13 +395,14 @@ pub(crate) fn run(
     jobs: Vec<(Job<'_>, Option<u32>)>,
     finals: &[(u64, u64, u64, String)],
     budget: u64,
+    on_step: Option<Arc<dyn Fn(u64, usize) + Send + Sync>>,
 ) -> Result<Trace, ShimError> {
     if in_session() {
         return Err(ShimError::Nested);
     }
     let _serial = SESSION_SERIAL.lock().unwrap_or_else(PoisonError::into_inner);
     let templates: Vec<Option<u32>> = jobs.iter().map(|(_, t)| *t).collect();
-    let sched = Arc::new(Scheduler::new(templates, budget));
+    let sched = Arc::new(Scheduler::new(templates, budget, on_step));
     std::thread::scope(|s| {
         for (tid, (job, _)) in jobs.into_iter().enumerate() {
             let sched = Arc::clone(&sched);

@@ -8,14 +8,15 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use vsync::core::{
-    collect_litmus_files, enumerate_maximal, run_corpus, AmcConfig, CancelToken, CorpusOptions,
-    OptimizeStrategy, OptimizerConfig, ProgressSnapshot, Report, SearchMode, Session,
+    collect_litmus_files, enumerate_maximal, render_metrics, run_corpus, AmcConfig, CancelToken,
+    CorpusOptions, CorpusReport, FileOutcome, OptimizeStrategy, OptimizerConfig, PhaseProfile,
+    ProgressSnapshot, Report, SearchMode, Session, TraceWriter,
 };
 use vsync::graph::{to_dot, Mode};
 use vsync::lang::{Program, ProgramBuilder, Reg};
 use vsync::locks::model::{dpdk_scenario, huawei_scenario};
 use vsync::locks::registry;
-use vsync::model::ModelKind;
+use vsync::model::{checker_attribution, set_checker_attribution, ModelKind};
 
 /// Command and option summary (also the `--help` text).
 const HELP: &str = "\
@@ -64,6 +65,13 @@ options:
   --steps          (optimize) stream per-step relaxation events to stderr
   --enumerate      (optimize) list all maximally-relaxed assignments
   --dot            (verify/bug) print counterexamples as Graphviz
+  --dot DIR        (check) write one Graphviz file per violating model
+                   under DIR (rf/mo/po edges labeled)
+  --trace FILE     (verify/optimize/bug/check/corpus) write engine
+                   telemetry as a Chrome-trace JSON array to FILE
+                   (loadable in Perfetto / chrome://tracing)
+  --metrics        (verify/optimize/bug/check/corpus) print a per-phase
+                   wall-clock attribution table to stderr after the run
 
 exit codes:
   0  verified / every expectation met
@@ -95,6 +103,11 @@ struct Options {
     steps: bool,
     enumerate: bool,
     dot: bool,
+    /// `--dot DIR` (check): directory for per-violation DOT files.
+    dot_dir: Option<String>,
+    /// `--trace FILE`: Chrome-trace telemetry export target.
+    trace: Option<String>,
+    metrics: bool,
     fixed: bool,
 }
 
@@ -119,9 +132,12 @@ impl Options {
             steps: false,
             enumerate: false,
             dot: false,
+            dot_dir: None,
+            trace: None,
+            metrics: false,
             fixed: false,
         };
-        let mut it = args.iter();
+        let mut it = args.iter().peekable();
         while let Some(a) = it.next() {
             match a.as_str() {
                 "--threads" => {
@@ -186,7 +202,21 @@ impl Options {
                 }
                 "--steps" => o.steps = true,
                 "--enumerate" => o.enumerate = true,
-                "--dot" => o.dot = true,
+                // `--dot` alone prints to stdout (verify/bug); with a
+                // following path operand it names the output directory
+                // for per-violation files (check).
+                "--dot" => {
+                    o.dot = true;
+                    if let Some(v) = it.peek() {
+                        if !v.starts_with("--") {
+                            o.dot_dir = it.next().cloned();
+                        }
+                    }
+                }
+                "--trace" => {
+                    o.trace = Some(it.next().ok_or("--trace needs a file path")?.clone());
+                }
+                "--metrics" => o.metrics = true,
                 "--fixed" => o.fixed = true,
                 other => return Err(format!("unknown option {other}")),
             }
@@ -214,6 +244,8 @@ impl Options {
                     );
                 }) as Arc<dyn Fn(&ProgressSnapshot) + Send + Sync>
             }),
+            on_event: None,
+            profile: false,
         }
     }
 
@@ -236,6 +268,115 @@ impl Options {
         }
         s
     }
+}
+
+/// CLI-side telemetry wiring for `--trace` / `--metrics`: an optional
+/// Chrome-trace writer plus the checker-attribution snapshot taken
+/// before the run (the counters are process-global, so only the delta
+/// belongs to this run).
+struct Telemetry {
+    writer: Option<Arc<TraceWriter>>,
+    metrics: bool,
+    attr_before: (u64, u64),
+}
+
+impl Telemetry {
+    fn start(o: &Options) -> Result<Telemetry, String> {
+        let writer = match &o.trace {
+            Some(path) => Some(Arc::new(
+                TraceWriter::create(Path::new(path))
+                    .map_err(|e| format!("cannot create trace file {path}: {e}"))?,
+            )),
+            None => None,
+        };
+        if o.metrics {
+            set_checker_attribution(true);
+        }
+        Ok(Telemetry { writer, metrics: o.metrics, attr_before: checker_attribution() })
+    }
+
+    /// Apply to a session: enable profiling for `--metrics` and feed the
+    /// event stream into the trace writer for `--trace`.
+    fn session(&self, mut s: Session) -> Session {
+        s = s.profile(self.metrics);
+        if let Some(w) = &self.writer {
+            let sink = w.sink();
+            s = s.on_event(move |ev| sink(ev));
+        }
+        s
+    }
+
+    /// The corpus-runner analogue of [`Telemetry::session`].
+    fn corpus(&self, opts: &mut CorpusOptions) {
+        opts.profile = self.metrics;
+        if let Some(w) = &self.writer {
+            opts.on_event = Some(w.sink());
+        }
+    }
+
+    /// Print the metrics table (stderr) and close the trace file.
+    fn finish(&self, profile: &PhaseProfile, wall: Duration) {
+        if self.metrics {
+            eprint!("{}", render_metrics(profile, wall));
+            let (fast, reference) = checker_attribution();
+            eprintln!(
+                "consistency checks: {} fast-path, {} reference",
+                fast - self.attr_before.0,
+                reference - self.attr_before.1
+            );
+            set_checker_attribution(false);
+        }
+        if let Some(w) = &self.writer {
+            if let Err(e) = w.finish() {
+                eprintln!("warning: trace file not fully written: {e}");
+            }
+        }
+    }
+}
+
+/// Session-wide phase profile: every model's attribution merged.
+fn report_profile(r: &Report) -> PhaseProfile {
+    let mut p = PhaseProfile::default();
+    for m in &r.models {
+        p.merge(&m.stats.phases);
+    }
+    p
+}
+
+/// Corpus-wide phase profile: every checked model of every file merged.
+fn corpus_profile(r: &CorpusReport) -> PhaseProfile {
+    let mut p = PhaseProfile::default();
+    for f in &r.files {
+        if let FileOutcome::Checked(models) = &f.outcome {
+            for m in models {
+                p.merge(&m.phases);
+            }
+        }
+    }
+    p
+}
+
+/// `vsync check --dot DIR`: write one Graphviz file per violating model,
+/// named `<file-stem>.<model>.dot`, and report how many were written.
+fn write_corpus_dots(dir: &str, r: &CorpusReport) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+    let mut written = 0usize;
+    for f in &r.files {
+        let FileOutcome::Checked(models) = &f.outcome else { continue };
+        let stem = Path::new(&f.path)
+            .file_stem()
+            .map_or_else(|| f.program.clone(), |s| s.to_string_lossy().into_owned());
+        for m in models {
+            let Some(ce) = m.verdict.counterexample() else { continue };
+            let name = format!("{stem}.{}.dot", m.model.to_string().to_lowercase());
+            let path = Path::new(dir).join(&name);
+            std::fs::write(&path, to_dot(&ce.graph))
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            written += 1;
+        }
+    }
+    eprintln!("wrote {written} counterexample DOT file(s) under {dir}");
+    Ok(())
 }
 
 /// Exit-code taxonomy (documented in `--help`): 0 verified, 1 violation
@@ -374,7 +515,9 @@ fn run() -> Result<ExitCode, String> {
             let o = Options::parse(rest)?;
             let entry = registry::entry(name)
                 .ok_or_else(|| format!("unknown lock '{name}' (try `vsync locks`)"))?;
-            let r = o.session(entry.client(o.threads, o.acquires)).run();
+            let tel = Telemetry::start(&o)?;
+            let r = tel.session(o.session(entry.client(o.threads, o.acquires))).run();
+            tel.finish(&report_profile(&r), r.elapsed);
             Ok(report(&r, &o))
         }
         "optimize" => {
@@ -407,7 +550,8 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 let ocfg =
                     OptimizerConfig::default().with_strategy(o.strategy).with_max_passes(o.passes);
-                let mut s = o.session(p).optimize(ocfg);
+                let tel = Telemetry::start(&o)?;
+                let mut s = tel.session(o.session(p).optimize(ocfg));
                 if o.steps {
                     s = s.on_optimize_step(|e| {
                         eprintln!(
@@ -422,6 +566,7 @@ fn run() -> Result<ExitCode, String> {
                     });
                 }
                 let r = s.run();
+                tel.finish(&report_profile(&r), r.elapsed);
                 if o.json {
                     println!("{}", r.to_json());
                 } else {
@@ -438,16 +583,25 @@ fn run() -> Result<ExitCode, String> {
                 "huawei" => huawei_scenario(o.fixed),
                 other => return Err(format!("unknown study case '{other}'")),
             };
-            let r = o.session(p).run();
+            let tel = Telemetry::start(&o)?;
+            let r = tel.session(o.session(p)).run();
+            tel.finish(&report_profile(&r), r.elapsed);
             Ok(report(&r, &o))
         }
         "check" => {
             let (file, rest) = rest.split_first().ok_or("check needs a .litmus file")?;
             let o = Options::parse(rest)?;
-            let r = match run_corpus(Path::new(file), &o.corpus_options()) {
+            let tel = Telemetry::start(&o)?;
+            let mut copts = o.corpus_options();
+            tel.corpus(&mut copts);
+            let r = match run_corpus(Path::new(file), &copts) {
                 Ok(r) => r,
                 Err(e) => return Ok(unreadable_input(&e)),
             };
+            tel.finish(&corpus_profile(&r), r.elapsed);
+            if let Some(dir) = &o.dot_dir {
+                write_corpus_dots(dir, &r)?;
+            }
             if o.json {
                 println!("{}", r.to_json());
             } else {
@@ -458,10 +612,14 @@ fn run() -> Result<ExitCode, String> {
         "corpus" => {
             let (dir, rest) = rest.split_first().ok_or("corpus needs a directory")?;
             let o = Options::parse(rest)?;
-            let r = match run_corpus(Path::new(dir), &o.corpus_options()) {
+            let tel = Telemetry::start(&o)?;
+            let mut copts = o.corpus_options();
+            tel.corpus(&mut copts);
+            let r = match run_corpus(Path::new(dir), &copts) {
                 Ok(r) => r,
                 Err(e) => return Ok(unreadable_input(&e)),
             };
+            tel.finish(&corpus_profile(&r), r.elapsed);
             if r.files.is_empty() {
                 return Err(format!("no .litmus files under {dir}"));
             }

@@ -54,10 +54,13 @@ fn injected_panics_yield_identical_errors_across_configurations() {
     let sites = [
         ("explore.pop", EnginePhase::Driver),
         ("explore.replay", EnginePhase::Replay),
-        ("explore.dedup", EnginePhase::Dedup),
+        // The default (revisit) engine attributes its hash sites to
+        // `Probe` and revisit generation to `Revisit`; the enumerate
+        // engine keeps `Dedup` for the same `explore.dedup` failpoint.
+        ("explore.dedup", EnginePhase::Probe),
         ("explore.consistency", EnginePhase::Consistency),
         ("explore.extend", EnginePhase::Extend),
-        ("explore.revisit", EnginePhase::Extend),
+        ("explore.revisit", EnginePhase::Revisit),
         ("explore.final", EnginePhase::FinalCheck),
         ("explore.stagnancy", EnginePhase::Stagnancy),
     ];

@@ -219,7 +219,9 @@ fn session_json_is_parseable_and_stable() {
                 "complete_executions",
                 "blocked_graphs",
                 "events",
-                "frontier_dropped"
+                "frontier_dropped",
+                "probes",
+                "phases"
             ]
         );
     }
@@ -294,7 +296,7 @@ fn report_json_golden() {
         "\"stats\": {\"popped\": 7, \"pushed\": 6, \"constructed\": 7, \"duplicates\": 0, ",
         "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 2, \"blocked_graphs\": 0, \"events\": 40, ",
-        "\"frontier_dropped\": 0}, ",
+        "\"frontier_dropped\": 0, \"probes\": 0, \"phases\": {}}, ",
         "\"optimization\": {\"verified\": true, \"interrupted\": false, \"error\": null, ",
         "\"strategy\": \"adaptive\", \"verifications\": 3, ",
         "\"explorations\": 2, \"explored_graphs\": 40, \"cache_hits\": 1, ",
@@ -309,7 +311,7 @@ fn report_json_golden() {
         "\"stats\": {\"popped\": 0, \"pushed\": 0, \"constructed\": 0, \"duplicates\": 0, ",
         "\"symmetry_pruned\": 0, \"inconsistent\": 0, \"wasteful\": 0, \"revisits\": 0, ",
         "\"complete_executions\": 0, \"blocked_graphs\": 0, \"events\": 0, ",
-        "\"frontier_dropped\": 0}, ",
+        "\"frontier_dropped\": 0, \"probes\": 0, \"phases\": {}}, ",
         "\"optimization\": null}]}",
     );
     assert_eq!(report.to_json(), expected);

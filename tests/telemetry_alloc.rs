@@ -1,0 +1,75 @@
+//! Disabled-path allocation smoke: with no subscriber and no profiling,
+//! telemetry must add nothing to the explorer's allocation behavior —
+//! in particular no per-event or per-span heap traffic. Verified with a
+//! counting global allocator: repeated disabled runs of the same
+//! program allocate the exact same number of times.
+//!
+//! This file deliberately holds a single test — the counter is
+//! process-global and the default test runner is multi-threaded, so any
+//! second test in this binary would race the counts.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use vsync::core::Session;
+use vsync::graph::Mode;
+use vsync::lang::{Program, ProgramBuilder, Reg};
+use vsync::model::ModelKind;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn mp_program() -> Program {
+    let mut pb = ProgramBuilder::new("mp");
+    pb.thread(|t| {
+        t.store(0x10, 1u64, Mode::Rlx);
+        t.store(0x20, 1u64, Mode::Rel);
+    });
+    pb.thread(|t| {
+        t.await_eq(Reg(0), 0x20, 1u64, Mode::Acq);
+        t.load(Reg(1), 0x10, Mode::Rlx);
+        t.assert_eq(Reg(1), 1u64, "data visible");
+    });
+    pb.build().unwrap()
+}
+
+#[test]
+fn disabled_telemetry_does_not_allocate() {
+    let p = mp_program();
+    let run = || {
+        let before = ALLOCS.load(Ordering::Relaxed);
+        let r = Session::new(p.clone()).model(ModelKind::Vmm).run();
+        assert!(r.is_verified());
+        ALLOCS.load(Ordering::Relaxed) - before
+    };
+    // Warmup absorbs one-time lazy initialization (thread-local buffers,
+    // hash-table growth heuristics).
+    let _ = run();
+    let a = run();
+    let b = run();
+    assert_eq!(
+        a, b,
+        "disabled-telemetry runs must have a deterministic allocation count \
+         (any drift means the disabled path started allocating)"
+    );
+}
